@@ -1,0 +1,38 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one table/figure via the
+:mod:`repro.bench` harness (simulated time), wraps the regeneration in
+pytest-benchmark (wall time of the harness itself), and asserts the
+*shape* the paper reports -- who wins, what grows, where the bands lie.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a regeneration exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def slope(points):
+    from repro.bench import fit_power_law
+
+    return fit_power_law(points).exponent
+
+
+def adjusted_slope(points):
+    """Slope with the additive fixed cost removed (fit_sweep)."""
+    from repro.bench.complexity import fit_sweep
+
+    return fit_sweep(points).exponent
+
+
+@pytest.fixture(autouse=True)
+def _quick_scale(monkeypatch):
+    """Benchmarks always run the quick sweep unless the env overrides."""
+    import os
+
+    if "REPRO_BENCH_SCALE" not in os.environ:
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")

@@ -1,0 +1,63 @@
+"""Ablation (§3.3.3a): fake deletion + deferred compaction.
+
+Fake deletion keeps DELETE at one patch (O(1)) but leaves tombstones
+in the ring.  ``compact_on_use`` (the paper's "really removing the
+tuple when the NameRing is in use") bounds the bloat; with it disabled
+the ring keeps paying transfer and merge costs for dead tuples.
+"""
+
+from conftest import run_once
+
+from repro.core import H2CloudFS, H2Config
+from repro.simcloud import SwiftCluster
+
+
+def churn_and_measure(compact_on_use: bool, churn: int = 400) -> tuple[float, int]:
+    """(final LIST ms, stored ring bytes) after write+delete churn."""
+    fs = H2CloudFS(
+        SwiftCluster.rack_scale(),
+        account="alice",
+        config=H2Config(compact_on_use=compact_on_use),
+    )
+    fs.mkdir("/d")
+    for i in range(churn):
+        fs.write(f"/d/f{i:04d}", b"x")
+        fs.delete(f"/d/f{i:04d}")
+        if compact_on_use and i % 50 == 0:
+            fs.listdir("/d")  # "in use": triggers compaction
+    fs.pump()
+    if compact_on_use:
+        fs.listdir("/d")  # final in-use compaction
+        fs.pump()
+    fs.drop_caches()
+    _, cost = fs.clock.measure(lambda: fs.listdir("/d"))
+    mw = fs.middlewares[0]
+    from repro.core import Namespace, namering_key
+
+    ns = mw.lookup.resolve_dir("alice", "/d")
+    ring_bytes = fs.store.get(namering_key(ns)).size
+    return cost / 1000, ring_bytes
+
+
+def test_compaction_bounds_tombstone_bloat(benchmark):
+    (with_ms, with_bytes), (without_ms, without_bytes) = benchmark.pedantic(
+        lambda: (churn_and_measure(True), churn_and_measure(False)),
+        rounds=1,
+        iterations=1,
+    )
+    # Without in-use compaction the stored ring keeps every tombstone.
+    assert without_bytes > 10 * with_bytes
+    # The bloat also shows up (mildly, at this churn) in LIST transfer.
+    assert with_ms <= without_ms * 1.05
+
+    # And deletion itself stays O(1) either way: one patch, no ring
+    # rewrite on the client path.
+    fs = H2CloudFS(SwiftCluster.rack_scale(), account="bob")
+    fs.mkdir("/d")
+    for i in range(200):
+        fs.write(f"/d/f{i:04d}", b"x")
+    fs.pump()
+    fs.drop_caches()
+    _, one = fs.clock.measure(lambda: fs.delete("/d/f0000"))
+    _, two = fs.clock.measure(lambda: fs.delete("/d/f0199"))
+    assert abs(one - two) < max(one, two)  # same order of magnitude

@@ -1,0 +1,43 @@
+"""Ablation (§3.3.2): gossip fan-out vs convergence effort.
+
+Higher fan-out floods rumors faster (fewer rounds to quiescence) at
+the price of more messages; message loss shifts work onto the
+anti-entropy backstop.
+"""
+
+from repro.core import H2CloudFS
+from repro.simcloud import MessageLoss, SwiftCluster
+
+
+def converge_with(fanout: int, middlewares: int = 6, loss: float = 0.0):
+    fs = H2CloudFS(
+        SwiftCluster.fast(),
+        account="alice",
+        middlewares=middlewares,
+        gossip_fanout=fanout,
+        message_loss=MessageLoss(loss, seed=3) if loss else None,
+    )
+    for i in range(10):
+        fs.middlewares[i % middlewares].mkdir("alice", f"/d{i:02d}")
+    rounds = fs.network.run_until_quiet()
+    fs.network.converge()
+    return rounds, fs.network.rumors_sent
+
+
+def test_fanout_trades_messages_for_rounds(benchmark):
+    results = benchmark.pedantic(
+        lambda: {f: converge_with(f) for f in (1, 2, 4)},
+        rounds=1,
+        iterations=1,
+    )
+    rounds = {f: r for f, (r, _) in results.items()}
+    messages = {f: m for f, (_, m) in results.items()}
+    assert rounds[4] <= rounds[1]
+    assert messages[4] > messages[1]
+
+
+def test_convergence_survives_heavy_loss():
+    rounds_clean, _ = converge_with(fanout=2, loss=0.0)
+    rounds_lossy, _ = converge_with(fanout=2, loss=0.7)
+    # Anti-entropy converges either way; loss only changes the path.
+    assert rounds_clean >= 0 and rounds_lossy >= 0

@@ -1,0 +1,54 @@
+"""Ablation (§3.2): quick O(1) relative-path access vs O(d) regular.
+
+The paper offers two access methods: hashing a namespace-decorated
+relative path reaches the object in one step; the user-friendly full
+path walks d NameRings.  This ablation quantifies the gap across
+depths -- the argument for why internal system operations should carry
+relative paths around.
+"""
+
+from conftest import run_once, slope
+
+from repro.core import H2CloudFS
+from repro.simcloud import SwiftCluster
+from repro.workloads import chain_directories
+
+
+def access_costs(depth: int) -> tuple[float, float]:
+    """(regular ms, quick ms) for a file at the given depth."""
+    fs = H2CloudFS(SwiftCluster.rack_scale(), account="alice")
+    for path in chain_directories(depth - 1):
+        fs.mkdir(path)
+    parent = chain_directories(depth - 1)[-1] if depth > 1 else ""
+    leaf = parent + "/leaf"
+    fs.write(leaf, b"payload")
+    rel = fs.relative_path_of(leaf)
+    fs.pump()
+
+    fs.drop_caches()
+    _, regular = fs.clock.measure(lambda: fs.read(leaf))
+    fs.drop_caches()
+    _, quick = fs.clock.measure(lambda: fs.read_relative(rel))
+    return regular / 1000, quick / 1000
+
+
+def test_quick_access_beats_regular_at_depth(benchmark):
+    results = benchmark.pedantic(
+        lambda: {d: access_costs(d) for d in (1, 4, 8, 16)},
+        rounds=1,
+        iterations=1,
+    )
+    regular = [(d, r) for d, (r, _) in results.items()]
+    quick = [(d, q) for d, (_, q) in results.items()]
+
+    # Regular access is O(d); quick access is O(1).
+    assert slope(regular) > 0.5
+    assert slope(quick) < 0.2
+
+    # At the paper's maximum observed depth (19-20), the gap is large.
+    deep_regular, deep_quick = results[16]
+    assert deep_regular > 5 * deep_quick
+
+    # At depth 1 the two are within the same couple of round trips.
+    shallow_regular, shallow_quick = results[1]
+    assert shallow_regular < 3 * shallow_quick

@@ -1,0 +1,23 @@
+"""Figure 7: MOVE/RENAME vs n -- Swift O(n), H2Cloud & Dropbox O(1)."""
+
+from conftest import run_once, slope
+
+from repro.bench import fig7_move_rename
+
+
+def test_fig07_move_rename(benchmark):
+    result = run_once(benchmark, fig7_move_rename)
+    swift = result.series_for("swift").points
+    h2 = result.series_for("h2cloud").points
+    dropbox = result.series_for("dropbox").points
+
+    # Swift grows linearly; H2 and Dropbox stay flat.
+    assert slope(swift) > 0.7
+    assert slope(h2) < 0.25
+    assert slope(dropbox) < 0.25
+
+    # "Orders of magnitude" at the top of the sweep.
+    n_max = max(x for x, _ in swift)
+    swift_ms = result.series_for("swift").ms_at(n_max)
+    h2_ms = result.series_for("h2cloud").ms_at(n_max)
+    assert swift_ms > 50 * h2_ms

@@ -1,0 +1,24 @@
+"""Figure 8: RMDIR vs n -- the same shape as Figure 7."""
+
+from conftest import run_once, slope
+
+from repro.bench import fig8_rmdir
+
+
+def test_fig08_rmdir(benchmark):
+    result = run_once(benchmark, fig8_rmdir)
+    swift = result.series_for("swift").points
+    h2 = result.series_for("h2cloud").points
+    dropbox = result.series_for("dropbox").points
+
+    assert slope(swift) > 0.7
+    assert slope(h2) < 0.25
+    assert slope(dropbox) < 0.25
+
+    n_max = max(x for x, _ in swift)
+    assert result.series_for("swift").ms_at(n_max) > 20 * result.series_for(
+        "h2cloud"
+    ).ms_at(n_max)
+
+    # H2's RMDIR is a single fake-deletion patch: tens of ms, flat.
+    assert all(ms < 500 for _, ms in h2)

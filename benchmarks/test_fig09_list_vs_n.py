@@ -1,0 +1,19 @@
+"""Figure 9: LIST vs n with m fixed -- LIST depends on m, not n."""
+
+from conftest import run_once, slope
+
+from repro.bench import fig9_list_vs_n
+
+
+def test_fig09_list_vs_n(benchmark):
+    result = run_once(benchmark, fig9_list_vs_n)
+    for system in ("h2cloud", "swift", "dropbox"):
+        points = result.series_for(system).points
+        assert slope(points) < 0.35, f"{system} LIST grew with n, not m"
+
+    # Swift costs the most throughout (its per-child marker queries
+    # each pay a B-tree descent over the whole row population).
+    for x, _ in result.series_for("swift").points:
+        swift_ms = result.series_for("swift").ms_at(x)
+        h2_ms = result.series_for("h2cloud").ms_at(x)
+        assert swift_ms > h2_ms

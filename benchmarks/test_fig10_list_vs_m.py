@@ -1,0 +1,24 @@
+"""Figure 10: LIST vs m -- everyone O(m); Swift slowest; H2 headline."""
+
+from conftest import run_once, slope
+
+from repro.bench import fig10_list_vs_m
+
+
+def test_fig10_list_vs_m(benchmark):
+    result = run_once(benchmark, fig10_list_vs_m)
+    swift = result.series_for("swift").points
+    h2 = result.series_for("h2cloud").points
+
+    assert slope(swift) > 0.6
+    assert slope(h2) > 0.4  # fixed resolution costs soften the low end
+
+    # Ordering at m = 1000: Swift > (Dropbox ~ H2).
+    swift_ms = result.series_for("swift").ms_at(1000)
+    h2_ms = result.series_for("h2cloud").ms_at(1000)
+    dropbox_ms = result.series_for("dropbox").ms_at(1000)
+    assert swift_ms > 2 * h2_ms
+    assert 0.2 * h2_ms < dropbox_ms < 5 * h2_ms
+
+    # §1 headline: LISTing 1000 files costs just ~0.35 s.
+    assert 150 < h2_ms < 700

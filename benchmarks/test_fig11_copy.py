@@ -1,0 +1,24 @@
+"""Figure 11: COPY vs n -- O(n) for all three, curves close together."""
+
+from conftest import adjusted_slope, run_once
+
+from repro.bench import fig11_copy
+
+
+def test_fig11_copy(benchmark):
+    result = run_once(benchmark, fig11_copy)
+    for system in ("h2cloud", "swift", "dropbox"):
+        # Fixed request costs sit under the curves at small n; judge
+        # linearity on the baseline-adjusted fit.
+        assert adjusted_slope(result.series_for(system).points) > 0.6, system
+
+    # The three systems are within an order of magnitude of each other.
+    ms_at_top = [
+        result.series_for(system).ms_at(1000)
+        for system in ("h2cloud", "swift", "dropbox")
+    ]
+    assert max(ms_at_top) < 10 * min(ms_at_top)
+
+    # §1 headline: COPYing 1000 files costs ~10 seconds.
+    h2_seconds = result.series_for("h2cloud").ms_at(1000) / 1000
+    assert 3 < h2_seconds < 30

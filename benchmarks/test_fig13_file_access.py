@@ -1,0 +1,29 @@
+"""Figure 13: file access vs depth -- Swift flat ~10ms, H2 ∝ d, Dropbox ~flat."""
+
+from conftest import run_once, slope
+
+from repro.bench import fig13_file_access
+
+
+def test_fig13_file_access(benchmark):
+    result = run_once(benchmark, fig13_file_access)
+    swift = result.series_for("swift").points
+    h2 = result.series_for("h2cloud").points
+    dropbox = result.series_for("dropbox").points
+
+    # Swift: one full-path hash, stably ~10 ms at any depth.
+    assert slope(swift) < 0.15
+    assert all(4 < ms < 25 for _, ms in swift)
+
+    # H2: one NameRing per level -- linear in d.
+    assert slope(h2) > 0.6
+
+    # Paper: at the workload-average depth (d=4) H2 averages ~61 ms,
+    # which is shorter than Dropbox's roughly constant access time.
+    h2_at_4 = result.series_for("h2cloud").ms_at(4)
+    assert 20 < h2_at_4 < 120
+    dropbox_at_4 = result.series_for("dropbox").ms_at(4)
+    assert dropbox_at_4 > h2_at_4
+
+    # Dropbox: constant with fluctuations (hops add noise, not slope).
+    assert slope(dropbox) < 0.2

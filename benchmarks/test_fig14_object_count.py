@@ -1,0 +1,16 @@
+"""Figure 14: number of objects -- H2Cloud stores more than Swift."""
+
+from conftest import run_once
+
+from repro.bench import fig14_15_storage
+
+
+def test_fig14_object_count(benchmark):
+    fig14, _ = run_once(benchmark, fig14_15_storage)
+    for x, _count in fig14.series_for("swift").points:
+        swift_count = fig14.series_for("swift").ms_at(x)
+        h2_count = fig14.series_for("h2cloud").ms_at(x)
+        # Every directory and every NameRing is an extra object.
+        assert h2_count > swift_count * 1.05
+        # ...but not absurdly many: bounded by ~2 extra per directory.
+        assert h2_count < swift_count * 4

@@ -1,0 +1,16 @@
+"""Figure 15: size of objects -- H2Cloud's byte overhead is negligible."""
+
+from conftest import run_once
+
+from repro.bench import fig14_15_storage
+
+
+def test_fig15_object_size(benchmark):
+    _, fig15 = run_once(benchmark, fig14_15_storage)
+    for x, _ in fig15.series_for("swift").points:
+        swift_mb = fig15.series_for("swift").ms_at(x)
+        h2_mb = fig15.series_for("h2cloud").ms_at(x)
+        # Directory/NameRing objects are <1 KB vs ~1 MB files: the
+        # extra bytes must stay within a few percent.
+        assert h2_mb < swift_mb * 1.05
+        assert h2_mb > swift_mb * 0.95

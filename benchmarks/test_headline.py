@@ -1,0 +1,13 @@
+"""§1 headline numbers: LIST 1000 ~ 0.35 s, COPY 1000 ~ 10 s."""
+
+from conftest import run_once
+
+from repro.bench import headline_numbers
+
+
+def test_headline_numbers(benchmark):
+    result = run_once(benchmark, headline_numbers)
+    list_ms = result.series_for("h2cloud").ms_at(1)
+    copy_ms = result.series_for("h2cloud").ms_at(2)
+    assert 150 < list_ms < 700  # paper: ~350 ms
+    assert 3_000 < copy_ms < 30_000  # paper: ~10 s

@@ -1,0 +1,103 @@
+"""Wall-clock microbenchmarks of the core data structures.
+
+Everything else under ``benchmarks/`` measures *simulated* time; these
+measure real Python throughput of the hot structures -- the NameRing
+merge, the formatter, the B-tree and the hash ring -- so a performance
+regression in the reproduction itself (not the modelled system) shows
+up in CI.
+"""
+
+import random
+
+from repro.core import Child, NameRing, dumps_ring, loads_ring
+from repro.simcloud import BTree, HashRing, Timestamp
+
+
+def make_ring(n: int, offset: int = 0) -> NameRing:
+    return NameRing(
+        children={
+            f"file{i:06d}": Child(
+                name=f"file{i:06d}",
+                timestamp=Timestamp(i + offset, i, 0),
+                kind="file",
+                size=i,
+            )
+            for i in range(n)
+        }
+    )
+
+
+class TestNameRingThroughput:
+    def test_merge_1000_children(self, benchmark):
+        a = make_ring(1000)
+        b = make_ring(1000, offset=500)
+        merged = benchmark(lambda: a.merge(b))
+        assert len(merged) == 1000
+
+    def test_serialize_1000_children(self, benchmark):
+        ring = make_ring(1000)
+        data = benchmark(lambda: dumps_ring(ring))
+        assert data.startswith(b"H2NR")
+
+    def test_parse_1000_children(self, benchmark):
+        data = dumps_ring(make_ring(1000))
+        ring = benchmark(lambda: loads_ring(data))
+        assert len(ring) == 1000
+
+    def test_compaction_with_tombstones(self, benchmark):
+        ring = make_ring(1000)
+        ts = Timestamp(10_000, 1, 0)
+        for i in range(0, 1000, 2):
+            ring = ring.with_child(ring.get(f"file{i:06d}").tombstone(ts))
+        compacted = benchmark(ring.compacted)
+        assert len(compacted) == 500
+
+
+class TestBTreeThroughput:
+    def test_insert_10k(self, benchmark):
+        keys = [f"/p/{i:06d}" for i in range(10_000)]
+
+        def build():
+            tree = BTree(min_degree=64)
+            for key in keys:
+                tree.insert(key, None)
+            return tree
+
+        tree = benchmark(build)
+        assert len(tree) == 10_000
+
+    def test_point_lookup_in_100k(self, benchmark):
+        tree = BTree(min_degree=64)
+        for i in range(100_000):
+            tree.insert(f"/p/{i:07d}", i)
+        rng = random.Random(1)
+        probes = [f"/p/{rng.randrange(100_000):07d}" for _ in range(1000)]
+        total = benchmark(lambda: sum(tree.get(p) for p in probes))
+        assert total > 0
+
+    def test_range_scan_10k_rows(self, benchmark):
+        tree = BTree(min_degree=64)
+        for i in range(20_000):
+            tree.insert(f"/p/{i:07d}", i)
+        rows = benchmark(lambda: tree.scan_from("/p/0005000", 10_000))
+        assert len(rows) == 10_000
+
+
+class TestHashRingThroughput:
+    def test_placement_lookups(self, benchmark):
+        ring = HashRing(replicas=3, vnodes=128)
+        for node_id in range(1, 9):
+            ring.add_node(node_id)
+        keys = [f"f:{i}.1.0::file{i}" for i in range(2000)]
+        placements = benchmark(lambda: [ring.nodes_for(k) for k in keys])
+        assert len(placements) == 2000
+
+    def test_ring_construction(self, benchmark):
+        def build():
+            ring = HashRing(replicas=3, vnodes=128)
+            for node_id in range(1, 17):
+                ring.add_node(node_id)
+            return ring
+
+        ring = benchmark(build)
+        assert len(ring) == 16

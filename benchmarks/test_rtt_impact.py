@@ -1,0 +1,45 @@
+"""§5.3 RTT impact: alpha = RTT / op time, by operation and depth."""
+
+from conftest import run_once
+
+from repro.bench import rtt_impact
+
+
+def test_rtt_impact(benchmark):
+    result = run_once(benchmark, rtt_impact)
+    h2 = dict(result.series_for("h2cloud").points)
+    swift = dict(result.series_for("swift").points)
+    dropbox = dict(result.series_for("dropbox").points)
+
+    depths = sorted(h2)
+    shallow, deep = depths[0], depths[-1]
+
+    # H2: alpha falls from ~2.7 toward ~0.3 as depth grows 0 -> 20.
+    assert h2[shallow] > 1.0
+    assert h2[deep] < 0.8
+    assert h2[shallow] > 3 * h2[deep]
+
+    # Swift: ~10 ms accesses are RTT-dominated at every depth (alpha ~5).
+    assert all(alpha > 2.0 for alpha in swift.values())
+
+    # Dropbox: alpha fluctuates around ~0.5.
+    assert all(0.2 < alpha < 2.0 for alpha in dropbox.values())
+
+    # Directory operations on H2 and Dropbox: alpha stays ~0.2-1.0, so
+    # the operation time -- not the network -- dominates user
+    # experience; this is the paper's argument for optimising directory
+    # operations.  (Swift's sub-25 ms MKDIR is the one RTT-dominated
+    # directory op; its MOVE at n=1000 takes seconds, alpha ~ 0.)
+    h2_dropbox_alphas = [
+        float(note.rsplit("=", 1)[1])
+        for note in result.notes
+        if note.startswith("alpha[") and ("h2cloud" in note or "dropbox" in note)
+    ]
+    assert h2_dropbox_alphas
+    assert all(alpha < 1.2 for alpha in h2_dropbox_alphas)
+    swift_move = [
+        float(note.rsplit("=", 1)[1])
+        for note in result.notes
+        if note.startswith("alpha[MOVE") and "swift" in note
+    ]
+    assert swift_move and swift_move[0] < 0.1

@@ -1,0 +1,27 @@
+"""Table 1's scalability column: burst makespan vs front-end count."""
+
+from conftest import run_once
+
+from repro.bench import scalability
+
+
+def speedup(result, name: str) -> float:
+    points = dict(result.series_for(name).points)
+    xs = sorted(points)
+    return points[xs[0]] / points[xs[-1]]
+
+
+def test_scalability_column(benchmark):
+    result = run_once(benchmark, scalability)
+
+    # "Yes": H2Cloud and DP speed up near-linearly with front-ends.
+    assert speedup(result, "h2cloud") > 4.0
+    assert speedup(result, "dynamic-partition") > 4.0
+
+    # "Limited": the single namenode never speeds up; Swift saturates
+    # on its container DB (sublinear, visibly below the Yes systems).
+    assert speedup(result, "single-index") < 1.3
+    assert 1.0 < speedup(result, "swift") < 4.5
+
+    # "No": skewed static partitioning gains nothing from more servers.
+    assert speedup(result, "static-partition (skewed)") < 1.3

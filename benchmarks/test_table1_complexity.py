@@ -1,0 +1,18 @@
+"""Table 1: measured complexity class of every system and operation.
+
+The harness sweeps each of the nine data structures over workload
+scale (and depth, where the claim is about d), fits the scaling
+exponent, and compares against the paper's claimed class.
+"""
+
+from conftest import run_once
+
+from repro.bench import table1_complexity
+
+
+def test_table1_complexity(benchmark):
+    result = run_once(benchmark, table1_complexity)
+    mismatches = [note for note in result.notes if note.endswith("MISMATCH")]
+    assert not mismatches, "complexity classes diverged:\n" + "\n".join(mismatches)
+    # All 9 systems x 5 operations were measured.
+    assert len(result.notes) == 45

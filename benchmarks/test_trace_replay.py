@@ -1,0 +1,23 @@
+"""§5.1 methodology: one user workload replayed on all three systems."""
+
+from conftest import run_once
+
+from repro.bench.experiments import trace_replay
+
+
+def test_trace_replay(benchmark):
+    result = run_once(benchmark, trace_replay)
+
+    totals = {}
+    for note in result.notes:
+        system, rest = note.split(":", 1)
+        totals[system] = float(rest.rsplit("total", 1)[1].split("simulated")[0])
+
+    # Warm caches + O(1) directory ops give H2Cloud the lowest total.
+    assert totals["h2cloud"] < totals["swift"]
+    # Dropbox pays its per-request metadata service cost on every op.
+    assert totals["dropbox"] > totals["swift"]
+
+    # Every op class got replayed on every system.
+    for system in ("h2cloud", "swift", "dropbox"):
+        assert len(result.series_for(system).points) >= 8

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Multi-tenant deployment: the paper's §5.1 user corpus, §5.3 census.
+
+Hosts a (scaled-down) population of light and heavy users on one
+simulated rack, replays a realistic operation trace for a few of them,
+and takes the Figures 14-15 storage census: how many extra objects do
+NameRings cost, and how many extra bytes?
+
+Run:  python examples/multi_tenant_census.py
+"""
+
+from repro.baselines import SwiftFS
+from repro.core import H2CloudFS
+from repro.simcloud import SwiftCluster
+from repro.workloads import (
+    TraceGenerator,
+    build_corpus,
+    corpus_stats,
+    populate,
+    replay,
+)
+
+N_USERS = 10
+
+
+def host_corpus(system_ctor, users):
+    cluster = SwiftCluster.rack_scale()
+    filesystems = {}
+    for user in users:
+        fs = system_ctor(cluster, account=user.account)
+        populate(fs, user.tree(), sparse=True)
+        fs.pump()
+        filesystems[user.account] = fs
+    return cluster, filesystems
+
+
+def main() -> None:
+    users = build_corpus(n_users=N_USERS, heavy_fraction=0.3, seed=42)
+    stats = corpus_stats(users)
+    print("== corpus ==")
+    print(f"  users: {stats['users']} ({stats['heavy_users']} heavy)")
+    print(f"  files: {stats['total_files']}, dirs: {stats['total_dirs']}")
+    print(f"  deepest path: {stats['max_depth']} levels")
+    print(f"  logical data: {stats['total_bytes'] / 2**30:.2f} GiB")
+
+    print("\n== hosting on H2Cloud and on OpenStack Swift ==")
+    h2_cluster, h2_fss = host_corpus(H2CloudFS, users)
+    swift_cluster, _ = host_corpus(SwiftFS, users)
+
+    h2_count, h2_bytes = h2_cluster.store.census()
+    sw_count, sw_bytes = swift_cluster.store.census()
+    print(f"  {'':18s}{'objects':>12s}{'logical MB':>14s}")
+    print(f"  {'h2cloud':18s}{h2_count:12d}{h2_bytes / 2**20:14.1f}")
+    print(f"  {'swift':18s}{sw_count:12d}{sw_bytes / 2**20:14.1f}")
+    print(
+        f"  -> H2Cloud stores {h2_count / sw_count:.2f}x the objects "
+        f"(Fig 14) but only {(h2_bytes / sw_bytes - 1) * 100:.2f}% more "
+        f"bytes (Fig 15)."
+    )
+
+    print("\n== replaying user activity on H2Cloud ==")
+    user = users[0]
+    fs = h2_fss[user.account]
+    tree = user.tree()
+    ops = TraceGenerator(seed=9).generate(tree, 500)
+    trace_stats = replay(fs, ops)
+    print(f"  {user.account} ({user.kind}): {trace_stats.total_ops} ops")
+    print(f"  {'op':10s}{'count':>8s}{'mean ms':>10s}")
+    for kind in sorted(trace_stats.timings_us):
+        print(
+            f"  {kind:10s}{trace_stats.count(kind):8d}"
+            f"{trace_stats.mean_us(kind) / 1000:10.1f}"
+        )
+
+    print("\n== per-node balance on the consistent-hash ring ==")
+    for node_id, (replicas, used) in h2_cluster.storage_stats().items():
+        print(f"  node {node_id}: {replicas:6d} replicas, {used / 2**20:9.1f} MB")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

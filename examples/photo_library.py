@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""A cloud photo service: the paper's motivating application shape.
+
+Dropbox-style services host users' hierarchical libraries on a flat
+object cloud.  This example builds a photo library (albums = nested
+directories, ~2 MB photos), then performs the management operations
+users actually do -- rename an album, reorganize, list with details --
+on H2Cloud *and* on OpenStack Swift, printing the side-by-side
+simulated cost.  It is Figure 7/10 told as a user story.
+
+Run:  python examples/photo_library.py
+"""
+
+from repro.baselines import SwiftFS
+from repro.core import H2CloudFS
+from repro.simcloud import SwiftCluster, payload_of
+
+ALBUMS = {
+    "/photos/2017/iceland": 120,
+    "/photos/2017/weddings": 300,
+    "/photos/2018/street": 80,
+    "/photos/2018/macro-flowers": 45,
+}
+PHOTO_BYTES = 2 * 1024 * 1024
+
+
+def build_library(fs) -> None:
+    fs.mkdir("/photos")
+    years = sorted({album.rsplit("/", 2)[0] + "/" + album.split("/")[2] for album in ALBUMS})
+    for year in sorted({("/photos/" + a.split("/")[2]) for a in ALBUMS}):
+        fs.mkdir(year)
+    for album, count in ALBUMS.items():
+        fs.mkdir(album)
+        for i in range(count):
+            path = f"{album}/IMG_{i:04d}.jpg"
+            fs.write(path, payload_of(PHOTO_BYTES, tag=path))
+    fs.pump()
+    fs.drop_caches()
+
+
+def drill(fs, name: str) -> dict[str, float]:
+    times = {}
+
+    def timed(label, thunk):
+        _, cost = fs.clock.measure(thunk)
+        times[label] = cost / 1000
+        fs.pump()
+        fs.drop_caches()
+
+    timed("rename big album (300 photos)",
+          lambda: fs.rename("/photos/2017/weddings", "/photos/2017/wedding-season"))
+    timed("list album with details (120 photos)",
+          lambda: fs.listdir("/photos/2017/iceland", detailed=True))
+    timed("move album across years",
+          lambda: fs.move("/photos/2018/street", "/photos/2017/street"))
+    timed("open one photo (lookup, d=3)",
+          lambda: fs.stat("/photos/2017/iceland/IMG_0000.jpg"))
+    timed("delete an album (45 photos)",
+          lambda: fs.rmdir("/photos/2018/macro-flowers"))
+    return times
+
+
+def main() -> None:
+    print("== photo library management: H2Cloud vs OpenStack Swift ==\n")
+    results = {}
+    for name, ctor in (("h2cloud", H2CloudFS), ("swift", SwiftFS)):
+        fs = ctor(SwiftCluster.rack_scale(), account="photosvc")
+        print(f"building library on {name} "
+              f"({sum(ALBUMS.values())} photos, {len(ALBUMS)} albums)...")
+        build_library(fs)
+        results[name] = drill(fs, name)
+
+    print(f"\n{'operation':42s} {'H2Cloud':>12s} {'Swift':>12s}")
+    for label in results["h2cloud"]:
+        h2 = results["h2cloud"][label]
+        sw = results["swift"][label]
+        winner = "  <-- H2" if h2 < sw else ""
+        print(f"{label:42s} {h2:10.1f}ms {sw:10.1f}ms{winner}")
+    print(
+        "\nDirectory-heavy management is where H2's NameRings pay off:\n"
+        "Swift rewrites one object per photo on RENAME/MOVE/RMDIR, while\n"
+        "H2Cloud submits O(1) NameRing patches. Single-photo access is\n"
+        "faster on Swift (one full-path hash) -- exactly Fig 7/8/13."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Shootout: one workload, all nine Table-1 data structures.
+
+Builds the same small filesystem on every system in the comparison
+(including H2Cloud and the Dropbox-profile DP), replays the same
+deterministic operation set, and prints a Table-1-shaped summary of
+measured per-op costs.  A compact, runnable rendering of the paper's
+§2 related-work argument.
+
+Run:  python examples/system_shootout.py
+"""
+
+from repro.baselines import TABLE1_SYSTEMS, make_system
+from repro.simcloud import SwiftCluster, payload_of
+
+SYSTEMS = list(TABLE1_SYSTEMS) + ["dropbox"]
+N_FILES = 200
+
+
+def build_and_drill(name: str) -> dict[str, float]:
+    fs = make_system(name, SwiftCluster.rack_scale())
+    sparse = name not in ("compressed-snapshot", "cas")
+    size = 1 << 20 if sparse else 256
+    fs.mkdir("/work")
+    fs.mkdir("/work/project")
+    for i in range(N_FILES):
+        path = f"/work/project/f{i:04d}.dat"
+        fs.write(path, payload_of(size, tag=path, sparse=sparse))
+    fs.pump()
+
+    times: dict[str, float] = {}
+
+    def timed(label, thunk):
+        fs.pump()
+        fs.drop_caches()
+        _, cost = fs.clock.measure(thunk)
+        times[label] = cost / 1000
+
+    timed("access", lambda: fs.stat("/work/project/f0100.dat"))
+    timed("mkdir", lambda: fs.mkdir("/work/new"))
+    timed("list", lambda: fs.listdir("/work/project", detailed=True))
+    timed("move", lambda: fs.move("/work/project", "/work/archive"))
+    timed("copy", lambda: fs.copy("/work/archive", "/work/copy"))
+    timed("rmdir", lambda: fs.rmdir("/work/copy"))
+    return times
+
+
+def fmt(ms: float) -> str:
+    if ms >= 10_000:
+        return f"{ms / 1000:7.1f}s"
+    return f"{ms:6.0f}ms"
+
+
+def main() -> None:
+    print(f"== shootout: {N_FILES} x 1MB files in one directory ==\n")
+    ops = ["access", "mkdir", "list", "move", "copy", "rmdir"]
+    print(f"{'system':22s}" + "".join(f"{op:>9s}" for op in ops))
+    for name in SYSTEMS:
+        times = build_and_drill(name)
+        print(f"{name:22s}" + "".join(fmt(times[op]) for op in ops))
+    print(
+        "\nReading the table against the paper's Table 1:\n"
+        "  - compressed-snapshot & cas pay O(N) on mutations;\n"
+        "  - consistent-hash & swift pay O(n) on move/rmdir;\n"
+        "  - index-server systems and h2cloud keep directory ops flat;\n"
+        "  - only h2cloud does it with a single cloud and no index tier."
+    )
+
+
+if __name__ == "__main__":
+    main()

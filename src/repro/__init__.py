@@ -1,0 +1,54 @@
+"""repro -- a full reproduction of "H2Cloud: Maintaining the Whole
+Filesystem in an Object Storage Cloud" (Zhao et al., ICPP 2018).
+
+Subpackages
+-----------
+``repro.simcloud``
+    The substrate: a from-scratch simulated object storage cloud
+    (consistent-hash ring, replicated nodes, Swift-style container DB,
+    failure injection, deterministic latency model).
+``repro.core``
+    The paper's contribution: the Hierarchical Hash (H2) data
+    structure -- namespaces, NameRings, the asynchronous patch+gossip
+    maintenance protocol -- and the :class:`~repro.core.H2CloudFS`
+    filesystem built on it.
+``repro.baselines``
+    All eight comparison data structures from the paper's Table 1,
+    speaking the same filesystem API.
+``repro.workloads``
+    Seeded generators reproducing the paper's ~150-user corpus,
+    file-size mixture, and POSIX-like operation traces.
+``repro.bench``
+    The harness that regenerates every table and figure of §5.
+``repro.testing``
+    The dict-backed oracle every implementation is verified against.
+
+Quickstart
+----------
+    >>> from repro.core import H2CloudFS
+    >>> fs = H2CloudFS.launch(account="alice")
+    >>> fs.mkdir("/photos")
+    >>> fs.write("/photos/cat.jpg", b"meow")
+    >>> fs.listdir("/photos")
+    ['cat.jpg']
+"""
+
+from . import baselines, bench, core, simcloud, testing, workloads
+from .core import H2CloudFS
+from .simcloud import LatencyModel, SimClock, SwiftCluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "H2CloudFS",
+    "LatencyModel",
+    "SimClock",
+    "SwiftCluster",
+    "__version__",
+    "baselines",
+    "bench",
+    "core",
+    "simcloud",
+    "testing",
+    "workloads",
+]

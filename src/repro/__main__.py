@@ -1,0 +1,53 @@
+"""Top-level CLI.
+
+    python -m repro              # package overview + smoke demo
+    python -m repro demo         # the quickstart scenario
+    python -m repro bench [...]  # forwards to repro.bench's CLI
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import __version__
+
+
+def overview() -> None:
+    print(f"repro {__version__} -- reproduction of H2Cloud (ICPP 2018)")
+    print(__import__("repro").__doc__)
+    print("subcommands: demo | bench [experiment ...]")
+
+
+def demo() -> None:
+    from .core import H2CloudFS, deployment_report
+
+    fs = H2CloudFS.launch(account="demo")
+    fs.makedirs("/home/ubuntu")
+    fs.write("/home/ubuntu/file1", b"hello world")
+    rel = fs.relative_path_of("/home/ubuntu/file1")
+    print("tree:", fs.listdir("/"), fs.listdir("/home/ubuntu"))
+    print("quick access path:", rel, "->", fs.read_relative(rel))
+    fs.rename("/home/ubuntu", "/home/xenial")
+    print("after rename:", fs.listdir("/home"))
+    print()
+    print(deployment_report(fs))
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        overview()
+        return 0
+    command, *rest = argv
+    if command == "demo":
+        demo()
+        return 0
+    if command == "bench":
+        from .bench.__main__ import main as bench_main
+
+        return bench_main(rest)
+    print(f"unknown subcommand {command!r}; use demo | bench")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,85 @@
+"""`repro.baselines` -- every comparison system from Table 1.
+
+Eight data structures, all speaking the same filesystem API as
+:class:`repro.core.H2CloudFS`, all costed against the same simulated
+substrate.  ``TABLE1_ROWS`` collects the paper's claimed complexity
+classes for the Table-1 reproduction benchmark; ``make_system``
+constructs any system (H2Cloud included) by name on a given cluster.
+"""
+
+from __future__ import annotations
+
+from ..core.fs import H2CloudFS
+from ..simcloud.cluster import SwiftCluster
+from .base import FilesystemAPI, TableRow
+from .cas import CASFS
+from .compressed_snapshot import CompressedSnapshotFS
+from .consistent_hash import ConsistentHashFS
+from .dynamic_partition import DropboxLikeFS, DynamicPartitionFS
+from .index_server import DirTable, EntryRec, IndexProfile, IndexServer
+from .indexed_fs import IndexedFS
+from .shared_disk import SharedDiskDPFS
+from .single_index import SingleIndexFS
+from .static_partition import StaticPartitionFS
+from .swift import SwiftFS
+
+H2_TABLE_ROW = TableRow(
+    architecture="Single Cloud",
+    scalability="Yes",
+    file_access="O(1) or O(d)",
+    mkdir="O(1)",
+    rmdir_move="O(1)",
+    list_="O(1) or O(m)",
+    copy="O(n)",
+)
+
+#: name -> (constructor, Table-1 row), ordered as in the paper's table
+TABLE1_SYSTEMS: dict[str, tuple[type, TableRow]] = {
+    "compressed-snapshot": (CompressedSnapshotFS, CompressedSnapshotFS.table_row),
+    "cas": (CASFS, CASFS.table_row),
+    "consistent-hash": (ConsistentHashFS, ConsistentHashFS.table_row),
+    "swift": (SwiftFS, SwiftFS.table_row),
+    "single-index": (SingleIndexFS, SingleIndexFS.table_row),
+    "static-partition": (StaticPartitionFS, StaticPartitionFS.table_row),
+    "dynamic-partition": (DynamicPartitionFS, DynamicPartitionFS.table_row),
+    "shared-disk-dp": (SharedDiskDPFS, SharedDiskDPFS.table_row),
+    "h2cloud": (H2CloudFS, H2_TABLE_ROW),
+}
+
+
+def make_system(name: str, cluster: SwiftCluster | None = None, account: str = "user"):
+    """Build any Table-1 system (H2Cloud included) on a fresh cluster."""
+    if name == "dropbox":
+        ctor = DropboxLikeFS
+    else:
+        try:
+            ctor = TABLE1_SYSTEMS[name][0]
+        except KeyError:
+            raise KeyError(
+                f"unknown system {name!r}; choose from "
+                f"{sorted(TABLE1_SYSTEMS) + ['dropbox']}"
+            ) from None
+    return ctor(cluster or SwiftCluster.rack_scale(), account=account)
+
+
+__all__ = [
+    "CASFS",
+    "CompressedSnapshotFS",
+    "ConsistentHashFS",
+    "DirTable",
+    "DropboxLikeFS",
+    "DynamicPartitionFS",
+    "EntryRec",
+    "FilesystemAPI",
+    "H2_TABLE_ROW",
+    "IndexProfile",
+    "IndexServer",
+    "IndexedFS",
+    "SharedDiskDPFS",
+    "SingleIndexFS",
+    "StaticPartitionFS",
+    "SwiftFS",
+    "TABLE1_SYSTEMS",
+    "TableRow",
+    "make_system",
+]

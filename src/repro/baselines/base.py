@@ -1,0 +1,180 @@
+"""Shared surface for every filesystem in the comparison (Table 1).
+
+The paper compares nine data structures for hosting a filesystem in
+(or next to) an object storage cloud.  Each gets a concrete
+implementation in this package, all speaking the same API as
+:class:`repro.core.fs.H2CloudFS` so the benchmark harness and the
+model-equivalence tests can drive any of them interchangeably:
+
+    mkdir, makedirs, rmdir, write, read, delete, move, rename, copy,
+    listdir, stat-ish exists/is_dir, walk, drop_caches, pump
+
+Implementations charge the same simulated clock through the same
+object store / container DB / index-server cost models, so measured
+differences come from the *data structure*, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..core.middleware import Entry
+from ..core.namespace import (
+    join,
+    normalize_path,
+    parent_and_base,
+    split_path,
+)
+from ..simcloud.cluster import SwiftCluster
+from ..simcloud.errors import (
+    AlreadyExists,
+    InvalidPath,
+    IsADirectory,
+    NotADirectory,
+    PathNotFound,
+)
+
+__all__ = ["Entry", "FilesystemAPI", "TableRow"]
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of Table 1: the claimed complexity classes.
+
+    Used by the Table-1 benchmark to print the paper's claims next to
+    the empirically fitted exponents.
+    """
+
+    architecture: str
+    scalability: str
+    file_access: str
+    mkdir: str
+    rmdir_move: str
+    list_: str
+    copy: str
+
+
+class FilesystemAPI(abc.ABC):
+    """Abstract filesystem over a simulated cluster."""
+
+    #: short identifier used by benchmarks and reports
+    name: str = "abstract"
+    #: the paper's Table-1 claims for this data structure
+    table_row: TableRow | None = None
+
+    def __init__(self, cluster: SwiftCluster, account: str = "user"):
+        self.cluster = cluster
+        self.account = account
+
+    # ------------------------------------------------------------------
+    # mandatory operations
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def mkdir(self, path: str) -> None: ...
+
+    @abc.abstractmethod
+    def rmdir(self, path: str, recursive: bool = True) -> None: ...
+
+    @abc.abstractmethod
+    def write(self, path: str, data: bytes) -> None: ...
+
+    @abc.abstractmethod
+    def read(self, path: str) -> bytes: ...
+
+    @abc.abstractmethod
+    def delete(self, path: str) -> None: ...
+
+    @abc.abstractmethod
+    def move(self, src: str, dst: str) -> None: ...
+
+    @abc.abstractmethod
+    def copy(self, src: str, dst: str) -> None: ...
+
+    @abc.abstractmethod
+    def listdir(self, path: str = "/", detailed: bool = False) -> list: ...
+
+    @abc.abstractmethod
+    def exists(self, path: str) -> bool: ...
+
+    @abc.abstractmethod
+    def is_dir(self, path: str) -> bool: ...
+
+    # ------------------------------------------------------------------
+    # derived operations (shared behaviour)
+    # ------------------------------------------------------------------
+    def rename(self, src: str, dst: str) -> None:
+        self.move(src, dst)
+
+    def makedirs(self, path: str) -> None:
+        partial = ""
+        for component in split_path(path):
+            partial += "/" + component
+            if self.is_dir(partial):
+                continue
+            if self.exists(partial):
+                raise NotADirectory(partial)
+            self.mkdir(partial)
+
+    def stat(self, path: str):
+        """Lookup only (Fig 13's measured quantity); returns an Entry.
+
+        The default delegates to the system's own existence machinery;
+        subclasses override where their native lookup differs (hash
+        probe, index walk, log scan, ...).
+        """
+        path = normalize_path(path)
+        if path == "/":
+            return Entry(name="/", kind="dir")
+        _, base = parent_and_base(path)
+        if not self.exists(path):
+            raise PathNotFound(path)
+        kind = "dir" if self.is_dir(path) else "file"
+        return Entry(name=base, kind=kind)
+
+    def walk(self, top: str = "/"):
+        """Yield (dirpath, dirnames, filenames) top-down, like os.walk."""
+        entries = self.listdir(top, detailed=True)
+        dirnames = [e.name for e in entries if e.kind == "dir"]
+        filenames = [e.name for e in entries if e.kind != "dir"]
+        yield top, dirnames, filenames
+        for name in dirnames:
+            yield from self.walk(join(top if top != "/" else "/", name))
+
+    def tree_size(self, top: str = "/") -> tuple[int, int]:
+        dirs = files = 0
+        for _, dirnames, filenames in self.walk(top):
+            dirs += len(dirnames)
+            files += len(filenames)
+        return dirs, files
+
+    # ------------------------------------------------------------------
+    # maintenance hooks (no-ops unless a system is asynchronous)
+    # ------------------------------------------------------------------
+    def pump(self) -> None:
+        """Settle any background machinery (default: nothing pending)."""
+
+    def drop_caches(self) -> None:
+        """Forget warm state so the next op pays cold-path costs."""
+
+    # ------------------------------------------------------------------
+    # shared guards
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _guard_move(src: str, dst: str, src_is_dir: bool) -> None:
+        if src == "/":
+            raise InvalidPath(src, "cannot move the root")
+        if src_is_dir and (dst == src or dst.startswith(src + "/")):
+            raise InvalidPath(dst, "destination is inside the moved directory")
+
+    def _require_absent(self, path: str) -> None:
+        if self.exists(path):
+            raise AlreadyExists(path)
+
+    @property
+    def clock(self):
+        return self.cluster.clock
+
+    @property
+    def store(self):
+        return self.cluster.store

@@ -1,0 +1,371 @@
+"""Content Addressable Storage with a multi-layer index (paper §2).
+
+Foundation/Venti-style CAS couples location to content: a file blob
+lives at ``hash(content)``; a directory is a *pointer block* listing
+``(name, kind, hash)`` of its children, itself stored at the hash of
+its serialization (the Camlistore trick the paper cites).  A mutable
+account root pointer anchors the Merkle tree.
+
+Cost profile (Table 1's row, reproduced mechanically):
+
+* **file access O(1)** -- given a content hash, one GET
+  (:meth:`read_by_hash`); path-based access walks pointer blocks O(d);
+* **LIST O(m)** -- one pointer block holds the whole child list;
+* **every mutation O(N)** -- pointer blocks are immutable, so a change
+  re-hashes the ancestor chain *and* (the multi-layer index the paper
+  highlights) rewrites the account-wide flat index object, whose size
+  is proportional to the number of entries in the filesystem;
+* **COPY O(N)** -- but note the data blobs are deduplicated for free:
+  copying a tree moves zero file bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..core.middleware import Entry
+from ..core.namespace import normalize_path, parent_and_base, split_path
+from ..simcloud.cluster import SwiftCluster
+from ..simcloud.errors import (
+    AlreadyExists,
+    DirectoryNotEmpty,
+    InvalidPath,
+    IsADirectory,
+    NotADirectory,
+    ObjectNotFound,
+    PathNotFound,
+)
+from .base import FilesystemAPI, TableRow
+
+
+def _hash(data: bytes) -> str:
+    return hashlib.sha1(data).hexdigest()
+
+
+class CASFS(FilesystemAPI):
+    """Content-addressed filesystem with pointer blocks + flat index."""
+
+    name = "cas"
+    table_row = TableRow(
+        architecture="Single Cloud",
+        scalability="Yes",
+        file_access="O(1)",
+        mkdir="O(N)",
+        rmdir_move="O(N)",
+        list_="O(m)",
+        copy="O(N)",
+    )
+
+    def __init__(self, cluster: SwiftCluster, account: str = "user"):
+        super().__init__(cluster, account)
+        empty = self._put_dir_block({})
+        self.store.put(self._root_key(), empty.encode("ascii"))
+        self._rewrite_index({})
+
+    # ------------------------------------------------------------------
+    # object keys
+    # ------------------------------------------------------------------
+    def _root_key(self) -> str:
+        return f"cas:root:{self.account}"
+
+    def _index_key(self) -> str:
+        return f"cas:index:{self.account}"
+
+    @staticmethod
+    def _blob_key(digest: str) -> str:
+        return f"cas:b:{digest}"
+
+    @staticmethod
+    def _block_key(digest: str) -> str:
+        return f"cas:p:{digest}"
+
+    # ------------------------------------------------------------------
+    # pointer blocks
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _serialize_block(entries: dict[str, tuple[str, str]]) -> bytes:
+        from ..core.formatter import escape
+
+        lines = [
+            f"{escape(name)}|{kind}|{digest}"
+            for name, (kind, digest) in sorted(entries.items())
+        ]
+        return ("\n".join(lines) + "\n" if lines else "").encode("ascii")
+
+    @staticmethod
+    def _parse_block(data: bytes) -> dict[str, tuple[str, str]]:
+        from ..core.formatter import unescape
+
+        entries: dict[str, tuple[str, str]] = {}
+        for line in data.decode("ascii").splitlines():
+            name, kind, digest = line.split("|")
+            entries[unescape(name)] = (kind, digest)
+        return entries
+
+    def _put_dir_block(self, entries: dict[str, tuple[str, str]]) -> str:
+        data = self._serialize_block(entries)
+        digest = _hash(data)
+        key = self._block_key(digest)
+        if not self.store.exists(key):  # content addressing dedups blocks
+            self.store.put(key, data)
+        return digest
+
+    def _get_dir_block(self, digest: str) -> dict[str, tuple[str, str]]:
+        return self._parse_block(self.store.get(self._block_key(digest)).data)
+
+    def _root_digest(self) -> str:
+        return self.store.get(self._root_key()).data.decode("ascii")
+
+    # ------------------------------------------------------------------
+    # the multi-layer flat index: rewritten on EVERY mutation -- O(N)
+    # ------------------------------------------------------------------
+    def _collect_tree(
+        self, digest: str, base: str, out: dict[str, tuple[str, str]]
+    ) -> None:
+        block = self._get_dir_block(digest)
+        # Per-entry traversal work: the index rebuild touches every
+        # entry in the filesystem, which is the O(N) the paper charges
+        # this data structure for.
+        self.clock.advance(len(block) * self.cluster.latency.db_row_us)
+        for name, (kind, child_digest) in block.items():
+            path = (base.rstrip("/") or "") + "/" + name
+            out[path] = (kind, child_digest)
+            if kind == "dir":
+                self._collect_tree(child_digest, path, out)
+
+    def _rewrite_index(self, tree: dict[str, tuple[str, str]]) -> None:
+        from ..core.formatter import escape
+
+        lines = [
+            f"{escape(path)}|{kind}|{digest}"
+            for path, (kind, digest) in sorted(tree.items())
+        ]
+        # Rebuilding the index means re-writing one row per entry in
+        # the filesystem -- the dominant O(N) term of CAS mutations.
+        self.clock.advance(len(lines) * self.cluster.latency.db_write_us)
+        self.store.put(
+            self._index_key(), ("\n".join(lines) + "\n").encode("ascii")
+        )
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def _walk(self, path: str) -> tuple[str, str]:
+        """(kind, digest) of ``path``; raises precise resolution errors."""
+        path = normalize_path(path)
+        digest = self._root_digest()
+        if path == "/":
+            return "dir", digest
+        kind = "dir"
+        probe = ""
+        for component in split_path(path):
+            if kind != "dir":
+                raise NotADirectory(probe)
+            probe += "/" + component
+            entries = self._get_dir_block(digest)
+            if component not in entries:
+                raise PathNotFound(probe)
+            kind, digest = entries[component]
+        return kind, digest
+
+    def _try_walk(self, path: str):
+        try:
+            return self._walk(path)
+        except (PathNotFound, NotADirectory):
+            return None
+
+    def _walk_dir(self, path: str) -> str:
+        """Digest of a path that must resolve to a directory."""
+        kind, digest = self._walk(path)
+        if kind != "dir":
+            raise NotADirectory(path)
+        return digest
+
+    # ------------------------------------------------------------------
+    # the Merkle rebuild of one mutation
+    # ------------------------------------------------------------------
+    def _rebuild(self, path: str, mutate) -> None:
+        """Apply ``mutate(parent_entries, base)`` and re-hash to the root.
+
+        The ancestor chain gets new pointer blocks (O(d) small PUTs);
+        then the flat index is rewritten, the O(N) cost that dominates.
+        """
+        path = normalize_path(path)
+        components = split_path(path)
+        # Load the blocks along the path (also validates the chain).
+        digests = [self._root_digest()]
+        blocks = [self._get_dir_block(digests[0])]
+        probe = ""
+        for component in components[:-1]:
+            probe += "/" + component
+            entries = blocks[-1]
+            if component not in entries:
+                raise PathNotFound(probe)
+            kind, digest = entries[component]
+            if kind != "dir":
+                raise NotADirectory(probe)
+            digests.append(digest)
+            blocks.append(self._get_dir_block(digest))
+        mutate(blocks[-1], components[-1])
+        # Re-hash bottom-up.
+        child_digest = self._put_dir_block(blocks[-1])
+        for level in range(len(blocks) - 2, -1, -1):
+            name = components[level]
+            blocks[level][name] = ("dir", child_digest)
+            child_digest = self._put_dir_block(blocks[level])
+        self.store.put(self._root_key(), child_digest.encode("ascii"))
+        tree: dict[str, tuple[str, str]] = {}
+        self._collect_tree(child_digest, "/", tree)
+        self._rewrite_index(tree)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        if normalize_path(path) == "/":
+            raise AlreadyExists("/")
+        empty = self._put_dir_block({})
+
+        def mutate(entries, base):
+            if base in entries:
+                raise AlreadyExists(path)
+            entries[base] = ("dir", empty)
+
+        self._rebuild(path, mutate)
+
+    def write(self, path: str, data: bytes) -> None:
+        digest = _hash(data)
+        key = self._blob_key(digest)
+        if not self.store.exists(key):  # free deduplication
+            self.store.put(key, data)
+
+        def mutate(entries, base):
+            if base in entries and entries[base][0] == "dir":
+                raise IsADirectory(path)
+            entries[base] = ("file", digest)
+
+        self._rebuild(path, mutate)
+
+    def read(self, path: str) -> bytes:
+        kind, digest = self._walk(path)
+        if kind == "dir":
+            raise IsADirectory(path)
+        return self.store.get(self._blob_key(digest)).data
+
+    def read_by_hash(self, digest: str) -> bytes:
+        """The O(1) access CAS is famous for: one GET by content hash."""
+        try:
+            return self.store.get(self._blob_key(digest)).data
+        except ObjectNotFound:
+            raise PathNotFound(f"<blob {digest}>") from None
+
+    def hash_of(self, path: str) -> str:
+        kind, digest = self._walk(path)
+        if kind == "dir":
+            raise IsADirectory(path)
+        return digest
+
+    def delete(self, path: str) -> None:
+        def mutate(entries, base):
+            if base not in entries:
+                raise PathNotFound(path)
+            if entries[base][0] == "dir":
+                raise IsADirectory(path)
+            del entries[base]
+
+        self._rebuild(path, mutate)
+
+    def rmdir(self, path: str, recursive: bool = True) -> None:
+        path = normalize_path(path)
+        if path == "/":
+            raise InvalidPath(path, "cannot remove the root")
+        kind, digest = self._walk(path)
+        if kind != "dir":
+            raise NotADirectory(path)
+        if not recursive and self._get_dir_block(digest):
+            raise DirectoryNotEmpty(path)
+
+        def mutate(entries, base):
+            del entries[base]
+
+        self._rebuild(path, mutate)
+
+    def move(self, src: str, dst: str) -> None:
+        src, dst = normalize_path(src), normalize_path(dst)
+        if src == "/":
+            raise InvalidPath(src, "cannot move the root")
+        src_kind, src_digest = self._walk(src)
+        parent, _ = parent_and_base(dst)
+        self._walk_dir(parent)  # precise destination-parent errors
+        if self._try_walk(dst) is not None:
+            raise AlreadyExists(dst)
+        self._guard_move(src, dst, src_kind == "dir")
+
+        def remove(entries, base):
+            del entries[base]
+
+        self._rebuild(src, remove)
+
+        def insert(entries, base):
+            entries[base] = (src_kind, src_digest)
+
+        # The subtree's blocks are content-addressed and immutable, so a
+        # MOVE re-links one pointer -- all the cost is the index rewrite.
+        self._rebuild(dst, insert)
+
+    def copy(self, src: str, dst: str) -> None:
+        src, dst = normalize_path(src), normalize_path(dst)
+        if src != "/":
+            src_info = self._try_walk(src)
+            parent, _ = parent_and_base(src)
+            self._walk_dir(parent)
+            if src_info is None:
+                raise PathNotFound(src)
+        parent, _ = parent_and_base(dst)
+        self._walk_dir(parent)
+        if self._try_walk(dst) is not None:
+            raise AlreadyExists(dst)
+        if src == "/":
+            raise InvalidPath(src, "cannot copy the root onto a child")
+        kind, digest = src_info
+
+        def insert(entries, base):
+            entries[base] = (kind, digest)
+
+        # Content addressing makes COPY pure metadata: blobs are shared.
+        self._rebuild(dst, insert)
+
+    def listdir(self, path: str = "/", detailed: bool = False) -> list:
+        kind, digest = self._walk(path)
+        if kind != "dir":
+            raise NotADirectory(path)
+        entries = self._get_dir_block(digest)
+        names = sorted(entries)
+        if not detailed:
+            return names
+        out = []
+        for name in names:
+            child_kind, child_digest = entries[name]
+            if child_kind == "dir":
+                out.append(Entry(name=name, kind="dir"))
+            else:
+                info = self.store.head(self._blob_key(child_digest))
+                out.append(
+                    Entry(name=name, kind="file", size=info.size, etag=child_digest)
+                )
+        return out
+
+    def exists(self, path: str) -> bool:
+        return self._try_walk(path) is not None
+
+    def is_dir(self, path: str) -> bool:
+        info = self._try_walk(path)
+        return info is not None and info[0] == "dir"
+
+    def stat(self, path: str) -> Entry:
+        path = normalize_path(path)
+        if path == "/":
+            return Entry(name="/", kind="dir")
+        kind, digest = self._walk(path)
+        _, base = parent_and_base(path)
+        return Entry(name=base, kind=kind, etag=digest if kind == "file" else "")

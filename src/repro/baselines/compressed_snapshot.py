@@ -1,0 +1,373 @@
+"""Compressed Snapshots: the Cumulus baseline (paper §2, Figure 1a).
+
+Cumulus [Vrable et al. 2009] backs a filesystem up to an object store
+by packing file contents into TAR-like *segments* and flattening the
+directory tree into a linear *metadata log*.  We maintain (not just
+back up) a filesystem on that layout, which is exactly what exposes
+its weakness:
+
+* the metadata log is an append-only chain of log-chunk objects; the
+  *current* state of any path is whatever the latest relevant entry
+  says, so **every read-side operation must scan the whole log**:
+  file access, LIST, and the existence checks inside RMDIR/MOVE/COPY
+  are all O(N) (Table 1);
+* appends are cheap -- MKDIR and WRITE are O(1) amortised (read-modify-
+  write of the tail chunk, new segment every ~4 MB);
+* RMDIR appends a single subtree tombstone, MOVE re-points entries at
+  the same segment slices -- but both must first scan to discover the
+  members, keeping them O(N).
+
+:meth:`CompressedSnapshotFS.compact` is the segment-cleaning pass a
+real Cumulus deployment runs to shed superseded entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.middleware import Entry
+from ..core.namespace import normalize_path, parent_and_base, split_path
+from ..simcloud.cluster import SwiftCluster
+from ..simcloud.errors import (
+    AlreadyExists,
+    DirectoryNotEmpty,
+    InvalidPath,
+    IsADirectory,
+    NotADirectory,
+    ObjectNotFound,
+    PathNotFound,
+)
+from .base import FilesystemAPI, TableRow
+
+LOG_CHUNK_ENTRIES = 128  # entries per metadata-log object
+SEGMENT_TARGET_BYTES = 4 * 1024 * 1024  # Cumulus packs ~4 MB segments
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One line of the metadata log."""
+
+    op: str  # "file" | "dir" | "del" | "deldir"
+    path: str
+    segment: int = -1
+    offset: int = 0
+    length: int = 0
+
+    def to_line(self) -> str:
+        from ..core.formatter import escape
+
+        return f"{self.op}|{escape(self.path)}|{self.segment}|{self.offset}|{self.length}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "LogEntry":
+        from ..core.formatter import unescape
+
+        op, path, segment, offset, length = line.split("|")
+        return cls(op, unescape(path), int(segment), int(offset), int(length))
+
+
+class CompressedSnapshotFS(FilesystemAPI):
+    """A filesystem maintained as a Cumulus-style compressed snapshot."""
+
+    name = "compressed-snapshot"
+    table_row = TableRow(
+        architecture="Single Cloud",
+        scalability="Yes",
+        file_access="O(N)",
+        mkdir="O(1)",
+        rmdir_move="O(N)",
+        list_="O(N)",
+        copy="O(N)",
+    )
+
+    def __init__(self, cluster: SwiftCluster, account: str = "user"):
+        super().__init__(cluster, account)
+        self._log_chunks = 0  # number of sealed+tail chunk objects
+        self._tail_entries = 0  # entries in the tail chunk
+        self._segments = 0
+        self._segment_used = 0
+
+    # ------------------------------------------------------------------
+    # object names
+    # ------------------------------------------------------------------
+    def _log_key(self, i: int) -> str:
+        return f"cumulus:{self.account}:log:{i:06d}"
+
+    def _seg_key(self, i: int) -> str:
+        return f"cumulus:{self.account}:seg:{i:06d}"
+
+    # ------------------------------------------------------------------
+    # the metadata log
+    # ------------------------------------------------------------------
+    def _append(self, entry: LogEntry) -> None:
+        """O(1) amortised: read-modify-write of the tail log chunk."""
+        if self._log_chunks == 0 or self._tail_entries >= LOG_CHUNK_ENTRIES:
+            self._log_chunks += 1
+            self._tail_entries = 0
+            data = b""
+        else:
+            data = self.store.get(self._log_key(self._log_chunks - 1)).data
+        data += (entry.to_line() + "\n").encode("ascii")
+        self.store.put(self._log_key(self._log_chunks - 1), data)
+        self._tail_entries += 1
+
+    def _scan(self) -> dict[str, LogEntry]:
+        """Replay the whole metadata log: the O(N) full scan.
+
+        Returns the live view {path: newest entry}.  Tombstones ("del")
+        and subtree tombstones ("deldir") erase earlier entries; later
+        entries may resurrect paths.
+        """
+        live: dict[str, LogEntry] = {}
+        for i in range(self._log_chunks):
+            data = self.store.get(self._log_key(i)).data
+            lines = data.decode("ascii").splitlines()
+            # Parsing and replaying each entry is real per-row work on
+            # top of the GET: this is what makes the scan O(N) even
+            # while the chunks are small enough to transfer quickly.
+            self.clock.advance(len(lines) * self.cluster.latency.db_row_us)
+            for line in lines:
+                entry = LogEntry.from_line(line)
+                if entry.op == "del":
+                    live.pop(entry.path, None)
+                elif entry.op == "deldir":
+                    prefix = entry.path.rstrip("/") + "/"
+                    live = {
+                        p: e
+                        for p, e in live.items()
+                        if p != entry.path and not p.startswith(prefix)
+                    }
+                else:
+                    live[entry.path] = entry
+        return live
+
+    # ------------------------------------------------------------------
+    # segments
+    # ------------------------------------------------------------------
+    def _pack(self, data: bytes) -> tuple[int, int]:
+        """Append content to the open segment; returns (segment, offset)."""
+        if self._segments == 0 or self._segment_used + len(data) > SEGMENT_TARGET_BYTES:
+            self._segments += 1
+            self._segment_used = 0
+            current = b""
+        else:
+            current = self.store.get(self._seg_key(self._segments - 1)).data
+        offset = len(current)
+        self.store.put(self._seg_key(self._segments - 1), current + data)
+        self._segment_used = offset + len(data)
+        return self._segments - 1, offset
+
+    # ------------------------------------------------------------------
+    # shared resolution on a scanned view
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_parent(live: dict[str, LogEntry], path: str) -> None:
+        probe = ""
+        for component in split_path(path)[:-1]:
+            probe += "/" + component
+            entry = live.get(probe)
+            if entry is None:
+                raise PathNotFound(probe)
+            if entry.op != "dir":
+                raise NotADirectory(probe)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        path = normalize_path(path)
+        if path == "/":
+            raise AlreadyExists(path)
+        live = self._scan()
+        self._check_parent(live, path)
+        if path in live:
+            raise AlreadyExists(path)
+        self._append(LogEntry("dir", path))
+
+    def mkdir_unchecked(self, path: str) -> None:
+        """The Table-1 O(1) MKDIR: a blind log append.
+
+        Cumulus is a backup tool -- the writer already knows the tree,
+        so snapshot construction appends without scanning.  The checked
+        :meth:`mkdir` above adds POSIX error semantics at O(N) scan
+        cost; the complexity benchmark measures this append path.
+        """
+        self._append(LogEntry("dir", normalize_path(path)))
+
+    def write(self, path: str, data: bytes) -> None:
+        path = normalize_path(path)
+        live = self._scan()
+        self._check_parent(live, path)
+        existing = live.get(path)
+        if existing is not None and existing.op == "dir":
+            raise IsADirectory(path)
+        segment, offset = self._pack(data)
+        self._append(LogEntry("file", path, segment, offset, len(data)))
+
+    def read(self, path: str) -> bytes:
+        path = normalize_path(path)
+        live = self._scan()
+        self._check_parent(live, path)
+        entry = live.get(path)
+        if entry is None:
+            raise PathNotFound(path)
+        if entry.op == "dir":
+            raise IsADirectory(path)
+        segment = self.store.get(self._seg_key(entry.segment)).data
+        return segment[entry.offset : entry.offset + entry.length]
+
+    def delete(self, path: str) -> None:
+        path = normalize_path(path)
+        live = self._scan()
+        self._check_parent(live, path)
+        entry = live.get(path)
+        if entry is None:
+            raise PathNotFound(path)
+        if entry.op == "dir":
+            raise IsADirectory(path)
+        self._append(LogEntry("del", path))
+
+    def rmdir(self, path: str, recursive: bool = True) -> None:
+        path = normalize_path(path)
+        if path == "/":
+            raise InvalidPath(path, "cannot remove the root")
+        live = self._scan()
+        self._check_parent(live, path)
+        entry = live.get(path)
+        if entry is None:
+            raise PathNotFound(path)
+        if entry.op != "dir":
+            raise NotADirectory(path)
+        prefix = path + "/"
+        if not recursive and any(p.startswith(prefix) for p in live):
+            raise DirectoryNotEmpty(path)
+        self._append(LogEntry("deldir", path))
+
+    def move(self, src: str, dst: str) -> None:
+        src, dst = normalize_path(src), normalize_path(dst)
+        if src == "/":
+            raise InvalidPath(src, "cannot move the root")
+        live = self._scan()
+        self._check_parent(live, src)
+        src_entry = live.get(src)
+        if src_entry is None:
+            raise PathNotFound(src)
+        self._check_parent(live, dst)
+        if dst in live:
+            raise AlreadyExists(dst)
+        self._guard_move(src, dst, src_entry.op == "dir")
+        # Re-point entries at the same segment slices: metadata-only.
+        self._append(LogEntry("deldir" if src_entry.op == "dir" else "del", src))
+        for path, entry in sorted(live.items()):
+            if path == src or (src_entry.op == "dir" and path.startswith(src + "/")):
+                new_path = dst + path[len(src):]
+                self._append(
+                    LogEntry(entry.op, new_path, entry.segment, entry.offset, entry.length)
+                )
+
+    def copy(self, src: str, dst: str) -> None:
+        src, dst = normalize_path(src), normalize_path(dst)
+        live = self._scan()
+        if src != "/":
+            self._check_parent(live, src)
+            if src not in live:
+                raise PathNotFound(src)
+        self._check_parent(live, dst)
+        if dst in live:
+            raise AlreadyExists(dst)
+        src_entry = live.get(src)
+        if src_entry is not None and src_entry.op == "file":
+            self._append(
+                LogEntry("file", dst, src_entry.segment, src_entry.offset, src_entry.length)
+            )
+            return
+        if src == "/":
+            raise InvalidPath(src, "cannot copy the root onto a child")
+        for path, entry in sorted(live.items()):
+            if path == src or path.startswith(src + "/"):
+                new_path = dst + path[len(src):]
+                self._append(
+                    LogEntry(entry.op, new_path, entry.segment, entry.offset, entry.length)
+                )
+
+    def listdir(self, path: str = "/", detailed: bool = False) -> list:
+        path = normalize_path(path)
+        live = self._scan()
+        if path != "/":
+            self._check_parent(live, path)
+            entry = live.get(path)
+            if entry is None:
+                raise PathNotFound(path)
+            if entry.op != "dir":
+                raise NotADirectory(path)
+        prefix = path.rstrip("/") + "/"
+        children: dict[str, LogEntry | None] = {}
+        for p, entry in live.items():
+            if not p.startswith(prefix) or p == path:
+                continue
+            head = p[len(prefix):].split("/", 1)[0]
+            if "/" in p[len(prefix):]:
+                children.setdefault(head, None)  # implied directory
+            else:
+                children[head] = entry
+        names = sorted(children)
+        if not detailed:
+            return names
+        out = []
+        for name in names:
+            entry = children[name]
+            if entry is None or entry.op == "dir":
+                out.append(Entry(name=name, kind="dir"))
+            else:
+                out.append(Entry(name=name, kind="file", size=entry.length))
+        return out
+
+    def exists(self, path: str) -> bool:
+        path = normalize_path(path)
+        if path == "/":
+            return True
+        return path in self._scan()
+
+    def is_dir(self, path: str) -> bool:
+        path = normalize_path(path)
+        if path == "/":
+            return True
+        entry = self._scan().get(path)
+        return entry is not None and entry.op == "dir"
+
+    # ------------------------------------------------------------------
+    # segment cleaning
+    # ------------------------------------------------------------------
+    def compact(self) -> tuple[int, int]:
+        """Rewrite the snapshot without dead entries/bytes.
+
+        Returns (log chunks before, log chunks after).  This is
+        Cumulus's cleaner: it bounds the O(N) scans after heavy churn.
+        """
+        live = self._scan()
+        before = self._log_chunks
+        # Stage live content first: new segments reuse the key range.
+        contents: dict[str, bytes] = {}
+        for path, entry in live.items():
+            if entry.op == "file":
+                segment = self.store.get(self._seg_key(entry.segment)).data
+                contents[path] = segment[entry.offset : entry.offset + entry.length]
+        old_log, old_segments = self._log_chunks, self._segments
+        for i in range(old_log):
+            self.store.delete(self._log_key(i), missing_ok=True)
+        for i in range(old_segments):
+            self.store.delete(self._seg_key(i), missing_ok=True)
+        self._log_chunks = 0
+        self._tail_entries = 0
+        self._segments = 0
+        self._segment_used = 0
+        for path in sorted(live):
+            entry = live[path]
+            if entry.op == "dir":
+                self._append(LogEntry("dir", path))
+            else:
+                segment, offset = self._pack(contents[path])
+                self._append(
+                    LogEntry("file", path, segment, offset, len(contents[path]))
+                )
+        return before, self._log_chunks

@@ -1,0 +1,264 @@
+"""Plain Consistent Hash: the "pseudo filesystem" (paper §2, Fig 1b).
+
+Files live at ``hash(full path)`` on the ring; directories are empty
+marker objects whose key carries a trailing slash (exactly the pseudo-
+directory convention OpenStack Swift documents).  There is **no index
+whatsoever**, so:
+
+* file access / MKDIR are O(1) -- one hash, one object op (Table 1);
+* any operation that must *discover* a directory's members can only do
+  so by enumerating the entire key space (:meth:`ObjectStore.scan`),
+  which is the O(N) tax on LIST and COPY;
+* RMDIR/MOVE then pay one object mutation per member, the O(n) term
+  that dominates once per-object work (milliseconds) dwarfs per-key
+  scanning (microseconds).
+"""
+
+from __future__ import annotations
+
+from ..core.middleware import Entry
+from ..core.namespace import normalize_path, parent_and_base, split_path
+from ..simcloud.cluster import SwiftCluster
+from ..simcloud.errors import (
+    AlreadyExists,
+    DirectoryNotEmpty,
+    InvalidPath,
+    IsADirectory,
+    NotADirectory,
+    ObjectNotFound,
+    PathNotFound,
+)
+from .base import FilesystemAPI, TableRow
+
+
+class ConsistentHashFS(FilesystemAPI):
+    """CH pseudo-filesystem over the flat object store."""
+
+    name = "consistent-hash"
+    table_row = TableRow(
+        architecture="Single Cloud",
+        scalability="Yes",
+        file_access="O(1)",
+        mkdir="O(1)",
+        rmdir_move="O(n)",
+        list_="O(N)",
+        copy="O(N)",
+    )
+
+    def __init__(self, cluster: SwiftCluster, account: str = "user"):
+        super().__init__(cluster, account)
+
+    # ------------------------------------------------------------------
+    # key scheme
+    # ------------------------------------------------------------------
+    def _file_key(self, path: str) -> str:
+        return f"ch:{self.account}:{path}"
+
+    def _dir_key(self, path: str) -> str:
+        return f"ch:{self.account}:{path.rstrip('/')}/"
+
+    def _prefix(self, path: str = "/") -> str:
+        base = f"ch:{self.account}:"
+        return base + (path.rstrip("/") + "/" if path != "/" else "/")
+
+    # ------------------------------------------------------------------
+    # probes (success path O(1); precise errors walk the chain)
+    # ------------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        path = normalize_path(path)
+        if path == "/":
+            return True
+        return self.store.exists(self._file_key(path)) or self.store.exists(
+            self._dir_key(path)
+        )
+
+    def is_dir(self, path: str) -> bool:
+        path = normalize_path(path)
+        return path == "/" or self.store.exists(self._dir_key(path))
+
+    def _require_parent(self, path: str) -> tuple[str, str]:
+        parent, base = parent_and_base(normalize_path(path))
+        if parent == "/" or self.store.exists(self._dir_key(parent)):
+            return parent, base
+        # Slow path: diagnose which component broke, like a real walk.
+        probe = ""
+        for component in split_path(parent):
+            probe += "/" + component
+            if self.store.exists(self._file_key(probe)):
+                raise NotADirectory(probe)
+            if not self.store.exists(self._dir_key(probe)):
+                raise PathNotFound(probe)
+        raise PathNotFound(parent)  # pragma: no cover - defensive
+
+    def _require_absent(self, path: str) -> None:
+        if self.exists(path):
+            raise AlreadyExists(path)
+
+    # ------------------------------------------------------------------
+    # O(1) operations
+    # ------------------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        path = normalize_path(path)
+        if path == "/":
+            raise AlreadyExists(path)
+        self._require_parent(path)
+        self._require_absent(path)
+        self.store.put(self._dir_key(path), b"", meta={"dir": "1"})
+
+    def write(self, path: str, data: bytes) -> None:
+        path = normalize_path(path)
+        self._require_parent(path)
+        if self.store.exists(self._dir_key(path)):
+            raise IsADirectory(path)
+        self.store.put(self._file_key(path), data)
+
+    def read(self, path: str) -> bytes:
+        path = normalize_path(path)
+        self._require_parent(path)
+        if self.store.exists(self._dir_key(path)):
+            raise IsADirectory(path)
+        if not self.store.exists(self._file_key(path)):
+            raise PathNotFound(path)
+        return self.store.get(self._file_key(path)).data
+
+    def delete(self, path: str) -> None:
+        path = normalize_path(path)
+        self._require_parent(path)
+        if self.store.exists(self._dir_key(path)):
+            raise IsADirectory(path)
+        if not self.store.exists(self._file_key(path)):
+            raise PathNotFound(path)
+        self.store.delete(self._file_key(path))
+
+    def stat(self, path: str) -> Entry:
+        """One hash + one HEAD: the flat store's O(1) file access."""
+        path = normalize_path(path)
+        if path == "/":
+            return Entry(name="/", kind="dir")
+        _, base = parent_and_base(path)
+        try:
+            info = self.store.head(self._file_key(path))
+            return Entry(name=base, kind="file", size=info.size, etag=info.etag)
+        except ObjectNotFound:
+            if self.store.exists(self._dir_key(path)):
+                return Entry(name=base, kind="dir")
+            self._require_parent(path)
+            raise PathNotFound(path) from None
+
+    # ------------------------------------------------------------------
+    # member discovery: the O(N) scan
+    # ------------------------------------------------------------------
+    def _members(self, path: str) -> list[str]:
+        """Every key under ``path`` -- costs one full key-space scan."""
+        return self.store.scan(self._prefix(path))
+
+    def listdir(self, path: str = "/", detailed: bool = False) -> list:
+        path = normalize_path(path)
+        if path != "/":
+            self._require_parent(path)
+            if self.store.exists(self._file_key(path)):
+                raise NotADirectory(path)
+            if not self.store.exists(self._dir_key(path)):
+                raise PathNotFound(path)
+        prefix = self._prefix(path)
+        children: dict[str, str] = {}
+        for key in self._members(path):
+            rest = key[len(prefix):]
+            if not rest:
+                continue  # the directory's own marker
+            head = rest.split("/", 1)[0]
+            kind = "dir" if "/" in rest else "file"
+            if kind == "dir" or head not in children:
+                children[head] = (
+                    "dir" if kind == "dir" or children.get(head) == "dir" else "file"
+                )
+        names = sorted(children)
+        if not detailed:
+            return names
+        entries = []
+
+        def head_entry(name: str) -> Entry:
+            if children[name] == "dir":
+                return Entry(name=name, kind="dir")
+            full = path.rstrip("/") + "/" + name
+            info = self.store.head(self._file_key(full))
+            return Entry(name=name, kind="file", size=info.size, etag=info.etag)
+
+        return self.store.parallel([lambda n=n: head_entry(n) for n in names])
+
+    # ------------------------------------------------------------------
+    # directory mutations: per-member object work
+    # ------------------------------------------------------------------
+    def rmdir(self, path: str, recursive: bool = True) -> None:
+        path = normalize_path(path)
+        if path == "/":
+            raise InvalidPath(path, "cannot remove the root")
+        self._require_parent(path)
+        if self.store.exists(self._file_key(path)):
+            raise NotADirectory(path)
+        if not self.store.exists(self._dir_key(path)):
+            raise PathNotFound(path)
+        members = self._members(path)
+        if not recursive and members:
+            raise DirectoryNotEmpty(path)
+        lanes = self.store.latency.data_concurrency
+        self.store.parallel(
+            [lambda k=k: self.store.delete(k, missing_ok=True) for k in members],
+            lanes=lanes,
+        )
+        self.store.delete(self._dir_key(path), missing_ok=True)
+
+    def move(self, src: str, dst: str) -> None:
+        src, dst = normalize_path(src), normalize_path(dst)
+        if src == "/":
+            raise InvalidPath(src, "cannot move the root")
+        self._require_parent(src)
+        src_is_dir = self.store.exists(self._dir_key(src))
+        src_is_file = self.store.exists(self._file_key(src))
+        if not src_is_dir and not src_is_file:
+            raise PathNotFound(src)
+        self._require_parent(dst)
+        self._require_absent(dst)
+        self._guard_move(src, dst, src_is_dir)
+        if src_is_file:
+            self.store.copy(self._file_key(src), self._file_key(dst))
+            self.store.delete(self._file_key(src))
+            return
+        # Every object under the directory must be rewritten: its key
+        # embeds the full path.  This is the O(n) MOVE of Table 1.
+        members = self._members(src)
+        src_prefix, dst_prefix = self._prefix(src), self._prefix(dst)
+        lanes = self.store.latency.data_concurrency
+
+        def relocate(key: str) -> None:
+            self.store.copy(key, dst_prefix + key[len(src_prefix):])
+            self.store.delete(key)
+
+        self.store.parallel([lambda k=k: relocate(k) for k in members], lanes=lanes)
+        self.store.put(self._dir_key(dst), b"", meta={"dir": "1"})
+        self.store.delete(self._dir_key(src), missing_ok=True)
+
+    def copy(self, src: str, dst: str) -> None:
+        src, dst = normalize_path(src), normalize_path(dst)
+        if src != "/":
+            self._require_parent(src)
+            if not self.exists(src):
+                raise PathNotFound(src)
+        self._require_parent(dst)
+        self._require_absent(dst)
+        if self.store.exists(self._file_key(src)):
+            self.store.copy(self._file_key(src), self._file_key(dst))
+            return
+        if src == "/":
+            raise InvalidPath(src, "cannot copy the root onto a child")
+        members = self._members(src)
+        src_prefix, dst_prefix = self._prefix(src), self._prefix(dst)
+        lanes = self.store.latency.data_concurrency
+        self.store.parallel(
+            [
+                lambda k=k: self.store.copy(k, dst_prefix + k[len(src_prefix):])
+                for k in members
+            ],
+            lanes=lanes,
+        )
+        self.store.put(self._dir_key(dst), b"", meta={"dir": "1"})

@@ -1,0 +1,114 @@
+"""Dynamic Partition: Ceph/Panasas-style metadata, and the Dropbox model.
+
+Multiple index servers share the directory tree; a placement map
+assigns each directory to a server, new directories co-locate with
+their parent (so most resolutions stay on one server -- the origin of
+Dropbox's "constant with fluctuations" file-access times in Fig 13),
+and :meth:`DynamicPartitionFS.rebalance` migrates the busiest
+subtrees to the coldest server, off the client path.
+
+:class:`DropboxLikeFS` is the same data structure wearing the latency
+profile the paper measured on Dropbox (§5.3): per-request service cost
+around 80 ms and replicated commits around 80 ms, landing MKDIR in the
+150-200 ms band, MOVE/RMDIR flat in n, LIST within a whisker of
+H2Cloud, and file access roughly constant and above H2's 61 ms
+average.  The paper infers Dropbox uses DP precisely because its
+measurements match this family's complexity profile.
+"""
+
+from __future__ import annotations
+
+from ..simcloud.cluster import SwiftCluster
+from .base import TableRow
+from .index_server import IndexProfile
+from .indexed_fs import ROOT_ID, IndexedFS
+
+
+class DynamicPartitionFS(IndexedFS):
+    """Two clouds: a dynamically partitioned metadata tier + object cloud."""
+
+    name = "dynamic-partition"
+    profile = IndexProfile.ceph_mds()
+    table_row = TableRow(
+        architecture="Two Clouds",
+        scalability="Yes",
+        file_access="O(d)",
+        mkdir="O(1)",
+        rmdir_move="O(1)",
+        list_="O(m)",
+        copy="O(n)",
+    )
+
+    def __init__(
+        self,
+        cluster: SwiftCluster,
+        account: str = "user",
+        index_servers: int = 4,
+        rebalance_every: int = 256,
+    ):
+        self.rebalance_every = rebalance_every
+        super().__init__(cluster, account, index_servers=index_servers)
+
+    # ------------------------------------------------------------------
+    # placement: inherit the parent's server; rebalance fixes hot spots
+    # ------------------------------------------------------------------
+    def _initial_server(self, parent_id, path: str) -> int:
+        if parent_id is None:
+            return 0
+        return self.table.placement_of(parent_id)
+
+    def _mutation_overhead(self) -> None:
+        if self.rebalance_every and self.mutations and (
+            self.mutations % self.rebalance_every == 0
+        ):
+            self.background(self.rebalance)
+
+    # ------------------------------------------------------------------
+    # load balancing
+    # ------------------------------------------------------------------
+    def rebalance(self) -> int:
+        """Migrate directories from the fullest to the emptiest server.
+
+        A deliberately simple greedy policy (Ceph's is fancier): move
+        directory tables one by one until the spread is within 2x.
+        Returns the number of directories migrated.
+        """
+        moved = 0
+        for _ in range(1024):  # safety bound
+            counts = self.table.dirs_by_server()
+            hot = max(counts, key=counts.get)
+            cold = min(counts, key=counts.get)
+            if counts[hot] <= 2 * max(1, counts[cold]):
+                break
+            candidates = [
+                d for d in list(self.table.servers[hot].tables)
+                if d != ROOT_ID and self.table.placement_of(d) == hot
+            ]
+            if not candidates:
+                break
+            victim = candidates[0]
+            table = self.table.servers[hot].export_dir(victim)
+            self.table.servers[cold].import_dir(victim, table)
+            self.table.place(victim, cold)
+            self.clock.advance(
+                self.profile.hop_rtt_us
+                + self.profile.op_us * max(1, len(table))
+            )
+            moved += 1
+        return moved
+
+    def spread(self) -> float:
+        """max/mean directories per server (the DP scalability story)."""
+        counts = list(self.table.dirs_by_server().values())
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0
+
+
+class DropboxLikeFS(DynamicPartitionFS):
+    """DP wearing the paper's measured Dropbox latency profile."""
+
+    name = "dropbox"
+    profile = IndexProfile.dropbox()
+
+    def __init__(self, cluster: SwiftCluster, account: str = "user"):
+        super().__init__(cluster, account, index_servers=8)

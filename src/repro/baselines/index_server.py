@@ -1,0 +1,202 @@
+"""In-memory metadata index servers: the "second cloud".
+
+GFS/HDFS namenodes, AFS volume servers, Ceph/Panasas MDS clusters and
+(by the paper's own inference, §5.3) Dropbox's metadata tier all keep
+the directory tree in dedicated index servers next to the object
+cloud.  :class:`IndexServer` models one such server: a dict of
+directory tables plus a cost profile; :class:`DirTable` is the global
+directory->server placement map the partitioned baselines share.
+
+Cost model per client metadata operation:
+
+* ``request_service_us`` once per client call (API frontend, auth,
+  DB round trip -- dominant for the Dropbox profile);
+* ``hop_rtt_us`` every time path resolution crosses to a different
+  index server (this is what makes Dropbox's file access "constant
+  with fluctuations" in Fig 13: usually zero hops, sometimes a few);
+* ``op_us`` per directory-entry touch;
+* ``commit_us`` per mutation (journal fsync / replicated commit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simcloud.clock import SimClock
+from ..simcloud.errors import ServiceUnavailable
+
+
+@dataclass(frozen=True)
+class IndexProfile:
+    """Service times of one metadata tier."""
+
+    request_service_us: int = 1_000  # per client metadata call
+    hop_rtt_us: int = 500  # per cross-server hop during resolution
+    op_us: int = 300  # per directory-entry touch
+    commit_us: int = 5_000  # per mutation (journal/replication)
+
+    @classmethod
+    def namenode(cls) -> "IndexProfile":
+        """A GFS/HDFS-style in-memory namenode."""
+        return cls(request_service_us=800, hop_rtt_us=0, op_us=200, commit_us=3_000)
+
+    @classmethod
+    def ceph_mds(cls) -> "IndexProfile":
+        """A Ceph/Panasas-style MDS cluster node."""
+        return cls(request_service_us=1_000, hop_rtt_us=500, op_us=300, commit_us=5_000)
+
+    @classmethod
+    def dropbox(cls) -> "IndexProfile":
+        """Calibrated to the paper's Dropbox measurements (§5.3):
+        MKDIR 150-200 ms, file access ~constant and above H2's 61 ms
+        average, LIST within a whisker of H2Cloud's."""
+        return cls(
+            request_service_us=80_000,
+            hop_rtt_us=4_000,
+            op_us=300,
+            commit_us=55_000,
+        )
+
+    @classmethod
+    def zero(cls) -> "IndexProfile":
+        return cls(0, 0, 0, 0)
+
+
+@dataclass(frozen=True)
+class EntryRec:
+    """One directory entry inside an index server."""
+
+    name: str
+    kind: str  # "file" | "dir"
+    target: str  # child dir-id for dirs, content object key for files
+    size: int = 0
+    etag: str = ""
+
+
+class IndexServer:
+    """One metadata server: directory tables keyed by directory id."""
+
+    def __init__(self, server_id: int, clock: SimClock, profile: IndexProfile):
+        self.server_id = server_id
+        self.clock = clock
+        self.profile = profile
+        self.tables: dict[str, dict[str, EntryRec]] = {}
+        self.load = 0  # entry touches since start (DP migration signal)
+        self.available = True
+
+    # ------------------------------------------------------------------
+    def _check_available(self) -> None:
+        if not self.available:
+            raise ServiceUnavailable(f"index server {self.server_id} unreachable")
+
+    def create_dir(self, dir_id: str) -> None:
+        self._check_available()
+        self.tables[dir_id] = {}
+        self.clock.advance(self.profile.commit_us)
+
+    def drop_dir(self, dir_id: str) -> None:
+        self._check_available()
+        self.tables.pop(dir_id, None)
+        self.clock.advance(self.profile.commit_us)
+
+    def lookup(self, dir_id: str, name: str) -> EntryRec | None:
+        self._check_available()
+        self.load += 1
+        self.clock.advance(self.profile.op_us)
+        return self.tables.get(dir_id, {}).get(name)
+
+    def list_entries(self, dir_id: str) -> list[EntryRec]:
+        self._check_available()
+        table = self.tables.get(dir_id, {})
+        self.load += len(table)
+        self.clock.advance(self.profile.op_us * max(1, len(table)))
+        return sorted(table.values(), key=lambda e: e.name)
+
+    def upsert(self, dir_id: str, entry: EntryRec) -> None:
+        self._check_available()
+        self.load += 1
+        self.tables.setdefault(dir_id, {})[entry.name] = entry
+        self.clock.advance(self.profile.op_us + self.profile.commit_us)
+
+    def remove(self, dir_id: str, name: str) -> None:
+        self._check_available()
+        self.load += 1
+        self.tables.get(dir_id, {}).pop(name, None)
+        self.clock.advance(self.profile.op_us + self.profile.commit_us)
+
+    # ------------------------------------------------------------------
+    # migration support (Dynamic Partition)
+    # ------------------------------------------------------------------
+    def export_dir(self, dir_id: str) -> dict[str, EntryRec]:
+        self._check_available()
+        return self.tables.pop(dir_id, {})
+
+    def import_dir(self, dir_id: str, table: dict[str, EntryRec]) -> None:
+        self._check_available()
+        self.tables[dir_id] = table
+
+    @property
+    def dir_count(self) -> int:
+        return len(self.tables)
+
+
+class DirTable:
+    """The directory-id -> index-server placement map."""
+
+    def __init__(self, servers: list[IndexServer], clock: SimClock):
+        if not servers:
+            raise ValueError("need at least one index server")
+        self.servers = {s.server_id: s for s in servers}
+        self.clock = clock
+        self._placement: dict[str, int] = {}
+        self._current: int | None = None  # resolver hop state
+
+    def place(self, dir_id: str, server_id: int) -> None:
+        if server_id not in self.servers:
+            raise KeyError(f"unknown index server {server_id}")
+        self._placement[dir_id] = server_id
+
+    def server_of(self, dir_id: str) -> IndexServer:
+        return self.servers[self._placement[dir_id]]
+
+    def placement_of(self, dir_id: str) -> int:
+        return self._placement[dir_id]
+
+    def forget(self, dir_id: str) -> None:
+        self._placement.pop(dir_id, None)
+
+    # ------------------------------------------------------------------
+    # hop-aware access used during path resolution
+    # ------------------------------------------------------------------
+    def begin_request(self, profile: IndexProfile) -> None:
+        self.clock.advance(profile.request_service_us)
+        self._current = None
+
+    def hop_to(self, dir_id: str, profile: IndexProfile) -> IndexServer:
+        server = self.server_of(dir_id)
+        if self._current is not None and self._current != server.server_id:
+            self.clock.advance(profile.hop_rtt_us)
+        self._current = server.server_id
+        return server
+
+    # ------------------------------------------------------------------
+    # load statistics (DP rebalancing + scalability experiments)
+    # ------------------------------------------------------------------
+    def load_by_server(self) -> dict[int, int]:
+        return {sid: s.load for sid, s in sorted(self.servers.items())}
+
+    def dirs_by_server(self) -> dict[int, int]:
+        counts = {sid: 0 for sid in self.servers}
+        for server_id in self._placement.values():
+            counts[server_id] += 1
+        return counts
+
+    def subtree_ids(self, root_id: str, children_of) -> list[str]:
+        """All dir-ids under ``root_id`` (inclusive) via a callback."""
+        out = []
+        stack = [root_id]
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            stack.extend(children_of(current))
+        return out

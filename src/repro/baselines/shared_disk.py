@@ -1,0 +1,69 @@
+"""DP on Shared Disk: BlueSky/xFS/SCFS architecture (paper §2).
+
+Dynamic partitioning where the metadata servers share one disk pool
+instead of owning their shards.  Sharing requires strong consistency:
+every metadata mutation takes a distributed lock and synchronously
+flushes to the shared disks.  Per the CAP argument the paper makes,
+partition tolerance is what gives: when the shared-disk fabric is
+partitioned (:meth:`SharedDiskDPFS.partition_fabric`), *all* mutations
+fail with :class:`ServiceUnavailable` until the fabric heals -- unlike
+H2Cloud, whose eventually consistent NameRings keep accepting writes.
+"""
+
+from __future__ import annotations
+
+from ..simcloud.cluster import SwiftCluster
+from ..simcloud.errors import ServiceUnavailable
+from .base import TableRow
+from .dynamic_partition import DynamicPartitionFS
+from .index_server import IndexProfile
+
+
+class SharedDiskDPFS(DynamicPartitionFS):
+    """Strongly consistent DP over a shared disk pool."""
+
+    name = "shared-disk-dp"
+    table_row = TableRow(
+        architecture="Single Cluster",
+        scalability="Constrained",
+        file_access="O(d)",
+        mkdir="O(1)",
+        rmdir_move="O(1)",
+        list_="O(m)",
+        copy="O(n)",
+    )
+
+    def __init__(
+        self,
+        cluster: SwiftCluster,
+        account: str = "user",
+        index_servers: int = 4,
+    ):
+        self._fabric_up = True
+        self.locks_taken = 0
+        super().__init__(cluster, account, index_servers=index_servers)
+
+    # ------------------------------------------------------------------
+    # strong consistency: lock + synchronous shared-disk flush
+    # ------------------------------------------------------------------
+    def _mutation_overhead(self) -> None:
+        if not self._fabric_up:
+            raise ServiceUnavailable("shared-disk fabric partitioned")
+        latency = self.cluster.latency
+        self.clock.advance(latency.index_lock_us + latency.disk_seek_us)
+        self.locks_taken += 1
+        super()._mutation_overhead()
+
+    # ------------------------------------------------------------------
+    # the CAP trade-off, made executable
+    # ------------------------------------------------------------------
+    def partition_fabric(self) -> None:
+        """Sever the shared-disk interconnect: mutations now fail."""
+        self._fabric_up = False
+
+    def heal_fabric(self) -> None:
+        self._fabric_up = True
+
+    @property
+    def fabric_up(self) -> bool:
+        return self._fabric_up

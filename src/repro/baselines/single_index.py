@@ -1,0 +1,57 @@
+"""Single Index Server: the GFS/HDFS namenode architecture (paper §2).
+
+One metadata server holds the entire directory tree; file content
+lives in the object cloud.  Directory operations are fast (O(1)
+re-links, O(m) listings) but "the centralized architecture results in
+limited scalability": every metadata request funnels through one
+machine, which :meth:`SingleIndexFS.saturation_factor` quantifies for
+the scalability ablation.
+"""
+
+from __future__ import annotations
+
+from ..simcloud.cluster import SwiftCluster
+from .base import TableRow
+from .index_server import IndexProfile
+from .indexed_fs import IndexedFS
+
+
+class SingleIndexFS(IndexedFS):
+    """Two clouds, one namenode."""
+
+    name = "single-index"
+    index_servers = 1
+    profile = IndexProfile.namenode()
+    table_row = TableRow(
+        architecture="Two Clouds",
+        scalability="Limited",
+        file_access="O(d)",
+        mkdir="O(1)",
+        rmdir_move="O(1)",
+        list_="O(m)",
+        copy="O(n)",
+    )
+
+    def __init__(self, cluster: SwiftCluster, account: str = "user"):
+        super().__init__(cluster, account, index_servers=1)
+
+    def _initial_server(self, parent_id, path):  # the only server
+        return 0
+
+    # ------------------------------------------------------------------
+    # scalability analysis
+    # ------------------------------------------------------------------
+    def saturation_factor(self, concurrent_clients: int) -> float:
+        """How much slower a metadata op gets with N concurrent clients.
+
+        A single namenode serialises requests, so service time scales
+        linearly with offered load; a partitioned tier divides it by
+        the server count.  Returned as a multiplier on the base cost.
+        """
+        if concurrent_clients < 1:
+            raise ValueError("need at least one client")
+        return float(concurrent_clients)  # one server: no division
+
+    @property
+    def namenode(self):
+        return self.table.servers[0]

@@ -1,0 +1,114 @@
+"""Static Partition: the AFS volume architecture (paper §2).
+
+Top-level directories ("volumes") are assigned to index servers once,
+at creation, by hashing the directory name; everything beneath a
+volume stays on its server forever.  Simple and fast within a volume,
+but "statically partitioned files and directories have a negative
+effect on filesystem operations with different partitions involved":
+
+* a cross-volume MOVE cannot re-link a pointer -- in ``strict`` mode it
+  fails with :class:`CrossDeviceMove` (AFS/EXDEV behaviour); otherwise
+  it degrades to a subtree migration, paying per-directory and
+  per-entry costs;
+* volumes cannot be split, so load imbalance is permanent
+  (:meth:`imbalance` feeds the scalability ablation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..simcloud.cluster import SwiftCluster
+from ..simcloud.errors import CrossDeviceMove
+from ..core.namespace import normalize_path, split_path
+from .base import TableRow
+from .index_server import EntryRec, IndexProfile
+from .indexed_fs import ROOT_ID, IndexedFS
+
+
+class StaticPartitionFS(IndexedFS):
+    """AFS-style statically partitioned metadata."""
+
+    name = "static-partition"
+    profile = IndexProfile.ceph_mds()
+    table_row = TableRow(
+        architecture="Single Cloud",
+        scalability="No",
+        file_access="O(d)",
+        mkdir="O(1)",
+        rmdir_move="O(1)",
+        list_="O(m)",
+        copy="O(n)",
+    )
+
+    def __init__(
+        self,
+        cluster: SwiftCluster,
+        account: str = "user",
+        partitions: int = 4,
+        strict: bool = False,
+    ):
+        self.partitions = partitions
+        self.strict = strict
+        super().__init__(cluster, account, index_servers=partitions)
+
+    # ------------------------------------------------------------------
+    # placement: volume = top-level directory, hashed once
+    # ------------------------------------------------------------------
+    def _initial_server(self, parent_id, path: str) -> int:
+        if parent_id is None:  # the root itself
+            return 0
+        components = split_path(normalize_path(path))
+        volume = components[0]
+        digest = hashlib.md5(volume.encode()).digest()
+        return int.from_bytes(digest[:4], "big") % self.partitions
+
+    # ------------------------------------------------------------------
+    # cross-partition moves
+    # ------------------------------------------------------------------
+    def _pre_dir_move(self, dir_id: str, dst_parent_id: str, dst: str) -> None:
+        """AFS semantics: veto cross-volume renames in strict mode."""
+        if not self.strict:
+            return
+        current = self.table.placement_of(dir_id)
+        wanted = self._initial_server(dst_parent_id, dst)
+        if current != wanted:
+            raise CrossDeviceMove(dir_id, dst)
+
+    def _after_dir_move(self, dir_id: str, new_parent_id: str, dst: str) -> None:
+        """Re-home the subtree if the move crossed volumes."""
+        current = self.table.placement_of(dir_id)
+        wanted = self._initial_server(new_parent_id, dst)
+        if current != wanted:
+            self._migrate_subtree(dir_id, wanted)
+
+    def _migrate_subtree(self, dir_id: str, target: int) -> None:
+        """Ship every directory table of the subtree to ``target``.
+
+        This is the expensive path static partitioning is penalised
+        for: per-directory export/import plus per-entry copy costs,
+        charged in the foreground (the client waits for the volume to
+        land before the rename is visible atomically).
+        """
+        for sub_id in self.table.subtree_ids(dir_id, self._children_dirs):
+            source = self.table.server_of(sub_id)
+            if source.server_id == target:
+                continue
+            table = source.export_dir(sub_id)
+            # Per-entry transfer between metadata servers.
+            self.clock.advance(
+                self.profile.hop_rtt_us
+                + self.profile.op_us * max(1, len(table))
+                + self.profile.commit_us
+            )
+            self.table.servers[target].import_dir(sub_id, table)
+            self.table.place(sub_id, target)
+
+    # ------------------------------------------------------------------
+    # imbalance metric (why Table 1 says scalability "No")
+    # ------------------------------------------------------------------
+    def imbalance(self) -> float:
+        """max/mean directory count across partitions (1.0 = perfect)."""
+        counts = list(self.table.dirs_by_server().values())
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0

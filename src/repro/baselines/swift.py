@@ -1,0 +1,252 @@
+"""OpenStack Swift: Consistent Hash + a per-account file-path DB.
+
+The paper's primary single-cloud comparator (§2, Figure 3).  Swift
+keeps everything the plain CH layout keeps, *plus* one row per object
+in an SQLite-style container DB so LIST and COPY no longer need the
+O(N) key-space scan:
+
+* LIST becomes a *delimiter listing*: one marker query -- one B-tree
+  descent plus one network hop to the container server -- per direct
+  child, i.e. O(m · log N).  The queries are inherently serial (each
+  marker depends on the previous result), which is why Swift trails
+  H2Cloud's parallel O(m) HEADs in Figures 9-10.
+* COPY/MOVE/RMDIR enumerate members with a single range scan,
+  O(log N + n), then pay per-member object work: O(n + log N).
+* file access and MKDIR stay O(1) in object ops (one extra DB row
+  write), which is why Swift wins Figures 12-13.
+
+Scalability is "Limited" (Table 1): the DB lives on one storage node
+per account and every metadata mutation funnels through it.
+"""
+
+from __future__ import annotations
+
+from ..core.middleware import Entry
+from ..core.namespace import normalize_path, parent_and_base
+from ..simcloud.cluster import SwiftCluster
+from ..simcloud.container_db import ContainerDB
+from ..simcloud.errors import (
+    AlreadyExists,
+    DirectoryNotEmpty,
+    InvalidPath,
+    NotADirectory,
+    PathNotFound,
+)
+from .base import TableRow
+from .consistent_hash import ConsistentHashFS
+
+
+class SwiftFS(ConsistentHashFS):
+    """CH with a file-path DB: the OpenStack Swift baseline."""
+
+    name = "swift"
+    table_row = TableRow(
+        architecture="Single Cloud",
+        scalability="Limited",
+        file_access="O(1)",
+        mkdir="O(1)",
+        rmdir_move="O(n)",
+        list_="O(m·logN)",
+        copy="O(n+logN)",
+    )
+
+    def __init__(self, cluster: SwiftCluster, account: str = "user"):
+        super().__init__(cluster, account)
+        latency = cluster.latency
+        self.db = ContainerDB(
+            latency,
+            cluster.clock,
+            ledger=cluster.store.ledger,
+            query_overhead_us=latency.request_overhead_us + latency.lan_rtt_us,
+        )
+
+    # ------------------------------------------------------------------
+    # DB row helpers (paths are stored account-relative)
+    # ------------------------------------------------------------------
+    def _row_meta(self, size: int, etag: str = "", dir_marker: bool = False):
+        meta = {"size": size, "etag": etag}
+        if dir_marker:
+            meta["dir_marker"] = True
+        return meta
+
+    # ------------------------------------------------------------------
+    # O(1) ops gain a DB row write; probes go through the DB
+    # ------------------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        super().mkdir(path)
+        self.db.insert(normalize_path(path) + "/", self._row_meta(0, dir_marker=True))
+
+    def write(self, path: str, data: bytes) -> None:
+        super().write(path, data)
+        path = normalize_path(path)
+        info = self.store.head(self._file_key(path))
+        self.db.insert(path, self._row_meta(info.size, info.etag))
+
+    def delete(self, path: str) -> None:
+        super().delete(path)
+        self.db.delete(normalize_path(path))
+
+    # ------------------------------------------------------------------
+    # member discovery: range scan instead of key-space scan
+    # ------------------------------------------------------------------
+    def _members(self, path: str) -> list[str]:
+        """O(log N + n) subtree row scan (Figure 3's binary search)."""
+        prefix = normalize_path(path).rstrip("/") + "/"
+        key_prefix = f"ch:{self.account}:"
+        members = []
+        for row in self.db.list_subtree(prefix):
+            if row.meta.get("dir_marker"):
+                members.append(key_prefix + row.path[:-1] + "/")
+            else:
+                members.append(key_prefix + row.path)
+        return members
+
+    def listdir(self, path: str = "/", detailed: bool = False) -> list:
+        """Swift delimiter listing: serial marker queries, O(m · log N).
+
+        The DB rows carry size/etag, so even a detailed listing needs
+        no object HEADs -- but each child costs a full (remote) B-tree
+        descent and the queries cannot be parallelised.
+        """
+        path = normalize_path(path)
+        if path != "/":
+            self._require_parent(path)
+            if self.store.exists(self._file_key(path)):
+                raise NotADirectory(path)
+            if not self.store.exists(self._dir_key(path)):
+                raise PathNotFound(path)
+        prefix = path.rstrip("/") + "/" if path != "/" else "/"
+        entries = []
+        for item in self.db.list_dir(prefix):
+            if item.is_dir:
+                entries.append(Entry(name=item.name.rstrip("/"), kind="dir"))
+            else:
+                entries.append(
+                    Entry(
+                        name=item.name,
+                        kind="file",
+                        size=int(item.meta.get("size", 0)),
+                        etag=str(item.meta.get("etag", "")),
+                    )
+                )
+        if detailed:
+            return entries
+        return [e.name for e in entries]
+
+    # ------------------------------------------------------------------
+    # directory mutations: member work + row maintenance
+    # ------------------------------------------------------------------
+    def rmdir(self, path: str, recursive: bool = True) -> None:
+        path = normalize_path(path)
+        if path == "/":
+            raise InvalidPath(path, "cannot remove the root")
+        self._require_parent(path)
+        if self.store.exists(self._file_key(path)):
+            raise NotADirectory(path)
+        if not self.store.exists(self._dir_key(path)):
+            raise PathNotFound(path)
+        rows = self.db.list_subtree(path + "/")
+        if not recursive and rows:
+            raise DirectoryNotEmpty(path)
+        lanes = self.store.latency.data_concurrency
+        key_prefix = f"ch:{self.account}:"
+
+        def drop(row):
+            key = key_prefix + (row.path[:-1] + "/" if row.meta.get("dir_marker") else row.path)
+            self.store.delete(key, missing_ok=True)
+
+        self.store.parallel([lambda r=r: drop(r) for r in rows], lanes=lanes)
+        for row in rows:
+            self.db.delete(row.path)
+        self.store.delete(self._dir_key(path), missing_ok=True)
+        self.db.delete(path + "/")
+
+    def move(self, src: str, dst: str) -> None:
+        src, dst = normalize_path(src), normalize_path(dst)
+        if src == "/":
+            raise InvalidPath(src, "cannot move the root")
+        self._require_parent(src)
+        src_is_dir = self.store.exists(self._dir_key(src))
+        src_is_file = self.store.exists(self._file_key(src))
+        if not src_is_dir and not src_is_file:
+            raise PathNotFound(src)
+        self._require_parent(dst)
+        self._require_absent(dst)
+        self._guard_move(src, dst, src_is_dir)
+        if src_is_file:
+            self.store.copy(self._file_key(src), self._file_key(dst))
+            self.store.delete(self._file_key(src))
+            meta = self.db.get(src) or self._row_meta(0)
+            self.db.delete(src)
+            self.db.insert(dst, meta)
+            return
+        rows = self.db.list_subtree(src + "/")
+        lanes = self.store.latency.data_concurrency
+        key_prefix = f"ch:{self.account}:"
+
+        def relocate(row):
+            new_path = dst + row.path[len(src):]
+            if row.meta.get("dir_marker"):
+                old_key = key_prefix + row.path[:-1] + "/"
+                new_key = key_prefix + new_path[:-1] + "/"
+            else:
+                old_key = key_prefix + row.path
+                new_key = key_prefix + new_path
+            self.store.copy(old_key, new_key)
+            self.store.delete(old_key)
+
+        self.store.parallel([lambda r=r: relocate(r) for r in rows], lanes=lanes)
+        for row in rows:
+            self.db.delete(row.path)
+            self.db.insert(dst + row.path[len(src):], row.meta)
+        self.store.put(self._dir_key(dst), b"", meta={"dir": "1"})
+        self.store.delete(self._dir_key(src), missing_ok=True)
+        self.db.delete(src + "/")
+        self.db.insert(dst + "/", self._row_meta(0, dir_marker=True))
+
+    def copy(self, src: str, dst: str) -> None:
+        src, dst = normalize_path(src), normalize_path(dst)
+        if src != "/":
+            self._require_parent(src)
+            if not self.exists(src):
+                raise PathNotFound(src)
+        self._require_parent(dst)
+        self._require_absent(dst)
+        if self.store.exists(self._file_key(src)):
+            self.store.copy(self._file_key(src), self._file_key(dst))
+            meta = self.db.get(src) or self._row_meta(0)
+            self.db.insert(dst, meta)
+            return
+        if src == "/":
+            raise InvalidPath(src, "cannot copy the root onto a child")
+        rows = self.db.list_subtree(src + "/")
+        lanes = self.store.latency.data_concurrency
+        key_prefix = f"ch:{self.account}:"
+
+        def duplicate(row):
+            new_path = dst + row.path[len(src):]
+            if row.meta.get("dir_marker"):
+                self.store.copy(
+                    key_prefix + row.path[:-1] + "/",
+                    key_prefix + new_path[:-1] + "/",
+                )
+            else:
+                self.store.copy(key_prefix + row.path, key_prefix + new_path)
+
+        self.store.parallel([lambda r=r: duplicate(r) for r in rows], lanes=lanes)
+        for row in rows:
+            self.db.insert(dst + row.path[len(src):], row.meta)
+        self.store.put(self._dir_key(dst), b"", meta={"dir": "1"})
+        self.db.insert(dst + "/", self._row_meta(0, dir_marker=True))
+
+    def check_consistency(self) -> None:
+        """Audit: every DB row has its object and vice versa (tests)."""
+        self.db.check_invariants()
+        key_prefix = f"ch:{self.account}:"
+        names = {n for n in self.store.names() if n.startswith(key_prefix)}
+        for row in self.db.all_rows():
+            if row.meta.get("dir_marker"):
+                key = key_prefix + row.path[:-1] + "/"
+            else:
+                key = key_prefix + row.path
+            assert key in names, f"DB row {row.path!r} has no object"

@@ -1,0 +1,67 @@
+"""`repro.bench` -- the benchmark harness for every table and figure.
+
+``python -m repro.bench`` runs everything; ``python -m repro.bench
+fig7 fig13`` runs a subset.  The pytest-benchmark suite under
+``benchmarks/`` drives the same registry with shape assertions.
+"""
+
+from .complexity import Fit, classify, consistent_with, fit_power_law, is_flat, is_linear
+from .experiments import (
+    ALL_EXPERIMENTS,
+    fig7_move_rename,
+    fig8_rmdir,
+    fig9_list_vs_n,
+    fig10_list_vs_m,
+    fig11_copy,
+    fig12_mkdir,
+    fig13_file_access,
+    fig14_15_storage,
+    headline_numbers,
+    rtt_impact,
+    table1_complexity,
+)
+from .harness import (
+    FIGURE_SYSTEMS,
+    ExperimentResult,
+    Series,
+    bench_scale,
+    measure_op,
+    run_sweep,
+    sweep_points,
+)
+from .report import ascii_chart, format_result, format_table, markdown_table
+from .scalability import ScalabilityPoint, scalability
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "FIGURE_SYSTEMS",
+    "Fit",
+    "Series",
+    "ascii_chart",
+    "bench_scale",
+    "classify",
+    "consistent_with",
+    "fig10_list_vs_m",
+    "fig11_copy",
+    "fig12_mkdir",
+    "fig13_file_access",
+    "fig14_15_storage",
+    "fig7_move_rename",
+    "fig8_rmdir",
+    "fig9_list_vs_n",
+    "fit_power_law",
+    "format_result",
+    "format_table",
+    "headline_numbers",
+    "is_flat",
+    "is_linear",
+    "markdown_table",
+    "measure_op",
+    "rtt_impact",
+    "run_sweep",
+    "scalability",
+    "ScalabilityPoint",
+    "sweep_points",
+    "table1_complexity",
+]

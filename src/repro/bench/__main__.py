@@ -1,0 +1,55 @@
+"""CLI: regenerate the paper's tables and figures.
+
+    python -m repro.bench                     # everything, quick scale
+    python -m repro.bench fig7 fig13          # a subset
+    python -m repro.bench --out results/ fig7 # also write CSV + JSON
+    REPRO_BENCH_SCALE=full python -m repro.bench fig7   # paper scale
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .experiments import ALL_EXPERIMENTS
+from .harness import bench_scale
+from .report import format_result
+
+
+def main(argv: list[str]) -> int:
+    out_dir = None
+    if "--out" in argv:
+        flag = argv.index("--out")
+        try:
+            out_dir = argv[flag + 1]
+        except IndexError:
+            print("--out needs a directory")
+            return 2
+        argv = argv[:flag] + argv[flag + 2 :]
+    wanted = argv or list(ALL_EXPERIMENTS)
+    unknown = [name for name in wanted if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}")
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}")
+        return 2
+    print(f"# H2Cloud reproduction benchmarks (scale={bench_scale()})\n")
+    collected = []
+    for name in wanted:
+        started = time.time()
+        output = ALL_EXPERIMENTS[name]()
+        results = output if isinstance(output, tuple) else (output,)
+        for result in results:
+            print(format_result(result))
+            print()
+            collected.append(result)
+        print(f"[{name} regenerated in {time.time() - started:.1f}s wall]\n")
+    if out_dir is not None:
+        from .export import export_results
+
+        written = export_results(collected, out_dir)
+        print(f"wrote {len(written)} files under {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,125 @@
+"""Empirical complexity fitting for the Table-1 reproduction.
+
+Given measured (workload size, simulated time) points, fit the scaling
+exponent by least squares on log-log axes and classify it into the
+complexity vocabulary Table 1 uses.  This turns "O(n) vs O(1)" from a
+claim into a measurement: the Table-1 benchmark sweeps every system
+and prints the fitted class next to the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Fit:
+    """A fitted power law t = c * x^exponent."""
+
+    exponent: float
+    r_squared: float
+    label: str  # "O(1)" | "O(log x)" | "O(x)" | "O(x^k)"
+
+    def __str__(self) -> str:
+        return f"{self.label} (k={self.exponent:.2f}, R²={self.r_squared:.2f})"
+
+
+def fit_power_law(points: list[tuple[float, float]]) -> Fit:
+    """Least-squares slope of log(t) against log(x)."""
+    if len(points) < 2:
+        raise ValueError("need at least two points to fit")
+    xs = [math.log(max(x, 1e-12)) for x, _ in points]
+    ys = [math.log(max(t, 1e-12)) for _, t in points]
+    n = len(xs)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        return Fit(exponent=0.0, r_squared=1.0, label="O(1)")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return Fit(exponent=slope, r_squared=r_squared, label=classify(slope))
+
+
+def classify(exponent: float) -> str:
+    """Map a fitted exponent to a Table-1-style complexity class."""
+    if exponent < 0.25:
+        return "O(1)"
+    if exponent < 0.6:
+        return "O(log x)"
+    if exponent < 1.35:
+        return "O(x)"
+    return f"O(x^{exponent:.1f})"
+
+
+def fit_sweep(points: list[tuple[float, float]]) -> Fit:
+    """Classify a sweep that may sit on a large additive constant.
+
+    Real operations cost ``a + b * x^k``: resolution round trips and
+    request overheads contribute an ``a`` that flattens a naive log-log
+    fit at small x.  This fitter first asks whether the sweep grew at
+    all (if not: O(1)); if it did, it subtracts 90% of the smallest
+    observation as the constant and fits the remainder.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two points to fit")
+    xs = [x for x, _ in points]
+    ts = [t for _, t in points]
+    scale = max(xs) / max(min(xs), 1e-12)
+    growth = max(ts) / max(min(ts), 1e-12)
+    if growth < max(1.8, scale**0.15):
+        return Fit(exponent=0.0, r_squared=1.0, label="O(1)")
+    # Estimate the additive constant as the intercept of a plain
+    # linear fit (robust for t = a + b*x data), capped just below the
+    # smallest observation so flat-ish tails cannot go negative.
+    n = len(xs)
+    mean_x, mean_t = sum(xs) / n, sum(ts) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxt = sum((x - mean_x) * (t - mean_t) for x, t in zip(xs, ts))
+    intercept = mean_t - (sxt / sxx) * mean_x if sxx else 0.0
+    baseline = min(max(intercept, 0.0), 0.95 * min(ts))
+    adjusted = [(x, max(t - baseline, 0.02 * t)) for x, t in points]
+    return fit_power_law(adjusted)
+
+
+def is_flat(points: list[tuple[float, float]], tolerance: float = 0.25) -> bool:
+    """True when time does not meaningfully grow with workload size."""
+    return fit_power_law(points).exponent < tolerance
+
+
+def is_linear(points: list[tuple[float, float]]) -> bool:
+    exponent = fit_power_law(points).exponent
+    return 0.6 <= exponent < 1.35
+
+
+def consistent_with(points: list[tuple[float, float]], claim: str) -> bool:
+    """Does a measured sweep match a Table-1 claim string?
+
+    Claims like "O(1) or O(d)" accept either branch; log-factor claims
+    ("O(m·logN)") are judged on the dominant variable's exponent.
+    Uses the baseline-adjusted :func:`fit_sweep`, so an O(1) claim only
+    matches a sweep that genuinely did not grow.
+    """
+    fit = fit_sweep(points)
+    options = [c.strip() for c in claim.split(" or ")]
+    for option in options:
+        if option == "O(1)":
+            if fit.exponent < 0.3:
+                return True
+            continue
+        if option.startswith("O(log"):
+            if fit.exponent < 0.6:
+                return True
+            continue
+        # Linear in the swept variable: O(n), O(m), O(d), O(N),
+        # O(m·logN), O(n + logN) all fit exponent ~1 when sweeping
+        # the leading variable.
+        if 0.5 <= fit.exponent < 2.0:
+            return True
+    return False

@@ -1,0 +1,528 @@
+"""One entry per table/figure of the paper's evaluation (§5.3).
+
+Every function regenerates the corresponding result on the simulated
+rack and returns an :class:`~repro.bench.harness.ExperimentResult`
+whose series carry the same x-axes the paper plots.  The module-level
+``ALL_EXPERIMENTS`` registry is what ``python -m repro.bench`` and the
+pytest benchmarks drive; EXPERIMENTS.md records paper-vs-measured for
+each entry.
+
+Methodology notes (paper §5.2): the reported operation time is
+simulated service time *excluding* Internet RTT; file access times are
+lookup-only (no payload transfer); caches are dropped before every
+measurement.
+"""
+
+from __future__ import annotations
+
+from ..baselines import TABLE1_SYSTEMS, make_system
+from ..core.namespace import join
+from ..simcloud.cluster import SwiftCluster
+from ..simcloud.latency import LatencyModel
+from ..simcloud.sparse import payload_of
+from ..workloads import build_corpus, chain_directories, populate
+from .complexity import consistent_with, fit_sweep
+from .harness import (
+    FIGURE_SYSTEMS,
+    ExperimentResult,
+    measure_op,
+    run_sweep,
+    sweep_points,
+)
+
+MB = 1 << 20
+
+#: systems whose implementations slice real bytes (no sparse payloads)
+REAL_BYTES_SYSTEMS = {"compressed-snapshot", "cas"}
+
+
+def _fill_flat(fs, n: int, prefix: str = "/dir", size: int = MB) -> None:
+    """A directory of n files; ~1 MB sparse objects like the paper's mean.
+
+    Uses H2Cloud's bulk loader when available: one patch for the whole
+    batch keeps population O(n) in wall time (per-write patching would
+    re-serialize the growing ring n times), without touching what the
+    sweeps measure.
+    """
+    sparse = fs.name not in REAL_BYTES_SYSTEMS if hasattr(fs, "name") else True
+    real_size = size if sparse else min(size, 256)
+    fs.mkdir(prefix)
+    names = [f"file{i:06d}" for i in range(n)]
+    if hasattr(fs, "write_many"):
+        fs.write_many(
+            prefix,
+            [
+                (name, payload_of(real_size, tag=f"{prefix}/{name}", sparse=sparse))
+                for name in names
+            ],
+        )
+        return
+    for name in names:
+        path = f"{prefix}/{name}"
+        fs.write(path, payload_of(real_size, tag=path, sparse=sparse))
+
+
+# ======================================================================
+# Figure 7: MOVE / RENAME vs n
+# ======================================================================
+def fig7_move_rename(ns: list[int] | None = None) -> ExperimentResult:
+    ns = ns or sweep_points(quick=[10, 100, 1000], full=[10, 100, 1000, 10_000, 100_000])
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title="Operation time for MOVE and RENAME",
+        x_label="files in the moved directory (n)",
+        expectation=(
+            "Swift grows linearly with n (per-member copy+delete); "
+            "H2Cloud and Dropbox stay flat (pointer/patch updates)."
+        ),
+    )
+    run_sweep(
+        result,
+        FIGURE_SYSTEMS,
+        ns,
+        setup=lambda fs, n: _fill_flat(fs, n),
+        operation=lambda fs, n: (lambda: fs.move("/dir", "/dir-moved")),
+    )
+    result.note("RENAME is measured identically: it is MOVE within one parent.")
+    return result
+
+
+# ======================================================================
+# Figure 8: RMDIR vs n
+# ======================================================================
+def fig8_rmdir(ns: list[int] | None = None) -> ExperimentResult:
+    ns = ns or sweep_points(quick=[10, 100, 1000], full=[10, 100, 1000, 10_000, 100_000])
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="Operation time for RMDIR",
+        x_label="files in the removed directory (n)",
+        expectation="Same shape as Fig 7: Swift O(n), H2Cloud/Dropbox O(1).",
+    )
+    return run_sweep(
+        result,
+        FIGURE_SYSTEMS,
+        ns,
+        setup=lambda fs, n: _fill_flat(fs, n),
+        operation=lambda fs, n: (lambda: fs.rmdir("/dir")),
+    )
+
+
+# ======================================================================
+# Figure 9: LIST vs n (m held constant)
+# ======================================================================
+def fig9_list_vs_n(ns: list[int] | None = None, m: int = 200) -> ExperimentResult:
+    ns = ns or sweep_points(quick=[64, 256, 1024], full=[64, 1024, 10_000, 100_000])
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title=f"Operation time for LIST vs n (m = {m} direct children)",
+        x_label="files stored under the directory (n)",
+        expectation=(
+            "LIST depends on m, not n: every curve is roughly flat "
+            "while n grows; Swift sits above Dropbox and H2Cloud."
+        ),
+    )
+
+    def setup(fs, n):
+        # m direct subdirectories, files spread evenly beneath them.
+        fs.mkdir("/dir")
+        sparse = fs.name not in REAL_BYTES_SYSTEMS
+        per_child = max(1, n // m)
+        for i in range(m):
+            sub = f"/dir/sub{i:04d}"
+            fs.mkdir(sub)
+            for j in range(per_child):
+                path = f"{sub}/file{j:06d}"
+                fs.write(path, payload_of(1024, tag=path, sparse=sparse))
+
+    return run_sweep(
+        result,
+        FIGURE_SYSTEMS,
+        ns,
+        setup=setup,
+        operation=lambda fs, n: (lambda: fs.listdir("/dir", detailed=True)),
+    )
+
+
+# ======================================================================
+# Figure 10: LIST vs m
+# ======================================================================
+def fig10_list_vs_m(ms: list[int] | None = None) -> ExperimentResult:
+    ms = ms or sweep_points(quick=[10, 100, 1000], full=[10, 100, 1000, 10_000, 100_000])
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Operation time for LIST vs m (detailed listing)",
+        x_label="direct children of the directory (m)",
+        expectation=(
+            "All three grow with m; Swift pays O(m·logN) serial marker "
+            "queries and costs the most; H2Cloud's 1000-child LIST "
+            "lands near the paper's 0.35 s headline."
+        ),
+    )
+    run_sweep(
+        result,
+        FIGURE_SYSTEMS,
+        ms,
+        setup=lambda fs, m: _fill_flat(fs, m, size=64 * 1024),
+        operation=lambda fs, m: (lambda: fs.listdir("/dir", detailed=True)),
+    )
+    h2_1000 = result.series_for("h2cloud").ms_at(1000)
+    result.note(f"H2Cloud LIST of 1000 files: {h2_1000 / 1000:.2f} s (paper: ~0.35 s).")
+    return result
+
+
+# ======================================================================
+# Figure 11: COPY vs n
+# ======================================================================
+def fig11_copy(ns: list[int] | None = None) -> ExperimentResult:
+    ns = ns or sweep_points(quick=[10, 100, 1000], full=[10, 100, 1000, 10_000])
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Operation time for COPY",
+        x_label="files in the copied directory (n)",
+        expectation=(
+            "O(n) for every system -- the three curves are close; "
+            "H2Cloud's 1000-file COPY lands near the paper's ~10 s."
+        ),
+    )
+    run_sweep(
+        result,
+        FIGURE_SYSTEMS,
+        ns,
+        setup=lambda fs, n: _fill_flat(fs, n),
+        operation=lambda fs, n: (lambda: fs.copy("/dir", "/dir-copy")),
+    )
+    h2_1000 = result.series_for("h2cloud").ms_at(1000)
+    result.note(f"H2Cloud COPY of 1000 files: {h2_1000 / 1000:.2f} s (paper: ~10 s).")
+    return result
+
+
+# ======================================================================
+# Figure 12: MKDIR vs directory population
+# ======================================================================
+def fig12_mkdir(ns: list[int] | None = None) -> ExperimentResult:
+    ns = ns or sweep_points(quick=[10, 100, 1000], full=[10, 100, 1000, 10_000])
+    result = ExperimentResult(
+        experiment_id="fig12",
+        title="Operation time for MKDIR",
+        x_label="existing files in the parent directory",
+        expectation=(
+            "Constant for all systems (the new directory is empty). "
+            "Swift is fastest; H2Cloud and Dropbox sit in the "
+            "150-200 ms band, acceptable to users."
+        ),
+    )
+    return run_sweep(
+        result,
+        FIGURE_SYSTEMS,
+        ns,
+        setup=lambda fs, n: _fill_flat(fs, n),
+        operation=lambda fs, n: (lambda: fs.mkdir("/dir/newdir")),
+    )
+
+
+# ======================================================================
+# Figure 13: file access (lookup) vs depth d
+# ======================================================================
+def fig13_file_access(depths: list[int] | None = None) -> ExperimentResult:
+    depths = depths or sweep_points(
+        quick=[1, 2, 4, 8, 12, 16, 20], full=[1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20]
+    )
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title="Operation time for file access (lookup only)",
+        x_label="directory depth of the accessed file (d)",
+        expectation=(
+            "Swift: flat ~10 ms (one full-path hash). H2Cloud: "
+            "proportional to d (one NameRing per level), ~61 ms at the "
+            "workload-average d=4. Dropbox: roughly constant with "
+            "fluctuations, above H2's average-depth cost."
+        ),
+    )
+
+    def setup(fs, d):
+        for path in chain_directories(d - 1):
+            fs.mkdir(path)
+        parent = chain_directories(d - 1)[-1] if d > 1 else ""
+        sparse = fs.name not in REAL_BYTES_SYSTEMS
+        fs.write(parent + "/leaf", payload_of(4096, tag="leaf", sparse=sparse))
+
+    def operation(fs, d):
+        parent = chain_directories(d - 1)[-1] if d > 1 else ""
+        return lambda: fs.stat(parent + "/leaf")
+
+    return run_sweep(result, FIGURE_SYSTEMS, depths, setup=setup, operation=operation)
+
+
+# ======================================================================
+# Figures 14 & 15: storage overhead (object count / object bytes)
+# ======================================================================
+def fig14_15_storage(user_counts: list[int] | None = None) -> tuple[ExperimentResult, ExperimentResult]:
+    user_counts = user_counts or sweep_points(quick=[4, 8, 16], full=[10, 50, 150])
+    fig14 = ExperimentResult(
+        experiment_id="fig14",
+        title="Number of objects stored",
+        x_label="users hosted",
+        unit="objects",
+        expectation=(
+            "H2Cloud stores visibly more objects than Swift: every "
+            "directory and every NameRing is an object of its own."
+        ),
+    )
+    fig15 = ExperimentResult(
+        experiment_id="fig15",
+        title="Size of objects stored",
+        x_label="users hosted",
+        unit="MB",
+        expectation=(
+            "The extra bytes are almost invisible: directory/NameRing "
+            "objects are <1 KB against ~1 MB average file objects."
+        ),
+    )
+    for system in ("h2cloud", "swift"):
+        count_series = fig14.series_for(system)
+        size_series = fig15.series_for(system)
+        for n_users in user_counts:
+            cluster = SwiftCluster.rack_scale()
+            users = build_corpus(n_users=n_users, heavy_fraction=0.2, seed=77)
+            for user in users:
+                fs = make_system(system, cluster, account=user.account)
+                populate(fs, user.tree(), sparse=True)
+                fs.pump()
+            count, nbytes = cluster.store.census()
+            count_series.add(n_users, count)
+            size_series.add(n_users, nbytes / MB)
+    h2_bytes = fig15.series_for("h2cloud").points[-1][1]
+    swift_bytes = fig15.series_for("swift").points[-1][1]
+    fig15.note(
+        f"Byte overhead at the largest corpus: "
+        f"{(h2_bytes / swift_bytes - 1) * 100:.2f}% over Swift."
+    )
+    return fig14, fig15
+
+
+# ======================================================================
+# §5.3 "The Impact of RTT": alpha = RTT / operation time
+# ======================================================================
+def rtt_impact(depths: list[int] | None = None) -> ExperimentResult:
+    depths = depths or [1, 2, 4, 8, 12, 16, 20]
+    wan_rtt_ms = LatencyModel.rack_scale().wan_rtt_us / 1000.0
+    result = ExperimentResult(
+        experiment_id="rtt",
+        title="alpha = RTT / operation time (file access, by depth)",
+        x_label="directory depth of the accessed file (d)",
+        unit="x (ratio)",
+        expectation=(
+            "With the paper's 58 ms average Internet RTT: alpha falls "
+            "from ~2.7 toward ~0.3 for H2 as d grows 0->20; Swift "
+            "hovers near 5 (its 10 ms accesses are RTT-dominated); "
+            "Dropbox near 0.5. Directory operations keep alpha <= ~0.3 "
+            "everywhere, so their service time dominates the user "
+            "experience, which is why directory-op optimisation pays."
+        ),
+    )
+    access = fig13_file_access(depths)
+    for system in FIGURE_SYSTEMS:
+        alpha_series = result.series_for(system)
+        for d, ms in access.series_for(system).points:
+            alpha_series.add(d, wan_rtt_ms / ms)
+    # Directory-operation alphas, recorded as notes (single numbers).
+    for op_name, fn in (("MKDIR", fig12_mkdir), ("MOVE", fig7_move_rename)):
+        sub = fn(ns=[1000])
+        for system in FIGURE_SYSTEMS:
+            ms = sub.series_for(system).points[-1][1]
+            result.note(
+                f"alpha[{op_name}, n=1000, {system}] = {wan_rtt_ms / ms:.2f}"
+            )
+    return result
+
+
+# ======================================================================
+# Table 1: empirical complexity classes for all nine systems
+# ======================================================================
+TABLE1_OPS = ("file_access", "mkdir", "rmdir_move", "list", "copy")
+
+#: which variable each system's file-access claim is about
+_ACCESS_SWEEP = {
+    "compressed-snapshot": "N",  # scan the metadata log
+    "cas": "hash",  # O(1) by content hash
+    "consistent-hash": "N",  # flat hash: O(1) however big the store
+    "swift": "N",
+    "single-index": "d",
+    "static-partition": "d",
+    "dynamic-partition": "d",
+    "shared-disk-dp": "d",
+    "h2cloud": "d",
+}
+
+
+def table1_complexity(xs: list[int] | None = None) -> ExperimentResult:
+    xs = xs or sweep_points(quick=[8, 32, 128, 512], full=[8, 64, 512, 4096])
+    depths = [1, 2, 4, 8, 16]
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Table 1: measured complexity classes vs the paper's claims",
+        x_label="workload scale (n = m = N for flat sweeps; d for depth)",
+        expectation="Every fitted class matches the paper's claim.",
+    )
+    for system, (_, row) in TABLE1_SYSTEMS.items():
+        claims = {
+            "file_access": row.file_access,
+            "mkdir": row.mkdir,
+            "rmdir_move": row.rmdir_move,
+            "list": row.list_,
+            "copy": row.copy,
+        }
+        for op in TABLE1_OPS:
+            points = _measure_table1(system, op, xs, depths)
+            fit = fit_sweep(points)
+            ok = consistent_with(points, claims[op])
+            result.note(
+                f"{system:20s} {op:12s} claimed {claims[op]:12s} "
+                f"measured {fit} {'OK' if ok else 'MISMATCH'}"
+            )
+            result.series_for(f"{system}:{op}").points = points
+    return result
+
+
+def _measure_table1(system, op, xs, depths) -> list[tuple[float, float]]:
+    points = []
+    if op == "file_access":
+        mode = _ACCESS_SWEEP[system]
+        if mode == "d":
+            for d in depths:
+                fs = make_system(system, SwiftCluster.rack_scale())
+                for path in chain_directories(d - 1):
+                    fs.mkdir(path)
+                parent = chain_directories(d - 1)[-1] if d > 1 else ""
+                fs.write(parent + "/leaf", b"x")
+                cost = measure_op(fs, lambda: fs.stat(parent + "/leaf"))
+                points.append((d, cost / 1000.0))
+            return points
+        for x in xs:  # sweep N
+            fs = make_system(system, SwiftCluster.rack_scale())
+            _fill_flat(fs, x, size=256)
+            target = "/dir/file000000"
+            if mode == "hash":
+                digest = fs.hash_of(target)
+                thunk = lambda: fs.read_by_hash(digest)  # noqa: E731
+            elif system == "compressed-snapshot":
+                thunk = lambda: fs.read(target)  # noqa: E731
+            else:
+                thunk = lambda: fs.stat(target)  # noqa: E731
+            points.append((x, measure_op(fs, thunk) / 1000.0))
+        return points
+    for x in xs:
+        fs = make_system(system, SwiftCluster.rack_scale())
+        # Work one level below a volume directory so static-partition
+        # measurements reflect the claimed same-volume behaviour
+        # (cross-volume renames are a different, non-Table-1 path).
+        fs.mkdir("/vol")
+        _fill_flat(fs, x, prefix="/vol/dir", size=256)
+        if op == "mkdir":
+            # Cumulus's Table-1 MKDIR is the blind append (the checked
+            # variant adds an O(N) validation scan on top).
+            mk = getattr(fs, "mkdir_unchecked", fs.mkdir)
+            thunk = lambda mk=mk: mk("/vol/newdir")  # noqa: E731
+        elif op == "rmdir_move":
+            thunk = lambda: fs.move("/vol/dir", "/vol/dir2")  # noqa: E731
+        elif op == "list":
+            thunk = lambda: fs.listdir("/vol/dir", detailed=True)  # noqa: E731
+        else:  # copy
+            thunk = lambda: fs.copy("/vol/dir", "/vol/dir-copy")  # noqa: E731
+        points.append((x, measure_op(fs, thunk) / 1000.0))
+    return points
+
+
+# ======================================================================
+# §5.1 methodology: replaying a user workload on all three systems
+# ======================================================================
+def trace_replay(
+    n_ops: int = 400, tree_seed: int = 17, files: int = 300
+) -> ExperimentResult:
+    """Replay one user's operation trace on H2Cloud, Swift and Dropbox.
+
+    This is the paper's primary methodology ("we replay these H2Cloud
+    users' workloads"): a seeded synthetic filesystem stands in for a
+    real user's, and the same POSIX-like op mix runs against each
+    system; the series report mean simulated time per operation class.
+    """
+    from ..workloads import TraceGenerator, TreeSpec, generate, populate
+    from ..workloads import replay as replay_trace
+
+    result = ExperimentResult(
+        experiment_id="trace",
+        title=f"Workload replay: {n_ops} mixed ops on one user filesystem",
+        x_label="operation class (1=read 2=write 3=list 4=stat 5=mkdir "
+        "6=delete 7=move 8=copy 9=rmdir)",
+        expectation=(
+            "On a realistic (small-directory) user workload the systems "
+            "are much closer than the controlled sweeps -- O(n) terms "
+            "need big directories to bite -- but H2Cloud's warm "
+            "descriptor caches give it the lowest total time, and "
+            "Dropbox's per-request service cost the highest."
+        ),
+    )
+    op_order = [
+        "read", "write", "list", "stat", "mkdir",
+        "delete", "move", "copy", "rmdir",
+    ]
+    tree = generate(TreeSpec(seed=tree_seed, target_files=files, max_depth=6))
+    ops = TraceGenerator(seed=tree_seed + 1).generate(tree, n_ops)
+    for system in FIGURE_SYSTEMS:
+        fs = make_system(system, SwiftCluster.rack_scale())
+        populate(fs, tree, sparse=system not in REAL_BYTES_SYSTEMS)
+        fs.pump()
+        stats = replay_trace(fs, ops)
+        series = result.series_for(system)
+        for index, op_name in enumerate(op_order, start=1):
+            if stats.count(op_name):
+                series.add(index, stats.mean_us(op_name) / 1000.0)
+        result.note(
+            f"{system}: {stats.total_ops} ops replayed, "
+            f"total {fs.clock.now_ms / 1000.0:.1f} simulated s"
+        )
+    return result
+
+
+# ======================================================================
+# §1 headline numbers
+# ======================================================================
+def headline_numbers() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="headline",
+        title="§1 headline: LIST 1000 ~ 0.35 s, COPY 1000 ~ 10 s",
+        x_label="operation",
+        expectation="H2Cloud: LIST 1000 files ~0.35 s; COPY 1000 files ~10 s.",
+    )
+    fs = make_system("h2cloud", SwiftCluster.rack_scale())
+    _fill_flat(fs, 1000)
+    list_us = measure_op(fs, lambda: fs.listdir("/dir", detailed=True))
+    copy_us = measure_op(fs, lambda: fs.copy("/dir", "/dir-copy"))
+    result.series_for("h2cloud").add(1, list_us / 1000.0)
+    result.series_for("h2cloud").add(2, copy_us / 1000.0)
+    result.note(f"LIST 1000 detailed: {list_us / 1e6:.3f} s (paper ~0.35 s)")
+    result.note(f"COPY 1000 x 1MB:   {copy_us / 1e6:.2f} s (paper ~10 s)")
+    return result
+
+
+def _scalability():
+    from .scalability import scalability
+
+    return scalability()
+
+
+ALL_EXPERIMENTS = {
+    "table1": table1_complexity,
+    "scalability": _scalability,
+    "fig7": fig7_move_rename,
+    "fig8": fig8_rmdir,
+    "fig9": fig9_list_vs_n,
+    "fig10": fig10_list_vs_m,
+    "fig11": fig11_copy,
+    "fig12": fig12_mkdir,
+    "fig13": fig13_file_access,
+    "fig14_15": fig14_15_storage,
+    "rtt": rtt_impact,
+    "trace": trace_replay,
+    "headline": headline_numbers,
+}

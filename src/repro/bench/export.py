@@ -1,0 +1,83 @@
+"""Export experiment results for external plotting.
+
+``python -m repro.bench --out results/ fig7 fig13`` writes, per
+experiment, a ``<id>.csv`` (long format: experiment,system,x,value)
+and a ``<id>.json`` carrying the full result including notes and the
+paper expectation -- enough to regenerate any figure in the plotting
+tool of your choice without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .harness import ExperimentResult
+
+
+def result_to_rows(result: ExperimentResult) -> list[dict[str, object]]:
+    """Long-format rows: one per (system, x) point."""
+    rows: list[dict[str, object]] = []
+    for system in sorted(result.series):
+        for x, value in result.series[system].points:
+            rows.append(
+                {
+                    "experiment": result.experiment_id,
+                    "system": system,
+                    "x": x,
+                    "value": value,
+                    "unit": result.unit,
+                }
+            )
+    return rows
+
+
+def result_to_dict(result: ExperimentResult) -> dict[str, object]:
+    """A JSON-ready dump of everything the experiment produced."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "unit": result.unit,
+        "expectation": result.expectation,
+        "series": {
+            system: series.points for system, series in sorted(result.series.items())
+        },
+        "notes": list(result.notes),
+    }
+
+
+def write_csv(result: ExperimentResult, directory: Path) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.csv"
+    rows = result_to_rows(result)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=["experiment", "system", "x", "value", "unit"]
+        )
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_json(result: ExperimentResult, directory: Path) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.json"
+    path.write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+    return path
+
+
+def export_results(results, directory: str | Path) -> list[Path]:
+    """CSV + JSON for every result; returns the files written."""
+    directory = Path(directory)
+    written: list[Path] = []
+    for result in results:
+        written.append(write_csv(result, directory))
+        written.append(write_json(result, directory))
+    return written
+
+
+def load_result_json(path: str | Path) -> dict[str, object]:
+    """Round-trip helper (and a tested contract for external tools)."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,106 @@
+"""The experiment runner: build, populate, measure, repeat.
+
+One :class:`ExperimentResult` per paper figure/table; the runner
+handles the methodology the paper describes in §5.2: operation time is
+read off the *simulated* clock (excluding WAN RTT -- that is studied
+separately in the RTT-impact experiment), caches are dropped before
+each measurement so cold-path costs are visible, and several repeats
+with distinct workloads give a mean and spread.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..baselines import make_system
+from ..simcloud.cluster import SwiftCluster
+
+#: The three systems the paper's figures compare.
+FIGURE_SYSTEMS = ("h2cloud", "swift", "dropbox")
+
+
+def bench_scale() -> str:
+    """'quick' (default) or 'full' via REPRO_BENCH_SCALE.
+
+    Quick keeps the sweeps to ~1e3-file workloads so the whole harness
+    runs in minutes; full pushes to the paper's 1e5 points.
+    """
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def sweep_points(quick: list[int], full: list[int]) -> list[int]:
+    return full if bench_scale() == "full" else quick
+
+
+@dataclass
+class Series:
+    """One line on one figure: (x, mean simulated ms) points."""
+
+    system: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, ms: float) -> None:
+        self.points.append((x, ms))
+
+    def ms_at(self, x: float) -> float:
+        for px, ms in self.points:
+            if px == x:
+                return ms
+        raise KeyError(x)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one figure/table reproduction produced."""
+
+    experiment_id: str  # e.g. "fig7"
+    title: str
+    x_label: str
+    series: dict[str, Series] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    expectation: str = ""  # what the paper's version shows
+    unit: str = "ms"  # what series values measure ("ms", "objects", "MB")
+
+    def series_for(self, system: str) -> Series:
+        if system not in self.series:
+            self.series[system] = Series(system=system)
+        return self.series[system]
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+
+def measure_op(fs, thunk: Callable[[], object]) -> int:
+    """Cold-cache simulated cost of one operation, in microseconds."""
+    fs.pump()
+    fs.drop_caches()
+    _, cost = fs.clock.measure(thunk)
+    return cost
+
+
+def run_sweep(
+    result: ExperimentResult,
+    systems: tuple[str, ...],
+    xs: list[int],
+    setup: Callable[[object, int], None],
+    operation: Callable[[object, int], Callable[[], object]],
+    repeats: int = 1,
+) -> ExperimentResult:
+    """The generic figure loop.
+
+    For each system and sweep point: fresh cluster, ``setup(fs, x)``
+    to build the workload, then time ``operation(fs, x)()`` cold.
+    Repeats rebuild from scratch (the op may be destructive).
+    """
+    for system in systems:
+        series = result.series_for(system)
+        for x in xs:
+            total_us = 0
+            for _ in range(max(1, repeats)):
+                fs = make_system(system, SwiftCluster.rack_scale())
+                setup(fs, x)
+                total_us += measure_op(fs, operation(fs, x))
+            series.add(x, total_us / max(1, repeats) / 1000.0)
+    return result

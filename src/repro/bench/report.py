@@ -1,0 +1,118 @@
+"""Rendering: paper-style tables and ASCII log-log charts.
+
+The harness produces :class:`ExperimentResult` objects; this module
+turns them into the rows/series the paper reports, readable in a
+terminal and diffable in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .harness import ExperimentResult
+
+
+def format_result(result: ExperimentResult, chart: bool = True) -> str:
+    """A full text block for one experiment."""
+    blocks = [
+        f"== {result.experiment_id}: {result.title} ==",
+        f"paper expectation: {result.expectation}" if result.expectation else "",
+        format_table(result),
+    ]
+    if chart and result.series and all(
+        len(s.points) >= 2 for s in result.series.values()
+    ):
+        blocks.append(ascii_chart(result))
+    if result.notes:
+        blocks.append("notes:")
+        blocks.extend(f"  - {note}" for note in result.notes)
+    return "\n".join(b for b in blocks if b)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """x-by-system table of values (ms for timings; counts/MB for censuses)."""
+    if not result.series:
+        return "(no series)"
+    systems = sorted(result.series)
+    xs = sorted({x for s in result.series.values() for x, _ in s.points})
+    header = [result.x_label[:28].rjust(28)] + [s[:16].rjust(16) for s in systems]
+    lines = ["  ".join(header)]
+    for x in xs:
+        row = [f"{x:28g}"]
+        for system in systems:
+            try:
+                value = result.series[system].ms_at(x)
+                row.append(f"{_fmt(value, result.unit):>16s}")
+            except KeyError:
+                row.append(" " * 15 + "-")
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def _fmt(value: float, unit: str = "ms") -> str:
+    if unit != "ms":
+        return f"{value:,.1f} {unit}" if value % 1 else f"{value:,.0f} {unit}"
+    return _fmt_ms(value)
+
+
+def _fmt_ms(ms: float) -> str:
+    if ms >= 10_000:
+        return f"{ms / 1000:.1f} s"
+    if ms >= 1:
+        return f"{ms:.1f} ms"
+    return f"{ms * 1000:.0f} us"
+
+
+def ascii_chart(
+    result: ExperimentResult, width: int = 64, height: int = 16
+) -> str:
+    """A log-log scatter of every series (the paper's figures are log-log)."""
+    points_by_system = {
+        name: [(x, ms) for x, ms in series.points if x > 0 and ms > 0]
+        for name, series in result.series.items()
+    }
+    everything = [p for pts in points_by_system.values() for p in pts]
+    if not everything:
+        return ""
+    lx = [math.log10(x) for x, _ in everything]
+    ly = [math.log10(y) for _, y in everything]
+    x0, x1 = min(lx), max(lx)
+    y0, y1 = min(ly), max(ly)
+    x_span = (x1 - x0) or 1.0
+    y_span = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for idx, (name, pts) in enumerate(sorted(points_by_system.items())):
+        mark = markers[idx % len(markers)]
+        legend.append(f"{mark}={name}")
+        for x, y in pts:
+            col = int((math.log10(x) - x0) / x_span * (width - 1))
+            row = int((math.log10(y) - y0) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+    top = f"{10 ** y1:10.3g} ms +" + "-" * width + "+"
+    bottom = f"{10 ** y0:10.3g} ms +" + "-" * width + "+"
+    body = [f"{'':13s}|{''.join(row)}|" for row in grid]
+    x_axis = (
+        f"{'':14s}{10 ** x0:<10.3g}{'':{max(0, width - 20)}s}{10 ** x1:>10.3g}"
+    )
+    return "\n".join([top, *body, bottom, x_axis, "  " + "  ".join(legend)])
+
+
+def markdown_table(result: ExperimentResult) -> str:
+    """The same table as GitHub-flavoured markdown (for EXPERIMENTS.md)."""
+    systems = sorted(result.series)
+    xs = sorted({x for s in result.series.values() for x, _ in s.points})
+    lines = [
+        "| " + result.x_label + " | " + " | ".join(systems) + " |",
+        "|" + "---|" * (len(systems) + 1),
+    ]
+    for x in xs:
+        cells = []
+        for system in systems:
+            try:
+                cells.append(_fmt_ms(result.series[system].ms_at(x)))
+            except KeyError:
+                cells.append("-")
+        lines.append(f"| {x:g} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)

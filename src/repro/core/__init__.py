@@ -1,0 +1,100 @@
+"""`repro.core` -- the Hierarchical Hash (H2) data structure and H2Cloud.
+
+The paper's primary contribution: namespaces, NameRings, the patch +
+gossip maintenance protocol, the H2 lookup algorithms, the middleware
+that ties them together, and the :class:`H2CloudFS` public API.
+"""
+
+from .descriptor import CacheStats, FileDescriptor, FileDescriptorCache
+from .formatter import (
+    DirectoryRecord,
+    FormatError,
+    dumps_directory,
+    dumps_patch,
+    dumps_ring,
+    loads_directory,
+    loads_patch,
+    loads_ring,
+)
+from .fs import H2CloudFS
+from .gc import GarbageCollector, GCReport
+from .gossip import GossipNetwork, Rumor
+from .lookup import H2Lookup, Resolution
+from .merger import BackgroundMerger
+from .middleware import Entry, H2Config, H2Middleware
+from .namering import KIND_DIR, KIND_FILE, Child, NameRing, merge, merge_all
+from .namespace import (
+    Namespace,
+    NamespaceAllocator,
+    decorate,
+    depth_of,
+    directory_key,
+    file_key,
+    join,
+    namering_key,
+    normalize_path,
+    parent_and_base,
+    parse_decorated,
+    patch_key,
+    split_path,
+    validate_name,
+)
+from .monitoring import LatencyHistogram, Monitor, deployment_report
+from .patch import Patch, PatchChain, PatchCounter
+from .streams import FileWriter
+from .webapi import H2WebAPI, Request, Response
+
+__all__ = [
+    "BackgroundMerger",
+    "CacheStats",
+    "Child",
+    "DirectoryRecord",
+    "Entry",
+    "FileDescriptor",
+    "FileDescriptorCache",
+    "FileWriter",
+    "FormatError",
+    "GCReport",
+    "GarbageCollector",
+    "GossipNetwork",
+    "H2CloudFS",
+    "H2Config",
+    "H2Lookup",
+    "H2Middleware",
+    "H2WebAPI",
+    "KIND_DIR",
+    "KIND_FILE",
+    "LatencyHistogram",
+    "Monitor",
+    "NameRing",
+    "Namespace",
+    "NamespaceAllocator",
+    "Patch",
+    "PatchChain",
+    "PatchCounter",
+    "Request",
+    "Resolution",
+    "Response",
+    "Rumor",
+    "decorate",
+    "deployment_report",
+    "depth_of",
+    "directory_key",
+    "dumps_directory",
+    "dumps_patch",
+    "dumps_ring",
+    "file_key",
+    "join",
+    "loads_directory",
+    "loads_patch",
+    "loads_ring",
+    "merge",
+    "merge_all",
+    "namering_key",
+    "normalize_path",
+    "parent_and_base",
+    "parse_decorated",
+    "patch_key",
+    "split_path",
+    "validate_name",
+]

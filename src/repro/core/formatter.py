@@ -1,0 +1,171 @@
+"""The Formatter module (paper §4.4): "stringifying" H2 data to objects.
+
+An object storage cloud only hosts byte blobs, so NameRings, patches
+and directory records must be serialized to ASCII strings before they
+can be PUT.  The paper's Formatter sorts NameRing tuples alphabetically
+by name and packs them "one after another"; this implementation does
+the same with a line-oriented, versioned, escape-safe format so that
+arbitrary (printable *or* hostile) file names round-trip exactly.
+
+Wire formats
+------------
+NameRing / patch (patches share the NameRing format, §3.3.2)::
+
+    H2NR 1                         | H2PATCH 1
+    <name>|<ts>|<kind>|<D or ->|<ns or ->|<size>|<etag>
+    ...sorted by name...
+
+Directory record::
+
+    H2DIR 1
+    name <escaped-name>
+    ns <uuid>
+    parent <uuid or ->
+    created <ts>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from urllib.parse import quote as _quote
+from urllib.parse import unquote as _unquote
+
+from ..simcloud.clock import Timestamp
+from .namering import Child, NameRing
+
+NAMERING_MAGIC = "H2NR"
+PATCH_MAGIC = "H2PATCH"
+DIRECTORY_MAGIC = "H2DIR"
+FORMAT_VERSION = 1
+
+
+class FormatError(ValueError):
+    """The bytes do not parse as the expected H2 wire format."""
+
+
+# ----------------------------------------------------------------------
+# escaping: '|', newlines and non-ASCII are percent-encoded (UTF-8),
+# keeping every serialized object pure ASCII as §4.4 requires
+# ----------------------------------------------------------------------
+_SAFE = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-._~ ,:;@()[]{}=+!#$&'"
+
+
+def escape(text: str) -> str:
+    return _quote(text, safe=_SAFE)
+
+
+def unescape(text: str) -> str:
+    try:
+        return _unquote(text, errors="strict")
+    except UnicodeDecodeError as exc:
+        raise FormatError(f"bad escape sequence in {text!r}") from exc
+
+
+# ----------------------------------------------------------------------
+# NameRing / patch payloads
+# ----------------------------------------------------------------------
+def dumps_ring(ring: NameRing, magic: str = NAMERING_MAGIC) -> bytes:
+    lines = [f"{magic} {FORMAT_VERSION}"]
+    for child in sorted(ring.children.values(), key=lambda c: c.name):
+        lines.append(
+            "|".join(
+                [
+                    escape(child.name),
+                    str(child.timestamp),
+                    child.kind,
+                    "D" if child.deleted else "-",
+                    child.ns if child.ns is not None else "-",
+                    str(child.size),
+                    child.etag or "-",
+                ]
+            )
+        )
+    return ("\n".join(lines) + "\n").encode("ascii", errors="strict")
+
+
+def loads_ring(data: bytes, magic: str = NAMERING_MAGIC) -> NameRing:
+    try:
+        text = data.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise FormatError("NameRing object is not ASCII") from exc
+    lines = [ln for ln in text.split("\n") if ln]
+    if not lines:
+        raise FormatError("empty NameRing object")
+    header = lines[0].split(" ")
+    if len(header) != 2 or header[0] != magic:
+        raise FormatError(f"bad magic: {lines[0]!r} (wanted {magic})")
+    if int(header[1]) != FORMAT_VERSION:
+        raise FormatError(f"unsupported format version {header[1]}")
+    children: dict[str, Child] = {}
+    for line in lines[1:]:
+        fields = line.split("|")
+        if len(fields) != 7:
+            raise FormatError(f"bad tuple line: {line!r}")
+        raw_name, ts, kind, deleted, ns, size, etag = fields
+        name = unescape(raw_name)
+        children[name] = Child(
+            name=name,
+            timestamp=Timestamp.parse(ts),
+            kind=kind,
+            deleted=deleted == "D",
+            ns=None if ns == "-" else ns,
+            size=int(size),
+            etag="" if etag == "-" else etag,
+        )
+    return NameRing(children=children)
+
+
+def dumps_patch(ring: NameRing) -> bytes:
+    """A patch "is in the same format as a NameRing" (paper §3.3.2)."""
+    return dumps_ring(ring, magic=PATCH_MAGIC)
+
+
+def loads_patch(data: bytes) -> NameRing:
+    return loads_ring(data, magic=PATCH_MAGIC)
+
+
+# ----------------------------------------------------------------------
+# directory records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DirectoryRecord:
+    """A directory's own object: its name, namespace, parent, birth time."""
+
+    name: str
+    ns: str
+    parent_ns: str | None
+    created: Timestamp
+
+
+def dumps_directory(record: DirectoryRecord) -> bytes:
+    lines = [
+        f"{DIRECTORY_MAGIC} {FORMAT_VERSION}",
+        f"name {escape(record.name)}",
+        f"ns {record.ns}",
+        f"parent {record.parent_ns if record.parent_ns is not None else '-'}",
+        f"created {record.created}",
+    ]
+    return ("\n".join(lines) + "\n").encode("ascii")
+
+
+def loads_directory(data: bytes) -> DirectoryRecord:
+    try:
+        text = data.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise FormatError("directory object is not ASCII") from exc
+    lines = [ln for ln in text.split("\n") if ln]
+    if not lines or not lines[0].startswith(f"{DIRECTORY_MAGIC} "):
+        raise FormatError("bad directory magic")
+    fields: dict[str, str] = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(" ")
+        fields[key] = value
+    try:
+        return DirectoryRecord(
+            name=unescape(fields["name"]),
+            ns=fields["ns"],
+            parent_ns=None if fields["parent"] == "-" else fields["parent"],
+            created=Timestamp.parse(fields["created"]),
+        )
+    except KeyError as exc:
+        raise FormatError(f"directory object missing field {exc}") from exc

@@ -1,0 +1,261 @@
+"""H2CloudFS: the user-facing filesystem API (deliverable (a)'s front door).
+
+Wraps an object-storage cluster plus one or more
+:class:`~repro.core.middleware.H2Middleware` nodes behind POSIX-like
+calls -- ``mkdir``, ``rmdir``, ``write``, ``read``, ``delete``,
+``move``, ``rename``, ``listdir``, ``copy``, ``stat``, ``walk`` -- the
+operation vocabulary the paper evaluates.  Requests round-robin across
+middlewares exactly as a load balancer would spread clients over Swift
+proxies; maintenance (merging, gossip, GC) is driven explicitly with
+:meth:`pump` so tests and benchmarks control when asynchrony resolves.
+
+Typical use::
+
+    from repro.core import H2CloudFS
+    fs = H2CloudFS.launch(account="alice")
+    fs.mkdir("/photos")
+    fs.write("/photos/cat.jpg", b"...")
+    fs.listdir("/photos")            # ["cat.jpg"]   -- one NameRing GET
+    rel = fs.relative_path_of("/photos/cat.jpg")
+    fs.read_relative(rel)            # O(1) quick access (paper §3.2)
+"""
+
+from __future__ import annotations
+
+from ..simcloud.cluster import SwiftCluster
+from ..simcloud.failures import MessageLoss
+from .gc import GarbageCollector, GCReport
+from .gossip import GossipNetwork
+from .lookup import Resolution
+from .middleware import Entry, H2Config, H2Middleware
+from .namering import KIND_DIR
+
+
+class H2CloudFS:
+    """One account's filesystem hosted entirely in an object storage cloud."""
+
+    name = "h2cloud"  # identifier used by the benchmark harness
+
+    def __init__(
+        self,
+        cluster: SwiftCluster,
+        account: str = "user",
+        middlewares: int = 1,
+        config: H2Config | None = None,
+        gossip_fanout: int = 2,
+        message_loss: MessageLoss | None = None,
+    ):
+        if middlewares < 1:
+            raise ValueError("need at least one middleware")
+        self.cluster = cluster
+        self.account = account
+        self.network = (
+            GossipNetwork(fanout=gossip_fanout, loss=message_loss)
+            if middlewares > 1
+            else None
+        )
+        self.middlewares = [
+            H2Middleware(
+                node_id=i + 1,
+                store=cluster.store,
+                config=config,
+                network=self.network,
+            )
+            for i in range(middlewares)
+        ]
+        self._next = 0
+        if not self.middlewares[0].account_exists(account):
+            self.middlewares[0].create_account(account)
+
+    @classmethod
+    def launch(
+        cls,
+        account: str = "user",
+        middlewares: int = 1,
+        config: H2Config | None = None,
+    ) -> "H2CloudFS":
+        """An H2Cloud over a fresh rack-scale simulated cluster."""
+        return cls(
+            SwiftCluster.rack_scale(),
+            account=account,
+            middlewares=middlewares,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------
+    # middleware dispatch
+    # ------------------------------------------------------------------
+    def _mw(self) -> H2Middleware:
+        """Round-robin across middlewares, like a proxy load balancer."""
+        mw = self.middlewares[self._next % len(self.middlewares)]
+        self._next += 1
+        return mw
+
+    # ------------------------------------------------------------------
+    # the POSIX-like surface
+    # ------------------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        self._mw().mkdir(self.account, path)
+
+    def makedirs(self, path: str) -> None:
+        """mkdir -p: create every missing ancestor."""
+        from .namespace import split_path
+
+        mw = self._mw()
+        partial = ""
+        for component in split_path(path):
+            partial += "/" + component
+            if not mw.exists(self.account, partial):
+                mw.mkdir(self.account, partial)
+
+    def rmdir(self, path: str, recursive: bool = True) -> None:
+        self._mw().rmdir(self.account, path, recursive=recursive)
+
+    def write(self, path: str, data: bytes, if_match: str | None = None) -> None:
+        """WRITE, optionally conditional on the current etag.
+
+        ``if_match=""`` means "create only" (fail if the file exists);
+        any other value requires the existing entry's etag to match --
+        the optimistic-concurrency handshake sync clients use to detect
+        conflicting updates.
+        """
+        self._mw().write_file(self.account, path, data, if_match=if_match)
+
+    def etag_of(self, path: str) -> str:
+        """The current entry's etag (for a later conditional write)."""
+        from ..simcloud.errors import IsADirectory
+
+        resolution = self.stat(path)
+        if resolution.is_dir:
+            raise IsADirectory(path)
+        return resolution.child.etag
+
+    def read(self, path: str) -> bytes:
+        return self._mw().read_file(self.account, path)
+
+    def write_many(self, dir_path: str, items: list[tuple[str, object]]) -> None:
+        """Bulk-load many files into one directory with a single patch."""
+        self._mw().write_files(self.account, dir_path, items)
+
+    def open_write(self, path: str):
+        """Open a streaming writer (paper §3.3.3b's I/O stream interface).
+
+        Merging on the serving middleware is blocked until the stream
+        closes and its patch is submitted::
+
+            with fs.open_write("/videos/movie.mkv") as w:
+                w.write(chunk1)
+                w.write(chunk2)
+        """
+        return self._mw().open_write(self.account, path)
+
+    def read_relative(self, rel_path: str) -> bytes:
+        """Quick O(1) access by namespace-decorated relative path."""
+        return self._mw().read_file_relative(rel_path)
+
+    def relative_path_of(self, path: str) -> str:
+        return self._mw().relative_path_of(self.account, path)
+
+    def delete(self, path: str) -> None:
+        self._mw().delete_file(self.account, path)
+
+    def move(self, src: str, dst: str) -> None:
+        self._mw().move(self.account, src, dst)
+
+    def rename(self, src: str, dst: str) -> None:
+        self._mw().rename(self.account, src, dst)
+
+    def copy(self, src: str, dst: str) -> int:
+        return self._mw().copy(self.account, src, dst)
+
+    def listdir(
+        self,
+        path: str = "/",
+        detailed: bool = False,
+        marker: str | None = None,
+        limit: int | None = None,
+    ) -> list:
+        """Names (cheap, one ring GET) or full :class:`Entry` objects.
+
+        ``marker``/``limit`` paginate Swift-style: entries strictly
+        after ``marker``, at most ``limit`` of them.
+        """
+        entries = self._mw().list_dir(
+            self.account, path, detailed=detailed, marker=marker, limit=limit
+        )
+        if detailed:
+            return entries
+        return [e.name for e in entries]
+
+    def read_range(self, path: str, offset: int, length: int):
+        """Ranged READ: only the requested window crosses the wire."""
+        return self._mw().read_file_range(self.account, path, offset, length)
+
+    def du(self, path: str = "/") -> tuple[int, int, int]:
+        """(directories, files, logical bytes) under ``path`` --
+        computed from NameRing metadata alone, O(directories)."""
+        return self._mw().usage(self.account, path)
+
+    def stat(self, path: str) -> Resolution:
+        return self._mw().stat(self.account, path)
+
+    def exists(self, path: str) -> bool:
+        return self._mw().exists(self.account, path)
+
+    def is_dir(self, path: str) -> bool:
+        resolution = self._mw().lookup.try_resolve(self.account, path)
+        return resolution is not None and resolution.is_dir
+
+    def walk(self, top: str = "/"):
+        """Yield (dirpath, dirnames, filenames) top-down, like os.walk."""
+        entries = self._mw().list_dir(self.account, top, detailed=False)
+        dirnames = [e.name for e in entries if e.kind == KIND_DIR]
+        filenames = [e.name for e in entries if e.kind != KIND_DIR]
+        yield top, dirnames, filenames
+        for name in dirnames:
+            child = (top.rstrip("/") or "") + "/" + name
+            yield from self.walk(child)
+
+    def tree_size(self, top: str = "/") -> tuple[int, int]:
+        """(directories, files) under ``top`` -- audits and tests."""
+        dirs = files = 0
+        for _, dirnames, filenames in self.walk(top):
+            dirs += len(dirnames)
+            files += len(filenames)
+        return dirs, files
+
+    # ------------------------------------------------------------------
+    # maintenance control
+    # ------------------------------------------------------------------
+    def pump(self) -> None:
+        """Drain all asynchrony: mergers, then gossip to convergence."""
+        for mw in self.middlewares:
+            mw.merger.run_until_clean()
+        if self.network is not None:
+            self.network.converge()
+
+    def drop_caches(self) -> None:
+        """Evict every clean descriptor (benchmarks' cold-cache knob)."""
+        for mw in self.middlewares:
+            mw.fd_cache.drop_clean()
+
+    def gc(self) -> GCReport:
+        """One mark-and-sweep pass over every account on the cluster.
+
+        GC is cluster-wide by construction: object keys carry opaque
+        namespaces, so the mark phase must walk all accounts to know
+        what is reachable.
+        """
+        self.pump()
+        return GarbageCollector(self.middlewares[0]).collect()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def clock(self):
+        return self.cluster.clock
+
+    @property
+    def store(self):
+        return self.cluster.store

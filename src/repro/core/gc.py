@@ -1,0 +1,158 @@
+"""Deferred deletion: the garbage collector behind fake deletion.
+
+H2Cloud never removes data inline: RMDIR and DELETE just tombstone a
+NameRing tuple (paper §3.3.3a), leaving the subtree's objects --
+file bodies, directory records, NameRings -- in the store.  Something
+must eventually reclaim them; the paper defers this ("we leave the
+work of really removing..."), so the collector here is the natural
+completion of that design: a mark-and-sweep pass over one account's
+object graph, run as background maintenance.
+
+* **mark**: walk the live tree from the account root, collecting every
+  reachable object key (directory records, NameRings, file bodies);
+* **sweep**: delete unreachable ``dir:``/``nr:``/``f:`` objects, except
+  patch objects still referenced by a pending chain;
+* **compact**: strip tombstones from stored rings when no in-flight
+  rumor or dirty chain could resurrect them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simcloud.errors import ObjectNotFound
+from . import formatter
+from .namering import KIND_DIR
+from .namespace import Namespace, directory_key, file_key, namering_key
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """What one collection pass accomplished."""
+
+    marked: int
+    swept: int
+    reclaimed_bytes: int
+    compacted_rings: int
+
+
+class GarbageCollector:
+    """Mark-and-sweep over the H2 object graph of given accounts."""
+
+    def __init__(self, middleware, accounts: list[str] | None = None):
+        self._mw = middleware
+        # Marking fewer accounts than the cluster hosts would sweep the
+        # others' objects, so the default scope is every account the
+        # store knows about.
+        if accounts is None:
+            accounts = sorted(middleware.store.accounts)
+        self._accounts = list(accounts)
+        missing = set(self._accounts) - middleware.store.accounts
+        if missing:
+            raise ValueError(f"unknown accounts: {sorted(missing)}")
+        if set(self._accounts) != middleware.store.accounts:
+            raise ValueError(
+                "GC must cover every account on the cluster "
+                f"(missing {sorted(middleware.store.accounts - set(self._accounts))})"
+            )
+
+    # ------------------------------------------------------------------
+    def collect(self) -> GCReport:
+        """One full pass.  Runs entirely in background-accounted time."""
+        return self._mw.background(self._collect)
+
+    def _collect(self) -> GCReport:
+        if not self._safe_to_collect():
+            return GCReport(marked=0, swept=0, reclaimed_bytes=0, compacted_rings=0)
+        reachable, ring_keys = self._mark()
+        swept, reclaimed = self._sweep(reachable)
+        compacted = self._compact(ring_keys)
+        return GCReport(
+            marked=len(reachable),
+            swept=swept,
+            reclaimed_bytes=reclaimed,
+            compacted_rings=compacted,
+        )
+
+    def _safe_to_collect(self) -> bool:
+        """Refuse to run while updates are still propagating."""
+        network = self._mw.network
+        if network is not None and network.in_flight:
+            return False
+        peers = network.members if network is not None else [self._mw]
+        return not any(peer.fd_cache.dirty_descriptors() for peer in peers)
+
+    # ------------------------------------------------------------------
+    def _mark(self) -> tuple[set[str], list[str]]:
+        store = self._mw.store
+        reachable: set[str] = set()
+        ring_keys: list[str] = []
+        for account in self._accounts:
+            stack = [Namespace.root(account)]
+            while stack:
+                ns = stack.pop()
+                dkey, rkey = directory_key(ns), namering_key(ns)
+                reachable.update((dkey, rkey))
+                ring_keys.append(rkey)
+                try:
+                    ring = formatter.loads_ring(store.get(rkey).data)
+                except ObjectNotFound:
+                    continue
+                for child in ring.live_children():
+                    if child.kind == KIND_DIR:
+                        stack.append(Namespace(child.ns))
+                    else:
+                        reachable.add(file_key(ns, child.name))
+        return reachable, ring_keys
+
+    def _sweep(self, reachable: set[str]) -> tuple[int, int]:
+        store = self._mw.store
+        protected = self._protected_patches()
+        swept = 0
+        reclaimed = 0
+        for name in sorted(store.names()):
+            if not name.startswith(("dir:", "nr:", "f:", "patch:")):
+                continue
+            if name in reachable:
+                continue
+            if name.startswith("patch:") and name in protected:
+                continue
+            try:
+                reclaimed += store.head(name).size
+                store.delete(name)
+                swept += 1
+            except ObjectNotFound:  # pragma: no cover - racing deletes
+                continue
+        return swept, reclaimed
+
+    def _protected_patches(self) -> set[str]:
+        network = self._mw.network
+        peers = network.members if network is not None else [self._mw]
+        protected: set[str] = set()
+        for peer in peers:
+            for fd in peer.fd_cache.dirty_descriptors():
+                protected.update(p.object_name for p in fd.chain.patches)
+        return protected
+
+    # ------------------------------------------------------------------
+    def _compact(self, ring_keys: list[str]) -> int:
+        """Rewrite stored rings without tombstones (safe: system quiet)."""
+        store = self._mw.store
+        compacted = 0
+        for rkey in ring_keys:
+            try:
+                ring = formatter.loads_ring(store.get(rkey).data)
+            except ObjectNotFound:
+                continue
+            if not ring.needs_compaction:
+                continue
+            store.put(rkey, formatter.dumps_ring(ring.compacted()))
+            compacted += 1
+        # Caches may still hold tombstoned versions; refresh loaded rings.
+        network = self._mw.network
+        peers = network.members if network is not None else [self._mw]
+        for peer in peers:
+            for fd in peer.fd_cache.descriptors():
+                if fd.loaded and fd.ring.needs_compaction and not fd.dirty:
+                    fd.ring = fd.ring.compacted()
+        return compacted

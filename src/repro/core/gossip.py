@@ -1,0 +1,160 @@
+"""Gossip flooding between H2Middlewares (paper §3.3.2 Phase 2 step 2).
+
+After a node merges patches into its local NameRing version, the other
+middleware nodes must learn about it so "each node can eventually have
+the same NameRing views".  The paper's protocol:
+
+* each gossip message carries tuples ``(N_i, H_j, t_k)`` -- NameRing
+  ``N_i``'s local version in node ``H_j`` was updated at ``t_k``;
+* on receipt, a node fetches the updated version, merges it into its
+  local version, and forwards the rumor;
+* **loopback avoidance**: forwarding aborts when the local timestamp is
+  already >= the rumor's -- the local version is at least as new.
+
+The :class:`GossipNetwork` here is a deterministic, round-pumped
+message fabric: rumors are queued, :meth:`pump` delivers one round,
+:meth:`run_until_quiet` drives the system to convergence.  Message loss
+is injectable; anti-entropy (periodic full-state sync between random
+pairs) backstops convergence under loss, mirroring how epidemic
+protocols [Demers et al. 1987] pair rumor mongering with anti-entropy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..simcloud.clock import Timestamp
+from ..simcloud.failures import MessageLoss
+from .namespace import Namespace
+
+
+@dataclass(frozen=True)
+class Rumor:
+    """(N_i, H_j, t_k): ring ``ns`` was updated on node ``origin`` at ``ts``."""
+
+    ns: Namespace
+    origin: int
+    ts: Timestamp
+
+
+class GossipNetwork:
+    """The rumor fabric connecting every H2Middleware in a deployment."""
+
+    def __init__(self, fanout: int = 2, loss: MessageLoss | None = None):
+        if fanout < 1:
+            raise ValueError("gossip fanout must be >= 1")
+        self.fanout = fanout
+        self.loss = loss or MessageLoss(0.0)
+        self._members: dict[int, object] = {}  # node_id -> middleware
+        self._queue: deque[tuple[int, Rumor]] = deque()  # (dst, rumor)
+        self.rumors_sent = 0
+        self.rumors_delivered = 0
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def join(self, middleware) -> None:
+        if middleware.node_id in self._members:
+            raise ValueError(f"node {middleware.node_id} already joined")
+        self._members[middleware.node_id] = middleware
+
+    @property
+    def members(self) -> list:
+        return [self._members[nid] for nid in sorted(self._members)]
+
+    def peer(self, node_id: int):
+        return self._members[node_id]
+
+    def peers_of(self, node_id: int) -> list[int]:
+        return [nid for nid in sorted(self._members) if nid != node_id]
+
+    # ------------------------------------------------------------------
+    # rumor transport
+    # ------------------------------------------------------------------
+    def announce(self, origin_id: int, rumor: Rumor) -> None:
+        """Seed a rumor from its origin to ``fanout`` peers."""
+        self._send_from(origin_id, rumor)
+
+    def _send_from(self, sender_id: int, rumor: Rumor) -> None:
+        peers = self.peers_of(sender_id)
+        # Deterministic fanout selection: rotate by sender so load spreads
+        # but runs stay reproducible.
+        if not peers:
+            return
+        start = sender_id % len(peers)
+        targets = [peers[(start + k) % len(peers)] for k in range(min(self.fanout, len(peers)))]
+        for dst in targets:
+            self.rumors_sent += 1
+            if self.loss.should_drop():
+                continue
+            self._queue.append((dst, rumor))
+
+    def pump(self) -> int:
+        """Deliver one round: everything queued right now, not reflooding.
+
+        Receivers may enqueue forwards; those wait for the next round.
+        Returns the number of rumors delivered this round.
+        """
+        batch = len(self._queue)
+        for _ in range(batch):
+            dst, rumor = self._queue.popleft()
+            middleware = self._members.get(dst)
+            if middleware is None:
+                continue
+            self.rumors_delivered += 1
+            forward = middleware.on_gossip(rumor)
+            if forward:
+                self._send_from(dst, rumor)
+        self.rounds += 1
+        return batch
+
+    def run_until_quiet(self, max_rounds: int = 1000) -> int:
+        """Pump until no rumors are in flight; returns rounds used."""
+        for used in range(max_rounds):
+            if not self._queue:
+                return used
+            self.pump()
+        raise RuntimeError("gossip failed to quiesce (rumor storm)")
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._queue)
+
+    def quiet_for(self, ns: Namespace) -> bool:
+        """No queued rumor references ``ns`` (compaction safety check)."""
+        return all(rumor.ns != ns for _, rumor in self._queue)
+
+    # ------------------------------------------------------------------
+    # anti-entropy backstop
+    # ------------------------------------------------------------------
+    def anti_entropy_round(self) -> int:
+        """Pairwise full-state sync: every node pulls from its successor.
+
+        Guarantees convergence even when rumor messages were lost.
+        Returns the number of rings refreshed.
+        """
+        node_ids = sorted(self._members)
+        refreshed = 0
+        for i, nid in enumerate(node_ids):
+            puller = self._members[nid]
+            source = self._members[node_ids[(i + 1) % len(node_ids)]]
+            if source is puller:
+                continue
+            refreshed += puller.pull_state_from(source)
+        return refreshed
+
+    def converge(self, max_rounds: int = 1000) -> None:
+        """Drive the whole deployment to a fixed point.
+
+        Rumor rounds first; then anti-entropy sweeps until no ring
+        changes anywhere (covers rumors dropped by message loss).
+        """
+        self.run_until_quiet(max_rounds=max_rounds)
+        for _ in range(max_rounds):
+            changed = self.anti_entropy_round()
+            self.run_until_quiet(max_rounds=max_rounds)
+            if changed == 0:
+                return
+        raise RuntimeError("anti-entropy failed to reach a fixed point")

@@ -1,0 +1,116 @@
+"""The H2 Lookup module (paper §3.2, §4.2).
+
+H2 offers two file-access methods:
+
+* **quick** -- given a namespace-decorated relative path like
+  ``N02::file1``, hash it and fetch the object directly: O(1);
+* **regular** -- given a full path ``/home/ubuntu/file1`` of depth d,
+  hash each directory name level by level, walking d NameRings: O(d).
+
+The walk goes through the middleware's File Descriptor Cache, so hot
+directories resolve without touching the store; the Fig 13 benchmark
+drops caches between measurements to expose the cold O(d) behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simcloud.errors import NotADirectory, PathNotFound
+from .namering import KIND_DIR, Child
+from .namespace import Namespace, parent_and_base, split_path
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """The result of resolving a full path level by level."""
+
+    path: str
+    ns_chain: tuple[Namespace, ...]  # namespaces of every ancestor dir
+    child: Child | None  # None when the path is the account root
+
+    @property
+    def parent_ns(self) -> Namespace:
+        return self.ns_chain[-1]
+
+    @property
+    def is_root(self) -> bool:
+        return self.child is None
+
+    @property
+    def is_dir(self) -> bool:
+        return self.child is None or self.child.kind == KIND_DIR
+
+    @property
+    def dir_ns(self) -> Namespace:
+        """The namespace of the resolved directory itself."""
+        if self.child is None:
+            return self.ns_chain[-1]
+        if self.child.kind != KIND_DIR or self.child.ns is None:
+            raise NotADirectory(self.path)
+        return Namespace(self.child.ns)
+
+
+class H2Lookup:
+    """Level-by-level resolution over a middleware's NameRings."""
+
+    def __init__(self, middleware):
+        self._mw = middleware
+
+    def resolve(self, account: str, path: str, use_cache: bool = True) -> Resolution:
+        """Resolve a full path to its parent chain and final child.
+
+        Raises :class:`PathNotFound` if any component is missing (or
+        fake-deleted) and :class:`NotADirectory` if a non-final
+        component is a file.  Cost: one NameRing load per level that
+        misses the descriptor cache.
+        """
+        components = split_path(path)
+        ns = Namespace.root(account)
+        chain = [ns]
+        child: Child | None = None
+        for i, name in enumerate(components):
+            fd = self._mw.load_ring(ns, use_cache=use_cache)
+            child = fd.view().get(name)
+            if child is None and use_cache and fd.loaded:
+                # Revalidate on miss: the cached ring may predate an
+                # update another middleware merged into the store.
+                # Only failed lookups pay this extra GET; positive
+                # cache hits stay free (eventual consistency with
+                # read-repair on the miss path).
+                fd = self._mw.load_ring(ns, use_cache=False)
+                child = fd.view().get(name)
+            if child is None:
+                raise PathNotFound("/" + "/".join(components[: i + 1]))
+            is_last = i == len(components) - 1
+            if not is_last:
+                if child.kind != KIND_DIR or child.ns is None:
+                    raise NotADirectory("/" + "/".join(components[: i + 1]))
+                ns = Namespace(child.ns)
+                chain.append(ns)
+        return Resolution(path=path, ns_chain=tuple(chain), child=child)
+
+    def resolve_dir(
+        self, account: str, path: str, use_cache: bool = True
+    ) -> Namespace:
+        """Resolve a path that must be a directory; returns its namespace."""
+        resolution = self.resolve(account, path, use_cache=use_cache)
+        return resolution.dir_ns
+
+    def resolve_parent(
+        self, account: str, path: str, use_cache: bool = True
+    ) -> tuple[Namespace, str]:
+        """Resolve everything but the last component: (parent_ns, base)."""
+        parent, base = parent_and_base(path)
+        if parent == "/":
+            return Namespace.root(account), base
+        return self.resolve_dir(account, parent, use_cache=use_cache), base
+
+    def try_resolve(
+        self, account: str, path: str, use_cache: bool = True
+    ) -> Resolution | None:
+        """Resolution or None -- for existence probes."""
+        try:
+            return self.resolve(account, path, use_cache=use_cache)
+        except (PathNotFound, NotADirectory):
+            return None

@@ -1,0 +1,154 @@
+"""The Background Merger (paper §3.3.2 Phase 2 step 1, §4.5).
+
+Submitted patches accumulate in per-ring patch chains inside each
+middleware.  The merger drains a chain by (a) folding the chain
+front-to-back into one "big" patch, (b) fetching the ring's stored
+version, (c) running the NameRing merging algorithm, and (d) writing
+the merged ring back -- after which the node has its local (eventually
+consistent) version and the patch objects can be retired.
+
+Cost accounting: when a merge runs as *background* work its store
+traffic is measured and booked to ``ledger.background_us`` instead of
+the foreground clock -- the paper's reported operation times cover the
+client-visible path only, with merging asynchronous behind it.  The
+``foreground`` flag exists for H2Cloud's write-through configuration
+(one middleware, merge inline) and for the sync-vs-async ablation.
+"""
+
+from __future__ import annotations
+
+from ..simcloud.errors import ObjectNotFound
+from . import formatter
+from .descriptor import FileDescriptor
+from .namespace import Namespace, namering_key
+
+
+class BackgroundMerger:
+    """Drains patch chains into NameRings for one middleware node."""
+
+    def __init__(self, middleware):
+        self._mw = middleware
+        self.merges = 0
+        self.patches_applied = 0
+
+    # ------------------------------------------------------------------
+    # the merge of one ring
+    # ------------------------------------------------------------------
+    def merge_ring(self, ns: Namespace, foreground: bool = False) -> bool:
+        """Apply the pending chain for ``ns``; True if anything merged.
+
+        Respects the §3.3.3b blocking rule: while a file stream is open
+        on this middleware, merging is deferred (chains keep growing
+        and drain once the stream's patch has been submitted).
+        """
+        if self._mw.merge_blocked:
+            return False
+        fd = self._mw.fd_cache.get_or_create(ns)
+        if not fd.chain:
+            return False
+        if foreground:
+            self._apply(fd)
+        else:
+            self._mw.background(lambda: self._apply(fd))
+        return True
+
+    def _apply(self, fd: FileDescriptor) -> None:
+        big_patch = fd.chain.fold()
+        stored = self._load_stored(fd.ns)
+        merged = stored.merge(fd.ring).merge(big_patch)
+        fd.ring = merged
+        fd.loaded = True
+        self._mw.store_ring(fd)
+        drained = fd.chain.clear()
+        self._retire_patches(drained)
+        self.merges += 1
+        self.patches_applied += len(drained)
+        self._mw.after_merge(fd)
+
+    def _load_stored(self, ns: Namespace):
+        from .namering import NameRing
+
+        try:
+            record = self._mw.store.get(namering_key(ns))
+        except ObjectNotFound:
+            return NameRing.empty()
+        return formatter.loads_ring(record.data)
+
+    def _retire_patches(self, patches) -> None:
+        """Delete applied patch objects from the store."""
+        for patch in patches:
+            self._mw.store.delete(patch.object_name, missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # node-wide drain
+    # ------------------------------------------------------------------
+    def run_once(self) -> int:
+        """One background sweep; returns how many rings actually merged."""
+        merged = 0
+        for fd in self._mw.fd_cache.dirty_descriptors():
+            if self.merge_ring(fd.ns, foreground=False):
+                merged += 1
+        return merged
+
+    def run_until_clean(self, max_rounds: int = 64) -> int:
+        """Sweep until no descriptor is dirty; returns total merges run."""
+        total = 0
+        for _ in range(max_rounds):
+            merged = self.run_once()
+            if merged == 0:
+                return total
+            total += merged
+        raise RuntimeError("merger failed to quiesce (patch chains keep growing)")
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def recover_orphaned_patches(self) -> int:
+        """Apply patch objects whose submitting middleware is gone.
+
+        Phase 1 makes every patch durable *before* it is applied, so a
+        middleware crash between submission and merge loses nothing:
+        any node can later list ``patch:`` objects, reconstruct the
+        updates, and merge them into the targeted NameRings.  Returns
+        the number of patches recovered.  Idempotent -- the LWW merge
+        absorbs re-applied patches, and recovered patch objects are
+        retired like normally merged ones.
+        """
+        from .namespace import Namespace
+        from .patch import Patch
+
+        recovered = 0
+        chained = {
+            patch.object_name
+            for fd in self._mw.fd_cache.descriptors()
+            for patch in fd.chain.patches
+        }
+        by_ns: dict[str, list[tuple[int, int, str]]] = {}
+        for name in sorted(self._mw.store.names()):
+            if not name.startswith("patch:") or name in chained:
+                continue
+            # patch:<ns>:Node<NN>.Patch<PPPPPP>
+            _, ns_uuid, tail = name.split(":", 2)
+            node_part, patch_part = tail.split(".", 1)
+            node_id = int(node_part.removeprefix("Node"))
+            patch_seq = int(patch_part.removeprefix("Patch"))
+            by_ns.setdefault(ns_uuid, []).append((node_id, patch_seq, name))
+        for ns_uuid, found in by_ns.items():
+            ns = Namespace(ns_uuid)
+            fd = self._mw.fd_cache.get_or_create(ns)
+            payload = None
+            for node_id, patch_seq, name in sorted(found):
+                record = self._mw.store.get(name)
+                patch = Patch.from_bytes(ns, node_id, patch_seq, record.data)
+                payload = (
+                    patch.payload if payload is None else payload.merge(patch.payload)
+                )
+                recovered += 1
+            stored = self._load_stored(ns)
+            fd.ring = stored.merge(fd.ring).merge(payload)
+            fd.loaded = True
+            self._mw.store_ring(fd)
+            for _, _, name in found:
+                self._mw.store.delete(name, missing_ok=True)
+            self._mw.after_merge(fd)
+        return recovered

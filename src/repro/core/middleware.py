@@ -1,0 +1,708 @@
+"""The H2Middleware (paper §4.2): the component that embodies H2.
+
+One middleware wraps one (conceptual) Swift proxy server.  Toward user
+clients it exposes the Inbound API -- account, directory and file
+operations; toward the object storage cloud it acts as a client issuing
+PUT/GET/DELETE/HEAD/COPY (the Outbound API, here simply the
+:class:`~repro.simcloud.object_store.ObjectStore` facade).  Internally
+it wires together the modules of Figure 6: the H2 Lookup, the
+Formatter, and the NameRing Maintenance module (File Descriptor Cache,
+Background Merger, Gossip Arrangement).
+
+Cost accounting convention: everything a client waits for runs on the
+foreground clock; merger and gossip work is measured and booked to
+``store.ledger.background_us`` (the paper reports client-visible
+operation time, with NameRing maintenance asynchronous behind it).
+With ``auto_merge=True`` (the write-through default used by the
+benchmarks) the patch submitted by a mutation is merged inline, so the
+client-visible cost of MKDIR et al. includes the merge round trip --
+this is what lands H2Cloud's MKDIR in the paper's 150-200 ms band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simcloud.clock import Timestamp
+from ..simcloud.errors import (
+    AlreadyExists,
+    DirectoryNotEmpty,
+    InvalidPath,
+    IsADirectory,
+    NotADirectory,
+    ObjectNotFound,
+    PathNotFound,
+    PreconditionFailed,
+)
+from ..simcloud.object_store import ObjectStore
+from . import formatter
+from .descriptor import FileDescriptor, FileDescriptorCache
+from .formatter import DirectoryRecord
+from .gossip import GossipNetwork, Rumor
+from .lookup import H2Lookup, Resolution
+from .namering import KIND_DIR, KIND_FILE, Child, NameRing
+from .namespace import (
+    Namespace,
+    NamespaceAllocator,
+    directory_key,
+    file_key,
+    namering_key,
+    parse_decorated,
+    split_path,
+)
+from .patch import Patch, PatchCounter
+
+
+@dataclass(frozen=True)
+class H2Config:
+    """Behavioural knobs of one middleware."""
+
+    auto_merge: bool = True  # merge each patch inline (write-through)
+    compact_on_use: bool = True  # strip tombstones when a ring is used
+    fd_cache_capacity: int = 4096
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One child in a directory listing / stat result."""
+
+    name: str
+    kind: str
+    size: int = 0
+    etag: str = ""
+    ns: str | None = None
+    modified: Timestamp = Timestamp.ZERO
+
+
+class H2Middleware:
+    """One H2 proxy node: Inbound API over the flat object store."""
+
+    def __init__(
+        self,
+        node_id: int,
+        store: ObjectStore,
+        config: H2Config | None = None,
+        network: GossipNetwork | None = None,
+    ):
+        self.node_id = node_id
+        self.store = store
+        self.clock = store.clock
+        self.config = config or H2Config()
+        self.fd_cache = FileDescriptorCache(self.config.fd_cache_capacity)
+        self.allocator = NamespaceAllocator(node_id, self.clock)
+        self.patch_counter = PatchCounter(node_id)
+        self.lookup = H2Lookup(self)
+        # Imported here to avoid a circular import at module load.
+        from .merger import BackgroundMerger
+
+        self.merger = BackgroundMerger(self)
+        self.network = network
+        if network is not None:
+            network.join(self)
+        self.patches_submitted = 0
+        self._merge_block = 0  # §3.3.3b: >0 while a file stream is open
+
+    # ==================================================================
+    # storage-facing plumbing
+    # ==================================================================
+    def background(self, thunk):
+        """Run maintenance work off the client path; book its cost."""
+        result, elapsed = self.clock.run_isolated(thunk)
+        self.store.ledger.background_us += elapsed
+        return result
+
+    def load_ring(self, ns: Namespace, use_cache: bool = True) -> FileDescriptor:
+        """The descriptor for ``ns``, loading the stored ring on a miss."""
+        fd = self.fd_cache.get_or_create(ns)
+        if fd.loaded and use_cache:
+            return fd
+        try:
+            record = self.store.get(namering_key(ns))
+            stored = formatter.loads_ring(record.data)
+        except ObjectNotFound:
+            raise PathNotFound(f"<namespace {ns}>") from None
+        # Merge, don't replace: local unmerged updates must survive.
+        fd.ring = fd.ring.merge(stored)
+        fd.loaded = True
+        return fd
+
+    def store_ring(self, fd: FileDescriptor) -> None:
+        self.store.put(namering_key(fd.ns), formatter.dumps_ring(fd.ring))
+        fd.merged_version = fd.ring.version
+
+    def submit_patch(self, ns: Namespace, entries: list[Child]) -> Patch:
+        """Phase 1: PUT the patch object and chain it locally.
+
+        With ``auto_merge`` the intra-node merge (Phase 2 step 1) runs
+        inline; otherwise it waits for the Background Merger.  Either
+        way the gossip announcement happens in :meth:`after_merge`.
+        """
+        payload = NameRing(children={c.name: c for c in entries})
+        patch = Patch(
+            target_ns=ns,
+            node_id=self.node_id,
+            patch_seq=self.patch_counter.next_seq(ns),
+            payload=payload,
+        )
+        self.store.put(patch.object_name, patch.to_bytes())
+        fd = self.fd_cache.get_or_create(ns)
+        fd.chain.append(patch)
+        self.patches_submitted += 1
+        if self.config.auto_merge:
+            self.merger.merge_ring(ns, foreground=True)
+        return patch
+
+    def after_merge(self, fd: FileDescriptor) -> None:
+        """Called by the merger once a ring version is written back."""
+        if self.network is not None:
+            self.network.announce(
+                self.node_id,
+                Rumor(ns=fd.ns, origin=self.node_id, ts=fd.local_version),
+            )
+
+    # ------------------------------------------------------------------
+    # the §3.3.3b blocking rule (used by streaming writes)
+    # ------------------------------------------------------------------
+    @property
+    def merge_blocked(self) -> bool:
+        return self._merge_block > 0
+
+    def block_merging(self) -> None:
+        self._merge_block += 1
+
+    def unblock_merging(self) -> None:
+        if self._merge_block <= 0:
+            raise RuntimeError("unbalanced unblock_merging")
+        self._merge_block -= 1
+
+    def open_write(self, account: str, path: str):
+        """Open an I/O stream for a (large) file write (paper §3.3.3b)."""
+        from .streams import FileWriter
+
+        return FileWriter(self, account, path)
+
+    def next_timestamp(self) -> Timestamp:
+        # One logical timestamp source per deployment keeps LWW sane:
+        # the store's factory is shared by all middlewares on a cluster.
+        return self.store.timestamps.next()
+
+    # ==================================================================
+    # gossip handlers (Phase 2 step 2)
+    # ==================================================================
+    def on_gossip(self, rumor: Rumor) -> bool:
+        """Merge the origin's version of the ring; True => forward.
+
+        Loopback avoidance: when our local version timestamp is already
+        >= the rumor's, our view is at least as new -- abort forwarding.
+        """
+        fd = self.fd_cache.get_or_create(rumor.ns)
+        if fd.local_version >= rumor.ts:
+            return False
+
+        def absorb():
+            origin = self.network.peer(rumor.origin)
+            remote = origin.local_ring_copy(rumor.ns)
+            if remote is None:
+                return
+            fd.ring = fd.ring.merge(remote)
+            fd.loaded = True
+            self.store_ring(fd)
+
+        self.background(absorb)
+        return True
+
+    def local_ring_copy(self, ns: Namespace) -> NameRing | None:
+        """Our local version of a ring, for a peer's gossip fetch."""
+        fd = self.fd_cache.lookup(ns)
+        if fd is None or not fd.loaded:
+            return None
+        return fd.ring
+
+    def pull_state_from(self, source: "H2Middleware") -> int:
+        """Anti-entropy: merge every loaded ring of ``source``; count changes."""
+        changed = 0
+        for src_fd in source.fd_cache.descriptors():
+            if not src_fd.loaded:
+                continue
+            fd = self.fd_cache.get_or_create(src_fd.ns)
+            merged = fd.ring.merge(src_fd.ring)
+            if merged.children != fd.ring.children:
+                fd.ring = merged
+                fd.loaded = True
+                self.background(lambda fd=fd: self.store_ring(fd))
+                changed += 1
+        return changed
+
+    # ==================================================================
+    # Inbound API: accounts
+    # ==================================================================
+    def create_account(self, account: str) -> Namespace:
+        root = Namespace.root(account)
+        if self.store.exists(directory_key(root)):
+            raise AlreadyExists(f"account {account!r}")
+        record = DirectoryRecord(
+            name="/", ns=root.uuid, parent_ns=None, created=self.next_timestamp()
+        )
+        self.store.put(directory_key(root), formatter.dumps_directory(record))
+        self.store.put(namering_key(root), formatter.dumps_ring(NameRing.empty()))
+        self.store.accounts.add(account)
+        return root
+
+    def account_exists(self, account: str) -> bool:
+        return self.store.exists(directory_key(Namespace.root(account)))
+
+    def delete_account(self, account: str, force: bool = False) -> None:
+        """Remove an account: its root record and ring disappear, the
+        tree becomes unreachable, and GC reclaims the objects.
+
+        Refuses to delete a non-empty account unless ``force`` -- the
+        web API's guard against fat-fingered tenancy removal.
+        """
+        root = Namespace.root(account)
+        if not self.store.exists(directory_key(root)):
+            raise PathNotFound(f"<account {account}>")
+        if not force:
+            fd = self.load_ring(root, use_cache=False)
+            if len(fd.view()) > 0:
+                raise DirectoryNotEmpty(f"<account {account}>")
+        self.store.delete(namering_key(root), missing_ok=True)
+        self.store.delete(directory_key(root), missing_ok=True)
+        self.store.accounts.discard(account)
+        self.fd_cache.invalidate(root)
+
+    # ==================================================================
+    # Inbound API: directory operations
+    # ==================================================================
+    def mkdir(self, account: str, path: str) -> Namespace:
+        parent_ns, name = self.lookup.resolve_parent(account, path)
+        parent_fd = self.load_ring(parent_ns)
+        if parent_fd.view().get(name) is not None:
+            raise AlreadyExists(path)
+        ns = self.allocator.next()
+        created = self.next_timestamp()
+        record = DirectoryRecord(
+            name=name, ns=ns.uuid, parent_ns=parent_ns.uuid, created=created
+        )
+        self.store.put(directory_key(ns), formatter.dumps_directory(record))
+        self.store.put(namering_key(ns), formatter.dumps_ring(NameRing.empty()))
+        self.submit_patch(
+            parent_ns,
+            [Child(name=name, timestamp=created, kind=KIND_DIR, ns=ns.uuid)],
+        )
+        return ns
+
+    def rmdir(self, account: str, path: str, recursive: bool = True) -> None:
+        """Fake-delete a directory: one patch to the parent ring, O(1).
+
+        The subtree becomes unreachable immediately; physical removal
+        is the garbage collector's job (paper §3.3.3a).  With
+        ``recursive=False`` an emptiness check (one ring load) guards
+        the operation first.
+        """
+        resolution = self.lookup.resolve(account, path)
+        if resolution.is_root:
+            raise InvalidPath(path, "cannot remove the root")
+        child = resolution.child
+        if child.kind != KIND_DIR:
+            raise NotADirectory(path)
+        if not recursive:
+            target_fd = self.load_ring(Namespace(child.ns))
+            if len(target_fd.view()) > 0:
+                raise DirectoryNotEmpty(path)
+        self.submit_patch(
+            resolution.parent_ns, [child.tombstone(self.next_timestamp())]
+        )
+
+    def move(self, account: str, src: str, dst: str) -> None:
+        """MOVE/RENAME: two NameRing patches, O(1) in n (paper Table 1).
+
+        For directories the namespace travels with the entry, so the
+        subtree is untouched.  For files the content object is keyed by
+        parent namespace, so a same-size server-side copy re-homes it.
+        """
+        src_res = self.lookup.resolve(account, src)
+        if src_res.is_root:
+            raise InvalidPath(src, "cannot move the root")
+        child = src_res.child
+        dst_parent_ns, dst_name = self.lookup.resolve_parent(account, dst)
+        dst_parent_fd = self.load_ring(dst_parent_ns)
+        if dst_parent_fd.view().get(dst_name) is not None:
+            raise AlreadyExists(dst)
+        if child.kind == KIND_DIR:
+            self._guard_cycle(account, child, dst)
+        ts = self.next_timestamp()
+        if child.kind == KIND_FILE:
+            src_key = file_key(src_res.parent_ns, child.name)
+            self.store.copy(src_key, file_key(dst_parent_ns, dst_name))
+            moved = Child(
+                name=dst_name,
+                timestamp=ts,
+                kind=KIND_FILE,
+                size=child.size,
+                etag=child.etag,
+            )
+        else:
+            record = DirectoryRecord(
+                name=dst_name,
+                ns=child.ns,
+                parent_ns=dst_parent_ns.uuid,
+                created=ts,
+            )
+            self.store.put(
+                directory_key(Namespace(child.ns)),
+                formatter.dumps_directory(record),
+            )
+            moved = Child(
+                name=dst_name, timestamp=ts, kind=KIND_DIR, ns=child.ns
+            )
+        if dst_parent_ns == src_res.parent_ns:
+            # RENAME: one ring, one patch carrying tombstone + insert.
+            self.submit_patch(
+                src_res.parent_ns, [child.tombstone(ts), moved]
+            )
+        else:
+            self.submit_patch(src_res.parent_ns, [child.tombstone(ts)])
+            self.submit_patch(dst_parent_ns, [moved])
+
+    def rename(self, account: str, src: str, dst: str) -> None:
+        """RENAME "is in fact a special case of MOVE" (paper §5.3)."""
+        self.move(account, src, dst)
+
+    def _guard_cycle(self, account: str, src_child: Child, dst: str) -> None:
+        """Refuse to move a directory underneath itself."""
+        parent_path = "/" + "/".join(split_path(dst)[:-1])
+        if parent_path == "/":
+            return
+        resolution = self.lookup.resolve(account, parent_path)
+        ancestor_uuids = {ns.uuid for ns in resolution.ns_chain}
+        if resolution.child is not None and resolution.child.ns:
+            ancestor_uuids.add(resolution.child.ns)
+        if src_child.ns in ancestor_uuids:
+            raise InvalidPath(dst, "destination is inside the moved directory")
+
+    def list_dir(
+        self,
+        account: str,
+        path: str,
+        detailed: bool = False,
+        marker: str | None = None,
+        limit: int | None = None,
+    ) -> list[Entry]:
+        """LIST: O(1) ring fetch for names, +O(m) HEADs for details.
+
+        ``marker``/``limit`` paginate like Swift's container listings:
+        entries strictly after ``marker``, at most ``limit`` of them.
+        The NameRing is fetched whole either way (it is one object);
+        pagination bounds the detailed HEAD fan-out and the response.
+        """
+        dir_ns = self.lookup.resolve_dir(account, path)
+        fd = self.load_ring(dir_ns)
+        self._compact_in_use(fd)
+        children = fd.view().live_children()
+        if marker is not None:
+            children = [c for c in children if c.name > marker]
+        if limit is not None:
+            if limit < 0:
+                raise InvalidPath(path, "limit must be >= 0")
+            children = children[:limit]
+        if not detailed:
+            return [
+                Entry(
+                    name=c.name,
+                    kind=c.kind,
+                    size=c.size,
+                    etag=c.etag,
+                    ns=c.ns,
+                    modified=c.timestamp,
+                )
+                for c in children
+            ]
+
+        def head_of(child: Child):
+            if child.kind == KIND_DIR:
+                key = directory_key(Namespace(child.ns))
+            else:
+                key = file_key(dir_ns, child.name)
+            try:
+                return self.store.head(key)
+            except ObjectNotFound:
+                return None
+
+        infos = self.store.parallel([lambda c=c: head_of(c) for c in children])
+        entries = []
+        for child, info in zip(children, infos):
+            entries.append(
+                Entry(
+                    name=child.name,
+                    kind=child.kind,
+                    size=info.size if info and child.kind == KIND_FILE else child.size,
+                    etag=info.etag if info and child.kind == KIND_FILE else child.etag,
+                    ns=child.ns,
+                    modified=child.timestamp,
+                )
+            )
+        return entries
+
+    def usage(self, account: str, path: str = "/") -> tuple[int, int, int]:
+        """(directories, files, logical bytes) under ``path``.
+
+        File sizes ride in the NameRing tuples, so `du` walks only the
+        ring objects -- O(directories), never touching file content.
+        """
+        dir_ns = self.lookup.resolve_dir(account, path)
+        dirs = files = nbytes = 0
+        stack = [dir_ns]
+        while stack:
+            ns = stack.pop()
+            fd = self.load_ring(ns)
+            for child in fd.view().live_children():
+                if child.kind == KIND_DIR:
+                    dirs += 1
+                    stack.append(Namespace(child.ns))
+                else:
+                    files += 1
+                    nbytes += child.size
+        return dirs, files, nbytes
+
+    def copy(self, account: str, src: str, dst: str) -> int:
+        """COPY: O(n) object copies; returns the number of objects copied.
+
+        Directories get fresh namespaces (a copy is a new subtree);
+        file bodies move with server-side COPY over the data lanes.
+        """
+        src_res = self.lookup.resolve(account, src)
+        dst_parent_ns, dst_name = self.lookup.resolve_parent(account, dst)
+        dst_parent_fd = self.load_ring(dst_parent_ns)
+        if dst_parent_fd.view().get(dst_name) is not None:
+            raise AlreadyExists(dst)
+        ts = self.next_timestamp()
+        if src_res.child is not None and src_res.child.kind == KIND_FILE:
+            self.store.copy(
+                file_key(src_res.parent_ns, src_res.child.name),
+                file_key(dst_parent_ns, dst_name),
+            )
+            self.submit_patch(
+                dst_parent_ns,
+                [
+                    Child(
+                        name=dst_name,
+                        timestamp=ts,
+                        kind=KIND_FILE,
+                        size=src_res.child.size,
+                        etag=src_res.child.etag,
+                    )
+                ],
+            )
+            return 1
+        if src_res.is_root:
+            raise InvalidPath(src, "cannot copy the root onto a child")
+        copied = self._copy_tree(src_res.dir_ns, dst_parent_ns, dst_name, ts)
+        return copied
+
+    def _copy_tree(
+        self,
+        src_ns: Namespace,
+        dst_parent_ns: Namespace,
+        dst_name: str,
+        ts: Timestamp,
+    ) -> int:
+        new_ns = self.allocator.next()
+        record = DirectoryRecord(
+            name=dst_name, ns=new_ns.uuid, parent_ns=dst_parent_ns.uuid, created=ts
+        )
+        self.store.put(directory_key(new_ns), formatter.dumps_directory(record))
+        src_fd = self.load_ring(src_ns)
+        children = src_fd.view().live_children()
+        copies = []
+        new_children: dict[str, Child] = {}
+        copied = 1  # the directory record itself
+        for child in children:
+            if child.kind == KIND_FILE:
+                copies.append(
+                    lambda c=child: self.store.copy(
+                        file_key(src_ns, c.name), file_key(new_ns, c.name)
+                    )
+                )
+                new_children[child.name] = Child(
+                    name=child.name,
+                    timestamp=ts,
+                    kind=KIND_FILE,
+                    size=child.size,
+                    etag=child.etag,
+                )
+            else:
+                copied += self._copy_tree(
+                    Namespace(child.ns), new_ns, child.name, ts
+                )
+                # _copy_tree patched new_ns's ring via submit_patch below;
+                # fetch the allocated namespace from our own ring instead
+                # of tracking return values: simpler to re-read after.
+        if copies:
+            self.store.parallel(copies, lanes=self.store.latency.data_concurrency)
+            copied += len(copies)
+        # Write the new ring in one shot: a fresh subtree has no
+        # concurrent writers, so a direct PUT (not a patch per child)
+        # is both faithful and O(1) in ring round trips.
+        new_fd = self.fd_cache.get_or_create(new_ns)
+        new_fd.ring = new_fd.ring.merge(NameRing(children=new_children))
+        new_fd.loaded = True
+        self.store_ring(new_fd)
+        self.submit_patch(
+            dst_parent_ns,
+            [Child(name=dst_name, timestamp=ts, kind=KIND_DIR, ns=new_ns.uuid)],
+        )
+        return copied
+
+    def _compact_in_use(self, fd: FileDescriptor) -> None:
+        """Paper §3.3.2: really remove Deleted tuples when the ring is used.
+
+        Guarded so compaction never races an in-flight rumor or a dirty
+        chain that still references the ring (resurrection hazard).
+        """
+        if not self.config.compact_on_use or not fd.ring.needs_compaction:
+            return
+        if self.network is not None:
+            if not self.network.quiet_for(fd.ns):
+                return
+            for peer in self.network.members:
+                peer_fd = peer.fd_cache.lookup(fd.ns)
+                if peer is not self and peer_fd is not None and peer_fd.dirty:
+                    return
+        if fd.dirty:
+            return
+        fd.ring = fd.ring.compacted()
+        self.background(lambda: self.store_ring(fd))
+
+    # ==================================================================
+    # Inbound API: file content operations
+    # ==================================================================
+    def write_file(
+        self, account: str, path: str, data: bytes, if_match: str | None = None
+    ) -> Child:
+        """WRITE: stream the object, then patch the parent ring.
+
+        Ordering is the paper's §3.3.3b blocking rule: the patch is not
+        submitted until the object is fully written, so a ring never
+        references bytes that are not durably stored.
+
+        ``if_match`` enables optimistic concurrency for sync clients:
+        the write only proceeds if the current entry's etag matches
+        (pass ``""`` to require the file not to exist yet).  On
+        mismatch :class:`PreconditionFailed` is raised and nothing is
+        stored -- the caller re-reads, reconciles, and retries.
+        """
+        parent_ns, name = self.lookup.resolve_parent(account, path)
+        parent_fd = self.load_ring(parent_ns)
+        existing = parent_fd.view().get(name)
+        if existing is not None and existing.kind == KIND_DIR:
+            raise IsADirectory(path)
+        if if_match is not None:
+            actual = existing.etag if existing is not None else ""
+            if actual != if_match:
+                raise PreconditionFailed(path, if_match, actual)
+        info = self.store.put(
+            file_key(parent_ns, name), data, meta={"account": account}
+        )
+        child = Child(
+            name=name,
+            timestamp=self.next_timestamp(),
+            kind=KIND_FILE,
+            size=info.size,
+            etag=info.etag,
+        )
+        self.submit_patch(parent_ns, [child])
+        return child
+
+    def write_files(
+        self, account: str, dir_path: str, items: list[tuple[str, object]]
+    ) -> list[Child]:
+        """Bulk WRITE: many files into one directory, one patch.
+
+        The protocol allows a patch to carry any number of tuples, so a
+        bulk loader (migration, initial sync) streams every object over
+        the data lanes and then submits a single patch -- n object PUTs
+        plus O(1) ring round trips, instead of n full patch cycles.
+        Ordering still honours §3.3.3b: content first, ring second.
+        """
+        dir_ns = self.lookup.resolve_dir(account, dir_path)
+        dir_fd = self.load_ring(dir_ns)
+        for name, _ in items:
+            existing = dir_fd.view().get(name)
+            if existing is not None and existing.kind == KIND_DIR:
+                raise IsADirectory(f"{dir_path.rstrip('/')}/{name}")
+        infos = self.store.parallel(
+            [
+                lambda n=name, d=data: self.store.put(
+                    file_key(dir_ns, n), d, meta={"account": account}
+                )
+                for name, data in items
+            ],
+            lanes=self.store.latency.data_concurrency,
+        )
+        children = [
+            Child(
+                name=name,
+                timestamp=self.next_timestamp(),
+                kind=KIND_FILE,
+                size=info.size,
+                etag=info.etag,
+            )
+            for (name, _), info in zip(items, infos)
+        ]
+        if children:
+            self.submit_patch(dir_ns, children)
+        return children
+
+    def read_file(self, account: str, path: str) -> bytes:
+        """Regular (full-path) file access: O(d) walk then one GET."""
+        resolution = self.lookup.resolve(account, path)
+        child = resolution.child
+        if child is None or child.kind != KIND_FILE:
+            raise IsADirectory(path)
+        return self.store.get(file_key(resolution.parent_ns, child.name)).data
+
+    def read_file_range(
+        self, account: str, path: str, offset: int, length: int
+    ):
+        """Ranged READ: resolve once, transfer only the window."""
+        resolution = self.lookup.resolve(account, path)
+        child = resolution.child
+        if child is None or child.kind != KIND_FILE:
+            raise IsADirectory(path)
+        return self.store.get_range(
+            file_key(resolution.parent_ns, child.name), offset, length
+        )
+
+    def read_file_relative(self, rel_path: str) -> bytes:
+        """Quick access (paper §3.2): hash ``N02::file1`` directly, O(1)."""
+        ns, name = parse_decorated(rel_path)
+        try:
+            return self.store.get(file_key(ns, name)).data
+        except ObjectNotFound:
+            raise PathNotFound(rel_path) from None
+
+    def relative_path_of(self, account: str, path: str) -> str:
+        """The namespace-decorated relative path for a full file path."""
+        resolution = self.lookup.resolve(account, path)
+        if resolution.child is None or resolution.child.kind != KIND_FILE:
+            raise IsADirectory(path)
+        from .namespace import decorate
+
+        return decorate(resolution.parent_ns, resolution.child.name)
+
+    def delete_file(self, account: str, path: str) -> None:
+        """Fake deletion: tombstone the ring tuple; bytes go at GC time."""
+        resolution = self.lookup.resolve(account, path)
+        child = resolution.child
+        if child is None or child.kind != KIND_FILE:
+            raise IsADirectory(path)
+        self.submit_patch(
+            resolution.parent_ns, [child.tombstone(self.next_timestamp())]
+        )
+
+    def stat(self, account: str, path: str) -> Resolution:
+        """Pure lookup (Fig 13's measured quantity): resolve, no data I/O."""
+        return self.lookup.resolve(account, path)
+
+    def exists(self, account: str, path: str) -> bool:
+        return self.lookup.try_resolve(account, path) is not None

@@ -1,0 +1,129 @@
+"""System monitoring (paper Fig 6: "a few other modules ... for
+inter-communications and system monitoring").
+
+:class:`Monitor` aggregates one middleware's operational signals into
+a flat metrics snapshot -- the numbers an operator's dashboard would
+plot: per-operation counters with simulated latency distributions,
+descriptor-cache efficiency, maintenance-protocol throughput (patches,
+merges, gossip), and the underlying store's request mix.
+
+:func:`deployment_report` rolls every middleware of a deployment into
+one text block, used by the examples and handy at a REPL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyHistogram:
+    """A tiny fixed-bucket latency histogram (microseconds)."""
+
+    BOUNDS = (1_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 10_000_000)
+
+    counts: list[int] = field(default_factory=lambda: [0] * 8)
+    total_us: int = 0
+    max_us: int = 0
+    samples: int = 0
+
+    def observe(self, us: int) -> None:
+        self.samples += 1
+        self.total_us += us
+        self.max_us = max(self.max_us, us)
+        for i, bound in enumerate(self.BOUNDS):
+            if us <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.samples if self.samples else 0.0
+
+    def percentile_bucket(self, q: float) -> str:
+        """The bucket label containing quantile ``q`` (0 < q <= 1)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if not self.samples:
+            return "n/a"
+        want = q * self.samples
+        seen = 0
+        labels = [f"<={b // 1000}ms" for b in self.BOUNDS] + [">10s"]
+        for count, label in zip(self.counts, labels):
+            seen += count
+            if seen >= want:
+                return label
+        return labels[-1]
+
+
+class Monitor:
+    """Observes one middleware; records per-op counts and latencies."""
+
+    def __init__(self, middleware):
+        self._mw = middleware
+        self.ops: dict[str, LatencyHistogram] = {}
+
+    def timed(self, op_name: str, thunk):
+        """Run an operation under observation; returns its result."""
+        result, elapsed = self._mw.clock.measure(thunk)
+        self.ops.setdefault(op_name, LatencyHistogram()).observe(elapsed)
+        return result
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        """Flat metrics for scraping -- counter/gauge names are stable."""
+        mw = self._mw
+        cache = mw.fd_cache.stats
+        ledger = mw.store.ledger
+        metrics: dict[str, float] = {
+            "fd_cache.size": len(mw.fd_cache),
+            "fd_cache.hits": cache.hits,
+            "fd_cache.misses": cache.misses,
+            "fd_cache.hit_rate": cache.hit_rate,
+            "fd_cache.evictions": cache.evictions,
+            "maintenance.patches_submitted": mw.patches_submitted,
+            "maintenance.merges": mw.merger.merges,
+            "maintenance.patches_applied": mw.merger.patches_applied,
+            "maintenance.merge_blocked": int(mw.merge_blocked),
+            "store.puts": ledger.puts,
+            "store.gets": ledger.gets,
+            "store.heads": ledger.heads,
+            "store.deletes": ledger.deletes,
+            "store.copies": ledger.copies,
+            "store.bytes_in": ledger.bytes_in,
+            "store.bytes_out": ledger.bytes_out,
+            "store.background_ms": ledger.background_us / 1000.0,
+            "clock.now_ms": mw.clock.now_ms,
+        }
+        if mw.network is not None:
+            metrics["gossip.rumors_sent"] = mw.network.rumors_sent
+            metrics["gossip.rumors_delivered"] = mw.network.rumors_delivered
+            metrics["gossip.in_flight"] = mw.network.in_flight
+        for op_name, histogram in sorted(self.ops.items()):
+            metrics[f"op.{op_name}.count"] = histogram.samples
+            metrics[f"op.{op_name}.mean_ms"] = histogram.mean_us / 1000.0
+            metrics[f"op.{op_name}.max_ms"] = histogram.max_us / 1000.0
+        return metrics
+
+
+def deployment_report(fs) -> str:
+    """One text block summarising an H2Cloud deployment's health."""
+    lines = ["== H2Cloud deployment report =="]
+    count, nbytes = fs.store.census()
+    lines.append(
+        f"objects: {count}  logical bytes: {nbytes:,}  "
+        f"accounts: {sorted(fs.store.accounts)}"
+    )
+    for mw in fs.middlewares:
+        metrics = Monitor(mw).snapshot()
+        lines.append(
+            f"middleware {mw.node_id}: "
+            f"fd-cache {int(metrics['fd_cache.size'])} entries "
+            f"(hit rate {metrics['fd_cache.hit_rate']:.0%}), "
+            f"{int(metrics['maintenance.patches_submitted'])} patches, "
+            f"{int(metrics['maintenance.merges'])} merges"
+        )
+    for node_id, (replicas, used) in fs.cluster.storage_stats().items():
+        lines.append(f"node {node_id}: {replicas} replicas, {used:,} B")
+    return "\n".join(lines)

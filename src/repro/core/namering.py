@@ -1,0 +1,179 @@
+"""The NameRing: H2's per-directory child list (paper §3.1, §3.3).
+
+A NameRing is the data structure that preserves one level of the
+filesystem hierarchy inside the flat object store: for directory
+``/bin`` it records the direct children ``cat, bash, nc`` as tuples
+``(child_i, t_i)`` -- child name plus a creation/deletion timestamp --
+optionally tagged ``Deleted`` (the paper's *fake deletion*,
+§3.3.3a).
+
+The merge algorithm (paper §3.3.2) makes the NameRing a last-writer-
+wins element map, i.e. a state-based CRDT:
+
+* a child present in both operands: the larger timestamp wins;
+* a child present in one operand: it is kept;
+* nothing is ever physically removed by a merge -- deletion tombstones
+  ride along until :meth:`NameRing.compacted` strips them "when the
+  NameRing is in use (e.g. executing operations such as MOVE and
+  LIST)".
+
+Commutativity/associativity/idempotence of :func:`merge` -- hence
+convergence of the gossip protocol regardless of delivery order -- are
+pinned down by property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..simcloud.clock import Timestamp
+
+KIND_FILE = "file"
+KIND_DIR = "dir"
+
+
+@dataclass(frozen=True)
+class Child:
+    """One ``(child_i, t_i)`` tuple, with the metadata H2Cloud carries.
+
+    ``ns`` is the child directory's namespace UUID (None for files);
+    ``size``/``etag`` describe file children so a names+sizes listing
+    does not have to touch the file objects themselves.
+    """
+
+    name: str
+    timestamp: Timestamp
+    kind: str = KIND_FILE
+    deleted: bool = False
+    ns: str | None = None
+    size: int = 0
+    etag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_FILE, KIND_DIR):
+            raise ValueError(f"unknown child kind: {self.kind!r}")
+        if self.kind == KIND_DIR and not self.deleted and self.ns is None:
+            raise ValueError(f"directory child {self.name!r} needs a namespace")
+
+    def tombstone(self, timestamp: Timestamp) -> "Child":
+        """The fake-deletion marker that will override this tuple."""
+        return replace(self, deleted=True, timestamp=timestamp)
+
+
+@dataclass(frozen=True)
+class NameRing:
+    """An immutable snapshot of one directory's child list.
+
+    Immutability keeps merging referentially transparent, which is what
+    the convergence proofs (and the hypothesis tests) lean on.  All
+    mutators return new rings.
+    """
+
+    children: dict[str, Child] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction / mutation (functional style)
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "NameRing":
+        return cls(children={})
+
+    def with_child(self, child: Child) -> "NameRing":
+        """Insert-or-override one tuple (no timestamp arbitration --
+        use :meth:`merge` when the winner is not known a priori)."""
+        updated = dict(self.children)
+        updated[child.name] = child
+        return NameRing(children=updated)
+
+    def without(self, name: str) -> "NameRing":
+        updated = dict(self.children)
+        updated.pop(name, None)
+        return NameRing(children=updated)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Child | None:
+        """The live child of this name, or None (tombstones hidden)."""
+        child = self.children.get(name)
+        if child is None or child.deleted:
+            return None
+        return child
+
+    def get_any(self, name: str) -> Child | None:
+        """Like :meth:`get` but also returns tombstoned entries."""
+        return self.children.get(name)
+
+    def live_children(self) -> list[Child]:
+        """All non-deleted tuples, alphabetically (the LIST payload)."""
+        return sorted(
+            (c for c in self.children.values() if not c.deleted),
+            key=lambda c: c.name,
+        )
+
+    def live_names(self) -> list[str]:
+        return [c.name for c in self.live_children()]
+
+    def tombstones(self) -> list[Child]:
+        return sorted(
+            (c for c in self.children.values() if c.deleted),
+            key=lambda c: c.name,
+        )
+
+    @property
+    def version(self) -> Timestamp:
+        """The ring's logical version: max tuple timestamp.
+
+        This is the ``t_k`` the gossip protocol compares to abort
+        forwarding ("if the local timestamp is equal or bigger...").
+        """
+        if not self.children:
+            return Timestamp.ZERO
+        return max(c.timestamp for c in self.children.values())
+
+    def __len__(self) -> int:
+        return sum(1 for c in self.children.values() if not c.deleted)
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    # ------------------------------------------------------------------
+    # the merge algorithm (paper §3.3.2)
+    # ------------------------------------------------------------------
+    def merge(self, other: "NameRing") -> "NameRing":
+        """Merge ``other`` (a patch viewed as a virtual NameRing) into self.
+
+        Per child: both sides present -> larger timestamp overrides;
+        one side only -> inserted.  Never removes anything.
+        """
+        merged = dict(self.children)
+        for name, theirs in other.children.items():
+            ours = merged.get(name)
+            if ours is None or theirs.timestamp > ours.timestamp:
+                merged[name] = theirs
+        return NameRing(children=merged)
+
+    def compacted(self) -> "NameRing":
+        """Physically drop tombstones -- the deferred "real" removal."""
+        return NameRing(
+            children={
+                name: c for name, c in self.children.items() if not c.deleted
+            }
+        )
+
+    @property
+    def needs_compaction(self) -> bool:
+        return any(c.deleted for c in self.children.values())
+
+
+def merge(a: NameRing, b: NameRing) -> NameRing:
+    """Symmetric module-level spelling of :meth:`NameRing.merge`."""
+    return a.merge(b)
+
+
+def merge_all(rings: list[NameRing]) -> NameRing:
+    """Fold a patch chain into one "big" ring (paper's intra-node step)."""
+    result = NameRing.empty()
+    for ring in rings:
+        result = result.merge(ring)
+    return result

@@ -1,0 +1,105 @@
+"""NameRing patches and per-node patch chains (paper §3.3.2, Phase 1-2).
+
+Every filesystem operation that changes a NameRing submits a *patch*: a
+log object recording the update, named after the target NameRing, the
+submitting node, and an incremental patch number --
+``N97::/NameRing/.Node01.Patch03`` in the paper's example.  A patch is
+"in the same format as a NameRing", so its payload here *is* a
+:class:`~repro.core.namering.NameRing` holding the touched tuples.
+
+Within one middleware node, unmerged patches for a ring are arranged as
+a linked list (the *patch chain*) starting at patch No. 0; the
+intra-node merging step folds the chain front-to-back into one "big"
+patch before merging that into the ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import formatter
+from .namering import NameRing, merge_all
+from .namespace import Namespace, patch_key
+
+
+@dataclass(frozen=True)
+class Patch:
+    """One submitted update to one NameRing."""
+
+    target_ns: Namespace
+    node_id: int
+    patch_seq: int
+    payload: NameRing
+
+    @property
+    def object_name(self) -> str:
+        """Where this patch lives in the object store."""
+        return patch_key(self.target_ns, self.node_id, self.patch_seq)
+
+    def to_bytes(self) -> bytes:
+        return formatter.dumps_patch(self.payload)
+
+    @classmethod
+    def from_bytes(
+        cls, target_ns: Namespace, node_id: int, patch_seq: int, data: bytes
+    ) -> "Patch":
+        return cls(
+            target_ns=target_ns,
+            node_id=node_id,
+            patch_seq=patch_seq,
+            payload=formatter.loads_patch(data),
+        )
+
+
+@dataclass
+class PatchChain:
+    """The linked list of unmerged patches for one ring on one node.
+
+    The paper starts chains at patch No. 0, "whose absence indicates
+    that no other version exists in this node"; we keep the same
+    front-to-back merge order.
+    """
+
+    target_ns: Namespace
+    patches: list[Patch] = field(default_factory=list)
+
+    def append(self, patch: Patch) -> None:
+        if patch.target_ns != self.target_ns:
+            raise ValueError(
+                f"patch for {patch.target_ns} appended to chain of "
+                f"{self.target_ns}"
+            )
+        if self.patches and patch.patch_seq <= self.patches[-1].patch_seq:
+            raise ValueError(
+                f"patch seq {patch.patch_seq} not increasing "
+                f"(last {self.patches[-1].patch_seq})"
+            )
+        self.patches.append(patch)
+
+    def fold(self) -> NameRing:
+        """Merge the whole chain into one big patch payload, in order."""
+        return merge_all([p.payload for p in self.patches])
+
+    def clear(self) -> list[Patch]:
+        """Drain the chain (after a successful merge); returns the drained."""
+        drained, self.patches = self.patches, []
+        return drained
+
+    def __len__(self) -> int:
+        return len(self.patches)
+
+    def __bool__(self) -> bool:
+        return bool(self.patches)
+
+
+class PatchCounter:
+    """Per-(node, ring) incremental patch numbering."""
+
+    def __init__(self, node_id: int):
+        self._node_id = node_id
+        self._counters: dict[str, int] = {}
+
+    def next_seq(self, ns: Namespace) -> int:
+        seq = self._counters.get(ns.uuid, -1) + 1
+        self._counters[ns.uuid] = seq
+        return seq

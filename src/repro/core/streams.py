@@ -1,0 +1,124 @@
+"""Streaming file writes and the blocking rule (paper §3.3.3b).
+
+"When inserting a large file ... it is required to generate a UUID and
+the corresponding metadata, put the file into the cloud storage
+through the I/O stream interface, and finally send a patch to modify
+its parent directory's NameRing.  As the file streaming operation
+takes longer time than directory operations, all the other merging
+procedures are blocked until the file is fully written into the
+storage interface and the patch is successfully submitted."
+
+:class:`FileWriter` is that I/O stream: chunks accumulate (bytes or
+sparse), the middleware's Background Merger is blocked for the
+stream's lifetime, and :meth:`FileWriter.close` performs the atomic
+PUT-then-patch sequence the paper prescribes -- a NameRing never
+references bytes that are not durably stored.
+"""
+
+from __future__ import annotations
+
+from ..simcloud.errors import InvalidPath, IsADirectory
+from ..simcloud.sparse import SparseData
+from .namering import Child, KIND_DIR, KIND_FILE
+from .namespace import Namespace, file_key
+
+
+class FileWriter:
+    """An open write stream to one file path."""
+
+    def __init__(self, middleware, account: str, path: str):
+        self._mw = middleware
+        self._account = account
+        self._path = path
+        parent_ns, name = middleware.lookup.resolve_parent(account, path)
+        parent_fd = middleware.load_ring(parent_ns)
+        existing = parent_fd.ring.get(name)
+        if existing is not None and existing.kind == KIND_DIR:
+            raise IsADirectory(path)
+        self._parent_ns: Namespace = parent_ns
+        self._name = name
+        self._chunks: list = []
+        self._sparse_bytes = 0
+        self._closed = False
+        self._aborted = False
+        middleware.block_merging()
+
+    # ------------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return not self._closed and not self._aborted
+
+    @property
+    def bytes_buffered(self) -> int:
+        return self._sparse_bytes + sum(
+            len(c) for c in self._chunks if isinstance(c, bytes)
+        )
+
+    def write(self, chunk) -> "FileWriter":
+        """Append a chunk (bytes or :class:`SparseData`)."""
+        self._require_open()
+        if isinstance(chunk, SparseData):
+            self._sparse_bytes += chunk.size
+        elif isinstance(chunk, (bytes, bytearray)):
+            self._chunks.append(bytes(chunk))
+        else:
+            raise TypeError(f"cannot stream {type(chunk).__name__}")
+        return self
+
+    def close(self) -> Child:
+        """Durably store the object, then submit the NameRing patch.
+
+        The merge block is released between the PUT and the patch so
+        the patch's own (auto) merge can run -- exactly the paper's
+        ordering: stream fully written -> patch submitted -> merging
+        resumes.
+        """
+        self._require_open()
+        self._closed = True
+        payload = self._assemble()
+        info = self._mw.store.put(
+            file_key(self._parent_ns, self._name),
+            payload,
+            meta={"account": self._account},
+        )
+        self._mw.unblock_merging()
+        child = Child(
+            name=self._name,
+            timestamp=self._mw.next_timestamp(),
+            kind=KIND_FILE,
+            size=info.size,
+            etag=info.etag,
+        )
+        self._mw.submit_patch(self._parent_ns, [child])
+        return child
+
+    def abort(self) -> None:
+        """Drop the stream: nothing was stored, no patch is submitted."""
+        if self._closed or self._aborted:
+            return
+        self._aborted = True
+        self._chunks.clear()
+        self._mw.unblock_merging()
+
+    def _assemble(self):
+        if self._sparse_bytes:
+            total = self._sparse_bytes + sum(len(c) for c in self._chunks)
+            return SparseData(size=total, tag=f"{self._parent_ns}::{self._name}")
+        return b"".join(self._chunks)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise InvalidPath(self._path, "stream already closed")
+        if self._aborted:
+            raise InvalidPath(self._path, "stream aborted")
+
+    # context-manager sugar: close on success, abort on error
+    def __enter__(self) -> "FileWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            if self.is_open:
+                self.close()
+        else:
+            self.abort()

@@ -1,0 +1,303 @@
+"""The Inbound API as a web service (paper §4.1, §4.3).
+
+H2Cloud "provides filesystem services to the users in the form of web
+services, i.e., through a series of web APIs"; clients send HTTP
+messages to an H2Middleware.  This module implements that surface as a
+transport-agnostic request/response layer: the three API families the
+paper names --
+
+* **Account APIs** -- create or delete an account;
+* **Directory APIs** -- traverse or modify directory structure
+  (MKDIR, RMDIR, MOVE, COPY, LIST);
+* **File Content APIs** -- READ and WRITE (plus DELETE and the quick
+  relative-path GET).
+
+Routing table (paths are ``/v1/<account></fs path>``)::
+
+    PUT    /v1/alice                    create account
+    GET    /v1/alice/photos?list=names  LIST (names | detail)
+    PUT    /v1/alice/photos?dir=1       MKDIR
+    DELETE /v1/alice/photos?dir=1       RMDIR
+    POST   /v1/alice/photos?op=move&dst=/albums    MOVE/RENAME
+    POST   /v1/alice/photos?op=copy&dst=/backup    COPY
+    PUT    /v1/alice/photos/cat.jpg     WRITE (body = content)
+    GET    /v1/alice/photos/cat.jpg     READ
+    HEAD   /v1/alice/photos/cat.jpg     STAT (lookup only)
+    DELETE /v1/alice/photos/cat.jpg     DELETE
+    GET    /v1/~rel/<ns>::<name>        quick O(1) relative access
+
+Status codes follow HTTP conventions (201 created, 404 not found,
+409 conflict, 400 bad request, ...), with filesystem errors mapped in
+one place so every client sees consistent semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, unquote
+
+from ..simcloud.errors import (
+    AlreadyExists,
+    DirectoryNotEmpty,
+    FilesystemError,
+    InvalidPath,
+    IsADirectory,
+    NotADirectory,
+    PathNotFound,
+    PreconditionFailed,
+    ServiceUnavailable,
+)
+from .middleware import H2Middleware
+from .namering import KIND_DIR
+
+API_VERSION = "v1"
+
+_STATUS_REASON = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    206: "Partial Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    412: "Precondition Failed",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class Request:
+    """One HTTP-shaped request."""
+
+    method: str
+    path: str  # e.g. "/v1/alice/photos/cat.jpg?list=detail"
+    body: bytes = b""
+
+    @property
+    def raw_path(self) -> str:
+        return self.path.split("?", 1)[0]
+
+    @property
+    def query(self) -> dict[str, str]:
+        if "?" not in self.path:
+            return {}
+        parsed = parse_qs(self.path.split("?", 1)[1], keep_blank_values=True)
+        return {k: v[0] for k, v in parsed.items()}
+
+
+@dataclass(frozen=True)
+class Response:
+    """One HTTP-shaped response."""
+
+    status: int
+    body: bytes = b""
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def reason(self) -> str:
+        return _STATUS_REASON.get(self.status, "Unknown")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+
+def _error_status(exc: FilesystemError) -> int:
+    if isinstance(exc, (PathNotFound,)):
+        return 404
+    if isinstance(exc, PreconditionFailed):
+        return 412
+    if isinstance(exc, (AlreadyExists, DirectoryNotEmpty)):
+        return 409
+    if isinstance(exc, ServiceUnavailable):
+        return 503
+    if isinstance(exc, (NotADirectory, IsADirectory, InvalidPath)):
+        return 400
+    return 400
+
+
+class H2WebAPI:
+    """The middleware's HTTP front: routes requests to Inbound API calls."""
+
+    def __init__(self, middleware: H2Middleware):
+        self.middleware = middleware
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    def handle(self, request: Request) -> Response:
+        """Dispatch one request; never raises filesystem errors."""
+        self.requests_served += 1
+        try:
+            return self._route(request)
+        except FilesystemError as exc:
+            return Response(
+                status=_error_status(exc), body=str(exc).encode("utf-8")
+            )
+
+    # convenience wrappers for client code / tests
+    def get(self, path: str) -> Response:
+        return self.handle(Request("GET", path))
+
+    def put(self, path: str, body: bytes = b"") -> Response:
+        return self.handle(Request("PUT", path, body))
+
+    def post(self, path: str, body: bytes = b"") -> Response:
+        return self.handle(Request("POST", path, body))
+
+    def delete(self, path: str) -> Response:
+        return self.handle(Request("DELETE", path))
+
+    def head(self, path: str) -> Response:
+        return self.handle(Request("HEAD", path))
+
+    # ------------------------------------------------------------------
+    def _route(self, request: Request) -> Response:
+        segments = [s for s in request.raw_path.split("/") if s]
+        if not segments or segments[0] != API_VERSION:
+            return Response(status=400, body=b"unknown API version")
+        if len(segments) == 1:
+            return Response(status=400, body=b"missing account")
+        account = unquote(segments[1])
+
+        # Quick relative-path access: GET /v1/~rel/<ns>::<name>
+        if account == "~rel":
+            if request.method != "GET":
+                return Response(status=405)
+            rel = unquote("/".join(segments[2:]))
+            data = self.middleware.read_file_relative(rel)
+            return Response(status=200, body=bytes(data) if isinstance(data, bytes) else b"")
+
+        fs_path = "/" + "/".join(unquote(s) for s in segments[2:])
+        if len(segments) == 2:
+            return self._account_api(request, account)
+        if request.query.get("dir") or "list" in request.query or (
+            request.method == "POST"
+        ):
+            return self._directory_api(request, account, fs_path)
+        return self._file_api(request, account, fs_path)
+
+    # ------------------------------------------------------------------
+    # Account APIs
+    # ------------------------------------------------------------------
+    def _account_api(self, request: Request, account: str) -> Response:
+        mw = self.middleware
+        if request.method == "PUT":
+            mw.create_account(account)
+            return Response(status=201)
+        if request.method == "HEAD":
+            if mw.account_exists(account):
+                return Response(status=204)
+            return Response(status=404)
+        if request.method == "GET":
+            if not mw.account_exists(account):
+                return Response(status=404, body=b"no such account")
+            entries = mw.list_dir(account, "/")
+            return Response(status=200, body=_listing_body(entries, "names"))
+        if request.method == "DELETE":
+            force = request.query.get("force", "0") == "1"
+            mw.delete_account(account, force=force)
+            return Response(status=204)
+        return Response(status=405)
+
+    # ------------------------------------------------------------------
+    # Directory APIs
+    # ------------------------------------------------------------------
+    def _directory_api(self, request: Request, account: str, path: str) -> Response:
+        mw = self.middleware
+        query = request.query
+        if request.method == "PUT" and query.get("dir"):
+            mw.mkdir(account, path)
+            return Response(status=201)
+        if request.method == "DELETE" and query.get("dir"):
+            recursive = query.get("recursive", "1") != "0"
+            mw.rmdir(account, path, recursive=recursive)
+            return Response(status=204)
+        if request.method == "GET":
+            mode = query.get("list", "names")
+            if mode not in ("names", "detail"):
+                return Response(status=400, body=b"list must be names|detail")
+            limit = None
+            if "limit" in query:
+                try:
+                    limit = int(query["limit"])
+                except ValueError:
+                    return Response(status=400, body=b"bad limit")
+            entries = mw.list_dir(
+                account,
+                path,
+                detailed=mode == "detail",
+                marker=query.get("marker"),
+                limit=limit,
+            )
+            return Response(status=200, body=_listing_body(entries, mode))
+        if request.method == "POST":
+            op = query.get("op")
+            dst = query.get("dst")
+            if op not in ("move", "rename", "copy") or not dst:
+                return Response(status=400, body=b"need op=move|rename|copy&dst=")
+            if op == "copy":
+                mw.copy(account, path, dst)
+            else:
+                mw.move(account, path, dst)
+            return Response(status=201, headers={"Location": dst})
+        return Response(status=405)
+
+    # ------------------------------------------------------------------
+    # File Content APIs
+    # ------------------------------------------------------------------
+    def _file_api(self, request: Request, account: str, path: str) -> Response:
+        mw = self.middleware
+        if request.method == "PUT":
+            if_match = request.query.get("if_match")
+            child = mw.write_file(account, path, request.body, if_match=if_match)
+            return Response(
+                status=201, headers={"ETag": child.etag, "Content-Length": str(child.size)}
+            )
+        if request.method == "GET":
+            resolution = mw.lookup.resolve(account, path)
+            if resolution.is_dir:
+                entries = mw.list_dir(account, path)
+                return Response(status=200, body=_listing_body(entries, "names"))
+            query = request.query
+            if "offset" in query or "length" in query:
+                try:
+                    offset = int(query.get("offset", "0"))
+                    length = int(query.get("length", str(1 << 62)))
+                except ValueError:
+                    return Response(status=400, body=b"bad range")
+                data = mw.read_file_range(account, path, offset, length)
+                body = data if isinstance(data, bytes) else b""
+                return Response(status=206, headers={"X-Range-Offset": str(offset)}, body=body)
+            data = mw.read_file(account, path)
+            body = data if isinstance(data, bytes) else b""
+            return Response(status=200, body=body)
+        if request.method == "HEAD":
+            resolution = mw.stat(account, path)
+            child = resolution.child
+            headers = {"X-Kind": "dir" if resolution.is_dir else "file"}
+            if child is not None:
+                headers["Content-Length"] = str(child.size)
+                if child.etag:
+                    headers["ETag"] = child.etag
+                headers["X-Relative-Path"] = (
+                    f"{resolution.parent_ns}::{child.name}"
+                )
+            return Response(status=204, headers=headers)
+        if request.method == "DELETE":
+            mw.delete_file(account, path)
+            return Response(status=204)
+        return Response(status=405)
+
+
+def _listing_body(entries, mode: str) -> bytes:
+    if mode == "detail":
+        lines = [
+            f"{e.name}\t{e.kind}\t{e.size}\t{e.etag or '-'}" for e in entries
+        ]
+    else:
+        lines = [e.name for e in entries]
+    return ("\n".join(lines) + ("\n" if lines else "")).encode("utf-8")

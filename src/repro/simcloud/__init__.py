@@ -1,0 +1,84 @@
+"""`repro.simcloud` -- a from-scratch simulated object storage cloud.
+
+This package replaces the paper's physical testbed (a nine-server
+OpenStack Swift rack) with a deterministic discrete-cost simulation:
+consistent-hash ring, replicated storage nodes, a flat
+PUT/GET/DELETE/HEAD/COPY object API, a Swift-style per-account
+file-path DB, and failure injection.  See DESIGN.md §2 for why this
+substitution preserves the behaviour the paper measures.
+"""
+
+from .btree import BTree
+from .clock import SimClock, Timestamp, TimestampFactory, makespan_us
+from .cluster import ClusterConfig, SwiftCluster
+from .container_db import ContainerDB, DirEntry, Row
+from .errors import (
+    AlreadyExists,
+    CapacityError,
+    CrossDeviceMove,
+    DirectoryNotEmpty,
+    FilesystemError,
+    InvalidPath,
+    IsADirectory,
+    NodeDown,
+    NotADirectory,
+    ObjectAlreadyExists,
+    ObjectNotFound,
+    PathNotFound,
+    PreconditionFailed,
+    QuorumError,
+    RingError,
+    ServiceUnavailable,
+    SimCloudError,
+)
+from .failures import FailureEvent, FailureSchedule, MessageLoss
+from .hashring import HashRing, hash_key
+from .latency import CostLedger, Jitter, LatencyModel
+from .node import NodeStats, ObjectRecord, StorageNode
+from .object_store import ObjectInfo, ObjectStore
+from .sparse import SparseData, payload_of
+
+__all__ = [
+    "AlreadyExists",
+    "BTree",
+    "CapacityError",
+    "ClusterConfig",
+    "ContainerDB",
+    "CostLedger",
+    "CrossDeviceMove",
+    "DirEntry",
+    "DirectoryNotEmpty",
+    "FailureEvent",
+    "FailureSchedule",
+    "FilesystemError",
+    "HashRing",
+    "InvalidPath",
+    "IsADirectory",
+    "Jitter",
+    "LatencyModel",
+    "MessageLoss",
+    "NodeDown",
+    "NodeStats",
+    "NotADirectory",
+    "ObjectAlreadyExists",
+    "ObjectInfo",
+    "ObjectNotFound",
+    "ObjectRecord",
+    "ObjectStore",
+    "PathNotFound",
+    "PreconditionFailed",
+    "QuorumError",
+    "RingError",
+    "Row",
+    "ServiceUnavailable",
+    "SimClock",
+    "SimCloudError",
+    "SparseData",
+    "StorageNode",
+    "SwiftCluster",
+    "Timestamp",
+    "TimestampFactory",
+    "hash_key",
+    "makespan_us",
+    "payload_of",
+]

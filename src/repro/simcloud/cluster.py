@@ -1,0 +1,105 @@
+"""Cluster assembly: the paper's nine-server rack in one object.
+
+:class:`SwiftCluster` wires together the consistent-hash ring, the
+storage nodes, the object-store facade, the simulated clock and the
+failure schedule -- everything below the filesystem layer.  Both
+H2Cloud and every baseline build on a cluster, so experiments construct
+one cluster per system under test and the harness compares like with
+like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .clock import SimClock
+from .failures import FailureSchedule
+from .hashring import HashRing
+from .latency import LatencyModel
+from .node import StorageNode
+from .object_store import ObjectStore
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs for one simulated deployment."""
+
+    storage_nodes: int = 8  # the paper's rack: 8 storage + 1 proxy
+    replicas: int = 3  # paper: "three replicas are kept"
+    vnodes: int = 128
+    node_capacity_bytes: int | None = None
+    write_quorum: int | None = None  # default: majority of replicas
+
+    def __post_init__(self) -> None:
+        if self.storage_nodes < 1:
+            raise ValueError("need at least one storage node")
+        if self.replicas < 1:
+            raise ValueError("need at least one replica")
+
+
+class SwiftCluster:
+    """A ready-to-use simulated object storage deployment."""
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        latency: LatencyModel | None = None,
+        clock: SimClock | None = None,
+    ):
+        self.config = config or ClusterConfig()
+        self.latency = latency or LatencyModel.rack_scale()
+        self.clock = clock or SimClock()
+        self.ring = HashRing(
+            replicas=self.config.replicas, vnodes=self.config.vnodes
+        )
+        self.nodes: dict[int, StorageNode] = {}
+        for node_id in range(1, self.config.storage_nodes + 1):
+            self.nodes[node_id] = StorageNode(
+                node_id,
+                latency=self.latency,
+                capacity_bytes=self.config.node_capacity_bytes,
+            )
+            self.ring.add_node(node_id)
+        self.store = ObjectStore(
+            ring=self.ring,
+            nodes=self.nodes,
+            latency=self.latency,
+            clock=self.clock,
+            write_quorum=self.config.write_quorum,
+        )
+        self.failures = FailureSchedule(self.clock, self.nodes)
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def rack_scale(cls) -> "SwiftCluster":
+        """The paper's §5.1 deployment (8 storage nodes, 3 replicas)."""
+        return cls(ClusterConfig(), LatencyModel.rack_scale())
+
+    @classmethod
+    def fast(cls) -> "SwiftCluster":
+        """Zero-latency cluster for pure-semantics unit tests."""
+        return cls(ClusterConfig(vnodes=16), LatencyModel.zero())
+
+    # ------------------------------------------------------------------
+    # cluster-wide operations
+    # ------------------------------------------------------------------
+    def add_storage_node(self) -> StorageNode:
+        """Scale out by one node (ring rebalance happens implicitly)."""
+        node_id = max(self.nodes) + 1
+        node = StorageNode(
+            node_id,
+            latency=self.latency,
+            capacity_bytes=self.config.node_capacity_bytes,
+        )
+        self.nodes[node_id] = node
+        self.ring.add_node(node_id)
+        return node
+
+    def storage_stats(self) -> dict[int, tuple[int, int]]:
+        """Per-node (object replicas held, bytes used)."""
+        return {
+            nid: (node.object_count, node.used_bytes)
+            for nid, node in sorted(self.nodes.items())
+        }

@@ -1,0 +1,163 @@
+"""Exception hierarchy for the simulated object storage cloud.
+
+Every error that a real object storage deployment (OpenStack Swift,
+Amazon S3, ...) can surface to a client has a counterpart here, so
+that the H2Cloud middleware and all baseline filesystems exercise the
+same error-handling paths a production client would.
+"""
+
+from __future__ import annotations
+
+
+class SimCloudError(Exception):
+    """Base class for every error raised by :mod:`repro.simcloud`."""
+
+
+class RingError(SimCloudError):
+    """The consistent-hash ring is misconfigured or cannot place data.
+
+    Raised e.g. when the ring has fewer distinct nodes than the
+    requested replica count, or when a node id is added twice.
+    """
+
+
+class ObjectNotFound(SimCloudError, KeyError):
+    """GET/HEAD/DELETE addressed an object name that does not exist."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return f"object not found: {self.name!r}"
+
+
+class ObjectAlreadyExists(SimCloudError):
+    """A PUT with ``overwrite=False`` hit an existing object name."""
+
+    def __init__(self, name: str):
+        super().__init__(f"object already exists: {name!r}")
+        self.name = name
+
+
+class NodeDown(SimCloudError):
+    """A request was routed to a storage node that is crashed/partitioned."""
+
+    def __init__(self, node_id: int):
+        super().__init__(f"storage node {node_id} is down")
+        self.node_id = node_id
+
+
+class QuorumError(SimCloudError):
+    """Not enough replicas were reachable to satisfy a quorum read/write."""
+
+    def __init__(self, name: str, wanted: int, got: int):
+        super().__init__(
+            f"quorum not met for {name!r}: wanted {wanted}, reached {got}"
+        )
+        self.name = name
+        self.wanted = wanted
+        self.got = got
+
+
+class CapacityError(SimCloudError):
+    """A storage node ran out of configured capacity."""
+
+    def __init__(self, node_id: int, needed: int, free: int):
+        super().__init__(
+            f"node {node_id} out of capacity: need {needed} B, free {free} B"
+        )
+        self.node_id = node_id
+        self.needed = needed
+        self.free = free
+
+
+class FilesystemError(SimCloudError):
+    """Base class for filesystem-level errors raised by FS frontends.
+
+    Lives here (rather than in :mod:`repro.core`) because *every*
+    filesystem implementation -- H2Cloud and all baselines -- shares the
+    same user-facing error vocabulary.
+    """
+
+
+class PathNotFound(FilesystemError):
+    """A path component does not exist."""
+
+    def __init__(self, path: str):
+        super().__init__(f"no such file or directory: {path!r}")
+        self.path = path
+
+
+class NotADirectory(FilesystemError):
+    """A path component that must be a directory is a regular file."""
+
+    def __init__(self, path: str):
+        super().__init__(f"not a directory: {path!r}")
+        self.path = path
+
+
+class IsADirectory(FilesystemError):
+    """A file operation addressed a directory."""
+
+    def __init__(self, path: str):
+        super().__init__(f"is a directory: {path!r}")
+        self.path = path
+
+
+class AlreadyExists(FilesystemError):
+    """MKDIR/WRITE/MOVE destination already exists."""
+
+    def __init__(self, path: str):
+        super().__init__(f"already exists: {path!r}")
+        self.path = path
+
+
+class DirectoryNotEmpty(FilesystemError):
+    """RMDIR addressed a non-empty directory and recursion was off."""
+
+    def __init__(self, path: str):
+        super().__init__(f"directory not empty: {path!r}")
+        self.path = path
+
+
+class InvalidPath(FilesystemError):
+    """The path string itself is malformed (empty component, bad chars)."""
+
+    def __init__(self, path: str, reason: str = ""):
+        msg = f"invalid path: {path!r}"
+        if reason:
+            msg += f" ({reason})"
+        super().__init__(msg)
+        self.path = path
+        self.reason = reason
+
+
+class CrossDeviceMove(FilesystemError):
+    """MOVE across statically partitioned servers (AFS baseline)."""
+
+    def __init__(self, src: str, dst: str):
+        super().__init__(f"cross-partition move: {src!r} -> {dst!r}")
+        self.src = src
+        self.dst = dst
+
+
+class ServiceUnavailable(FilesystemError):
+    """The metadata service cannot serve requests (CAP trade-off paths)."""
+
+
+class PreconditionFailed(FilesystemError):
+    """A conditional write's If-Match expectation did not hold.
+
+    The optimistic-concurrency signal a sync client uses to detect a
+    conflicting update (it then re-reads, merges, retries).
+    """
+
+    def __init__(self, path: str, expected: str, actual: str):
+        super().__init__(
+            f"precondition failed for {path!r}: expected etag "
+            f"{expected!r}, found {actual!r}"
+        )
+        self.path = path
+        self.expected = expected
+        self.actual = actual

@@ -1,0 +1,106 @@
+"""Failure injection for the simulated rack.
+
+The motivation for H2Cloud is that index clouds fail (the paper cites
+Dropbox's data-loss incidents); the reproduction therefore needs a way
+to crash nodes, partition the network, and drop gossip messages on a
+deterministic schedule so integration tests can show (a) the object
+cloud's replication riding through storage-node failures and (b) the
+NameRing gossip protocol converging despite message loss.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .clock import SimClock
+from .node import StorageNode
+
+
+@dataclass(frozen=True, order=True)
+class FailureEvent:
+    """A scheduled state change for one node."""
+
+    at_us: int
+    node_id: int
+    action: str  # "crash" | "recover" | "wipe"
+
+    _ACTIONS = ("crash", "recover", "wipe")
+
+    def __post_init__(self) -> None:
+        if self.action not in self._ACTIONS:
+            raise ValueError(f"unknown failure action: {self.action!r}")
+
+
+class FailureSchedule:
+    """Applies :class:`FailureEvent`s as simulated time passes.
+
+    Call :meth:`pump` after advancing the clock; events whose time has
+    come are applied in order.  Deterministic: no wall-clock, no
+    unseeded randomness.
+    """
+
+    def __init__(self, clock: SimClock, nodes: dict[int, StorageNode]):
+        self._clock = clock
+        self._nodes = nodes
+        self._pending: list[FailureEvent] = []
+        self.applied: list[FailureEvent] = []
+
+    def schedule(self, event: FailureEvent) -> None:
+        if event.node_id not in self._nodes:
+            raise KeyError(f"unknown node {event.node_id}")
+        self._pending.append(event)
+        self._pending.sort()
+
+    def crash_at(self, at_us: int, node_id: int) -> None:
+        self.schedule(FailureEvent(at_us, node_id, "crash"))
+
+    def recover_at(self, at_us: int, node_id: int) -> None:
+        self.schedule(FailureEvent(at_us, node_id, "recover"))
+
+    def wipe_at(self, at_us: int, node_id: int) -> None:
+        self.schedule(FailureEvent(at_us, node_id, "wipe"))
+
+    def pump(self) -> list[FailureEvent]:
+        """Apply all events due at or before the current simulated time."""
+        fired: list[FailureEvent] = []
+        while self._pending and self._pending[0].at_us <= self._clock.now_us:
+            event = self._pending.pop(0)
+            node = self._nodes[event.node_id]
+            if event.action == "crash":
+                node.crash()
+            elif event.action == "recover":
+                node.recover()
+            else:  # wipe: disk replaced, node returns empty
+                node.wipe()
+                node.recover()
+            self.applied.append(event)
+            fired.append(event)
+        return fired
+
+    @property
+    def pending(self) -> tuple[FailureEvent, ...]:
+        return tuple(self._pending)
+
+
+class MessageLoss:
+    """Deterministic Bernoulli message-drop model for gossip links."""
+
+    def __init__(self, drop_probability: float = 0.0, seed: int = 7):
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be within [0, 1]")
+        self.drop_probability = drop_probability
+        self._rng = random.Random(seed)
+        self.dropped = 0
+        self.delivered = 0
+
+    def should_drop(self) -> bool:
+        if self.drop_probability <= 0.0:
+            self.delivered += 1
+            return False
+        drop = self._rng.random() < self.drop_probability
+        if drop:
+            self.dropped += 1
+        else:
+            self.delivered += 1
+        return drop

@@ -1,0 +1,184 @@
+"""Service-time model for the simulated rack.
+
+The paper's testbed is nine HP DL380p servers (8-core Xeon, 32 GB RAM,
+7x 600 GB 15K-RPM SAS disks) on a 1-Gbps LAN, with a 100-Mbps WAN
+uplink; Dropbox is reached over the Internet with a measured average
+PING of 58 ms (range 24-83 ms).  :class:`LatencyModel` encodes those
+physical constants as per-primitive service times; every simulated
+component asks the model how long its work takes and charges the
+result to the :class:`~repro.simcloud.clock.SimClock`.
+
+Calibration targets (see DESIGN.md §5): a single object GET on the
+rack costs ~10 ms (Fig 13, Swift flat line), an H2Cloud MKDIR lands in
+the 150-200 ms band (Fig 12), a detailed LIST of 1000 children costs
+~0.35 s and a COPY of 1000 files ~10 s (§1 of the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-primitive service times, all in microseconds unless noted."""
+
+    # --- network -------------------------------------------------------
+    lan_rtt_us: int = 400  # same-rack TCP round trip incl. proxy hop
+    wan_rtt_us: int = 58_000  # Internet RTT (paper: avg 58 ms PING)
+    wan_rtt_min_us: int = 24_000  # paper: 24 ms
+    wan_rtt_max_us: int = 83_000  # paper: 83 ms
+    lan_bandwidth_bps: int = 1_000_000_000  # 1 Gbps LAN
+    wan_bandwidth_bps: int = 100_000_000  # 100 Mbps WAN
+
+    # --- storage node --------------------------------------------------
+    disk_seek_us: int = 8_000  # 15K-RPM SAS: seek + rotational latency
+    disk_bandwidth_bps: int = 120_000_000 * 8  # ~120 MB/s sequential
+    request_overhead_us: int = 1_200  # auth, parsing, WSGI dispatch
+
+    # --- container / file-path DB (Swift's SQLite-style DB) -------------
+    db_node_us: int = 90  # one B-tree node visit (page read, compare)
+    db_row_us: int = 35  # materialise one row of a range scan
+    db_write_us: int = 600  # WAL append + page dirty for one mutation
+
+    # --- index server (GFS namenode / DP metadata server baselines) -----
+    index_op_us: int = 300  # one in-memory tree operation
+    index_hop_rtt_us: int = 500  # RTT between client and an index server
+    index_lock_us: int = 2_500  # distributed lock acquire (shared-disk DP)
+
+    # --- client-side concurrency ----------------------------------------
+    meta_concurrency: int = 32  # parallel lanes for metadata requests
+    data_concurrency: int = 8  # parallel lanes for bulk object copies
+
+    # --- determinism -----------------------------------------------------
+    jitter_frac: float = 0.08  # +/- fraction of service time
+    seed: int = 0x48320  # "H2" -- drives the jitter stream
+
+    def rng(self) -> random.Random:
+        """A fresh deterministic jitter stream for one simulation run."""
+        return random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # derived costs
+    # ------------------------------------------------------------------
+    def transfer_us(self, nbytes: int, bandwidth_bps: int | None = None) -> int:
+        """Wire time to move ``nbytes`` at ``bandwidth_bps`` (default LAN)."""
+        bw = bandwidth_bps or self.lan_bandwidth_bps
+        return (nbytes * 8 * 1_000_000) // bw
+
+    def disk_read_us(self, nbytes: int) -> int:
+        return self.disk_seek_us + (nbytes * 8 * 1_000_000) // self.disk_bandwidth_bps
+
+    def disk_write_us(self, nbytes: int) -> int:
+        # Writes pay the same seek; commodity object servers fsync.
+        return self.disk_seek_us + (nbytes * 8 * 1_000_000) // self.disk_bandwidth_bps
+
+    def with_(self, **overrides) -> "LatencyModel":
+        """A copy with some parameters replaced (frozen dataclass helper)."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def rack_scale(cls) -> "LatencyModel":
+        """The paper's nine-server IDC rack (defaults as declared)."""
+        return cls()
+
+    @classmethod
+    def geo_scale(cls) -> "LatencyModel":
+        """A geographically distributed deployment (paper §4.1: "the
+        object storage cloud is geographically distributed across
+        several data centers").  Inter-DC RTT replaces the rack's LAN
+        RTT, and bandwidth drops to a dedicated inter-DC link."""
+        return cls(
+            lan_rtt_us=15_000,  # ~15 ms between nearby regions
+            lan_bandwidth_bps=10_000_000_000 // 8,  # shared inter-DC trunk
+        )
+
+    @classmethod
+    def zero(cls) -> "LatencyModel":
+        """All service times zero -- for pure-semantics unit tests."""
+        return cls(
+            lan_rtt_us=0,
+            wan_rtt_us=0,
+            wan_rtt_min_us=0,
+            wan_rtt_max_us=0,
+            disk_seek_us=0,
+            request_overhead_us=0,
+            db_node_us=0,
+            db_row_us=0,
+            db_write_us=0,
+            index_op_us=0,
+            index_hop_rtt_us=0,
+            index_lock_us=0,
+            jitter_frac=0.0,
+        )
+
+
+class Jitter:
+    """Deterministic multiplicative jitter around modelled service times.
+
+    Real measurements (the paper's box plots) show ~10 % spread; a
+    seeded stream keeps every simulation run bit-reproducible.
+    """
+
+    def __init__(self, model: LatencyModel):
+        self._frac = model.jitter_frac
+        self._rng = model.rng()
+
+    def apply(self, cost_us: int) -> int:
+        if self._frac <= 0.0 or cost_us <= 0:
+            return cost_us
+        factor = 1.0 + self._rng.uniform(-self._frac, self._frac)
+        return max(0, int(cost_us * factor))
+
+    def wan_rtt_us(self, model: LatencyModel) -> int:
+        """One Internet round trip, drawn from the paper's PING range."""
+        if model.wan_rtt_max_us <= model.wan_rtt_min_us:
+            return model.wan_rtt_us
+        # Triangular around the measured mean keeps the average at 58 ms.
+        return int(
+            self._rng.triangular(
+                model.wan_rtt_min_us, model.wan_rtt_max_us, model.wan_rtt_us
+            )
+        )
+
+
+@dataclass
+class CostLedger:
+    """Accounting of what a component spent, primitive by primitive.
+
+    The benchmark harness reads ``foreground_us`` off the clock; the
+    ledger exists so tests can assert *why* an operation cost what it
+    did (how many GETs, how many bytes, how much background merge work).
+    """
+
+    puts: int = 0
+    gets: int = 0
+    heads: int = 0
+    deletes: int = 0
+    copies: int = 0
+    scans: int = 0
+    db_reads: int = 0
+    db_writes: int = 0
+    index_ops: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    background_us: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+    def diff(self, earlier: dict[str, int]) -> dict[str, int]:
+        """Per-field delta since an earlier :meth:`snapshot`."""
+        return {k: getattr(self, k) - earlier[k] for k in earlier}
+
+    def reset(self) -> None:
+        for k in self.__dataclass_fields__:
+            setattr(self, k, 0)
+
+    @property
+    def total_requests(self) -> int:
+        return self.puts + self.gets + self.heads + self.deletes + self.copies

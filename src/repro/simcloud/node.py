@@ -1,0 +1,152 @@
+"""A simulated object storage server.
+
+Each :class:`StorageNode` stands in for one of the paper's eight
+OpenStack Swift storage servers (HP DL380p, 7x 600 GB SAS).  It keeps
+an in-memory shelf of replicated objects and answers the low-level
+read/write/delete requests the :class:`~repro.simcloud.object_store.ObjectStore`
+routes to it, reporting the disk service time for each so the store
+can charge the simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .clock import Timestamp
+from .errors import CapacityError, NodeDown, ObjectNotFound
+from .latency import LatencyModel
+
+
+@dataclass
+class ObjectRecord:
+    """One replica of one object as stored on a node's disk."""
+
+    name: str
+    data: bytes
+    meta: dict[str, str]
+    timestamp: Timestamp
+    etag: str
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class NodeStats:
+    """Operational counters a real node would export to monitoring."""
+
+    reads: int = 0
+    writes: int = 0
+    deletes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+
+class StorageNode:
+    """One storage server: a keyed shelf of object replicas plus a disk model."""
+
+    def __init__(
+        self,
+        node_id: int,
+        latency: LatencyModel,
+        capacity_bytes: int | None = None,
+    ):
+        self.node_id = node_id
+        self._latency = latency
+        self._capacity = capacity_bytes
+        self._used = 0
+        self._objects: dict[str, ObjectRecord] = {}
+        self._down = False
+        self.stats = NodeStats()
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    def crash(self) -> None:
+        """Take the node offline; stored replicas survive (disk intact)."""
+        self._down = True
+
+    def recover(self) -> None:
+        self._down = False
+
+    def wipe(self) -> None:
+        """Catastrophic loss: the node comes back empty (disk replaced)."""
+        self._objects.clear()
+        self._used = 0
+
+    def _check_up(self) -> None:
+        if self._down:
+            raise NodeDown(self.node_id)
+
+    # ------------------------------------------------------------------
+    # storage primitives; each returns (result, disk_cost_us)
+    # ------------------------------------------------------------------
+    def write(self, record: ObjectRecord) -> int:
+        """Store (or overwrite) a replica; returns the disk service time."""
+        self._check_up()
+        old = self._objects.get(record.name)
+        delta = record.size - (old.size if old else 0)
+        if self._capacity is not None and self._used + delta > self._capacity:
+            raise CapacityError(
+                self.node_id, delta, self._capacity - self._used
+            )
+        self._objects[record.name] = record
+        self._used += delta
+        self.stats.writes += 1
+        self.stats.bytes_written += record.size
+        return self._latency.disk_write_us(record.size)
+
+    def read(self, name: str) -> tuple[ObjectRecord, int]:
+        self._check_up()
+        record = self._objects.get(name)
+        if record is None:
+            raise ObjectNotFound(name)
+        self.stats.reads += 1
+        self.stats.bytes_read += record.size
+        return record, self._latency.disk_read_us(record.size)
+
+    def head(self, name: str) -> tuple[ObjectRecord, int]:
+        """Metadata-only read: pays the seek but not the transfer."""
+        self._check_up()
+        record = self._objects.get(name)
+        if record is None:
+            raise ObjectNotFound(name)
+        self.stats.reads += 1
+        return record, self._latency.disk_read_us(0)
+
+    def delete(self, name: str) -> int:
+        self._check_up()
+        record = self._objects.pop(name, None)
+        if record is None:
+            raise ObjectNotFound(name)
+        self._used -= record.size
+        self.stats.deletes += 1
+        return self._latency.disk_write_us(0)
+
+    def contains(self, name: str) -> bool:
+        self._check_up()
+        return name in self._objects
+
+    # ------------------------------------------------------------------
+    # introspection (no failure check: used by tests/audits)
+    # ------------------------------------------------------------------
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def object_names(self) -> Iterator[str]:
+        return iter(self._objects)
+
+    def peek(self, name: str) -> ObjectRecord | None:
+        """Replica inspection without failure semantics or cost."""
+        return self._objects.get(name)

@@ -1,0 +1,389 @@
+"""The flat object storage cloud: PUT/GET/DELETE over a replicated ring.
+
+This is the reproduction's stand-in for OpenStack Swift's object tier
+(proxy + eight storage nodes, three replicas -- the paper's §5.1
+deployment).  It exposes exactly the primitive vocabulary the paper
+says object clouds offer -- PUT, GET, DELETE "and other primitives"
+(HEAD, server-side COPY) -- and charges the simulated clock what each
+primitive would cost on the rack:
+
+    request_overhead + LAN RTT + wire transfer + disk service time
+
+with replica fan-out in parallel (a write costs the *max* of its
+replica disk times, not the sum) and quorum semantics on both paths.
+
+It deliberately has **no** directory concept.  The only listing aid is
+:meth:`scan`, a full key-space enumeration priced per examined key --
+this is what condemns the plain consistent-hash baseline to O(N)
+LIST/COPY in Table 1, and what the per-account file-path DB
+(:mod:`repro.simcloud.container_db`) and H2's NameRings both exist to
+avoid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from .clock import SimClock, Timestamp, TimestampFactory
+from .errors import (
+    NodeDown,
+    ObjectAlreadyExists,
+    ObjectNotFound,
+    QuorumError,
+    RingError,
+)
+from .hashring import HashRing
+from .latency import CostLedger, Jitter, LatencyModel
+from .node import ObjectRecord, StorageNode
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ObjectInfo:
+    """What HEAD returns: everything about an object except its bytes."""
+
+    name: str
+    size: int
+    etag: str
+    meta: dict[str, str]
+    timestamp: Timestamp
+
+
+def _etag(data) -> str:
+    from .sparse import SparseData
+
+    if isinstance(data, SparseData):
+        return hashlib.md5(data.identity().encode()).hexdigest()
+    return hashlib.md5(data).hexdigest()
+
+
+class ObjectStore:
+    """Client-facing facade over the ring and the storage nodes."""
+
+    def __init__(
+        self,
+        ring: HashRing,
+        nodes: dict[int, StorageNode],
+        latency: LatencyModel,
+        clock: SimClock,
+        write_quorum: int | None = None,
+        read_quorum: int = 1,
+    ):
+        missing = ring.node_ids - set(nodes)
+        if missing:
+            raise RingError(f"ring references unknown nodes: {sorted(missing)}")
+        self.ring = ring
+        self.nodes = nodes
+        self.latency = latency
+        self.clock = clock
+        # Swift's defaults: write to all, succeed on majority; read one.
+        self.write_quorum = write_quorum or (ring.replicas // 2 + 1)
+        self.read_quorum = read_quorum
+        self.ledger = CostLedger()
+        self.jitter = Jitter(latency)
+        self.timestamps = TimestampFactory(clock, node_id=0)
+        self._names: set[str] = set()  # authoritative key registry
+        # Accounts hosted on this deployment (filesystem frontends
+        # register here so maintenance like GC can scope itself safely).
+        self.accounts: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # cost plumbing
+    # ------------------------------------------------------------------
+    def _charge(self, cost_us: int) -> None:
+        self.clock.advance(self.jitter.apply(cost_us))
+
+    def _base_cost(self, nbytes: int = 0) -> int:
+        return (
+            self.latency.request_overhead_us
+            + self.latency.lan_rtt_us
+            + self.latency.transfer_us(nbytes)
+        )
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        name: str,
+        data: bytes,
+        meta: dict[str, str] | None = None,
+        overwrite: bool = True,
+    ) -> ObjectInfo:
+        """Store an object on its replica set (parallel fan-out, quorum)."""
+        if not overwrite and name in self._names:
+            raise ObjectAlreadyExists(name)
+        record = ObjectRecord(
+            name=name,
+            data=data,
+            meta=dict(meta or {}),
+            timestamp=self.timestamps.next(),
+            etag=_etag(data),
+        )
+        previous: dict[int, ObjectRecord | None] = {}
+        disk_costs: list[int] = []
+        written = 0
+        for node_id in self.ring.nodes_for(name):
+            node = self.nodes[node_id]
+            if node.is_down:
+                continue
+            previous[node_id] = node.peek(name)
+            disk_costs.append(node.write(record))
+            written += 1
+        if written < min(self.write_quorum, len(self.ring.node_ids)):
+            # Failed write: undo the partial replicas so a quorum
+            # failure is atomic from the client's point of view
+            # (readers must never observe an unacknowledged object).
+            for node_id, old in previous.items():
+                node = self.nodes[node_id]
+                if old is None:
+                    node.delete(name)
+                else:
+                    node.write(old)
+            raise QuorumError(name, self.write_quorum, written)
+        self._names.add(name)
+        self.ledger.puts += 1
+        self.ledger.bytes_in += len(data)
+        self._charge(self._base_cost(len(data)) + max(disk_costs))
+        return ObjectInfo(
+            name=name,
+            size=record.size,
+            etag=record.etag,
+            meta=dict(record.meta),
+            timestamp=record.timestamp,
+        )
+
+    def get(self, name: str) -> ObjectRecord:
+        """Fetch an object from the first healthy replica."""
+        record, disk_cost, retries = self._read_replica(name, want_data=True)
+        self.ledger.gets += 1
+        self.ledger.bytes_out += record.size
+        self._charge(
+            self._base_cost(record.size) + disk_cost
+            + retries * self.latency.lan_rtt_us
+        )
+        return record
+
+    def get_range(self, name: str, offset: int, length: int):
+        """Ranged GET: fetch ``length`` bytes starting at ``offset``.
+
+        Pays the seek and request overhead of a full GET but only the
+        wire/disk transfer of the requested window -- how real object
+        stores serve video seeks and Cumulus-style segment slicing.
+        Returns bytes (or a SparseData window for sparse payloads).
+        """
+        if offset < 0 or length < 0:
+            raise ValueError("offset/length must be >= 0")
+        record, _seek_cost, retries = self._read_replica(name, want_data=False)
+        window = max(0, min(length, record.size - offset))
+        from .sparse import SparseData
+
+        if isinstance(record.data, SparseData):
+            payload = SparseData(size=window, tag=f"{record.data.tag}@{offset}")
+        else:
+            payload = record.data[offset : offset + window]
+        self.ledger.gets += 1
+        self.ledger.bytes_out += window
+        self._charge(
+            self._base_cost(window)
+            + self.latency.disk_read_us(window)
+            + retries * self.latency.lan_rtt_us
+        )
+        return payload
+
+    def head(self, name: str) -> ObjectInfo:
+        """Metadata-only fetch (no payload transfer)."""
+        record, disk_cost, retries = self._read_replica(name, want_data=False)
+        self.ledger.heads += 1
+        self._charge(
+            self._base_cost(0) + disk_cost + retries * self.latency.lan_rtt_us
+        )
+        return ObjectInfo(
+            name=record.name,
+            size=record.size,
+            etag=record.etag,
+            meta=dict(record.meta),
+            timestamp=record.timestamp,
+        )
+
+    def delete(self, name: str, missing_ok: bool = False) -> None:
+        """Remove an object from every healthy replica."""
+        if name not in self._names:
+            if missing_ok:
+                return
+            raise ObjectNotFound(name)
+        disk_costs = [0]
+        for node_id in self.ring.nodes_for(name):
+            node = self.nodes[node_id]
+            if node.is_down or not node.peek(name):
+                continue
+            disk_costs.append(node.delete(name))
+        self._names.discard(name)
+        self.ledger.deletes += 1
+        self._charge(self._base_cost(0) + max(disk_costs))
+
+    def copy(
+        self, src: str, dst: str, meta: dict[str, str] | None = None
+    ) -> ObjectInfo:
+        """Server-side copy: one GET plus one replicated PUT inside the rack."""
+        record = self.get(src)
+        new_meta = dict(record.meta)
+        if meta:
+            new_meta.update(meta)
+        info = self.put(dst, record.data, meta=new_meta)
+        self.ledger.copies += 1
+        # get()+put() above already charged the data path; copy adds no RTT
+        # beyond those because the proxy pipelines the two transfers.
+        return info
+
+    def exists(self, name: str) -> bool:
+        """HEAD-priced existence check."""
+        try:
+            self.head(name)
+            return True
+        except ObjectNotFound:
+            return False
+
+    def _read_replica(
+        self, name: str, want_data: bool
+    ) -> tuple[ObjectRecord, int, int]:
+        """Try replicas in placement order; return (record, disk_us, retries)."""
+        retries = 0
+        last_error: Exception = ObjectNotFound(name)
+        for node_id in self.ring.nodes_for(name):
+            node = self.nodes[node_id]
+            try:
+                if want_data:
+                    return (*node.read(name), retries)
+                return (*node.head(name), retries)
+            except (NodeDown, ObjectNotFound) as exc:
+                last_error = exc
+                retries += 1
+        if isinstance(last_error, NodeDown):
+            raise QuorumError(name, self.read_quorum, 0)
+        raise ObjectNotFound(name)
+
+    # ------------------------------------------------------------------
+    # enumeration (the expensive path flat stores are stuck with)
+    # ------------------------------------------------------------------
+    def scan(self, prefix: str = "") -> list[str]:
+        """Enumerate every object name, keep those matching ``prefix``.
+
+        Costs one row-examination per object *in the whole store* --
+        the O(N) tax that Table 1 assigns to directory traversal on a
+        plain consistent-hash layout.
+        """
+        names = sorted(self._names)
+        matched = [n for n in names if n.startswith(prefix)]
+        self.ledger.scans += 1
+        self._charge(
+            self._base_cost(0) + len(names) * self.latency.db_row_us
+        )
+        return matched
+
+    # ------------------------------------------------------------------
+    # client-side parallelism
+    # ------------------------------------------------------------------
+    def parallel(
+        self, thunks: Iterable[Callable[[], T]], lanes: int | None = None
+    ) -> list[T]:
+        """Issue a batch of requests over a connection pool of ``lanes``."""
+        return self.clock.parallel(thunks, lanes or self.latency.meta_concurrency)
+
+    # ------------------------------------------------------------------
+    # maintenance & introspection (cost-free: operator tooling)
+    # ------------------------------------------------------------------
+    def repair(self) -> int:
+        """Reconcile replica sets: fill holes, refresh stale copies.
+
+        Models Swift's background replicator: for every object the
+        newest reachable replica is pushed to peers that miss it *or*
+        hold an older timestamp (a node that crashed across an
+        overwrite comes back with yesterday's bytes -- without the
+        staleness pass a read hitting it first would travel back in
+        time).  Returns the number of replicas written.  Free of
+        foreground cost; background time lands in
+        ``ledger.background_us``.
+        """
+        fixed = 0
+        for name in sorted(self._names):
+            source: ObjectRecord | None = None
+            reachable: list[tuple[StorageNode, ObjectRecord | None]] = []
+            for node_id in self.ring.nodes_for(name):
+                node = self.nodes[node_id]
+                if node.is_down:
+                    continue
+                record = node.peek(name)
+                reachable.append((node, record))
+                if record is not None and (
+                    source is None or record.timestamp > source.timestamp
+                ):
+                    source = record
+            if source is None:
+                continue
+            for node, record in reachable:
+                if record is not None and record.timestamp >= source.timestamp:
+                    continue
+                cost = node.write(source)
+                self.ledger.background_us += cost
+                fixed += 1
+        return fixed
+
+    def rebalance(self) -> tuple[int, int]:
+        """Migrate replicas to match the current ring (after node churn).
+
+        Two passes, both off the client path (background-accounted):
+        :meth:`repair` writes replicas that the new placement expects
+        but the nodes lack, then stale replicas on nodes that are no
+        longer responsible are dropped.  Returns (written, dropped).
+        Models Swift's replicator converging after a ring change.
+        """
+        written = self.repair()
+        dropped = 0
+        for name in sorted(self._names):
+            responsible = set(self.ring.nodes_for(name))
+            for node_id, node in self.nodes.items():
+                if node_id in responsible or node.is_down:
+                    continue
+                if node.peek(name) is not None:
+                    cost = node.delete(name)
+                    self.ledger.background_us += cost
+                    dropped += 1
+        return written, dropped
+
+    def replica_health(self, name: str) -> tuple[int, int]:
+        """(healthy replicas present, expected replicas) for an object."""
+        expected = self.ring.nodes_for(name)
+        present = sum(
+            1
+            for node_id in expected
+            if not self.nodes[node_id].is_down
+            and self.nodes[node_id].peek(name) is not None
+        )
+        return present, len(expected)
+
+    def census(self, prefix: str = "") -> tuple[int, int]:
+        """(object count, logical bytes) under ``prefix`` -- Fig 14/15 data."""
+        count = 0
+        nbytes = 0
+        for name in self._names:
+            if not name.startswith(prefix):
+                continue
+            count += 1
+            for node_id in self.ring.nodes_for(name):
+                record = self.nodes[node_id].peek(name)
+                if record is not None:
+                    nbytes += record.size
+                    break
+        return count, nbytes
+
+    @property
+    def object_count(self) -> int:
+        return len(self._names)
+
+    def names(self) -> frozenset[str]:
+        """Cost-free view of the key registry (tests and audits only)."""
+        return frozenset(self._names)

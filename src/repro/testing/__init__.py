@@ -1,0 +1,10 @@
+"""`repro.testing` -- oracles and helpers for equivalence testing.
+
+Exposes :class:`ModelFS`, the dict-backed reference filesystem every
+implementation in this repository is tested against, plus
+:func:`snapshot_of` for walking any filesystem into a comparable tree.
+"""
+
+from .model import ModelFS, snapshot_of
+
+__all__ = ["ModelFS", "snapshot_of"]

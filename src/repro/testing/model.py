@@ -1,0 +1,218 @@
+"""A reference in-memory filesystem: the oracle for equivalence tests.
+
+Every filesystem in this repository -- H2Cloud and all eight Table-1
+baselines -- must agree with this model on the *logical* outcome of any
+operation sequence.  The model is deliberately the dumbest possible
+correct implementation: plain dicts, no hashing, no rings, no clouds.
+Property-based tests drive random schedules through a system under
+test and the model side by side and compare trees and error outcomes.
+"""
+
+from __future__ import annotations
+
+from ..simcloud.errors import (
+    AlreadyExists,
+    DirectoryNotEmpty,
+    InvalidPath,
+    IsADirectory,
+    NotADirectory,
+    PathNotFound,
+)
+from ..core.namespace import normalize_path, parent_and_base, split_path
+
+
+class ModelFS:
+    """Dict-backed oracle with the shared operation vocabulary."""
+
+    def __init__(self) -> None:
+        self._dirs: set[str] = {"/"}
+        self._files: dict[str, bytes] = {}
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _require_dir(self, path: str) -> str:
+        path = normalize_path(path)
+        if path != "/":
+            self._require_parent(path)
+        if path in self._files:
+            raise NotADirectory(path)
+        if path not in self._dirs:
+            raise PathNotFound(path)
+        return path
+
+    def _require_parent(self, path: str) -> tuple[str, str]:
+        parent, base = parent_and_base(normalize_path(path))
+        # Surface the *first* missing/contorted component like real
+        # resolution would.
+        probe = ""
+        for component in split_path(parent) if parent != "/" else []:
+            probe += "/" + component
+            if probe in self._files:
+                raise NotADirectory(probe)
+            if probe not in self._dirs:
+                raise PathNotFound(probe)
+        return parent, base
+
+    def _check_absent(self, path: str) -> None:
+        if path in self._dirs or path in self._files:
+            raise AlreadyExists(path)
+
+    def _subtree(self, root: str) -> tuple[list[str], list[str]]:
+        prefix = root.rstrip("/") + "/"
+        dirs = [d for d in self._dirs if d == root or d.startswith(prefix)]
+        files = [f for f in self._files if f.startswith(prefix)]
+        return dirs, files
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        path = normalize_path(path)
+        if path == "/":
+            raise AlreadyExists(path)
+        self._require_parent(path)
+        self._check_absent(path)
+        self._dirs.add(path)
+
+    def makedirs(self, path: str) -> None:
+        partial = ""
+        for component in split_path(path):
+            partial += "/" + component
+            if partial in self._files:
+                raise NotADirectory(partial)
+            if partial not in self._dirs:
+                self._dirs.add(partial)
+
+    def write(self, path: str, data: bytes) -> None:
+        path = normalize_path(path)
+        self._require_parent(path)
+        if path in self._dirs:
+            raise IsADirectory(path)
+        self._files[path] = data
+
+    def read(self, path: str) -> bytes:
+        path = normalize_path(path)
+        self._require_parent(path)
+        if path in self._dirs:
+            raise IsADirectory(path)
+        if path not in self._files:
+            raise PathNotFound(path)
+        return self._files[path]
+
+    def delete(self, path: str) -> None:
+        path = normalize_path(path)
+        self._require_parent(path)
+        if path in self._dirs:
+            raise IsADirectory(path)
+        if path not in self._files:
+            raise PathNotFound(path)
+        del self._files[path]
+
+    def rmdir(self, path: str, recursive: bool = True) -> None:
+        path = normalize_path(path)
+        if path == "/":
+            raise InvalidPath(path, "cannot remove the root")
+        self._require_parent(path)
+        if path in self._files:
+            raise NotADirectory(path)
+        path = self._require_dir(path)
+        if not recursive and self.listdir(path):
+            raise DirectoryNotEmpty(path)
+        dirs, files = self._subtree(path)
+        for d in dirs:
+            self._dirs.discard(d)
+        for f in files:
+            del self._files[f]
+
+    def move(self, src: str, dst: str) -> None:
+        src, dst = normalize_path(src), normalize_path(dst)
+        if src == "/":
+            raise InvalidPath(src, "cannot move the root")
+        if src not in self._dirs and src not in self._files:
+            # resolve for the precise error
+            self._require_parent(src)
+            raise PathNotFound(src)
+        self._require_parent(dst)
+        self._check_absent(dst)
+        if src in self._dirs and (dst == src or dst.startswith(src + "/")):
+            raise InvalidPath(dst, "destination is inside the moved directory")
+        if src in self._files:
+            self._files[dst] = self._files.pop(src)
+            return
+        dirs, files = self._subtree(src)
+        for d in dirs:
+            self._dirs.discard(d)
+            self._dirs.add(dst + d[len(src):])
+        for f in files:
+            self._files[dst + f[len(src):]] = self._files.pop(f)
+
+    def rename(self, src: str, dst: str) -> None:
+        self.move(src, dst)
+
+    def copy(self, src: str, dst: str) -> None:
+        # Error precedence mirrors H2Middleware.copy: source resolution,
+        # then destination parent, then destination collision, then the
+        # root-source guard.
+        src, dst = normalize_path(src), normalize_path(dst)
+        if src != "/":
+            self._require_parent(src)
+            if src not in self._files and src not in self._dirs:
+                raise PathNotFound(src)
+        self._require_parent(dst)
+        self._check_absent(dst)
+        if src in self._files:
+            self._files[dst] = self._files[src]
+            return
+        if src == "/":
+            raise InvalidPath(src, "cannot copy the root onto a child")
+        dirs, files = self._subtree(src)
+        for d in dirs:
+            self._dirs.add(dst + d[len(src):])
+        for f in files:
+            self._files[dst + f[len(src):]] = self._files[f]
+
+    def listdir(self, path: str = "/") -> list[str]:
+        path = self._require_dir(path)
+        prefix = path.rstrip("/") + "/"
+        names: set[str] = set()
+        for entry in list(self._dirs) + list(self._files):
+            if entry != path and entry.startswith(prefix):
+                names.add(entry[len(prefix):].split("/", 1)[0])
+        return sorted(names)
+
+    def exists(self, path: str) -> bool:
+        path = normalize_path(path)
+        return path in self._dirs or path in self._files
+
+    def is_dir(self, path: str) -> bool:
+        return normalize_path(path) in self._dirs
+
+    # ------------------------------------------------------------------
+    # snapshots for comparison
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, bytes | None]:
+        """{path: content-or-None-for-dirs} over the whole tree."""
+        tree: dict[str, bytes | None] = {d: None for d in self._dirs if d != "/"}
+        tree.update(self._files)
+        return tree
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    @property
+    def dir_count(self) -> int:
+        return len(self._dirs) - 1  # excluding root
+
+
+def snapshot_of(fs, top: str = "/") -> dict[str, bytes | None]:
+    """Walk any filesystem with the shared API into a model-style snapshot."""
+    tree: dict[str, bytes | None] = {}
+    for dirpath, dirnames, filenames in fs.walk(top):
+        for d in dirnames:
+            tree[(dirpath.rstrip("/") or "") + "/" + d] = None
+        for f in filenames:
+            full = (dirpath.rstrip("/") or "") + "/" + f
+            tree[full] = fs.read(full)
+    return tree

@@ -1,0 +1,17 @@
+"""`repro.tools` -- operational tooling on top of the shared FS API.
+
+Cross-system migration (Swift -> H2Cloud adoption, H2Cloud -> Cumulus
+backup/restore) with equivalence verification, and an H2 fsck that
+audits the on-cloud object graph's invariants.
+"""
+
+from .fsck import FsckReport, H2Fsck
+from .migrate import MigrationReport, migrate, verify_equivalent
+
+__all__ = [
+    "FsckReport",
+    "H2Fsck",
+    "MigrationReport",
+    "migrate",
+    "verify_equivalent",
+]

@@ -1,0 +1,52 @@
+"""`repro.workloads` -- the paper's workloads, reproduced synthetically.
+
+Seeded generators for user filesystem trees (light/heavy, §5.1), the
+file-size mixture (KB configs to GB videos, ~1 MB mean), operation
+traces covering the POSIX-like op mix, and the ~150-user corpus used
+for the storage-overhead census of Figures 14-15.
+"""
+
+from .corpus import UserProfile, build_corpus, corpus_stats, populate_corpus
+from .fstree import (
+    FileSpec,
+    SyntheticTree,
+    TreeSpec,
+    chain_directories,
+    flat_directory,
+    generate,
+    heavy_user,
+    light_user,
+    populate,
+)
+from .hotspots import ZipfSampler, hot_lookup_trace, skew_of
+from .sizes import GB, KB, MB, SizeComponent, SizeModel
+from .traces import DEFAULT_MIX, Op, TraceGenerator, TraceStats, replay
+
+__all__ = [
+    "DEFAULT_MIX",
+    "FileSpec",
+    "GB",
+    "KB",
+    "MB",
+    "Op",
+    "SizeComponent",
+    "SizeModel",
+    "SyntheticTree",
+    "TraceGenerator",
+    "TraceStats",
+    "TreeSpec",
+    "UserProfile",
+    "ZipfSampler",
+    "build_corpus",
+    "chain_directories",
+    "corpus_stats",
+    "flat_directory",
+    "generate",
+    "heavy_user",
+    "hot_lookup_trace",
+    "light_user",
+    "populate",
+    "populate_corpus",
+    "replay",
+    "skew_of",
+]

@@ -1,0 +1,88 @@
+"""The user corpus: ~150 light/heavy filesystems (paper §5.1).
+
+"Among these invited users, some users' filesystems are light ...
+while the filesystems of the rest of users are heavy."  The corpus
+builder produces the seeded population; :func:`populate_corpus` loads
+it into a filesystem per account (or one shared account under per-user
+top directories, which is what the storage-overhead census of
+Figs 14-15 uses).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .fstree import SyntheticTree, TreeSpec, generate, heavy_user, light_user
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One invited user: an account name and the shape of their data."""
+
+    account: str
+    kind: str  # "light" | "heavy"
+    spec: TreeSpec
+
+    def tree(self) -> SyntheticTree:
+        return generate(self.spec)
+
+
+def build_corpus(
+    n_users: int = 150,
+    heavy_fraction: float = 0.25,
+    seed: int = 7,
+    heavy_scale: float = 1.0,
+) -> list[UserProfile]:
+    """The paper's population: mostly light users, a heavy minority."""
+    if not 0.0 <= heavy_fraction <= 1.0:
+        raise ValueError("heavy_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    users: list[UserProfile] = []
+    for i in range(n_users):
+        heavy = rng.random() < heavy_fraction
+        if heavy:
+            spec = heavy_user(seed=seed * 1000 + i, scale=heavy_scale)
+        else:
+            spec = light_user(seed=seed * 1000 + i)
+        users.append(
+            UserProfile(
+                account=f"user{i:03d}",
+                kind="heavy" if heavy else "light",
+                spec=spec,
+            )
+        )
+    return users
+
+
+def corpus_stats(users: list[UserProfile]) -> dict[str, float]:
+    """Aggregate shape numbers for reporting / sanity tests."""
+    trees = [u.tree() for u in users]
+    files = [len(t.files) for t in trees]
+    depths = [t.max_depth for t in trees]
+    return {
+        "users": len(users),
+        "heavy_users": sum(1 for u in users if u.kind == "heavy"),
+        "total_files": sum(files),
+        "total_dirs": sum(len(t.dirs) for t in trees),
+        "max_files_one_user": max(files) if files else 0,
+        "max_depth": max(depths) if depths else 0,
+        "total_bytes": sum(t.total_bytes for t in trees),
+    }
+
+
+def populate_corpus(make_fs, users: list[UserProfile], sparse: bool = True):
+    """Load every user into their own filesystem instance.
+
+    ``make_fs(account)`` builds the per-account filesystem (all
+    instances typically share one cluster so the census sees the whole
+    deployment).  Returns {account: fs}.
+    """
+    from .fstree import populate
+
+    out = {}
+    for user in users:
+        fs = make_fs(user.account)
+        populate(fs, user.tree(), sparse=sparse)
+        out[user.account] = fs
+    return out

@@ -1,0 +1,77 @@
+"""Popularity-skewed (Zipfian) access workloads.
+
+Real cloud-storage traffic is heavily skewed: a handful of hot
+directories absorb most lookups (the paper's motivation for the File
+Descriptor Cache and for avoiding per-directory locks on "frequently
+accessed directories", §3.3.1).  This module provides a dependency-free
+Zipf sampler over a synthetic tree's files and a generator of pure
+lookup traces, used by the cache-sizing ablation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+
+from .fstree import SyntheticTree
+
+
+@dataclass(frozen=True)
+class ZipfSampler:
+    """Draws indices 0..n-1 with P(i) proportional to 1/(i+1)^alpha."""
+
+    n: int
+    alpha: float = 1.1
+    _cdf: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be >= 1")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be > 0")
+        weights = [1.0 / (i + 1) ** self.alpha for i in range(self.n)]
+        total = sum(weights)
+        cumulative = []
+        running = 0.0
+        for w in weights:
+            running += w / total
+            cumulative.append(running)
+        object.__setattr__(self, "_cdf", tuple(cumulative))
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect.bisect_left(self._cdf, rng.random())
+
+    def sample_many(self, rng: random.Random, count: int) -> list[int]:
+        return [self.sample(rng) for _ in range(count)]
+
+
+def hot_lookup_trace(
+    tree: SyntheticTree,
+    n_ops: int,
+    alpha: float = 1.1,
+    seed: int = 0,
+) -> list[str]:
+    """A pure-lookup trace over the tree's files, Zipf-popular.
+
+    Files are ranked by a seeded shuffle (so "hotness" is not
+    correlated with generation order), then sampled Zipfian: the
+    resulting path list is what the cache-sizing ablation replays.
+    """
+    if not tree.files:
+        raise ValueError("tree has no files to look up")
+    rng = random.Random(seed)
+    paths = [f.path for f in tree.files]
+    rng.shuffle(paths)
+    sampler = ZipfSampler(n=len(paths), alpha=alpha)
+    return [paths[sampler.sample(rng)] for _ in range(n_ops)]
+
+
+def skew_of(trace: list[str]) -> float:
+    """Fraction of accesses landing on the top-10% most accessed paths."""
+    counts: dict[str, int] = {}
+    for path in trace:
+        counts[path] = counts.get(path, 0) + 1
+    ranked = sorted(counts.values(), reverse=True)
+    top = max(1, len(ranked) // 10)
+    return sum(ranked[:top]) / len(trace)

@@ -1,0 +1,202 @@
+"""Operation traces: replayable user manipulations (paper §5.1).
+
+"The users' manipulations cover most of the POSIX-like file and
+directory operations"; the paper replays the collected workloads
+against H2Cloud, OpenStack Swift, and Dropbox.  This module generates
+seeded traces over a synthetic tree -- always *valid* sequences,
+because the generator tracks the evolving tree through the dict oracle
+-- and replays them against any filesystem, timing each operation class
+separately (the per-op breakdown the figures report).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..simcloud.sparse import payload_of
+from ..testing.model import ModelFS
+from .fstree import SyntheticTree
+from .sizes import SizeModel
+
+DEFAULT_MIX = {
+    "read": 0.38,
+    "write": 0.22,
+    "list": 0.16,
+    "stat": 0.10,
+    "mkdir": 0.05,
+    "delete": 0.04,
+    "move": 0.025,
+    "copy": 0.015,
+    "rename": 0.007,
+    "rmdir": 0.003,
+}
+
+
+@dataclass(frozen=True)
+class Op:
+    """One trace step."""
+
+    kind: str
+    path: str
+    dest: str | None = None
+    size: int = 0
+
+
+@dataclass
+class TraceStats:
+    """Per-op-kind simulated timings collected by the replayer."""
+
+    timings_us: dict[str, list[int]] = field(default_factory=dict)
+
+    def record(self, kind: str, cost_us: int) -> None:
+        self.timings_us.setdefault(kind, []).append(cost_us)
+
+    def mean_us(self, kind: str) -> float:
+        values = self.timings_us.get(kind, [])
+        return sum(values) / len(values) if values else 0.0
+
+    def count(self, kind: str) -> int:
+        return len(self.timings_us.get(kind, []))
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(v) for v in self.timings_us.values())
+
+
+class TraceGenerator:
+    """Seeded generator of valid operation sequences over a tree."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        mix: dict[str, float] | None = None,
+        size_model: SizeModel | None = None,
+    ):
+        self._rng = random.Random(seed)
+        self._mix = dict(mix or DEFAULT_MIX)
+        total = sum(self._mix.values())
+        self._mix = {k: v / total for k, v in self._mix.items()}
+        self._sizes = size_model or SizeModel.paper_mixture(scale=0.001)
+
+    def generate(self, tree: SyntheticTree, n_ops: int) -> list[Op]:
+        """A valid trace over (a model replica of) ``tree``."""
+        model = ModelFS()
+        dirs = ["/"]
+        for d in tree.dirs:
+            model.makedirs(d)
+            dirs.append(d)
+        files = []
+        for f in tree.files:
+            model.write(f.path, b"")
+            files.append(f.path)
+        serial = 0
+        ops: list[Op] = []
+        while len(ops) < n_ops:
+            kind = self._pick_kind()
+            op = self._make_op(kind, model, dirs, files, serial)
+            if op is None:
+                continue
+            serial += 1
+            ops.append(op)
+        return ops
+
+    def _pick_kind(self) -> str:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for kind, weight in self._mix.items():
+            cumulative += weight
+            if roll <= cumulative:
+                return kind
+        return "read"
+
+    def _make_op(self, kind, model, dirs, files, serial) -> Op | None:
+        rng = self._rng
+        if kind in ("read", "stat", "delete") and not files:
+            return None
+        if kind == "read" or kind == "stat":
+            return Op(kind, rng.choice(files))
+        if kind == "write":
+            parent = rng.choice(dirs)
+            if rng.random() < 0.3 and files:  # overwrite
+                path = rng.choice(files)
+            else:
+                path = (parent.rstrip("/") or "") + f"/trace{serial:06d}"
+                if model.exists(path):
+                    return None
+                model.write(path, b"")
+                files.append(path)
+            return Op(kind, path, size=self._sizes.sample(rng))
+        if kind == "list":
+            return Op(kind, rng.choice(dirs))
+        if kind == "mkdir":
+            parent = rng.choice(dirs)
+            path = (parent.rstrip("/") or "") + f"/tdir{serial:06d}"
+            if model.exists(path):
+                return None
+            model.mkdir(path)
+            dirs.append(path)
+            return Op(kind, path)
+        if kind == "delete":
+            path = rng.choice(files)
+            model.delete(path)
+            files.remove(path)
+            return Op(kind, path)
+        if kind in ("move", "rename", "copy"):
+            if not files:
+                return None
+            src = rng.choice(files)
+            if kind == "rename":
+                dest = src.rsplit("/", 1)[0] + f"/renamed{serial:06d}"
+            else:
+                parent = rng.choice(dirs)
+                dest = (parent.rstrip("/") or "") + f"/{kind}{serial:06d}"
+            if model.exists(dest) or dest == src:
+                return None
+            if kind == "copy":
+                model.copy(src, dest)
+                files.append(dest)
+            else:
+                model.move(src, dest)
+                files.remove(src)
+                files.append(dest)
+            return Op(kind, src, dest=dest)
+        if kind == "rmdir":
+            candidates = [d for d in dirs if d != "/" and not model.listdir(d)]
+            if not candidates:
+                return None
+            path = rng.choice(candidates)
+            model.rmdir(path)
+            dirs.remove(path)
+            return Op(kind, path)
+        return None  # pragma: no cover - exhaustive mix
+
+
+def replay(fs, ops: list[Op], sparse: bool = True) -> TraceStats:
+    """Run a trace against a filesystem, timing every operation."""
+    stats = TraceStats()
+    clock = fs.clock
+    for op in ops:
+        if op.kind in ("read",):
+            _, cost = clock.measure(lambda: fs.read(op.path))
+        elif op.kind == "stat":
+            _, cost = clock.measure(lambda: fs.stat(op.path))
+        elif op.kind == "write":
+            payload = payload_of(op.size, tag=op.path, sparse=sparse)
+            _, cost = clock.measure(lambda: fs.write(op.path, payload))
+        elif op.kind == "list":
+            _, cost = clock.measure(lambda: fs.listdir(op.path, detailed=True))
+        elif op.kind == "mkdir":
+            _, cost = clock.measure(lambda: fs.mkdir(op.path))
+        elif op.kind == "delete":
+            _, cost = clock.measure(lambda: fs.delete(op.path))
+        elif op.kind in ("move", "rename"):
+            _, cost = clock.measure(lambda: fs.move(op.path, op.dest))
+        elif op.kind == "copy":
+            _, cost = clock.measure(lambda: fs.copy(op.path, op.dest))
+        elif op.kind == "rmdir":
+            _, cost = clock.measure(lambda: fs.rmdir(op.path))
+        else:  # pragma: no cover - trace generator is exhaustive
+            raise ValueError(f"unknown op kind {op.kind!r}")
+        stats.record(op.kind, cost)
+    return stats

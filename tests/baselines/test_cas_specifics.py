@@ -1,0 +1,78 @@
+"""CAS-baseline specifics: deduplication, Merkle structure, hash access."""
+
+import pytest
+
+from repro.baselines import CASFS
+from repro.simcloud import PathNotFound, SwiftCluster
+
+
+@pytest.fixture
+def fs() -> CASFS:
+    return CASFS(SwiftCluster.fast(), account="alice")
+
+
+class TestDeduplication:
+    def test_identical_content_stored_once(self, fs):
+        fs.write("/a", b"same bytes")
+        blobs_before = sum(1 for n in fs.store.names() if n.startswith("cas:b:"))
+        fs.write("/b", b"same bytes")
+        blobs_after = sum(1 for n in fs.store.names() if n.startswith("cas:b:"))
+        assert blobs_after == blobs_before
+
+    def test_copy_moves_no_file_bytes(self, fs):
+        fs.mkdir("/d")
+        fs.write("/d/big", b"z" * 50_000)
+        bytes_before = fs.store.ledger.bytes_in
+        fs.copy("/d", "/d2")
+        added = fs.store.ledger.bytes_in - bytes_before
+        assert added < 10_000  # pointer blocks + index, not the 50 KB blob
+        assert fs.read("/d2/big") == b"z" * 50_000
+
+    def test_same_hash_same_path_content(self, fs):
+        fs.write("/x", b"payload")
+        fs.write("/y", b"payload")
+        assert fs.hash_of("/x") == fs.hash_of("/y")
+
+
+class TestHashAccess:
+    def test_read_by_hash(self, fs):
+        fs.write("/f", b"content")
+        digest = fs.hash_of("/f")
+        assert fs.read_by_hash(digest) == b"content"
+
+    def test_read_by_unknown_hash(self, fs):
+        with pytest.raises(PathNotFound):
+            fs.read_by_hash("0" * 40)
+
+    def test_hash_survives_move(self, fs):
+        """Content addressing: MOVE cannot change a file's address."""
+        fs.mkdir("/d")
+        fs.write("/d/f", b"stable")
+        digest = fs.hash_of("/d/f")
+        fs.move("/d", "/e")
+        assert fs.hash_of("/e/f") == digest
+        assert fs.read_by_hash(digest) == b"stable"
+
+
+class TestMerkleStructure:
+    def test_mutation_changes_root(self, fs):
+        root_before = fs._root_digest()
+        fs.mkdir("/d")
+        assert fs._root_digest() != root_before
+
+    def test_equal_trees_have_equal_roots(self):
+        a = CASFS(SwiftCluster.fast(), account="alice")
+        cluster = SwiftCluster.fast()
+        b = CASFS(cluster, account="bob")
+        for fs in (a, b):
+            fs.makedirs("/x/y")
+            fs.write("/x/f", b"data")
+        assert a._root_digest() == b._root_digest()
+
+    def test_sibling_mutation_preserves_unrelated_subtree_blocks(self, fs):
+        fs.makedirs("/stable/deep")
+        fs.write("/stable/deep/f", b"1")
+        stable_digest = fs._walk("/stable")[1]
+        fs.mkdir("/other")
+        # /stable's block is untouched: structural sharing.
+        assert fs._walk("/stable")[1] == stable_digest

@@ -1,0 +1,270 @@
+"""Cost-shape tests: the complexity classes of Table 1, measured.
+
+These are the reproduction's heart: for each system we measure
+simulated operation time at two workload scales and assert the growth
+(or flatness) the paper's Table 1 claims.  The full sweeps live in
+``benchmarks/``; here we pin the minimal version so a regression in
+any cost model fails fast.
+"""
+
+import pytest
+
+from repro.baselines import make_system
+from repro.core import H2CloudFS
+from repro.simcloud import SwiftCluster
+
+
+def timed(fs, thunk):
+    _, cost = fs.clock.measure(thunk)
+    return cost
+
+
+def populate_flat(fs, n: int, prefix: str = "/dir", size: int = 64):
+    fs.mkdir(prefix)
+    for i in range(n):
+        fs.write(f"{prefix}/f{i:05d}", b"x" * size)
+
+
+def grows_linearly(cost_small, cost_big, factor=10, slack=3.0):
+    """cost grew by >= factor/slack when the workload grew by factor."""
+    return cost_big > cost_small * factor / slack
+
+
+def roughly_flat(cost_small, cost_big, tolerance=3.0):
+    return cost_big < cost_small * tolerance
+
+
+class TestMoveShapes:
+    """Fig 7: Swift MOVE is O(n); H2 and DP are O(1)."""
+
+    def two_scale_move(self, name, small=20, big=200):
+        costs = []
+        for n in (small, big):
+            fs = make_system(name, SwiftCluster.rack_scale())
+            populate_flat(fs, n)
+            fs.pump()
+            fs.drop_caches()
+            costs.append(timed(fs, lambda: fs.move("/dir", "/dir2")))
+        return costs
+
+    def test_swift_move_linear(self):
+        small, big = self.two_scale_move("swift")
+        assert grows_linearly(small, big)
+
+    def test_h2_move_flat(self):
+        small, big = self.two_scale_move("h2cloud")
+        assert roughly_flat(small, big)
+
+    def test_dp_move_flat(self):
+        small, big = self.two_scale_move("dynamic-partition")
+        assert roughly_flat(small, big)
+
+    def test_h2_beats_swift_at_scale(self):
+        _, swift_big = self.two_scale_move("swift")
+        _, h2_big = self.two_scale_move("h2cloud")
+        assert h2_big < swift_big / 5
+
+
+class TestRmdirShapes:
+    """Fig 8: same story as MOVE."""
+
+    def two_scale_rmdir(self, name, small=20, big=200):
+        costs = []
+        for n in (small, big):
+            fs = make_system(name, SwiftCluster.rack_scale())
+            populate_flat(fs, n)
+            fs.pump()
+            fs.drop_caches()
+            costs.append(timed(fs, lambda: fs.rmdir("/dir")))
+        return costs
+
+    def test_swift_rmdir_linear(self):
+        small, big = self.two_scale_rmdir("swift")
+        assert grows_linearly(small, big)
+
+    def test_h2_rmdir_flat(self):
+        small, big = self.two_scale_rmdir("h2cloud")
+        assert roughly_flat(small, big)
+
+    def test_single_index_rmdir_flat(self):
+        small, big = self.two_scale_rmdir("single-index")
+        assert roughly_flat(small, big)
+
+
+class TestListShapes:
+    """Figs 9-10: LIST depends on m; Swift pays the log N tax serially."""
+
+    def list_cost(self, name, m):
+        fs = make_system(name, SwiftCluster.rack_scale())
+        populate_flat(fs, m)
+        fs.pump()
+        fs.drop_caches()
+        return timed(fs, lambda: fs.listdir("/dir", detailed=True))
+
+    def test_h2_list_linear_in_m(self):
+        # Fixed costs (resolution + ring GET) dominate tiny listings, so
+        # compare scales where the per-child HEAD batches dominate.
+        assert self.list_cost("h2cloud", 1000) > 4 * self.list_cost("h2cloud", 50)
+
+    def test_swift_list_linear_in_m(self):
+        assert grows_linearly(self.list_cost("swift", 20), self.list_cost("swift", 200))
+
+    def test_swift_slower_than_h2(self):
+        assert self.list_cost("swift", 200) > 2 * self.list_cost("h2cloud", 200)
+
+    def test_h2_names_only_list_flat_in_m(self):
+        """Paper: names-only LIST is O(1) -- one NameRing GET."""
+        def names_cost(m):
+            fs = make_system("h2cloud", SwiftCluster.rack_scale())
+            populate_flat(fs, m)
+            fs.pump()
+            fs.drop_caches()
+            return timed(fs, lambda: fs.listdir("/dir"))
+
+        assert roughly_flat(names_cost(20), names_cost(400), tolerance=3.0)
+
+    def test_consistent_hash_list_scales_with_N_not_m(self):
+        """Plain CH scans everything: a big *sibling* tree slows LIST."""
+        def ch_cost(extra):
+            fs = make_system("consistent-hash", SwiftCluster.rack_scale())
+            populate_flat(fs, 10)
+            if extra:
+                populate_flat(fs, extra, prefix="/other")
+            fs.drop_caches()
+            return timed(fs, lambda: fs.listdir("/dir", detailed=True))
+
+        assert ch_cost(3000) > 3 * ch_cost(0)
+
+    def test_swift_list_insensitive_to_N(self):
+        """...whereas Swift's DB only pays log N for the same siblings."""
+        def swift_cost(extra):
+            fs = make_system("swift", SwiftCluster.rack_scale())
+            populate_flat(fs, 10)
+            if extra:
+                populate_flat(fs, extra, prefix="/other")
+            fs.drop_caches()
+            return timed(fs, lambda: fs.listdir("/dir", detailed=True))
+
+        assert swift_cost(800) < 2 * swift_cost(0)
+
+
+class TestCopyShapes:
+    """Fig 11: COPY is O(n) for everyone -- the three curves overlap."""
+
+    def copy_cost(self, name, n):
+        fs = make_system(name, SwiftCluster.rack_scale())
+        populate_flat(fs, n)
+        fs.pump()
+        fs.drop_caches()
+        return timed(fs, lambda: fs.copy("/dir", "/copy"))
+
+    @pytest.mark.parametrize("name", ["h2cloud", "swift", "dynamic-partition"])
+    def test_copy_linear(self, name):
+        assert grows_linearly(self.copy_cost(name, 20), self.copy_cost(name, 200))
+
+    def test_three_systems_within_an_order_of_magnitude(self):
+        costs = [
+            self.copy_cost(name, 100)
+            for name in ("h2cloud", "swift", "dynamic-partition")
+        ]
+        assert max(costs) < 10 * min(costs)
+
+
+class TestAccessShapes:
+    """Fig 13: Swift flat ~10 ms; H2 grows with d; DP roughly flat."""
+
+    def access_cost(self, name, depth):
+        fs = make_system(name, SwiftCluster.rack_scale())
+        path = ""
+        for i in range(depth):
+            path += f"/d{i}"
+            fs.mkdir(path)
+        fs.write(path + "/leaf", b"x")
+        fs.pump()
+        fs.drop_caches()
+        return timed(fs, lambda: fs.stat(path + "/leaf"))
+
+    def test_swift_access_flat_near_10ms(self):
+        shallow = self.access_cost("swift", 1)
+        deep = self.access_cost("swift", 15)
+        assert roughly_flat(shallow, deep, tolerance=2.0)
+        assert 4_000 < shallow < 25_000  # ~10 ms, the paper's number
+
+    def test_h2_access_linear_in_depth(self):
+        shallow = self.access_cost("h2cloud", 1)
+        deep = self.access_cost("h2cloud", 15)
+        assert deep > shallow * 4
+
+    def test_h2_average_depth_access_tens_of_ms(self):
+        """Paper: ~61 ms at the workload-average depth of 4."""
+        cost = self.access_cost("h2cloud", 3)  # leaf at d=4
+        assert 25_000 < cost < 120_000
+
+    def test_dp_access_roughly_flat(self):
+        shallow = self.access_cost("dynamic-partition", 1)
+        deep = self.access_cost("dynamic-partition", 15)
+        assert roughly_flat(shallow, deep, tolerance=4.0)
+
+    def test_cumulus_access_scales_with_N(self):
+        def cost(n):
+            fs = make_system("compressed-snapshot", SwiftCluster.rack_scale())
+            populate_flat(fs, n)
+            return timed(fs, lambda: fs.read("/dir/f00001"))
+
+        assert cost(1500) > 4 * cost(30)
+
+
+class TestMkdirShapes:
+    """Fig 12: MKDIR ~constant everywhere; Swift fastest; H2 & Dropbox
+    in the 150-200 ms band."""
+
+    def mkdir_cost(self, name, preload=50):
+        fs = make_system(name, SwiftCluster.rack_scale())
+        fs.makedirs("/a/b/c")
+        for i in range(preload):
+            fs.write(f"/a/b/c/f{i}", b"x")
+        fs.pump()
+        fs.drop_caches()
+        return timed(fs, lambda: fs.mkdir("/a/b/c/new"))
+
+    def test_swift_fastest(self):
+        swift = self.mkdir_cost("swift")
+        h2 = self.mkdir_cost("h2cloud")
+        dropbox = self.mkdir_cost("dropbox")
+        assert swift < h2 < 350_000
+        assert swift < dropbox
+
+    def test_h2_mkdir_in_paper_band(self):
+        cost = self.mkdir_cost("h2cloud")
+        assert 60_000 < cost < 300_000  # paper band 150-200 ms, wide slack
+
+    def test_dropbox_mkdir_in_paper_band(self):
+        cost = self.mkdir_cost("dropbox")
+        assert 120_000 < cost < 350_000
+
+    def test_mkdir_flat_in_directory_size(self):
+        small = self.mkdir_cost("h2cloud", preload=5)
+        big = self.mkdir_cost("h2cloud", preload=300)
+        assert roughly_flat(small, big, tolerance=3.0)
+
+
+class TestCASShapes:
+    def test_cas_mutation_scales_with_N(self):
+        """Table 1: CAS MKDIR is O(N) -- the index rewrite."""
+        def cost(n):
+            fs = make_system("cas", SwiftCluster.rack_scale())
+            populate_flat(fs, n)
+            return timed(fs, lambda: fs.mkdir("/newdir"))
+
+        assert cost(3000) > 2.5 * cost(50)
+
+    def test_cas_access_by_hash_constant(self):
+        fs = make_system("cas", SwiftCluster.rack_scale())
+        populate_flat(fs, 100)
+        digest = fs.hash_of("/dir/f00050")
+        fs2 = make_system("cas", SwiftCluster.rack_scale())
+        populate_flat(fs2, 5)
+        digest2 = fs2.hash_of("/dir/f00001")
+        _, big = fs.clock.measure(lambda: fs.read_by_hash(digest))
+        _, small = fs2.clock.measure(lambda: fs2.read_by_hash(digest2))
+        assert roughly_flat(small, big, tolerance=2.0)

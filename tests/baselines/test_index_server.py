@@ -1,0 +1,128 @@
+"""Unit tests for the metadata index-server substrate."""
+
+import pytest
+
+from repro.baselines import DirTable, EntryRec, IndexProfile, IndexServer
+from repro.simcloud import ServiceUnavailable, SimClock
+
+
+def make_server(server_id=0, profile=None, clock=None) -> IndexServer:
+    return IndexServer(
+        server_id, clock or SimClock(), profile or IndexProfile.zero()
+    )
+
+
+def rec(name: str, kind: str = "file", target: str = "t") -> EntryRec:
+    return EntryRec(name=name, kind=kind, target=target)
+
+
+class TestIndexServer:
+    def test_create_lookup_remove(self):
+        server = make_server()
+        server.create_dir("d1")
+        server.upsert("d1", rec("a"))
+        assert server.lookup("d1", "a").target == "t"
+        server.remove("d1", "a")
+        assert server.lookup("d1", "a") is None
+
+    def test_list_entries_sorted(self):
+        server = make_server()
+        server.create_dir("d1")
+        for name in ["z", "a", "m"]:
+            server.upsert("d1", rec(name))
+        assert [e.name for e in server.list_entries("d1")] == ["a", "m", "z"]
+
+    def test_costs_charged(self):
+        clock = SimClock()
+        server = make_server(profile=IndexProfile(100, 0, 10, 50), clock=clock)
+        server.create_dir("d1")  # commit: 50
+        server.upsert("d1", rec("a"))  # op 10 + commit 50
+        server.lookup("d1", "a")  # op 10
+        assert clock.now_us == 50 + 60 + 10
+
+    def test_load_counter(self):
+        server = make_server()
+        server.create_dir("d1")
+        server.upsert("d1", rec("a"))
+        server.lookup("d1", "a")
+        assert server.load == 2
+
+    def test_unavailable_rejects_everything(self):
+        server = make_server()
+        server.create_dir("d1")
+        server.available = False
+        with pytest.raises(ServiceUnavailable):
+            server.lookup("d1", "a")
+        with pytest.raises(ServiceUnavailable):
+            server.upsert("d1", rec("a"))
+
+    def test_export_import_moves_table(self):
+        a, b = make_server(0), make_server(1)
+        a.create_dir("d1")
+        a.upsert("d1", rec("x"))
+        table = a.export_dir("d1")
+        b.import_dir("d1", table)
+        assert a.dir_count == 0
+        assert b.lookup("d1", "x") is not None
+
+
+class TestDirTable:
+    def make(self, n=3):
+        clock = SimClock()
+        servers = [make_server(i, clock=clock) for i in range(n)]
+        return DirTable(servers, clock), servers, clock
+
+    def test_requires_servers(self):
+        with pytest.raises(ValueError):
+            DirTable([], SimClock())
+
+    def test_placement(self):
+        table, servers, _ = self.make()
+        table.place("d1", 2)
+        assert table.server_of("d1") is servers[2]
+        assert table.placement_of("d1") == 2
+
+    def test_place_unknown_server(self):
+        table, _, _ = self.make()
+        with pytest.raises(KeyError):
+            table.place("d1", 99)
+
+    def test_hop_charges_only_on_server_change(self):
+        table, _, clock = self.make()
+        profile = IndexProfile(0, hop_rtt_us=100, op_us=0, commit_us=0)
+        table.place("a", 0)
+        table.place("b", 0)
+        table.place("c", 1)
+        table.begin_request(profile)
+        table.hop_to("a", profile)  # first touch: no hop charge
+        t0 = clock.now_us
+        table.hop_to("b", profile)  # same server: free
+        assert clock.now_us == t0
+        table.hop_to("c", profile)  # server change: one RTT
+        assert clock.now_us == t0 + 100
+
+    def test_begin_request_charges_service(self):
+        table, _, clock = self.make()
+        profile = IndexProfile(request_service_us=77, hop_rtt_us=0, op_us=0, commit_us=0)
+        table.begin_request(profile)
+        assert clock.now_us == 77
+
+    def test_dirs_by_server(self):
+        table, _, _ = self.make()
+        table.place("a", 0)
+        table.place("b", 0)
+        table.place("c", 2)
+        assert table.dirs_by_server() == {0: 2, 1: 0, 2: 1}
+
+    def test_forget(self):
+        table, _, _ = self.make()
+        table.place("a", 0)
+        table.forget("a")
+        with pytest.raises(KeyError):
+            table.placement_of("a")
+
+    def test_subtree_ids(self):
+        table, servers, _ = self.make(1)
+        children = {"root": ["a", "b"], "a": ["a1"], "b": [], "a1": []}
+        ids = table.subtree_ids("root", lambda d: children[d])
+        assert set(ids) == {"root", "a", "b", "a1"}

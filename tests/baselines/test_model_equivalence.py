@@ -1,0 +1,96 @@
+"""Property test: every Table-1 system is logically a filesystem.
+
+The same random schedules that validated H2Cloud run against each
+baseline; trees and per-op error outcomes must match the dict oracle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import make_system
+from repro.simcloud import FilesystemError, SwiftCluster
+from repro.testing import ModelFS, snapshot_of
+
+SYSTEMS = [
+    "compressed-snapshot",
+    "cas",
+    "consistent-hash",
+    "swift",
+    "single-index",
+    "static-partition",
+    "dynamic-partition",
+    "shared-disk-dp",
+]
+
+_PATHS = st.sampled_from(["/a", "/b", "/a/x", "/a/y", "/b/x", "/a/x/deep"])
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("mkdir"), _PATHS),
+        st.tuples(st.just("write"), _PATHS, st.binary(max_size=12)),
+        st.tuples(st.just("delete"), _PATHS),
+        st.tuples(st.just("rmdir"), _PATHS),
+        st.tuples(st.just("move"), _PATHS, _PATHS),
+        st.tuples(st.just("copy"), _PATHS, _PATHS),
+    ),
+    max_size=20,
+)
+
+
+def apply(fs, op):
+    try:
+        kind = op[0]
+        if kind == "mkdir":
+            fs.mkdir(op[1])
+        elif kind == "write":
+            fs.write(op[1], op[2])
+        elif kind == "delete":
+            fs.delete(op[1])
+        elif kind == "rmdir":
+            fs.rmdir(op[1])
+        elif kind == "move":
+            fs.move(op[1], op[2])
+        elif kind == "copy":
+            fs.copy(op[1], op[2])
+        return True, None
+    except FilesystemError as exc:
+        return False, type(exc).__name__
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@given(ops=_OPS)
+@settings(max_examples=25, deadline=None)
+def test_system_matches_model(system, ops):
+    fs = make_system(system, SwiftCluster.fast())
+    model = ModelFS()
+    for op in ops:
+        got = apply(fs, op)
+        want = apply(model, op)
+        assert got == want, f"{system} diverged on {op}: {got} != {want}"
+    assert snapshot_of(fs) == model.snapshot(), f"{system} tree mismatch"
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_read_contents_match_after_churn(system):
+    """Deterministic deeper scenario with overwrites and re-creation."""
+    fs = make_system(system, SwiftCluster.fast())
+    model = ModelFS()
+    script = [
+        ("mkdir", "/docs"),
+        ("write", "/docs/a", b"v1"),
+        ("write", "/docs/a", b"v2"),
+        ("mkdir", "/docs/sub"),
+        ("write", "/docs/sub/b", b"bb"),
+        ("copy", "/docs", "/backup"),
+        ("delete", "/docs/a"),
+        ("write", "/docs/a", b"v3"),
+        ("move", "/docs/sub", "/top-sub"),
+        ("rmdir", "/backup"),
+        ("mkdir", "/backup"),
+        ("write", "/backup/fresh", b"new"),
+    ]
+    for op in script:
+        assert apply(fs, op) == apply(model, op), f"{system}: {op}"
+    assert snapshot_of(fs) == model.snapshot()
+    assert fs.read("/docs/a") == b"v3"
+    assert fs.read("/top-sub/b") == b"bb"

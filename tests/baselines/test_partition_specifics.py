@@ -1,0 +1,172 @@
+"""Index-server family specifics: partitioning, migration, CAP, scale."""
+
+import pytest
+
+from repro.baselines import (
+    DropboxLikeFS,
+    DynamicPartitionFS,
+    SharedDiskDPFS,
+    SingleIndexFS,
+    StaticPartitionFS,
+)
+from repro.simcloud import CrossDeviceMove, ServiceUnavailable, SwiftCluster
+
+
+class TestSingleIndex:
+    def test_everything_on_one_server(self):
+        fs = SingleIndexFS(SwiftCluster.fast())
+        fs.makedirs("/a/b/c")
+        assert fs.namenode.dir_count == 4  # root + 3
+
+    def test_move_is_metadata_only(self):
+        fs = SingleIndexFS(SwiftCluster.fast())
+        fs.mkdir("/d")
+        fs.write("/d/f", b"payload")
+        puts_before = fs.store.ledger.puts
+        fs.move("/d", "/d2")
+        assert fs.store.ledger.puts == puts_before
+        assert fs.read("/d2/f") == b"payload"
+
+    def test_saturation_scales_linearly(self):
+        fs = SingleIndexFS(SwiftCluster.fast())
+        assert fs.saturation_factor(8) == 8.0
+        with pytest.raises(ValueError):
+            fs.saturation_factor(0)
+
+
+class TestStaticPartition:
+    def test_volumes_distributed_by_hash(self):
+        fs = StaticPartitionFS(SwiftCluster.fast(), partitions=4)
+        for i in range(16):
+            fs.mkdir(f"/vol{i}")
+        used = {
+            sid for sid, count in fs.table.dirs_by_server().items() if count > 0
+        }
+        assert len(used) >= 3  # hashing spreads volumes
+
+    def test_subtree_stays_in_volume(self):
+        fs = StaticPartitionFS(SwiftCluster.fast(), partitions=4)
+        fs.makedirs("/vol/a/b/c")
+        servers = {
+            fs.table.placement_of(d)
+            for d in list(fs.table._placement)
+            if d != "d0"
+        }
+        assert len(servers) == 1
+
+    def test_strict_cross_volume_move_rejected(self):
+        fs = StaticPartitionFS(SwiftCluster.fast(), partitions=8, strict=True)
+        # Find two top-level names hashing to different partitions.
+        fs.mkdir("/srcvol")
+        src_server = fs._initial_server("d0", "/srcvol")
+        dst = next(
+            f"/dst{i}"
+            for i in range(64)
+            if fs._initial_server("d0", f"/dst{i}") != src_server
+        )
+        with pytest.raises(CrossDeviceMove):
+            fs.move("/srcvol", dst)
+        assert fs.exists("/srcvol")  # veto happened before mutation
+
+    def test_lenient_cross_volume_move_migrates(self):
+        fs = StaticPartitionFS(SwiftCluster.fast(), partitions=8, strict=False)
+        fs.makedirs("/srcvol/sub")
+        fs.write("/srcvol/sub/f", b"x")
+        src_server = fs._initial_server("d0", "/srcvol")
+        dst = next(
+            f"/dst{i}"
+            for i in range(64)
+            if fs._initial_server("d0", f"/dst{i}") != src_server
+        )
+        fs.move("/srcvol", dst)
+        assert fs.read(dst + "/sub/f") == b"x"
+        dir_id = fs._resolve_dir_id(dst)
+        assert fs.table.placement_of(dir_id) == fs._initial_server("d0", dst)
+
+    def test_imbalance_reported(self):
+        fs = StaticPartitionFS(SwiftCluster.fast(), partitions=4)
+        fs.mkdir("/onlyvol")
+        for i in range(20):
+            fs.mkdir(f"/onlyvol/sub{i}")
+        assert fs.imbalance() > 1.5  # one volume hogs a partition
+
+
+class TestDynamicPartition:
+    def test_children_colocate_with_parent(self):
+        fs = DynamicPartitionFS(SwiftCluster.fast(), index_servers=4,
+                                rebalance_every=0)
+        fs.makedirs("/a/b/c")
+        placements = {fs.table.placement_of(d) for d in list(fs.table._placement)}
+        assert placements == {0}
+
+    def test_rebalance_spreads_directories(self):
+        fs = DynamicPartitionFS(SwiftCluster.fast(), index_servers=4,
+                                rebalance_every=0)
+        for i in range(40):
+            fs.mkdir(f"/d{i:02d}")
+        assert fs.spread() > 2.0
+        moved = fs.rebalance()
+        assert moved > 0
+        assert fs.spread() <= 2.5
+
+    def test_rebalance_preserves_tree(self):
+        from repro.testing import snapshot_of
+
+        fs = DynamicPartitionFS(SwiftCluster.fast(), index_servers=3,
+                                rebalance_every=0)
+        for i in range(10):
+            fs.makedirs(f"/d{i}/sub")
+            fs.write(f"/d{i}/sub/f", bytes([i]))
+        before = snapshot_of(fs)
+        fs.rebalance()
+        assert snapshot_of(fs) == before
+
+    def test_auto_rebalance_triggers(self):
+        fs = DynamicPartitionFS(SwiftCluster.fast(), index_servers=4,
+                                rebalance_every=16)
+        for i in range(40):
+            fs.mkdir(f"/d{i:02d}")
+        assert fs.spread() <= 2.5  # background rebalancing kept up
+
+    def test_dropbox_profile_slower_than_generic_dp(self):
+        generic = DynamicPartitionFS(SwiftCluster.rack_scale())
+        dropbox = DropboxLikeFS(SwiftCluster.rack_scale())
+        _, g = generic.clock.measure(lambda: generic.mkdir("/d"))
+        _, d = dropbox.clock.measure(lambda: dropbox.mkdir("/d"))
+        assert d > 10 * g
+        assert 120_000 < d < 350_000  # the paper's 150-200 ms band
+
+
+class TestSharedDiskCAP:
+    def test_mutations_pay_lock_cost(self):
+        plain = DynamicPartitionFS(SwiftCluster.rack_scale(), index_servers=4,
+                                   rebalance_every=0)
+        shared = SharedDiskDPFS(SwiftCluster.rack_scale(), index_servers=4)
+        _, p = plain.clock.measure(lambda: plain.mkdir("/d"))
+        _, s = shared.clock.measure(lambda: shared.mkdir("/d"))
+        assert s > p
+        assert shared.locks_taken >= 1
+
+    def test_partition_blocks_mutations_not_reads(self):
+        fs = SharedDiskDPFS(SwiftCluster.fast())
+        fs.mkdir("/d")
+        fs.write("/d/f", b"x")
+        fs.partition_fabric()
+        with pytest.raises(ServiceUnavailable):
+            fs.mkdir("/d2")
+        with pytest.raises(ServiceUnavailable):
+            fs.write("/d/g", b"y")
+        assert fs.read("/d/f") == b"x"  # reads keep working
+        fs.heal_fabric()
+        fs.mkdir("/d2")
+
+    def test_h2_keeps_accepting_writes_under_node_failure(self):
+        """The contrast the paper draws: eventual consistency rides on."""
+        from repro.core import H2CloudFS
+
+        cluster = SwiftCluster.fast()
+        fs = H2CloudFS(cluster, account="alice")
+        victim = next(iter(cluster.nodes))
+        cluster.nodes[victim].crash()
+        fs.mkdir("/still-works")  # quorum writes tolerate one node down
+        assert fs.exists("/still-works")

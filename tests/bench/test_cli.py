@@ -1,0 +1,46 @@
+"""Tests for the CLIs (python -m repro / python -m repro.bench)."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.bench.__main__ import main as bench_main
+
+
+class TestBenchCLI:
+    def test_unknown_experiment_rejected(self, capsys):
+        assert bench_main(["not-a-figure"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown experiments" in out
+        assert "fig7" in out  # the help lists what exists
+
+    def test_single_experiment_runs(self, capsys):
+        assert bench_main(["headline"]) == 0
+        out = capsys.readouterr().out
+        assert "LIST 1000 detailed" in out
+        assert "regenerated in" in out
+
+    def test_scale_banner(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        bench_main(["headline"])
+        assert "scale=quick" in capsys.readouterr().out
+
+
+class TestReproCLI:
+    def test_overview(self, capsys):
+        assert repro_main([]) == 0
+        out = capsys.readouterr().out
+        assert "H2Cloud" in out
+        assert "demo | bench" in out
+
+    def test_demo(self, capsys):
+        assert repro_main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "quick access path" in out
+        assert "deployment report" in out
+
+    def test_bench_forwarding(self, capsys):
+        assert repro_main(["bench", "headline"]) == 0
+        assert "headline" in capsys.readouterr().out
+
+    def test_unknown_subcommand(self, capsys):
+        assert repro_main(["frobnicate"]) == 2

@@ -1,0 +1,103 @@
+"""Tests for the power-law fitting and complexity classification."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import classify, consistent_with, fit_power_law, is_flat, is_linear
+from repro.bench.complexity import fit_sweep
+
+
+def curve(fn, xs=(8, 32, 128, 512, 2048)):
+    return [(x, fn(x)) for x in xs]
+
+
+class TestFitPowerLaw:
+    def test_linear_data(self):
+        fit = fit_power_law(curve(lambda x: 3.0 * x))
+        assert abs(fit.exponent - 1.0) < 0.01
+        assert fit.r_squared > 0.99
+        assert fit.label == "O(x)"
+
+    def test_constant_data(self):
+        fit = fit_power_law(curve(lambda x: 42.0))
+        assert abs(fit.exponent) < 0.01
+        assert fit.label == "O(1)"
+
+    def test_quadratic_data(self):
+        fit = fit_power_law(curve(lambda x: 0.5 * x * x))
+        assert abs(fit.exponent - 2.0) < 0.05
+        assert fit.label.startswith("O(x^")
+
+    def test_log_data(self):
+        fit = fit_power_law(curve(lambda x: 10 * math.log2(x)))
+        assert 0.1 < fit.exponent < 0.6
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([(1, 1)])
+
+    @given(
+        st.floats(min_value=0.0, max_value=2.0),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=50)
+    def test_recovers_exponent(self, k, c):
+        points = curve(lambda x: c * x**k)
+        fit = fit_power_law(points)
+        assert abs(fit.exponent - k) < 0.05
+
+
+class TestFitSweep:
+    def test_additive_constant_does_not_mask_linearity(self):
+        """t = 100 + 0.5x must classify as linear, not log."""
+        fit = fit_sweep(curve(lambda x: 100 + 0.5 * x))
+        assert fit.exponent > 0.7
+
+    def test_flat_with_jitter_is_constant(self):
+        rng = random.Random(1)
+        points = [(x, 50.0 * rng.uniform(0.95, 1.05)) for x in (8, 64, 512)]
+        assert fit_sweep(points).label == "O(1)"
+
+    def test_pure_linear_still_linear(self):
+        assert fit_sweep(curve(lambda x: 2.0 * x)).exponent > 0.8
+
+    def test_constant_plus_depth_linear(self):
+        """The H2 lookup shape: a + b*d over small d."""
+        points = [(d, 10 + 10 * d) for d in (1, 2, 4, 8, 16)]
+        assert fit_sweep(points).exponent > 0.7
+
+
+class TestClassify:
+    def test_bands(self):
+        assert classify(0.05) == "O(1)"
+        assert classify(0.4) == "O(log x)"
+        assert classify(1.0) == "O(x)"
+        assert classify(2.0) == "O(x^2.0)"
+
+
+class TestConsistency:
+    def test_o1_claim_accepts_flat_only(self):
+        flat = curve(lambda x: 30.0)
+        linear = curve(lambda x: 30.0 + 2.0 * x)
+        assert consistent_with(flat, "O(1)")
+        assert not consistent_with(linear, "O(1)")
+
+    def test_linear_claims(self):
+        linear = curve(lambda x: 5 + 0.8 * x)
+        assert consistent_with(linear, "O(n)")
+        assert consistent_with(linear, "O(N)")
+        assert consistent_with(linear, "O(m·logN)")
+        assert not consistent_with(curve(lambda x: 30.0), "O(n)")
+
+    def test_or_claims(self):
+        assert consistent_with(curve(lambda x: 30.0), "O(1) or O(d)")
+        assert consistent_with(curve(lambda x: 4 * x), "O(1) or O(d)")
+
+    def test_helpers(self):
+        assert is_flat(curve(lambda x: 9.0))
+        assert is_linear(curve(lambda x: 2 * x))
+        assert not is_linear(curve(lambda x: 9.0))

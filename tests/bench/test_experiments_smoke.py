@@ -1,0 +1,83 @@
+"""Smoke tests: every experiment regenerates at tiny scale.
+
+The full-shape assertions live in ``benchmarks/``; here each entry in
+the registry runs at the smallest meaningful scale so a refactor that
+breaks an experiment's plumbing fails in the unit suite.
+"""
+
+import pytest
+
+from repro.bench import (
+    ALL_EXPERIMENTS,
+    fig7_move_rename,
+    fig9_list_vs_n,
+    fig12_mkdir,
+    fig13_file_access,
+    fig14_15_storage,
+    headline_numbers,
+)
+
+
+class TestRegistry:
+    def test_registry_covers_every_figure_and_table(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1",
+            "scalability",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14_15",
+            "rtt",
+            "trace",
+            "headline",
+        }
+
+
+class TestTinyRuns:
+    def test_fig7_tiny(self):
+        result = fig7_move_rename(ns=[5, 20])
+        assert set(result.series) == {"h2cloud", "swift", "dropbox"}
+        swift = result.series_for("swift")
+        assert swift.ms_at(20) > swift.ms_at(5)
+
+    def test_fig9_tiny(self):
+        result = fig9_list_vs_n(ns=[20, 40], m=5)
+        for system in result.series.values():
+            assert len(system.points) == 2
+
+    def test_fig12_tiny(self):
+        result = fig12_mkdir(ns=[5, 10])
+        h2 = result.series_for("h2cloud")
+        assert h2.ms_at(5) == pytest.approx(h2.ms_at(10), rel=0.5)
+
+    def test_fig13_tiny(self):
+        result = fig13_file_access(depths=[1, 4])
+        h2 = result.series_for("h2cloud")
+        assert h2.ms_at(4) > h2.ms_at(1)
+
+    def test_fig14_15_tiny(self):
+        fig14, fig15 = fig14_15_storage(user_counts=[2])
+        h2_count = fig14.series_for("h2cloud").ms_at(2)
+        swift_count = fig14.series_for("swift").ms_at(2)
+        assert h2_count > swift_count
+        h2_mb = fig15.series_for("h2cloud").ms_at(2)
+        swift_mb = fig15.series_for("swift").ms_at(2)
+        assert h2_mb == pytest.approx(swift_mb, rel=0.05)
+
+    def test_headline(self):
+        result = headline_numbers()
+        assert len(result.notes) == 2
+        assert result.series_for("h2cloud").ms_at(1) > 0
+
+    def test_scalability_tiny(self):
+        from repro.bench import scalability
+
+        result = scalability(frontend_counts=[1, 4], ops=8)
+        h2 = dict(result.series_for("h2cloud").points)
+        assert h2[4] < h2[1]
+        namenode = dict(result.series_for("single-index").points)
+        assert namenode[4] == namenode[1]

@@ -1,0 +1,84 @@
+"""Tests for CSV/JSON result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench import ExperimentResult
+from repro.bench.export import (
+    export_results,
+    load_result_json,
+    result_to_dict,
+    result_to_rows,
+    write_csv,
+    write_json,
+)
+
+
+@pytest.fixture
+def result() -> ExperimentResult:
+    result = ExperimentResult("figX", "Sample", "n", unit="ms")
+    result.expectation = "grows"
+    for system in ("alpha", "beta"):
+        series = result.series_for(system)
+        series.add(10, 1.5)
+        series.add(100, 15.0)
+    result.note("a note")
+    return result
+
+
+class TestRows:
+    def test_long_format(self, result):
+        rows = result_to_rows(result)
+        assert len(rows) == 4
+        assert rows[0] == {
+            "experiment": "figX",
+            "system": "alpha",
+            "x": 10,
+            "value": 1.5,
+            "unit": "ms",
+        }
+
+    def test_dict_carries_everything(self, result):
+        data = result_to_dict(result)
+        assert data["title"] == "Sample"
+        assert data["notes"] == ["a note"]
+        assert data["series"]["beta"] == [(10, 1.5), (100, 15.0)]
+
+
+class TestFiles:
+    def test_csv_round_trip(self, result, tmp_path):
+        path = write_csv(result, tmp_path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert rows[-1]["system"] == "beta"
+        assert float(rows[-1]["value"]) == 15.0
+
+    def test_json_round_trip(self, result, tmp_path):
+        path = write_json(result, tmp_path)
+        data = load_result_json(path)
+        assert data["experiment_id"] == "figX"
+        assert data["series"]["alpha"] == [[10, 1.5], [100, 15.0]]
+
+    def test_export_results_writes_both(self, result, tmp_path):
+        written = export_results([result], tmp_path / "out")
+        assert sorted(p.name for p in written) == ["figX.csv", "figX.json"]
+        assert all(p.exists() for p in written)
+
+
+class TestCLIExport:
+    def test_out_flag(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--out", str(tmp_path), "headline"]) == 0
+        assert (tmp_path / "headline.csv").exists()
+        assert (tmp_path / "headline.json").exists()
+        data = json.loads((tmp_path / "headline.json").read_text())
+        assert data["experiment_id"] == "headline"
+
+    def test_out_flag_missing_dir(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--out"]) == 2

@@ -1,0 +1,78 @@
+"""Tests for the experiment runner and result containers."""
+
+import pytest
+
+from repro.bench import ExperimentResult, Series, measure_op, run_sweep, sweep_points
+from repro.bench.harness import bench_scale
+from repro.core import H2CloudFS
+from repro.simcloud import SwiftCluster
+
+
+class TestSeries:
+    def test_add_and_query(self):
+        series = Series(system="x")
+        series.add(10, 1.5)
+        series.add(100, 2.5)
+        assert series.ms_at(10) == 1.5
+        with pytest.raises(KeyError):
+            series.ms_at(99)
+
+
+class TestExperimentResult:
+    def test_series_autocreated(self):
+        result = ExperimentResult("t", "title", "x")
+        result.series_for("sys").add(1, 1.0)
+        assert result.series["sys"].points == [(1, 1.0)]
+
+    def test_notes(self):
+        result = ExperimentResult("t", "title", "x")
+        result.note("hello")
+        assert result.notes == ["hello"]
+
+
+class TestScale:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == "quick"
+        assert sweep_points([1], [2]) == [1]
+
+    def test_full_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert sweep_points([1], [2]) == [2]
+
+
+class TestMeasureOp:
+    def test_cold_cache_measurement(self):
+        fs = H2CloudFS(SwiftCluster.rack_scale(), account="a")
+        fs.makedirs("/x/y")
+        cost1 = measure_op(fs, lambda: fs.stat("/x/y"))
+        cost2 = measure_op(fs, lambda: fs.stat("/x/y"))
+        assert cost1 > 0
+        assert cost2 == pytest.approx(cost1, rel=0.3)  # caches dropped both times
+
+
+class TestRunSweep:
+    def test_generic_loop(self):
+        result = ExperimentResult("t", "title", "n")
+        run_sweep(
+            result,
+            ("h2cloud",),
+            [5, 10],
+            setup=lambda fs, n: [fs.write(f"/f{i}", b"x") for i in range(n)],
+            operation=lambda fs, n: (lambda: fs.listdir("/", detailed=True)),
+        )
+        points = result.series_for("h2cloud").points
+        assert [x for x, _ in points] == [5, 10]
+        assert all(ms > 0 for _, ms in points)
+
+    def test_repeats_average(self):
+        result = ExperimentResult("t", "title", "n")
+        run_sweep(
+            result,
+            ("h2cloud",),
+            [3],
+            setup=lambda fs, n: fs.mkdir("/d"),
+            operation=lambda fs, n: (lambda: fs.listdir("/d")),
+            repeats=3,
+        )
+        assert len(result.series_for("h2cloud").points) == 1

@@ -1,0 +1,70 @@
+"""Tests for result rendering."""
+
+from repro.bench import ExperimentResult, ascii_chart, format_result, format_table, markdown_table
+
+
+def sample_result() -> ExperimentResult:
+    result = ExperimentResult("figX", "Sample sweep", "n")
+    result.expectation = "grows"
+    for system, factor in (("alpha", 1.0), ("beta", 10.0)):
+        series = result.series_for(system)
+        for x in (10, 100, 1000):
+            series.add(x, factor * x / 10)
+    result.note("a note")
+    return result
+
+
+class TestFormatTable:
+    def test_contains_every_point(self):
+        text = format_table(sample_result())
+        assert "alpha" in text and "beta" in text
+        assert "10" in text and "1000" in text
+
+    def test_units_scale(self):
+        result = ExperimentResult("t", "t", "x")
+        result.series_for("s").add(1, 0.5)  # 500 us
+        result.series_for("s").add(2, 50.0)  # 50 ms
+        result.series_for("s").add(3, 50_000.0)  # 50 s
+        text = format_table(result)
+        assert "us" in text and "ms" in text and " s" in text
+
+    def test_missing_points_dashed(self):
+        result = ExperimentResult("t", "t", "x")
+        result.series_for("a").add(1, 1.0)
+        result.series_for("b").add(2, 2.0)
+        assert "-" in format_table(result)
+
+    def test_empty(self):
+        assert "(no series)" in format_table(ExperimentResult("t", "t", "x"))
+
+
+class TestAsciiChart:
+    def test_chart_renders_markers_and_legend(self):
+        chart = ascii_chart(sample_result())
+        assert "o=alpha" in chart
+        assert "x=beta" in chart
+        assert "o" in chart.splitlines()[3] or any(
+            "o" in line for line in chart.splitlines()
+        )
+
+    def test_degenerate_points_no_crash(self):
+        result = ExperimentResult("t", "t", "x")
+        result.series_for("s").add(5, 5.0)
+        assert ascii_chart(result)  # single point: still renders
+
+
+class TestFormatResult:
+    def test_full_block(self):
+        text = format_result(sample_result())
+        assert text.startswith("== figX")
+        assert "paper expectation: grows" in text
+        assert "a note" in text
+
+
+class TestMarkdownTable:
+    def test_pipes_and_rows(self):
+        md = markdown_table(sample_result())
+        lines = md.splitlines()
+        assert lines[0].startswith("| n |")
+        assert lines[1].startswith("|---")
+        assert len(lines) == 2 + 3  # header + sep + three x values

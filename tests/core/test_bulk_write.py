@@ -1,0 +1,71 @@
+"""Tests for the bulk loader (write_many: one patch per batch)."""
+
+import pytest
+
+from repro.core import H2CloudFS
+from repro.simcloud import IsADirectory, PathNotFound, SwiftCluster
+from repro.testing import snapshot_of
+
+
+@pytest.fixture
+def fs() -> H2CloudFS:
+    fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+    fs.mkdir("/d")
+    return fs
+
+
+class TestWriteMany:
+    def test_equivalent_to_individual_writes(self, fs):
+        fs.write_many("/d", [(f"f{i}", bytes([i])) for i in range(10)])
+        other = H2CloudFS(SwiftCluster.fast(), account="alice")
+        other.mkdir("/d")
+        for i in range(10):
+            other.write(f"/d/f{i}", bytes([i]))
+        assert snapshot_of(fs) == snapshot_of(other)
+
+    def test_single_patch_for_whole_batch(self, fs):
+        before = fs.middlewares[0].patches_submitted
+        fs.write_many("/d", [(f"f{i}", b"") for i in range(50)])
+        assert fs.middlewares[0].patches_submitted == before + 1
+
+    def test_reads_work_after_bulk(self, fs):
+        fs.write_many("/d", [("a", b"1"), ("b", b"2")])
+        assert fs.read("/d/a") == b"1"
+        assert fs.read("/d/b") == b"2"
+        assert fs.listdir("/d") == ["a", "b"]
+
+    def test_empty_batch_is_noop(self, fs):
+        before = fs.middlewares[0].patches_submitted
+        fs.write_many("/d", [])
+        assert fs.middlewares[0].patches_submitted == before
+
+    def test_overwrite_directory_rejected_before_any_put(self, fs):
+        fs.mkdir("/d/sub")
+        puts_before = fs.store.ledger.puts
+        with pytest.raises(IsADirectory):
+            fs.write_many("/d", [("ok", b"1"), ("sub", b"2")])
+        assert fs.store.ledger.puts == puts_before  # atomic veto
+
+    def test_missing_directory(self, fs):
+        with pytest.raises(PathNotFound):
+            fs.write_many("/nope", [("f", b"")])
+
+    def test_bulk_into_root(self, fs):
+        fs.write_many("/", [("rootfile", b"r")])
+        assert fs.read("/rootfile") == b"r"
+
+    def test_bulk_cheaper_than_individual(self):
+        def cost(bulk: bool) -> int:
+            fs = H2CloudFS(SwiftCluster.rack_scale(), account="alice")
+            fs.mkdir("/d")
+            items = [(f"f{i:03d}", b"x") for i in range(100)]
+            if bulk:
+                _, c = fs.clock.measure(lambda: fs.write_many("/d", items))
+            else:
+                def loop():
+                    for name, data in items:
+                        fs.write(f"/d/{name}", data)
+                _, c = fs.clock.measure(loop)
+            return c
+
+        assert cost(bulk=True) < cost(bulk=False) / 3

@@ -1,0 +1,76 @@
+"""Conditional (If-Match) writes: optimistic concurrency for sync clients."""
+
+import pytest
+
+from repro.core import H2CloudFS, H2Middleware, H2WebAPI
+from repro.simcloud import PreconditionFailed, SwiftCluster
+
+
+@pytest.fixture
+def fs() -> H2CloudFS:
+    fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+    fs.write("/doc", b"version-1")
+    return fs
+
+
+class TestIfMatch:
+    def test_matching_etag_writes(self, fs):
+        etag = fs.etag_of("/doc")
+        fs.write("/doc", b"version-2", if_match=etag)
+        assert fs.read("/doc") == b"version-2"
+
+    def test_stale_etag_rejected_without_storing(self, fs):
+        stale = fs.etag_of("/doc")
+        fs.write("/doc", b"version-2")  # someone else updated
+        with pytest.raises(PreconditionFailed) as err:
+            fs.write("/doc", b"my-clobber", if_match=stale)
+        assert err.value.expected == stale
+        assert fs.read("/doc") == b"version-2"  # nothing clobbered
+
+    def test_create_only_semantics(self, fs):
+        fs.write("/fresh", b"first", if_match="")
+        with pytest.raises(PreconditionFailed):
+            fs.write("/fresh", b"second", if_match="")
+
+    def test_unconditional_write_unaffected(self, fs):
+        fs.write("/doc", b"v2")
+        fs.write("/doc", b"v3")
+        assert fs.read("/doc") == b"v3"
+
+    def test_sync_client_conflict_loop(self, fs):
+        """The retry dance: read -> conditional write -> on 412 re-read."""
+        mine = fs.etag_of("/doc")
+        fs.write("/doc", b"their-update")  # concurrent writer wins the race
+        try:
+            fs.write("/doc", b"my-update", if_match=mine)
+            raise AssertionError("conflict went undetected")
+        except PreconditionFailed:
+            merged = fs.read("/doc") + b"+my-update"
+            fs.write("/doc", merged, if_match=fs.etag_of("/doc"))
+        assert fs.read("/doc") == b"their-update+my-update"
+
+    def test_etag_of_directory_rejected(self, fs):
+        from repro.simcloud import IsADirectory
+
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.etag_of("/d")
+
+
+class TestWebAPIConditional:
+    def test_412_surface(self):
+        api = H2WebAPI(H2Middleware(node_id=1, store=SwiftCluster.fast().store))
+        api.put("/v1/alice")
+        first = api.put("/v1/alice/f", b"one")
+        etag = first.headers["ETag"]
+        assert api.put(f"/v1/alice/f?if_match={etag}", b"two").status == 201
+        stale = api.put(f"/v1/alice/f?if_match={etag}", b"three")
+        assert stale.status == 412
+        assert stale.reason == "Precondition Failed"
+        assert api.get("/v1/alice/f").body == b"two"
+
+    def test_create_only_via_query(self):
+        api = H2WebAPI(H2Middleware(node_id=1, store=SwiftCluster.fast().store))
+        api.put("/v1/alice")
+        assert api.put("/v1/alice/new?if_match=", b"x").status == 201
+        assert api.put("/v1/alice/new?if_match=", b"y").status == 412

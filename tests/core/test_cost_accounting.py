@@ -1,0 +1,111 @@
+"""Exact primitive-count accounting for H2 operations.
+
+The figures rest on each operation issuing a known set of object
+primitives; these tests pin that set down so a refactor that silently
+adds (or drops) a round trip fails loudly.  Counts are for the
+write-through configuration on a cold cache (the benchmark setup).
+"""
+
+import pytest
+
+from repro.core import H2CloudFS
+from repro.simcloud import SwiftCluster
+
+
+@pytest.fixture
+def fs() -> H2CloudFS:
+    fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+    fs.makedirs("/a/b")
+    fs.write("/a/b/f", b"payload")
+    fs.pump()
+    fs.drop_caches()
+    return fs
+
+
+def delta(fs, thunk) -> dict[str, int]:
+    before = fs.store.ledger.snapshot()
+    thunk()
+    return fs.store.ledger.diff(before)
+
+
+class TestPrimitiveCounts:
+    def test_stat_is_pure_gets(self, fs):
+        counts = delta(fs, lambda: fs.stat("/a/b/f"))
+        assert counts["gets"] == 3  # root, a, b NameRings
+        assert counts["puts"] == counts["heads"] == counts["copies"] == 0
+
+    def test_warm_stat_is_free(self, fs):
+        fs.stat("/a/b/f")
+        counts = delta(fs, lambda: fs.stat("/a/b/f"))
+        assert counts["gets"] == counts["puts"] == counts["heads"] == 0
+
+    def test_quick_access_is_one_get(self, fs):
+        rel = fs.relative_path_of("/a/b/f")
+        fs.drop_caches()
+        counts = delta(fs, lambda: fs.read_relative(rel))
+        assert counts["gets"] == 1
+        assert counts["bytes_out"] == 7
+        assert counts["puts"] == 0
+
+    def test_mkdir_issues_fixed_primitive_set(self, fs):
+        counts = delta(fs, lambda: fs.mkdir("/a/b/new"))
+        # resolve (3 ring GETs) + dir record PUT + empty ring PUT +
+        # patch PUT + write-through merge (stored-ring GET + merged
+        # ring PUT) + patch retirement DELETE.
+        assert counts["gets"] == 4
+        assert counts["puts"] == 4
+        assert counts["deletes"] == 1
+        assert counts["copies"] == 0
+
+    def test_rmdir_is_one_patch_cycle(self, fs):
+        counts = delta(fs, lambda: fs.rmdir("/a/b"))
+        # resolve (2 GETs) + patch PUT + merge (GET + PUT) + retire.
+        assert counts["gets"] == 3
+        assert counts["puts"] == 2
+        assert counts["deletes"] == 1
+
+    def test_dir_move_touches_no_file_objects(self, fs):
+        counts = delta(fs, lambda: fs.move("/a/b", "/a/c"))
+        assert counts["copies"] == 0
+        assert counts["bytes_in"] < 4096  # rings/patches only
+
+    def test_file_move_is_one_server_side_copy(self, fs):
+        counts = delta(fs, lambda: fs.move("/a/b/f", "/a/b/g"))
+        assert counts["copies"] == 1
+
+    def test_names_only_list_is_one_get_warm_parentage(self, fs):
+        fs.stat("/a/b/f")  # warm the chain
+        counts = delta(fs, lambda: fs.listdir("/a/b"))
+        assert counts["gets"] == counts["heads"] == counts["puts"] == 0
+
+    def test_detailed_list_heads_each_child(self, fs):
+        for i in range(5):
+            fs.write(f"/a/b/x{i}", b"1")
+        fs.pump()
+        fs.drop_caches()
+        counts = delta(fs, lambda: fs.listdir("/a/b", detailed=True))
+        assert counts["heads"] == 6  # f + x0..x4
+        assert counts["gets"] == 3  # the resolution walk
+
+    def test_write_streams_then_patches(self, fs):
+        counts = delta(fs, lambda: fs.write("/a/b/new", b"x" * 100))
+        # object PUT + patch PUT + merged ring PUT; resolve 3 GETs +
+        # stored-ring GET; retire 1 DELETE.
+        assert counts["puts"] == 3
+        assert counts["bytes_in"] >= 100
+        assert counts["deletes"] == 1
+
+    def test_background_merge_not_on_foreground_ledger(self):
+        from repro.core import H2Config
+
+        fs = H2CloudFS(
+            SwiftCluster.rack_scale(),
+            account="alice",
+            config=H2Config(auto_merge=False),
+        )
+        fs.mkdir("/d")
+        t = fs.clock.now_us
+        bg = fs.store.ledger.background_us
+        fs.pump()
+        assert fs.clock.now_us == t
+        assert fs.store.ledger.background_us > bg

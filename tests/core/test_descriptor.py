@@ -1,0 +1,120 @@
+"""Tests for file descriptors and the LRU descriptor cache (paper §4.5)."""
+
+import pytest
+
+from repro.core import (
+    Child,
+    FileDescriptor,
+    FileDescriptorCache,
+    KIND_FILE,
+    NameRing,
+    Namespace,
+    Patch,
+)
+from repro.simcloud import Timestamp
+
+
+def ns(i: int) -> Namespace:
+    return Namespace(f"{i}.1.0")
+
+
+def dirty(fd: FileDescriptor) -> None:
+    child = Child(name="x", timestamp=Timestamp(1, 1, 0), kind=KIND_FILE)
+    fd.chain.append(
+        Patch(
+            target_ns=fd.ns,
+            node_id=1,
+            patch_seq=len(fd.chain.patches),
+            payload=NameRing(children={"x": child}),
+        )
+    )
+
+
+class TestFileDescriptor:
+    def test_fresh_descriptor_clean_and_unloaded(self):
+        fd = FileDescriptor(ns=ns(1))
+        assert not fd.dirty
+        assert not fd.loaded
+        assert fd.local_version == Timestamp.ZERO
+
+    def test_dirty_tracks_chain(self):
+        fd = FileDescriptor(ns=ns(1))
+        dirty(fd)
+        assert fd.dirty
+        fd.chain.clear()
+        assert not fd.dirty
+
+    def test_chain_bound_to_namespace(self):
+        fd = FileDescriptor(ns=ns(7))
+        assert fd.chain.target_ns == ns(7)
+
+
+class TestCache:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FileDescriptorCache(capacity=0)
+
+    def test_miss_then_hit(self):
+        cache = FileDescriptorCache(capacity=4)
+        assert cache.lookup(ns(1)) is None
+        fd = cache.get_or_create(ns(1))
+        assert cache.lookup(ns(1)) is fd
+        assert cache.stats.misses == 2  # lookup + get_or_create's probe
+        assert cache.stats.hits == 1
+
+    def test_lru_eviction_order(self):
+        cache = FileDescriptorCache(capacity=2)
+        a = cache.get_or_create(ns(1))
+        cache.get_or_create(ns(2))
+        cache.lookup(ns(1))  # touch a: now 2 is LRU
+        cache.get_or_create(ns(3))  # evicts 2
+        assert ns(2) not in cache
+        assert cache.lookup(ns(1)) is a
+        assert cache.stats.evictions == 1
+
+    def test_dirty_descriptors_pinned(self):
+        cache = FileDescriptorCache(capacity=2)
+        fd1 = cache.get_or_create(ns(1))
+        dirty(fd1)
+        cache.get_or_create(ns(2))
+        cache.get_or_create(ns(3))  # would evict fd1, but it's dirty
+        assert ns(1) in cache
+        assert ns(2) not in cache  # the clean one went instead
+
+    def test_invalidate_skips_dirty(self):
+        cache = FileDescriptorCache(capacity=4)
+        fd = cache.get_or_create(ns(1))
+        dirty(fd)
+        cache.invalidate(ns(1))
+        assert ns(1) in cache
+        fd.chain.clear()
+        cache.invalidate(ns(1))
+        assert ns(1) not in cache
+
+    def test_drop_clean_keeps_dirty(self):
+        cache = FileDescriptorCache(capacity=8)
+        fd1 = cache.get_or_create(ns(1))
+        dirty(fd1)
+        cache.get_or_create(ns(2))
+        cache.get_or_create(ns(3))
+        dropped = cache.drop_clean()
+        assert dropped == 2
+        assert len(cache) == 1
+        assert ns(1) in cache
+
+    def test_dirty_descriptors_listing(self):
+        cache = FileDescriptorCache(capacity=8)
+        fd1 = cache.get_or_create(ns(1))
+        cache.get_or_create(ns(2))
+        dirty(fd1)
+        assert cache.dirty_descriptors() == [fd1]
+
+    def test_hit_rate(self):
+        cache = FileDescriptorCache(capacity=4)
+        cache.get_or_create(ns(1))
+        cache.lookup(ns(1))
+        cache.lookup(ns(1))
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_empty(self):
+        assert FileDescriptorCache().stats.hit_rate == 0.0

@@ -1,0 +1,163 @@
+"""Formatter round-trip and robustness tests (paper §4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Child,
+    DirectoryRecord,
+    FormatError,
+    KIND_DIR,
+    KIND_FILE,
+    NameRing,
+    dumps_directory,
+    dumps_patch,
+    dumps_ring,
+    loads_directory,
+    loads_patch,
+    loads_ring,
+)
+from repro.simcloud import Timestamp
+
+
+def ring_of(*children: Child) -> NameRing:
+    return NameRing(children={c.name: c for c in children})
+
+
+SAMPLE = ring_of(
+    Child(name="cat", timestamp=Timestamp(10, 1, 0), kind=KIND_FILE, size=5, etag="e1"),
+    Child(name="bin", timestamp=Timestamp(11, 2, 1), kind=KIND_DIR, ns="5.1.9"),
+    Child(name="gone", timestamp=Timestamp(12, 3, 0), kind=KIND_FILE, deleted=True),
+)
+
+
+class TestNameRingFormat:
+    def test_round_trip(self):
+        assert loads_ring(dumps_ring(SAMPLE)).children == SAMPLE.children
+
+    def test_output_is_ascii(self):
+        dumps_ring(SAMPLE).decode("ascii")  # must not raise
+
+    def test_tuples_alphabetical(self):
+        """Paper §4.4: tuples are alphabetically sorted by name."""
+        text = dumps_ring(SAMPLE).decode()
+        lines = [ln.split("|")[0] for ln in text.splitlines()[1:]]
+        assert lines == sorted(lines)
+
+    def test_empty_ring(self):
+        data = dumps_ring(NameRing.empty())
+        assert loads_ring(data).children == {}
+
+    def test_unicode_names_survive(self):
+        ring = ring_of(
+            Child(name="файл-θ.txt", timestamp=Timestamp(1, 1, 0), kind=KIND_FILE)
+        )
+        data = dumps_ring(ring)
+        data.decode("ascii")  # wire stays ASCII
+        assert loads_ring(data).get("файл-θ.txt") is not None
+
+    def test_structural_chars_in_names_survive(self):
+        evil = "a|b%c\nd"
+        ring = ring_of(Child(name=evil, timestamp=Timestamp(1, 1, 0), kind=KIND_FILE))
+        assert loads_ring(dumps_ring(ring)).get(evil) is not None
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(FormatError):
+            loads_ring(b"NOTRING 1\n")
+
+    def test_patch_magic_differs(self):
+        data = dumps_patch(SAMPLE)
+        assert data.startswith(b"H2PATCH")
+        with pytest.raises(FormatError):
+            loads_ring(data)  # a patch is not a NameRing object
+        assert loads_patch(data).children == SAMPLE.children
+
+    def test_truncated_tuple_rejected(self):
+        with pytest.raises(FormatError):
+            loads_ring(b"H2NR 1\nname|only|three\n")
+
+    def test_non_ascii_bytes_rejected(self):
+        with pytest.raises(FormatError):
+            loads_ring("H2NR 1\nf\xff|1.1.1|file|-|-|0|-\n".encode("latin-1"))
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(FormatError):
+            loads_ring(b"H2NR 99\n")
+
+    def test_empty_object_rejected(self):
+        with pytest.raises(FormatError):
+            loads_ring(b"")
+
+
+_any_name = st.text(min_size=1, max_size=20).filter(
+    lambda s: "\x00" not in s
+)
+_children = st.builds(
+    lambda name, wall, seq, node, kind, deleted, size, etag: Child(
+        name=name,
+        timestamp=Timestamp(wall, seq, node),
+        kind=kind,
+        deleted=deleted,
+        ns="9.9.9" if kind == KIND_DIR else None,
+        size=size,
+        etag=etag,
+    ),
+    _any_name,
+    st.integers(0, 10**9),
+    st.integers(0, 10**4),
+    st.integers(0, 64),
+    st.sampled_from([KIND_FILE, KIND_DIR]),
+    st.booleans(),
+    st.integers(0, 10**12),
+    st.sampled_from(["", "abc123", "d41d8cd98f00b204e9800998ecf8427e"]),
+)
+
+
+class TestRoundTripProperty:
+    @given(st.lists(_children, max_size=10))
+    @settings(max_examples=150)
+    def test_any_ring_round_trips(self, children):
+        ring = NameRing(children={c.name: c for c in children})
+        recovered = loads_ring(dumps_ring(ring))
+        assert recovered.children == ring.children
+
+    @given(st.lists(_children, max_size=6))
+    @settings(max_examples=50)
+    def test_serialization_canonical(self, children):
+        """Equal rings serialize identically (etag-stable objects)."""
+        ring = NameRing(children={c.name: c for c in children})
+        assert dumps_ring(ring) == dumps_ring(
+            NameRing(children=dict(reversed(list(ring.children.items()))))
+        )
+
+
+class TestDirectoryFormat:
+    def test_round_trip(self):
+        record = DirectoryRecord(
+            name="ubuntu", ns="6.1.1469346604539", parent_ns="root.alice",
+            created=Timestamp(5, 1, 2),
+        )
+        assert loads_directory(dumps_directory(record)) == record
+
+    def test_root_record_has_no_parent(self):
+        record = DirectoryRecord(
+            name="/", ns="root.a", parent_ns=None, created=Timestamp(0, 1, 0)
+        )
+        assert loads_directory(dumps_directory(record)).parent_ns is None
+
+    def test_unicode_dir_name(self):
+        record = DirectoryRecord(
+            name="папка", ns="1.1.1", parent_ns="root.a", created=Timestamp(1, 1, 1)
+        )
+        data = dumps_directory(record)
+        data.decode("ascii")
+        assert loads_directory(data).name == "папка"
+
+    def test_bad_magic(self):
+        with pytest.raises(FormatError):
+            loads_directory(b"H2NR 1\n")
+
+    def test_missing_field(self):
+        with pytest.raises(FormatError):
+            loads_directory(b"H2DIR 1\nname x\nns 1.1.1\n")

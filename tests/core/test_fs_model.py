@@ -1,0 +1,89 @@
+"""Property test: H2CloudFS is logically equivalent to the dict oracle.
+
+Random operation schedules run against H2Cloud (on a zero-latency
+cluster) and :class:`repro.testing.ModelFS` side by side; after every
+schedule the two trees -- and the success/failure of every step -- must
+agree exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import H2CloudFS
+from repro.simcloud import FilesystemError, SwiftCluster
+from repro.testing import ModelFS, snapshot_of
+
+_PATHS = st.sampled_from(
+    ["/a", "/b", "/a/x", "/a/y", "/b/x", "/a/x/deep", "/c"]
+)
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("mkdir"), _PATHS),
+        st.tuples(st.just("write"), _PATHS, st.binary(max_size=16)),
+        st.tuples(st.just("delete"), _PATHS),
+        st.tuples(st.just("rmdir"), _PATHS),
+        st.tuples(st.just("move"), _PATHS, _PATHS),
+        st.tuples(st.just("copy"), _PATHS, _PATHS),
+    ),
+    max_size=30,
+)
+
+
+def apply(fs, op):
+    """Run one op; returns (ok, error_type_name)."""
+    try:
+        kind = op[0]
+        if kind == "mkdir":
+            fs.mkdir(op[1])
+        elif kind == "write":
+            fs.write(op[1], op[2])
+        elif kind == "delete":
+            fs.delete(op[1])
+        elif kind == "rmdir":
+            fs.rmdir(op[1])
+        elif kind == "move":
+            fs.move(op[1], op[2])
+        elif kind == "copy":
+            fs.copy(op[1], op[2])
+        return True, None
+    except FilesystemError as exc:
+        return False, type(exc).__name__
+
+
+class TestModelEquivalence:
+    @given(_OPS)
+    @settings(max_examples=80, deadline=None)
+    def test_same_tree_and_same_errors(self, ops):
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        model = ModelFS()
+        for op in ops:
+            got = apply(fs, op)
+            want = apply(model, op)
+            assert got == want, f"divergence on {op}: fs={got} model={want}"
+        assert snapshot_of(fs) == model.snapshot()
+
+    @given(_OPS)
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_survives_gc(self, ops):
+        """Sweeping garbage must never change the logical tree."""
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        model = ModelFS()
+        for op in ops:
+            apply(fs, op)
+            apply(model, op)
+        fs.gc()
+        assert snapshot_of(fs) == model.snapshot()
+
+    @given(_OPS)
+    @settings(max_examples=20, deadline=None)
+    def test_equivalence_with_three_middlewares(self, ops):
+        """Round-robined middlewares + gossip: same logical outcome."""
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice", middlewares=3)
+        model = ModelFS()
+        for op in ops:
+            got = apply(fs, op)
+            want = apply(model, op)
+            fs.pump()  # settle before comparing error behaviour
+            assert got == want, f"divergence on {op}: fs={got} model={want}"
+        fs.pump()
+        assert snapshot_of(fs) == model.snapshot()

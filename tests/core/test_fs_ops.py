@@ -1,0 +1,316 @@
+"""Filesystem-operation semantics of H2CloudFS (single middleware)."""
+
+import pytest
+
+from repro.core import H2CloudFS
+from repro.simcloud import (
+    AlreadyExists,
+    DirectoryNotEmpty,
+    InvalidPath,
+    IsADirectory,
+    NotADirectory,
+    PathNotFound,
+    SwiftCluster,
+)
+
+
+@pytest.fixture
+def fs() -> H2CloudFS:
+    return H2CloudFS(SwiftCluster.fast(), account="alice")
+
+
+class TestMkdir:
+    def test_mkdir_then_list(self, fs):
+        fs.mkdir("/home")
+        assert fs.listdir("/") == ["home"]
+        assert fs.listdir("/home") == []
+
+    def test_nested(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/a/b")
+        fs.mkdir("/a/b/c")
+        assert fs.listdir("/a/b") == ["c"]
+
+    def test_duplicate_rejected(self, fs):
+        fs.mkdir("/a")
+        with pytest.raises(AlreadyExists):
+            fs.mkdir("/a")
+
+    def test_missing_parent_rejected(self, fs):
+        with pytest.raises(PathNotFound):
+            fs.mkdir("/no/such/parent")
+
+    def test_makedirs(self, fs):
+        fs.makedirs("/x/y/z")
+        assert fs.is_dir("/x/y/z")
+        fs.makedirs("/x/y/z")  # idempotent
+
+    def test_mkdir_under_file_rejected(self, fs):
+        fs.write("/f", b"")
+        with pytest.raises(NotADirectory):
+            fs.mkdir("/f/sub")
+
+
+class TestWriteRead:
+    def test_round_trip(self, fs):
+        fs.write("/hello.txt", b"hi")
+        assert fs.read("/hello.txt") == b"hi"
+
+    def test_overwrite(self, fs):
+        fs.write("/f", b"v1")
+        fs.write("/f", b"v2")
+        assert fs.read("/f") == b"v2"
+        assert fs.listdir("/").count("f") == 1
+
+    def test_write_over_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.write("/d", b"x")
+
+    def test_read_missing(self, fs):
+        with pytest.raises(PathNotFound):
+            fs.read("/ghost")
+
+    def test_read_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.read("/d")
+
+    def test_empty_file(self, fs):
+        fs.write("/empty", b"")
+        assert fs.read("/empty") == b""
+
+    def test_binary_content(self, fs):
+        blob = bytes(range(256)) * 10
+        fs.write("/bin", blob)
+        assert fs.read("/bin") == blob
+
+    def test_quick_relative_access(self, fs):
+        """Paper §3.2: the O(1) namespace-decorated access method."""
+        fs.mkdir("/home")
+        fs.write("/home/f", b"quick")
+        rel = fs.relative_path_of("/home/f")
+        assert "::" in rel
+        assert fs.read_relative(rel) == b"quick"
+
+    def test_relative_access_missing(self, fs):
+        with pytest.raises(PathNotFound):
+            fs.read_relative("9.9.9::nothing")
+
+
+class TestDelete:
+    def test_delete_hides_file(self, fs):
+        fs.write("/f", b"x")
+        fs.delete("/f")
+        assert fs.listdir("/") == []
+        assert not fs.exists("/f")
+        with pytest.raises(PathNotFound):
+            fs.read("/f")
+
+    def test_delete_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.delete("/d")
+
+    def test_recreate_after_delete(self, fs):
+        fs.write("/f", b"old")
+        fs.delete("/f")
+        fs.write("/f", b"new")
+        assert fs.read("/f") == b"new"
+
+    def test_delete_missing(self, fs):
+        with pytest.raises(PathNotFound):
+            fs.delete("/nope")
+
+
+class TestRmdir:
+    def test_rmdir_hides_subtree(self, fs):
+        fs.makedirs("/a/b")
+        fs.write("/a/b/f", b"x")
+        fs.rmdir("/a")
+        assert fs.listdir("/") == []
+        assert not fs.exists("/a/b/f")
+
+    def test_rmdir_o1_is_nonrecursive_check_optional(self, fs):
+        fs.mkdir("/d")
+        fs.write("/d/f", b"x")
+        with pytest.raises(DirectoryNotEmpty):
+            fs.rmdir("/d", recursive=False)
+        fs.delete("/d/f")
+        fs.rmdir("/d", recursive=False)
+        assert not fs.exists("/d")
+
+    def test_rmdir_root_rejected(self, fs):
+        with pytest.raises(InvalidPath):
+            fs.rmdir("/")
+
+    def test_rmdir_file_rejected(self, fs):
+        fs.write("/f", b"")
+        with pytest.raises(NotADirectory):
+            fs.rmdir("/f")
+
+    def test_recreate_directory_after_rmdir(self, fs):
+        fs.mkdir("/d")
+        fs.write("/d/old", b"1")
+        fs.rmdir("/d")
+        fs.mkdir("/d")
+        assert fs.listdir("/d") == []  # fresh namespace, no ghosts
+
+
+class TestMoveRename:
+    def test_rename_file(self, fs):
+        fs.write("/old", b"data")
+        fs.rename("/old", "/new")
+        assert not fs.exists("/old")
+        assert fs.read("/new") == b"data"
+
+    def test_move_file_across_dirs(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        fs.write("/a/f", b"data")
+        fs.move("/a/f", "/b/g")
+        assert fs.listdir("/a") == []
+        assert fs.read("/b/g") == b"data"
+
+    def test_move_directory_carries_subtree(self, fs):
+        fs.makedirs("/a/deep/tree")
+        fs.write("/a/deep/tree/f", b"x")
+        fs.move("/a", "/z")
+        assert fs.read("/z/deep/tree/f") == b"x"
+        assert not fs.exists("/a")
+
+    def test_rename_directory_in_place(self, fs):
+        fs.mkdir("/dir")
+        fs.write("/dir/f", b"1")
+        fs.rename("/dir", "/dir2")
+        assert fs.listdir("/") == ["dir2"]
+        assert fs.read("/dir2/f") == b"1"
+
+    def test_move_to_existing_rejected(self, fs):
+        fs.write("/a", b"1")
+        fs.write("/b", b"2")
+        with pytest.raises(AlreadyExists):
+            fs.move("/a", "/b")
+
+    def test_move_root_rejected(self, fs):
+        with pytest.raises(InvalidPath):
+            fs.move("/", "/elsewhere")
+
+    def test_move_into_own_subtree_rejected(self, fs):
+        fs.makedirs("/a/b")
+        with pytest.raises(InvalidPath):
+            fs.move("/a", "/a/b/a2")
+
+    def test_move_missing_source(self, fs):
+        with pytest.raises(PathNotFound):
+            fs.move("/ghost", "/elsewhere")
+
+    def test_move_preserves_relative_access_of_dir_children(self, fs):
+        """Directory MOVE is O(1): children keep their namespace keys."""
+        fs.mkdir("/d")
+        fs.write("/d/f", b"stay")
+        rel = fs.relative_path_of("/d/f")
+        fs.move("/d", "/renamed")
+        assert fs.read_relative(rel) == b"stay"
+
+
+class TestCopy:
+    def test_copy_file(self, fs):
+        fs.write("/src", b"payload")
+        fs.copy("/src", "/dst")
+        assert fs.read("/src") == b"payload"
+        assert fs.read("/dst") == b"payload"
+
+    def test_copy_tree(self, fs):
+        fs.makedirs("/a/b")
+        fs.write("/a/f1", b"1")
+        fs.write("/a/b/f2", b"2")
+        copied = fs.copy("/a", "/a2")
+        assert copied >= 4  # 2 dirs + 2 files
+        assert fs.read("/a2/f1") == b"1"
+        assert fs.read("/a2/b/f2") == b"2"
+
+    def test_copies_are_independent(self, fs):
+        fs.mkdir("/a")
+        fs.write("/a/f", b"orig")
+        fs.copy("/a", "/b")
+        fs.write("/b/f", b"changed")
+        assert fs.read("/a/f") == b"orig"
+
+    def test_copy_to_existing_rejected(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        with pytest.raises(AlreadyExists):
+            fs.copy("/a", "/b")
+
+    def test_copy_gets_fresh_namespaces(self, fs):
+        fs.mkdir("/a")
+        fs.write("/a/f", b"x")
+        fs.copy("/a", "/b")
+        assert fs.relative_path_of("/a/f") != fs.relative_path_of("/b/f")
+
+
+class TestListStat:
+    def test_list_names_sorted(self, fs):
+        fs.mkdir("/d")
+        for name in ["zz", "aa", "mm"]:
+            fs.write(f"/d/{name}", b"")
+        assert fs.listdir("/d") == ["aa", "mm", "zz"]
+
+    def test_detailed_listing_metadata(self, fs):
+        fs.mkdir("/d")
+        fs.write("/d/f", b"12345")
+        fs.mkdir("/d/sub")
+        entries = {e.name: e for e in fs.listdir("/d", detailed=True)}
+        assert entries["f"].kind == "file"
+        assert entries["f"].size == 5
+        assert entries["sub"].kind == "dir"
+        assert entries["sub"].ns is not None
+
+    def test_list_missing_dir(self, fs):
+        with pytest.raises(PathNotFound):
+            fs.listdir("/nope")
+
+    def test_list_file_rejected(self, fs):
+        fs.write("/f", b"")
+        with pytest.raises(NotADirectory):
+            fs.listdir("/f")
+
+    def test_stat_depth(self, fs):
+        fs.makedirs("/a/b")
+        fs.write("/a/b/f", b"")
+        resolution = fs.stat("/a/b/f")
+        assert len(resolution.ns_chain) == 3  # root, a, b
+        assert resolution.child.name == "f"
+
+    def test_exists(self, fs):
+        fs.mkdir("/d")
+        assert fs.exists("/d")
+        assert fs.exists("/")
+        assert not fs.exists("/e")
+
+    def test_walk(self, fs):
+        fs.makedirs("/a/b")
+        fs.write("/a/f1", b"")
+        fs.write("/a/b/f2", b"")
+        walked = list(fs.walk("/"))
+        assert walked[0] == ("/", ["a"], [])
+        assert ("/a", ["b"], ["f1"]) in walked
+        assert ("/a/b", [], ["f2"]) in walked
+
+    def test_tree_size(self, fs):
+        fs.makedirs("/a/b")
+        fs.write("/a/f", b"")
+        assert fs.tree_size("/") == (2, 1)
+
+
+class TestMultiAccount:
+    def test_accounts_isolated(self):
+        cluster = SwiftCluster.fast()
+        alice = H2CloudFS(cluster, account="alice")
+        bob = H2CloudFS(cluster, account="bob")
+        alice.write("/secret", b"alice's")
+        assert bob.listdir("/") == []
+        bob.write("/secret", b"bob's")
+        assert alice.read("/secret") == b"alice's"
+        assert bob.read("/secret") == b"bob's"

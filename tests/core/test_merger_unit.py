@@ -1,0 +1,93 @@
+"""Direct unit tests for the Background Merger."""
+
+import pytest
+
+from repro.core import Child, H2Config, H2Middleware, KIND_FILE, NameRing, Namespace
+from repro.simcloud import SwiftCluster
+
+
+@pytest.fixture
+def mw() -> H2Middleware:
+    middleware = H2Middleware(
+        node_id=1,
+        store=SwiftCluster.fast().store,
+        config=H2Config(auto_merge=False),
+    )
+    middleware.create_account("alice")
+    return middleware
+
+
+def submit(mw, ns, name, deleted=False):
+    child = Child(
+        name=name,
+        timestamp=mw.next_timestamp(),
+        kind=KIND_FILE,
+        deleted=deleted,
+    )
+    return mw.submit_patch(ns, [child])
+
+
+class TestMergeRing:
+    def test_merge_applies_and_clears_chain(self, mw):
+        root = Namespace.root("alice")
+        submit(mw, root, "f")
+        fd = mw.fd_cache.get_or_create(root)
+        assert fd.dirty
+        assert mw.merger.merge_ring(root, foreground=True)
+        assert not fd.dirty
+        assert fd.ring.get("f") is not None
+
+    def test_merge_noop_on_clean_ring(self, mw):
+        root = Namespace.root("alice")
+        assert not mw.merger.merge_ring(root)
+
+    def test_chain_order_respected(self, mw):
+        root = Namespace.root("alice")
+        submit(mw, root, "f")
+        submit(mw, root, "f", deleted=True)  # later: tombstone wins
+        mw.merger.merge_ring(root, foreground=True)
+        fd = mw.fd_cache.get_or_create(root)
+        assert fd.ring.get("f") is None
+        assert fd.ring.get_any("f").deleted
+
+    def test_counters(self, mw):
+        root = Namespace.root("alice")
+        submit(mw, root, "a")
+        submit(mw, root, "b")
+        mw.merger.merge_ring(root, foreground=True)
+        assert mw.merger.merges == 1
+        assert mw.merger.patches_applied == 2
+
+    def test_run_until_clean_covers_many_rings(self, mw):
+        root = Namespace.root("alice")
+        mw.mkdir("alice", "/d1")
+        mw.mkdir("alice", "/d2")
+        assert len(mw.fd_cache.dirty_descriptors()) >= 1
+        merged = mw.merger.run_until_clean()
+        assert merged >= 1
+        assert not mw.fd_cache.dirty_descriptors()
+
+    def test_merged_ring_visible_in_store(self, mw):
+        from repro.core import loads_ring, namering_key
+
+        root = Namespace.root("alice")
+        submit(mw, root, "durable")
+        mw.merger.merge_ring(root, foreground=True)
+        stored = loads_ring(mw.store.get(namering_key(root)).data)
+        assert stored.get("durable") is not None
+
+    def test_patch_objects_retired_after_merge(self, mw):
+        root = Namespace.root("alice")
+        patch = submit(mw, root, "f")
+        assert mw.store.exists(patch.object_name)
+        mw.merger.merge_ring(root, foreground=True)
+        assert not mw.store.exists(patch.object_name)
+
+    def test_blocked_merge_defers_and_reports_false(self, mw):
+        root = Namespace.root("alice")
+        submit(mw, root, "f")
+        mw.block_merging()
+        assert not mw.merger.merge_ring(root, foreground=True)
+        assert mw.fd_cache.get_or_create(root).dirty
+        mw.unblock_merging()
+        assert mw.merger.merge_ring(root, foreground=True)

@@ -1,0 +1,89 @@
+"""Tests for the monitoring module."""
+
+import pytest
+
+from repro.core import H2CloudFS
+from repro.core.monitoring import LatencyHistogram, Monitor, deployment_report
+from repro.simcloud import SwiftCluster
+
+
+class TestLatencyHistogram:
+    def test_observe_and_mean(self):
+        histogram = LatencyHistogram()
+        for us in (1_000, 2_000, 3_000):
+            histogram.observe(us)
+        assert histogram.samples == 3
+        assert histogram.mean_us == 2_000
+        assert histogram.max_us == 3_000
+
+    def test_buckets_cover_range(self):
+        histogram = LatencyHistogram()
+        histogram.observe(500)  # <=1ms
+        histogram.observe(20_000)  # <=50ms
+        histogram.observe(20_000_000)  # >10s overflow
+        assert histogram.counts[0] == 1
+        assert histogram.counts[2] == 1
+        assert histogram.counts[-1] == 1
+
+    def test_percentile_bucket(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.observe(5_000)
+        histogram.observe(900_000)
+        assert histogram.percentile_bucket(0.5) == "<=10ms"
+        assert histogram.percentile_bucket(1.0) == "<=1000ms"
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile_bucket(0.0)
+        assert LatencyHistogram().percentile_bucket(0.5) == "n/a"
+
+
+class TestMonitor:
+    def test_timed_records_ops(self):
+        fs = H2CloudFS(SwiftCluster.rack_scale(), account="alice")
+        monitor = Monitor(fs.middlewares[0])
+        monitor.timed("mkdir", lambda: fs.mkdir("/d"))
+        monitor.timed("mkdir", lambda: fs.mkdir("/d2"))
+        monitor.timed("list", lambda: fs.listdir("/"))
+        snapshot = monitor.snapshot()
+        assert snapshot["op.mkdir.count"] == 2
+        assert snapshot["op.mkdir.mean_ms"] > 0
+        assert snapshot["op.list.count"] == 1
+
+    def test_snapshot_core_gauges(self):
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        fs.write("/f", b"12345")
+        snapshot = Monitor(fs.middlewares[0]).snapshot()
+        assert snapshot["maintenance.patches_submitted"] == 1
+        assert snapshot["store.puts"] > 0
+        assert snapshot["store.bytes_in"] >= 5
+        assert snapshot["fd_cache.size"] >= 1
+        assert "gossip.rumors_sent" not in snapshot  # single middleware
+
+    def test_gossip_gauges_with_network(self):
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice", middlewares=2)
+        fs.mkdir("/d")
+        fs.pump()
+        snapshot = Monitor(fs.middlewares[0]).snapshot()
+        assert snapshot["gossip.rumors_sent"] >= 1
+        assert snapshot["gossip.in_flight"] == 0
+
+    def test_merge_blocked_gauge(self):
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        writer = fs.open_write("/stream")
+        assert Monitor(fs.middlewares[0]).snapshot()["maintenance.merge_blocked"] == 1
+        writer.abort()
+        assert Monitor(fs.middlewares[0]).snapshot()["maintenance.merge_blocked"] == 0
+
+
+class TestDeploymentReport:
+    def test_report_mentions_everything(self):
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice", middlewares=2)
+        fs.write("/f", b"x")
+        fs.pump()
+        report = deployment_report(fs)
+        assert "alice" in report
+        assert "middleware 1" in report and "middleware 2" in report
+        assert "node 1" in report
+        assert "patches" in report

@@ -1,0 +1,206 @@
+"""NameRing semantics + CRDT laws of the merge algorithm (paper §3.3.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KIND_DIR, KIND_FILE, Child, NameRing, merge, merge_all
+from repro.simcloud import Timestamp
+
+
+def ts(n: int) -> Timestamp:
+    return Timestamp(wall_us=n, seq=n, node_id=0)
+
+
+def file_child(name: str, t: int, deleted: bool = False, size: int = 0) -> Child:
+    return Child(name=name, timestamp=ts(t), kind=KIND_FILE, deleted=deleted, size=size)
+
+
+def dir_child(name: str, t: int, ns: str = "1.1.1") -> Child:
+    return Child(name=name, timestamp=ts(t), kind=KIND_DIR, ns=ns)
+
+
+class TestChild:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            Child(name="x", timestamp=ts(1), kind="symlink")
+
+    def test_live_dir_needs_namespace(self):
+        with pytest.raises(ValueError):
+            Child(name="d", timestamp=ts(1), kind=KIND_DIR)
+
+    def test_deleted_dir_allows_missing_namespace(self):
+        Child(name="d", timestamp=ts(1), kind=KIND_DIR, deleted=True)
+
+    def test_tombstone_keeps_identity(self):
+        child = file_child("f", 1, size=42)
+        dead = child.tombstone(ts(9))
+        assert dead.deleted
+        assert dead.name == "f"
+        assert dead.size == 42
+        assert dead.timestamp == ts(9)
+
+
+class TestQueries:
+    def test_empty_ring(self):
+        ring = NameRing.empty()
+        assert len(ring) == 0
+        assert ring.get("x") is None
+        assert ring.version == Timestamp.ZERO
+        assert not ring.needs_compaction
+
+    def test_live_children_sorted(self):
+        ring = (
+            NameRing.empty()
+            .with_child(file_child("nc", 3))
+            .with_child(file_child("bash", 2))
+            .with_child(file_child("cat", 1))
+        )
+        assert ring.live_names() == ["bash", "cat", "nc"]
+
+    def test_tombstones_hidden_from_get(self):
+        ring = NameRing.empty().with_child(file_child("gone", 5, deleted=True))
+        assert ring.get("gone") is None
+        assert ring.get_any("gone") is not None
+        assert "gone" not in ring
+        assert len(ring) == 0
+
+    def test_version_is_max_timestamp(self):
+        ring = (
+            NameRing.empty()
+            .with_child(file_child("a", 3))
+            .with_child(file_child("b", 7))
+        )
+        assert ring.version == ts(7)
+
+    def test_compacted_strips_tombstones(self):
+        ring = (
+            NameRing.empty()
+            .with_child(file_child("live", 1))
+            .with_child(file_child("dead", 2, deleted=True))
+        )
+        assert ring.needs_compaction
+        compacted = ring.compacted()
+        assert not compacted.needs_compaction
+        assert compacted.live_names() == ["live"]
+        assert compacted.get_any("dead") is None
+
+    def test_immutability(self):
+        ring = NameRing.empty()
+        ring.with_child(file_child("x", 1))
+        assert len(ring) == 0  # original untouched
+
+
+class TestMergeSemantics:
+    def test_disjoint_union(self):
+        a = NameRing.empty().with_child(file_child("a", 1))
+        b = NameRing.empty().with_child(file_child("b", 2))
+        merged = a.merge(b)
+        assert merged.live_names() == ["a", "b"]
+
+    def test_newer_timestamp_wins(self):
+        old = NameRing.empty().with_child(file_child("f", 1, size=10))
+        new = NameRing.empty().with_child(file_child("f", 5, size=99))
+        assert old.merge(new).get("f").size == 99
+        assert new.merge(old).get("f").size == 99
+
+    def test_deletion_overrides_older_insert(self):
+        """The fake-deletion tuple has the larger timestamp, so it wins."""
+        alive = NameRing.empty().with_child(file_child("f", 3))
+        dead = NameRing.empty().with_child(file_child("f", 8, deleted=True))
+        merged = alive.merge(dead)
+        assert merged.get("f") is None
+        assert merged.get_any("f").deleted
+
+    def test_recreate_after_delete(self):
+        dead = NameRing.empty().with_child(file_child("f", 5, deleted=True))
+        recreated = NameRing.empty().with_child(file_child("f", 9))
+        assert dead.merge(recreated).get("f") is not None
+
+    def test_merge_never_removes(self):
+        a = NameRing.empty().with_child(file_child("keep", 1))
+        assert a.merge(NameRing.empty()).get("keep") is not None
+
+    def test_merge_all_folds_in_order(self):
+        patches = [
+            NameRing.empty().with_child(file_child("f", i, size=i))
+            for i in (2, 9, 4)
+        ]
+        assert merge_all(patches).get("f").size == 9
+
+    def test_merge_all_empty(self):
+        assert merge_all([]).children == {}
+
+
+# ----------------------------------------------------------------------
+# CRDT laws -- these are what make gossip converge in any order
+# ----------------------------------------------------------------------
+_names = st.sampled_from(["a", "b", "c", "d", "e"])
+_children = st.builds(
+    lambda name, wall, seq, node, deleted, size: Child(
+        name=name,
+        timestamp=Timestamp(wall, seq, node),
+        kind=KIND_FILE,
+        deleted=deleted,
+        size=size,
+    ),
+    _names,
+    st.integers(0, 50),
+    st.integers(0, 10),
+    st.integers(0, 3),
+    st.booleans(),
+    st.integers(0, 100),
+)
+_rings = st.lists(_children, max_size=8).map(
+    lambda cs: NameRing(children={c.name: c for c in cs})
+)
+
+
+class TestCRDTLaws:
+    @given(_rings, _rings)
+    @settings(max_examples=200)
+    def test_commutative_on_live_view(self, a, b):
+        """a ⊔ b and b ⊔ a agree wherever timestamps are unambiguous.
+
+        With strictly unique timestamps (the deployed configuration --
+        TimestampFactory never repeats) merge is fully commutative;
+        here we allow generated timestamp *ties* and require agreement
+        on every child whose competing tuples differ in timestamp.
+        """
+        ab, ba = merge(a, b), merge(b, a)
+        for name in set(ab.children) | set(ba.children):
+            x, y = ab.children.get(name), ba.children.get(name)
+            assert x is not None and y is not None
+            if x != y:
+                assert x.timestamp == y.timestamp  # only ties may differ
+
+    @given(_rings, _rings, _rings)
+    @settings(max_examples=200)
+    def test_associative(self, a, b, c):
+        left = merge(merge(a, b), c)
+        right = merge(a, merge(b, c))
+        for name in set(left.children) | set(right.children):
+            x, y = left.children.get(name), right.children.get(name)
+            assert x is not None and y is not None
+            if x != y:
+                assert x.timestamp == y.timestamp
+
+    @given(_rings)
+    @settings(max_examples=100)
+    def test_idempotent(self, a):
+        assert merge(a, a).children == a.children
+
+    @given(_rings, _rings)
+    @settings(max_examples=100)
+    def test_merge_dominates_both(self, a, b):
+        """Every child of either operand survives (possibly overridden)."""
+        merged = merge(a, b)
+        for name in set(a.children) | set(b.children):
+            assert name in merged.children
+
+    @given(_rings, _rings)
+    @settings(max_examples=100)
+    def test_version_monotone(self, a, b):
+        merged = merge(a, b)
+        assert merged.version >= a.version
+        assert merged.version >= b.version

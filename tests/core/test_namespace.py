@@ -1,0 +1,178 @@
+"""Tests for namespaces, path handling and the object-naming scheme."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    Namespace,
+    NamespaceAllocator,
+    decorate,
+    depth_of,
+    directory_key,
+    file_key,
+    join,
+    namering_key,
+    normalize_path,
+    parent_and_base,
+    parse_decorated,
+    patch_key,
+    split_path,
+)
+from repro.simcloud import InvalidPath, SimClock
+
+
+class TestNamespace:
+    def test_root_is_deterministic(self):
+        assert Namespace.root("alice") == Namespace.root("alice")
+        assert Namespace.root("alice") != Namespace.root("bob")
+
+    def test_root_flag(self):
+        assert Namespace.root("a").is_root
+        assert not Namespace(uuid="1.2.3").is_root
+
+    def test_bad_account_names(self):
+        for bad in ["", "a/b", "a::b"]:
+            with pytest.raises(InvalidPath):
+                Namespace.root(bad)
+
+
+class TestAllocator:
+    def test_issues_unique_sequential(self):
+        alloc = NamespaceAllocator(node_id=1, clock=SimClock())
+        a, b = alloc.next(), alloc.next()
+        assert a != b
+        assert a.uuid.startswith("1.1.")
+        assert b.uuid.startswith("2.1.")
+        assert alloc.issued == 2
+
+    def test_distinct_nodes_never_collide(self):
+        clock = SimClock()
+        a = NamespaceAllocator(1, clock).next()
+        b = NamespaceAllocator(2, clock).next()
+        assert a != b
+
+    def test_uuid_embeds_timestamp(self):
+        clock = SimClock()
+        clock.advance(1469346604539)
+        ns = NamespaceAllocator(1, clock).next()
+        assert ns.uuid == "1.1.1469346604539"
+
+
+class TestDecoration:
+    def test_round_trip(self):
+        ns = Namespace("6.1.1469346604539")
+        rel = decorate(ns, "file1")
+        assert rel == "6.1.1469346604539::file1"
+        back_ns, name = parse_decorated(rel)
+        assert back_ns == ns
+        assert name == "file1"
+
+    def test_parse_rejects_undecorated(self):
+        with pytest.raises(InvalidPath):
+            parse_decorated("/home/ubuntu/file1")
+
+    def test_parse_rejects_empty_parts(self):
+        with pytest.raises(InvalidPath):
+            parse_decorated("::file1")
+        with pytest.raises(InvalidPath):
+            parse_decorated("ns::")
+
+    def test_name_may_contain_separator_remnants(self):
+        """Only the first '::' splits; file names keep the rest."""
+        ns, name = parse_decorated("1.2.3::a::b")
+        assert name == "a::b"
+
+
+class TestPaths:
+    def test_split_root(self):
+        assert split_path("/") == []
+
+    def test_split_simple(self):
+        assert split_path("/home/ubuntu/file1") == ["home", "ubuntu", "file1"]
+
+    def test_relative_rejected(self):
+        with pytest.raises(InvalidPath):
+            split_path("home/ubuntu")
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(InvalidPath):
+            split_path("/home//ubuntu")
+
+    def test_dot_components_rejected(self):
+        with pytest.raises(InvalidPath):
+            split_path("/home/./x")
+        with pytest.raises(InvalidPath):
+            split_path("/home/../x")
+
+    def test_separator_in_name_rejected(self):
+        with pytest.raises(InvalidPath):
+            split_path("/home/a::b")
+
+    def test_trailing_slash_tolerated(self):
+        assert split_path("/home/ubuntu/") == ["home", "ubuntu"]
+
+    def test_normalize(self):
+        assert normalize_path("/home/ubuntu/") == "/home/ubuntu"
+        assert normalize_path("/") == "/"
+
+    def test_parent_and_base(self):
+        assert parent_and_base("/a/b/c") == ("/a/b", "c")
+        assert parent_and_base("/a") == ("/", "a")
+
+    def test_parent_of_root_rejected(self):
+        with pytest.raises(InvalidPath):
+            parent_and_base("/")
+
+    def test_join(self):
+        assert join("/", "a") == "/a"
+        assert join("/a/b", "c") == "/a/b/c"
+
+    def test_depth_matches_paper(self):
+        """Paper: /home/ubuntu/file1 has d = 3."""
+        assert depth_of("/home/ubuntu/file1") == 3
+        assert depth_of("/") == 0
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(
+                    blacklist_characters="/\n\x00",
+                    blacklist_categories=("Cs",),
+                ),
+                min_size=1,
+                max_size=8,
+            ).filter(lambda s: s not in (".", "..") and "::" not in s),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    def test_split_join_round_trip(self, components):
+        path = "/" + "/".join(components)
+        if "//" in path:
+            return  # empty-looking components collapse; skip
+        assert split_path(path) == components
+
+
+class TestObjectKeys:
+    def test_keys_are_disjoint_namespaces(self):
+        ns = Namespace("1.1.0")
+        keys = {
+            namering_key(ns),
+            directory_key(ns),
+            file_key(ns, "x"),
+            patch_key(ns, 1, 3),
+        }
+        assert len(keys) == 4
+        prefixes = {k.split(":", 1)[0] for k in keys}
+        assert prefixes == {"nr", "dir", "f", "patch"}
+
+    def test_patch_key_matches_paper_shape(self):
+        """Paper example: N97::/NameRing/.Node01.Patch03."""
+        key = patch_key(Namespace("97.1.5"), node_id=1, patch_seq=3)
+        assert "Node01" in key
+        assert "Patch000003" in key
+
+    def test_file_key_embeds_decorated_path(self):
+        ns = Namespace("2.1.9")
+        assert file_key(ns, "file1") == "f:2.1.9::file1"

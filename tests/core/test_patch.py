@@ -1,0 +1,95 @@
+"""Tests for patches, patch chains and patch numbering (paper §3.3.2)."""
+
+import pytest
+
+from repro.core import Child, KIND_FILE, NameRing, Namespace, Patch, PatchChain, PatchCounter
+from repro.simcloud import Timestamp
+
+
+NS = Namespace("97.1.100")
+
+
+def payload(name: str, t: int, deleted: bool = False) -> NameRing:
+    child = Child(name=name, timestamp=Timestamp(t, t, 0), kind=KIND_FILE, deleted=deleted)
+    return NameRing(children={name: child})
+
+
+def make_patch(seq: int, name: str = "f", t: int = 1, node: int = 1) -> Patch:
+    return Patch(target_ns=NS, node_id=node, patch_seq=seq, payload=payload(name, t))
+
+
+class TestPatch:
+    def test_object_name_encodes_ring_node_and_seq(self):
+        patch = make_patch(3, node=1)
+        assert patch.object_name == "patch:97.1.100:Node01.Patch000003"
+
+    def test_wire_round_trip(self):
+        patch = make_patch(2, name="hello", t=9)
+        back = Patch.from_bytes(NS, 1, 2, patch.to_bytes())
+        assert back.payload.children == patch.payload.children
+        assert back.object_name == patch.object_name
+
+
+class TestPatchChain:
+    def test_append_and_fold_in_order(self):
+        chain = PatchChain(target_ns=NS)
+        chain.append(make_patch(0, t=1))
+        chain.append(make_patch(1, t=5))
+        chain.append(make_patch(2, t=3))
+        folded = chain.fold()
+        # front-to-back LWW: the t=5 tuple survives the t=3 one
+        assert folded.get("f").timestamp == Timestamp(5, 5, 0)
+        assert len(chain) == 3
+
+    def test_fold_combines_distinct_children(self):
+        chain = PatchChain(target_ns=NS)
+        chain.append(make_patch(0, name="a"))
+        chain.append(
+            Patch(target_ns=NS, node_id=1, patch_seq=1, payload=payload("b", 2))
+        )
+        assert set(chain.fold().children) == {"a", "b"}
+
+    def test_wrong_target_rejected(self):
+        chain = PatchChain(target_ns=Namespace("1.1.1"))
+        with pytest.raises(ValueError):
+            chain.append(make_patch(0))
+
+    def test_non_increasing_seq_rejected(self):
+        chain = PatchChain(target_ns=NS)
+        chain.append(make_patch(5))
+        with pytest.raises(ValueError):
+            chain.append(make_patch(5))
+        with pytest.raises(ValueError):
+            chain.append(make_patch(4))
+
+    def test_clear_drains(self):
+        chain = PatchChain(target_ns=NS)
+        chain.append(make_patch(0))
+        drained = chain.clear()
+        assert len(drained) == 1
+        assert not chain
+        assert chain.fold().children == {}
+
+    def test_deletion_patch_tombstones(self):
+        chain = PatchChain(target_ns=NS)
+        chain.append(make_patch(0, name="f", t=1))
+        dead = Patch(
+            target_ns=NS,
+            node_id=1,
+            patch_seq=1,
+            payload=payload("f", 9, deleted=True),
+        )
+        chain.append(dead)
+        folded = chain.fold()
+        assert folded.get("f") is None
+        assert folded.get_any("f").deleted
+
+
+class TestPatchCounter:
+    def test_per_ring_sequences(self):
+        counter = PatchCounter(node_id=1)
+        a, b = Namespace("1.1.1"), Namespace("2.1.1")
+        assert counter.next_seq(a) == 0
+        assert counter.next_seq(a) == 1
+        assert counter.next_seq(b) == 0
+        assert counter.next_seq(a) == 2

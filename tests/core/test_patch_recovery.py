@@ -1,0 +1,90 @@
+"""Crash recovery: durable patches survive middleware loss.
+
+Phase 1 of the maintenance protocol PUTs every patch as an object
+before it is applied; these tests kill a middleware with unmerged
+chains and show a fresh middleware recovering the updates from the
+store alone -- the §1 claim that the application tier is effectively
+stateless.
+"""
+
+import pytest
+
+from repro.core import H2CloudFS, H2Config, H2Middleware
+from repro.simcloud import SwiftCluster
+
+
+def crashy_fs() -> H2CloudFS:
+    """A deployment whose middleware defers all merging."""
+    return H2CloudFS(
+        SwiftCluster.fast(), account="alice", config=H2Config(auto_merge=False)
+    )
+
+
+class TestRecovery:
+    def test_unmerged_patches_survive_middleware_loss(self):
+        fs = crashy_fs()
+        fs.mkdir("/d")
+        fs.write("/d/f", b"precious")
+        # The middleware dies before its Background Merger ever ran:
+        # its in-memory chains are gone, but the patch objects are not.
+        assert fs.middlewares[0].fd_cache.dirty_descriptors()
+        replacement = H2Middleware(node_id=9, store=fs.store)
+        recovered = replacement.merger.recover_orphaned_patches()
+        assert recovered >= 2  # the mkdir patch + the write patch
+        assert [e.name for e in replacement.list_dir("alice", "/")] == ["d"]
+        assert replacement.read_file("alice", "/d/f") == b"precious"
+
+    def test_recovery_retires_patch_objects(self):
+        fs = crashy_fs()
+        fs.write("/f", b"x")
+        assert any(n.startswith("patch:") for n in fs.store.names())
+        replacement = H2Middleware(node_id=9, store=fs.store)
+        replacement.merger.recover_orphaned_patches()
+        assert not any(n.startswith("patch:") for n in fs.store.names())
+
+    def test_recovery_is_idempotent(self):
+        fs = crashy_fs()
+        fs.write("/f", b"x")
+        replacement = H2Middleware(node_id=9, store=fs.store)
+        assert replacement.merger.recover_orphaned_patches() >= 1
+        assert replacement.merger.recover_orphaned_patches() == 0
+        assert replacement.read_file("alice", "/f") == b"x"
+
+    def test_recovery_respects_own_pending_chains(self):
+        """A middleware recovering others' patches must not re-apply
+        (and must not retire) patches still chained locally."""
+        fs = crashy_fs()
+        mw = fs.middlewares[0]
+        fs.write("/own", b"local")
+        chained = {
+            p.object_name
+            for fd in mw.fd_cache.dirty_descriptors()
+            for p in fd.chain.patches
+        }
+        assert chained
+        assert mw.merger.recover_orphaned_patches() == 0
+        assert chained <= set(fs.store.names())
+        fs.pump()  # the normal path still applies them
+        assert fs.read("/own") == b"local"
+
+    def test_recovery_multiple_nodes_folds_in_order(self):
+        """Patches from several dead nodes on one ring: LWW sorts it."""
+        cluster = SwiftCluster.fast()
+        config = H2Config(auto_merge=False)
+        a = H2Middleware(node_id=1, store=cluster.store, config=config)
+        a.create_account("alice")
+        b = H2Middleware(node_id=2, store=cluster.store, config=config)
+        a.write_file("alice", "/f", b"from-a")
+        b.write_file("alice", "/f", b"from-b")  # later timestamp
+        replacement = H2Middleware(node_id=9, store=cluster.store)
+        assert replacement.merger.recover_orphaned_patches() == 2
+        assert replacement.read_file("alice", "/f") == b"from-b"
+
+    def test_recovered_deletion_stays_deleted(self):
+        fs = crashy_fs()
+        fs.write("/f", b"x")
+        fs.pump()
+        fs.delete("/f")  # tombstone patch, unmerged
+        replacement = H2Middleware(node_id=9, store=fs.store)
+        replacement.merger.recover_orphaned_patches()
+        assert not replacement.exists("alice", "/f")

@@ -1,0 +1,123 @@
+"""Tests for ranged reads, listing pagination, and du accounting."""
+
+import pytest
+
+from repro.core import H2CloudFS, H2Middleware, H2WebAPI
+from repro.simcloud import SparseData, SwiftCluster
+
+
+@pytest.fixture
+def fs() -> H2CloudFS:
+    fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+    fs.mkdir("/d")
+    fs.write("/d/movie", bytes(range(200)))
+    return fs
+
+
+class TestRangedReads:
+    def test_window_contents(self, fs):
+        assert fs.read_range("/d/movie", 10, 5) == bytes(range(10, 15))
+
+    def test_window_clamped_at_eof(self, fs):
+        assert fs.read_range("/d/movie", 190, 100) == bytes(range(190, 200))
+        assert fs.read_range("/d/movie", 500, 10) == b""
+
+    def test_negative_range_rejected(self, fs):
+        with pytest.raises(ValueError):
+            fs.read_range("/d/movie", -1, 5)
+
+    def test_sparse_window(self, fs):
+        fs.write("/d/huge", SparseData(size=1 << 30, tag="h"))
+        window = fs.read_range("/d/huge", 1 << 20, 4096)
+        assert isinstance(window, SparseData)
+        assert len(window) == 4096
+
+    def test_range_cheaper_than_full_read(self):
+        fs = H2CloudFS(SwiftCluster.rack_scale(), account="alice")
+        fs.write("/big", SparseData(size=100 << 20, tag="b"))
+        fs.pump()
+        fs.drop_caches()
+        _, full = fs.clock.measure(lambda: fs.read("/big"))
+        fs.drop_caches()
+        _, window = fs.clock.measure(lambda: fs.read_range("/big", 0, 4096))
+        assert window < full / 10
+
+    def test_webapi_partial_content(self):
+        api = H2WebAPI(H2Middleware(node_id=1, store=SwiftCluster.fast().store))
+        api.put("/v1/alice")
+        api.put("/v1/alice/f", b"0123456789")
+        response = api.get("/v1/alice/f?offset=2&length=3")
+        assert response.status == 206
+        assert response.body == b"234"
+        assert api.get("/v1/alice/f?offset=junk").status == 400
+
+
+class TestListingPagination:
+    @pytest.fixture
+    def paged(self) -> H2CloudFS:
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        fs.mkdir("/d")
+        fs.write_many("/d", [(f"f{i:02d}", b"") for i in range(10)])
+        return fs
+
+    def test_limit(self, paged):
+        assert paged.listdir("/d", limit=3) == ["f00", "f01", "f02"]
+
+    def test_marker_is_exclusive(self, paged):
+        assert paged.listdir("/d", marker="f07") == ["f08", "f09"]
+
+    def test_full_pagination_walk(self, paged):
+        seen, marker = [], None
+        while True:
+            page = paged.listdir("/d", marker=marker, limit=4)
+            if not page:
+                break
+            seen.extend(page)
+            marker = page[-1]
+        assert seen == [f"f{i:02d}" for i in range(10)]
+
+    def test_limit_zero(self, paged):
+        assert paged.listdir("/d", limit=0) == []
+
+    def test_detailed_pagination_bounds_heads(self):
+        fs = H2CloudFS(SwiftCluster.rack_scale(), account="alice")
+        fs.mkdir("/d")
+        fs.write_many("/d", [(f"f{i:02d}", b"x") for i in range(30)])
+        fs.pump()
+        fs.drop_caches()
+        heads_before = fs.store.ledger.heads
+        fs.listdir("/d", detailed=True, limit=5)
+        assert fs.store.ledger.heads - heads_before == 5
+
+    def test_webapi_pagination(self, paged):
+        api = H2WebAPI(paged.middlewares[0])
+        response = api.get("/v1/alice/d?list=names&limit=2&marker=f05")
+        assert response.text() == "f06\nf07\n"
+
+
+class TestDu:
+    def test_du_counts_and_bytes(self):
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        fs.makedirs("/a/b")
+        fs.write("/a/f1", b"12345")
+        fs.write("/a/b/f2", b"1234567890")
+        dirs, files, nbytes = fs.du("/")
+        assert (dirs, files, nbytes) == (2, 2, 15)
+        assert fs.du("/a/b") == (0, 1, 10)
+
+    def test_du_never_reads_file_objects(self):
+        fs = H2CloudFS(SwiftCluster.rack_scale(), account="alice")
+        fs.mkdir("/d")
+        fs.write("/d/big", SparseData(size=1 << 30, tag="b"))
+        fs.pump()
+        before = fs.store.ledger.snapshot()
+        dirs, files, nbytes = fs.du("/")
+        moved = fs.store.ledger.diff(before)
+        assert nbytes == 1 << 30
+        assert moved["bytes_out"] < 4096  # rings only, never the GB
+
+    def test_du_ignores_tombstones(self):
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        fs.write("/f", b"123")
+        fs.delete("/f")
+        assert fs.du("/") == (0, 0, 0)

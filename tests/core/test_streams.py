@@ -1,0 +1,121 @@
+"""Tests for streaming writes and the §3.3.3b blocking rule."""
+
+import pytest
+
+from repro.core import H2CloudFS, H2Config
+from repro.simcloud import IsADirectory, InvalidPath, SparseData, SwiftCluster
+
+
+@pytest.fixture
+def fs() -> H2CloudFS:
+    return H2CloudFS(SwiftCluster.fast(), account="alice")
+
+
+class TestFileWriter:
+    def test_chunked_write_round_trip(self, fs):
+        writer = fs.open_write("/movie.mkv")
+        writer.write(b"part1-").write(b"part2-").write(b"part3")
+        child = writer.close()
+        assert child.size == len(b"part1-part2-part3")
+        assert fs.read("/movie.mkv") == b"part1-part2-part3"
+
+    def test_context_manager_closes(self, fs):
+        with fs.open_write("/f") as writer:
+            writer.write(b"data")
+        assert fs.read("/f") == b"data"
+
+    def test_context_manager_aborts_on_error(self, fs):
+        with pytest.raises(RuntimeError):
+            with fs.open_write("/f") as writer:
+                writer.write(b"partial")
+                raise RuntimeError("client died")
+        assert not fs.exists("/f")
+        assert not fs.middlewares[0].merge_blocked
+
+    def test_abort_leaves_no_trace(self, fs):
+        writer = fs.open_write("/f")
+        writer.write(b"never")
+        writer.abort()
+        assert not fs.exists("/f")
+        names = [n for n in fs.store.names() if n.startswith("f:")]
+        assert names == []
+
+    def test_empty_stream(self, fs):
+        fs.open_write("/empty").close()
+        assert fs.read("/empty") == b""
+
+    def test_sparse_chunks(self, fs):
+        writer = fs.open_write("/huge")
+        writer.write(SparseData(size=1 << 30, tag="a"))
+        writer.write(SparseData(size=1 << 30, tag="b"))
+        child = writer.close()
+        assert child.size == 2 << 30
+
+    def test_write_after_close_rejected(self, fs):
+        writer = fs.open_write("/f")
+        writer.close()
+        with pytest.raises(InvalidPath):
+            writer.write(b"late")
+
+    def test_bad_chunk_type(self, fs):
+        writer = fs.open_write("/f")
+        with pytest.raises(TypeError):
+            writer.write("a string")
+        writer.abort()
+
+    def test_directory_target_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.open_write("/d")
+
+    def test_bytes_buffered(self, fs):
+        writer = fs.open_write("/f")
+        writer.write(b"12345").write(SparseData(10, tag="x"))
+        assert writer.bytes_buffered == 15
+        writer.abort()
+
+
+class TestBlockingRule:
+    def test_merging_deferred_while_stream_open(self):
+        fs = H2CloudFS(
+            SwiftCluster.fast(),
+            account="alice",
+            config=H2Config(auto_merge=False),
+        )
+        mw = fs.middlewares[0]
+        fs.mkdir("/d")  # leaves a patch chained (auto_merge off)
+        assert mw.fd_cache.dirty_descriptors()
+        writer = fs.open_write("/stream")
+        assert mw.merge_blocked
+        assert mw.merger.run_once() == 0  # blocked: nothing merges
+        assert mw.fd_cache.dirty_descriptors()
+        writer.write(b"data").close()
+        assert not mw.merge_blocked
+        assert mw.merger.run_until_clean() > 0
+        assert fs.read("/stream") == b"data"
+
+    def test_patch_submitted_after_payload_durable(self, fs):
+        """The ordering guarantee: bytes land before the ring points."""
+        ledger = fs.store.ledger
+        writer = fs.open_write("/ordered")
+        puts_before = ledger.puts
+        writer.write(b"payload")
+        assert ledger.puts == puts_before  # nothing stored mid-stream
+        writer.close()
+        assert ledger.puts > puts_before
+        assert fs.listdir("/") == ["ordered"]
+
+    def test_nested_streams_block_until_all_closed(self, fs):
+        mw = fs.middlewares[0]
+        a = fs.open_write("/a")
+        b = fs.open_write("/b")
+        a.write(b"1").close()
+        assert mw.merge_blocked  # b is still open
+        b.write(b"2").close()
+        assert not mw.merge_blocked
+        assert fs.read("/a") == b"1"
+        assert fs.read("/b") == b"2"
+
+    def test_unbalanced_unblock_rejected(self, fs):
+        with pytest.raises(RuntimeError):
+            fs.middlewares[0].unblock_merging()

@@ -1,0 +1,193 @@
+"""Tests for the web API layer (paper §4.3's three API families)."""
+
+import pytest
+
+from repro.core import H2Middleware, H2WebAPI, Request
+from repro.simcloud import SwiftCluster
+
+
+@pytest.fixture
+def api() -> H2WebAPI:
+    cluster = SwiftCluster.fast()
+    api = H2WebAPI(H2Middleware(node_id=1, store=cluster.store))
+    assert api.put("/v1/alice").status == 201
+    return api
+
+
+class TestAccountAPIs:
+    def test_create_account(self, api):
+        response = api.put("/v1/bob")
+        assert response.status == 201
+        assert api.head("/v1/bob").status == 204
+
+    def test_duplicate_account_conflicts(self, api):
+        assert api.put("/v1/alice").status == 409
+
+    def test_missing_account_404(self, api):
+        assert api.head("/v1/ghost").status == 404
+        assert api.get("/v1/ghost").status == 404
+
+    def test_account_root_listing(self, api):
+        api.put("/v1/alice/docs?dir=1")
+        response = api.get("/v1/alice")
+        assert response.status == 200
+        assert response.text() == "docs\n"
+
+    def test_delete_empty_account(self, api):
+        api.put("/v1/temp")
+        assert api.delete("/v1/temp").status == 204
+        assert api.head("/v1/temp").status == 404
+
+    def test_delete_populated_account_needs_force(self, api):
+        api.put("/v1/full")
+        api.put("/v1/full/f", b"x")
+        assert api.delete("/v1/full").status == 409
+        assert api.delete("/v1/full?force=1").status == 204
+        assert api.head("/v1/full").status == 404
+
+    def test_delete_missing_account(self, api):
+        assert api.delete("/v1/ghost").status == 404
+
+    def test_deleted_account_objects_reclaimed_by_gc(self, api):
+        from repro.core import GarbageCollector
+
+        api.put("/v1/doomed")
+        api.put("/v1/doomed/f", b"bytes")
+        api.delete("/v1/doomed?force=1")
+        report = GarbageCollector(api.middleware).collect()
+        assert report.swept >= 1
+        assert not any(
+            n.startswith("f:") for n in api.middleware.store.names()
+        )
+
+    def test_unknown_version(self, api):
+        assert api.get("/v2/alice").status == 400
+
+    def test_method_not_allowed(self, api):
+        assert api.handle(Request("PATCH", "/v1/alice")).status == 405
+
+
+class TestDirectoryAPIs:
+    def test_mkdir_and_list(self, api):
+        assert api.put("/v1/alice/photos?dir=1").status == 201
+        assert api.put("/v1/alice/photos/2018?dir=1").status == 201
+        response = api.get("/v1/alice/photos?list=names")
+        assert response.ok
+        assert response.text() == "2018\n"
+
+    def test_detailed_listing(self, api):
+        api.put("/v1/alice/d?dir=1")
+        api.put("/v1/alice/d/f.txt", b"12345")
+        response = api.get("/v1/alice/d?list=detail")
+        line = response.text().strip()
+        name, kind, size, etag = line.split("\t")
+        assert (name, kind, size) == ("f.txt", "file", "5")
+        assert etag != "-"
+
+    def test_bad_list_mode(self, api):
+        api.put("/v1/alice/d?dir=1")
+        assert api.get("/v1/alice/d?list=zzz").status == 400
+
+    def test_mkdir_conflict(self, api):
+        api.put("/v1/alice/d?dir=1")
+        assert api.put("/v1/alice/d?dir=1").status == 409
+
+    def test_mkdir_missing_parent(self, api):
+        assert api.put("/v1/alice/no/such?dir=1").status == 404
+
+    def test_rmdir(self, api):
+        api.put("/v1/alice/d?dir=1")
+        assert api.delete("/v1/alice/d?dir=1").status == 204
+        assert api.get("/v1/alice/d?list=names").status == 404
+
+    def test_rmdir_nonrecursive_on_populated(self, api):
+        api.put("/v1/alice/d?dir=1")
+        api.put("/v1/alice/d/f", b"x")
+        assert api.delete("/v1/alice/d?dir=1&recursive=0").status == 409
+
+    def test_move(self, api):
+        api.put("/v1/alice/old?dir=1")
+        api.put("/v1/alice/old/f", b"data")
+        response = api.post("/v1/alice/old?op=move&dst=/new")
+        assert response.status == 201
+        assert response.headers["Location"] == "/new"
+        assert api.get("/v1/alice/new/f").body == b"data"
+
+    def test_copy(self, api):
+        api.put("/v1/alice/src?dir=1")
+        api.put("/v1/alice/src/f", b"1")
+        assert api.post("/v1/alice/src?op=copy&dst=/dst").status == 201
+        assert api.get("/v1/alice/src/f").ok
+        assert api.get("/v1/alice/dst/f").ok
+
+    def test_bad_op(self, api):
+        api.put("/v1/alice/d?dir=1")
+        assert api.post("/v1/alice/d?op=teleport&dst=/x").status == 400
+        assert api.post("/v1/alice/d?op=move").status == 400
+
+
+class TestFileAPIs:
+    def test_write_read_round_trip(self, api):
+        response = api.put("/v1/alice/hello.txt", b"hi there")
+        assert response.status == 201
+        assert "ETag" in response.headers
+        assert response.headers["Content-Length"] == "8"
+        assert api.get("/v1/alice/hello.txt").body == b"hi there"
+
+    def test_read_missing(self, api):
+        assert api.get("/v1/alice/nope").status == 404
+
+    def test_head_reports_metadata(self, api):
+        api.put("/v1/alice/f", b"123")
+        response = api.head("/v1/alice/f")
+        assert response.status == 204
+        assert response.headers["X-Kind"] == "file"
+        assert response.headers["Content-Length"] == "3"
+        assert "::" in response.headers["X-Relative-Path"]
+
+    def test_delete(self, api):
+        api.put("/v1/alice/f", b"x")
+        assert api.delete("/v1/alice/f").status == 204
+        assert api.get("/v1/alice/f").status == 404
+
+    def test_get_on_directory_lists(self, api):
+        api.put("/v1/alice/d?dir=1")
+        api.put("/v1/alice/d/f", b"x")
+        response = api.get("/v1/alice/d")
+        assert response.ok
+        assert response.text() == "f\n"
+
+    def test_write_over_directory_400(self, api):
+        api.put("/v1/alice/d?dir=1")
+        assert api.put("/v1/alice/d", b"x").status == 400
+
+    def test_unicode_path_segments(self, api):
+        api.put("/v1/alice/%D0%BF%D0%B0%D0%BF%D0%BA%D0%B0?dir=1")
+        response = api.get("/v1/alice")
+        assert "папка" in response.text()
+
+
+class TestQuickAccess:
+    def test_relative_get(self, api):
+        api.put("/v1/alice/d?dir=1")
+        api.put("/v1/alice/d/f", b"quick")
+        rel = api.head("/v1/alice/d/f").headers["X-Relative-Path"]
+        assert api.get(f"/v1/~rel/{rel}").body == b"quick"
+
+    def test_relative_get_unknown(self, api):
+        assert api.get("/v1/~rel/9.9.9::ghost").status == 404
+
+    def test_relative_requires_get(self, api):
+        assert api.put("/v1/~rel/1.1.1::x", b"no").status == 405
+
+
+class TestStatusMapping:
+    def test_counters(self, api):
+        before = api.requests_served
+        api.get("/v1/alice")
+        api.get("/v1/alice/missing")
+        assert api.requests_served == before + 2
+
+    def test_reason_strings(self, api):
+        assert api.put("/v1/alice").reason == "Conflict"
+        assert api.get("/v1/alice/missing").reason == "Not Found"

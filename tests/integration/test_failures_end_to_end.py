@@ -1,0 +1,87 @@
+"""Failure injection against the full H2Cloud stack."""
+
+import pytest
+
+from repro.core import H2CloudFS
+from repro.simcloud import QuorumError, SwiftCluster
+
+
+class TestNodeFailures:
+    def test_operations_continue_with_one_node_down(self):
+        cluster = SwiftCluster.fast()
+        fs = H2CloudFS(cluster, account="alice")
+        fs.makedirs("/a/b")
+        fs.write("/a/b/f", b"before")
+        victim = next(iter(cluster.nodes))
+        cluster.nodes[victim].crash()
+        # Every operation class still works on 7/8 nodes.
+        fs.write("/a/b/g", b"during")
+        fs.mkdir("/a/c")
+        fs.move("/a/b/g", "/a/c/g")
+        assert fs.read("/a/c/g") == b"during"
+        assert sorted(fs.listdir("/a")) == ["b", "c"]
+        fs.rmdir("/a/c")
+        cluster.nodes[victim].recover()
+        assert fs.read("/a/b/f") == b"before"
+
+    def test_recovered_node_heals_via_repair(self):
+        cluster = SwiftCluster.fast()
+        fs = H2CloudFS(cluster, account="alice")
+        victim = next(iter(cluster.nodes))
+        cluster.nodes[victim].crash()
+        fs.write("/written-while-down", b"x")
+        cluster.nodes[victim].recover()
+        cluster.store.repair()
+        # Now even if the *other* replicas die, the data survives.
+        key = "f:" + fs.relative_path_of("/written-while-down")
+        present, expected = cluster.store.replica_health(key)
+        assert present == expected
+
+    def test_scheduled_outage_window(self):
+        cluster = SwiftCluster.rack_scale()
+        fs = H2CloudFS(cluster, account="alice")
+        victim = next(iter(cluster.nodes))
+        cluster.failures.crash_at(cluster.clock.now_us + 1, victim)
+        cluster.failures.recover_at(cluster.clock.now_us + 50_000_000, victim)
+        fs.write("/f1", b"1")  # advances the clock past the crash point
+        cluster.failures.pump()
+        assert cluster.nodes[victim].is_down
+        fs.write("/f2", b"2")  # runs during the outage
+        cluster.clock.advance(60_000_000)
+        cluster.failures.pump()
+        assert not cluster.nodes[victim].is_down
+        assert fs.read("/f1") == b"1"
+        assert fs.read("/f2") == b"2"
+
+    def test_total_replica_loss_is_loud(self):
+        """When every replica of an object is unreachable, reads fail
+        with a QuorumError -- not silent corruption."""
+        cluster = SwiftCluster.fast()
+        fs = H2CloudFS(cluster, account="alice")
+        fs.write("/f", b"x")
+        key = "f:" + fs.relative_path_of("/f")
+        for node_id in cluster.ring.nodes_for(key):
+            cluster.nodes[node_id].crash()
+        with pytest.raises(QuorumError):
+            fs.read("/f")
+        # Metadata on other nodes still serves.
+        assert fs.listdir("/") == ["f"]
+
+
+class TestMiddlewareFailover:
+    def test_surviving_middleware_carries_on(self):
+        """Middlewares are stateless-ish: losing one loses no data
+        (its unmerged patches are durable objects; its cache is soft
+        state) -- the paper's §1 argument for the single-cloud design."""
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice", middlewares=2)
+        fs.write("/by-mw1", b"1")  # round robin: mw1
+        fs.write("/by-mw2", b"2")  # mw2
+        fs.pump()
+        # "Fail" middleware 1 by never routing to it again.
+        survivor = fs.middlewares[1]
+        assert [e.name for e in survivor.list_dir("alice", "/")] == [
+            "by-mw1",
+            "by-mw2",
+        ]
+        survivor.write_file("alice", "/after-failover", b"3")
+        assert survivor.read_file("alice", "/after-failover") == b"3"

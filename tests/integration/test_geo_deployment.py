@@ -1,0 +1,86 @@
+"""Geo-distributed deployments (paper §4.1).
+
+When the object cloud spans data centers, every primitive pays an
+inter-DC RTT.  The complexity relationships of Table 1 are latency-
+scale-invariant -- H2's O(d) walks amplify the higher RTT while
+Swift's O(1) access pays it once -- which these tests pin down.
+"""
+
+import pytest
+
+from repro.baselines import SwiftFS
+from repro.core import H2CloudFS
+from repro.simcloud import ClusterConfig, LatencyModel, SwiftCluster
+from repro.workloads import chain_directories
+
+
+def geo_cluster() -> SwiftCluster:
+    return SwiftCluster(ClusterConfig(), LatencyModel.geo_scale())
+
+
+class TestGeoPreset:
+    def test_geo_rtt_dominates_rack_rtt(self):
+        geo, rack = LatencyModel.geo_scale(), LatencyModel.rack_scale()
+        assert geo.lan_rtt_us > 10 * rack.lan_rtt_us
+
+    def test_everything_still_works(self):
+        fs = H2CloudFS(geo_cluster(), account="alice")
+        fs.makedirs("/a/b")
+        fs.write("/a/b/f", b"cross-dc")
+        fs.move("/a/b", "/top")
+        assert fs.read("/top/f") == b"cross-dc"
+        assert fs.gc().swept >= 0
+
+    def test_ops_cost_more_than_on_the_rack(self):
+        def mkdir_cost(cluster):
+            fs = H2CloudFS(cluster, account="alice")
+            _, cost = fs.clock.measure(lambda: fs.mkdir("/d"))
+            return cost
+
+        assert mkdir_cost(geo_cluster()) > 2 * mkdir_cost(SwiftCluster.rack_scale())
+
+
+class TestShapesSurviveGeo:
+    def test_h2_depth_slope_amplified(self):
+        """O(d) lookups pay d inter-DC RTTs: the Fig 13 slope steepens
+        in absolute terms but stays linear."""
+        def access(cluster, d):
+            fs = H2CloudFS(cluster, account="alice")
+            for path in chain_directories(d - 1):
+                fs.mkdir(path)
+            parent = chain_directories(d - 1)[-1] if d > 1 else ""
+            fs.write(parent + "/leaf", b"x")
+            fs.pump()
+            fs.drop_caches()
+            _, cost = fs.clock.measure(lambda: fs.stat(parent + "/leaf"))
+            return cost
+
+        geo_step = access(geo_cluster(), 8) - access(geo_cluster(), 4)
+        rack_step = access(SwiftCluster.rack_scale(), 8) - access(
+            SwiftCluster.rack_scale(), 4
+        )
+        # Each level now adds an inter-DC hop on top of the disk time:
+        # the per-level step is ~2.5x the rack's (15 ms RTT + ~9 ms disk
+        # vs ~9 ms disk-dominated).
+        assert geo_step > 2 * rack_step
+
+    def test_swift_flat_access_survives_geo(self):
+        fs = SwiftFS(geo_cluster(), account="alice")
+        fs.makedirs("/a/b/c/d")
+        fs.write("/a/b/c/d/leaf", b"x")
+        fs.write("/top", b"y")
+        _, deep = fs.clock.measure(lambda: fs.stat("/a/b/c/d/leaf"))
+        _, shallow = fs.clock.measure(lambda: fs.stat("/top"))
+        assert deep < shallow * 2  # still one hash + one GET
+
+    def test_h2_move_still_flat_under_geo(self):
+        def move_cost(n):
+            fs = H2CloudFS(geo_cluster(), account="alice")
+            fs.mkdir("/dir")
+            fs.write_many("/dir", [(f"f{i}", b"x") for i in range(n)])
+            fs.pump()
+            fs.drop_caches()
+            _, cost = fs.clock.measure(lambda: fs.move("/dir", "/dir2"))
+            return cost
+
+        assert move_cost(200) < 2 * move_cost(10)

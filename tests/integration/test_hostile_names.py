@@ -1,0 +1,89 @@
+"""Hostile file names across every system.
+
+The formatter escapes structural characters, the container DB sorts
+raw strings, CAS serializes pointer blocks, Cumulus packs log lines --
+each has its own wire format, and all of them must round-trip any name
+the path validator admits (no '/', no '::', no control characters).
+"""
+
+import pytest
+
+from repro.baselines import make_system
+from repro.simcloud import InvalidPath, SwiftCluster
+
+HOSTILE_NAMES = [
+    "plain",
+    "with space",
+    "pipe|pipe",
+    "percent%20encoded",
+    "unicode-файл-名前-📁",
+    "dots.every.where",
+    "trailing.",
+    "-leading-dash",
+    "quote'and\"quote",
+    "tab\tinside",
+    "very" + "long" * 40,
+    "=equals&amp;",
+]
+
+SYSTEMS = [
+    "h2cloud",
+    "swift",
+    "consistent-hash",
+    "compressed-snapshot",
+    "cas",
+    "single-index",
+    "dynamic-partition",
+]
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_hostile_names_round_trip(system):
+    fs = make_system(system, SwiftCluster.fast())
+    fs.mkdir("/dir")
+    for i, name in enumerate(HOSTILE_NAMES):
+        fs.write(f"/dir/{name}", bytes([i]) * 3)
+    fs.pump()
+    assert fs.listdir("/dir") == sorted(HOSTILE_NAMES)
+    for i, name in enumerate(HOSTILE_NAMES):
+        assert fs.read(f"/dir/{name}") == bytes([i]) * 3
+
+
+@pytest.mark.parametrize("system", ["h2cloud", "swift"])
+def test_hostile_directory_names(system):
+    fs = make_system(system, SwiftCluster.fast())
+    for name in HOSTILE_NAMES[:6]:
+        fs.mkdir(f"/{name}")
+        fs.write(f"/{name}/f", name.encode())
+    fs.pump()
+    for name in HOSTILE_NAMES[:6]:
+        assert fs.read(f"/{name}/f") == name.encode()
+    # Rename a hostile-named directory.
+    fs.move(f"/{HOSTILE_NAMES[2]}", "/renamed|target")
+    fs.pump()
+    assert fs.read("/renamed|target/f") == HOSTILE_NAMES[2].encode()
+
+
+class TestRejectedNames:
+    @pytest.mark.parametrize("system", ["h2cloud", "swift"])
+    @pytest.mark.parametrize(
+        "bad", ["/a/../b", "/a/./b", "/a//b", "a/rel", "/nm::spaced", "/nl\ninside"]
+    )
+    def test_invalid_paths_rejected_everywhere(self, system, bad):
+        fs = make_system(system, SwiftCluster.fast())
+        with pytest.raises(InvalidPath):
+            fs.write(bad, b"x")
+        with pytest.raises(InvalidPath):
+            fs.mkdir(bad)
+
+
+def test_h2_namering_wire_stays_ascii():
+    """Whatever the names, the stored NameRing objects remain ASCII."""
+    fs = make_system("h2cloud", SwiftCluster.fast())
+    fs.mkdir("/d")
+    for name in HOSTILE_NAMES:
+        fs.write(f"/d/{name}", b"")
+    fs.pump()
+    for obj_name in fs.store.names():
+        if obj_name.startswith("nr:"):
+            fs.store.get(obj_name).data.decode("ascii")  # must not raise

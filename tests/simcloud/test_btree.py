@@ -1,0 +1,170 @@
+"""Tests for the from-scratch B-tree, including hypothesis model checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcloud import BTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BTree()
+        assert len(tree) == 0
+        assert tree.get("missing") is None
+        assert not tree.delete("missing")
+
+    def test_min_degree_validated(self):
+        with pytest.raises(ValueError):
+            BTree(min_degree=1)
+
+    def test_insert_get(self):
+        tree = BTree(min_degree=2)
+        assert tree.insert("a", 1)
+        assert tree.get("a") == 1
+        assert len(tree) == 1
+
+    def test_overwrite_does_not_grow(self):
+        tree = BTree(min_degree=2)
+        tree.insert("k", "old")
+        assert not tree.insert("k", "new")
+        assert tree.get("k") == "new"
+        assert len(tree) == 1
+
+    def test_delete_returns_presence(self):
+        tree = BTree(min_degree=2)
+        tree.insert("x", 1)
+        assert tree.delete("x")
+        assert not tree.delete("x")
+        assert len(tree) == 0
+
+    def test_contains(self):
+        tree = BTree(min_degree=2)
+        tree.insert("here", None)  # None value must still count as present
+        assert "here" in tree
+        assert "gone" not in tree
+
+    def test_many_inserts_force_splits(self):
+        tree = BTree(min_degree=2)
+        keys = [f"{i:04d}" for i in range(500)]
+        for k in keys:
+            tree.insert(k, int(k))
+        tree.check_invariants()
+        assert len(tree) == 500
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_interleaved_insert_delete(self):
+        tree = BTree(min_degree=2)
+        for i in range(300):
+            tree.insert(f"{i:04d}", i)
+        for i in range(0, 300, 2):
+            assert tree.delete(f"{i:04d}")
+        tree.check_invariants()
+        assert len(tree) == 150
+        assert all(tree.get(f"{i:04d}") == i for i in range(1, 300, 2))
+
+    def test_delete_everything(self):
+        tree = BTree(min_degree=2)
+        keys = [f"{i:03d}" for i in range(120)]
+        for k in keys:
+            tree.insert(k, k)
+        # Delete in an adversarial (middle-out) order to stress refill.
+        order = sorted(keys, key=lambda k: abs(int(k) - 60))
+        for k in order:
+            assert tree.delete(k)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_visits_counter_grows_logarithmically(self):
+        tree = BTree(min_degree=32)
+        for i in range(10_000):
+            tree.insert(f"{i:06d}", i)
+        before = tree.visits
+        tree.get("005000")
+        descent = tree.visits - before
+        assert descent <= 5  # log_32(10k) ~ 2.7 levels
+
+
+class TestScan:
+    def make(self, n=100, t=2):
+        tree = BTree(min_degree=t)
+        for i in range(n):
+            tree.insert(f"key{i:04d}", i)
+        return tree
+
+    def test_scan_from_start(self):
+        tree = self.make()
+        rows = tree.scan_from("", 10)
+        assert [k for k, _ in rows] == [f"key{i:04d}" for i in range(10)]
+
+    def test_scan_is_exclusive_of_marker(self):
+        tree = self.make()
+        rows = tree.scan_from("key0009", 3)
+        assert [k for k, _ in rows] == ["key0010", "key0011", "key0012"]
+
+    def test_scan_past_end(self):
+        tree = self.make(10)
+        assert tree.scan_from("key0009", 5) == []
+
+    def test_scan_limit_zero(self):
+        assert self.make(10).scan_from("", 0) == []
+
+    def test_scan_spans_node_boundaries(self):
+        tree = self.make(500, t=2)
+        rows = tree.scan_from("key0100", 250)
+        assert [k for k, _ in rows] == [f"key{i:04d}" for i in range(101, 351)]
+
+    def test_scan_whole_tree(self):
+        tree = self.make(64, t=2)
+        rows = tree.scan_from("", 1000)
+        assert len(rows) == 64
+        assert [k for k, _ in rows] == sorted(k for k, _ in rows)
+
+
+@st.composite
+def operation_sequences(draw):
+    keys = st.text(
+        alphabet="abcdefghij/._-", min_size=1, max_size=12
+    )
+    return draw(
+        st.lists(
+            st.tuples(st.sampled_from(["insert", "delete"]), keys),
+            max_size=200,
+        )
+    )
+
+
+class TestModelEquivalence:
+    """The B-tree must behave exactly like a sorted dict."""
+
+    @given(operation_sequences(), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_model(self, ops, t):
+        tree = BTree(min_degree=t)
+        model: dict[str, int] = {}
+        for i, (op, key) in enumerate(ops):
+            if op == "insert":
+                assert tree.insert(key, i) == (key not in model)
+                model[key] = i
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        assert len(tree) == len(model)
+        assert list(tree.items()) == sorted(model.items())
+        tree.check_invariants()
+
+    @given(operation_sequences())
+    @settings(max_examples=30, deadline=None)
+    def test_scan_matches_model(self, ops):
+        tree = BTree(min_degree=2)
+        model: dict[str, int] = {}
+        for i, (op, key) in enumerate(ops):
+            if op == "insert":
+                tree.insert(key, i)
+                model[key] = i
+            else:
+                tree.delete(key)
+                model.pop(key, None)
+        for marker in ["", "e", "zzz"]:
+            expected = sorted((k, v) for k, v in model.items() if k > marker)
+            assert tree.scan_from(marker, 50) == expected[:50]

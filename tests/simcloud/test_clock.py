@@ -1,0 +1,179 @@
+"""Unit tests for the simulated clock, makespan model and timestamps."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simcloud import SimClock, Timestamp, TimestampFactory, makespan_us
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_us == 0
+
+    def test_custom_start(self):
+        assert SimClock(start_us=42).now_us == 42
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start_us=-1)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now_us == 15
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_unit_conversions(self):
+        clock = SimClock(start_us=2_500_000)
+        assert clock.now_ms == 2500.0
+        assert clock.now_s == 2.5
+
+    def test_measure_brackets_thunk(self):
+        clock = SimClock()
+        result, elapsed = clock.measure(lambda: clock.advance(7) and "done")
+        assert elapsed == 7
+        clock.advance(0)
+        assert clock.now_us == 7
+
+    def test_run_isolated_rewinds(self):
+        clock = SimClock()
+        _, elapsed = clock.run_isolated(lambda: clock.advance(100))
+        assert elapsed == 100
+        assert clock.now_us == 0
+
+    def test_parallel_charges_makespan_not_sum(self):
+        clock = SimClock()
+        thunks = [lambda: clock.advance(10) for _ in range(8)]
+        clock.parallel(thunks, workers=4)
+        assert clock.now_us == 20  # 8 tasks of 10us over 4 lanes
+
+    def test_parallel_single_worker_is_serial(self):
+        clock = SimClock()
+        clock.parallel([lambda: clock.advance(5) for _ in range(3)], workers=1)
+        assert clock.now_us == 15
+
+    def test_parallel_preserves_result_order(self):
+        clock = SimClock()
+        results = clock.parallel([lambda i=i: i for i in range(5)], workers=3)
+        assert results == [0, 1, 2, 3, 4]
+
+    def test_parallel_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            SimClock().parallel([], workers=0)
+
+    def test_freeze_suppresses_advances(self):
+        clock = SimClock()
+        with clock.freeze():
+            clock.advance(1000)
+        assert clock.now_us == 0
+        clock.advance(1)
+        assert clock.now_us == 1
+
+    def test_freeze_nests(self):
+        clock = SimClock()
+        with clock.freeze():
+            with clock.freeze():
+                clock.advance(5)
+            clock.advance(5)
+        clock.advance(5)
+        assert clock.now_us == 5
+
+
+class TestMakespan:
+    def test_empty(self):
+        assert makespan_us([], 4) == 0
+
+    def test_single_task(self):
+        assert makespan_us([9], 4) == 9
+
+    def test_equal_tasks_divide_evenly(self):
+        assert makespan_us([10] * 8, 4) == 20
+
+    def test_never_below_max_task(self):
+        assert makespan_us([100, 1, 1, 1], 4) == 100
+
+    def test_one_worker_sums(self):
+        assert makespan_us([3, 4, 5], 1) == 12
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), max_size=40),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_bounds(self, costs, workers):
+        """Makespan is sandwiched between max(cost) and sum(cost)."""
+        span = makespan_us(costs, workers)
+        if not costs:
+            assert span == 0
+            return
+        assert span >= max(costs)
+        assert span <= sum(costs)
+        # LPT is within 4/3 of OPT; OPT itself can exceed the trivial
+        # lower bound max(max, ceil(sum/k)), so test against 2x that.
+        lower = max(max(costs), -(-sum(costs) // workers))
+        assert span <= lower * 2 + 1
+
+
+class TestTimestamp:
+    def test_ordering_by_wall_first(self):
+        assert Timestamp(1, 99, 9) < Timestamp(2, 0, 0)
+
+    def test_ties_broken_by_seq(self):
+        assert Timestamp(5, 1, 9) < Timestamp(5, 2, 0)
+
+    def test_str_round_trip(self):
+        ts = Timestamp(123456, 7, 3)
+        assert Timestamp.parse(str(ts)) == ts
+
+    def test_zero_is_minimal(self):
+        assert Timestamp.ZERO <= Timestamp(0, 0, 0)
+        assert Timestamp.ZERO < Timestamp(0, 1, 0)
+
+    @given(
+        st.integers(0, 10**12), st.integers(0, 10**6), st.integers(0, 100)
+    )
+    def test_parse_round_trip_property(self, wall, seq, node):
+        ts = Timestamp(wall, seq, node)
+        assert Timestamp.parse(str(ts)) == ts
+
+
+class TestTimestampFactory:
+    def test_strictly_increasing(self):
+        clock = SimClock()
+        factory = TimestampFactory(clock, node_id=1)
+        stamps = [factory.next() for _ in range(100)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 100
+
+    def test_increasing_even_when_clock_still(self):
+        clock = SimClock()
+        factory = TimestampFactory(clock)
+        a, b = factory.next(), factory.next()
+        assert a < b
+        assert a.wall_us == b.wall_us == 0
+
+    def test_unique_across_clock_rewind(self):
+        """run_isolated rewinds time; seq must still disambiguate."""
+        clock = SimClock()
+        factory = TimestampFactory(clock, node_id=2)
+        seen = []
+
+        def work():
+            clock.advance(50)
+            seen.append(factory.next())
+
+        clock.run_isolated(work)
+        clock.run_isolated(work)
+        assert seen[0] != seen[1]
+        assert seen[0] < seen[1]
+
+    def test_distinct_nodes_never_collide(self):
+        clock = SimClock()
+        f1 = TimestampFactory(clock, node_id=1)
+        f2 = TimestampFactory(clock, node_id=2)
+        stamps = {f1.next(), f2.next(), f1.next(), f2.next()}
+        assert len(stamps) == 4

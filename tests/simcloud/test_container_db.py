@@ -1,0 +1,171 @@
+"""Tests for the Swift-style per-account file-path DB."""
+
+import pytest
+
+from repro.simcloud import ContainerDB, LatencyModel, SimClock
+
+
+def make_db(latency=None) -> ContainerDB:
+    return ContainerDB(latency or LatencyModel.zero(), SimClock(), min_degree=4)
+
+
+def populate(db: ContainerDB, paths):
+    for p in paths:
+        db.insert(p, {"size": len(p)})
+
+
+TREE = [
+    "/home/alice/a.txt",
+    "/home/alice/b.txt",
+    "/home/alice/docs/c.pdf",
+    "/home/alice/docs/d.pdf",
+    "/home/alice/docs/deep/e.bin",
+    "/home/bob/f.txt",
+    "/var/log/syslog",
+]
+
+
+class TestPointOps:
+    def test_insert_get(self):
+        db = make_db()
+        db.insert("/a", {"size": 1})
+        assert db.get("/a") == {"size": 1}
+        assert len(db) == 1
+
+    def test_get_missing(self):
+        assert make_db().get("/nope") is None
+
+    def test_exists(self):
+        db = make_db()
+        db.insert("/x", {})
+        assert db.exists("/x")
+        assert not db.exists("/y")
+
+    def test_delete(self):
+        db = make_db()
+        db.insert("/x", {})
+        assert db.delete("/x")
+        assert not db.delete("/x")
+        assert len(db) == 0
+
+    def test_insert_is_upsert(self):
+        db = make_db()
+        db.insert("/x", {"v": 1})
+        db.insert("/x", {"v": 2})
+        assert db.get("/x") == {"v": 2}
+        assert len(db) == 1
+
+    def test_meta_is_copied_on_insert(self):
+        db = make_db()
+        meta = {"v": 1}
+        db.insert("/x", meta)
+        meta["v"] = 99
+        assert db.get("/x") == {"v": 1}
+
+
+class TestDelimiterListing:
+    def test_lists_direct_children_only(self):
+        db = make_db()
+        populate(db, TREE)
+        entries = db.list_dir("/home/alice/")
+        names = [(e.name, e.is_dir) for e in entries]
+        assert names == [("a.txt", False), ("b.txt", False), ("docs", True)]
+
+    def test_subdirectory_collapsed_once(self):
+        """docs/ holds 3 rows but appears as one pseudo-dir entry."""
+        db = make_db()
+        populate(db, TREE)
+        entries = db.list_dir("/home/alice/")
+        assert sum(1 for e in entries if e.name == "docs") == 1
+
+    def test_root_level(self):
+        db = make_db()
+        populate(db, TREE)
+        entries = db.list_dir("/")
+        assert [(e.name, e.is_dir) for e in entries] == [
+            ("home", True),
+            ("var", True),
+        ]
+
+    def test_empty_dir(self):
+        db = make_db()
+        populate(db, TREE)
+        assert db.list_dir("/empty/") == []
+
+    def test_limit(self):
+        db = make_db()
+        populate(db, TREE)
+        assert len(db.list_dir("/home/alice/", limit=2)) == 2
+
+    def test_prefix_must_end_with_slash(self):
+        with pytest.raises(ValueError):
+            make_db().list_dir("/home")
+
+    def test_dir_marker_rows_reported_as_dirs(self):
+        db = make_db()
+        db.insert("/d/sub", {"dir_marker": True})
+        entries = db.list_dir("/d/")
+        assert entries == [entries[0]]
+        assert entries[0].is_dir
+
+    def test_cost_is_per_child_descent(self):
+        """m children should cost ~m descents: the O(m log N) shape."""
+        latency = LatencyModel.zero().with_(db_node_us=10)
+        clock = SimClock()
+        db = ContainerDB(latency, clock, min_degree=4)
+        for i in range(1000):
+            db.insert(f"/dir/file{i:05d}", {})
+        _, cost_full = clock.measure(lambda: db.list_dir("/dir/"))
+        _, cost_ten = clock.measure(lambda: db.list_dir("/dir/", limit=10))
+        assert cost_full > cost_ten * 20  # ~100x children, >20x cost
+
+
+class TestSubtreeListing:
+    def test_returns_all_rows_under_prefix(self):
+        db = make_db()
+        populate(db, TREE)
+        rows = db.list_subtree("/home/alice/")
+        assert [r.path for r in rows] == sorted(TREE[:5])
+
+    def test_excludes_siblings(self):
+        db = make_db()
+        populate(db, TREE)
+        rows = db.list_subtree("/home/bob/")
+        assert [r.path for r in rows] == ["/home/bob/f.txt"]
+
+    def test_large_subtree_pages_correctly(self):
+        db = make_db()
+        paths = [f"/big/file{i:06d}" for i in range(3000)]
+        populate(db, paths)
+        db.insert("/other/x", {})
+        rows = db.list_subtree("/big/")
+        assert len(rows) == 3000
+        assert [r.path for r in rows] == paths
+
+    def test_subtree_cheaper_than_delimiter_per_row(self):
+        """Range scan = 1 descent + rows; delimiter = descent per child."""
+        latency = LatencyModel.zero().with_(db_node_us=10, db_row_us=1)
+        clock = SimClock()
+        db = ContainerDB(latency, clock, min_degree=4)
+        for i in range(2000):
+            db.insert(f"/dir/f{i:05d}", {})
+        _, scan_cost = clock.measure(lambda: db.list_subtree("/dir/"))
+        _, delim_cost = clock.measure(lambda: db.list_dir("/dir/"))
+        assert scan_cost < delim_cost / 3
+
+
+class TestInvariants:
+    def test_structure_holds_after_mixed_workload(self):
+        db = make_db()
+        for i in range(800):
+            db.insert(f"/p/{i % 97:03d}/{i:05d}", {"i": i})
+        for i in range(0, 800, 3):
+            db.delete(f"/p/{i % 97:03d}/{i:05d}")
+        db.check_invariants()
+        assert len(db) == 800 - len(range(0, 800, 3))
+
+    def test_all_rows_sorted(self):
+        db = make_db()
+        populate(db, TREE)
+        rows = db.all_rows()
+        assert [r.path for r in rows] == sorted(TREE)

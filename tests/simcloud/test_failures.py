@@ -1,0 +1,97 @@
+"""Tests for failure scheduling and message loss."""
+
+import pytest
+
+from repro.simcloud import FailureEvent, MessageLoss, SwiftCluster
+
+
+class TestFailureEvent:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError):
+            FailureEvent(0, 1, "explode")
+
+    def test_orders_by_time(self):
+        a = FailureEvent(10, 1, "crash")
+        b = FailureEvent(20, 1, "recover")
+        assert a < b
+
+
+class TestFailureSchedule:
+    def test_unknown_node_rejected(self):
+        cluster = SwiftCluster.fast()
+        with pytest.raises(KeyError):
+            cluster.failures.crash_at(0, node_id=999)
+
+    def test_event_fires_only_when_due(self):
+        cluster = SwiftCluster.fast()
+        cluster.failures.crash_at(1000, node_id=1)
+        assert cluster.failures.pump() == []
+        assert not cluster.nodes[1].is_down
+        cluster.clock.advance(1000)
+        fired = cluster.failures.pump()
+        assert len(fired) == 1
+        assert cluster.nodes[1].is_down
+
+    def test_crash_then_recover_sequence(self):
+        cluster = SwiftCluster.fast()
+        cluster.failures.crash_at(100, node_id=2)
+        cluster.failures.recover_at(200, node_id=2)
+        cluster.clock.advance(150)
+        cluster.failures.pump()
+        assert cluster.nodes[2].is_down
+        cluster.clock.advance(100)
+        cluster.failures.pump()
+        assert not cluster.nodes[2].is_down
+
+    def test_wipe_recovers_empty(self):
+        cluster = SwiftCluster.fast()
+        cluster.store.put("obj", b"x")
+        victim = cluster.ring.nodes_for("obj")[0]
+        cluster.failures.wipe_at(10, node_id=victim)
+        cluster.clock.advance(10)
+        cluster.failures.pump()
+        node = cluster.nodes[victim]
+        assert not node.is_down
+        assert node.object_count == 0
+
+    def test_events_apply_in_time_order(self):
+        cluster = SwiftCluster.fast()
+        cluster.failures.recover_at(30, node_id=1)
+        cluster.failures.crash_at(20, node_id=1)
+        cluster.clock.advance(50)
+        cluster.failures.pump()
+        assert not cluster.nodes[1].is_down  # crash@20 then recover@30
+
+    def test_applied_log(self):
+        cluster = SwiftCluster.fast()
+        cluster.failures.crash_at(5, node_id=3)
+        cluster.clock.advance(5)
+        cluster.failures.pump()
+        assert [e.action for e in cluster.failures.applied] == ["crash"]
+        assert cluster.failures.pending == ()
+
+
+class TestMessageLoss:
+    def test_zero_probability_never_drops(self):
+        loss = MessageLoss(0.0)
+        assert not any(loss.should_drop() for _ in range(100))
+        assert loss.delivered == 100
+
+    def test_certain_loss_always_drops(self):
+        loss = MessageLoss(1.0)
+        assert all(loss.should_drop() for _ in range(50))
+        assert loss.dropped == 50
+
+    def test_deterministic_given_seed(self):
+        a = [MessageLoss(0.5, seed=3).should_drop() for _ in range(20)]
+        b = [MessageLoss(0.5, seed=3).should_drop() for _ in range(20)]
+        assert a == b
+
+    def test_rate_roughly_matches_probability(self):
+        loss = MessageLoss(0.3, seed=11)
+        drops = sum(loss.should_drop() for _ in range(5000))
+        assert 0.25 < drops / 5000 < 0.35
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            MessageLoss(1.5)

@@ -1,0 +1,140 @@
+"""Tests for the consistent-hash ring: placement, balance, stability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcloud import HashRing, RingError, hash_key
+
+
+def make_ring(n_nodes: int, replicas: int = 3, vnodes: int = 64) -> HashRing:
+    ring = HashRing(replicas=replicas, vnodes=vnodes)
+    for node_id in range(1, n_nodes + 1):
+        ring.add_node(node_id)
+    return ring
+
+
+KEYS = [f"/account/alice/file-{i}.dat" for i in range(2000)]
+
+
+class TestConstruction:
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(RingError):
+            HashRing(replicas=0)
+
+    def test_rejects_zero_vnodes(self):
+        with pytest.raises(RingError):
+            HashRing(vnodes=0)
+
+    def test_duplicate_node_rejected(self):
+        ring = make_ring(1)
+        with pytest.raises(RingError):
+            ring.add_node(1)
+
+    def test_remove_unknown_node_rejected(self):
+        with pytest.raises(RingError):
+            make_ring(2).remove_node(99)
+
+    def test_len_counts_nodes(self):
+        assert len(make_ring(5)) == 5
+
+    def test_empty_ring_cannot_place(self):
+        with pytest.raises(RingError):
+            HashRing().nodes_for("key")
+
+
+class TestPlacement:
+    def test_deterministic(self):
+        a, b = make_ring(8), make_ring(8)
+        for key in KEYS[:200]:
+            assert a.nodes_for(key) == b.nodes_for(key)
+
+    def test_replicas_distinct(self):
+        ring = make_ring(8)
+        for key in KEYS[:500]:
+            nodes = ring.nodes_for(key)
+            assert len(nodes) == 3
+            assert len(set(nodes)) == 3
+
+    def test_primary_is_first_replica(self):
+        ring = make_ring(8)
+        for key in KEYS[:100]:
+            assert ring.primary_for(key) == ring.nodes_for(key)[0]
+
+    def test_degraded_when_fewer_nodes_than_replicas(self):
+        ring = make_ring(2, replicas=3)
+        nodes = ring.nodes_for("anything")
+        assert sorted(nodes) == [1, 2]
+
+    def test_single_node_ring(self):
+        ring = make_ring(1)
+        assert ring.nodes_for("k") == [1]
+
+    def test_hash_key_is_128_bit(self):
+        assert 0 <= hash_key("x") < (1 << 128)
+
+    def test_hash_key_deterministic(self):
+        assert hash_key("same") == hash_key("same")
+        assert hash_key("a") != hash_key("b")
+
+
+class TestBalance:
+    def test_primary_load_reasonably_fair(self):
+        """With 128 vnodes/node, no node's share should be wildly off."""
+        ring = make_ring(8, vnodes=128)
+        assert ring.balance_error(KEYS) < 0.5  # within 50% of fair share
+
+    def test_more_vnodes_improves_balance(self):
+        coarse = make_ring(8, vnodes=8)
+        fine = make_ring(8, vnodes=256)
+        assert fine.balance_error(KEYS) < coarse.balance_error(KEYS)
+
+    def test_every_node_gets_some_load(self):
+        ring = make_ring(8)
+        counts = ring.load_distribution(KEYS)
+        assert all(c > 0 for c in counts.values())
+
+    def test_balance_error_empty_keys(self):
+        assert make_ring(3).balance_error([]) == 0.0
+
+
+class TestChurn:
+    def test_adding_node_moves_few_keys(self):
+        """Consistent hashing's whole point: ~1/(n+1) of keys move."""
+        before = make_ring(8)
+        after = make_ring(8)
+        after.add_node(9)
+        moved = before.moved_fraction(after, KEYS)
+        assert 0.0 < moved < 0.30  # ideal 1/9 ~ 0.11, allow slack
+
+    def test_removing_node_moves_only_its_keys(self):
+        before = make_ring(8)
+        after = make_ring(8)
+        after.remove_node(5)
+        for key in KEYS[:500]:
+            if before.primary_for(key) != 5:
+                assert after.primary_for(key) == before.primary_for(key)
+
+    def test_add_then_remove_restores_placement(self):
+        ring = make_ring(8)
+        reference = make_ring(8)
+        ring.add_node(9)
+        ring.remove_node(9)
+        assert ring.moved_fraction(reference, KEYS[:300]) == 0.0
+
+    def test_moved_fraction_identity(self):
+        ring = make_ring(4)
+        assert ring.moved_fraction(ring, KEYS[:100]) == 0.0
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=10, deadline=None)
+    def test_survivors_keep_placement_on_removal(self, n_nodes):
+        before = make_ring(n_nodes, vnodes=32)
+        after = make_ring(n_nodes, vnodes=32)
+        victim = n_nodes  # remove the last node
+        after.remove_node(victim)
+        if n_nodes == 2:
+            return  # all keys trivially land on the single survivor
+        for key in KEYS[:100]:
+            if before.primary_for(key) != victim:
+                assert after.primary_for(key) == before.primary_for(key)

@@ -1,0 +1,250 @@
+"""Tests for the object store: primitives, replication, quorum, costs."""
+
+import pytest
+
+from repro.simcloud import (
+    LatencyModel,
+    ObjectAlreadyExists,
+    ObjectNotFound,
+    QuorumError,
+    SwiftCluster,
+)
+
+
+@pytest.fixture
+def cluster():
+    return SwiftCluster.fast()
+
+
+@pytest.fixture
+def rack():
+    return SwiftCluster.rack_scale()
+
+
+class TestPrimitives:
+    def test_put_get_round_trip(self, cluster):
+        cluster.store.put("obj/a", b"payload", meta={"type": "file"})
+        record = cluster.store.get("obj/a")
+        assert record.data == b"payload"
+        assert record.meta == {"type": "file"}
+
+    def test_get_missing_raises(self, cluster):
+        with pytest.raises(ObjectNotFound):
+            cluster.store.get("nope")
+
+    def test_head_returns_info_without_data(self, cluster):
+        cluster.store.put("obj/b", b"x" * 100, meta={"k": "v"})
+        info = cluster.store.head("obj/b")
+        assert info.size == 100
+        assert info.meta == {"k": "v"}
+        assert info.name == "obj/b"
+
+    def test_etag_is_content_hash(self, cluster):
+        a = cluster.store.put("one", b"same-bytes")
+        b = cluster.store.put("two", b"same-bytes")
+        c = cluster.store.put("three", b"different")
+        assert a.etag == b.etag != c.etag
+
+    def test_overwrite_replaces(self, cluster):
+        cluster.store.put("k", b"v1")
+        cluster.store.put("k", b"v2")
+        assert cluster.store.get("k").data == b"v2"
+        assert cluster.store.object_count == 1
+
+    def test_put_no_overwrite_conflicts(self, cluster):
+        cluster.store.put("k", b"v1")
+        with pytest.raises(ObjectAlreadyExists):
+            cluster.store.put("k", b"v2", overwrite=False)
+
+    def test_delete(self, cluster):
+        cluster.store.put("k", b"v")
+        cluster.store.delete("k")
+        assert not any(
+            node.peek("k") for node in cluster.nodes.values()
+        )
+        with pytest.raises(ObjectNotFound):
+            cluster.store.get("k")
+
+    def test_delete_missing_raises(self, cluster):
+        with pytest.raises(ObjectNotFound):
+            cluster.store.delete("ghost")
+
+    def test_delete_missing_ok(self, cluster):
+        cluster.store.delete("ghost", missing_ok=True)  # no raise
+
+    def test_copy_is_server_side(self, cluster):
+        cluster.store.put("src", b"data", meta={"a": "1"})
+        info = cluster.store.copy("src", "dst", meta={"b": "2"})
+        record = cluster.store.get("dst")
+        assert record.data == b"data"
+        assert record.meta == {"a": "1", "b": "2"}
+        assert info.name == "dst"
+        assert cluster.store.get("src").data == b"data"  # source intact
+
+    def test_exists(self, cluster):
+        cluster.store.put("yes", b"")
+        assert cluster.store.exists("yes")
+        assert not cluster.store.exists("no")
+
+    def test_scan_prefix(self, cluster):
+        for name in ["a/1", "a/2", "b/1"]:
+            cluster.store.put(name, b"")
+        assert cluster.store.scan("a/") == ["a/1", "a/2"]
+        assert cluster.store.scan() == ["a/1", "a/2", "b/1"]
+
+
+class TestReplication:
+    def test_three_replicas_written(self, cluster):
+        cluster.store.put("replicated", b"x")
+        holders = [
+            n.node_id for n in cluster.nodes.values() if n.peek("replicated")
+        ]
+        assert len(holders) == 3
+
+    def test_replicas_match_ring_placement(self, cluster):
+        cluster.store.put("where", b"x")
+        expected = set(cluster.ring.nodes_for("where"))
+        actual = {
+            n.node_id for n in cluster.nodes.values() if n.peek("where")
+        }
+        assert actual == expected
+
+    def test_read_survives_primary_crash(self, cluster):
+        cluster.store.put("durable", b"alive")
+        primary = cluster.ring.primary_for("durable")
+        cluster.nodes[primary].crash()
+        assert cluster.store.get("durable").data == b"alive"
+
+    def test_read_survives_two_replica_crashes(self, cluster):
+        cluster.store.put("durable", b"alive")
+        for node_id in cluster.ring.nodes_for("durable")[:2]:
+            cluster.nodes[node_id].crash()
+        assert cluster.store.get("durable").data == b"alive"
+
+    def test_read_fails_when_all_replicas_down(self, cluster):
+        cluster.store.put("gone", b"x")
+        for node_id in cluster.ring.nodes_for("gone"):
+            cluster.nodes[node_id].crash()
+        with pytest.raises(QuorumError):
+            cluster.store.get("gone")
+
+    def test_write_succeeds_with_one_replica_down(self, cluster):
+        victim = cluster.ring.nodes_for("newobj")[0]
+        cluster.nodes[victim].crash()
+        cluster.store.put("newobj", b"v")
+        assert cluster.store.get("newobj").data == b"v"
+
+    def test_write_quorum_enforced(self, cluster):
+        targets = cluster.ring.nodes_for("q")
+        for node_id in targets[:2]:  # leave 1 of 3 up: below majority
+            cluster.nodes[node_id].crash()
+        with pytest.raises(QuorumError):
+            cluster.store.put("q", b"v")
+
+    def test_repair_heals_missing_replicas(self, cluster):
+        cluster.store.put("heal", b"payload")
+        targets = cluster.ring.nodes_for("heal")
+        cluster.nodes[targets[0]].wipe()  # lose one replica's disk
+        present, expected = cluster.store.replica_health("heal")
+        assert present == expected - 1
+        fixed = cluster.store.repair()
+        assert fixed == 1
+        present, expected = cluster.store.replica_health("heal")
+        assert present == expected
+
+    def test_repair_noop_when_healthy(self, cluster):
+        cluster.store.put("fine", b"x")
+        assert cluster.store.repair() == 0
+
+
+class TestCosts:
+    def test_every_primitive_advances_clock(self, rack):
+        t = rack.clock.now_us
+        rack.store.put("a", b"x")
+        assert rack.clock.now_us > t
+        t = rack.clock.now_us
+        rack.store.get("a")
+        assert rack.clock.now_us > t
+        t = rack.clock.now_us
+        rack.store.head("a")
+        assert rack.clock.now_us > t
+        t = rack.clock.now_us
+        rack.store.delete("a")
+        assert rack.clock.now_us > t
+
+    def test_get_cost_scales_with_size(self, rack):
+        rack.store.put("small", b"x")
+        rack.store.put("big", b"x" * 10_000_000)
+        _, small_cost = rack.clock.measure(lambda: rack.store.get("small"))
+        _, big_cost = rack.clock.measure(lambda: rack.store.get("big"))
+        assert big_cost > small_cost * 3
+
+    def test_head_cheaper_than_get_for_big_objects(self, rack):
+        rack.store.put("big", b"x" * 10_000_000)
+        _, get_cost = rack.clock.measure(lambda: rack.store.get("big"))
+        _, head_cost = rack.clock.measure(lambda: rack.store.head("big"))
+        assert head_cost < get_cost / 3
+
+    def test_metadata_get_near_10ms(self, rack):
+        """Calibration pin: Fig 13 shows Swift file access ~10 ms."""
+        rack.store.put("meta", b"tiny")
+        _, cost = rack.clock.measure(lambda: rack.store.get("meta"))
+        assert 5_000 < cost < 20_000
+
+    def test_parallel_batch_faster_than_serial(self, rack):
+        for i in range(64):
+            rack.store.put(f"o{i}", b"x")
+        _, serial = rack.clock.measure(
+            lambda: [rack.store.head(f"o{i}") for i in range(64)]
+        )
+        _, batched = rack.clock.measure(
+            lambda: rack.store.parallel(
+                [lambda i=i: rack.store.head(f"o{i}") for i in range(64)]
+            )
+        )
+        assert batched < serial / 4
+
+    def test_scan_cost_scales_with_store_size(self, rack):
+        for i in range(50):
+            rack.store.put(f"x{i}", b"")
+        _, cost_small = rack.clock.measure(lambda: rack.store.scan("x"))
+        for i in range(450):
+            rack.store.put(f"y{i}", b"")
+        _, cost_large = rack.clock.measure(lambda: rack.store.scan("x"))
+        assert cost_large > cost_small * 4  # ~10x keys -> ~10x cost
+
+    def test_ledger_counts(self, rack):
+        rack.store.put("a", b"12345")
+        rack.store.get("a")
+        rack.store.head("a")
+        rack.store.copy("a", "b")
+        rack.store.delete("b")
+        ledger = rack.store.ledger
+        assert ledger.puts == 2  # put + the put inside copy
+        assert ledger.gets == 2  # get + the get inside copy
+        assert ledger.heads == 1
+        assert ledger.deletes == 1
+        assert ledger.copies == 1
+        assert ledger.bytes_in == 10
+        assert ledger.bytes_out == 10
+
+    def test_ledger_snapshot_diff(self, rack):
+        before = rack.store.ledger.snapshot()
+        rack.store.put("z", b"abc")
+        delta = rack.store.ledger.diff(before)
+        assert delta["puts"] == 1
+        assert delta["bytes_in"] == 3
+        assert delta["gets"] == 0
+
+
+class TestCensus:
+    def test_census_counts_and_bytes(self, cluster):
+        cluster.store.put("file/one", b"12345")
+        cluster.store.put("file/two", b"1234567890")
+        cluster.store.put("ring/x", b"abc")
+        count, nbytes = cluster.store.census("file/")
+        assert count == 2
+        assert nbytes == 15
+        count_all, bytes_all = cluster.store.census()
+        assert count_all == 3
+        assert bytes_all == 18

@@ -1,0 +1,79 @@
+"""Tests for replica rebalancing after ring membership changes."""
+
+import pytest
+
+from repro.simcloud import SwiftCluster
+
+
+@pytest.fixture
+def loaded_cluster() -> SwiftCluster:
+    cluster = SwiftCluster.fast()
+    for i in range(120):
+        cluster.store.put(f"obj/{i:03d}", bytes([i % 251]) * 10)
+    return cluster
+
+
+class TestRebalance:
+    def test_scale_out_then_rebalance_heals_placement(self, loaded_cluster):
+        cluster = loaded_cluster
+        cluster.add_storage_node()
+        # Directly after the ring change some objects' replica sets
+        # reference the new node, which holds nothing yet.
+        degraded = sum(
+            1
+            for name in cluster.store.names()
+            if cluster.store.replica_health(name)[0] < 3
+        )
+        assert degraded > 0
+        written, dropped = cluster.store.rebalance()
+        assert written >= degraded
+        assert dropped >= degraded  # stale copies left the old nodes
+        for name in cluster.store.names():
+            present, expected = cluster.store.replica_health(name)
+            assert present == expected
+
+    def test_no_stale_replicas_after_rebalance(self, loaded_cluster):
+        cluster = loaded_cluster
+        cluster.add_storage_node()
+        cluster.store.rebalance()
+        for name in cluster.store.names():
+            responsible = set(cluster.ring.nodes_for(name))
+            holders = {
+                nid
+                for nid, node in cluster.nodes.items()
+                if node.peek(name) is not None
+            }
+            assert holders == responsible
+
+    def test_new_node_receives_fair_share(self, loaded_cluster):
+        cluster = loaded_cluster
+        node = cluster.add_storage_node()
+        cluster.store.rebalance()
+        # ~1/9 of 360 replicas, very loosely bounded.
+        assert node.object_count > 5
+
+    def test_rebalance_idempotent(self, loaded_cluster):
+        cluster = loaded_cluster
+        cluster.add_storage_node()
+        cluster.store.rebalance()
+        written, dropped = cluster.store.rebalance()
+        assert (written, dropped) == (0, 0)
+
+    def test_data_readable_throughout(self, loaded_cluster):
+        cluster = loaded_cluster
+        cluster.add_storage_node()
+        assert cluster.store.get("obj/000").data  # degraded but readable
+        cluster.store.rebalance()
+        for i in range(0, 120, 17):
+            assert cluster.store.get(f"obj/{i:03d}").data
+
+    def test_rebalance_cost_is_background(self):
+        cluster = SwiftCluster.rack_scale()
+        for i in range(30):
+            cluster.store.put(f"o{i}", b"x" * 100)
+        cluster.add_storage_node()
+        t = cluster.clock.now_us
+        bg = cluster.store.ledger.background_us
+        cluster.store.rebalance()
+        assert cluster.clock.now_us == t
+        assert cluster.store.ledger.background_us > bg

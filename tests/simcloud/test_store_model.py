@@ -1,0 +1,105 @@
+"""Property test: the replicated object store behaves like a dict.
+
+Random schedules of PUT/GET/DELETE/COPY interleaved with node crashes,
+recoveries and repairs run against the store and a plain dict; the
+visible contents must always agree (while quorums hold), and repair
+must restore full replication.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcloud import ObjectNotFound, QuorumError, SwiftCluster
+
+_KEYS = st.sampled_from([f"k{i}" for i in range(6)])
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), _KEYS, st.binary(max_size=8)),
+        st.tuples(st.just("delete"), _KEYS),
+        st.tuples(st.just("copy"), _KEYS, _KEYS),
+        st.tuples(st.just("crash"), st.integers(1, 8)),
+        st.tuples(st.just("recover"), st.integers(1, 8)),
+        st.tuples(st.just("repair"),),
+    ),
+    max_size=40,
+)
+
+
+class TestStoreModel:
+    @given(_OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_through_failures(self, ops):
+        cluster = SwiftCluster.fast()
+        store = cluster.store
+        model: dict[str, bytes] = {}
+        for op in ops:
+            kind = op[0]
+            try:
+                if kind == "put":
+                    store.put(op[1], op[2])
+                    model[op[1]] = op[2]
+                elif kind == "delete":
+                    try:
+                        store.delete(op[1])
+                        assert op[1] in model
+                        del model[op[1]]
+                    except ObjectNotFound:
+                        assert op[1] not in model
+                elif kind == "copy":
+                    try:
+                        store.copy(op[1], op[2])
+                        assert op[1] in model
+                        model[op[2]] = model[op[1]]
+                    except ObjectNotFound:
+                        assert op[1] not in model
+                elif kind == "crash":
+                    cluster.nodes[op[1]].crash()
+                elif kind == "recover":
+                    cluster.nodes[op[1]].recover()
+                    store.repair()
+                elif kind == "repair":
+                    store.repair()
+            except QuorumError:
+                # Too many nodes down for this key's replica set: the
+                # operation failed cleanly; the model is unchanged for
+                # writes; reads may be unavailable but never wrong.
+                continue
+        # Heal everything and verify the final state matches the model.
+        for node in cluster.nodes.values():
+            node.recover()
+        store.repair()
+        assert store.names() == frozenset(model)
+        for key, expected in model.items():
+            assert store.get(key).data == expected
+
+    @given(_OPS)
+    @settings(max_examples=30, deadline=None)
+    def test_replication_fully_healed_after_repair(self, ops):
+        cluster = SwiftCluster.fast()
+        store = cluster.store
+        for op in ops:
+            kind = op[0]
+            try:
+                if kind == "put":
+                    store.put(op[1], op[2])
+                elif kind == "delete":
+                    store.delete(op[1], missing_ok=True)
+                elif kind == "copy":
+                    try:
+                        store.copy(op[1], op[2])
+                    except ObjectNotFound:
+                        pass
+                elif kind == "crash":
+                    cluster.nodes[op[1]].crash()
+                elif kind == "recover":
+                    cluster.nodes[op[1]].recover()
+                elif kind == "repair":
+                    store.repair()
+            except QuorumError:
+                continue
+        for node in cluster.nodes.values():
+            node.recover()
+        store.repair()
+        for name in store.names():
+            present, expected = store.replica_health(name)
+            assert present == expected

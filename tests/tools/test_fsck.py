@@ -1,0 +1,159 @@
+"""Tests for the H2 consistency checker."""
+
+import pytest
+
+from repro.core import H2CloudFS, H2Config, Namespace, directory_key, file_key, namering_key
+from repro.simcloud import SwiftCluster
+from repro.tools import H2Fsck
+from repro.workloads import TreeSpec, generate, populate
+
+
+@pytest.fixture
+def fs() -> H2CloudFS:
+    fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+    fs.makedirs("/a/b")
+    fs.write("/a/f1", b"one")
+    fs.write("/a/b/f2", b"two")
+    fs.pump()
+    return fs
+
+
+def fsck(fs) -> "FsckReport":
+    return H2Fsck(fs.middlewares[0]).check()
+
+
+class TestCleanDeployments:
+    def test_fresh_tree_is_clean(self, fs):
+        report = fsck(fs)
+        assert report.clean, report.errors
+        assert report.directories_checked == 3  # root, a, b
+        assert report.files_checked == 2
+        assert "CLEAN" in report.summary()
+
+    def test_synthetic_corpus_is_clean(self):
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        populate(fs, generate(TreeSpec(seed=5, target_files=150)))
+        fs.pump()
+        report = fsck(fs)
+        assert report.clean, report.errors[:3]
+        assert report.files_checked == 150
+
+    def test_after_churn_and_gc(self, fs):
+        fs.move("/a/b", "/top")
+        fs.copy("/a", "/a2")
+        fs.delete("/a/f1")
+        fs.rmdir("/a2")
+        fs.gc()
+        report = fsck(fs)
+        assert report.clean, report.errors
+        assert report.garbage == []
+
+    def test_tombstones_count_as_garbage_not_errors(self, fs):
+        fs.delete("/a/f1")  # fake deletion: bytes remain
+        fs.pump()
+        report = fsck(fs)
+        assert report.clean
+        assert any(name.startswith("f:") for name in report.garbage)
+
+    def test_multi_account(self):
+        cluster = SwiftCluster.fast()
+        a = H2CloudFS(cluster, account="alice")
+        b = H2CloudFS(cluster, account="bob")
+        a.write("/f", b"1")
+        b.write("/g", b"2")
+        report = H2Fsck(a.middlewares[0]).check()
+        assert report.accounts_checked == 2
+        assert report.clean
+
+
+class TestFsckProperty:
+    """Whatever valid operations run, the graph stays fsck-clean."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    _PATHS = st.sampled_from(["/a", "/b", "/a/x", "/a/y", "/a/x/z"])
+    _OPS = st.lists(
+        st.one_of(
+            st.tuples(st.just("mkdir"), _PATHS),
+            st.tuples(st.just("write"), _PATHS, st.binary(max_size=8)),
+            st.tuples(st.just("delete"), _PATHS),
+            st.tuples(st.just("rmdir"), _PATHS),
+            st.tuples(st.just("move"), _PATHS, _PATHS),
+            st.tuples(st.just("copy"), _PATHS, _PATHS),
+        ),
+        max_size=25,
+    )
+
+    @given(ops=_OPS)
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_hold_under_random_ops(self, ops):
+        from repro.simcloud import FilesystemError
+
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        for op in ops:
+            try:
+                getattr(fs, op[0])(*op[1:])
+            except FilesystemError:
+                pass
+        fs.pump()
+        report = fsck(fs)
+        assert report.clean, report.errors[:3]
+        fs.gc()
+        after_gc = fsck(fs)
+        assert after_gc.clean, after_gc.errors[:3]
+        assert after_gc.garbage == []
+
+
+class TestCorruptionDetection:
+    def test_missing_content_object(self, fs):
+        fs.store.delete("f:" + fs.relative_path_of("/a/f1"))
+        report = fsck(fs)
+        assert any("I3" in e and "content object missing" in e for e in report.errors)
+
+    def test_size_mismatch(self, fs):
+        key = "f:" + fs.relative_path_of("/a/f1")
+        fs.store.put(key, b"wrong-length-entirely")
+        report = fsck(fs)
+        assert any("I3" in e and "size" in e for e in report.errors)
+
+    def test_missing_namering(self, fs):
+        mw = fs.middlewares[0]
+        ns = mw.lookup.resolve_dir("alice", "/a/b")
+        fs.store.delete(namering_key(ns))
+        mw.fd_cache.drop_clean()
+        report = fsck(fs)
+        assert any("NameRing missing" in e for e in report.errors)
+
+    def test_unparseable_record(self, fs):
+        mw = fs.middlewares[0]
+        ns = mw.lookup.resolve_dir("alice", "/a")
+        fs.store.put(directory_key(ns), b"not a directory record")
+        report = fsck(fs)
+        assert any("unparseable record" in e for e in report.errors)
+
+    def test_missing_root(self):
+        cluster = SwiftCluster.fast()
+        fs = H2CloudFS(cluster, account="alice")
+        fs.store.delete(directory_key(Namespace.root("alice")))
+        report = fsck(fs)
+        assert any("I1" in e for e in report.errors)
+
+    def test_degraded_replicas_reported(self, fs):
+        key = "f:" + fs.relative_path_of("/a/f1")
+        victim = fs.cluster.ring.nodes_for(key)[0]
+        fs.cluster.nodes[victim].wipe()
+        report = fsck(fs)
+        assert report.degraded_replicas  # I5 finding, not an error
+        fs.store.repair()
+        assert not fsck(fs).degraded_replicas
+
+    def test_pending_patches_not_garbage(self):
+        fs = H2CloudFS(
+            SwiftCluster.fast(),
+            account="alice",
+            config=H2Config(auto_merge=False),
+        )
+        fs.write("/f", b"x")  # patch chained, unmerged
+        report = fsck(fs)
+        assert not any(name.startswith("patch:") for name in report.garbage)

@@ -1,0 +1,49 @@
+"""Tests for the 150-user corpus builder."""
+
+import pytest
+
+from repro.core import H2CloudFS
+from repro.simcloud import SwiftCluster
+from repro.workloads import build_corpus, corpus_stats, populate_corpus
+
+
+class TestBuildCorpus:
+    def test_population_size(self):
+        users = build_corpus(n_users=150, seed=1)
+        assert len(users) == 150
+        assert len({u.account for u in users}) == 150
+
+    def test_deterministic(self):
+        a = build_corpus(n_users=30, seed=2)
+        b = build_corpus(n_users=30, seed=2)
+        assert [u.spec for u in a] == [u.spec for u in b]
+
+    def test_heavy_fraction_respected(self):
+        users = build_corpus(n_users=200, heavy_fraction=0.25, seed=3)
+        heavy = sum(1 for u in users if u.kind == "heavy")
+        assert 30 < heavy < 70
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            build_corpus(heavy_fraction=1.5)
+
+    def test_stats_shape(self):
+        stats = corpus_stats(build_corpus(n_users=12, seed=4))
+        assert stats["users"] == 12
+        assert stats["total_files"] > 1000
+        assert stats["max_depth"] > 20 or stats["heavy_users"] == 0
+
+
+class TestPopulateCorpus:
+    def test_shared_cluster_census(self):
+        """The Fig 14/15 setup: many accounts, one cloud, one census."""
+        cluster = SwiftCluster.fast()
+        users = build_corpus(n_users=4, heavy_fraction=0.0, seed=5)
+        systems = populate_corpus(
+            lambda account: H2CloudFS(cluster, account=account), users
+        )
+        assert len(systems) == 4
+        count, _ = cluster.store.census()
+        stats = corpus_stats(users)
+        # every file is an object, plus dirs/NameRings/patch leftovers
+        assert count > stats["total_files"]

@@ -1,0 +1,137 @@
+"""Tests for synthetic tree generation and population."""
+
+import pytest
+
+from repro.core import H2CloudFS
+from repro.simcloud import SparseData, SwiftCluster
+from repro.workloads import (
+    TreeSpec,
+    chain_directories,
+    flat_directory,
+    generate,
+    heavy_user,
+    light_user,
+    populate,
+)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate(TreeSpec(seed=5, target_files=100))
+        b = generate(TreeSpec(seed=5, target_files=100))
+        assert a.files == b.files
+        assert a.dirs == b.dirs
+
+    def test_different_seeds_differ(self):
+        a = generate(TreeSpec(seed=1, target_files=100))
+        b = generate(TreeSpec(seed=2, target_files=100))
+        assert a.files != b.files
+
+    def test_hits_file_budget(self):
+        tree = generate(TreeSpec(seed=3, target_files=500))
+        assert len(tree.files) == 500
+
+    def test_every_file_parent_exists(self):
+        tree = generate(TreeSpec(seed=4, target_files=300))
+        dir_set = set(tree.dirs) | {"/"}
+        for f in tree.files:
+            parent = f.path.rsplit("/", 1)[0] or "/"
+            assert parent in dir_set
+
+    def test_dirs_listed_parent_first(self):
+        """populate() mkdirs in order, so parents must precede children."""
+        tree = generate(heavy_user(9))
+        seen = {"/"}
+        for d in tree.dirs:
+            parent = d.rsplit("/", 1)[0] or "/"
+            assert parent in seen, f"{d} before its parent"
+            seen.add(d)
+
+    def test_depth_bounded_by_spec(self):
+        tree = generate(TreeSpec(seed=5, target_files=400, max_depth=3))
+        assert all(d.count("/") <= 3 for d in tree.dirs)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            TreeSpec(target_files=-1)
+        with pytest.raises(ValueError):
+            TreeSpec(max_depth=0)
+
+
+class TestPaperShapes:
+    def test_light_user_matches_paper(self):
+        """Light: several shallow directories, hundreds of files."""
+        tree = generate(light_user(1))
+        assert 100 <= len(tree.files) <= 500
+        assert tree.max_depth <= 5
+
+    def test_heavy_user_matches_paper(self):
+        """Heavy: thousands of dirs, deep paths (paper: depth > 20)."""
+        tree = generate(heavy_user(1))
+        assert len(tree.files) >= 2_000
+        assert len(tree.dirs) >= 1_000
+        assert tree.max_depth > 20
+
+    def test_empty_folders_occur(self):
+        """Paper: files per directory range from zero..."""
+        tree = generate(heavy_user(2))
+        per_dir = tree.files_per_dir()
+        assert any(count == 0 for count in per_dir.values())
+
+    def test_depth_histogram_covers_range(self):
+        tree = generate(heavy_user(3))
+        histogram = tree.depth_histogram()
+        assert min(histogram) <= 3
+        assert max(histogram) >= 15
+
+
+class TestHelpers:
+    def test_flat_directory(self):
+        tree = flat_directory(50, file_size=1000)
+        assert tree.dirs == ["/dir"]
+        assert len(tree.files) == 50
+        assert all(f.size == 1000 for f in tree.files)
+
+    def test_chain_directories(self):
+        assert chain_directories(3) == ["/d1", "/d1/d2", "/d1/d2/d3"]
+        assert chain_directories(0) == []
+
+
+class TestPopulate:
+    def test_populate_h2(self):
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        tree = generate(TreeSpec(seed=6, target_files=60))
+        populate(fs, tree)
+        dirs, files = fs.tree_size()
+        assert files == 60
+        assert dirs == len(tree.dirs)
+
+    def test_sparse_payloads_store_no_bytes(self):
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        tree = flat_directory(5, file_size=100 * 1024 * 1024)  # 500 MB tree
+        populate(fs, tree, sparse=True)
+        record = fs.read("/dir/file000000")
+        assert isinstance(record, SparseData)
+        assert len(record) == 100 * 1024 * 1024
+
+    def test_sparse_sizes_drive_costs(self):
+        cluster = SwiftCluster.rack_scale()
+        fs = H2CloudFS(cluster, account="alice")
+        fs.mkdir("/d")
+        from repro.simcloud import payload_of
+
+        _, small = fs.clock.measure(
+            lambda: fs.write("/d/small", payload_of(1_000, tag="s"))
+        )
+        _, big = fs.clock.measure(
+            lambda: fs.write("/d/big", payload_of(100_000_000, tag="b"))
+        )
+        assert big > small * 10
+
+    def test_real_payloads_when_not_sparse(self):
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        tree = flat_directory(3, file_size=128)
+        populate(fs, tree, sparse=False)
+        data = fs.read("/dir/file000000")
+        assert isinstance(data, bytes)
+        assert len(data) == 128

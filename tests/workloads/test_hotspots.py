@@ -1,0 +1,72 @@
+"""Tests for the Zipf sampler and hot-lookup traces."""
+
+import random
+
+import pytest
+
+from repro.workloads import TreeSpec, ZipfSampler, generate, hot_lookup_trace, skew_of
+
+
+class TestZipfSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(n=0)
+        with pytest.raises(ValueError):
+            ZipfSampler(n=10, alpha=0)
+
+    def test_range(self):
+        sampler = ZipfSampler(n=20)
+        rng = random.Random(1)
+        draws = sampler.sample_many(rng, 500)
+        assert all(0 <= d < 20 for d in draws)
+
+    def test_rank_zero_dominates(self):
+        sampler = ZipfSampler(n=100, alpha=1.2)
+        rng = random.Random(2)
+        draws = sampler.sample_many(rng, 5000)
+        top_share = draws.count(0) / len(draws)
+        assert top_share > 0.15  # head item takes a big slice
+
+    def test_higher_alpha_more_skew(self):
+        rng_a, rng_b = random.Random(3), random.Random(3)
+        gentle = ZipfSampler(n=100, alpha=0.6).sample_many(rng_a, 4000)
+        steep = ZipfSampler(n=100, alpha=1.6).sample_many(rng_b, 4000)
+        assert steep.count(0) > gentle.count(0)
+
+    def test_deterministic(self):
+        sampler = ZipfSampler(n=50)
+        assert sampler.sample_many(random.Random(7), 50) == sampler.sample_many(
+            random.Random(7), 50
+        )
+
+    def test_single_item(self):
+        assert ZipfSampler(n=1).sample(random.Random(0)) == 0
+
+
+class TestHotLookupTrace:
+    def test_trace_paths_exist_in_tree(self):
+        tree = generate(TreeSpec(seed=4, target_files=60))
+        trace = hot_lookup_trace(tree, 300, seed=5)
+        valid = {f.path for f in tree.files}
+        assert len(trace) == 300
+        assert set(trace) <= valid
+
+    def test_trace_is_skewed(self):
+        tree = generate(TreeSpec(seed=4, target_files=100))
+        trace = hot_lookup_trace(tree, 2000, alpha=1.2, seed=6)
+        assert skew_of(trace) > 0.4  # top-10% of paths >40% of traffic
+
+    def test_empty_tree_rejected(self):
+        tree = generate(TreeSpec(seed=4, target_files=0))
+        with pytest.raises(ValueError):
+            hot_lookup_trace(tree, 10)
+
+    def test_hotness_decoupled_from_generation_order(self):
+        """The hottest path is not simply file000001."""
+        tree = generate(TreeSpec(seed=8, target_files=100))
+        trace = hot_lookup_trace(tree, 3000, seed=9)
+        counts: dict[str, int] = {}
+        for path in trace:
+            counts[path] = counts.get(path, 0) + 1
+        hottest = max(counts, key=counts.get)
+        assert hottest != sorted(f.path for f in tree.files)[0]

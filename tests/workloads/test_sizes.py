@@ -1,0 +1,53 @@
+"""Tests for the file-size mixture model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import GB, KB, MB, SizeModel
+
+
+class TestPaperMixture:
+    def test_deterministic_given_seed(self):
+        model = SizeModel.paper_mixture()
+        a = model.sample_many(random.Random(1), 100)
+        b = model.sample_many(random.Random(1), 100)
+        assert a == b
+
+    def test_mean_near_one_megabyte(self):
+        """Fig 15: file objects average ~1 MB."""
+        mean = SizeModel.paper_mixture().mean_estimate(samples=8000)
+        assert 0.3 * MB < mean < 3 * MB
+
+    def test_covers_paper_extremes(self):
+        """<1 KB configs and multi-MB tail both appear (§5.1)."""
+        rng = random.Random(42)
+        sizes = SizeModel.paper_mixture().sample_many(rng, 5000)
+        assert any(s < KB for s in sizes)
+        assert any(s > 10 * MB for s in sizes)
+        assert all(s >= 1 for s in sizes)
+
+    def test_cap_respected(self):
+        rng = random.Random(7)
+        sizes = SizeModel.paper_mixture().sample_many(rng, 20_000)
+        assert max(sizes) <= 2 * GB
+
+    def test_scale_shrinks_proportionally(self):
+        full = SizeModel.paper_mixture(scale=1.0).mean_estimate(samples=4000)
+        tiny = SizeModel.paper_mixture(scale=0.01).mean_estimate(samples=4000)
+        assert 0.003 < tiny / full < 0.03
+
+
+class TestUniform:
+    def test_every_sample_exact(self):
+        model = SizeModel.uniform(1 << 20)
+        rng = random.Random(0)
+        assert set(model.sample_many(rng, 50)) == {1 << 20}
+
+    @given(st.integers(1, 10**9))
+    @settings(max_examples=30)
+    def test_uniform_any_size(self, size):
+        model = SizeModel.uniform(size)
+        assert model.sample(random.Random(0)) == size

@@ -1,0 +1,88 @@
+"""Tests for trace generation and replay."""
+
+import pytest
+
+from repro.baselines import make_system
+from repro.core import H2CloudFS
+from repro.simcloud import SwiftCluster
+from repro.workloads import (
+    DEFAULT_MIX,
+    TraceGenerator,
+    TreeSpec,
+    generate,
+    populate,
+    replay,
+)
+
+
+def small_tree():
+    return generate(TreeSpec(seed=11, target_files=40))
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        tree = small_tree()
+        a = TraceGenerator(seed=1).generate(tree, 100)
+        b = TraceGenerator(seed=1).generate(tree, 100)
+        assert a == b
+
+    def test_requested_length(self):
+        ops = TraceGenerator(seed=2).generate(small_tree(), 150)
+        assert len(ops) == 150
+
+    def test_mix_roughly_respected(self):
+        ops = TraceGenerator(seed=3).generate(small_tree(), 2000)
+        reads = sum(1 for op in ops if op.kind == "read")
+        assert 0.25 < reads / len(ops) < 0.55  # DEFAULT_MIX read=0.38
+
+    def test_custom_mix(self):
+        gen = TraceGenerator(seed=4, mix={"mkdir": 1.0})
+        ops = gen.generate(small_tree(), 50)
+        assert all(op.kind == "mkdir" for op in ops)
+
+    def test_all_kinds_reachable(self):
+        ops = TraceGenerator(seed=5).generate(small_tree(), 3000)
+        kinds = {op.kind for op in ops}
+        assert kinds.issuperset(DEFAULT_MIX) or len(kinds) >= 8
+
+
+class TestReplay:
+    def test_trace_is_valid_on_h2(self):
+        """Every generated op must succeed (the generator models state)."""
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        tree = small_tree()
+        populate(fs, tree)
+        ops = TraceGenerator(seed=6).generate(tree, 400)
+        stats = replay(fs, ops)  # raises on any invalid op
+        assert stats.total_ops == 400
+
+    @pytest.mark.parametrize("system", ["swift", "dynamic-partition"])
+    def test_trace_is_valid_on_baselines(self, system):
+        fs = make_system(system, SwiftCluster.fast())
+        tree = small_tree()
+        populate(fs, tree)
+        ops = TraceGenerator(seed=7).generate(tree, 200)
+        stats = replay(fs, ops)
+        assert stats.total_ops == 200
+
+    def test_stats_record_per_kind(self):
+        fs = H2CloudFS(SwiftCluster.rack_scale(), account="alice")
+        tree = small_tree()
+        populate(fs, tree)
+        ops = TraceGenerator(seed=8).generate(tree, 300)
+        stats = replay(fs, ops)
+        assert stats.count("read") > 0
+        assert stats.mean_us("read") > 0
+        assert stats.total_ops == 300
+
+    def test_same_trace_same_simulated_cost(self):
+        """Full determinism: identical runs, identical clocks."""
+        def run():
+            fs = H2CloudFS(SwiftCluster.rack_scale(), account="alice")
+            tree = small_tree()
+            populate(fs, tree)
+            ops = TraceGenerator(seed=9).generate(tree, 150)
+            replay(fs, ops)
+            return fs.clock.now_us
+
+        assert run() == run()
