@@ -8,14 +8,19 @@ incidents).  This drill shows the reproduction's failure machinery:
 2. the NameRing gossip protocol converges across middlewares even with
    60% message loss;
 3. the CAP contrast: a shared-disk DP system refuses writes during a
-   fabric partition, while H2Cloud (eventually consistent) keeps going.
+   fabric partition, while H2Cloud (eventually consistent) keeps going;
+4. the full fault-tolerance stack (docs/PROTOCOL.md section 9): a
+   transient-fault storm masked by retries and circuit breakers, a
+   degraded stale LIST during a total replica outage, and a repair
+   sweep that leaves the cluster fsck-CLEAN again.
 
 Run:  python examples/failure_drill.py
 """
 
 from repro.baselines import SharedDiskDPFS
-from repro.core import H2CloudFS
-from repro.simcloud import MessageLoss, ServiceUnavailable, SwiftCluster
+from repro.core import H2CloudFS, deployment_report
+from repro.simcloud import FaultPlan, MessageLoss, ServiceUnavailable, SwiftCluster
+from repro.tools import repair_and_verify
 
 
 def drill_replication() -> None:
@@ -84,7 +89,49 @@ def drill_cap() -> None:
     cluster.nodes[victim].crash()
     h2.mkdir("/during-partition")  # quorum write: 2 of 3 replicas is enough
     print(f"  h2cloud: node {victim} down, mkdir succeeded "
-          f"(eventual consistency keeps accepting writes)")
+          f"(eventual consistency keeps accepting writes)\n")
+
+
+def drill_fault_tolerance() -> None:
+    print("== 4. transient-fault storm, degraded reads, and a healed cluster ==")
+    cluster = SwiftCluster.rack_scale()
+    cluster.install_fault_plan(
+        FaultPlan(seed=2026, io_error_rate=0.05, timeout_rate=0.02, slow_rate=0.03)
+    )
+    fs = H2CloudFS(cluster, account="ops")
+    fs.makedirs("/srv/media")
+    for i in range(25):
+        fs.write(f"/srv/media/clip-{i:02d}", bytes([i]) * 4096)
+    res = fs.store.resilience
+    print(f"  storm masked: {res.retries} retries "
+          f"({res.io_errors} io-errors, {res.timeouts} timeouts), "
+          f"{sum(b.trips for b in fs.store.breakers.values())} breaker trips, "
+          f"0 client-visible errors")
+
+    # Total outage of /srv/media's NameRing replicas: LIST goes degraded.
+    from repro.core.namespace import namering_key
+
+    mw = fs.middlewares[0]
+    ns = mw.stat("ops", "/srv/media").dir_ns
+    victims = cluster.ring.nodes_for(namering_key(ns))
+    for node_id in victims:
+        cluster.nodes[node_id].crash()
+    fd = mw.load_ring(ns, use_cache=False)  # every replica down -> stale serve
+    print(f"  all {len(victims)} ring replicas down -> degraded LIST "
+          f"still returns {len(fd.ring.live_names())} entries "
+          f"(stale={fd.stale}, degraded serves={mw.degraded_serves})")
+
+    # One node comes back with a blank disk; sweep it back to health.
+    cluster.nodes[victims[0]].recover()
+    cluster.nodes[victims[1]].recover()
+    cluster.nodes[victims[2]].wipe()
+    cluster.nodes[victims[2]].recover()
+    report, fsck = repair_and_verify(fs, verbose=False)
+    print(f"  sweep after recovery: {report.summary()}")
+    print(f"  {fsck.summary()}")
+    assert fsck.clean and not fsck.degraded_replicas
+    print()
+    print(deployment_report(fs))
     print("done.")
 
 
@@ -92,3 +139,4 @@ if __name__ == "__main__":
     drill_replication()
     drill_gossip()
     drill_cap()
+    drill_fault_tolerance()

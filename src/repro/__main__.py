@@ -2,6 +2,7 @@
 
     python -m repro              # package overview + smoke demo
     python -m repro demo         # the quickstart scenario
+    python -m repro repair       # fault drill: outage -> sweep -> healed
     python -m repro bench [...]  # forwards to repro.bench's CLI
 """
 
@@ -15,7 +16,7 @@ from . import __version__
 def overview() -> None:
     print(f"repro {__version__} -- reproduction of H2Cloud (ICPP 2018)")
     print(__import__("repro").__doc__)
-    print("subcommands: demo | bench [experiment ...]")
+    print("subcommands: demo | repair | bench [experiment ...]")
 
 
 def demo() -> None:
@@ -33,6 +34,38 @@ def demo() -> None:
     print(deployment_report(fs))
 
 
+def repair() -> None:
+    """Inject an outage into a live deployment, then sweep it healed."""
+    from .core import H2CloudFS
+    from .simcloud import FaultPlan, SwiftCluster
+    from .tools import repair_and_verify
+
+    cluster = SwiftCluster.rack_scale()
+    cluster.install_fault_plan(
+        FaultPlan(seed=7, io_error_rate=0.04, timeout_rate=0.02, slow_rate=0.02)
+    )
+    fs = H2CloudFS(cluster, account="ops")
+    fs.makedirs("/srv/app")
+    for i in range(20):
+        fs.write(f"/srv/app/shard-{i:02d}", bytes([i]) * 2048)
+    victim = next(iter(cluster.nodes))
+    print(f"crashing node {victim}, writing through the outage...")
+    cluster.nodes[victim].crash()
+    for i in range(20, 30):
+        fs.write(f"/srv/app/shard-{i:02d}", bytes([i % 256]) * 2048)
+    cluster.nodes[victim].wipe()  # disk replaced: node returns empty
+    cluster.nodes[victim].recover()
+    print(f"node {victim} back with a fresh disk; sweeping...")
+    report, fsck = repair_and_verify(fs)
+    res = fs.store.resilience
+    print(
+        f"transient faults masked along the way: {res.retries} retries "
+        f"({res.io_errors} io-errors, {res.timeouts} timeouts)"
+    )
+    assert fsck.clean and not fsck.degraded_replicas
+    print(f"repaired objects back to full replication: {report.replicas_written}")
+
+
 def main(argv: list[str]) -> int:
     if not argv:
         overview()
@@ -41,11 +74,14 @@ def main(argv: list[str]) -> int:
     if command == "demo":
         demo()
         return 0
+    if command == "repair":
+        repair()
+        return 0
     if command == "bench":
         from .bench.__main__ import main as bench_main
 
         return bench_main(rest)
-    print(f"unknown subcommand {command!r}; use demo | bench")
+    print(f"unknown subcommand {command!r}; use demo | repair | bench")
     return 2
 
 

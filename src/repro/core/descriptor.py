@@ -32,6 +32,7 @@ class FileDescriptor:
     chain: PatchChain = None  # type: ignore[assignment]
     loaded: bool = False  # ring reflects a store read at least once
     merged_version: Timestamp = Timestamp.ZERO  # last version written back
+    stale: bool = False  # served degraded: store unreachable on last load
 
     def __post_init__(self) -> None:
         if self.chain is None:
@@ -114,6 +115,15 @@ class FileDescriptorCache:
         fd = self._entries.get(ns.uuid)
         if fd is not None and not fd.dirty:
             del self._entries[ns.uuid]
+
+    def purge(self, ns: Namespace) -> bool:
+        """Drop a descriptor even if dirty; True if one was present.
+
+        For namespaces that ceased to exist (account teardown): pending
+        patches target a ring that will never be merged again, so
+        keeping the descriptor pinned would leak it forever.
+        """
+        return self._entries.pop(ns.uuid, None) is not None
 
     def drop_clean(self) -> int:
         """Evict every clean descriptor (the benchmarks' cold-cache knob)."""

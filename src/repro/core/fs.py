@@ -239,6 +239,16 @@ class H2CloudFS:
         for mw in self.middlewares:
             mw.fd_cache.drop_clean()
 
+    def repair(self):
+        """Run a replica-repair sweep over the whole deployment.
+
+        Returns the :class:`~repro.simcloud.repair.RepairReport`; run it
+        after node recoveries so crash/wipe outages actually heal.
+        """
+        from ..simcloud.repair import RepairSweeper
+
+        return RepairSweeper(self.store).sweep()
+
     def gc(self) -> GCReport:
         """One mark-and-sweep pass over every account on the cluster.
 

@@ -31,11 +31,17 @@ from .namespace import Namespace
 
 @dataclass(frozen=True)
 class Rumor:
-    """(N_i, H_j, t_k): ring ``ns`` was updated on node ``origin`` at ``ts``."""
+    """(N_i, H_j, t_k): ring ``ns`` was updated on node ``origin`` at ``ts``.
+
+    ``invalidate=True`` turns the rumor into a cache-invalidation
+    broadcast: the namespace ceased to exist (account teardown), so
+    receivers drop their descriptor instead of fetching-and-merging.
+    """
 
     ns: Namespace
     origin: int
     ts: Timestamp
+    invalidate: bool = False
 
 
 class GossipNetwork:

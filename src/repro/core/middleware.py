@@ -33,6 +33,7 @@ from ..simcloud.errors import (
     ObjectNotFound,
     PathNotFound,
     PreconditionFailed,
+    QuorumError,
 )
 from ..simcloud.object_store import ObjectStore
 from . import formatter
@@ -60,6 +61,7 @@ class H2Config:
     auto_merge: bool = True  # merge each patch inline (write-through)
     compact_on_use: bool = True  # strip tombstones when a ring is used
     fd_cache_capacity: int = 4096
+    degraded_reads: bool = True  # serve stale rings when the store is out
 
 
 @dataclass(frozen=True)
@@ -100,6 +102,7 @@ class H2Middleware:
         if network is not None:
             network.join(self)
         self.patches_submitted = 0
+        self.degraded_serves = 0  # ring loads served stale during outages
         self._merge_block = 0  # §3.3.3b: >0 while a file stream is open
 
     # ==================================================================
@@ -112,18 +115,33 @@ class H2Middleware:
         return result
 
     def load_ring(self, ns: Namespace, use_cache: bool = True) -> FileDescriptor:
-        """The descriptor for ``ns``, loading the stored ring on a miss."""
+        """The descriptor for ``ns``, loading the stored ring on a miss.
+
+        **Degraded read mode**: when the ring GET exhausts its retries
+        (every replica unreachable -- a :class:`QuorumError`, not a
+        clean miss), the last-known ring in the FD cache is served
+        flagged ``stale`` instead of failing LIST/resolve outright.
+        Stale descriptors re-probe the store on every use, so freshness
+        returns the moment the outage ends.
+        """
         fd = self.fd_cache.get_or_create(ns)
-        if fd.loaded and use_cache:
+        if fd.loaded and use_cache and not fd.stale:
             return fd
         try:
             record = self.store.get(namering_key(ns))
             stored = formatter.loads_ring(record.data)
         except ObjectNotFound:
             raise PathNotFound(f"<namespace {ns}>") from None
+        except QuorumError:
+            if self.config.degraded_reads and fd.loaded:
+                fd.stale = True
+                self.degraded_serves += 1
+                return fd
+            raise
         # Merge, don't replace: local unmerged updates must survive.
         fd.ring = fd.ring.merge(stored)
         fd.loaded = True
+        fd.stale = False
         return fd
 
     def store_ring(self, fd: FileDescriptor) -> None:
@@ -194,7 +212,13 @@ class H2Middleware:
 
         Loopback avoidance: when our local version timestamp is already
         >= the rumor's, our view is at least as new -- abort forwarding.
+
+        Invalidation rumors (account teardown) drop the local descriptor
+        instead; forwarding continues only while there was something to
+        drop, so the broadcast dies out once every cache is clean.
         """
+        if rumor.invalidate:
+            return self.fd_cache.purge(rumor.ns)
         fd = self.fd_cache.get_or_create(rumor.ns)
         if fd.local_version >= rumor.ts:
             return False
@@ -268,7 +292,20 @@ class H2Middleware:
         self.store.delete(namering_key(root), missing_ok=True)
         self.store.delete(directory_key(root), missing_ok=True)
         self.store.accounts.discard(account)
-        self.fd_cache.invalidate(root)
+        self.fd_cache.purge(root)
+        if self.network is not None:
+            # Peer middlewares may hold the dead ring in their FD caches;
+            # without this broadcast a later LIST on a peer would serve a
+            # descriptor for an account that no longer exists.
+            self.network.announce(
+                self.node_id,
+                Rumor(
+                    ns=root,
+                    origin=self.node_id,
+                    ts=self.next_timestamp(),
+                    invalidate=True,
+                ),
+            )
 
     # ==================================================================
     # Inbound API: directory operations
@@ -560,6 +597,10 @@ class H2Middleware:
         chain that still references the ring (resurrection hazard).
         """
         if not self.config.compact_on_use or not fd.ring.needs_compaction:
+            return
+        if fd.stale:
+            # Degraded serve: the store is unreachable for this ring, so
+            # the write-back would fail (and the view may lag anyway).
             return
         if self.network is not None:
             if not self.network.quiet_for(fd.ns):

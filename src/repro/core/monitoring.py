@@ -96,6 +96,27 @@ class Monitor:
             "store.background_ms": ledger.background_us / 1000.0,
             "clock.now_ms": mw.clock.now_ms,
         }
+        resilience = mw.store.resilience
+        breakers = mw.store.breakers.values()
+        now_us = mw.clock.now_us
+        metrics.update(
+            {
+                "resilience.retries": resilience.retries,
+                "resilience.backoff_ms": resilience.backoff_us / 1000.0,
+                "resilience.timeouts": resilience.timeouts,
+                "resilience.io_errors": resilience.io_errors,
+                "resilience.fast_failures": resilience.fast_failures,
+                "resilience.repaired_replicas": resilience.repaired_replicas,
+                "resilience.breaker_trips": sum(b.trips for b in breakers),
+                "resilience.breakers_open": sum(
+                    1 for b in breakers if b.is_quarantined(now_us)
+                ),
+                "degraded.serves": mw.degraded_serves,
+                "degraded.stale_rings": sum(
+                    1 for fd in mw.fd_cache.descriptors() if fd.stale
+                ),
+            }
+        )
         if mw.network is not None:
             metrics["gossip.rumors_sent"] = mw.network.rumors_sent
             metrics["gossip.rumors_delivered"] = mw.network.rumors_delivered
@@ -124,6 +145,16 @@ def deployment_report(fs) -> str:
             f"{int(metrics['maintenance.patches_submitted'])} patches, "
             f"{int(metrics['maintenance.merges'])} merges"
         )
+    store = fs.store
+    trips = sum(b.trips for b in store.breakers.values())
+    degraded = sum(mw.degraded_serves for mw in fs.middlewares)
+    lines.append(
+        f"fault-tolerance: {store.resilience.retries} retries "
+        f"({store.resilience.io_errors} io-errors, "
+        f"{store.resilience.timeouts} timeouts masked), "
+        f"{trips} breaker trips, {degraded} degraded serves, "
+        f"{store.resilience.repaired_replicas} replicas repaired"
+    )
     for node_id, (replicas, used) in fs.cluster.storage_stats().items():
         lines.append(f"node {node_id}: {replicas} replicas, {used:,} B")
     return "\n".join(lines)

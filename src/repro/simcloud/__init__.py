@@ -15,6 +15,7 @@ from .container_db import ContainerDB, DirEntry, Row
 from .errors import (
     AlreadyExists,
     CapacityError,
+    CircuitOpenError,
     CrossDeviceMove,
     DirectoryNotEmpty,
     FilesystemError,
@@ -27,21 +28,39 @@ from .errors import (
     PathNotFound,
     PreconditionFailed,
     QuorumError,
+    RequestTimeout,
     RingError,
     ServiceUnavailable,
     SimCloudError,
+    TransientIOError,
 )
-from .failures import FailureEvent, FailureSchedule, MessageLoss
+from .failures import (
+    FailureEvent,
+    FailureSchedule,
+    FaultDecision,
+    FaultPlan,
+    MessageLoss,
+)
 from .hashring import HashRing, hash_key
 from .latency import CostLedger, Jitter, LatencyModel
 from .node import NodeStats, ObjectRecord, StorageNode
 from .object_store import ObjectInfo, ObjectStore
+from .repair import RepairReport, RepairSweeper
+from .resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    ResilienceStats,
+    RetryPolicy,
+)
 from .sparse import SparseData, payload_of
 
 __all__ = [
     "AlreadyExists",
     "BTree",
+    "BreakerConfig",
     "CapacityError",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ClusterConfig",
     "ContainerDB",
     "CostLedger",
@@ -50,6 +69,8 @@ __all__ = [
     "DirectoryNotEmpty",
     "FailureEvent",
     "FailureSchedule",
+    "FaultDecision",
+    "FaultPlan",
     "FilesystemError",
     "HashRing",
     "InvalidPath",
@@ -68,6 +89,11 @@ __all__ = [
     "PathNotFound",
     "PreconditionFailed",
     "QuorumError",
+    "RepairReport",
+    "RepairSweeper",
+    "RequestTimeout",
+    "ResilienceStats",
+    "RetryPolicy",
     "RingError",
     "Row",
     "ServiceUnavailable",
@@ -78,6 +104,7 @@ __all__ = [
     "SwiftCluster",
     "Timestamp",
     "TimestampFactory",
+    "TransientIOError",
     "hash_key",
     "makespan_us",
     "payload_of",

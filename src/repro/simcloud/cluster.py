@@ -13,11 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .clock import SimClock
-from .failures import FailureSchedule
+from .failures import FailureSchedule, FaultPlan
 from .hashring import HashRing
 from .latency import LatencyModel
 from .node import StorageNode
 from .object_store import ObjectStore
+from .repair import RepairReport, RepairSweeper
+from .resilience import BreakerConfig, RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -45,6 +47,9 @@ class SwiftCluster:
         config: ClusterConfig | None = None,
         latency: LatencyModel | None = None,
         clock: SimClock | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_config: BreakerConfig | None = None,
     ):
         self.config = config or ClusterConfig()
         self.latency = latency or LatencyModel.rack_scale()
@@ -66,8 +71,13 @@ class SwiftCluster:
             latency=self.latency,
             clock=self.clock,
             write_quorum=self.config.write_quorum,
+            retry_policy=retry_policy,
+            breaker_config=breaker_config,
         )
         self.failures = FailureSchedule(self.clock, self.nodes)
+        self.fault_plan: FaultPlan | None = None
+        if fault_plan is not None:
+            self.install_fault_plan(fault_plan)
 
     # ------------------------------------------------------------------
     # convenience constructors
@@ -83,6 +93,38 @@ class SwiftCluster:
         return cls(ClusterConfig(vnodes=16), LatencyModel.zero())
 
     # ------------------------------------------------------------------
+    # fault tolerance
+    # ------------------------------------------------------------------
+    def install_fault_plan(self, plan: FaultPlan) -> FaultPlan:
+        """Arm per-request fault injection on every storage node.
+
+        The plan is shared: the store keeps a reference so maintenance
+        paths (repair, quorum undo) can run with faults suspended, and
+        the plan gets the cluster clock so time-windowed fault storms
+        know what time it is.
+        """
+        plan.clock = self.clock
+        self.fault_plan = plan
+        self.store.fault_plan = plan
+        for node in self.nodes.values():
+            node.fault_plan = plan
+        return plan
+
+    def enable_auto_repair(self) -> RepairSweeper:
+        """Sweep for under-replicated objects after every node recovery.
+
+        Turns the schedule's ``recover``/``wipe`` events into healing:
+        as soon as :meth:`FailureSchedule.pump` applies one, the sweeper
+        re-replicates everything the outage left short or stale.
+        """
+        sweeper = RepairSweeper(self.store)
+        self.repair_reports: list[RepairReport] = []
+        self.failures.on_recover = lambda node_id: self.repair_reports.append(
+            sweeper.sweep()
+        )
+        return sweeper
+
+    # ------------------------------------------------------------------
     # cluster-wide operations
     # ------------------------------------------------------------------
     def add_storage_node(self) -> StorageNode:
@@ -93,6 +135,7 @@ class SwiftCluster:
             latency=self.latency,
             capacity_bytes=self.config.node_capacity_bytes,
         )
+        node.fault_plan = self.fault_plan
         self.nodes[node_id] = node
         self.ring.add_node(node_id)
         return node

@@ -48,6 +48,52 @@ class NodeDown(SimCloudError):
         self.node_id = node_id
 
 
+class TransientIOError(SimCloudError):
+    """A storage node failed one request with a retryable I/O error.
+
+    The disk hiccupped, a connection was reset, a worker process was
+    OOM-killed mid-request -- the node itself is healthy and an
+    immediate retry is expected to succeed.  Injected by
+    :class:`~repro.simcloud.failures.FaultPlan`.
+    """
+
+    def __init__(self, node_id: int, op: str):
+        super().__init__(f"transient I/O error on node {node_id} during {op}")
+        self.node_id = node_id
+        self.op = op
+
+
+class RequestTimeout(SimCloudError):
+    """A request to a storage node timed out.
+
+    Unlike :class:`TransientIOError` the client *paid* for the failure:
+    ``waited_us`` of simulated time elapsed before the client gave up
+    on the connection.  The store charges that wait to the clock when
+    it catches the error, so fault-masking has a visible latency cost.
+    """
+
+    def __init__(self, node_id: int, op: str, waited_us: int):
+        super().__init__(
+            f"request to node {node_id} timed out during {op} "
+            f"after {waited_us} us"
+        )
+        self.node_id = node_id
+        self.op = op
+        self.waited_us = waited_us
+
+
+class CircuitOpenError(SimCloudError):
+    """A request was refused locally because the node's breaker is open.
+
+    Costs (almost) nothing: the point of the circuit breaker is to fail
+    fast instead of burning a timeout on a node known to be unhealthy.
+    """
+
+    def __init__(self, node_id: int):
+        super().__init__(f"circuit breaker open for node {node_id}")
+        self.node_id = node_id
+
+
 class QuorumError(SimCloudError):
     """Not enough replicas were reachable to satisfy a quorum read/write."""
 

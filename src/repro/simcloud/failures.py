@@ -6,12 +6,27 @@ to crash nodes, partition the network, and drop gossip messages on a
 deterministic schedule so integration tests can show (a) the object
 cloud's replication riding through storage-node failures and (b) the
 NameRing gossip protocol converging despite message loss.
+
+Two failure regimes live here:
+
+* **Scheduled state changes** (:class:`FailureSchedule`): crash /
+  recover / wipe events applied as simulated time passes -- binary node
+  death and resurrection.
+* **Per-request transient faults** (:class:`FaultPlan`): a seeded
+  Bernoulli mix of retryable I/O errors, request timeouts and
+  slow-replica latency spikes, drawn independently per storage node and
+  per primitive.  This is the regime real object clouds mask with
+  retries and circuit breakers (see :mod:`repro.simcloud.resilience`);
+  every draw comes from a per-node deterministic stream so runs are
+  bit-reproducible.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass
 
 from .clock import SimClock
 from .node import StorageNode
@@ -36,21 +51,31 @@ class FailureSchedule:
     """Applies :class:`FailureEvent`s as simulated time passes.
 
     Call :meth:`pump` after advancing the clock; events whose time has
-    come are applied in order.  Deterministic: no wall-clock, no
-    unseeded randomness.
+    come are applied in timestamp order, with same-timestamp ties broken
+    by schedule order (the order events were registered).  Deterministic:
+    no wall-clock, no unseeded randomness.  The queue is a binary heap,
+    so scheduling and pumping are O(log n) per event.
+
+    ``on_recover`` (settable) is invoked with the node id after every
+    ``recover``/``wipe`` event is applied -- the hook the cluster uses to
+    trigger replica-repair sweeps so recoveries actually heal.
     """
 
     def __init__(self, clock: SimClock, nodes: dict[int, StorageNode]):
         self._clock = clock
         self._nodes = nodes
-        self._pending: list[FailureEvent] = []
+        # (at_us, schedule_seq, event): the seq tie-breaks equal
+        # timestamps so events apply in the order they were scheduled.
+        self._heap: list[tuple[int, int, FailureEvent]] = []
+        self._seq = 0
         self.applied: list[FailureEvent] = []
+        self.on_recover = None  # callable(node_id) | None
 
     def schedule(self, event: FailureEvent) -> None:
         if event.node_id not in self._nodes:
             raise KeyError(f"unknown node {event.node_id}")
-        self._pending.append(event)
-        self._pending.sort()
+        heapq.heappush(self._heap, (event.at_us, self._seq, event))
+        self._seq += 1
 
     def crash_at(self, at_us: int, node_id: int) -> None:
         self.schedule(FailureEvent(at_us, node_id, "crash"))
@@ -64,8 +89,8 @@ class FailureSchedule:
     def pump(self) -> list[FailureEvent]:
         """Apply all events due at or before the current simulated time."""
         fired: list[FailureEvent] = []
-        while self._pending and self._pending[0].at_us <= self._clock.now_us:
-            event = self._pending.pop(0)
+        while self._heap and self._heap[0][0] <= self._clock.now_us:
+            _, _, event = heapq.heappop(self._heap)
             node = self._nodes[event.node_id]
             if event.action == "crash":
                 node.crash()
@@ -76,11 +101,126 @@ class FailureSchedule:
                 node.recover()
             self.applied.append(event)
             fired.append(event)
+            if event.action in ("recover", "wipe") and self.on_recover:
+                self.on_recover(event.node_id)
         return fired
 
     @property
     def pending(self) -> tuple[FailureEvent, ...]:
-        return tuple(self._pending)
+        return tuple(event for _, _, event in sorted(self._heap))
+
+
+# ----------------------------------------------------------------------
+# per-request transient faults
+# ----------------------------------------------------------------------
+
+FAULT_NONE = "none"
+FAULT_IO_ERROR = "io_error"
+FAULT_TIMEOUT = "timeout"
+FAULT_SLOW = "slow"
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The fault plan's verdict for one request on one node."""
+
+    kind: str  # FAULT_NONE | FAULT_IO_ERROR | FAULT_TIMEOUT | FAULT_SLOW
+    extra_us: int = 0  # timeout wait / slow-replica latency spike
+
+
+class FaultPlan:
+    """Deterministic, seeded per-request fault injection for storage nodes.
+
+    Each node draws from its own seeded stream, so the fault pattern a
+    node sees does not depend on what requests other nodes served --
+    adding traffic to one node never perturbs another's faults.
+
+    Rates are independent Bernoulli draws evaluated in order
+    io_error -> timeout -> slow; at most one fault fires per request.
+    ``window_us=(start, stop)`` confines injection to a simulated-time
+    window (``stop=None`` means forever), for fault-storm scenarios.
+
+    Maintenance paths (repair sweeps, quorum undo) run with the plan
+    :meth:`suspended` so that healing cannot be starved by the very
+    faults it is healing.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0xFA117,
+        io_error_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        timeout_us: int = 30_000,
+        slow_extra_us: int = 40_000,
+        window_us: tuple[int, int | None] = (0, None),
+        clock: SimClock | None = None,
+    ):
+        for rate in (io_error_rate, timeout_rate, slow_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("fault rates must be within [0, 1]")
+        if timeout_us < 0 or slow_extra_us < 0:
+            raise ValueError("fault durations must be >= 0")
+        self.seed = seed
+        self.io_error_rate = io_error_rate
+        self.timeout_rate = timeout_rate
+        self.slow_rate = slow_rate
+        self.timeout_us = timeout_us
+        self.slow_extra_us = slow_extra_us
+        self.window_us = window_us
+        self.clock = clock  # set when installed on a cluster
+        self._rngs: dict[int, random.Random] = {}
+        self._suspended = 0
+        self.injected = {FAULT_IO_ERROR: 0, FAULT_TIMEOUT: 0, FAULT_SLOW: 0}
+
+    def _rng(self, node_id: int) -> random.Random:
+        rng = self._rngs.get(node_id)
+        if rng is None:
+            rng = self._rngs[node_id] = random.Random(
+                self.seed * 1_000_003 + node_id
+            )
+        return rng
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @contextmanager
+    def suspended(self):
+        """Context manager: no faults fire inside (maintenance paths)."""
+        self._suspended += 1
+        try:
+            yield self
+        finally:
+            self._suspended -= 1
+
+    def _in_window(self) -> bool:
+        if self.clock is None:
+            return True
+        start, stop = self.window_us
+        now = self.clock.now_us
+        return now >= start and (stop is None or now < stop)
+
+    def draw(self, node_id: int, op: str) -> FaultDecision:
+        """The fault verdict for one request; ``op`` names the primitive."""
+        if self._suspended or not self._in_window():
+            return FaultDecision(FAULT_NONE)
+        rng = self._rng(node_id)
+        # One uniform draw per rate keeps the per-node stream aligned
+        # regardless of which faults fire.
+        io_roll = rng.random()
+        timeout_roll = rng.random()
+        slow_roll = rng.random()
+        if self.io_error_rate > 0.0 and io_roll < self.io_error_rate:
+            self.injected[FAULT_IO_ERROR] += 1
+            return FaultDecision(FAULT_IO_ERROR)
+        if self.timeout_rate > 0.0 and timeout_roll < self.timeout_rate:
+            self.injected[FAULT_TIMEOUT] += 1
+            return FaultDecision(FAULT_TIMEOUT, extra_us=self.timeout_us)
+        if self.slow_rate > 0.0 and slow_roll < self.slow_rate:
+            self.injected[FAULT_SLOW] += 1
+            return FaultDecision(FAULT_SLOW, extra_us=self.slow_extra_us)
+        return FaultDecision(FAULT_NONE)
 
 
 class MessageLoss:

@@ -14,7 +14,13 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from .clock import Timestamp
-from .errors import CapacityError, NodeDown, ObjectNotFound
+from .errors import (
+    CapacityError,
+    NodeDown,
+    ObjectNotFound,
+    RequestTimeout,
+    TransientIOError,
+)
 from .latency import LatencyModel
 
 
@@ -60,6 +66,9 @@ class StorageNode:
         self._objects: dict[str, ObjectRecord] = {}
         self._down = False
         self.stats = NodeStats()
+        # Per-request transient faults (see simcloud.failures.FaultPlan);
+        # installed cluster-wide via SwiftCluster.install_fault_plan.
+        self.fault_plan = None
 
     # ------------------------------------------------------------------
     # failure injection
@@ -84,12 +93,30 @@ class StorageNode:
         if self._down:
             raise NodeDown(self.node_id)
 
+    def _draw_fault(self, op: str) -> int:
+        """Consult the fault plan before serving ``op``.
+
+        Returns extra service time (a slow-replica latency spike, 0 when
+        healthy) or raises the injected transient error.  Faults fire
+        *before* any state change, so a failed request never mutates the
+        shelf -- the retry sees the node exactly as it was.
+        """
+        if self.fault_plan is None:
+            return 0
+        decision = self.fault_plan.draw(self.node_id, op)
+        if decision.kind == "io_error":
+            raise TransientIOError(self.node_id, op)
+        if decision.kind == "timeout":
+            raise RequestTimeout(self.node_id, op, decision.extra_us)
+        return decision.extra_us
+
     # ------------------------------------------------------------------
     # storage primitives; each returns (result, disk_cost_us)
     # ------------------------------------------------------------------
     def write(self, record: ObjectRecord) -> int:
         """Store (or overwrite) a replica; returns the disk service time."""
         self._check_up()
+        extra_us = self._draw_fault("write")
         old = self._objects.get(record.name)
         delta = record.size - (old.size if old else 0)
         if self._capacity is not None and self._used + delta > self._capacity:
@@ -100,34 +127,37 @@ class StorageNode:
         self._used += delta
         self.stats.writes += 1
         self.stats.bytes_written += record.size
-        return self._latency.disk_write_us(record.size)
+        return self._latency.disk_write_us(record.size) + extra_us
 
     def read(self, name: str) -> tuple[ObjectRecord, int]:
         self._check_up()
+        extra_us = self._draw_fault("read")
         record = self._objects.get(name)
         if record is None:
             raise ObjectNotFound(name)
         self.stats.reads += 1
         self.stats.bytes_read += record.size
-        return record, self._latency.disk_read_us(record.size)
+        return record, self._latency.disk_read_us(record.size) + extra_us
 
     def head(self, name: str) -> tuple[ObjectRecord, int]:
         """Metadata-only read: pays the seek but not the transfer."""
         self._check_up()
+        extra_us = self._draw_fault("head")
         record = self._objects.get(name)
         if record is None:
             raise ObjectNotFound(name)
         self.stats.reads += 1
-        return record, self._latency.disk_read_us(0)
+        return record, self._latency.disk_read_us(0) + extra_us
 
     def delete(self, name: str) -> int:
         self._check_up()
+        extra_us = self._draw_fault("delete")
         record = self._objects.pop(name, None)
         if record is None:
             raise ObjectNotFound(name)
         self._used -= record.size
         self.stats.deletes += 1
-        return self._latency.disk_write_us(0)
+        return self._latency.disk_write_us(0) + extra_us
 
     def contains(self, name: str) -> bool:
         self._check_up()

@@ -23,20 +23,34 @@ avoid.
 from __future__ import annotations
 
 import hashlib
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from .clock import SimClock, Timestamp, TimestampFactory
 from .errors import (
+    CircuitOpenError,
     NodeDown,
     ObjectAlreadyExists,
     ObjectNotFound,
     QuorumError,
+    RequestTimeout,
     RingError,
+    TransientIOError,
 )
 from .hashring import HashRing
 from .latency import CostLedger, Jitter, LatencyModel
 from .node import ObjectRecord, StorageNode
+from .resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    ResilienceStats,
+    RetryPolicy,
+)
+
+# Everything that makes one node unusable for one request without
+# proving anything about the object itself.
+_UNREACHABLE = (NodeDown, CircuitOpenError, TransientIOError, RequestTimeout)
 
 T = TypeVar("T")
 
@@ -71,6 +85,8 @@ class ObjectStore:
         clock: SimClock,
         write_quorum: int | None = None,
         read_quorum: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        breaker_config: BreakerConfig | None = None,
     ):
         missing = ring.node_ids - set(nodes)
         if missing:
@@ -85,6 +101,15 @@ class ObjectStore:
         self.ledger = CostLedger()
         self.jitter = Jitter(latency)
         self.timestamps = TimestampFactory(clock, node_id=0)
+        # Fault masking: per-request retry policy, per-node breakers.
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker_config = breaker_config or BreakerConfig()
+        self.breakers: dict[int, CircuitBreaker] = {
+            nid: CircuitBreaker(nid, self.breaker_config) for nid in nodes
+        }
+        self.resilience = ResilienceStats()
+        self.fault_plan = None  # installed via SwiftCluster.install_fault_plan
+        self._retry_rng = self.retry_policy.rng()
         self._names: set[str] = set()  # authoritative key registry
         # Accounts hosted on this deployment (filesystem frontends
         # register here so maintenance like GC can scope itself safely).
@@ -102,6 +127,70 @@ class ObjectStore:
             + self.latency.lan_rtt_us
             + self.latency.transfer_us(nbytes)
         )
+
+    # ------------------------------------------------------------------
+    # fault masking: one node primitive under breaker + retry policy
+    # ------------------------------------------------------------------
+    def _breaker(self, node_id: int) -> CircuitBreaker:
+        breaker = self.breakers.get(node_id)
+        if breaker is None:
+            breaker = self.breakers[node_id] = CircuitBreaker(
+                node_id, self.breaker_config
+            )
+        return breaker
+
+    def _attempt(self, node: StorageNode, thunk: Callable[[], T]) -> T:
+        """Run one node primitive, masking transient faults.
+
+        The breaker is consulted first (an open breaker fails fast with
+        :class:`CircuitOpenError` at zero latency cost -- that is its
+        point).  Retryable faults are retried up to the policy's
+        ``max_attempts`` with exponential backoff; every backoff wait
+        and every timed-out request's wait is charged to the simulated
+        clock so fault-masking's latency price is visible.  Node-level
+        outcomes feed the breaker: any failure counts against the
+        consecutive-failure threshold, a success resets it.
+        """
+        breaker = self._breaker(node.node_id)
+        policy = self.retry_policy
+        if not breaker.allow(self.clock.now_us):
+            self.resilience.fast_failures += 1
+            raise CircuitOpenError(node.node_id)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = thunk()
+            except policy.retryable as exc:
+                if isinstance(exc, RequestTimeout):
+                    # The client waited the timeout out before failing.
+                    self.clock.advance(exc.waited_us)
+                    self.resilience.timeouts += 1
+                if isinstance(exc, TransientIOError):
+                    self.resilience.io_errors += 1
+                breaker.record_failure(self.clock.now_us)
+                if attempt >= policy.max_attempts or not breaker.allow(
+                    self.clock.now_us
+                ):
+                    raise
+                wait_us = policy.backoff_us(attempt, self._retry_rng)
+                self.resilience.retries += 1
+                self.resilience.backoff_us += wait_us
+                self.clock.advance(wait_us)
+                continue
+            except NodeDown:
+                # Binary death is not transient: don't burn retries, but
+                # let the breaker learn so later requests fail fast.
+                breaker.record_failure(self.clock.now_us)
+                raise
+            breaker.record_success(self.clock.now_us)
+            return result
+
+    def _suspended_faults(self):
+        """Context manager suppressing fault injection (cleanup paths)."""
+        if self.fault_plan is None:
+            return nullcontext()
+        return self.fault_plan.suspended()
 
     # ------------------------------------------------------------------
     # primitives
@@ -130,19 +219,33 @@ class ObjectStore:
             node = self.nodes[node_id]
             if node.is_down:
                 continue
-            previous[node_id] = node.peek(name)
-            disk_costs.append(node.write(record))
+            old = node.peek(name)
+            try:
+                cost = self._attempt(node, lambda node=node: node.write(record))
+            except _UNREACHABLE:
+                # Replica skipped: retries exhausted, node died mid-PUT,
+                # or its breaker is open.  The quorum decides below; a
+                # later repair sweep restores full replication.
+                continue
+            previous[node_id] = old
+            disk_costs.append(cost)
             written += 1
         if written < min(self.write_quorum, len(self.ring.node_ids)):
             # Failed write: undo the partial replicas so a quorum
             # failure is atomic from the client's point of view
             # (readers must never observe an unacknowledged object).
-            for node_id, old in previous.items():
-                node = self.nodes[node_id]
-                if old is None:
-                    node.delete(name)
-                else:
-                    node.write(old)
+            # Best-effort and fault-free: the undo must not itself be
+            # starved by injected faults.
+            with self._suspended_faults():
+                for node_id, old in previous.items():
+                    node = self.nodes[node_id]
+                    try:
+                        if old is None:
+                            node.delete(name)
+                        else:
+                            node.write(old)
+                    except (NodeDown, ObjectNotFound):
+                        pass
             raise QuorumError(name, self.write_quorum, written)
         self._names.add(name)
         self.ledger.puts += 1
@@ -220,7 +323,14 @@ class ObjectStore:
             node = self.nodes[node_id]
             if node.is_down or not node.peek(name):
                 continue
-            disk_costs.append(node.delete(name))
+            try:
+                disk_costs.append(
+                    self._attempt(node, lambda node=node: node.delete(name))
+                )
+            except (*_UNREACHABLE, ObjectNotFound):
+                # Replica left behind; it is unregistered garbage now
+                # (never resurrected: repair walks the key registry).
+                continue
         self._names.discard(name)
         self.ledger.deletes += 1
         self._charge(self._base_cost(0) + max(disk_costs))
@@ -250,21 +360,37 @@ class ObjectStore:
     def _read_replica(
         self, name: str, want_data: bool
     ) -> tuple[ObjectRecord, int, int]:
-        """Try replicas in placement order; return (record, disk_us, retries)."""
-        retries = 0
+        """Try replicas healthiest-first; return (record, disk_us, failovers).
+
+        Placement order is the baseline, but replicas whose circuit
+        breaker is in quarantine are demoted to last resort: reads
+        prefer nodes believed healthy and only fall back to quarantined
+        ones when every healthy replica failed.  Each per-node attempt
+        runs under the retry policy, so transient faults are masked
+        before a failover to the next replica happens at all.
+        """
+        now_us = self.clock.now_us
+        placement = self.ring.nodes_for(name)
+        preferred = [
+            nid for nid in placement if not self._breaker(nid).is_quarantined(now_us)
+        ]
+        quarantined = [nid for nid in placement if nid not in preferred]
+        failovers = 0
         last_error: Exception = ObjectNotFound(name)
-        for node_id in self.ring.nodes_for(name):
+        for node_id in preferred + quarantined:
             node = self.nodes[node_id]
             try:
                 if want_data:
-                    return (*node.read(name), retries)
-                return (*node.head(name), retries)
-            except (NodeDown, ObjectNotFound) as exc:
+                    result = self._attempt(node, lambda node=node: node.read(name))
+                else:
+                    result = self._attempt(node, lambda node=node: node.head(name))
+                return (*result, failovers)
+            except (*_UNREACHABLE, ObjectNotFound) as exc:
                 last_error = exc
-                retries += 1
-        if isinstance(last_error, NodeDown):
-            raise QuorumError(name, self.read_quorum, 0)
-        raise ObjectNotFound(name)
+                failovers += 1
+        if isinstance(last_error, ObjectNotFound):
+            raise ObjectNotFound(name)
+        raise QuorumError(name, self.read_quorum, 0)
 
     # ------------------------------------------------------------------
     # enumeration (the expensive path flat stores are stuck with)
@@ -307,30 +433,13 @@ class ObjectStore:
         time).  Returns the number of replicas written.  Free of
         foreground cost; background time lands in
         ``ledger.background_us``.
+
+        Thin wrapper over :class:`~repro.simcloud.repair.RepairSweeper`,
+        which additionally reports what it found and fixed.
         """
-        fixed = 0
-        for name in sorted(self._names):
-            source: ObjectRecord | None = None
-            reachable: list[tuple[StorageNode, ObjectRecord | None]] = []
-            for node_id in self.ring.nodes_for(name):
-                node = self.nodes[node_id]
-                if node.is_down:
-                    continue
-                record = node.peek(name)
-                reachable.append((node, record))
-                if record is not None and (
-                    source is None or record.timestamp > source.timestamp
-                ):
-                    source = record
-            if source is None:
-                continue
-            for node, record in reachable:
-                if record is not None and record.timestamp >= source.timestamp:
-                    continue
-                cost = node.write(source)
-                self.ledger.background_us += cost
-                fixed += 1
-        return fixed
+        from .repair import RepairSweeper
+
+        return RepairSweeper(self).sweep().replicas_written
 
     def rebalance(self) -> tuple[int, int]:
         """Migrate replicas to match the current ring (after node churn).
@@ -343,15 +452,16 @@ class ObjectStore:
         """
         written = self.repair()
         dropped = 0
-        for name in sorted(self._names):
-            responsible = set(self.ring.nodes_for(name))
-            for node_id, node in self.nodes.items():
-                if node_id in responsible or node.is_down:
-                    continue
-                if node.peek(name) is not None:
-                    cost = node.delete(name)
-                    self.ledger.background_us += cost
-                    dropped += 1
+        with self._suspended_faults():
+            for name in sorted(self._names):
+                responsible = set(self.ring.nodes_for(name))
+                for node_id, node in self.nodes.items():
+                    if node_id in responsible or node.is_down:
+                        continue
+                    if node.peek(name) is not None:
+                        cost = node.delete(name)
+                        self.ledger.background_us += cost
+                        dropped += 1
         return written, dropped
 
     def replica_health(self, name: str) -> tuple[int, int]:

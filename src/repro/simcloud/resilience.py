@@ -1,0 +1,185 @@
+"""Fault-masking machinery: retry policies and per-node circuit breakers.
+
+Production object clouds live in a world of transient faults -- blips
+the client library is expected to absorb with retries, and repeat
+offenders it is expected to route around.  This module supplies the two
+client-side halves of that contract for the simulated rack:
+
+* :class:`RetryPolicy` -- exponential backoff with deterministic
+  jitter; every retry's wait is charged to the simulated clock by the
+  caller so fault-masking shows up in benchmark latency, not just in
+  counters;
+* :class:`CircuitBreaker` -- the classic closed -> open -> half-open
+  state machine, one per storage node.  After ``failure_threshold``
+  consecutive failures the node is quarantined for ``cooldown_us`` of
+  simulated time; the first request after the cooldown is a probe that
+  either closes the breaker or re-opens it.
+
+:class:`ResilienceStats` aggregates what the masking cost, for
+monitoring (`core/monitoring.py`) and the deployment report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .errors import RequestTimeout, TransientIOError
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client masks transient per-request faults.
+
+    ``backoff_us(attempt, rng)`` yields the wait before retry number
+    ``attempt`` (1-based): exponential growth from ``base_backoff_us``
+    capped at ``backoff_cap_us``, with multiplicative jitter drawn from
+    a seeded stream so runs stay bit-reproducible.
+    """
+
+    max_attempts: int = 4
+    base_backoff_us: int = 2_000
+    backoff_cap_us: int = 500_000
+    multiplier: float = 2.0
+    jitter_frac: float = 0.5  # wait drawn from [raw*(1-frac), raw]
+    seed: int = 0xB0FF
+    retryable: tuple[type[BaseException], ...] = (
+        TransientIOError,
+        RequestTimeout,
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_us < 0 or self.backoff_cap_us < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ValueError("jitter_frac must be within [0, 1]")
+
+    def rng(self) -> random.Random:
+        """A fresh deterministic jitter stream for one store instance."""
+        return random.Random(self.seed)
+
+    def backoff_us(self, attempt: int, rng: random.Random) -> int:
+        """Wait before retrying after failed attempt number ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempt numbering starts at 1")
+        raw = min(
+            self.backoff_cap_us,
+            int(self.base_backoff_us * self.multiplier ** (attempt - 1)),
+        )
+        if self.jitter_frac <= 0.0 or raw == 0:
+            return raw
+        return int(rng.uniform(raw * (1.0 - self.jitter_frac), raw))
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retryable)
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Fail on the first error -- the seed repo's original behaviour."""
+        return cls(max_attempts=1)
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Knobs for every per-node circuit breaker of one deployment."""
+
+    failure_threshold: int = 5  # consecutive failures before tripping
+    cooldown_us: int = 2_000_000  # quarantine length (simulated time)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_us < 0:
+            raise ValueError("cooldown_us must be >= 0")
+
+
+class CircuitBreaker:
+    """Quarantine state for one storage node, driven by simulated time.
+
+    Transitions (all recorded in :attr:`transitions` for observability)::
+
+        closed --K consecutive failures--> open
+        open   --cooldown elapsed, next allow()--> half-open
+        half-open --probe success--> closed
+        half-open --probe failure--> open (fresh cooldown)
+    """
+
+    def __init__(self, node_id: int, config: BreakerConfig | None = None):
+        self.node_id = node_id
+        self.config = config or BreakerConfig()
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_us = 0
+        self.trips = 0  # closed/half-open -> open transitions
+        self.transitions: list[tuple[int, str, str]] = []  # (at_us, from, to)
+
+    def _transition(self, now_us: int, new_state: str) -> None:
+        self.transitions.append((now_us, self.state, new_state))
+        self.state = new_state
+
+    # ------------------------------------------------------------------
+    # the request path
+    # ------------------------------------------------------------------
+    def allow(self, now_us: int) -> bool:
+        """May a request be sent to this node right now?
+
+        Mutating: an open breaker whose cooldown has elapsed moves to
+        half-open and admits the caller as the probe request.
+        """
+        if self.state == BREAKER_OPEN:
+            if now_us - self.opened_at_us < self.config.cooldown_us:
+                return False
+            self._transition(now_us, BREAKER_HALF_OPEN)
+        return True
+
+    def is_quarantined(self, now_us: int) -> bool:
+        """Non-mutating peek: still inside the open-state cooldown?"""
+        return (
+            self.state == BREAKER_OPEN
+            and now_us - self.opened_at_us < self.config.cooldown_us
+        )
+
+    def record_success(self, now_us: int) -> None:
+        self.consecutive_failures = 0
+        if self.state != BREAKER_CLOSED:
+            self._transition(now_us, BREAKER_CLOSED)
+
+    def record_failure(self, now_us: int) -> None:
+        self.consecutive_failures += 1
+        if self.state == BREAKER_HALF_OPEN:
+            self._trip(now_us)
+        elif (
+            self.state == BREAKER_CLOSED
+            and self.consecutive_failures >= self.config.failure_threshold
+        ):
+            self._trip(now_us)
+
+    def _trip(self, now_us: int) -> None:
+        self._transition(now_us, BREAKER_OPEN)
+        self.opened_at_us = now_us
+        self.trips += 1
+
+
+@dataclass
+class ResilienceStats:
+    """What fault-masking cost one :class:`ObjectStore`, in aggregate."""
+
+    retries: int = 0  # per-node attempts repeated after a fault
+    backoff_us: int = 0  # simulated time spent waiting between attempts
+    timeouts: int = 0  # RequestTimeout faults observed
+    io_errors: int = 0  # TransientIOError faults observed
+    fast_failures: int = 0  # requests refused by an open breaker
+    repaired_replicas: int = 0  # replicas rewritten by repair sweeps
+
+    def snapshot(self) -> dict[str, int]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+    def reset(self) -> None:
+        for k in self.__dataclass_fields__:
+            setattr(self, k, 0)

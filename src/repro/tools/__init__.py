@@ -1,17 +1,21 @@
 """`repro.tools` -- operational tooling on top of the shared FS API.
 
 Cross-system migration (Swift -> H2Cloud adoption, H2Cloud -> Cumulus
-backup/restore) with equivalence verification, and an H2 fsck that
-audits the on-cloud object graph's invariants.
+backup/restore) with equivalence verification, an H2 fsck that audits
+the on-cloud object graph's invariants, and the replica-repair runbook
+(`python -m repro repair`).
 """
 
 from .fsck import FsckReport, H2Fsck
 from .migrate import MigrationReport, migrate, verify_equivalent
+from .repair import repair_and_verify, run_repair
 
 __all__ = [
     "FsckReport",
     "H2Fsck",
     "MigrationReport",
     "migrate",
+    "repair_and_verify",
+    "run_repair",
     "verify_equivalent",
 ]

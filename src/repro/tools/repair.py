@@ -1,0 +1,36 @@
+"""Operator-facing replica repair (the ``python -m repro repair`` hook).
+
+Thin CLI wrapper over :class:`~repro.simcloud.repair.RepairSweeper`:
+run a sweep against a deployment's object store, print what it found
+and fixed, and (optionally) follow up with an fsck so the operator sees
+the cluster go from degraded to CLEAN in one command.
+"""
+
+from __future__ import annotations
+
+from ..simcloud.repair import RepairReport, RepairSweeper
+
+
+def run_repair(store, verbose: bool = True) -> RepairReport:
+    """One repair sweep over ``store``; prints the report when verbose."""
+    report = RepairSweeper(store).sweep()
+    if verbose:
+        print(report.summary())
+        for name in report.unrecoverable:
+            print(f"  UNRECOVERABLE {name}")
+    return report
+
+
+def repair_and_verify(fs, verbose: bool = True):
+    """Sweep an H2Cloud deployment, then fsck it; returns both reports.
+
+    The natural post-outage runbook: heal replication first, then audit
+    the object graph to confirm the cluster is structurally sound.
+    """
+    from .fsck import H2Fsck
+
+    repair_report = run_repair(fs.store, verbose=verbose)
+    fsck_report = H2Fsck(fs.middlewares[0]).check()
+    if verbose:
+        print(fsck_report.summary())
+    return repair_report, fsck_report

@@ -30,13 +30,20 @@ class TestReproCLI:
         assert repro_main([]) == 0
         out = capsys.readouterr().out
         assert "H2Cloud" in out
-        assert "demo | bench" in out
+        assert "demo | repair | bench" in out
 
     def test_demo(self, capsys):
         assert repro_main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "quick access path" in out
         assert "deployment report" in out
+
+    def test_repair(self, capsys):
+        assert repro_main(["repair"]) == 0
+        out = capsys.readouterr().out
+        assert "REPAIRED" in out
+        assert "fsck: CLEAN" in out
+        assert "repaired objects back to full replication" in out
 
     def test_bench_forwarding(self, capsys):
         assert repro_main(["bench", "headline"]) == 0

@@ -1,0 +1,91 @@
+"""Regression: account deletion must invalidate peer FD caches.
+
+``delete_account`` used to remove the root ring and directory objects
+but left any peer middleware that had the ring cached serving LISTs for
+a dead account.  Deletion now purges the local descriptor and gossips
+an invalidation rumor that purges every peer's copy.
+"""
+
+import pytest
+
+from repro.core import H2CloudFS, Namespace, Rumor
+from repro.simcloud import PathNotFound, SwiftCluster
+
+
+def warm_peers(n: int = 3) -> H2CloudFS:
+    """A 3-middleware deployment where every peer has the root cached."""
+    fs = H2CloudFS(SwiftCluster.fast(), account="alice", middlewares=n)
+    fs.mkdir("/d")
+    fs.pump()
+    root = Namespace.root("alice")
+    for mw in fs.middlewares:
+        mw.load_ring(root)  # warm every cache with the doomed ring
+        assert root in mw.fd_cache
+    return fs
+
+
+class TestAccountInvalidation:
+    def test_delete_account_purges_every_peer_cache(self):
+        fs = warm_peers()
+        root = Namespace.root("alice")
+        fs.middlewares[0].delete_account("alice", force=True)
+        fs.network.converge()
+        for mw in fs.middlewares:
+            assert root not in mw.fd_cache
+
+    def test_peers_stop_serving_the_dead_account(self):
+        fs = warm_peers()
+        fs.middlewares[0].delete_account("alice", force=True)
+        fs.network.converge()
+        for mw in fs.middlewares:
+            assert not mw.account_exists("alice")
+            with pytest.raises(PathNotFound):
+                mw.list_dir("alice", "/")
+
+    def test_deleting_middleware_purges_itself_without_gossip(self):
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")  # no network
+        root = Namespace.root("alice")
+        mw = fs.middlewares[0]
+        mw.load_ring(root)
+        assert root in mw.fd_cache
+        mw.delete_account("alice", force=True)
+        assert root not in mw.fd_cache
+
+    def test_invalidation_rumor_forwards_only_while_it_drops(self):
+        fs = warm_peers()
+        root = Namespace.root("alice")
+        second = fs.middlewares[1]
+        # A peer that already dropped its copy stops the broadcast.
+        second.fd_cache.purge(root)
+        rumor = Rumor(
+            ns=root, origin=1, ts=second.next_timestamp(), invalidate=True
+        )
+        assert not second.on_gossip(rumor)
+        # A peer still holding the ring drops it and forwards.
+        third = fs.middlewares[2]
+        assert third.on_gossip(rumor)
+        assert root not in third.fd_cache
+
+    def test_dirty_peer_descriptors_are_dropped_too(self):
+        # A pinned (dirty) descriptor for a dead account would leak
+        # forever: purge must override the dirty-pinning rule.
+        from repro.core.namering import NameRing
+        from repro.core.patch import Patch
+
+        fs = warm_peers()
+        root = Namespace.root("alice")
+        third = fs.middlewares[2]
+        fd = third.fd_cache.get_or_create(root)
+        fd.chain.append(
+            Patch(
+                target_ns=root,
+                node_id=third.node_id,
+                patch_seq=1,
+                payload=NameRing.empty(),
+            )
+        )
+        assert fd.dirty
+        fs.middlewares[0].delete_account("alice", force=True)
+        fs.network.converge()
+        assert root not in third.fd_cache
+        assert fd not in third.fd_cache.dirty_descriptors()

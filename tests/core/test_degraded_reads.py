@@ -1,0 +1,119 @@
+"""Degraded reads: serving last-known rings through a total replica outage.
+
+When every replica of a NameRing object is unreachable (QuorumError,
+not a clean miss), a middleware with ``H2Config.degraded_reads`` serves
+the cached descriptor flagged stale instead of failing LIST/resolve.
+Staleness is observable (``degraded_serves``, Monitor gauges) and ends
+the moment one replica answers again.
+"""
+
+import pytest
+
+from repro.core import H2CloudFS, H2Config, Monitor, deployment_report
+from repro.core.namespace import namering_key
+from repro.simcloud import PathNotFound, QuorumError, SwiftCluster
+
+
+def outage_fs(config: H2Config | None = None):
+    """An fs with /d/{a,b}, plus the crash list for /d's ring replicas."""
+    cluster = SwiftCluster.fast()
+    fs = H2CloudFS(cluster, account="alice", config=config)
+    fs.mkdir("/d")
+    fs.write("/d/a", b"one")
+    fs.write("/d/b", b"two")
+    mw = fs.middlewares[0]
+    ns = mw.lookup.resolve_dir("alice", "/d")
+    victims = cluster.ring.nodes_for(namering_key(ns))
+    return fs, mw, ns, victims
+
+
+class TestDegradedReads:
+    def test_total_outage_serves_the_stale_ring(self):
+        fs, mw, ns, victims = outage_fs()
+        for node_id in victims:
+            fs.cluster.nodes[node_id].crash()
+        fd = mw.load_ring(ns, use_cache=False)
+        assert fd.stale
+        assert mw.degraded_serves == 1
+        assert fd.ring.live_names() == ["a", "b"]
+
+    def test_stale_descriptor_reprobes_every_use(self):
+        fs, mw, ns, victims = outage_fs()
+        for node_id in victims:
+            fs.cluster.nodes[node_id].crash()
+        mw.load_ring(ns, use_cache=False)
+        # Even cache-friendly loads re-probe now: still degraded.
+        mw.load_ring(ns, use_cache=True)
+        assert mw.degraded_serves == 2
+
+    def test_listdir_stays_up_through_the_outage(self):
+        fs, mw, ns, victims = outage_fs()
+        for node_id in victims:
+            fs.cluster.nodes[node_id].crash()
+        mw.load_ring(ns, use_cache=False)  # outage noticed: fd now stale
+        assert fs.listdir("/d") == ["a", "b"]
+
+    def test_recovery_clears_staleness(self):
+        fs, mw, ns, victims = outage_fs()
+        for node_id in victims:
+            fs.cluster.nodes[node_id].crash()
+        fd = mw.load_ring(ns, use_cache=False)
+        assert fd.stale
+        for node_id in victims:
+            fs.cluster.nodes[node_id].recover()
+        fd = mw.load_ring(ns)  # stale forces a re-probe; store answers
+        assert not fd.stale
+        serves_during_outage = mw.degraded_serves
+        fs.listdir("/d")
+        assert mw.degraded_serves == serves_during_outage
+
+    def test_disabled_config_propagates_the_quorum_error(self):
+        fs, mw, ns, victims = outage_fs(H2Config(degraded_reads=False))
+        for node_id in victims:
+            fs.cluster.nodes[node_id].crash()
+        with pytest.raises(QuorumError):
+            mw.load_ring(ns, use_cache=False)
+        assert mw.degraded_serves == 0
+
+    def test_never_loaded_descriptor_cannot_be_served(self):
+        # Degraded mode replays a ring we once read; with no last-known
+        # state there is nothing safe to serve.
+        fs, mw, ns, victims = outage_fs()
+        mw.fd_cache.purge(ns)
+        for node_id in victims:
+            fs.cluster.nodes[node_id].crash()
+        with pytest.raises(QuorumError):
+            mw.load_ring(ns, use_cache=False)
+
+    def test_clean_miss_is_not_an_outage(self):
+        # ObjectNotFound proves absence; serving stale would resurrect.
+        fs, mw, ns, victims = outage_fs()
+        fs.store.delete(namering_key(ns))
+        with pytest.raises(PathNotFound):
+            mw.load_ring(ns, use_cache=False)
+        assert mw.degraded_serves == 0
+
+    def test_monitor_exposes_degraded_gauges(self):
+        fs, mw, ns, victims = outage_fs()
+        for node_id in victims:
+            fs.cluster.nodes[node_id].crash()
+        mw.load_ring(ns, use_cache=False)
+        metrics = Monitor(mw).snapshot()
+        assert metrics["degraded.serves"] == 1
+        assert metrics["degraded.stale_rings"] == 1
+        assert "degraded serves" in deployment_report(fs)
+
+    def test_stale_ring_skips_in_use_compaction(self):
+        # Compaction rewrites the ring; never rewrite what you cannot
+        # read back.  Tombstones must survive a degraded LIST untouched.
+        fs, mw, ns, victims = outage_fs()
+        fs.delete("/d/a")  # leaves a tombstone in the ring
+        fd = mw.load_ring(ns, use_cache=False)
+        tombstones_before = len(fd.ring.children) - len(fd.ring.live_names())
+        assert tombstones_before >= 1
+        for node_id in victims:
+            fs.cluster.nodes[node_id].crash()
+        mw.load_ring(ns, use_cache=False)
+        assert fs.listdir("/d") == ["b"]
+        tombstones_after = len(fd.ring.children) - len(fd.ring.live_names())
+        assert tombstones_after == tombstones_before

@@ -1,0 +1,86 @@
+"""Patch recovery under fault injection (robustness satellite).
+
+``test_patch_recovery.py`` shows the happy path: a fresh middleware
+recovering durable-but-unmerged patches.  These tests re-run that story
+with the fault machinery armed -- transient faults firing during both
+the original writes and the recovery, and a storage node wiped between
+patch PUT and recovery -- and show the recovery still converging.
+"""
+
+from repro.core import H2CloudFS, H2Config, H2Middleware
+from repro.simcloud import FaultPlan, RepairSweeper, SwiftCluster
+from repro.tools import H2Fsck
+
+
+def crashy_fs(cluster: SwiftCluster | None = None) -> H2CloudFS:
+    """A deployment whose middleware defers all merging."""
+    return H2CloudFS(
+        cluster or SwiftCluster.fast(),
+        account="alice",
+        config=H2Config(auto_merge=False),
+    )
+
+
+class TestRecoveryUnderFaults:
+    def test_recovery_rides_through_transient_faults(self):
+        cluster = SwiftCluster.fast()
+        cluster.install_fault_plan(
+            FaultPlan(seed=21, io_error_rate=0.15, timeout_rate=0.05)
+        )
+        fs = crashy_fs(cluster)
+        fs.mkdir("/d")
+        fs.write("/d/f", b"precious")
+        # Middleware "crash": its in-memory chains die with it, the
+        # patch objects do not.  A fresh instance recovers them while
+        # the same faults keep firing.
+        replacement = H2Middleware(node_id=9, store=fs.store)
+        assert replacement.merger.recover_orphaned_patches() >= 2
+        assert replacement.read_file("alice", "/d/f") == b"precious"
+        assert fs.store.resilience.retries > 0  # the faults were real
+
+    def test_node_wiped_between_patch_put_and_recovery(self):
+        cluster = SwiftCluster.fast()
+        fs = crashy_fs(cluster)
+        fs.write("/f", b"survives-the-wipe")
+        patch_name = next(
+            n for n in fs.store.names() if n.startswith("patch:")
+        )
+        # One replica holder of the durable patch loses its disk before
+        # any merger ran; the surviving replicas carry the recovery.
+        victim = cluster.ring.nodes_for(patch_name)[0]
+        cluster.nodes[victim].wipe()
+        replacement = H2Middleware(node_id=9, store=fs.store)
+        assert replacement.merger.recover_orphaned_patches() >= 1
+        assert replacement.read_file("alice", "/f") == b"survives-the-wipe"
+
+    def test_wipe_then_recovery_then_sweep_is_fsck_clean(self):
+        cluster = SwiftCluster.fast()
+        fs = crashy_fs(cluster)
+        fs.mkdir("/d")
+        fs.write("/d/f", b"x" * 256)
+        victim = next(iter(cluster.nodes))
+        cluster.nodes[victim].crash()
+        cluster.nodes[victim].wipe()
+        cluster.nodes[victim].recover()
+        replacement = H2Middleware(node_id=9, store=fs.store)
+        replacement.merger.recover_orphaned_patches()
+        RepairSweeper(fs.store).sweep()
+        report = H2Fsck(replacement).check()
+        assert report.clean
+        assert not report.degraded_replicas
+        for name in fs.store.names():
+            present, expected = fs.store.replica_health(name)
+            assert present == expected
+
+    def test_recovery_down_node_does_not_block_it(self):
+        cluster = SwiftCluster.fast()
+        fs = crashy_fs(cluster)
+        fs.write("/f", b"quorum-carried")
+        patch_name = next(
+            n for n in fs.store.names() if n.startswith("patch:")
+        )
+        victim = cluster.ring.nodes_for(patch_name)[0]
+        cluster.nodes[victim].crash()  # still down during recovery
+        replacement = H2Middleware(node_id=9, store=fs.store)
+        assert replacement.merger.recover_orphaned_patches() >= 1
+        assert replacement.read_file("alice", "/f") == b"quorum-carried"

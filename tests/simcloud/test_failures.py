@@ -70,6 +70,51 @@ class TestFailureSchedule:
         assert [e.action for e in cluster.failures.applied] == ["crash"]
         assert cluster.failures.pending == ()
 
+    def test_same_timestamp_fires_in_schedule_order(self):
+        # The old list.sort() ordered ties alphabetically by action,
+        # silently flipping recover-then-crash into crash-then-recover.
+        cluster = SwiftCluster.fast()
+        cluster.failures.recover_at(10, node_id=1)
+        cluster.failures.crash_at(10, node_id=1)
+        cluster.clock.advance(10)
+        cluster.failures.pump()
+        assert cluster.nodes[1].is_down  # recover@10 first, crash@10 last
+
+        other = SwiftCluster.fast()
+        other.failures.crash_at(10, node_id=1)
+        other.failures.recover_at(10, node_id=1)
+        other.clock.advance(10)
+        other.failures.pump()
+        assert not other.nodes[1].is_down  # crash@10 first, recover@10 last
+
+    def test_many_events_pop_in_time_then_schedule_order(self):
+        cluster = SwiftCluster.fast()
+        cluster.failures.wipe_at(30, node_id=2)
+        cluster.failures.crash_at(10, node_id=1)
+        cluster.failures.recover_at(10, node_id=1)
+        cluster.failures.crash_at(30, node_id=2)
+        cluster.clock.advance(100)
+        cluster.failures.pump()
+        assert [(e.at_us, e.action) for e in cluster.failures.applied] == [
+            (10, "crash"),
+            (10, "recover"),
+            (30, "wipe"),
+            (30, "crash"),
+        ]
+
+    def test_on_recover_hook_fires_after_recovery(self):
+        cluster = SwiftCluster.fast()
+        healed: list[int] = []
+        cluster.failures.on_recover = healed.append
+        cluster.failures.crash_at(10, node_id=4)
+        cluster.failures.recover_at(20, node_id=4)
+        cluster.clock.advance(15)
+        cluster.failures.pump()
+        assert healed == []  # crash alone must not trigger repair
+        cluster.clock.advance(10)
+        cluster.failures.pump()
+        assert healed == [4]
+
 
 class TestMessageLoss:
     def test_zero_probability_never_drops(self):

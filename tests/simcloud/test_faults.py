@@ -1,0 +1,303 @@
+"""Tests for per-request fault injection, retry policies and breakers."""
+
+import pytest
+
+from repro.simcloud import (
+    CircuitOpenError,
+    ClusterConfig,
+    FaultPlan,
+    LatencyModel,
+    QuorumError,
+    RequestTimeout,
+    RetryPolicy,
+    SimClock,
+    SwiftCluster,
+    TransientIOError,
+)
+from repro.simcloud.failures import (
+    FAULT_IO_ERROR,
+    FAULT_NONE,
+    FAULT_SLOW,
+    FAULT_TIMEOUT,
+)
+from repro.simcloud.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+
+
+def fast_cluster(**kwargs) -> SwiftCluster:
+    return SwiftCluster(ClusterConfig(vnodes=16), LatencyModel.zero(), **kwargs)
+
+
+class TestFaultPlan:
+    def test_validates_rates_and_durations(self):
+        with pytest.raises(ValueError):
+            FaultPlan(io_error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(timeout_us=-1)
+
+    def test_zero_rates_never_fault(self):
+        plan = FaultPlan(seed=1)
+        assert all(
+            plan.draw(1, "read").kind == FAULT_NONE for _ in range(200)
+        )
+        assert plan.total_injected == 0
+
+    def test_deterministic_given_seed(self):
+        a = [FaultPlan(seed=9, io_error_rate=0.3).draw(1, "read").kind
+             for _ in range(50)]
+        b = [FaultPlan(seed=9, io_error_rate=0.3).draw(1, "read").kind
+             for _ in range(50)]
+        assert a == b
+
+    def test_per_node_streams_independent(self):
+        # Draining node 1's stream must not change what node 2 sees.
+        quiet = FaultPlan(seed=5, io_error_rate=0.3)
+        noisy = FaultPlan(seed=5, io_error_rate=0.3)
+        for _ in range(100):
+            noisy.draw(1, "read")
+        a = [quiet.draw(2, "read").kind for _ in range(30)]
+        b = [noisy.draw(2, "read").kind for _ in range(30)]
+        assert a == b
+
+    def test_rates_roughly_match(self):
+        plan = FaultPlan(seed=3, io_error_rate=0.2)
+        kinds = [plan.draw(1, "write").kind for _ in range(5000)]
+        rate = kinds.count(FAULT_IO_ERROR) / 5000
+        assert 0.17 < rate < 0.23
+        assert plan.injected[FAULT_IO_ERROR] == kinds.count(FAULT_IO_ERROR)
+
+    def test_fault_kinds_carry_their_cost(self):
+        plan = FaultPlan(seed=2, timeout_rate=1.0, timeout_us=7_000)
+        decision = plan.draw(1, "read")
+        assert decision.kind == FAULT_TIMEOUT
+        assert decision.extra_us == 7_000
+        slow = FaultPlan(seed=2, slow_rate=1.0, slow_extra_us=9_000)
+        decision = slow.draw(1, "read")
+        assert decision.kind == FAULT_SLOW
+        assert decision.extra_us == 9_000
+
+    def test_suspended_draws_nothing(self):
+        plan = FaultPlan(seed=4, io_error_rate=1.0)
+        with plan.suspended():
+            assert plan.draw(1, "read").kind == FAULT_NONE
+        assert plan.draw(1, "read").kind == FAULT_IO_ERROR
+
+    def test_window_confines_the_storm(self):
+        clock = SimClock()
+        plan = FaultPlan(seed=6, io_error_rate=1.0, window_us=(100, 200))
+        plan.clock = clock
+        assert plan.draw(1, "read").kind == FAULT_NONE  # before
+        clock.advance(150)
+        assert plan.draw(1, "read").kind == FAULT_IO_ERROR  # inside
+        clock.advance(100)
+        assert plan.draw(1, "read").kind == FAULT_NONE  # after
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            base_backoff_us=1_000,
+            backoff_cap_us=3_500,
+            multiplier=2.0,
+            jitter_frac=0.0,
+        )
+        rng = policy.rng()
+        waits = [policy.backoff_us(k, rng) for k in (1, 2, 3, 4)]
+        assert waits == [1_000, 2_000, 3_500, 3_500]
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_backoff_us=10_000, jitter_frac=0.5)
+        rng = policy.rng()
+        for _ in range(100):
+            wait = policy.backoff_us(1, rng)
+            assert 5_000 <= wait <= 10_000
+
+    def test_retryable_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(TransientIOError(1, "read"))
+        assert policy.is_retryable(RequestTimeout(1, "read", 10))
+        assert not policy.is_retryable(ValueError("nope"))
+
+    def test_none_policy_fails_first_time(self):
+        assert RetryPolicy.none().max_attempts == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_frac=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_us(0, RetryPolicy().rng())
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(1, BreakerConfig(failure_threshold=3))
+        for _ in range(2):
+            breaker.record_failure(now_us=0)
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure(now_us=0)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow(now_us=10)
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(1, BreakerConfig(failure_threshold=3))
+        breaker.record_failure(0)
+        breaker.record_failure(0)
+        breaker.record_success(0)
+        breaker.record_failure(0)
+        breaker.record_failure(0)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(1, BreakerConfig(2, cooldown_us=1_000))
+        breaker.record_failure(0)
+        breaker.record_failure(0)
+        assert breaker.is_quarantined(500)
+        assert breaker.allow(1_000)  # cooldown elapsed: probe admitted
+        assert breaker.state == BREAKER_HALF_OPEN
+        breaker.record_success(1_000)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(1, BreakerConfig(2, cooldown_us=1_000))
+        breaker.record_failure(0)
+        breaker.record_failure(0)
+        assert breaker.allow(1_500)
+        breaker.record_failure(1_500)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.trips == 2
+        assert breaker.is_quarantined(2_000)  # fresh cooldown from 1_500
+
+    def test_transitions_are_recorded(self):
+        breaker = CircuitBreaker(1, BreakerConfig(1, cooldown_us=100))
+        breaker.record_failure(10)
+        breaker.allow(200)
+        breaker.record_success(200)
+        assert breaker.transitions == [
+            (10, BREAKER_CLOSED, BREAKER_OPEN),
+            (200, BREAKER_OPEN, BREAKER_HALF_OPEN),
+            (200, BREAKER_HALF_OPEN, BREAKER_CLOSED),
+        ]
+
+
+class TestStoreFaultMasking:
+    def test_retries_mask_transient_faults(self):
+        cluster = fast_cluster()
+        cluster.install_fault_plan(FaultPlan(seed=11, io_error_rate=0.3))
+        for i in range(50):
+            cluster.store.put(f"obj-{i}", b"x" * 64)
+        for i in range(50):
+            assert cluster.store.get(f"obj-{i}").data == b"x" * 64
+        res = cluster.store.resilience
+        assert res.io_errors > 0
+        assert res.retries > 0
+
+    def test_backoff_waits_are_charged_to_the_clock(self):
+        cluster = fast_cluster(
+            retry_policy=RetryPolicy(base_backoff_us=5_000, jitter_frac=0.0)
+        )
+        cluster.install_fault_plan(FaultPlan(seed=12, io_error_rate=0.2))
+        for i in range(30):
+            cluster.store.put(f"obj-{i}", b"y" * 16)
+        res = cluster.store.resilience
+        assert res.retries > 0
+        # Zero-latency cluster: the only time that can pass is backoff.
+        assert cluster.clock.now_us == res.backoff_us
+
+    def test_timeout_waits_are_charged_to_the_clock(self):
+        cluster = fast_cluster(
+            retry_policy=RetryPolicy(base_backoff_us=0, jitter_frac=0.0)
+        )
+        cluster.install_fault_plan(
+            FaultPlan(seed=13, timeout_rate=0.3, timeout_us=10_000)
+        )
+        for i in range(30):
+            cluster.store.put(f"obj-{i}", b"z" * 16)
+        res = cluster.store.resilience
+        assert res.timeouts > 0
+        assert cluster.clock.now_us == res.timeouts * 10_000
+
+    def test_slow_replicas_inflate_latency_without_erroring(self):
+        cluster = fast_cluster()
+        cluster.install_fault_plan(
+            FaultPlan(seed=14, slow_rate=1.0, slow_extra_us=1_000)
+        )
+        cluster.store.put("obj", b"w")
+        assert cluster.store.resilience.retries == 0
+        assert cluster.clock.now_us > 0  # every replica write ran slow
+
+    def test_breaker_fails_fast_on_a_crashed_node(self):
+        cluster = fast_cluster(
+            breaker_config=BreakerConfig(failure_threshold=2, cooldown_us=10**9)
+        )
+        store = cluster.store
+        store.put("obj", b"v" * 32)
+        victim = cluster.ring.nodes_for("obj")[0]
+        cluster.nodes[victim].crash()
+        for i in range(4):  # feed the breaker NodeDown failures
+            store.put(f"other-{i}", b"q")
+            store.get("obj")
+        assert store.breakers[victim].state == BREAKER_OPEN
+        before = store.nodes[victim].stats.reads
+        for _ in range(5):
+            store.get("obj")  # quarantined: node not even consulted
+        assert store.nodes[victim].stats.reads == before
+        # Node back up but breaker still open: writes fail fast on it.
+        cluster.nodes[victim].recover()
+        writes_before = store.nodes[victim].stats.writes
+        store.put("obj", b"v2")
+        assert store.nodes[victim].stats.writes == writes_before
+        assert store.resilience.fast_failures > 0
+
+    def test_reads_prefer_unquarantined_replicas(self):
+        cluster = fast_cluster(
+            breaker_config=BreakerConfig(failure_threshold=1, cooldown_us=10**9)
+        )
+        store = cluster.store
+        store.put("obj", b"data")
+        first, second = cluster.ring.nodes_for("obj")[:2]
+        store._breaker(first).record_failure(0)  # quarantine the primary
+        reads_before = cluster.nodes[second].stats.reads
+        store.get("obj")
+        assert cluster.nodes[second].stats.reads == reads_before + 1
+
+    def test_exhausted_retries_fail_the_read_with_quorum_error(self):
+        cluster = fast_cluster(retry_policy=RetryPolicy.none())
+        cluster.install_fault_plan(FaultPlan(seed=15, io_error_rate=1.0))
+        with cluster.fault_plan.suspended():
+            cluster.store.put("obj", b"u")
+        with pytest.raises(QuorumError):
+            cluster.store.get("obj")
+
+    def test_open_breaker_skips_writes_until_cooldown(self):
+        cluster = fast_cluster(
+            breaker_config=BreakerConfig(failure_threshold=1, cooldown_us=500)
+        )
+        store = cluster.store
+        store.put("obj", b"t" * 8)
+        victim = cluster.ring.nodes_for("obj")[0]
+        store._breaker(victim).record_failure(store.clock.now_us)
+        writes_before = cluster.nodes[victim].stats.writes
+        store.put("obj", b"t2")  # quorum via the other two replicas
+        assert cluster.nodes[victim].stats.writes == writes_before
+        cluster.clock.advance(500)  # cooldown over: probe admitted
+        store.put("obj", b"t3")
+        assert cluster.nodes[victim].stats.writes == writes_before + 1
+        assert store._breaker(victim).state == BREAKER_CLOSED
+
+    def test_resilience_snapshot_and_reset(self):
+        cluster = fast_cluster()
+        cluster.install_fault_plan(FaultPlan(seed=16, io_error_rate=0.5))
+        for i in range(20):
+            cluster.store.put(f"obj-{i}", b"s")
+        snap = cluster.store.resilience.snapshot()
+        assert snap["io_errors"] > 0
+        cluster.store.resilience.reset()
+        assert cluster.store.resilience.snapshot()["io_errors"] == 0
