@@ -4,6 +4,7 @@
     python -m repro demo         # the quickstart scenario
     python -m repro repair       # fault drill: outage -> sweep -> healed
     python -m repro bench [...]  # forwards to repro.bench's CLI
+    python -m repro dst [...]    # deterministic simulation testing
 """
 
 from __future__ import annotations
@@ -16,7 +17,7 @@ from . import __version__
 def overview() -> None:
     print(f"repro {__version__} -- reproduction of H2Cloud (ICPP 2018)")
     print(__import__("repro").__doc__)
-    print("subcommands: demo | repair | bench [experiment ...]")
+    print("subcommands: demo | repair | bench [experiment ...] | dst [...]")
 
 
 def demo() -> None:
@@ -81,7 +82,11 @@ def main(argv: list[str]) -> int:
         from .bench.__main__ import main as bench_main
 
         return bench_main(rest)
-    print(f"unknown subcommand {command!r}; use demo | repair | bench")
+    if command == "dst":
+        from .dst.cli import main as dst_main
+
+        return dst_main(rest)
+    print(f"unknown subcommand {command!r}; use demo | repair | bench | dst")
     return 2
 
 

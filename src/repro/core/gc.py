@@ -36,6 +36,18 @@ class GCReport:
     compacted_rings: int
 
 
+def collect_once(middleware) -> GCReport:
+    """One cluster-wide mark-and-sweep pass, safety-gated, no pumping.
+
+    The single-step entry point for the deterministic-simulation
+    explorer: unlike ``H2CloudFS.gc`` it does *not* drain mergers or
+    gossip first, so the pass runs against whatever asynchrony is in
+    flight -- and the collector's own ``_safe_to_collect`` guard decides
+    whether sweeping is allowed at this instant.
+    """
+    return GarbageCollector(middleware).collect()
+
+
 class GarbageCollector:
     """Mark-and-sweep over the H2 object graph of given accounts."""
 
@@ -80,7 +92,38 @@ class GarbageCollector:
         if network is not None and network.in_flight:
             return False
         peers = network.members if network is not None else [self._mw]
-        return not any(peer.fd_cache.dirty_descriptors() for peer in peers)
+        if any(peer.fd_cache.dirty_descriptors() for peer in peers):
+            return False
+        return self._views_current(peers)
+
+    def _views_current(self, peers) -> bool:
+        """Every cached ring view is at least as new as the stored ring.
+
+        In-flight rumors and dirty chains are not the only propagation
+        state: a peer that *missed* a rumor (message loss) holds a clean
+        but stale descriptor.  Compacting a tombstone -- or sweeping the
+        file body it hides -- while such a peer still shows the child as
+        live would let the peer's next merge resurrect the name.  The
+        sweep and compaction therefore wait until, for every child in
+        every stored ring, each peer's cached copy carries an equal or
+        newer tuple (anti-entropy guarantees this point is reached).
+        """
+        store = self._mw.store
+        for peer in peers:
+            for fd in peer.fd_cache.descriptors():
+                if not fd.loaded:
+                    continue  # never read: next use loads fresh state
+                try:
+                    stored = formatter.loads_ring(
+                        store.get(namering_key(fd.ns)).data
+                    )
+                except (ObjectNotFound, formatter.FormatError):
+                    continue
+                for name, child in stored.children.items():
+                    ours = fd.ring.children.get(name)
+                    if ours is None or ours.timestamp < child.timestamp:
+                        return False
+        return True
 
     # ------------------------------------------------------------------
     def _mark(self) -> tuple[set[str], list[str]]:

@@ -57,6 +57,8 @@ class GossipNetwork:
         self.rumors_sent = 0
         self.rumors_delivered = 0
         self.rounds = 0
+        self.single_deliveries = 0
+        self.anti_entropy_rounds = 0
 
     # ------------------------------------------------------------------
     # membership
@@ -116,6 +118,27 @@ class GossipNetwork:
         self.rounds += 1
         return batch
 
+    def pump_one(self) -> bool:
+        """Deliver exactly one queued rumor; False if none were in flight.
+
+        The finest-grained delivery step: the deterministic-simulation
+        explorer uses it to interleave a *single* rumor arrival between
+        client operations, exercising orderings a whole-round pump can
+        never produce.  Forwards enqueued by the receiver wait in line
+        like any other rumor.
+        """
+        if not self._queue:
+            return False
+        dst, rumor = self._queue.popleft()
+        middleware = self._members.get(dst)
+        if middleware is None:
+            return True
+        self.rumors_delivered += 1
+        self.single_deliveries += 1
+        if middleware.on_gossip(rumor):
+            self._send_from(dst, rumor)
+        return True
+
     def run_until_quiet(self, max_rounds: int = 1000) -> int:
         """Pump until no rumors are in flight; returns rounds used."""
         for used in range(max_rounds):
@@ -142,6 +165,7 @@ class GossipNetwork:
         Returns the number of rings refreshed.
         """
         node_ids = sorted(self._members)
+        self.anti_entropy_rounds += 1
         refreshed = 0
         for i, nid in enumerate(node_ids):
             puller = self._members[nid]

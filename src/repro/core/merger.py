@@ -30,6 +30,7 @@ class BackgroundMerger:
         self._mw = middleware
         self.merges = 0
         self.patches_applied = 0
+        self.single_steps = 0
 
     # ------------------------------------------------------------------
     # the merge of one ring
@@ -82,6 +83,20 @@ class BackgroundMerger:
     # ------------------------------------------------------------------
     # node-wide drain
     # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Merge exactly one dirty ring (oldest first); False if none.
+
+        The single-step entry point the deterministic-simulation
+        explorer interleaves between client operations: one background
+        merge happens, every other chain keeps waiting.  Descriptor
+        insertion order makes the choice reproducible.
+        """
+        for fd in self._mw.fd_cache.dirty_descriptors():
+            if self.merge_ring(fd.ns, foreground=False):
+                self.single_steps += 1
+                return True
+        return False
+
     def run_once(self) -> int:
         """One background sweep; returns how many rings actually merged."""
         merged = 0

@@ -148,6 +148,30 @@ class H2Middleware:
         self.store.put(namering_key(fd.ns), formatter.dumps_ring(fd.ring))
         fd.merged_version = fd.ring.version
 
+    def store_ring_merged(self, fd: FileDescriptor) -> None:
+        """Read-merge-write a ring whose cached view may lag the store.
+
+        The gossip paths (rumor absorption, anti-entropy pulls) merge a
+        *peer's* view into the local cache; writing that result back
+        directly would clobber any children only the stored version
+        knows about -- e.g. after a cache drop, an absorbed rumor would
+        overwrite the stored ring with just the rumor's content, losing
+        every other child durably.  Merging the stored version first
+        makes the write-back monotone.  During an outage the merge stays
+        cache-only (a later merge or sweep persists it).
+        """
+        try:
+            stored = formatter.loads_ring(
+                self.store.get(namering_key(fd.ns)).data
+            )
+        except ObjectNotFound:
+            stored = None
+        except QuorumError:
+            return
+        if stored is not None:
+            fd.ring = fd.ring.merge(stored)
+        self.store_ring(fd)
+
     def submit_patch(self, ns: Namespace, entries: list[Child]) -> Patch:
         """Phase 1: PUT the patch object and chain it locally.
 
@@ -223,17 +247,35 @@ class H2Middleware:
         if fd.local_version >= rumor.ts:
             return False
 
-        def absorb():
+        def absorb() -> bool:
             origin = self.network.peer(rumor.origin)
             remote = origin.local_ring_copy(rumor.ns)
-            if remote is None:
-                return
-            fd.ring = fd.ring.merge(remote)
+            from_store = remote is None
+            if from_store:
+                # The origin evicted the ring after announcing; the
+                # stored version is at least as new (the merger writes
+                # back before announcing), so absorb from the store.
+                try:
+                    remote = formatter.loads_ring(
+                        self.store.get(namering_key(rumor.ns)).data
+                    )
+                except (ObjectNotFound, QuorumError):
+                    return False  # ring gone or unreachable: rumor dies
+            merged = fd.ring.merge(remote)
+            changed = merged.children != fd.ring.children
+            fd.ring = merged
             fd.loaded = True
-            self.store_ring(fd)
+            if changed and not from_store:
+                self.store_ring_merged(fd)
+            return changed
 
-        self.background(absorb)
-        return True
+        # Forward only if the rumor taught us something.  Comparing
+        # timestamps alone livelocks: ring versions are not monotone
+        # (compaction strips tombstones, which can *lower* the max child
+        # timestamp), so a node could chase an unreachable ``rumor.ts``
+        # and reflood the same rumor forever.  Requiring strict progress
+        # bounds every rumor's life; anti-entropy backstops convergence.
+        return self.background(absorb)
 
     def local_ring_copy(self, ns: Namespace) -> NameRing | None:
         """Our local version of a ring, for a peer's gossip fetch."""
@@ -253,7 +295,7 @@ class H2Middleware:
             if merged.children != fd.ring.children:
                 fd.ring = merged
                 fd.loaded = True
-                self.background(lambda fd=fd: self.store_ring(fd))
+                self.background(lambda fd=fd: self.store_ring_merged(fd))
                 changed += 1
         return changed
 

@@ -84,6 +84,7 @@ class Monitor:
             "fd_cache.evictions": cache.evictions,
             "maintenance.patches_submitted": mw.patches_submitted,
             "maintenance.merges": mw.merger.merges,
+            "maintenance.merge_steps": mw.merger.single_steps,
             "maintenance.patches_applied": mw.merger.patches_applied,
             "maintenance.merge_blocked": int(mw.merge_blocked),
             "store.puts": ledger.puts,
@@ -120,6 +121,8 @@ class Monitor:
         if mw.network is not None:
             metrics["gossip.rumors_sent"] = mw.network.rumors_sent
             metrics["gossip.rumors_delivered"] = mw.network.rumors_delivered
+            metrics["gossip.single_deliveries"] = mw.network.single_deliveries
+            metrics["gossip.anti_entropy_rounds"] = mw.network.anti_entropy_rounds
             metrics["gossip.in_flight"] = mw.network.in_flight
         for op_name, histogram in sorted(self.ops.items()):
             metrics[f"op.{op_name}.count"] = histogram.samples

@@ -1,0 +1,164 @@
+"""``python -m repro dst`` -- drive the deterministic simulator.
+
+    dst run     --seed 7 [--faulty] [--sessions 3] [--ops 25]
+    dst sweep   --seeds 200 [--start 0] [--save-failures DIR]
+    dst replay  CASE.json
+    dst shrink  CASE.json | --seed 7 [--faulty]
+
+``run`` executes one seed and prints the verdict; ``sweep`` runs a
+range of seeds alternating fault-free and fault-storm configs (the CI
+nightly job); ``replay`` re-executes a persisted corpus case and
+checks it reproduces the recorded digest/verdict; ``shrink`` minimises
+a failing case with ddmin and saves the result to the corpus.
+
+Exit codes: 0 clean / reproduced, 1 invariant violations found,
+2 usage or non-reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from . import corpus as corpus_mod
+from .explorer import DstConfig, ScheduleExplorer, faulty_config
+from .runner import RunResult, run_schedule, run_seed
+from .shrink import shrink
+
+
+def _config_from(args: argparse.Namespace) -> DstConfig:
+    overrides = {
+        "sessions": args.sessions,
+        "ops_per_session": args.ops,
+    }
+    if args.faulty:
+        return faulty_config(**overrides)
+    return DstConfig(**overrides)
+
+
+def sweep_config(seed: int, sessions: int = 3, ops: int = 25) -> DstConfig:
+    """The nightly mix: even seeds run fault-free (full model check),
+    odd seeds run under crash cycles, fault storms and message loss."""
+    if seed % 2 == 0:
+        return DstConfig(sessions=sessions, ops_per_session=ops)
+    return faulty_config(sessions=sessions, ops_per_session=ops)
+
+
+def _report(result: RunResult, verbose: bool = True) -> None:
+    print(result.summary())
+    if verbose:
+        for violation in result.violations:
+            print(f"  [{violation.check}] {violation.detail}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_seed(args.seed, _config_from(args))
+    _report(result)
+    if result.violations and args.save_failures:
+        print("saved:", corpus_mod.save_case(result, args.save_failures))
+    return 0 if result.ok else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    failures = 0
+    for seed in range(args.start, args.start + args.seeds):
+        result = run_seed(seed, sweep_config(seed, args.sessions, args.ops))
+        if result.ok:
+            if args.verbose:
+                _report(result, verbose=False)
+            continue
+        failures += 1
+        _report(result)
+        if args.save_failures:
+            print("saved:", corpus_mod.save_case(result, args.save_failures))
+    print(
+        f"sweep: {args.seeds} seeds from {args.start}, "
+        f"{failures} failing"
+    )
+    return 1 if failures else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    schedule, meta = corpus_mod.load_case(args.case)
+    result = run_schedule(schedule)
+    _report(result)
+    if not meta:
+        return 0 if result.ok else 1
+    recorded_digest = meta.get("digest")
+    recorded_failing = bool(meta.get("violations"))
+    if recorded_digest and result.digest != recorded_digest:
+        print(
+            f"replay DIVERGED: digest {result.digest[:12]} != "
+            f"recorded {recorded_digest[:12]}"
+        )
+        return 2
+    if bool(result.violations) != recorded_failing:
+        print("replay DIVERGED: verdict differs from the recording")
+        return 2
+    print("replay reproduced the recorded run")
+    return 0 if result.ok else 1
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    if args.case:
+        schedule, _ = corpus_mod.load_case(args.case)
+    else:
+        schedule = ScheduleExplorer(args.seed, _config_from(args)).explore()
+    try:
+        minimal, result, runs = shrink(schedule, max_runs=args.max_runs)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    print(
+        f"shrunk {len(schedule)} -> {len(minimal)} steps "
+        f"({minimal.op_count()} ops) in {runs} runs"
+    )
+    _report(result)
+    print("saved:", corpus_mod.save_case(result, args.corpus))
+    return 1
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro dst",
+        description="deterministic simulation testing for H2Cloud",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--sessions", type=int, default=3)
+        p.add_argument("--ops", type=int, default=25, help="ops per session")
+        p.add_argument(
+            "--faulty",
+            action="store_true",
+            help="crash cycles, fault storms and message loss",
+        )
+
+    p_run = sub.add_parser("run", help="execute one seed")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--save-failures", metavar="DIR", default=None)
+    common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="execute a seed range")
+    p_sweep.add_argument("--seeds", type=int, default=20, help="seed count")
+    p_sweep.add_argument("--start", type=int, default=0)
+    p_sweep.add_argument("--save-failures", metavar="DIR", default=None)
+    p_sweep.add_argument("--verbose", action="store_true")
+    p_sweep.add_argument("--sessions", type=int, default=3)
+    p_sweep.add_argument("--ops", type=int, default=25)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_replay = sub.add_parser("replay", help="re-execute a corpus case")
+    p_replay.add_argument("case")
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_shrink = sub.add_parser("shrink", help="minimise a failing run")
+    p_shrink.add_argument("case", nargs="?", default=None)
+    p_shrink.add_argument("--seed", type=int, default=0)
+    p_shrink.add_argument("--max-runs", type=int, default=400)
+    p_shrink.add_argument("--corpus", default=corpus_mod.DEFAULT_DIR)
+    common(p_shrink)
+    p_shrink.set_defaults(func=_cmd_shrink)
+
+    args = parser.parse_args(argv)
+    return args.func(args)

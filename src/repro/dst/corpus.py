@@ -1,0 +1,76 @@
+"""The seed corpus: failing DST runs persisted as regression cases.
+
+Every schedule the explorer finds that violates an invariant -- ideally
+after shrinking -- is saved as one JSON document under
+``tests/dst_corpus/``.  A corpus case records the schedule (config,
+seed, steps, optional tweak hook), the violations observed and the run
+digest, so a later session can re-execute it exactly:
+
+    python -m repro dst replay tests/dst_corpus/<case>.json
+
+``load_case`` also accepts a bare schedule document, so hand-written
+schedules replay through the same door.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .runner import RunResult
+from .schedule import FORMAT as SCHEDULE_FORMAT
+from .schedule import Schedule
+
+CORPUS_FORMAT = "h2cloud-dst-corpus-v1"
+DEFAULT_DIR = os.path.join("tests", "dst_corpus")
+
+
+def corpus_entry(result: RunResult) -> dict:
+    """The JSON document recording one failing run."""
+    return {
+        "format": CORPUS_FORMAT,
+        "seed": result.schedule.seed,
+        "schedule": result.schedule.to_json(),
+        "violations": [
+            {"check": v.check, "detail": v.detail} for v in result.violations
+        ],
+        "digest": result.digest,
+        "tree_hash": result.tree_hash,
+        "counters": dict(result.counters),
+    }
+
+
+def case_name(result: RunResult) -> str:
+    return f"seed{result.schedule.seed}-{result.digest[:12]}.json"
+
+
+def save_case(result: RunResult, directory: str = DEFAULT_DIR) -> str:
+    """Persist one failing run; returns the file path written."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, case_name(result))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(corpus_entry(result), fh, ensure_ascii=False, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_case(path: str) -> tuple[Schedule, dict]:
+    """(schedule, metadata) from a corpus case or bare schedule file."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("format") == CORPUS_FORMAT:
+        return Schedule.from_json(doc["schedule"]), doc
+    if doc.get("format") == SCHEDULE_FORMAT:
+        return Schedule.from_json(doc), {}
+    raise ValueError(f"{path}: neither a corpus case nor a schedule")
+
+
+def corpus_cases(directory: str = DEFAULT_DIR) -> list[str]:
+    """All corpus case paths, sorted for deterministic iteration."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )

@@ -1,0 +1,283 @@
+"""Client operations for deterministic simulation testing.
+
+A DST run drives N concurrent client *sessions* against one H2Cloud
+account.  Each session is pinned to one middleware (sticky load
+balancing) and owns a private subtree ``/s<k>`` where it may use the
+full operation vocabulary; all sessions additionally contend on a small
+pool of *shared* files directly under ``/shared`` (write / delete /
+read races -- the delete-then-recreate and lost-update scenarios the
+NameRing's last-writer-wins merge must resolve) and mint fresh
+session-prefixed entries in the account root (so the root ring sees
+patch and gossip traffic too).
+
+Ops are plain serialisable data: a schedule that contains its ops can
+be replayed and shrunk without re-running the generator, which is what
+makes delta-debugging a failing run possible.
+
+The generator tracks an *optimistic* model of each session's subtree,
+so own-subtree ops are valid whenever the run is fault-free; under
+injected faults an op may legitimately fail at run time, and the runner
+treats filesystem errors as outcomes rather than test failures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+# ----------------------------------------------------------------------
+# hostile-but-legal names (unicode, whitespace, lookalikes) -- the pool
+# the generator draws from and the web-API fuzz tests reuse.  Every
+# entry passes ``namespace.validate_name``.
+# ----------------------------------------------------------------------
+HOSTILE_NAMES: tuple[str, ...] = (
+    "café",
+    "naïve.txt",
+    "日本語ファイル",
+    "файл",
+    "ملف",
+    "🙂🚀",
+    "a b c",
+    " leading-space",
+    "trailing-space ",
+    "...",
+    "..hidden",
+    "-rf",
+    "~tilde",
+    "name\twith\ttabs",
+    "ZWJ‍name",
+    "NFC-é",
+    "NFD-é",
+    "𝒻𝒶𝓃𝒸𝓎",
+    "x" * 120,
+    "%2F",
+    "CON",
+    "aux.txt",
+)
+
+# Names that ``validate_name`` must reject -- the web-API fuzzer throws
+# these at the service expecting a clean 4xx, never a traceback.
+ILLEGAL_NAMES: tuple[str, ...] = (
+    "",
+    ".",
+    "..",
+    "a/b",
+    "a::b",
+    "nl\nname",
+    "nul\x00name",
+)
+
+_OP_KINDS = (
+    "mkdir",
+    "rmdir",
+    "write",
+    "delete",
+    "read",
+    "list",
+    "stat",
+    "move",
+    "rename",
+    "copy",
+)
+
+
+@dataclass(frozen=True)
+class ClientOp:
+    """One client call: kind + path (+ destination for move/copy)."""
+
+    kind: str
+    path: str
+    dest: str | None = None
+    tag: int = 0  # drives the deterministic payload for writes
+
+    def __post_init__(self) -> None:
+        if self.kind not in _OP_KINDS:
+            raise ValueError(f"unknown op kind: {self.kind!r}")
+
+    def to_json(self) -> dict:
+        doc: dict = {"kind": self.kind, "path": self.path}
+        if self.dest is not None:
+            doc["dest"] = self.dest
+        if self.tag:
+            doc["tag"] = self.tag
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "ClientOp":
+        return cls(
+            kind=doc["kind"],
+            path=doc["path"],
+            dest=doc.get("dest"),
+            tag=doc.get("tag", 0),
+        )
+
+    def describe(self) -> str:
+        if self.dest is not None:
+            return f"{self.kind} {self.path} -> {self.dest}"
+        return f"{self.kind} {self.path}"
+
+
+def payload_for(op: ClientOp) -> bytes:
+    """The deterministic content a write op stores (small, unique)."""
+    return f"{op.path}#{op.tag}".encode("utf-8")
+
+
+SHARED_DIR = "/shared"
+SHARED_POOL = tuple(f"{SHARED_DIR}/k{i}" for i in range(6))
+
+
+def session_root(session: int) -> str:
+    return f"/s{session}"
+
+
+_DEFAULT_WEIGHTS = {
+    "write": 0.26,
+    "read": 0.14,
+    "mkdir": 0.10,
+    "delete": 0.08,
+    "list": 0.07,
+    "stat": 0.05,
+    "move": 0.05,
+    "rename": 0.04,
+    "copy": 0.04,
+    "rmdir": 0.04,
+    "shared_write": 0.06,
+    "shared_delete": 0.04,
+    "shared_read": 0.02,
+    "root_mkdir": 0.03,
+    "root_rmdir": 0.02,
+}
+
+
+class OpGenerator:
+    """Seeded generator of per-session operation streams.
+
+    ``streams(sessions, ops_per_session)`` returns one list of
+    :class:`ClientOp` per session.  Own-subtree ops are tracked against
+    an optimistic model so they are valid when executed in per-session
+    order; shared-pool and root-level ops are intentionally racy.
+    """
+
+    def __init__(self, seed: int, hostile_name_rate: float = 0.15):
+        self._seed = seed
+        self._hostile_rate = hostile_name_rate
+
+    def streams(self, sessions: int, ops_per_session: int) -> list[list[ClientOp]]:
+        return [
+            self._session_stream(k, ops_per_session)
+            for k in range(sessions)
+        ]
+
+    # ------------------------------------------------------------------
+    def _session_stream(self, session: int, n_ops: int) -> list[ClientOp]:
+        rng = random.Random(f"{self._seed}:session:{session}")
+        root = session_root(session)
+        dirs = [root]  # own dirs, insertion order
+        files: list[str] = []  # own files
+        root_dirs: list[str] = []  # session-minted root-level dirs
+        serial = 0
+        ops: list[ClientOp] = []
+        while len(ops) < n_ops:
+            kind = self._pick(rng)
+            serial += 1
+            op = self._make(kind, rng, session, serial, dirs, files, root_dirs)
+            if op is not None:
+                ops.append(op)
+        return ops
+
+    def _pick(self, rng: random.Random) -> str:
+        roll = rng.random()
+        cumulative = 0.0
+        for kind, weight in _DEFAULT_WEIGHTS.items():
+            cumulative += weight
+            if roll <= cumulative:
+                return kind
+        return "write"
+
+    def _fresh_name(self, rng: random.Random, stem: str, serial: int) -> str:
+        if rng.random() < self._hostile_rate:
+            # Hostile names are suffixed to stay unique per session.
+            return f"{rng.choice(HOSTILE_NAMES)}-{stem}{serial}"
+        return f"{stem}{serial:04d}"
+
+    def _make(
+        self,
+        kind: str,
+        rng: random.Random,
+        session: int,
+        serial: int,
+        dirs: list[str],
+        files: list[str],
+        root_dirs: list[str],
+    ) -> ClientOp | None:
+        if kind == "mkdir":
+            parent = rng.choice(dirs)
+            path = f"{parent}/{self._fresh_name(rng, 'd', serial)}"
+            dirs.append(path)
+            return ClientOp("mkdir", path)
+        if kind == "write":
+            if files and rng.random() < 0.35:  # overwrite / recreate
+                path = rng.choice(files)
+            else:
+                parent = rng.choice(dirs)
+                path = f"{parent}/{self._fresh_name(rng, 'f', serial)}"
+                files.append(path)
+            return ClientOp("write", path, tag=serial)
+        if kind == "delete":
+            if not files:
+                return None
+            path = rng.choice(files)
+            # Half the time keep the name on the books so a later write
+            # recreates it -- fake-delete resurrection through the
+            # tombstone is exactly the path worth hammering.
+            if rng.random() < 0.5:
+                files.remove(path)
+            return ClientOp("delete", path)
+        if kind == "read" or kind == "stat":
+            if not files:
+                return None
+            return ClientOp(kind, rng.choice(files))
+        if kind == "list":
+            return ClientOp("list", rng.choice(dirs))
+        if kind in ("move", "rename", "copy"):
+            if not files:
+                return None
+            src = rng.choice(files)
+            if kind == "rename":
+                dest = src.rsplit("/", 1)[0] + f"/r{serial:04d}"
+            else:
+                dest = f"{rng.choice(dirs)}/{kind[0]}{serial:04d}"
+            if dest == src:
+                return None
+            if kind == "copy":
+                files.append(dest)
+            else:
+                if src in files:
+                    files.remove(src)
+                files.append(dest)
+            return ClientOp(kind, src, dest=dest)
+        if kind == "rmdir":
+            candidates = [d for d in dirs if d != session_root(session)]
+            if not candidates:
+                return None
+            path = rng.choice(candidates)
+            prefix = path + "/"
+            dirs[:] = [d for d in dirs if d != path and not d.startswith(prefix)]
+            files[:] = [f for f in files if not f.startswith(prefix)]
+            return ClientOp("rmdir", path)
+        if kind == "shared_write":
+            return ClientOp("write", rng.choice(SHARED_POOL), tag=serial)
+        if kind == "shared_delete":
+            return ClientOp("delete", rng.choice(SHARED_POOL))
+        if kind == "shared_read":
+            return ClientOp("read", rng.choice(SHARED_POOL))
+        if kind == "root_mkdir":
+            path = f"/x{session}-{serial:04d}"
+            root_dirs.append(path)
+            return ClientOp("mkdir", path)
+        if kind == "root_rmdir":
+            if not root_dirs:
+                return None
+            path = root_dirs.pop(rng.randrange(len(root_dirs)))
+            return ClientOp("rmdir", path)
+        return None  # pragma: no cover - weight table is exhaustive

@@ -1,0 +1,122 @@
+"""The DST oracle: what must be true of a quiesced deployment.
+
+After the runner executes a schedule and drives the system to quiesce
+(all nodes recovered, faults off, repair swept, mergers drained, gossip
+converged, GC run), these checks must all hold:
+
+* **V1 model equivalence** -- the filesystem tree equals the
+  :class:`~repro.testing.model.ModelFS` mirror built from the ops that
+  succeeded, in schedule order.  Sound because every child timestamp
+  comes from the cluster's single strictly-increasing factory, so
+  last-writer-wins order *is* schedule order.  Skipped when a mutating
+  op died of a storage-layer error (a half-applied multi-object op may
+  legitimately diverge from an all-or-nothing model).
+* **V2 view convergence** -- every middleware walks the same tree: the
+  NameRing CRDT plus gossip/anti-entropy converged all local versions.
+* **V3 structural integrity** -- :class:`~repro.tools.fsck.H2Fsck`
+  finds no broken invariants (I1-I4) and no degraded replica sets
+  (outages were repaired).
+* **V4 no leaked objects** -- after GC, fsck reports no unreachable
+  ``dir:``/``nr:``/``f:``/``patch:`` garbage.
+* **V5 replica agreement** -- no object's surviving replicas diverge
+  (fsck I7): recoveries plus repair restored bit-identical copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.namering import KIND_DIR
+from ..testing.model import ModelFS, snapshot_of, tree_hash
+from ..tools.fsck import H2Fsck
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken promise, with enough detail to debug the repro."""
+
+    check: str  # "V1".."V5" | "crash" | "quiesce" | "read"
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"[{self.check}] {self.detail}"
+
+
+def _diff_trees(expected: dict, actual: dict, limit: int = 5) -> str:
+    lines: list[str] = []
+    for path in sorted(set(expected) | set(actual)):
+        if len(lines) >= limit:
+            lines.append("...")
+            break
+        want, got = expected.get(path, "<absent>"), actual.get(path, "<absent>")
+        if want != got:
+            want_s = "<dir>" if want is None else repr(want)[:40]
+            got_s = "<dir>" if got is None else repr(got)[:40]
+            lines.append(f"{path}: model={want_s} fs={got_s}")
+    return "; ".join(lines)
+
+
+def snapshot_via(middleware, account: str) -> dict[str, bytes | None]:
+    """One middleware's view of the whole account tree."""
+    tree: dict[str, bytes | None] = {}
+
+    def walk(top: str) -> None:
+        for entry in middleware.list_dir(account, top, detailed=False):
+            full = (top.rstrip("/") or "") + "/" + entry.name
+            if entry.kind == KIND_DIR:
+                tree[full] = None
+                walk(full)
+            else:
+                tree[full] = middleware.read_file(account, full)
+
+    walk("/")
+    return tree
+
+
+def check_invariants(fs, model: ModelFS | None = None) -> list[InvariantViolation]:
+    """All post-quiesce checks; ``model=None`` skips V1."""
+    violations: list[InvariantViolation] = []
+
+    per_mw = [snapshot_via(mw, fs.account) for mw in fs.middlewares]
+
+    if model is not None:
+        expected = model.snapshot()
+        actual = per_mw[0]
+        if tree_hash(expected) != tree_hash(actual):
+            violations.append(
+                InvariantViolation(
+                    "V1", f"model divergence: {_diff_trees(expected, actual)}"
+                )
+            )
+
+    baseline = tree_hash(per_mw[0])
+    for mw, snap in zip(fs.middlewares[1:], per_mw[1:]):
+        if tree_hash(snap) != baseline:
+            violations.append(
+                InvariantViolation(
+                    "V2",
+                    f"middleware {mw.node_id} diverges from middleware "
+                    f"{fs.middlewares[0].node_id}: "
+                    f"{_diff_trees(per_mw[0], snap)}",
+                )
+            )
+
+    report = H2Fsck(fs.middlewares[0]).check()
+    for error in report.errors:
+        violations.append(InvariantViolation("V3", error))
+    for degraded in report.degraded_replicas:
+        violations.append(
+            InvariantViolation("V3", f"degraded after repair: {degraded}")
+        )
+    for leaked in report.garbage:
+        violations.append(
+            InvariantViolation("V4", f"leaked object after GC: {leaked}")
+        )
+    for divergent in report.divergent_replicas:
+        violations.append(InvariantViolation("V5", divergent))
+    return violations
+
+
+def final_tree_hash(fs) -> str:
+    """Canonical digest of the quiesced tree (run-digest component)."""
+    return tree_hash(snapshot_of(fs))

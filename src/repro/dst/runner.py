@@ -1,0 +1,457 @@
+"""Deterministic schedule execution with a model-differential mirror.
+
+``run_schedule`` builds a fresh simulated deployment from a schedule's
+embedded config, executes the schedule's steps one by one on the
+simulated clock, mirrors every *successful* client op into a
+:class:`~repro.testing.model.ModelFS`, drives the system to quiesce,
+and hands the result to the :mod:`~repro.dst.oracle`.
+
+Everything is deterministic: the cluster's latency jitter, fault plan
+and message loss are seeded from the schedule's seed; the runner makes
+no random choices; and scheduled crash/recover events fire via a clock
+listener at the exact simulated microsecond they are due -- *inside* a
+client op's quorum write if that is where the clock crosses the event
+time.  Running the same schedule twice therefore produces the same
+outcome string for every step and the same final tree hash, which is
+what the run digest asserts.
+
+Error taxonomy per client op:
+
+* ``FilesystemError`` -- a semantic refusal (not-found, exists, ...):
+  a legal outcome; the model is not updated.
+* other ``SimCloudError`` -- the storage layer gave out (quorum loss,
+  exhausted retries, open breakers): also legal under injected faults;
+  counted, because a half-applied multi-object op makes the
+  all-or-nothing model an unsound oracle for this run (V1 is skipped).
+* anything else -- a bug: recorded as a ``crash`` violation and the
+  run aborts to quiesce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from dataclasses import dataclass, field
+
+from ..core.fs import H2CloudFS
+from ..core.gc import collect_once
+from ..core.middleware import H2Config
+from ..simcloud.cluster import ClusterConfig, SwiftCluster
+from ..simcloud.errors import FilesystemError, SimCloudError
+from ..simcloud.failures import FaultPlan, MessageLoss
+from ..simcloud.latency import LatencyModel
+from ..testing.model import ModelFS
+from .explorer import DstConfig, ScheduleExplorer
+from .ops import ClientOp, payload_for, session_root
+from .oracle import InvariantViolation, check_invariants, final_tree_hash
+from .schedule import Schedule, Step
+
+_MUTATORS = frozenset(
+    {"mkdir", "rmdir", "write", "delete", "move", "rename", "copy"}
+)
+
+ACCOUNT = "dst"
+
+
+@dataclass
+class RunResult:
+    """Everything one schedule execution produced."""
+
+    schedule: Schedule
+    outcomes: list[str]
+    violations: list[InvariantViolation]
+    digest: str
+    tree_hash: str
+    model_checked: bool
+    makespan_us: int
+    counters: dict[str, int] = field(default_factory=dict)
+    #: the quiesced deployment, kept only when ``run_schedule(...,
+    #: keep_fs=True)`` -- for tests that assert on the final tree.
+    fs: object | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (
+            f"dst seed={self.schedule.seed}: {status} -- "
+            f"{self.counters.get('ops', 0)} ops "
+            f"({self.counters.get('denied', 0)} denied, "
+            f"{self.counters.get('unavailable', 0)} unavailable), "
+            f"{len(self.schedule)} steps, "
+            f"model={'checked' if self.model_checked else 'skipped'}, "
+            f"digest={self.digest[:12]}"
+        )
+
+
+def resolve_tweak(spec: str):
+    """``module:function`` -> the callable (for corpus-replayed bugs)."""
+    module_name, _, func_name = spec.partition(":")
+    if not module_name or not func_name:
+        raise ValueError(f"tweak must be 'module:function', got {spec!r}")
+    module = importlib.import_module(module_name)
+    return getattr(module, func_name)
+
+
+class _Run:
+    """Mutable state of one schedule execution."""
+
+    def __init__(self, schedule: Schedule):
+        self.schedule = schedule
+        self.cfg = DstConfig.from_json(schedule.config)
+        cfg = self.cfg
+        latency = (
+            LatencyModel.zero() if cfg.latency == "zero" else LatencyModel.rack_scale()
+        )
+        self.cluster = SwiftCluster(
+            ClusterConfig(
+                storage_nodes=cfg.storage_nodes,
+                replicas=cfg.replicas,
+                vnodes=cfg.vnodes,
+            ),
+            latency,
+        )
+        # The fault window starts closed: transient faults fire only
+        # inside explorer-scheduled storm windows.
+        self.plan = FaultPlan(
+            seed=schedule.seed * 2_000_003 + 1,
+            io_error_rate=cfg.io_error_rate,
+            timeout_rate=cfg.timeout_rate,
+            slow_rate=cfg.slow_rate,
+            window_us=(0, 0),
+        )
+        self.cluster.install_fault_plan(self.plan)
+        self.cluster.enable_auto_repair()
+        self.fs = H2CloudFS(
+            self.cluster,
+            account=ACCOUNT,
+            middlewares=cfg.middlewares,
+            config=H2Config(auto_merge=False),
+            message_loss=MessageLoss(
+                cfg.message_loss, seed=schedule.seed * 2_000_003 + 2
+            ),
+        )
+        if schedule.tweak:
+            resolve_tweak(schedule.tweak)(self.fs)
+        self.model = ModelFS() if cfg.check_model else None
+        self.outcomes: list[str] = []
+        self.violations: list[InvariantViolation] = []
+        # When a mutating op fails at the storage layer it may have been
+        # half-applied, which invalidates the all-or-nothing model.
+        self.mutation_storage_errors = 0
+        self.own_mirror_misses = 0
+        self.counters = {"ops": 0, "denied": 0, "unavailable": 0}
+        self._listener = None
+
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Create the session subtrees and the shared contention pool."""
+        from .ops import SHARED_DIR
+
+        mw = self.fs.middlewares[0]
+        for path in [SHARED_DIR] + [
+            session_root(k) for k in range(self.cfg.sessions)
+        ]:
+            mw.mkdir(ACCOUNT, path)
+            if self.model is not None:
+                self.model.mkdir(path)
+        self.fs.pump()  # every middleware starts from the same base tree
+        self._listener = self.fs.clock.subscribe(
+            lambda now_us: self.cluster.failures.pump()
+        )
+
+    # ------------------------------------------------------------------
+    def execute(self) -> None:
+        for index, step in enumerate(self.schedule.steps):
+            try:
+                self.outcomes.append(self._step(step))
+            except Exception as exc:  # noqa: BLE001 - any escape is a bug
+                self.outcomes.append(f"crash:{type(exc).__name__}")
+                self.violations.append(
+                    InvariantViolation(
+                        "crash",
+                        f"step {index} ({step.describe()}) raised "
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                return
+
+    def _step(self, step: Step) -> str:
+        kind = step.kind
+        if kind == "op":
+            return self._client_op(step.session, step.op)
+        fs, cluster = self.fs, self.cluster
+        if kind == "gossip_one":
+            if fs.network is None:
+                return "idle"
+            try:
+                return "delivered" if fs.network.pump_one() else "idle"
+            except SimCloudError as exc:
+                return f"unavailable:{type(exc).__name__}"
+        if kind == "gossip_round":
+            if fs.network is None:
+                return "round:0"
+            try:
+                return f"round:{fs.network.pump()}"
+            except SimCloudError as exc:
+                return f"unavailable:{type(exc).__name__}"
+        if kind == "anti_entropy":
+            if fs.network is None:
+                return "ae:0"
+            try:
+                return f"ae:{fs.network.anti_entropy_round()}"
+            except SimCloudError as exc:
+                return f"unavailable:{type(exc).__name__}"
+        if kind == "merge":
+            mw = fs.middlewares[step.args["mw"] % len(fs.middlewares)]
+            try:
+                return "merged" if mw.merger.step() else "clean"
+            except SimCloudError as exc:
+                return f"unavailable:{type(exc).__name__}"
+        if kind == "gc":
+            mw = fs.middlewares[step.args["mw"] % len(fs.middlewares)]
+            try:
+                report = collect_once(mw)
+                return f"gc:{report.swept}/{report.marked}"
+            except SimCloudError as exc:
+                return f"unavailable:{type(exc).__name__}"
+        if kind == "drop_caches":
+            mw = fs.middlewares[step.args["mw"] % len(fs.middlewares)]
+            return f"dropped:{mw.fd_cache.drop_clean()}"
+        if kind == "crash":
+            node = step.args["node"]
+            if node not in cluster.nodes:
+                return "no_such_node"
+            cluster.failures.crash_at(
+                fs.clock.now_us + step.args.get("delay_us", 0), node
+            )
+            cluster.failures.pump()
+            return f"crash:{node}"
+        if kind == "recover":
+            node = step.args["node"]
+            if node not in cluster.nodes:
+                return "no_such_node"
+            cluster.failures.recover_at(
+                fs.clock.now_us + step.args.get("delay_us", 0), node
+            )
+            cluster.failures.pump()
+            return f"recover:{node}"
+        if kind == "storm_on":
+            start = fs.clock.now_us
+            self.plan.window_us = (start, start + step.args["duration_us"])
+            return "storm_on"
+        if kind == "storm_off":
+            self.plan.window_us = (0, 0)
+            return "storm_off"
+        if kind == "advance":
+            cluster.step(step.args["delta_us"])
+            return "advanced"
+        raise AssertionError(f"unhandled step kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def _client_op(self, session: int, op: ClientOp) -> str:
+        mw = self.fs.middlewares[session % len(self.fs.middlewares)]
+        self.counters["ops"] += 1
+        try:
+            result = self._dispatch(mw, op)
+        except FilesystemError as exc:
+            self.counters["denied"] += 1
+            return f"denied:{type(exc).__name__}"
+        except SimCloudError as exc:
+            self.counters["unavailable"] += 1
+            if op.kind in _MUTATORS:
+                self.mutation_storage_errors += 1
+            return f"unavailable:{type(exc).__name__}"
+        self._mirror(session, op, result)
+        return result
+
+    def _dispatch(self, mw, op: ClientOp) -> str:
+        kind, path = op.kind, op.path
+        if kind == "mkdir":
+            mw.mkdir(ACCOUNT, path)
+            return "ok"
+        if kind == "rmdir":
+            mw.rmdir(ACCOUNT, path, recursive=True)
+            return "ok"
+        if kind == "write":
+            mw.write_file(ACCOUNT, path, payload_for(op))
+            return "ok"
+        if kind == "delete":
+            mw.delete_file(ACCOUNT, path)
+            return "ok"
+        if kind == "read":
+            data = mw.read_file(ACCOUNT, path)
+            return f"ok:{hashlib.sha256(data).hexdigest()[:12]}"
+        if kind == "list":
+            entries = mw.list_dir(ACCOUNT, path, detailed=False)
+            return f"ok:{len(entries)}"
+        if kind == "stat":
+            resolution = mw.stat(ACCOUNT, path)
+            return "ok:dir" if resolution.is_dir else "ok:file"
+        if kind in ("move", "rename"):
+            getattr(mw, kind)(ACCOUNT, path, op.dest)
+            return "ok"
+        if kind == "copy":
+            mw.copy(ACCOUNT, path, op.dest)
+            return "ok"
+        raise AssertionError(f"unhandled op kind {kind!r}")
+
+    def _mirror(self, session: int, op: ClientOp, result: str) -> None:
+        """Reflect a successful SUT op into the model, in schedule order."""
+        model = self.model
+        if model is None:
+            return
+        own = op.path.startswith(session_root(session) + "/")
+        try:
+            if op.kind == "mkdir":
+                model.mkdir(op.path)
+            elif op.kind == "rmdir":
+                model.rmdir(op.path)
+            elif op.kind == "write":
+                model.write(op.path, payload_for(op))
+            elif op.kind == "delete":
+                model.delete(op.path)
+            elif op.kind == "read" and own and self.mutation_storage_errors == 0:
+                want = hashlib.sha256(model.read(op.path)).hexdigest()[:12]
+                if result != f"ok:{want}":
+                    self.violations.append(
+                        InvariantViolation(
+                            "read",
+                            f"s{session} read {op.path}: fs returned "
+                            f"{result}, model expects ok:{want}",
+                        )
+                    )
+            elif op.kind in ("move", "rename"):
+                model.move(op.path, op.dest)
+            elif op.kind == "copy":
+                model.copy(op.path, op.dest)
+        except FilesystemError as exc:
+            # Cross-session asynchrony makes this legal for shared paths
+            # (e.g. two sessions' deletes of one file both succeed on
+            # their own stale views); the model converges to the same
+            # final state because mutations are LWW by global timestamp.
+            # For a session's own subtree it would mean the mirror lost
+            # sync -- only tolerable after a half-applied op already
+            # invalidated the model.
+            if own and self.mutation_storage_errors == 0:
+                self.own_mirror_misses += 1
+                self.violations.append(
+                    InvariantViolation(
+                        "read",
+                        f"s{session} {op.describe()} succeeded on the fs "
+                        f"but the model refused: {type(exc).__name__}",
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def quiesce(self) -> None:
+        """Stop the weather, heal the cluster, drain all asynchrony."""
+        fs, cluster = self.fs, self.cluster
+        if self._listener is not None:
+            fs.clock.unsubscribe(self._listener)
+        cluster.failures.clear_pending()
+        self.plan.window_us = (0, 0)
+        for node_id, node in sorted(cluster.nodes.items()):
+            if node.is_down:
+                cluster.failures.recover_at(fs.clock.now_us, node_id)
+        cluster.failures.pump()  # recoveries trigger auto-repair sweeps
+        # The cluster is healthy again, but breakers tripped during the
+        # run would quarantine their nodes for a 2-second cooldown --
+        # quiesce-time writes would silently skip those replicas and the
+        # oracle would blame the resulting divergence on the protocols.
+        for breaker in fs.store.breakers.values():
+            breaker.record_success(fs.clock.now_us)
+        fs.repair()
+        fs.pump()
+        self._revalidate_caches()
+        fs.gc()
+        fs.pump()
+        # Writes since the first sweep (merges, compactions) may have
+        # landed while a replica was still unreachable mid-run; one last
+        # sweep leaves every object fully and identically replicated.
+        fs.repair()
+
+    def _revalidate_caches(self) -> None:
+        """Bring every cached ring view up to date with the store.
+
+        Anti-entropy syncs caches *pairwise* but never against the
+        store, so a view that missed a rumor can stay stale until some
+        client touches it; GC's resurrection guard then (correctly)
+        refuses to sweep.  Quiesce re-reads every loaded ring --
+        ``load_ring`` merges, so cached-only children survive -- and
+        drops descriptors whose ring object no longer exists.
+        """
+        for mw in self.fs.middlewares:
+            for fd in mw.fd_cache.descriptors():
+                if not fd.loaded or fd.dirty:
+                    continue
+                try:
+                    mw.load_ring(fd.ns, use_cache=False)
+                except FilesystemError:
+                    mw.fd_cache.invalidate(fd.ns)
+
+    # ------------------------------------------------------------------
+    @property
+    def model_sound(self) -> bool:
+        return (
+            self.model is not None
+            and self.mutation_storage_errors == 0
+            and self.own_mirror_misses == 0
+        )
+
+
+def run_schedule(schedule: Schedule, keep_fs: bool = False) -> RunResult:
+    run = _Run(schedule)
+    run.setup()
+    run.execute()
+    try:
+        run.quiesce()
+    except Exception as exc:  # noqa: BLE001 - quiesce must never fail
+        run.violations.append(
+            InvariantViolation(
+                "quiesce", f"{type(exc).__name__}: {exc}"
+            )
+        )
+        return _result(run, tree="<quiesce-failed>", keep_fs=keep_fs)
+    try:
+        run.violations.extend(
+            check_invariants(run.fs, run.model if run.model_sound else None)
+        )
+        tree = final_tree_hash(run.fs)
+    except Exception as exc:  # noqa: BLE001 - oracle must never crash
+        run.violations.append(
+            InvariantViolation("quiesce", f"oracle: {type(exc).__name__}: {exc}")
+        )
+        tree = "<oracle-failed>"
+    return _result(run, tree=tree, keep_fs=keep_fs)
+
+
+def _result(run: _Run, tree: str, keep_fs: bool = False) -> RunResult:
+    digest = hashlib.sha256()
+    for step, outcome in zip(run.schedule.steps, run.outcomes):
+        digest.update(step.describe().encode("utf-8", "surrogatepass"))
+        digest.update(b"=")
+        digest.update(outcome.encode("utf-8", "surrogatepass"))
+        digest.update(b"\n")
+    digest.update(tree.encode())
+    digest.update(str(run.fs.clock.now_us).encode())
+    counters = dict(run.counters)
+    counters["storage_errors"] = run.mutation_storage_errors
+    return RunResult(
+        fs=run.fs if keep_fs else None,
+        schedule=run.schedule,
+        outcomes=run.outcomes,
+        violations=run.violations,
+        digest=digest.hexdigest(),
+        tree_hash=tree,
+        model_checked=run.model_sound,
+        makespan_us=run.fs.clock.now_us,
+        counters=counters,
+    )
+
+
+def run_seed(seed: int, config: DstConfig | None = None) -> RunResult:
+    """Explore ``seed`` into a schedule and execute it."""
+    return run_schedule(ScheduleExplorer(seed, config).explore())

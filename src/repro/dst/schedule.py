@@ -1,0 +1,158 @@
+"""Explicit, replayable schedules for deterministic simulation runs.
+
+A :class:`Schedule` is the full script of one simulated history: every
+client operation, every background-protocol step (single gossip
+delivery, one merger step, a GC pass, a cache drop), every fault event
+(crash/recover, fault-storm window) and every explicit clock advance,
+in the exact order the runner will execute them.  Because the runner is
+single-threaded and every source of randomness is seeded, a schedule is
+*the* interleaving -- replaying it bit-reproduces the run, and deleting
+steps from it (delta debugging) explores strictly smaller histories.
+
+Schedules serialise to JSON so failing runs can be persisted to the
+seed corpus (``tests/dst_corpus/``) and replayed from the CLI:
+
+    python -m repro dst replay tests/dst_corpus/<case>.json
+
+The optional ``tweak`` field names a ``module:function`` hook applied
+to the cluster before the run -- how regression cases that need a
+(test-only) injected bug round-trip through the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .ops import ClientOp
+
+# Step kinds and the extra fields each carries:
+#   op          session, op        -- one client call on that session
+#   gossip_one               -- deliver exactly one queued rumor
+#   gossip_round             -- one full gossip pump round
+#   anti_entropy             -- one full-state anti-entropy round
+#   merge       mw           -- one merger step on middleware ``mw``
+#   gc          mw           -- one mark-and-sweep attempt via ``mw``
+#   drop_caches mw           -- drop clean descriptors on ``mw``
+#   crash       node, delay_us -- schedule node crash after delay
+#   recover     node, delay_us -- schedule node recovery after delay
+#   storm_on    duration_us  -- open the fault-plan window
+#   storm_off                -- close the fault-plan window
+#   advance     delta_us     -- advance the simulated clock
+STEP_KINDS = frozenset(
+    {
+        "op",
+        "gossip_one",
+        "gossip_round",
+        "anti_entropy",
+        "merge",
+        "gc",
+        "drop_caches",
+        "crash",
+        "recover",
+        "storm_on",
+        "storm_off",
+        "advance",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One schedule entry; ``args`` holds the kind-specific fields."""
+
+    kind: str
+    session: int | None = None
+    op: ClientOp | None = None
+    args: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in STEP_KINDS:
+            raise ValueError(f"unknown step kind: {self.kind!r}")
+        if self.kind == "op" and self.op is None:
+            raise ValueError("op step requires an op")
+
+    def to_json(self) -> dict:
+        doc: dict = {"kind": self.kind}
+        if self.session is not None:
+            doc["session"] = self.session
+        if self.op is not None:
+            doc["op"] = self.op.to_json()
+        if self.args:
+            doc["args"] = dict(self.args)
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Step":
+        return cls(
+            kind=doc["kind"],
+            session=doc.get("session"),
+            op=ClientOp.from_json(doc["op"]) if "op" in doc else None,
+            args=dict(doc.get("args", {})),
+        )
+
+    def describe(self) -> str:
+        if self.kind == "op":
+            return f"s{self.session}: {self.op.describe()}"
+        if self.args:
+            detail = " ".join(f"{k}={v}" for k, v in sorted(self.args.items()))
+            return f"{self.kind} {detail}"
+        return self.kind
+
+
+FORMAT = "h2cloud-dst-schedule-v1"
+
+
+@dataclass
+class Schedule:
+    """A complete scripted history plus the config that interprets it."""
+
+    seed: int
+    config: dict
+    steps: list[Step]
+    tweak: str | None = None  # "module:function" applied to the cluster
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def subset(self, keep: list[int]) -> "Schedule":
+        """A schedule containing only the steps at ``keep`` (in order)."""
+        return Schedule(
+            seed=self.seed,
+            config=dict(self.config),
+            steps=[self.steps[i] for i in keep],
+            tweak=self.tweak,
+        )
+
+    def op_count(self) -> int:
+        return sum(1 for s in self.steps if s.kind == "op")
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        doc = {
+            "format": FORMAT,
+            "seed": self.seed,
+            "config": dict(self.config),
+            "steps": [s.to_json() for s in self.steps],
+        }
+        if self.tweak:
+            doc["tweak"] = self.tweak
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Schedule":
+        if doc.get("format") != FORMAT:
+            raise ValueError(f"not a {FORMAT} document")
+        return cls(
+            seed=doc["seed"],
+            config=dict(doc["config"]),
+            steps=[Step.from_json(s) for s in doc["steps"]],
+            tweak=doc.get("tweak"),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), ensure_ascii=False, indent=2)
+
+    @classmethod
+    def loads(cls, text: str) -> "Schedule":
+        return cls.from_json(json.loads(text))

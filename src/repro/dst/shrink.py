@@ -1,0 +1,73 @@
+"""Automatic shrinking of failing schedules (delta debugging).
+
+A failing DST schedule found by the explorer typically has a couple of
+hundred steps, most of them irrelevant to the bug.  ``shrink`` applies
+the classic ddmin algorithm [Zeller & Hildebrandt 2002] to the step
+list: repeatedly re-run subsets of the schedule and keep the smallest
+one that still violates an invariant.  Any subset of a schedule is a
+valid schedule -- ops that lost their preconditions simply fail with a
+tolerated ``denied`` outcome -- so no repair pass is needed between
+attempts, and because runs are bit-reproducible the predicate is
+deterministic: a subset either fails always or never.
+
+The result is the minimal repro that goes into the seed corpus.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .runner import RunResult, run_schedule
+from .schedule import Schedule
+
+Predicate = Callable[[RunResult], bool]
+
+
+def default_predicate(result: RunResult) -> bool:
+    """The schedule "still fails": any invariant violation at all."""
+    return bool(result.violations)
+
+
+def shrink(
+    schedule: Schedule,
+    predicate: Predicate = default_predicate,
+    max_runs: int = 400,
+) -> tuple[Schedule, RunResult, int]:
+    """Minimise ``schedule`` while ``predicate`` holds on its run result.
+
+    Returns ``(minimal_schedule, its_run_result, runs_used)``.  Raises
+    ``ValueError`` if the full schedule does not fail to begin with.
+    """
+    result = run_schedule(schedule)
+    if not predicate(result):
+        raise ValueError("schedule does not fail; nothing to shrink")
+    runs = 1
+    keep = list(range(len(schedule.steps)))
+    best = result
+    granularity = 2
+    while len(keep) >= 2 and runs < max_runs:
+        chunk = max(1, len(keep) // granularity)
+        reduced = False
+        start = 0
+        while start < len(keep) and runs < max_runs:
+            candidate = keep[:start] + keep[start + chunk:]
+            if not candidate:
+                start += chunk
+                continue
+            attempt = run_schedule(schedule.subset(candidate))
+            runs += 1
+            if predicate(attempt):
+                keep = candidate
+                best = attempt
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # restart scanning the (smaller) list from the top
+                start = 0
+                chunk = max(1, len(keep) // granularity)
+                continue
+            start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(granularity * 2, len(keep))
+    return schedule.subset(keep), best, runs

@@ -66,6 +66,7 @@ class SimClock:
             raise ValueError("clock cannot start before the epoch")
         self._now_us = start_us
         self._frozen = 0
+        self._listeners: list[Callable[[int], None]] = []
 
     # ------------------------------------------------------------------
     # basic time
@@ -89,7 +90,32 @@ class SimClock:
             raise ValueError(f"cannot advance clock by {delta_us} us")
         if not self._frozen:
             self._now_us += int(delta_us)
+            if delta_us and self._listeners:
+                for listener in tuple(self._listeners):
+                    listener(self._now_us)
         return self._now_us
+
+    # ------------------------------------------------------------------
+    # advance listeners (step hooks)
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: Callable[[int], None]) -> Callable[[int], None]:
+        """Register a callback fired after every real advance.
+
+        The callback receives the new ``now_us``.  This is the hook the
+        deterministic-simulation harness uses to land scheduled failure
+        events *mid-operation*: any component that charges time can
+        trigger a pending crash/recover exactly at its simulated due
+        time.  Listeners must not advance the clock recursively without
+        their own reentrancy guard.  Returns the listener for symmetric
+        :meth:`unsubscribe` calls.
+        """
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: Callable[[int], None]) -> None:
+        """Remove a previously subscribed advance listener (idempotent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # measuring and parallelism

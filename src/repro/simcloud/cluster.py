@@ -125,6 +125,21 @@ class SwiftCluster:
         return sweeper
 
     # ------------------------------------------------------------------
+    # simulation stepping
+    # ------------------------------------------------------------------
+    def step(self, delta_us: int = 0) -> list:
+        """Advance simulated time and apply any due failure events.
+
+        The single-step entry point the deterministic-simulation harness
+        drives: explorer-chosen ``advance`` points move the clock, and
+        every scheduled crash/recover/wipe whose time has come is applied
+        in order.  Returns the events that fired.
+        """
+        if delta_us:
+            self.clock.advance(delta_us)
+        return self.failures.pump()
+
+    # ------------------------------------------------------------------
     # cluster-wide operations
     # ------------------------------------------------------------------
     def add_storage_node(self) -> StorageNode:

@@ -109,6 +109,19 @@ class FailureSchedule:
     def pending(self) -> tuple[FailureEvent, ...]:
         return tuple(event for _, _, event in sorted(self._heap))
 
+    def clear_pending(self) -> int:
+        """Drop every not-yet-applied event; returns how many were dropped.
+
+        Used by the deterministic-simulation harness at quiesce time: a
+        shrunk schedule may have lost the ``advance`` steps that would
+        have fired an event, and a stray crash landing during the final
+        convergence drive would make the oracle's verdict depend on
+        quiesce internals rather than on the schedule under test.
+        """
+        dropped = len(self._heap)
+        self._heap.clear()
+        return dropped
+
 
 # ----------------------------------------------------------------------
 # per-request transient faults

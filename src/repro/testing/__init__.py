@@ -5,6 +5,6 @@ implementation in this repository is tested against, plus
 :func:`snapshot_of` for walking any filesystem into a comparable tree.
 """
 
-from .model import ModelFS, snapshot_of
+from .model import ModelFS, snapshot_of, tree_hash
 
-__all__ = ["ModelFS", "snapshot_of"]
+__all__ = ["ModelFS", "snapshot_of", "tree_hash"]

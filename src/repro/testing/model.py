@@ -206,6 +206,29 @@ class ModelFS:
         return len(self._dirs) - 1  # excluding root
 
 
+def tree_hash(snapshot: dict[str, bytes | None]) -> str:
+    """A canonical digest of a model-style snapshot.
+
+    Stable across dict ordering and independent of how the snapshot was
+    produced (model, full walk, per-middleware walk), so two filesystems
+    are logically identical iff their tree hashes match.  This is the
+    "final tree hash" component of a deterministic-simulation run digest.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    for path in sorted(snapshot):
+        content = snapshot[path]
+        h.update(path.encode("utf-8", "surrogatepass"))
+        if content is None:
+            h.update(b"\x00DIR\x00")
+        else:
+            h.update(b"\x00FILE\x00")
+            h.update(hashlib.sha256(bytes(content)).digest())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
 def snapshot_of(fs, top: str = "/") -> dict[str, bytes | None]:
     """Walk any filesystem with the shared API into a model-style snapshot."""
     tree: dict[str, bytes | None] = {}

@@ -17,7 +17,11 @@ account:
   set on healthy nodes;
 * **I6 garbage accounting** — unreachable `dir:`/`nr:`/`f:` objects
   and orphaned `patch:` objects are reported (GC's work list, not an
-  error).
+  error);
+* **I7 replica agreement** — all present replicas of a reachable
+  object hold the same bytes (etag + timestamp); a crash/recover cycle
+  without a repair sweep leaves stale copies, reported here so the
+  deterministic-simulation oracle can insist on agreement after quiesce.
 
 The checker is read-only and runs in background-accounted time.
 """
@@ -42,6 +46,7 @@ class FsckReport:
     errors: list[str] = field(default_factory=list)
     garbage: list[str] = field(default_factory=list)
     degraded_replicas: list[str] = field(default_factory=list)
+    divergent_replicas: list[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -53,7 +58,8 @@ class FsckReport:
             f"fsck: {status} -- {self.accounts_checked} accounts, "
             f"{self.directories_checked} dirs, {self.files_checked} files; "
             f"{len(self.garbage)} garbage objects, "
-            f"{len(self.degraded_replicas)} degraded replicas"
+            f"{len(self.degraded_replicas)} degraded replicas, "
+            f"{len(self.divergent_replicas)} divergent replicas"
         )
 
 
@@ -157,6 +163,19 @@ class H2Fsck:
         present, expected = self._store.replica_health(key)
         if present < expected:
             report.degraded_replicas.append(f"I5 {key}: {present}/{expected}")
+        # I7: all present replicas must agree byte-for-byte.
+        etags = set()
+        for node_id in self._store.ring.nodes_for(key):
+            node = self._store.nodes[node_id]
+            if node.is_down:
+                continue
+            record = node.peek(key)
+            if record is not None:
+                etags.add(record.etag)
+        if len(etags) > 1:
+            report.divergent_replicas.append(
+                f"I7 {key}: {len(etags)} distinct replica versions"
+            )
 
     def _check_garbage(self, report, reachable) -> None:
         protected = {

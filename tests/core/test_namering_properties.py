@@ -1,0 +1,210 @@
+"""Property-based proofs of the NameRing CRDT laws (paper §3.3.2).
+
+Gossip converges only because the per-directory merge is a join:
+commutative (given unique timestamps), associative, idempotent, and
+order-independent over whole patch chains.  Fake deletion depends on
+one more law: a newer ``Deleted`` tuple beats any older live tuple no
+matter which merge order delivers it.  Hypothesis searches for
+counterexamples to each law, and a stateful machine gossips random
+writes/deletes between replicas checking they always converge to the
+newest-writer state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.namering import Child, NameRing, merge_all
+from repro.dst import HOSTILE_NAMES
+from repro.simcloud.clock import Timestamp
+
+NAMES = ("a", "b", "c", "readme.txt") + HOSTILE_NAMES[:4]
+
+
+def _ring_from(children: list[Child]) -> NameRing:
+    ring = NameRing.empty()
+    for child in children:
+        ring = ring.merge(NameRing(children={child.name: child}))
+    return ring
+
+
+@st.composite
+def children_with_unique_timestamps(draw, max_size: int = 12) -> list[Child]:
+    """Children whose timestamps are globally distinct (what the shared
+    per-cluster TimestampFactory guarantees in production)."""
+    seqs = draw(
+        st.lists(st.integers(1, 10_000), unique=True, max_size=max_size)
+    )
+    return [
+        Child(
+            name=draw(st.sampled_from(NAMES)),
+            timestamp=Timestamp(wall_us=0, seq=seq, node_id=1),
+            deleted=draw(st.booleans()),
+        )
+        for seq in seqs
+    ]
+
+
+def arbitrary_ring(max_size: int = 8):
+    """Rings with possibly *colliding* timestamps (distinct replicas can
+    not mint these, but the laws that hold regardless are tested on the
+    larger space)."""
+    return st.builds(
+        _ring_from,
+        st.lists(
+            st.builds(
+                Child,
+                name=st.sampled_from(NAMES),
+                timestamp=st.builds(
+                    Timestamp,
+                    wall_us=st.integers(0, 50),
+                    seq=st.integers(0, 5),
+                    node_id=st.integers(1, 3),
+                ),
+                deleted=st.booleans(),
+            ),
+            max_size=max_size,
+        ),
+    )
+
+
+class TestMergeLaws:
+    @given(pool=children_with_unique_timestamps(), cut=st.integers(0, 12))
+    @settings(max_examples=200, deadline=None)
+    def test_commutative_with_unique_timestamps(self, pool, cut):
+        a = _ring_from(pool[: cut % (len(pool) + 1)])
+        b = _ring_from(pool[cut % (len(pool) + 1):])
+        assert a.merge(b) == b.merge(a)
+
+    @given(a=arbitrary_ring(), b=arbitrary_ring(), c=arbitrary_ring())
+    @settings(max_examples=200, deadline=None)
+    def test_associative_even_with_timestamp_ties(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(a=arbitrary_ring())
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, a):
+        assert a.merge(a) == a
+
+    @given(a=arbitrary_ring(), b=arbitrary_ring())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_never_loses_names(self, a, b):
+        merged = a.merge(b)
+        assert set(merged.children) == set(a.children) | set(b.children)
+
+    @given(
+        pool=children_with_unique_timestamps(),
+        permutation=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_merge_all_is_order_independent(self, pool, permutation):
+        """A patch chain folds to the same ring under any delivery
+        order -- why gossip needs no ordering guarantees at all."""
+        rings = [NameRing(children={c.name: c}) for c in pool]
+        baseline = merge_all(rings)
+        shuffled = list(rings)
+        permutation.shuffle(shuffled)
+        assert merge_all(shuffled) == baseline
+
+
+class TestFakeDeletionWins:
+    @given(
+        pool=children_with_unique_timestamps(max_size=8),
+        name=st.sampled_from(NAMES),
+        permutation=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_newest_tombstone_survives_any_merge_order(
+        self, pool, name, permutation
+    ):
+        latest = max(
+            (c.timestamp for c in pool), default=Timestamp(0, 0, 1)
+        )
+        tombstone = Child(
+            name, Timestamp(latest.wall_us, latest.seq + 1, 1), deleted=True
+        )
+        rings = [NameRing(children={c.name: c}) for c in pool]
+        rings.append(NameRing(children={name: tombstone}))
+        permutation.shuffle(rings)
+        merged = merge_all(rings)
+        assert merged.get(name) is None  # hidden from every listing
+        assert merged.get_any(name) == tombstone  # but the marker rides on
+
+    @given(pool=children_with_unique_timestamps())
+    @settings(max_examples=100, deadline=None)
+    def test_compaction_drops_exactly_the_tombstones(self, pool):
+        ring = _ring_from(pool)
+        compacted = ring.compacted()
+        assert not compacted.needs_compaction
+        assert compacted.live_children() == ring.live_children()
+        assert compacted.tombstones() == []
+
+
+class GossipConvergence(RuleBasedStateMachine):
+    """Replicas exchanging random writes/deletes in random order must
+    converge to the per-name newest state once fully synced."""
+
+    REPLICAS = 3
+
+    def __init__(self):
+        super().__init__()
+        self.replicas = [NameRing.empty() for _ in range(self.REPLICAS)]
+        self.seq = 0
+        self.newest: dict[str, Child] = {}  # per-name newest tuple minted
+
+    def _mint(self, name: str, deleted: bool) -> NameRing:
+        self.seq += 1
+        child = Child(name, Timestamp(0, self.seq, 1), deleted=deleted)
+        self.newest[name] = child
+        return NameRing(children={name: child})
+
+    @rule(
+        replica=st.integers(0, REPLICAS - 1), name=st.sampled_from(NAMES)
+    )
+    def local_write(self, replica, name):
+        self.replicas[replica] = self.replicas[replica].merge(
+            self._mint(name, deleted=False)
+        )
+
+    @rule(
+        replica=st.integers(0, REPLICAS - 1), name=st.sampled_from(NAMES)
+    )
+    def local_delete(self, replica, name):
+        self.replicas[replica] = self.replicas[replica].merge(
+            self._mint(name, deleted=True)
+        )
+
+    @rule(
+        sender=st.integers(0, REPLICAS - 1),
+        receiver=st.integers(0, REPLICAS - 1),
+    )
+    def gossip_one_way(self, sender, receiver):
+        """A rumor delivery: receiver absorbs the sender's state."""
+        self.replicas[receiver] = self.replicas[receiver].merge(
+            self.replicas[sender]
+        )
+
+    @rule()
+    def anti_entropy(self):
+        """Full sync: afterwards every replica must hold exactly the
+        newest tuple ever minted for every name any replica has seen."""
+        full = merge_all(self.replicas)
+        self.replicas = [r.merge(full) for r in self.replicas]
+        assert all(r == self.replicas[0] for r in self.replicas)
+        assert self.replicas[0].children == {
+            name: child
+            for name, child in self.newest.items()
+            if name in full.children
+        }
+
+    @invariant()
+    def replicas_never_hold_unminted_state(self):
+        for ring in self.replicas:
+            for name, child in ring.children.items():
+                assert child.timestamp <= self.newest[name].timestamp
+
+
+TestGossipConvergence = GossipConvergence.TestCase
+TestGossipConvergence.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

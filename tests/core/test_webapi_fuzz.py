@@ -5,10 +5,13 @@ with a known status code -- filesystem errors map to 4xx/5xx, never to
 raw exceptions escaping the service.
 """
 
+from urllib.parse import quote, unquote
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import H2Middleware, H2WebAPI, Request
+from repro.dst import HOSTILE_NAMES, ILLEGAL_NAMES
 from repro.simcloud import SwiftCluster
 from repro.core.webapi import _STATUS_REASON
 
@@ -60,3 +63,90 @@ class TestFuzz:
         service = api()
         assert service.put("/v1/alice/blob", body).status == 201
         assert service.get("/v1/alice/blob").body == body
+
+
+class TestDeleteThenRecreate:
+    """Fake-delete resurrection through the web layer: a DELETE leaves a
+    tombstone in the NameRing; a later PUT of the same name must mint a
+    newer tuple that overrides it, never resurrect the old content."""
+
+    @given(first=st.binary(max_size=32), second=st.binary(max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_file_recreate_serves_the_new_body(self, first, second):
+        service = api()
+        assert service.put("/v1/alice/f", first).status == 201
+        assert service.handle(Request("DELETE", "/v1/alice/f")).status == 204
+        assert service.get("/v1/alice/f").status == 404
+        assert service.put("/v1/alice/f", second).status == 201
+        assert service.get("/v1/alice/f").body == second
+
+    @given(rounds=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_repeated_delete_recreate_cycles(self, rounds):
+        service = api()
+        for generation in range(rounds):
+            body = f"gen-{generation}".encode()
+            assert service.put("/v1/alice/cycle", body).status == 201
+            assert service.get("/v1/alice/cycle").body == body
+            assert (
+                service.handle(Request("DELETE", "/v1/alice/cycle")).status
+                == 204
+            )
+        assert service.get("/v1/alice/cycle").status == 404
+
+    def test_directory_recreate_starts_empty(self):
+        service = api()
+        assert service.put("/v1/alice/dir?dir=1").status == 201
+        assert service.put("/v1/alice/dir/child", b"x").status == 201
+        status = service.handle(
+            Request("DELETE", "/v1/alice/dir?dir=1&recursive=1")
+        ).status
+        assert status == 204
+        assert service.put("/v1/alice/dir?dir=1").status == 201
+        listing = service.get("/v1/alice/dir?list=names")
+        assert listing.status == 200
+        assert b"child" not in listing.body
+
+
+class TestHostileNames:
+    """Names from the DST generator's hostile pool (unicode, spaces,
+    lookalikes): legal at the filesystem layer, so the web layer must
+    round-trip them -- URL-encoded or raw -- without a single 5xx."""
+
+    _ROUNDTRIPPABLE = tuple(
+        name for name in HOSTILE_NAMES if unquote(name) == name
+    )
+
+    @given(
+        name=st.sampled_from(_ROUNDTRIPPABLE), body=st.binary(max_size=32)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_put_get_delete_round_trip(self, name, body):
+        service = api()
+        path = f"/v1/alice/{name}"
+        assert service.put(path, body).status == 201
+        assert service.get(path).body == body
+        assert service.handle(Request("DELETE", path)).status == 204
+        assert service.get(path).status == 404
+
+    @given(
+        name=st.sampled_from(_ROUNDTRIPPABLE), body=st.binary(max_size=16)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_url_quoted_spelling_reaches_the_same_file(self, name, body):
+        service = api()
+        assert service.put(f"/v1/alice/{quote(name)}", body).status == 201
+        assert service.get(f"/v1/alice/{name}").body == body
+
+    def test_percent_2f_decodes_to_a_clean_rejection(self):
+        """'%2F' decodes to '/', which no single name may contain: the
+        web layer must answer 4xx, not create a phantom hierarchy."""
+        service = api()
+        assert service.put("/v1/alice/%2F", b"x").status == 400
+
+    @given(name=st.sampled_from([n for n in ILLEGAL_NAMES if n not in ("", ".", "..")]))
+    @settings(max_examples=20, deadline=None)
+    def test_illegal_names_get_a_clean_4xx(self, name):
+        service = api()
+        response = service.put(f"/v1/alice/{name}", b"x")
+        assert 400 <= response.status < 500

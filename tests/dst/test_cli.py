@@ -1,0 +1,63 @@
+"""``python -m repro dst``: exit codes and wiring."""
+
+import json
+
+from repro.dst import DstConfig, ScheduleExplorer
+from repro.dst.cli import main as dst_main, sweep_config
+from repro.dst.corpus import corpus_entry
+from repro.dst.runner import run_schedule
+
+
+class TestRunAndSweep:
+    def test_run_clean_seed_exits_zero(self, capsys):
+        assert dst_main(["run", "--seed", "0", "--sessions", "2", "--ops", "8"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_sweep_exits_zero_when_all_seeds_pass(self, capsys):
+        assert dst_main(["sweep", "--seeds", "4", "--sessions", "2", "--ops", "6"]) == 0
+        assert "0 failing" in capsys.readouterr().out
+
+    def test_sweep_config_alternates_fault_profiles(self):
+        assert sweep_config(0).crash_rate == 0.0
+        assert sweep_config(1).crash_rate > 0.0
+        assert sweep_config(0).check_model
+
+    def test_unknown_subcommand_is_a_usage_error(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            dst_main(["frobnicate"])
+        capsys.readouterr()
+
+
+class TestReplay:
+    def _small_schedule(self):
+        return ScheduleExplorer(
+            0, DstConfig(sessions=2, ops_per_session=6)
+        ).explore()
+
+    def test_replay_bare_schedule(self, tmp_path, capsys):
+        schedule = self._small_schedule()
+        path = tmp_path / "schedule.json"
+        path.write_text(schedule.dumps(), encoding="utf-8")
+        assert dst_main(["replay", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_replay_detects_digest_divergence(self, tmp_path, capsys):
+        schedule = self._small_schedule()
+        result = run_schedule(schedule)
+        doc = corpus_entry(result)
+        doc["digest"] = "0" * 64  # claim a different recording
+        doc["violations"] = [{"check": "V1", "detail": "fabricated"}]
+        path = tmp_path / "tampered.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert dst_main(["replay", str(path)]) == 2
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_replay_reproduces_a_faithful_recording(self, tmp_path, capsys):
+        schedule = self._small_schedule()
+        result = run_schedule(schedule)
+        path = tmp_path / "case.json"
+        path.write_text(json.dumps(corpus_entry(result)), encoding="utf-8")
+        assert dst_main(["replay", str(path)]) == 0
+        assert "reproduced" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""The DST op generator: deterministic, serialisable, well-scoped."""
+
+import pytest
+
+from repro.core.namespace import InvalidPath, validate_name
+from repro.dst import ClientOp, HOSTILE_NAMES, ILLEGAL_NAMES, OpGenerator, payload_for
+from repro.dst.ops import SHARED_DIR, SHARED_POOL, session_root
+
+
+class TestNamePools:
+    def test_hostile_names_are_all_legal(self):
+        for name in HOSTILE_NAMES:
+            validate_name(name)  # must not raise
+
+    def test_illegal_names_are_all_rejected(self):
+        for name in ILLEGAL_NAMES:
+            with pytest.raises(InvalidPath):
+                validate_name(name)
+
+
+class TestClientOp:
+    def test_json_round_trip(self):
+        ops = [
+            ClientOp("write", "/s0/café", tag=7),
+            ClientOp("move", "/s1/a", dest="/s1/b"),
+            ClientOp("list", "/shared"),
+        ]
+        for op in ops:
+            assert ClientOp.from_json(op.to_json()) == op
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ClientOp("chmod", "/f")
+
+    def test_payload_is_deterministic_and_distinct_per_tag(self):
+        a = ClientOp("write", "/s0/f", tag=1)
+        b = ClientOp("write", "/s0/f", tag=2)
+        assert payload_for(a) == payload_for(a)
+        assert payload_for(a) != payload_for(b)
+
+
+class TestOpGenerator:
+    def test_same_seed_same_streams(self):
+        first = OpGenerator(42).streams(3, 40)
+        second = OpGenerator(42).streams(3, 40)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert OpGenerator(1).streams(2, 30) != OpGenerator(2).streams(2, 30)
+
+    def test_sessions_are_independent_prefixes(self):
+        """Session k's stream does not depend on how many sessions run."""
+        two = OpGenerator(7).streams(2, 25)
+        three = OpGenerator(7).streams(3, 25)
+        assert two[0] == three[0]
+        assert two[1] == three[1]
+
+    def test_ops_stay_inside_the_session_territory(self):
+        """Every path is in the own subtree, the shared pool, or a
+        session-minted root entry -- sessions never touch each other's
+        subtrees, which is what makes own-subtree reads checkable."""
+        for session, stream in enumerate(OpGenerator(3).streams(3, 120)):
+            own = session_root(session)
+            for op in stream:
+                for path in filter(None, [op.path, op.dest]):
+                    assert (
+                        path == own
+                        or path.startswith(own + "/")
+                        or path in SHARED_POOL
+                        or path == SHARED_DIR
+                        or path.startswith(f"/x{session}-")
+                    ), (session, op)
+
+    def test_hostile_names_show_up(self):
+        streams = OpGenerator(5, hostile_name_rate=0.9).streams(2, 60)
+        names = {
+            seg
+            for stream in streams
+            for op in stream
+            for seg in op.path.split("/")[1:]
+        }
+        assert any(
+            any(seg.startswith(h) for h in HOSTILE_NAMES) for seg in names
+        )
+
+    def test_generated_names_are_legal(self):
+        for stream in OpGenerator(11, hostile_name_rate=1.0).streams(3, 80):
+            for op in stream:
+                for path in filter(None, [op.path, op.dest]):
+                    for seg in path.split("/")[1:]:
+                        validate_name(seg)

@@ -1,0 +1,56 @@
+"""Test-only bug injections for the DST harness.
+
+A schedule's ``tweak`` field names a ``module:function`` hook the
+runner applies to the freshly built deployment before executing any
+step.  The functions here deliberately break a protocol invariant so
+the shrinker and the corpus round-trip can be demonstrated against a
+*known* bug without shipping broken code in ``src/``.
+
+They are addressed as ``tests.dst.tweaks:<name>``, which resolves both
+under pytest and from ``python -m repro dst replay`` run at the repo
+root.
+"""
+
+from __future__ import annotations
+
+
+def drop_tombstones_on_store(fs) -> None:
+    """Persist rings compacted: deletion tombstones never hit the store.
+
+    This resurrects the classic CRDT mistake of treating tombstones as
+    garbage too early: a peer that still holds the pre-delete child as
+    *live* re-contributes it on the next merge, and with the tombstone
+    gone nothing outranks it -- deleted names come back to life.  The
+    model-differential oracle (V1) and view convergence (V2) catch it.
+    """
+    for mw in fs.middlewares:
+        original = mw.store_ring
+
+        def buggy_store_ring(fd, _original=original):
+            fd.ring = fd.ring.compacted()
+            _original(fd)
+
+        mw.store_ring = buggy_store_ring
+
+
+def lose_merge_updates(fs) -> None:
+    """Make every second merger write-back silently drop one child.
+
+    A deterministic "lost update" fault in the merge path: the merged
+    ring is persisted minus its lexicographically last live child on
+    every other write-back.  Reads on the same middleware still see the
+    cached (correct) ring, so only cross-middleware checks expose it.
+    """
+    for mw in fs.middlewares:
+        original = mw.store_ring
+        state = {"count": 0}
+
+        def buggy_store_ring(fd, _original=original, _state=state):
+            _state["count"] += 1
+            if _state["count"] % 2 == 0:
+                live = fd.ring.live_names()
+                if live:
+                    fd.ring = fd.ring.without(live[-1])
+            _original(fd)
+
+        mw.store_ring = buggy_store_ring

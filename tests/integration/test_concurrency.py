@@ -4,11 +4,25 @@ The asynchronous protocol resolves conflicting NameRing updates by
 per-child last-writer-wins; these tests pin down the user-visible
 outcomes: later timestamps win, fake deletion avoids lost-update
 races, and nothing resurrects after compaction.
+
+Two layers:
+
+* the fixed-interleaving classes below pin exact winners for the
+  canonical two-node races (one hand-picked order each);
+* ``TestScheduledInterleavings`` feeds the same scenario families
+  through the DST scheduler (``repro.dst``), which re-runs each race
+  under many explorer-chosen interleavings of client ops, merger
+  steps, gossip deliveries, cache drops and GC passes -- with the
+  model-differential oracle and all post-quiesce invariants asserting
+  the outcome for every seed instead of one scripted order.
 """
 
 import pytest
 
 from repro.core import H2CloudFS, H2Config
+from repro.dst import ClientOp, DstConfig, OpGenerator, payload_for
+from repro.dst.explorer import interleave_sessions
+from repro.dst.runner import run_schedule
 from repro.simcloud import MessageLoss, SwiftCluster
 from repro.testing import snapshot_of
 
@@ -135,3 +149,101 @@ class TestInterleavedWorkloads:
         fs.pump()
         dirs, files = fs.tree_size()
         assert (dirs, files) == (15, 15)
+
+
+SEEDS = range(6)  # every scenario runs under >=5 distinct interleavings
+
+
+def run_race(ops_by_session, seed, **overrides):
+    """One scenario under one explorer-chosen interleaving.
+
+    The runner mirrors every successful op into a ModelFS and checks
+    model equivalence, view convergence, fsck, GC accounting and
+    replica agreement after quiesce -- so a bare ``result.ok`` asserts
+    far more than the fixed-order tests above can.
+    """
+    knobs = {"middlewares": 2, "check_model": True, **overrides}
+    cfg = DstConfig(sessions=len(ops_by_session), **knobs)
+    schedule = interleave_sessions(ops_by_session, seed, cfg)
+    result = run_schedule(schedule, keep_fs=True)
+    assert result.ok, (seed, [str(v) for v in result.violations])
+    return result, schedule
+
+
+class TestScheduledInterleavings:
+    """The race families above, re-run through the DST scheduler."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_concurrent_shared_writes_lww(self, seed):
+        a = ClientOp("write", "/shared/k0", tag=1)
+        b = ClientOp("write", "/shared/k0", tag=2)
+        result, schedule = run_race([[a], [b]], seed)
+        # Timestamps are minted in schedule order, so whichever write
+        # the explorer scheduled later must own the file everywhere.
+        later = [s.op for s in schedule.steps if s.kind == "op"][-1]
+        assert result.fs.read("/shared/k0") == payload_for(later)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_delete_vs_recreate(self, seed):
+        run_race(
+            [
+                [ClientOp("write", "/shared/k1", tag=1), ClientOp("delete", "/shared/k1")],
+                [ClientOp("write", "/shared/k1", tag=2)],
+            ],
+            seed,
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_rename_vs_delete(self, seed):
+        result, schedule = run_race(
+            [
+                [
+                    ClientOp("write", "/shared/k2", tag=3),
+                    ClientOp("move", "/shared/k2", dest="/shared/moved"),
+                ],
+                [ClientOp("delete", "/shared/k2")],
+            ],
+            seed,
+        )
+        # If the move won the race, its insert must survive the
+        # concurrent delete of the *source* name.
+        ops = [s for s in schedule.steps if s.kind == "op"]
+        move_outcome = result.outcomes[
+            schedule.steps.index(next(s for s in ops if s.op.kind == "move"))
+        ]
+        if move_outcome == "ok":
+            assert result.fs.read("/shared/moved") == payload_for(
+                ClientOp("write", "/shared/k2", tag=3)
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_concurrent_mkdir_same_name(self, seed):
+        """Both sessions mkdir '/dup', then write under it concurrently.
+
+        Paper semantics: the name conflict resolves by LWW, so exactly
+        one '/dup' *namespace* survives; a child written through the
+        losing middleware before convergence lands in the losing
+        namespace and is orphaned (then reclaimed by GC), not grafted
+        into the winner.  An all-or-nothing model cannot express that,
+        so this scenario runs without V1 and asserts the structural
+        invariants instead: views converge, fsck is clean, no garbage
+        outlives GC, and the surviving directory stays usable.
+        """
+        result, _ = run_race(
+            [
+                [ClientOp("mkdir", "/dup"), ClientOp("write", "/dup/from-s0", tag=1)],
+                [ClientOp("mkdir", "/dup"), ClientOp("write", "/dup/from-s1", tag=2)],
+            ],
+            seed,
+            check_model=False,
+        )
+        # LWW keeps exactly one /dup namespace and it stays usable.
+        assert result.fs.exists("/dup")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_workload_stays_consistent(self, seed):
+        """Three sessions of generated traffic (own subtrees + shared
+        pool + root mints) under an explored interleaving: the full
+        invariant battery must hold at quiesce."""
+        streams = OpGenerator(seed).streams(3, 15)
+        run_race(streams, seed, middlewares=3)
