@@ -10,7 +10,7 @@ middleware's monitoring snapshot.
 Run:  python examples/web_service.py
 """
 
-from repro.core import H2Middleware, H2WebAPI, Monitor, Request
+from repro.core import H2Middleware, H2WebAPI, Request
 from repro.simcloud import SwiftCluster
 
 
@@ -25,7 +25,9 @@ def main() -> None:
     cluster = SwiftCluster.rack_scale()
     middleware = H2Middleware(node_id=1, store=cluster.store)
     api = H2WebAPI(middleware)
-    monitor = Monitor(middleware)
+    # Every operation below lands in middleware.monitor automatically:
+    # the Inbound API is instrumented, no explicit timing wrappers.
+    monitor = middleware.monitor
 
     print("== account APIs ==")
     show(api, "PUT", "/v1/alice")
@@ -34,7 +36,7 @@ def main() -> None:
 
     print("\n== file content APIs ==")
     show(api, "PUT", "/v1/alice/docs?dir=1")
-    monitor.timed("write", lambda: api.put("/v1/alice/docs/report.txt", b"Q3 numbers"))
+    api.put("/v1/alice/docs/report.txt", b"Q3 numbers")
     show(api, "GET", "/v1/alice/docs/report.txt")
     head = api.head("/v1/alice/docs/report.txt")
     rel = head.headers["X-Relative-Path"]
@@ -42,9 +44,8 @@ def main() -> None:
     show(api, "GET", f"/v1/~rel/{rel}")
 
     print("\n== directory APIs ==")
-    monitor.timed("list", lambda: api.get("/v1/alice/docs?list=detail"))
     show(api, "GET", "/v1/alice/docs?list=detail")
-    monitor.timed("move", lambda: api.post("/v1/alice/docs?op=move&dst=/archive"))
+    api.post("/v1/alice/docs?op=move&dst=/archive")
     show(api, "GET", "/v1/alice?list=names")
     show(api, "DELETE", "/v1/alice/archive?dir=1")
     show(api, "GET", "/v1/alice/archive?list=names")  # 404

@@ -5,6 +5,8 @@
     python -m repro repair       # fault drill: outage -> sweep -> healed
     python -m repro bench [...]  # forwards to repro.bench's CLI
     python -m repro dst [...]    # deterministic simulation testing
+    python -m repro metrics      # Prometheus/JSON metrics for a canned run
+    python -m repro trace        # Chrome trace of a canned traced run
 """
 
 from __future__ import annotations
@@ -17,7 +19,10 @@ from . import __version__
 def overview() -> None:
     print(f"repro {__version__} -- reproduction of H2Cloud (ICPP 2018)")
     print(__import__("repro").__doc__)
-    print("subcommands: demo | repair | bench [experiment ...] | dst [...]")
+    print(
+        "subcommands: demo | repair | bench [experiment ...] | dst [...] "
+        "| metrics | trace"
+    )
 
 
 def demo() -> None:
@@ -86,7 +91,18 @@ def main(argv: list[str]) -> int:
         from .dst.cli import main as dst_main
 
         return dst_main(rest)
-    print(f"unknown subcommand {command!r}; use demo | repair | bench | dst")
+    if command == "metrics":
+        from .obs.cli import metrics_main
+
+        return metrics_main(rest)
+    if command == "trace":
+        from .obs.cli import trace_main
+
+        return trace_main(rest)
+    print(
+        f"unknown subcommand {command!r}; "
+        "use demo | repair | bench | dst | metrics | trace"
+    )
     return 2
 
 

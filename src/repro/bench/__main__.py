@@ -27,11 +27,22 @@ def main(argv: list[str]) -> int:
             return 2
         argv = argv[:flag] + argv[flag + 2 :]
     wanted = argv or list(ALL_EXPERIMENTS)
+    # "trajectory" is not a figure: it writes machine-readable
+    # BENCH_*.json artifacts instead of printing a chart.
+    run_trajectory = "trajectory" in wanted
+    wanted = [name for name in wanted if name != "trajectory"]
     unknown = [name for name in wanted if name not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}")
-        print(f"available: {', '.join(ALL_EXPERIMENTS)}")
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}, trajectory")
         return 2
+    if run_trajectory:
+        from .trajectory import write_bench_artifacts
+
+        for path in write_bench_artifacts(out_dir or "."):
+            print(f"wrote {path}")
+        if not wanted:
+            return 0
     print(f"# H2Cloud reproduction benchmarks (scale={bench_scale()})\n")
     collected = []
     for name in wanted:

@@ -1,0 +1,181 @@
+"""Bench-trajectory artifacts: machine-readable headline numbers.
+
+Two JSON artifacts summarise what a deterministic reference workload
+costs, fed by the unified metrics registry (the same numbers
+``Monitor.snapshot()`` exports):
+
+* ``BENCH_headline.json`` -- per-operation latency distributions
+  (count, mean, p50/p95/p99, max in simulated ms) from a
+  single-middleware write-through deployment running every Inbound
+  API operation;
+* ``BENCH_maintenance.json`` -- the asynchronous maintenance
+  pipeline's throughput on a three-middleware deployment (patches,
+  merges, gossip traffic, anti-entropy, GC, background time).
+
+Both are deterministic for a given scale: the simulated clock is the
+only time source, so CI can diff them run over run.
+
+    python -m repro.bench trajectory --out results/
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.fs import H2CloudFS
+from ..core.middleware import H2Config
+from ..simcloud.cluster import SwiftCluster
+from .harness import bench_scale
+
+FORMAT = "h2cloud-bench-trajectory-v1"
+
+#: per-op stats exported for every operation histogram
+_OP_KEYS = ("count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms")
+
+
+def _op_stats(mw) -> dict[str, dict[str, float]]:
+    ops: dict[str, dict[str, float]] = {}
+    for name, hist in sorted(mw.monitor.ops.items()):
+        if not hist.samples:
+            continue
+        ops[name] = {
+            "count": hist.samples,
+            "mean_ms": hist.mean / 1000.0,
+            "p50_ms": hist.percentile(0.50) / 1000.0,
+            "p95_ms": hist.percentile(0.95) / 1000.0,
+            "p99_ms": hist.percentile(0.99) / 1000.0,
+            "max_ms": hist.max / 1000.0,
+        }
+    return ops
+
+
+def _workload_shape() -> tuple[int, int]:
+    """(directories, files per directory) for the reference workload."""
+    return (24, 12) if bench_scale() == "full" else (8, 4)
+
+
+def _drive_workload(fs: H2CloudFS) -> None:
+    """Every Inbound API operation, deterministically, hot and cold."""
+    dirs, files = _workload_shape()
+    for d in range(dirs):
+        fs.mkdir(f"/d{d:03d}")
+        for f in range(files):
+            fs.write(f"/d{d:03d}/f{f:03d}", b"x" * (64 + 8 * f))
+    for d in range(dirs):
+        fs.listdir(f"/d{d:03d}")
+        fs.stat(f"/d{d:03d}/f000")
+        fs.exists(f"/d{d:03d}/f001")
+        fs.read(f"/d{d:03d}/f000")
+        rel = fs.relative_path_of(f"/d{d:03d}/f001")
+        fs.read_relative(rel)
+        if d % 4 == 0:
+            fs.drop_caches()  # expose the cold O(d) lookup path too
+    fs.du("/")
+    for d in range(0, dirs, 4):
+        fs.move(f"/d{d:03d}/f002", f"/d{d:03d}/moved")
+        fs.copy(f"/d{d:03d}/f003", f"/d{d:03d}/copied")
+        fs.delete(f"/d{d:03d}/f001")
+    fs.rmdir(f"/d{dirs - 1:03d}")
+
+
+def headline_trajectory() -> dict:
+    """Per-op latency distributions on the write-through configuration."""
+    fs = H2CloudFS(SwiftCluster.rack_scale(), account="bench")
+    _drive_workload(fs)
+    fs.pump()
+    mw = fs.middlewares[0]
+    snapshot = mw.monitor.snapshot()
+    return {
+        "format": FORMAT,
+        "artifact": "headline",
+        "scale": bench_scale(),
+        "sim_makespan_ms": fs.clock.now_ms,
+        "ops": _op_stats(mw),
+        "store": {
+            key.split(".", 1)[1]: snapshot[key]
+            for key in snapshot
+            if key.startswith("store.")
+        },
+        "fd_cache_hit_rate": snapshot["fd_cache.hit_rate"],
+    }
+
+
+def maintenance_trajectory() -> dict:
+    """The async pipeline's throughput on a gossiping deployment."""
+    fs = H2CloudFS(
+        SwiftCluster.rack_scale(),
+        account="bench",
+        middlewares=3,
+        config=H2Config(auto_merge=False),
+    )
+    dirs, files = _workload_shape()
+    for d in range(dirs):
+        fs.mkdir(f"/m{d:03d}")
+        # With auto-merge off the mkdir is only a pending patch; the
+        # background merger must apply it before children can resolve
+        # -- exactly the interleaving a live deployment runs.
+        for mw in fs.middlewares:
+            mw.merger.run_once()
+        for f in range(files):
+            fs.write(f"/m{d:03d}/f{f:03d}", b"y" * 128)
+        if d % 3 == 0:
+            fs.network.pump()
+    fs.pump()
+    for d in range(0, dirs, 3):
+        fs.delete(f"/m{d:03d}/f000")
+    fs.pump()
+    gc_report = fs.gc()
+    per_node = {}
+    totals = {
+        "patches_submitted": 0,
+        "merges": 0,
+        "patches_applied": 0,
+        "merge_steps": 0,
+    }
+    for mw in fs.middlewares:
+        snapshot = mw.monitor.snapshot()
+        per_node[str(mw.node_id)] = {
+            key: snapshot[key]
+            for key in snapshot
+            if key.startswith("maintenance.")
+        }
+        for key in totals:
+            totals[key] += int(snapshot[f"maintenance.{key}"])
+    network = fs.network
+    snapshot = fs.middlewares[0].monitor.snapshot()
+    return {
+        "format": FORMAT,
+        "artifact": "maintenance",
+        "scale": bench_scale(),
+        "sim_makespan_ms": fs.clock.now_ms,
+        "background_ms": snapshot["store.background_ms"],
+        "totals": totals,
+        "per_node": per_node,
+        "gossip": {
+            "rumors_sent": network.rumors_sent,
+            "rumors_delivered": network.rumors_delivered,
+            "anti_entropy_rounds": network.anti_entropy_rounds,
+        },
+        "gc": {
+            "marked": gc_report.marked,
+            "swept": gc_report.swept,
+            "reclaimed_bytes": gc_report.reclaimed_bytes,
+            "compacted_rings": gc_report.compacted_rings,
+        },
+    }
+
+
+def write_bench_artifacts(out_dir: str | Path = ".") -> list[Path]:
+    """Write both artifacts; returns the paths written."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, doc in (
+        ("BENCH_headline.json", headline_trajectory()),
+        ("BENCH_maintenance.json", maintenance_trajectory()),
+    ):
+        path = out / name
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written

@@ -22,6 +22,7 @@ Typical use::
 
 from __future__ import annotations
 
+from ..obs.trace import NULL_TRACER, Tracer
 from ..simcloud.cluster import SwiftCluster
 from ..simcloud.failures import MessageLoss
 from .gc import GarbageCollector, GCReport
@@ -44,11 +45,23 @@ class H2CloudFS:
         config: H2Config | None = None,
         gossip_fanout: int = 2,
         message_loss: MessageLoss | None = None,
+        tracing: bool = False,
+        tracer: Tracer | None = None,
     ):
+        """``tracing=True`` (or an explicit shared ``tracer``) enables
+        causal tracing: every middleware and the object store record
+        into one :class:`~repro.obs.trace.Tracer`, so span trees follow
+        operations across nodes.  Off by default -- the disabled path is
+        a shared no-op tracer."""
         if middlewares < 1:
             raise ValueError("need at least one middleware")
         self.cluster = cluster
         self.account = account
+        if tracer is None:
+            tracer = Tracer(cluster.clock) if tracing else NULL_TRACER
+        self.tracer = tracer
+        if not tracer.noop:
+            cluster.store.tracer = tracer
         self.network = (
             GossipNetwork(fanout=gossip_fanout, loss=message_loss)
             if middlewares > 1
@@ -60,6 +73,7 @@ class H2CloudFS:
                 store=cluster.store,
                 config=config,
                 network=self.network,
+                tracer=tracer,
             )
             for i in range(middlewares)
         ]
@@ -73,6 +87,7 @@ class H2CloudFS:
         account: str = "user",
         middlewares: int = 1,
         config: H2Config | None = None,
+        tracing: bool = False,
     ) -> "H2CloudFS":
         """An H2Cloud over a fresh rack-scale simulated cluster."""
         return cls(
@@ -80,6 +95,7 @@ class H2CloudFS:
             account=account,
             middlewares=middlewares,
             config=config,
+            tracing=tracing,
         )
 
     # ------------------------------------------------------------------

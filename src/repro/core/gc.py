@@ -71,7 +71,17 @@ class GarbageCollector:
     # ------------------------------------------------------------------
     def collect(self) -> GCReport:
         """One full pass.  Runs entirely in background-accounted time."""
-        return self._mw.background(self._collect)
+        mw = self._mw
+        with mw.tracer.span("gc.collect", tags={"node": mw.node_id}) as span:
+            report = mw.background(self._collect)
+            span.tag("marked", report.marked)
+            span.tag("swept", report.swept)
+        metrics = mw.metrics
+        metrics.counter("gc.passes").inc()
+        metrics.counter("gc.swept").inc(report.swept)
+        metrics.counter("gc.reclaimed_bytes").inc(report.reclaimed_bytes)
+        metrics.counter("gc.compacted_rings").inc(report.compacted_rings)
+        return report
 
     def _collect(self) -> GCReport:
         if not self._safe_to_collect():

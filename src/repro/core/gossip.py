@@ -22,8 +22,9 @@ protocols [Demers et al. 1987] pair rumor mongering with anti-entropy.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from ..obs.trace import TraceContext
 from ..simcloud.clock import Timestamp
 from ..simcloud.failures import MessageLoss
 from .namespace import Namespace
@@ -36,12 +37,17 @@ class Rumor:
     ``invalidate=True`` turns the rumor into a cache-invalidation
     broadcast: the namespace ceased to exist (account teardown), so
     receivers drop their descriptor instead of fetching-and-merging.
+
+    ``trace`` (in-memory only, excluded from equality) carries the
+    announcing span's context so gossip deliveries on *peer* nodes can
+    join the originating operation's span tree.
     """
 
     ns: Namespace
     origin: int
     ts: Timestamp
     invalidate: bool = False
+    trace: TraceContext | None = field(default=None, compare=False, repr=False)
 
 
 class GossipNetwork:

@@ -69,26 +69,50 @@ class H2Lookup:
         ns = Namespace.root(account)
         chain = [ns]
         child: Child | None = None
+        tracer = self._mw.tracer
         for i, name in enumerate(components):
-            fd = self._mw.load_ring(ns, use_cache=use_cache)
-            child = fd.view().get(name)
-            if child is None and use_cache and fd.loaded:
-                # Revalidate on miss: the cached ring may predate an
-                # update another middleware merged into the store.
-                # Only failed lookups pay this extra GET; positive
-                # cache hits stay free (eventual consistency with
-                # read-repair on the miss path).
-                fd = self._mw.load_ring(ns, use_cache=False)
-                child = fd.view().get(name)
-            if child is None:
-                raise PathNotFound("/" + "/".join(components[: i + 1]))
-            is_last = i == len(components) - 1
-            if not is_last:
-                if child.kind != KIND_DIR or child.ns is None:
-                    raise NotADirectory("/" + "/".join(components[: i + 1]))
-                ns = Namespace(child.ns)
-                chain.append(ns)
+            if tracer.noop:
+                child, ns = self._resolve_level(
+                    components, i, name, ns, chain, use_cache
+                )
+                continue
+            with tracer.span(
+                "lookup.hop",
+                tags={"node": self._mw.node_id, "name": name, "depth": i},
+            ):
+                child, ns = self._resolve_level(
+                    components, i, name, ns, chain, use_cache
+                )
         return Resolution(path=path, ns_chain=tuple(chain), child=child)
+
+    def _resolve_level(
+        self,
+        components: list[str],
+        i: int,
+        name: str,
+        ns: Namespace,
+        chain: list[Namespace],
+        use_cache: bool,
+    ) -> tuple[Child, Namespace]:
+        """One NameRing hop of the O(d) walk; appends to ``chain``."""
+        fd = self._mw.load_ring(ns, use_cache=use_cache)
+        child = fd.view().get(name)
+        if child is None and use_cache and fd.loaded:
+            # Revalidate on miss: the cached ring may predate an
+            # update another middleware merged into the store.
+            # Only failed lookups pay this extra GET; positive
+            # cache hits stay free (eventual consistency with
+            # read-repair on the miss path).
+            fd = self._mw.load_ring(ns, use_cache=False)
+            child = fd.view().get(name)
+        if child is None:
+            raise PathNotFound("/" + "/".join(components[: i + 1]))
+        if i != len(components) - 1:
+            if child.kind != KIND_DIR or child.ns is None:
+                raise NotADirectory("/" + "/".join(components[: i + 1]))
+            ns = Namespace(child.ns)
+            chain.append(ns)
+        return child, ns
 
     def resolve_dir(
         self, account: str, path: str, use_cache: bool = True

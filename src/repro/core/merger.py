@@ -28,9 +28,22 @@ class BackgroundMerger:
 
     def __init__(self, middleware):
         self._mw = middleware
-        self.merges = 0
-        self.patches_applied = 0
-        self.single_steps = 0
+        registry = middleware.metrics
+        self._merges = registry.counter("maintenance.merges")
+        self._patches_applied = registry.counter("maintenance.patches_applied")
+        self._single_steps = registry.counter("maintenance.merge_steps")
+
+    @property
+    def merges(self) -> int:
+        return int(self._merges.value)
+
+    @property
+    def patches_applied(self) -> int:
+        return int(self._patches_applied.value)
+
+    @property
+    def single_steps(self) -> int:
+        return int(self._single_steps.value)
 
     # ------------------------------------------------------------------
     # the merge of one ring
@@ -54,17 +67,34 @@ class BackgroundMerger:
         return True
 
     def _apply(self, fd: FileDescriptor) -> None:
-        big_patch = fd.chain.fold()
-        stored = self._load_stored(fd.ns)
-        merged = stored.merge(fd.ring).merge(big_patch)
-        fd.ring = merged
-        fd.loaded = True
-        self._mw.store_ring(fd)
-        drained = fd.chain.clear()
-        self._retire_patches(drained)
-        self.merges += 1
-        self.patches_applied += len(drained)
-        self._mw.after_merge(fd)
+        tracer = self._mw.tracer
+        # Background merges run with no active span; linking to the
+        # first chained patch's carried context stitches the merge (and
+        # the gossip announcement it triggers) into the span tree of the
+        # operation that submitted it.
+        parent = None
+        if tracer.current() is None and fd.chain.patches:
+            parent = fd.chain.patches[0].trace
+        with tracer.span(
+            "merge.apply",
+            tags={
+                "node": self._mw.node_id,
+                "ns": str(fd.ns),
+                "patches": len(fd.chain),
+            },
+            parent=parent,
+        ):
+            big_patch = fd.chain.fold()
+            stored = self._load_stored(fd.ns)
+            merged = stored.merge(fd.ring).merge(big_patch)
+            fd.ring = merged
+            fd.loaded = True
+            self._mw.store_ring(fd)
+            drained = fd.chain.clear()
+            self._retire_patches(drained)
+            self._merges.inc()
+            self._patches_applied.inc(len(drained))
+            self._mw.after_merge(fd)
 
     def _load_stored(self, ns: Namespace):
         from .namering import NameRing
@@ -93,7 +123,7 @@ class BackgroundMerger:
         """
         for fd in self._mw.fd_cache.dirty_descriptors():
             if self.merge_ring(fd.ns, foreground=False):
-                self.single_steps += 1
+                self._single_steps.inc()
                 return True
         return False
 
@@ -132,6 +162,7 @@ class BackgroundMerger:
         from .namespace import Namespace
         from .patch import Patch
 
+        tracer = self._mw.tracer
         recovered = 0
         chained = {
             patch.object_name
@@ -150,20 +181,30 @@ class BackgroundMerger:
             by_ns.setdefault(ns_uuid, []).append((node_id, patch_seq, name))
         for ns_uuid, found in by_ns.items():
             ns = Namespace(ns_uuid)
-            fd = self._mw.fd_cache.get_or_create(ns)
-            payload = None
-            for node_id, patch_seq, name in sorted(found):
-                record = self._mw.store.get(name)
-                patch = Patch.from_bytes(ns, node_id, patch_seq, record.data)
-                payload = (
-                    patch.payload if payload is None else payload.merge(patch.payload)
-                )
-                recovered += 1
-            stored = self._load_stored(ns)
-            fd.ring = stored.merge(fd.ring).merge(payload)
-            fd.loaded = True
-            self._mw.store_ring(fd)
-            for _, _, name in found:
-                self._mw.store.delete(name, missing_ok=True)
-            self._mw.after_merge(fd)
+            with tracer.span(
+                "merge.recover",
+                tags={
+                    "node": self._mw.node_id,
+                    "ns": ns_uuid,
+                    "patches": len(found),
+                },
+            ):
+                fd = self._mw.fd_cache.get_or_create(ns)
+                payload = None
+                for node_id, patch_seq, name in sorted(found):
+                    record = self._mw.store.get(name)
+                    patch = Patch.from_bytes(ns, node_id, patch_seq, record.data)
+                    payload = (
+                        patch.payload
+                        if payload is None
+                        else payload.merge(patch.payload)
+                    )
+                    recovered += 1
+                stored = self._load_stored(ns)
+                fd.ring = stored.merge(fd.ring).merge(payload)
+                fd.loaded = True
+                self._mw.store_ring(fd)
+                for _, _, name in found:
+                    self._mw.store.delete(name, missing_ok=True)
+                self._mw.after_merge(fd)
         return recovered

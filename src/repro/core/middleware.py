@@ -21,8 +21,11 @@ this is what lands H2Cloud's MKDIR in the paper's 150-200 ms band.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
+from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..simcloud.clock import Timestamp
 from ..simcloud.errors import (
     AlreadyExists,
@@ -62,6 +65,7 @@ class H2Config:
     compact_on_use: bool = True  # strip tombstones when a ring is used
     fd_cache_capacity: int = 4096
     degraded_reads: bool = True  # serve stale rings when the store is out
+    observe: bool = True  # collect metrics (False => no-op registry)
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,34 @@ class Entry:
     modified: Timestamp = Timestamp.ZERO
 
 
+def observed(op_name: str, path_arg: int | None = None):
+    """Instrument an Inbound API method: one span + one latency sample.
+
+    ``path_arg`` names the positional argument (0-based, after
+    ``self``) whose value is worth tagging on the span -- usually the
+    path.  When both tracing and metrics are disabled the wrapper is a
+    single extra call frame.
+    """
+
+    def decorate(method):
+        @functools.wraps(method)
+        def wrapper(self, *args, **kwargs):
+            tracer = self.tracer
+            if tracer.noop and not self.config.observe:
+                return method(self, *args, **kwargs)
+            tags: dict[str, object] = {"node": self.node_id}
+            if path_arg is not None and len(args) > path_arg:
+                tags["path"] = args[path_arg]
+            with tracer.span(f"op.{op_name}", tags=tags):
+                return self.monitor.timed(
+                    op_name, lambda: method(self, *args, **kwargs)
+                )
+
+        return wrapper
+
+    return decorate
+
+
 class H2Middleware:
     """One H2 proxy node: Inbound API over the flat object store."""
 
@@ -85,25 +117,41 @@ class H2Middleware:
         store: ObjectStore,
         config: H2Config | None = None,
         network: GossipNetwork | None = None,
+        tracer: Tracer | None = None,
     ):
         self.node_id = node_id
         self.store = store
         self.clock = store.clock
         self.config = config or H2Config()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = MetricsRegistry() if self.config.observe else NULL_REGISTRY
         self.fd_cache = FileDescriptorCache(self.config.fd_cache_capacity)
         self.allocator = NamespaceAllocator(node_id, self.clock)
         self.patch_counter = PatchCounter(node_id)
         self.lookup = H2Lookup(self)
         # Imported here to avoid a circular import at module load.
         from .merger import BackgroundMerger
+        from .monitoring import Monitor
 
         self.merger = BackgroundMerger(self)
         self.network = network
         if network is not None:
             network.join(self)
-        self.patches_submitted = 0
-        self.degraded_serves = 0  # ring loads served stale during outages
+        self._patches_submitted = self.metrics.counter(
+            "maintenance.patches_submitted"
+        )
+        self._degraded_serves = self.metrics.counter("degraded.serves")
+        self.monitor = Monitor(self)
         self._merge_block = 0  # §3.3.3b: >0 while a file stream is open
+
+    @property
+    def patches_submitted(self) -> int:
+        return int(self._patches_submitted.value)
+
+    @property
+    def degraded_serves(self) -> int:
+        """Ring loads served stale during outages."""
+        return int(self._degraded_serves.value)
 
     # ==================================================================
     # storage-facing plumbing
@@ -135,7 +183,10 @@ class H2Middleware:
         except QuorumError:
             if self.config.degraded_reads and fd.loaded:
                 fd.stale = True
-                self.degraded_serves += 1
+                self._degraded_serves.inc()
+                self.tracer.event(
+                    "degraded.read", tags={"node": self.node_id, "ns": str(ns)}
+                )
                 return fd
             raise
         # Merge, don't replace: local unmerged updates must survive.
@@ -180,18 +231,23 @@ class H2Middleware:
         way the gossip announcement happens in :meth:`after_merge`.
         """
         payload = NameRing(children={c.name: c for c in entries})
-        patch = Patch(
-            target_ns=ns,
-            node_id=self.node_id,
-            patch_seq=self.patch_counter.next_seq(ns),
-            payload=payload,
-        )
-        self.store.put(patch.object_name, patch.to_bytes())
-        fd = self.fd_cache.get_or_create(ns)
-        fd.chain.append(patch)
-        self.patches_submitted += 1
-        if self.config.auto_merge:
-            self.merger.merge_ring(ns, foreground=True)
+        with self.tracer.span(
+            "patch.submit", tags={"node": self.node_id, "ns": str(ns)}
+        ) as span:
+            patch = Patch(
+                target_ns=ns,
+                node_id=self.node_id,
+                patch_seq=self.patch_counter.next_seq(ns),
+                payload=payload,
+                trace=self.tracer.current(),
+            )
+            span.tag("patch", patch.object_name)
+            self.store.put(patch.object_name, patch.to_bytes())
+            fd = self.fd_cache.get_or_create(ns)
+            fd.chain.append(patch)
+            self._patches_submitted.inc()
+            if self.config.auto_merge:
+                self.merger.merge_ring(ns, foreground=True)
         return patch
 
     def after_merge(self, fd: FileDescriptor) -> None:
@@ -199,7 +255,12 @@ class H2Middleware:
         if self.network is not None:
             self.network.announce(
                 self.node_id,
-                Rumor(ns=fd.ns, origin=self.node_id, ts=fd.local_version),
+                Rumor(
+                    ns=fd.ns,
+                    origin=self.node_id,
+                    ts=fd.local_version,
+                    trace=self.tracer.current(),
+                ),
             )
 
     # ------------------------------------------------------------------
@@ -242,7 +303,12 @@ class H2Middleware:
         drop, so the broadcast dies out once every cache is clean.
         """
         if rumor.invalidate:
-            return self.fd_cache.purge(rumor.ns)
+            with self.tracer.span(
+                "gossip.invalidate",
+                tags={"node": self.node_id, "ns": str(rumor.ns)},
+                parent=rumor.trace,
+            ):
+                return self.fd_cache.purge(rumor.ns)
         fd = self.fd_cache.get_or_create(rumor.ns)
         if fd.local_version >= rumor.ts:
             return False
@@ -275,7 +341,18 @@ class H2Middleware:
         # timestamp), so a node could chase an unreachable ``rumor.ts``
         # and reflood the same rumor forever.  Requiring strict progress
         # bounds every rumor's life; anti-entropy backstops convergence.
-        return self.background(absorb)
+        with self.tracer.span(
+            "gossip.apply",
+            tags={
+                "node": self.node_id,
+                "ns": str(rumor.ns),
+                "origin": rumor.origin,
+            },
+            parent=rumor.trace,
+        ) as span:
+            changed = self.background(absorb)
+            span.tag("changed", changed)
+        return changed
 
     def local_ring_copy(self, ns: Namespace) -> NameRing | None:
         """Our local version of a ring, for a peer's gossip fetch."""
@@ -287,21 +364,27 @@ class H2Middleware:
     def pull_state_from(self, source: "H2Middleware") -> int:
         """Anti-entropy: merge every loaded ring of ``source``; count changes."""
         changed = 0
-        for src_fd in source.fd_cache.descriptors():
-            if not src_fd.loaded:
-                continue
-            fd = self.fd_cache.get_or_create(src_fd.ns)
-            merged = fd.ring.merge(src_fd.ring)
-            if merged.children != fd.ring.children:
-                fd.ring = merged
-                fd.loaded = True
-                self.background(lambda fd=fd: self.store_ring_merged(fd))
-                changed += 1
+        with self.tracer.span(
+            "gossip.anti_entropy",
+            tags={"node": self.node_id, "source": source.node_id},
+        ) as span:
+            for src_fd in source.fd_cache.descriptors():
+                if not src_fd.loaded:
+                    continue
+                fd = self.fd_cache.get_or_create(src_fd.ns)
+                merged = fd.ring.merge(src_fd.ring)
+                if merged.children != fd.ring.children:
+                    fd.ring = merged
+                    fd.loaded = True
+                    self.background(lambda fd=fd: self.store_ring_merged(fd))
+                    changed += 1
+            span.tag("refreshed", changed)
         return changed
 
     # ==================================================================
     # Inbound API: accounts
     # ==================================================================
+    @observed("create_account")
     def create_account(self, account: str) -> Namespace:
         root = Namespace.root(account)
         if self.store.exists(directory_key(root)):
@@ -314,9 +397,11 @@ class H2Middleware:
         self.store.accounts.add(account)
         return root
 
+    @observed("account_exists")
     def account_exists(self, account: str) -> bool:
         return self.store.exists(directory_key(Namespace.root(account)))
 
+    @observed("delete_account")
     def delete_account(self, account: str, force: bool = False) -> None:
         """Remove an account: its root record and ring disappear, the
         tree becomes unreachable, and GC reclaims the objects.
@@ -346,12 +431,14 @@ class H2Middleware:
                     origin=self.node_id,
                     ts=self.next_timestamp(),
                     invalidate=True,
+                    trace=self.tracer.current(),
                 ),
             )
 
     # ==================================================================
     # Inbound API: directory operations
     # ==================================================================
+    @observed("mkdir", path_arg=1)
     def mkdir(self, account: str, path: str) -> Namespace:
         parent_ns, name = self.lookup.resolve_parent(account, path)
         parent_fd = self.load_ring(parent_ns)
@@ -370,6 +457,7 @@ class H2Middleware:
         )
         return ns
 
+    @observed("rmdir", path_arg=1)
     def rmdir(self, account: str, path: str, recursive: bool = True) -> None:
         """Fake-delete a directory: one patch to the parent ring, O(1).
 
@@ -392,6 +480,7 @@ class H2Middleware:
             resolution.parent_ns, [child.tombstone(self.next_timestamp())]
         )
 
+    @observed("move", path_arg=1)
     def move(self, account: str, src: str, dst: str) -> None:
         """MOVE/RENAME: two NameRing patches, O(1) in n (paper Table 1).
 
@@ -459,6 +548,7 @@ class H2Middleware:
         if src_child.ns in ancestor_uuids:
             raise InvalidPath(dst, "destination is inside the moved directory")
 
+    @observed("list", path_arg=1)
     def list_dir(
         self,
         account: str,
@@ -522,6 +612,7 @@ class H2Middleware:
             )
         return entries
 
+    @observed("usage", path_arg=1)
     def usage(self, account: str, path: str = "/") -> tuple[int, int, int]:
         """(directories, files, logical bytes) under ``path``.
 
@@ -543,6 +634,7 @@ class H2Middleware:
                     nbytes += child.size
         return dirs, files, nbytes
 
+    @observed("copy", path_arg=1)
     def copy(self, account: str, src: str, dst: str) -> int:
         """COPY: O(n) object copies; returns the number of objects copied.
 
@@ -659,6 +751,7 @@ class H2Middleware:
     # ==================================================================
     # Inbound API: file content operations
     # ==================================================================
+    @observed("write", path_arg=1)
     def write_file(
         self, account: str, path: str, data: bytes, if_match: str | None = None
     ) -> Child:
@@ -696,6 +789,7 @@ class H2Middleware:
         self.submit_patch(parent_ns, [child])
         return child
 
+    @observed("write_many", path_arg=1)
     def write_files(
         self, account: str, dir_path: str, items: list[tuple[str, object]]
     ) -> list[Child]:
@@ -736,6 +830,7 @@ class H2Middleware:
             self.submit_patch(dir_ns, children)
         return children
 
+    @observed("read", path_arg=1)
     def read_file(self, account: str, path: str) -> bytes:
         """Regular (full-path) file access: O(d) walk then one GET."""
         resolution = self.lookup.resolve(account, path)
@@ -744,6 +839,7 @@ class H2Middleware:
             raise IsADirectory(path)
         return self.store.get(file_key(resolution.parent_ns, child.name)).data
 
+    @observed("read_range", path_arg=1)
     def read_file_range(
         self, account: str, path: str, offset: int, length: int
     ):
@@ -756,6 +852,7 @@ class H2Middleware:
             file_key(resolution.parent_ns, child.name), offset, length
         )
 
+    @observed("read_relative", path_arg=0)
     def read_file_relative(self, rel_path: str) -> bytes:
         """Quick access (paper §3.2): hash ``N02::file1`` directly, O(1)."""
         ns, name = parse_decorated(rel_path)
@@ -773,6 +870,7 @@ class H2Middleware:
 
         return decorate(resolution.parent_ns, resolution.child.name)
 
+    @observed("delete", path_arg=1)
     def delete_file(self, account: str, path: str) -> None:
         """Fake deletion: tombstone the ring tuple; bytes go at GC time."""
         resolution = self.lookup.resolve(account, path)
@@ -783,9 +881,11 @@ class H2Middleware:
             resolution.parent_ns, [child.tombstone(self.next_timestamp())]
         )
 
+    @observed("stat", path_arg=1)
     def stat(self, account: str, path: str) -> Resolution:
         """Pure lookup (Fig 13's measured quantity): resolve, no data I/O."""
         return self.lookup.resolve(account, path)
 
+    @observed("exists", path_arg=1)
     def exists(self, account: str, path: str) -> bool:
         return self.lookup.try_resolve(account, path) is not None

@@ -1,11 +1,20 @@
 """System monitoring (paper Fig 6: "a few other modules ... for
 inter-communications and system monitoring").
 
-:class:`Monitor` aggregates one middleware's operational signals into
-a flat metrics snapshot -- the numbers an operator's dashboard would
-plot: per-operation counters with simulated latency distributions,
-descriptor-cache efficiency, maintenance-protocol throughput (patches,
-merges, gossip), and the underlying store's request mix.
+:class:`Monitor` is one middleware's window into the unified
+:class:`~repro.obs.metrics.MetricsRegistry`: per-operation latency
+histograms (recorded automatically by the middleware's instrumented
+Inbound API), descriptor-cache efficiency, maintenance-protocol
+throughput (patches, merges, gossip), fault-masking cost and the
+underlying store's request mix -- flattened into a stable
+``snapshot()`` whose key names are a compatibility contract (see
+``tests/obs/test_metric_names.py``).
+
+Every :class:`~repro.core.middleware.H2Middleware` owns one persistent
+``Monitor`` from construction (``mw.monitor``); constructing
+``Monitor(mw)`` by hand binds to the same registry, so ad-hoc monitors
+see the same history instead of the empty histograms the seed's
+throwaway instances reported.
 
 :func:`deployment_report` rolls every middleware of a deployment into
 one text block, used by the examples and handy at a REPL.
@@ -13,12 +22,24 @@ one text block, used by the examples and handy at a REPL.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+from ..obs.metrics import MetricsRegistry
+
+#: histogram suffixes emitted per instrumented operation
+_OP_STATS = ("count", "mean_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms")
 
 
 @dataclass
 class LatencyHistogram:
-    """A tiny fixed-bucket latency histogram (microseconds)."""
+    """A tiny fixed-bucket latency histogram (microseconds).
+
+    Kept for the text report's bucket labels; exact distributions live
+    in :class:`repro.obs.metrics.Histogram`.  ``percentile(q)`` answers
+    with a linearly interpolated value inside the bucket the quantile
+    falls in, which is as much as bucket counts can support.
+    """
 
     BOUNDS = (1_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 10_000_000)
 
@@ -41,13 +62,24 @@ class LatencyHistogram:
     def mean_us(self) -> float:
         return self.total_us / self.samples if self.samples else 0.0
 
+    def _rank(self, q: float) -> int:
+        """Nearest-rank index (1-based) of quantile ``q``.
+
+        ``ceil(q * samples)`` computed with a guard against float
+        noise: ``0.3 * 10`` is ``3.0000000000000004`` in binary
+        floating point, and without the epsilon the rank would come out
+        one too high at exactly those boundaries (and ``q=1.0`` must
+        land on the last sample, never past it).
+        """
+        return min(self.samples, max(1, math.ceil(q * self.samples - 1e-9)))
+
     def percentile_bucket(self, q: float) -> str:
         """The bucket label containing quantile ``q`` (0 < q <= 1)."""
         if not 0.0 < q <= 1.0:
             raise ValueError("q must be in (0, 1]")
         if not self.samples:
             return "n/a"
-        want = q * self.samples
+        want = self._rank(q)
         seen = 0
         labels = [f"<={b // 1000}ms" for b in self.BOUNDS] + [">10s"]
         for count, label in zip(self.counts, labels):
@@ -56,19 +88,64 @@ class LatencyHistogram:
                 return label
         return labels[-1]
 
+    def percentile(self, q: float) -> float:
+        """Interpolated quantile ``q`` in microseconds.
+
+        Linear interpolation across the winning bucket's range,
+        clamped to ``max_us`` (the histogram knows its true maximum, so
+        the open-ended overflow bucket stays finite).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if not self.samples:
+            return 0.0
+        want = self._rank(q)
+        seen = 0
+        lower = 0
+        for count, upper in zip(self.counts, self.BOUNDS):
+            if seen + count >= want:
+                frac = (want - seen) / count
+                return min(float(self.max_us), lower + (upper - lower) * frac)
+            seen += count
+            lower = upper
+        return float(self.max_us)
+
 
 class Monitor:
-    """Observes one middleware; records per-op counts and latencies."""
+    """Observes one middleware; snapshots the unified metrics registry."""
 
     def __init__(self, middleware):
         self._mw = middleware
-        self.ops: dict[str, LatencyHistogram] = {}
+        registry = getattr(middleware, "metrics", None)
+        self.registry: MetricsRegistry = (
+            registry if registry is not None else MetricsRegistry()
+        )
 
     def timed(self, op_name: str, thunk):
-        """Run an operation under observation; returns its result."""
-        result, elapsed = self._mw.clock.measure(thunk)
-        self.ops.setdefault(op_name, LatencyHistogram()).observe(elapsed)
+        """Run an operation under observation; returns its result.
+
+        Failures are counted (``op.<name>.errors``) but excluded from
+        the latency distribution -- a refused mkdir says nothing about
+        how long a successful one takes.
+        """
+        clock = self._mw.clock
+        start = clock.now_us
+        try:
+            result = thunk()
+        except BaseException:
+            self.registry.counter(f"op.{op_name}.errors").inc()
+            raise
+        self.registry.histogram(f"op.{op_name}").observe(clock.now_us - start)
         return result
+
+    @property
+    def ops(self) -> dict[str, object]:
+        """Per-op latency histograms recorded so far, keyed by op name."""
+        return {
+            h.name[len("op."):]: h
+            for h in self.registry.histograms()
+            if h.name.startswith("op.")
+        }
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, float]:
@@ -116,6 +193,12 @@ class Monitor:
                 "degraded.stale_rings": sum(
                     1 for fd in mw.fd_cache.descriptors() if fd.stale
                 ),
+                "gc.passes": mw.metrics.counter("gc.passes").value,
+                "gc.swept": mw.metrics.counter("gc.swept").value,
+                "gc.reclaimed_bytes": mw.metrics.counter("gc.reclaimed_bytes").value,
+                "gc.compacted_rings": mw.metrics.counter("gc.compacted_rings").value,
+                "trace.spans": len(mw.tracer.spans),
+                "trace.dropped": mw.tracer.dropped,
             }
         )
         if mw.network is not None:
@@ -126,8 +209,14 @@ class Monitor:
             metrics["gossip.in_flight"] = mw.network.in_flight
         for op_name, histogram in sorted(self.ops.items()):
             metrics[f"op.{op_name}.count"] = histogram.samples
-            metrics[f"op.{op_name}.mean_ms"] = histogram.mean_us / 1000.0
-            metrics[f"op.{op_name}.max_ms"] = histogram.max_us / 1000.0
+            metrics[f"op.{op_name}.mean_ms"] = histogram.mean / 1000.0
+            metrics[f"op.{op_name}.max_ms"] = histogram.max / 1000.0
+            metrics[f"op.{op_name}.p50_ms"] = histogram.percentile(0.50) / 1000.0
+            metrics[f"op.{op_name}.p95_ms"] = histogram.percentile(0.95) / 1000.0
+            metrics[f"op.{op_name}.p99_ms"] = histogram.percentile(0.99) / 1000.0
+        for counter in self.registry.counters():
+            if counter.name.startswith("op.") and counter.name.endswith(".errors"):
+                metrics[counter.name] = counter.value
         return metrics
 
 
@@ -140,7 +229,7 @@ def deployment_report(fs) -> str:
         f"accounts: {sorted(fs.store.accounts)}"
     )
     for mw in fs.middlewares:
-        metrics = Monitor(mw).snapshot()
+        metrics = mw.monitor.snapshot()
         lines.append(
             f"middleware {mw.node_id}: "
             f"fd-cache {int(metrics['fd_cache.size'])} entries "
@@ -148,6 +237,21 @@ def deployment_report(fs) -> str:
             f"{int(metrics['maintenance.patches_submitted'])} patches, "
             f"{int(metrics['maintenance.merges'])} merges"
         )
+        ops = [
+            (name, hist)
+            for name, hist in sorted(mw.monitor.ops.items())
+            if hist.samples
+        ]
+        if ops:
+            lines.append(
+                "  ops: "
+                + "  ".join(
+                    f"{name} n={hist.samples} "
+                    f"p50={hist.percentile(0.5) / 1000.0:.1f}ms "
+                    f"p99={hist.percentile(0.99) / 1000.0:.1f}ms"
+                    for name, hist in ops
+                )
+            )
     store = fs.store
     trips = sum(b.trips for b in store.breakers.values())
     degraded = sum(mw.degraded_serves for mw in fs.middlewares)

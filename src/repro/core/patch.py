@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.trace import TraceContext
 from . import formatter
 from .namering import NameRing, merge_all
 from .namespace import Namespace, patch_key
@@ -24,12 +25,22 @@ from .namespace import Namespace, patch_key
 
 @dataclass(frozen=True)
 class Patch:
-    """One submitted update to one NameRing."""
+    """One submitted update to one NameRing.
+
+    ``trace`` is in-memory observability metadata only: the causal
+    context of the operation that submitted the patch, so a later
+    (possibly background) merge can link its span to the originating
+    request.  It is deliberately excluded from equality and from
+    ``to_bytes`` -- the wire format, and therefore every simulated
+    cost and deterministic-simulation digest, is identical with
+    tracing on or off.
+    """
 
     target_ns: Namespace
     node_id: int
     patch_seq: int
     payload: NameRing
+    trace: TraceContext | None = field(default=None, compare=False, repr=False)
 
     @property
     def object_name(self) -> str:

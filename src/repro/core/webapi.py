@@ -129,14 +129,30 @@ class H2WebAPI:
 
     # ------------------------------------------------------------------
     def handle(self, request: Request) -> Response:
-        """Dispatch one request; never raises filesystem errors."""
+        """Dispatch one request; never raises filesystem errors.
+
+        Each request opens a fresh root span (``http``), so every span
+        the inbound call fans out to -- lookup hops, patches, merges,
+        gossip on peers -- shares one trace id per request.
+        """
         self.requests_served += 1
-        try:
-            return self._route(request)
-        except FilesystemError as exc:
-            return Response(
-                status=_error_status(exc), body=str(exc).encode("utf-8")
-            )
+        mw = self.middleware
+        with mw.tracer.span(
+            "http",
+            tags={
+                "node": mw.node_id,
+                "method": request.method,
+                "path": request.raw_path,
+            },
+        ) as span:
+            try:
+                response = self._route(request)
+            except FilesystemError as exc:
+                response = Response(
+                    status=_error_status(exc), body=str(exc).encode("utf-8")
+                )
+            span.tag("status", response.status)
+        return response
 
     # convenience wrappers for client code / tests
     def get(self, path: str) -> Response:

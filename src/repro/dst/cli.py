@@ -50,11 +50,28 @@ def _report(result: RunResult, verbose: bool = True) -> None:
             print(f"  [{violation.check}] {violation.detail}")
 
 
+def _save_failure(result: RunResult, directory: str) -> None:
+    """Persist a failing run -- and the span trace of what it was doing.
+
+    Capture re-executes the schedule with tracing on; tracing is
+    passive, so the re-run reproduces the exact same digest (asserted,
+    as a live determinism check on every saved failure).
+    """
+    print("saved:", corpus_mod.save_case(result, directory))
+    traced = run_schedule(result.schedule, capture_trace=True)
+    if traced.digest != result.digest:  # pragma: no cover - would be a bug
+        print("WARNING: traced re-run diverged; trace not saved")
+        return
+    trace_path = corpus_mod.save_trace(traced, directory)
+    if trace_path:
+        print("trace:", trace_path)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     result = run_seed(args.seed, _config_from(args))
     _report(result)
     if result.violations and args.save_failures:
-        print("saved:", corpus_mod.save_case(result, args.save_failures))
+        _save_failure(result, args.save_failures)
     return 0 if result.ok else 1
 
 
@@ -69,7 +86,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         failures += 1
         _report(result)
         if args.save_failures:
-            print("saved:", corpus_mod.save_case(result, args.save_failures))
+            _save_failure(result, args.save_failures)
     print(
         f"sweep: {args.seeds} seeds from {args.start}, "
         f"{failures} failing"
@@ -113,7 +130,7 @@ def _cmd_shrink(args: argparse.Namespace) -> int:
         f"({minimal.op_count()} ops) in {runs} runs"
     )
     _report(result)
-    print("saved:", corpus_mod.save_case(result, args.corpus))
+    _save_failure(result, args.corpus)
     return 1
 
 

@@ -54,6 +54,26 @@ def save_case(result: RunResult, directory: str = DEFAULT_DIR) -> str:
     return path
 
 
+def save_trace(result: RunResult, directory: str = DEFAULT_DIR) -> str | None:
+    """Persist a failing run's captured trace next to its corpus case.
+
+    Written as ``<case>.trace.json`` in Chrome Trace Event format, so
+    the repro for a failing schedule ships with the span tree of what
+    the deployment was doing.  Returns the path, or None when the run
+    carried no tracer (``capture_trace=False``) or recorded nothing.
+    """
+    tracer = result.tracer
+    if tracer is None or not tracer.spans:
+        return None
+    from ..obs.export import write_chrome_trace
+
+    os.makedirs(directory, exist_ok=True)
+    stem = case_name(result)[: -len(".json")]
+    path = os.path.join(directory, f"{stem}.trace.json")
+    write_chrome_trace(tracer, path)
+    return path
+
+
 def load_case(path: str) -> tuple[Schedule, dict]:
     """(schedule, metadata) from a corpus case or bare schedule file."""
     with open(path, encoding="utf-8") as fh:
@@ -66,11 +86,15 @@ def load_case(path: str) -> tuple[Schedule, dict]:
 
 
 def corpus_cases(directory: str = DEFAULT_DIR) -> list[str]:
-    """All corpus case paths, sorted for deterministic iteration."""
+    """All corpus case paths, sorted for deterministic iteration.
+
+    ``*.trace.json`` companions (captured failure traces) are not
+    cases and are excluded.
+    """
     if not os.path.isdir(directory):
         return []
     return sorted(
         os.path.join(directory, name)
         for name in os.listdir(directory)
-        if name.endswith(".json")
+        if name.endswith(".json") and not name.endswith(".trace.json")
     )

@@ -68,6 +68,11 @@ class RunResult:
     #: the quiesced deployment, kept only when ``run_schedule(...,
     #: keep_fs=True)`` -- for tests that assert on the final tree.
     fs: object | None = field(default=None, repr=False, compare=False)
+    #: the deployment's shared Tracer when ``capture_trace=True`` --
+    #: exportable via :func:`repro.obs.chrome_trace`.  Tracing is
+    #: passive (no clock writes, counter-based ids), so digests are
+    #: identical with capture on or off.
+    tracer: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -98,8 +103,9 @@ def resolve_tweak(spec: str):
 class _Run:
     """Mutable state of one schedule execution."""
 
-    def __init__(self, schedule: Schedule):
+    def __init__(self, schedule: Schedule, capture_trace: bool = False):
         self.schedule = schedule
+        self.capture_trace = capture_trace
         self.cfg = DstConfig.from_json(schedule.config)
         cfg = self.cfg
         latency = (
@@ -132,6 +138,7 @@ class _Run:
             message_loss=MessageLoss(
                 cfg.message_loss, seed=schedule.seed * 2_000_003 + 2
             ),
+            tracing=capture_trace,
         )
         if schedule.tweak:
             resolve_tweak(schedule.tweak)(self.fs)
@@ -402,8 +409,10 @@ class _Run:
         )
 
 
-def run_schedule(schedule: Schedule, keep_fs: bool = False) -> RunResult:
-    run = _Run(schedule)
+def run_schedule(
+    schedule: Schedule, keep_fs: bool = False, capture_trace: bool = False
+) -> RunResult:
+    run = _Run(schedule, capture_trace=capture_trace)
     run.setup()
     run.execute()
     try:
@@ -441,6 +450,7 @@ def _result(run: _Run, tree: str, keep_fs: bool = False) -> RunResult:
     counters["storage_errors"] = run.mutation_storage_errors
     return RunResult(
         fs=run.fs if keep_fs else None,
+        tracer=run.fs.tracer if run.capture_trace else None,
         schedule=run.schedule,
         outcomes=run.outcomes,
         violations=run.violations,
@@ -452,6 +462,10 @@ def _result(run: _Run, tree: str, keep_fs: bool = False) -> RunResult:
     )
 
 
-def run_seed(seed: int, config: DstConfig | None = None) -> RunResult:
+def run_seed(
+    seed: int, config: DstConfig | None = None, capture_trace: bool = False
+) -> RunResult:
     """Explore ``seed`` into a schedule and execute it."""
-    return run_schedule(ScheduleExplorer(seed, config).explore())
+    return run_schedule(
+        ScheduleExplorer(seed, config).explore(), capture_trace=capture_trace
+    )

@@ -1,0 +1,59 @@
+"""`repro.obs` -- the observability layer (paper Fig 6's monitoring module).
+
+The paper reserves middleware modules for "inter-communications and
+system monitoring"; this package is that module grown to production
+shape:
+
+* :mod:`~repro.obs.metrics` -- a :class:`MetricsRegistry` of named
+  counters, gauges and histograms (exact p50/p95/p99 via a seeded
+  reservoir) that backs :class:`repro.core.monitoring.Monitor`;
+* :mod:`~repro.obs.trace` -- causal tracing: a :class:`TraceContext`
+  propagated from every ``webapi``/``fs`` entry point through lookup
+  hops, patch submission, merges, gossip rumor hops, anti-entropy,
+  breaker/retry/degraded-read events and GC, carried inside patch and
+  rumor metadata so one span tree survives crossing middleware nodes;
+* :mod:`~repro.obs.export` -- Prometheus-text and JSON metric
+  exporters plus a Chrome-trace-event (``chrome://tracing`` /
+  Perfetto) trace exporter;
+* :mod:`~repro.obs.cli` -- ``python -m repro metrics|trace``.
+"""
+
+from .export import (
+    chrome_trace,
+    chrome_trace_events,
+    deployment_metrics,
+    metrics_json,
+    prometheus_text,
+    span_tree,
+    write_chrome_trace,
+)
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .trace import NULL_TRACER, NullTracer, Span, TraceContext, Tracer
+
+__all__ = [
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_events",
+    "deployment_metrics",
+    "metrics_json",
+    "prometheus_text",
+    "span_tree",
+    "write_chrome_trace",
+]

@@ -1,0 +1,94 @@
+"""``python -m repro metrics|trace`` -- observability from the shell.
+
+    repro metrics [--format prom|json]
+        Run a small canned session on a fresh deployment and print its
+        metrics -- Prometheus exposition text (default) or JSON.
+
+    repro trace [--out FILE] [--tree]
+        Run a two-middleware MKDIR + PUT + MOVE session with causal
+        tracing enabled and emit the Chrome Trace Event JSON (load it
+        in chrome://tracing or https://ui.perfetto.dev).  ``--tree``
+        prints an indented span-tree rendering instead.
+
+Both commands are deterministic: the session runs on the simulated
+clock, so two invocations print identical output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from .export import (
+    chrome_trace,
+    deployment_metrics,
+    format_span_tree,
+    metrics_json,
+    prometheus_text,
+    write_chrome_trace,
+)
+
+
+def _canned_session(middlewares: int, tracing: bool):
+    """A small deterministic workload touching every major subsystem."""
+    from ..core.fs import H2CloudFS
+    from ..simcloud.cluster import SwiftCluster
+
+    fs = H2CloudFS(
+        SwiftCluster.rack_scale(),
+        account="demo",
+        middlewares=middlewares,
+        tracing=tracing,
+    )
+    fs.mkdir("/photos")
+    fs.write("/photos/cat.jpg", b"meow" * 64)
+    fs.listdir("/photos")
+    fs.read("/photos/cat.jpg")
+    fs.move("/photos/cat.jpg", "/photos/kitten.jpg")
+    fs.pump()
+    return fs
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    fs = _canned_session(middlewares=args.middlewares, tracing=False)
+    if args.format == "json":
+        print(json.dumps(metrics_json(fs), indent=2, sort_keys=True))
+    else:
+        print(prometheus_text(deployment_metrics(fs)), end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    fs = _canned_session(middlewares=args.middlewares, tracing=True)
+    if args.tree:
+        print(format_span_tree(fs.tracer.finished_spans()))
+        return 0
+    if args.out:
+        path = write_chrome_trace(fs.tracer, args.out)
+        print(f"wrote {len(fs.tracer.spans)} spans to {path}")
+        return 0
+    print(json.dumps(chrome_trace(fs.tracer), indent=1))
+    return 0
+
+
+def metrics_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics",
+        description="print deployment metrics for a canned session",
+    )
+    parser.add_argument("--format", choices=("prom", "json"), default="prom")
+    parser.add_argument("--middlewares", type=int, default=2)
+    return _cmd_metrics(parser.parse_args(argv))
+
+
+def trace_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="emit a Chrome trace for a canned traced session",
+    )
+    parser.add_argument("--out", metavar="FILE", default=None)
+    parser.add_argument(
+        "--tree", action="store_true", help="print an indented span tree"
+    )
+    parser.add_argument("--middlewares", type=int, default=2)
+    return _cmd_trace(parser.parse_args(argv))

@@ -1,0 +1,190 @@
+"""Exporters: Prometheus text, JSON metrics, Chrome trace events.
+
+The formats are intentionally boring -- the point of this module is
+that an operator can point an existing toolchain at the simulation:
+
+* :func:`prometheus_text` emits the exposition format every Prometheus
+  scraper parses (one ``h2_*`` family per snapshot key, ``node``
+  label per middleware);
+* :func:`metrics_json` is the same data for programmatic consumers
+  (the bench-trajectory artifacts build on it);
+* :func:`chrome_trace` converts a tracer's spans into the Trace Event
+  JSON that ``chrome://tracing`` and Perfetto load directly: one row
+  (tid) per middleware node, complete events for timed spans, instant
+  events for retries/trips/degraded reads.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from .trace import Span
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(key: str) -> str:
+    return "h2_" + _NAME_RE.sub("_", key)
+
+
+def deployment_metrics(fs) -> dict[str, dict[str, float]]:
+    """Per-middleware Monitor snapshots, keyed by node id (as str)."""
+    return {str(mw.node_id): mw.monitor.snapshot() for mw in fs.middlewares}
+
+
+def prometheus_text(per_node: dict[str, dict[str, float]]) -> str:
+    """Prometheus exposition text for a deployment's metric snapshots."""
+    families: dict[str, list[str]] = {}
+    for node, snapshot in sorted(per_node.items()):
+        for key, value in sorted(snapshot.items()):
+            name = _prom_name(key)
+            families.setdefault(name, []).append(
+                f'{name}{{node="{node}"}} {float(value):g}'
+            )
+    lines: list[str] = []
+    for name in sorted(families):
+        lines.append(f"# TYPE {name} gauge")
+        lines.extend(families[name])
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_json(fs) -> dict:
+    """A JSON-ready dump of every middleware's metrics snapshot."""
+    return {
+        "format": "h2cloud-metrics-v1",
+        "sim_now_ms": fs.clock.now_ms,
+        "nodes": deployment_metrics(fs),
+    }
+
+
+# ----------------------------------------------------------------------
+# Chrome trace events (chrome://tracing, Perfetto)
+# ----------------------------------------------------------------------
+def chrome_trace_events(spans: list[Span]) -> list[dict]:
+    """Trace Event list: one ``X`` per timed span, ``i`` per event."""
+    events: list[dict] = [
+        {"ph": "M", "pid": 1, "name": "process_name", "args": {"name": "h2cloud"}}
+    ]
+    tids = sorted(
+        {int(s.tags.get("node", 0)) for s in spans}, key=lambda t: t
+    )
+    for tid in tids:
+        label = f"middleware {tid}" if tid else "deployment"
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": label},
+            }
+        )
+    for span in spans:
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        args.update({k: v for k, v in span.tags.items() if k != "node"})
+        tid = int(span.tags.get("node", 0))
+        duration = span.duration_us
+        if duration == 0 and span.end_us is not None:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": span.start_us,
+                    "s": "t",
+                    "name": span.name,
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": span.start_us,
+                    "dur": duration,
+                    "name": span.name,
+                    "args": args,
+                }
+            )
+    return events
+
+
+def chrome_trace(tracer) -> dict:
+    """The full Perfetto-loadable document for one tracer's spans."""
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": "h2cloud-trace-v1",
+            "dropped_spans": tracer.dropped,
+        },
+        "traceEvents": chrome_trace_events(list(tracer.spans)),
+    }
+
+
+def write_chrome_trace(tracer, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer), indent=1) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# span-tree introspection (tests, CLI pretty-printer)
+# ----------------------------------------------------------------------
+def span_tree(spans: list[Span]) -> tuple[list[Span], dict[int, list[Span]]]:
+    """(roots, children-by-parent-span-id) in recording order."""
+    roots: list[Span] = []
+    children: dict[int, list[Span]] = {}
+    for span in spans:
+        if span.parent_id is None:
+            roots.append(span)
+        else:
+            children.setdefault(span.parent_id, []).append(span)
+    return roots, children
+
+
+def format_span_tree(spans: list[Span]) -> str:
+    """An indented text rendering of the span forest (CLI output)."""
+    roots, children = span_tree(spans)
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        tags = " ".join(
+            f"{k}={v}" for k, v in sorted(span.tags.items(), key=lambda kv: kv[0])
+        )
+        lines.append(
+            f"{'  ' * depth}{span.name} "
+            f"[trace {span.trace_id} span {span.span_id}] "
+            f"{span.duration_us / 1000.0:.2f}ms"
+            + (f" {tags}" if tags else "")
+        )
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    # Orphans (parent dropped by the span cap) still deserve a line.
+    seen = {s.span_id for s in roots}
+
+    def collect(span: Span) -> None:
+        seen.add(span.span_id)
+        for child in children.get(span.span_id, []):
+            collect(child)
+
+    for root in roots:
+        collect(root)
+    for span in spans:
+        if span.span_id not in seen:
+            lines.append(
+                f"~ {span.name} [trace {span.trace_id} span {span.span_id}] "
+                f"(parent {span.parent_id} not captured)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,271 @@
+"""The unified metrics registry.
+
+One :class:`MetricsRegistry` per middleware replaces the ad-hoc
+attribute counters the seed scattered across ``middleware.py``,
+``merger.py`` and friends: components obtain named instruments once at
+construction and bump them on the hot path; ``snapshot()`` flattens
+everything into the stable ``dict[str, float]`` the Monitor has always
+exported.
+
+Instruments:
+
+* :class:`Counter` -- monotonically increasing float/int;
+* :class:`Gauge` -- a settable level, or a *pull* gauge bound to a
+  zero-argument callable evaluated at snapshot time (how snapshot
+  keys like ``fd_cache.size`` stay live without write traffic);
+* :class:`Histogram` -- latency/size distribution with exact
+  p50/p95/p99 from a seeded reservoir (algorithm R with a
+  deterministic per-name seed, so runs stay bit-reproducible).
+
+:class:`NullRegistry` is the no-op fast path: every instrument it
+hands out swallows writes at near-zero cost, which is what the
+tracing/metrics overhead guard benchmarks against.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from bisect import insort
+from typing import Callable, Iterable
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+
+class Gauge:
+    """A level that can go up and down (or be pulled from a callable)."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Callable[[], float] | None = None):
+        self.name = name
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name} is pull-based")
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.set(self._value + amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.set(self._value - amount)
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+
+class Histogram:
+    """A distribution with exact quantiles from a seeded reservoir.
+
+    Up to ``reservoir_size`` observations are kept verbatim (sorted),
+    so quantiles are *exact* for the workload sizes the simulation
+    produces; beyond that, reservoir sampling (algorithm R) keeps an
+    unbiased sample.  The RNG is seeded from the metric name via CRC32
+    -- no wall-clock entropy, so deterministic-simulation digests are
+    unaffected by instrumentation.
+    """
+
+    __slots__ = (
+        "name",
+        "reservoir_size",
+        "samples",
+        "total",
+        "max",
+        "min",
+        "_sorted",
+        "_rng",
+    )
+
+    def __init__(self, name: str, reservoir_size: int = 4096):
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self.name = name
+        self.reservoir_size = reservoir_size
+        self.samples = 0
+        self.total = 0
+        self.max = 0
+        self.min: int | float | None = None
+        self._sorted: list = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+
+    def observe(self, value) -> None:
+        self.samples += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if self.min is None or value < self.min:
+            self.min = value
+        if len(self._sorted) < self.reservoir_size:
+            insort(self._sorted, value)
+            return
+        slot = self._rng.randrange(self.samples)
+        if slot < self.reservoir_size:
+            del self._sorted[self._rng.randrange(self.reservoir_size)]
+            insort(self._sorted, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated quantile ``q`` in (0, 1] over the reservoir."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        values = self._sorted
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return float(values[0])
+        rank = q * (len(values) - 1)
+        lo = int(rank)
+        frac = rank - lo
+        if lo + 1 >= len(values):
+            return float(values[-1])
+        return values[lo] + (values[lo + 1] - values[lo]) * frac
+
+    def values(self) -> list:
+        """The retained observations, sorted (tests and exporters)."""
+        return list(self._sorted)
+
+
+class MetricsRegistry:
+    """Named instruments for one component (typically one middleware).
+
+    ``counter``/``gauge``/``histogram`` are get-or-create and stable:
+    the same name always returns the same instrument, so callers bind
+    instruments once at construction and never re-look-up on the hot
+    path.
+    """
+
+    noop = False
+
+    def __init__(self, reservoir_size: int = 4096):
+        self._reservoir_size = reservoir_size
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str, fn: Callable[[], float] | None = None) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._gauges[name] = Gauge(name, fn)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._histograms[name] = Histogram(
+                name, self._reservoir_size
+            )
+        return instrument
+
+    def _check_free(self, name: str) -> None:
+        if name in self._counters or name in self._gauges or name in self._histograms:
+            raise ValueError(f"metric {name!r} already registered with another type")
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Iterable[Counter]:
+        return self._counters.values()
+
+    def histograms(self) -> Iterable[Histogram]:
+        return self._histograms.values()
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat name -> value map; histogram stats get dotted suffixes."""
+        out: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, hist in self._histograms.items():
+            out[f"{name}.count"] = hist.samples
+            out[f"{name}.mean"] = hist.mean
+            out[f"{name}.max"] = hist.max
+            out[f"{name}.p50"] = hist.percentile(0.50)
+            out[f"{name}.p95"] = hist.percentile(0.95)
+            out[f"{name}.p99"] = hist.percentile(0.99)
+        return out
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """The no-op fast path: hands out write-swallowing instruments.
+
+    Singletons, allocated once: ``registry.counter(...).inc()`` on a
+    null registry costs two attribute lookups and a no-op call, which
+    is what keeps the uninstrumented baseline of the overhead guard
+    honest.
+    """
+
+    noop = True
+
+    def __init__(self):
+        super().__init__(reservoir_size=1)
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null", 1)
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str, fn: Callable[[], float] | None = None) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._null_histogram
+
+    def snapshot(self) -> dict[str, float]:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

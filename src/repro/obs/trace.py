@@ -1,0 +1,215 @@
+"""Causal tracing through the asynchronous maintenance pipeline.
+
+*Where is my patch right now?*  A :class:`TraceContext` is born at a
+``webapi``/``fs`` entry point and rides along as the operation fans
+out: one span per NameRing hop during lookup, a span per submitted
+patch, merge spans linked to the patch that caused them (even when the
+merge runs later, in the background), gossip rumor deliveries on *peer*
+middlewares, anti-entropy pulls, breaker/retry/degraded-read events and
+GC passes.  Patches and rumors carry the context in their in-memory
+metadata, so one span tree survives crossing middleware nodes.
+
+The tracer is deliberately passive: it reads the simulated clock but
+never advances it, allocates ids from plain counters (no wall-clock or
+RNG entropy), and when full simply counts drops -- so enabling tracing
+can never change a deterministic-simulation digest.
+
+:data:`NULL_TRACER` is the disabled fast path: ``span()`` returns a
+shared no-op context manager and ``event()`` is a constant-time no-op,
+which is what uninstrumented deployments run against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated half of a span: enough to parent a remote child."""
+
+    trace_id: int
+    span_id: int
+
+
+@dataclass
+class Span:
+    """One timed operation in one trace."""
+
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_us: int
+    end_us: int | None = None
+    tags: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_us(self) -> int:
+        return (self.end_us or self.start_us) - self.start_us
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def tag(self, key: str, value: object) -> None:
+        self.tags[key] = value
+
+
+class _ActiveSpan:
+    """Context manager binding one :class:`Span` to the tracer stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        span = self.span
+        span.end_us = self._tracer._clock.now_us
+        if exc_type is not None:
+            span.tags.setdefault("error", exc_type.__name__)
+        stack = self._tracer._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - unbalanced exits
+            stack.remove(span)
+
+
+class _NullSpan:
+    """Reusable no-op context manager (and inert span stand-in)."""
+
+    __slots__ = ()
+    tags: dict = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def tag(self, key: str, value: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans for one deployment (all middlewares share one).
+
+    Every span either continues the active span on the stack, continues
+    an explicit :class:`TraceContext` carried by a patch or rumor, or
+    starts a fresh trace -- that is the entire propagation model, and it
+    is enough because the simulation is single-threaded.
+    """
+
+    noop = False
+
+    def __init__(self, clock, max_spans: int = 250_000):
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self._clock = clock
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._stack: list[Span] = []
+        self._next_trace = 0
+        self._next_span = 0
+
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        tags: dict[str, object] | None = None,
+        parent: TraceContext | None = None,
+    ) -> _ActiveSpan:
+        """Open a span as a context manager.
+
+        Parentage: explicit ``parent`` (a carried context) wins, then
+        the innermost active span, else a brand-new trace id.
+        """
+        if parent is None and self._stack:
+            parent = self._stack[-1].context
+        if parent is None:
+            self._next_trace += 1
+            trace_id, parent_id = self._next_trace, None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        self._next_span += 1
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._next_span,
+            parent_id=parent_id,
+            name=name,
+            start_us=self._clock.now_us,
+            tags=dict(tags) if tags else {},
+        )
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        return _ActiveSpan(self, span)
+
+    def event(
+        self,
+        name: str,
+        tags: dict[str, object] | None = None,
+        parent: TraceContext | None = None,
+    ) -> None:
+        """Record an instant (zero-duration) span -- retries, trips, ..."""
+        with self.span(name, tags=tags, parent=parent):
+            pass
+
+    # ------------------------------------------------------------------
+    def current(self) -> TraceContext | None:
+        """The context to stamp onto outbound metadata (patches, rumors)."""
+        return self._stack[-1].context if self._stack else None
+
+    def finished_spans(self) -> list[Span]:
+        return [s for s in self.spans if s.end_us is not None]
+
+    def traces(self) -> dict[int, list[Span]]:
+        """Spans grouped by trace id, in recording order."""
+        grouped: dict[int, list[Span]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.dropped = 0
+
+
+class NullTracer:
+    """Tracing disabled: every call is a constant-time no-op."""
+
+    noop = True
+    spans: tuple = ()
+    dropped = 0
+
+    def span(self, name, tags=None, parent=None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name, tags=None, parent=None) -> None:
+        pass
+
+    def current(self) -> None:
+        return None
+
+    def finished_spans(self) -> list:
+        return []
+
+    def traces(self) -> dict:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

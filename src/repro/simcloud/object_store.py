@@ -27,6 +27,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from ..obs.trace import NULL_TRACER
 from .clock import SimClock, Timestamp, TimestampFactory
 from .errors import (
     CircuitOpenError,
@@ -109,6 +110,9 @@ class ObjectStore:
         }
         self.resilience = ResilienceStats()
         self.fault_plan = None  # installed via SwiftCluster.install_fault_plan
+        # Observability: a deployment with tracing enabled swaps in its
+        # shared Tracer so retry/breaker events join the span trees.
+        self.tracer = NULL_TRACER
         self._retry_rng = self.retry_policy.rng()
         self._names: set[str] = set()  # authoritative key registry
         # Accounts hosted on this deployment (filesystem frontends
@@ -155,6 +159,9 @@ class ObjectStore:
         policy = self.retry_policy
         if not breaker.allow(self.clock.now_us):
             self.resilience.fast_failures += 1
+            self.tracer.event(
+                "breaker.fast_fail", tags={"store_node": node.node_id}
+            )
             raise CircuitOpenError(node.node_id)
         attempt = 0
         while True:
@@ -168,7 +175,12 @@ class ObjectStore:
                     self.resilience.timeouts += 1
                 if isinstance(exc, TransientIOError):
                     self.resilience.io_errors += 1
+                trips_before = breaker.trips
                 breaker.record_failure(self.clock.now_us)
+                if breaker.trips > trips_before:
+                    self.tracer.event(
+                        "breaker.trip", tags={"store_node": node.node_id}
+                    )
                 if attempt >= policy.max_attempts or not breaker.allow(
                     self.clock.now_us
                 ):
@@ -177,6 +189,14 @@ class ObjectStore:
                 self.resilience.retries += 1
                 self.resilience.backoff_us += wait_us
                 self.clock.advance(wait_us)
+                self.tracer.event(
+                    "store.retry",
+                    tags={
+                        "store_node": node.node_id,
+                        "attempt": attempt,
+                        "error": type(exc).__name__,
+                    },
+                )
                 continue
             except NodeDown:
                 # Binary death is not transient: don't burn retries, but

@@ -1,0 +1,60 @@
+"""Bench-trajectory artifacts: shape, determinism, CLI plumbing."""
+
+import json
+
+from repro.bench.__main__ import main as bench_main
+from repro.bench.trajectory import (
+    FORMAT,
+    headline_trajectory,
+    maintenance_trajectory,
+    write_bench_artifacts,
+)
+
+
+class TestHeadline:
+    def test_shape(self):
+        doc = headline_trajectory()
+        assert doc["format"] == FORMAT
+        assert doc["artifact"] == "headline"
+        assert doc["sim_makespan_ms"] > 0
+        for op in ("mkdir", "write", "read", "list", "move", "delete"):
+            stats = doc["ops"][op]
+            assert stats["count"] > 0
+            assert 0 < stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+            assert stats["p99_ms"] <= stats["max_ms"]
+        assert doc["store"]["puts"] > 0
+        assert 0 <= doc["fd_cache_hit_rate"] <= 1
+
+    def test_deterministic(self):
+        assert headline_trajectory() == headline_trajectory()
+
+
+class TestMaintenance:
+    def test_shape(self):
+        doc = maintenance_trajectory()
+        assert doc["artifact"] == "maintenance"
+        totals = doc["totals"]
+        assert totals["patches_submitted"] > 0
+        assert totals["merges"] > 0
+        assert totals["patches_applied"] >= totals["merges"]
+        assert len(doc["per_node"]) == 3
+        assert doc["gossip"]["rumors_delivered"] > 0
+        assert doc["gc"]["swept"] > 0
+
+
+class TestArtifacts:
+    def test_write_both_files(self, tmp_path):
+        written = write_bench_artifacts(tmp_path)
+        assert [p.name for p in written] == [
+            "BENCH_headline.json",
+            "BENCH_maintenance.json",
+        ]
+        for path in written:
+            doc = json.loads(path.read_text())
+            assert doc["format"] == FORMAT
+
+    def test_bench_cli_trajectory(self, tmp_path, capsys):
+        assert bench_main(["trajectory", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_headline.json" in out
+        assert (tmp_path / "BENCH_maintenance.json").exists()

@@ -1,6 +1,8 @@
 """Tests for the monitoring module."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core import H2CloudFS
 from repro.core.monitoring import LatencyHistogram, Monitor, deployment_report
@@ -38,18 +40,129 @@ class TestLatencyHistogram:
             LatencyHistogram().percentile_bucket(0.0)
         assert LatencyHistogram().percentile_bucket(0.5) == "n/a"
 
+    def test_interpolated_percentile(self):
+        histogram = LatencyHistogram()
+        for _ in range(9):
+            histogram.observe(5_000)
+        histogram.observe(9_999)  # all ten land in the (1ms, 10ms] bucket
+        # rank 5 of 10: interpolate halfway into the bucket's range
+        assert histogram.percentile(0.5) == pytest.approx(5_500.0)
+        # q=1.0 clamps to the true maximum, not the bucket's upper bound
+        assert histogram.percentile(1.0) == 9_999.0
+
+    def test_percentile_empty_and_validation(self):
+        assert LatencyHistogram().percentile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(1.01)
+
+    def test_float_boundary_rank_regression(self):
+        """``0.3 * 10`` is ``3.0000000000000004`` in binary floating
+        point; the seed's ``ceil(q * samples)`` put p30-of-10 at rank 4.
+        Observations 1..10ms spread one per boundary make any off-by-one
+        rank visible as a bucket jump."""
+        histogram = LatencyHistogram()
+        for us in (400, 5_000, 9_000, 40_000, 90_000, 400_000,
+                   900_000, 4_000_000, 9_000_000, 20_000_000):
+            histogram.observe(us)
+        assert histogram._rank(0.3) == 3
+        assert histogram._rank(1.0) == 10
+        assert histogram.percentile_bucket(0.3) == "<=10ms"
+        assert histogram.percentile_bucket(1.0) == ">10s"
+
+
+class TestLatencyHistogramProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=50_000_000),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=0.001, max_value=1.0),
+    )
+    def test_rank_is_valid_and_monotone(self, values, q):
+        histogram = LatencyHistogram()
+        for us in values:
+            histogram.observe(us)
+        rank = histogram._rank(q)
+        assert 1 <= rank <= histogram.samples
+        assert histogram._rank(1.0) == histogram.samples
+        if q < 1.0:
+            assert histogram._rank(q) <= histogram._rank(1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_exact_boundary_ranks(self, k, n):
+        """q = k/n over n samples must land exactly on rank k, for every
+        representable fraction -- the seed failed whenever k/n * n
+        rounded up."""
+        if k > n:
+            k, n = n, k
+        histogram = LatencyHistogram()
+        for _ in range(n):
+            histogram.observe(1)
+        assert histogram._rank(k / n) == k
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=50_000_000),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=0.001, max_value=1.0),
+    )
+    def test_percentile_bounded_and_monotone_in_q(self, values, q):
+        histogram = LatencyHistogram()
+        for us in values:
+            histogram.observe(us)
+        p = histogram.percentile(q)
+        assert 0.0 <= p <= histogram.max_us
+        assert histogram.percentile(1.0) >= p
+
 
 class TestMonitor:
-    def test_timed_records_ops(self):
+    def test_ops_recorded_automatically(self):
+        # The Inbound API is instrumented at construction: no explicit
+        # ``timed()`` wrapping needed (and wrapping would double-count).
         fs = H2CloudFS(SwiftCluster.rack_scale(), account="alice")
-        monitor = Monitor(fs.middlewares[0])
-        monitor.timed("mkdir", lambda: fs.mkdir("/d"))
-        monitor.timed("mkdir", lambda: fs.mkdir("/d2"))
-        monitor.timed("list", lambda: fs.listdir("/"))
-        snapshot = monitor.snapshot()
+        fs.mkdir("/d")
+        fs.mkdir("/d2")
+        fs.listdir("/")
+        snapshot = fs.middlewares[0].monitor.snapshot()
         assert snapshot["op.mkdir.count"] == 2
         assert snapshot["op.mkdir.mean_ms"] > 0
+        assert snapshot["op.mkdir.p99_ms"] >= snapshot["op.mkdir.p50_ms"]
         assert snapshot["op.list.count"] == 1
+
+    def test_adhoc_monitor_shares_registry(self):
+        # A hand-built Monitor binds to the middleware's registry: it
+        # sees history (the seed rebuilt a fresh Monitor per report and
+        # always saw empty op histograms).
+        fs = H2CloudFS(SwiftCluster.rack_scale(), account="alice")
+        fs.mkdir("/d")
+        monitor = Monitor(fs.middlewares[0])
+        assert monitor.registry is fs.middlewares[0].metrics
+        assert monitor.snapshot()["op.mkdir.count"] == 1
+
+    def test_timed_custom_op(self):
+        fs = H2CloudFS(SwiftCluster.rack_scale(), account="alice")
+        monitor = fs.middlewares[0].monitor
+        monitor.timed("batch_import", lambda: fs.write("/f", b"x"))
+        snapshot = monitor.snapshot()
+        assert snapshot["op.batch_import.count"] == 1
+        # The inner write is still recorded under its own op name.
+        assert snapshot["op.write.count"] == 1
+
+    def test_timed_failure_counts_error(self):
+        from repro.simcloud.errors import PathNotFound
+
+        fs = H2CloudFS(SwiftCluster.rack_scale(), account="alice")
+        with pytest.raises(PathNotFound):
+            fs.read("/missing")
+        snapshot = fs.middlewares[0].monitor.snapshot()
+        assert snapshot["op.read.errors"] == 1
+        assert "op.read.count" not in snapshot or snapshot["op.read.count"] == 0
 
     def test_snapshot_core_gauges(self):
         fs = H2CloudFS(SwiftCluster.fast(), account="alice")

@@ -1,0 +1,67 @@
+"""DST trace capture: failing schedules ship with their span trace.
+
+Tracing must be *passive*: re-running any schedule with
+``capture_trace=True`` reproduces the exact digest of the untraced run
+-- checked here against the committed known-failing corpus case, the
+same path ``dst run/sweep/shrink --save-failures`` takes.
+"""
+
+import json
+import os
+
+from repro.dst import corpus as corpus_mod
+from repro.dst.runner import run_schedule
+
+KNOWN_FAILING = os.path.join(
+    "tests", "dst_corpus", "seed2-a978d92008ac.json"
+)
+
+
+def load_known_failing():
+    schedule, meta = corpus_mod.load_case(KNOWN_FAILING)
+    assert meta["violations"], "fixture must be a failing case"
+    return schedule, meta
+
+
+class TestCaptureTrace:
+    def test_traced_rerun_reproduces_the_digest(self):
+        schedule, meta = load_known_failing()
+        plain = run_schedule(schedule)
+        traced = run_schedule(schedule, capture_trace=True)
+        assert plain.digest == meta["digest"]
+        assert traced.digest == plain.digest
+        assert traced.violations == plain.violations
+
+    def test_traced_run_carries_spans(self):
+        schedule, _ = load_known_failing()
+        traced = run_schedule(schedule, capture_trace=True)
+        assert traced.tracer is not None
+        names = {s.name for s in traced.tracer.finished_spans()}
+        assert "patch.submit" in names
+
+    def test_untraced_run_carries_no_tracer(self):
+        schedule, _ = load_known_failing()
+        assert run_schedule(schedule).tracer is None
+
+
+class TestSaveTrace:
+    def test_writes_chrome_trace_companion(self, tmp_path):
+        schedule, _ = load_known_failing()
+        traced = run_schedule(schedule, capture_trace=True)
+        path = corpus_mod.save_trace(traced, str(tmp_path))
+        assert path is not None and path.endswith(".trace.json")
+        doc = json.loads(open(path, encoding="utf-8").read())
+        assert doc["otherData"]["format"] == "h2cloud-trace-v1"
+        assert doc["traceEvents"]
+
+    def test_companion_is_not_a_corpus_case(self, tmp_path):
+        schedule, _ = load_known_failing()
+        traced = run_schedule(schedule, capture_trace=True)
+        case_path = corpus_mod.save_case(traced, str(tmp_path))
+        corpus_mod.save_trace(traced, str(tmp_path))
+        assert corpus_mod.corpus_cases(str(tmp_path)) == [case_path]
+
+    def test_none_without_a_tracer(self, tmp_path):
+        schedule, _ = load_known_failing()
+        result = run_schedule(schedule)
+        assert corpus_mod.save_trace(result, str(tmp_path)) is None

@@ -1,0 +1,59 @@
+"""The ``python -m repro metrics|trace`` subcommands."""
+
+import json
+
+from repro.__main__ import main as repro_main
+from repro.obs.cli import metrics_main, trace_main
+
+
+class TestMetricsCommand:
+    def test_prometheus_text_by_default(self, capsys):
+        assert metrics_main([]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# TYPE h2_")
+        assert 'h2_maintenance_patches_submitted{node="1"}' in out
+        assert 'node="2"' in out  # two middlewares by default
+
+    def test_json_format(self, capsys):
+        assert metrics_main(["--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "h2cloud-metrics-v1"
+        assert set(doc["nodes"]) == {"1", "2"}
+
+    def test_deterministic_output(self, capsys):
+        assert metrics_main([]) == 0
+        first = capsys.readouterr().out
+        assert metrics_main([]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestTraceCommand:
+    def test_chrome_json_to_stdout(self, capsys):
+        assert trace_main([]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["otherData"]["format"] == "h2cloud-trace-v1"
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"op.mkdir", "op.write", "op.move", "gossip.apply"} <= names
+
+    def test_tree_rendering(self, capsys):
+        assert trace_main(["--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "op.move" in out
+        assert "  patch.submit" in out  # indented child
+
+    def test_out_file(self, tmp_path, capsys):
+        target = tmp_path / "session.trace.json"
+        assert trace_main(["--out", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(target.read_text())
+        assert doc["otherData"]["format"] == "h2cloud-trace-v1"
+
+
+class TestTopLevelDispatch:
+    def test_metrics_subcommand(self, capsys):
+        assert repro_main(["metrics"]) == 0
+        assert "# TYPE h2_" in capsys.readouterr().out
+
+    def test_trace_subcommand(self, capsys):
+        assert repro_main(["trace", "--tree"]) == 0
+        assert "op.mkdir" in capsys.readouterr().out

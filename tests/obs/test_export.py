@@ -1,0 +1,116 @@
+"""Exporter formats: Prometheus text, JSON, Chrome trace events."""
+
+import json
+
+from repro.core import H2CloudFS
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    deployment_metrics,
+    format_span_tree,
+    metrics_json,
+    prometheus_text,
+    span_tree,
+    write_chrome_trace,
+)
+from repro.obs.trace import Span, Tracer
+from repro.simcloud import SwiftCluster
+
+
+def small_fs(**kwargs):
+    fs = H2CloudFS(SwiftCluster.rack_scale(), account="obs", **kwargs)
+    fs.mkdir("/d")
+    fs.write("/d/f", b"payload")
+    fs.pump()
+    return fs
+
+
+class TestPrometheus:
+    def test_exposition_shape(self):
+        fs = small_fs(middlewares=2)
+        text = prometheus_text(deployment_metrics(fs))
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert "# TYPE h2_fd_cache_hit_rate gauge" in lines
+        assert any(
+            line.startswith('h2_maintenance_patches_submitted{node="1"} ')
+            for line in lines
+        )
+        # every family header precedes its samples, one label per node
+        assert 'h2_clock_now_ms{node="2"}' in text
+
+    def test_sanitises_metric_names(self):
+        text = prometheus_text({"n": {"op.read.p99_ms": 1.5}})
+        assert "h2_op_read_p99_ms" in text
+
+    def test_empty(self):
+        assert prometheus_text({}) == ""
+
+
+class TestMetricsJson:
+    def test_document_shape(self):
+        fs = small_fs()
+        doc = metrics_json(fs)
+        assert doc["format"] == "h2cloud-metrics-v1"
+        assert doc["sim_now_ms"] == fs.clock.now_ms
+        node = doc["nodes"][str(fs.middlewares[0].node_id)]
+        assert node["maintenance.patches_submitted"] >= 2
+        json.dumps(doc)  # must be JSON-serialisable as-is
+
+
+class TestChromeTrace:
+    def test_events_and_metadata(self):
+        fs = small_fs(tracing=True)
+        doc = chrome_trace(fs.tracer)
+        assert doc["otherData"]["format"] == "h2cloud-trace-v1"
+        assert doc["otherData"]["dropped_spans"] == 0
+        events = doc["traceEvents"]
+        assert events[0] == {
+            "ph": "M",
+            "pid": 1,
+            "name": "process_name",
+            "args": {"name": "h2cloud"},
+        }
+        phases = {e["ph"] for e in events}
+        assert "X" in phases  # timed spans
+        completes = [e for e in events if e["ph"] == "X"]
+        assert all("dur" in e and "ts" in e for e in completes)
+        names = {e["name"] for e in completes}
+        assert "op.mkdir" in names and "patch.submit" in names
+
+    def test_zero_duration_spans_become_instants(self):
+        tracer = Tracer(type("C", (), {"now_us": 0})())
+        tracer.event("breaker.trip", tags={"store_node": 3})
+        (meta1, meta2, instant) = chrome_trace_events(tracer.spans)
+        assert instant["ph"] == "i"
+        assert instant["tid"] == 0  # store events render on the shared row
+        assert instant["args"]["store_node"] == 3
+
+    def test_write_round_trips(self, tmp_path):
+        fs = small_fs(tracing=True)
+        path = write_chrome_trace(fs.tracer, tmp_path / "t" / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == chrome_trace(fs.tracer)
+
+
+class TestSpanTree:
+    def _spans(self):
+        root = Span(trace_id=1, span_id=1, parent_id=None, name="op", start_us=0, end_us=10)
+        child = Span(trace_id=1, span_id=2, parent_id=1, name="hop", start_us=1, end_us=2)
+        orphan = Span(trace_id=1, span_id=9, parent_id=99, name="lost", start_us=3, end_us=4)
+        return root, child, orphan
+
+    def test_roots_and_children(self):
+        root, child, orphan = self._spans()
+        roots, children = span_tree([root, child, orphan])
+        assert roots == [root]
+        assert children[1] == [child]
+        assert children[99] == [orphan]
+
+    def test_format_indents_and_marks_orphans(self):
+        root, child, orphan = self._spans()
+        text = format_span_tree([root, child, orphan])
+        lines = text.splitlines()
+        assert lines[0].startswith("op [trace 1 span 1]")
+        assert lines[1].startswith("  hop")
+        assert lines[2].startswith("~ lost") and "parent 99" in lines[2]

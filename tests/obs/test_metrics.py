@@ -1,0 +1,158 @@
+"""Unit tests for the unified metrics registry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+        assert int(counter) == 4
+
+    def test_rejects_decrement(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+    def test_pull_gauge_tracks_callable(self):
+        box = {"n": 1}
+        gauge = Gauge("g", fn=lambda: box["n"])
+        assert gauge.value == 1
+        box["n"] = 7
+        assert gauge.value == 7
+
+    def test_pull_gauge_rejects_set(self):
+        with pytest.raises(ValueError):
+            Gauge("g", fn=lambda: 0).set(1)
+
+
+class TestHistogram:
+    def test_exact_quantiles_small(self):
+        hist = Histogram("h")
+        for v in (10, 20, 30, 40, 50, 60, 70, 80, 90, 100):
+            hist.observe(v)
+        assert hist.samples == 10
+        assert hist.mean == 55
+        assert hist.max == 100
+        assert hist.min == 10
+        # linear interpolation over the sorted reservoir
+        assert hist.percentile(0.50) == pytest.approx(55.0)
+        assert hist.percentile(1.0) == 100.0
+        assert hist.percentile(0.95) == pytest.approx(95.5)
+
+    def test_single_sample(self):
+        hist = Histogram("h")
+        hist.observe(42)
+        assert hist.percentile(0.5) == 42.0
+        assert hist.percentile(1.0) == 42.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("h").percentile(0.99) == 0.0
+
+    def test_percentile_validation(self):
+        hist = Histogram("h")
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_reservoir_is_deterministic(self):
+        """Same name + same stream -> identical retained sample."""
+
+        def fill():
+            hist = Histogram("dup", reservoir_size=16)
+            for v in range(1000):
+                hist.observe(v)
+            return hist.values()
+
+        assert fill() == fill()
+        assert len(fill()) == 16
+
+    def test_reservoir_overflow_keeps_stats_exact(self):
+        hist = Histogram("h", reservoir_size=8)
+        for v in range(100):
+            hist.observe(v)
+        assert hist.samples == 100
+        assert hist.max == 99
+        assert hist.min == 0
+        assert hist.values() == sorted(hist.values())
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1))
+    def test_percentile_within_range(self, values):
+        hist = Histogram("prop")
+        for v in values:
+            hist.observe(v)
+        for q in (0.01, 0.5, 0.95, 0.99, 1.0):
+            p = hist.percentile(q)
+            assert min(values) <= p <= max(values)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_name_collision_across_types(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_snapshot_flattens(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(2)
+        registry.gauge("depth").set(3)
+        registry.gauge("live", fn=lambda: 9)
+        hist = registry.histogram("lat")
+        hist.observe(100)
+        hist.observe(300)
+        snap = registry.snapshot()
+        assert snap["jobs"] == 2
+        assert snap["depth"] == 3
+        assert snap["live"] == 9
+        assert snap["lat.count"] == 2
+        assert snap["lat.mean"] == 200
+        assert snap["lat.max"] == 300
+        assert snap["lat.p50"] == pytest.approx(200.0)
+        assert snap["lat.p99"] == pytest.approx(298.0)
+
+
+class TestNullRegistry:
+    def test_swallows_writes(self):
+        registry = NullRegistry()
+        registry.counter("a").inc(5)
+        registry.gauge("b").set(5)
+        registry.histogram("c").observe(5)
+        assert registry.counter("a").value == 0
+        assert registry.gauge("b").value == 0
+        assert registry.histogram("c").samples == 0
+        assert registry.snapshot() == {}
+
+    def test_shared_singleton_flags(self):
+        assert NULL_REGISTRY.noop is True
+        assert MetricsRegistry().noop is False

@@ -1,0 +1,73 @@
+"""Overhead guard: full instrumentation must stay cheap.
+
+Compares the same hot workload (cache-hit ``read_relative``) on a
+fully observed deployment (metrics + tracing) against the no-op fast
+path (``observe=False`` + null tracer).  The bound is deliberately
+generous -- this is a tripwire for accidentally quadratic
+instrumentation (per-call registry lookups, unbounded span lists),
+not a microbenchmark.
+"""
+
+import time
+
+from repro.core import H2CloudFS
+from repro.core.middleware import H2Config
+from repro.simcloud import SwiftCluster
+
+#: instrumented may cost at most this multiple of the no-op path
+MAX_FACTOR = 5.0
+REPEATS = 3
+OPS = 300
+
+
+def build(observe: bool):
+    fs = H2CloudFS(
+        SwiftCluster.rack_scale(),
+        account="perf",
+        config=H2Config(observe=observe),
+        tracing=observe,
+    )
+    fs.mkdir("/hot")
+    fs.write("/hot/f", b"z" * 256)
+    rel = fs.relative_path_of("/hot/f")
+    fs.read_relative(rel)  # warm the descriptor cache
+    return fs, rel
+
+
+def best_of(fs, rel) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for _ in range(OPS):
+            fs.read_relative(rel)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class TestOverheadGuard:
+    def test_fast_path_is_actually_off(self):
+        fs, _ = build(observe=False)
+        mw = fs.middlewares[0]
+        assert mw.metrics.noop
+        assert fs.tracer.noop
+        assert mw.monitor.snapshot().get("op.read_relative.count", 0) == 0
+
+    def test_instrumented_path_records(self):
+        fs, rel = build(observe=True)
+        fs.read_relative(rel)
+        snapshot = fs.middlewares[0].monitor.snapshot()
+        assert snapshot["op.read_relative.count"] >= 1
+        assert snapshot["trace.spans"] > 0
+
+    def test_overhead_within_bound(self):
+        baseline_fs, baseline_rel = build(observe=False)
+        observed_fs, observed_rel = build(observe=True)
+        baseline = best_of(baseline_fs, baseline_rel)
+        observed = best_of(observed_fs, observed_rel)
+        # 10ms grace absorbs scheduler noise when both sides are tiny
+        assert observed <= baseline * MAX_FACTOR + 0.010, (
+            f"instrumentation overhead {observed / baseline:.1f}x "
+            f"exceeds {MAX_FACTOR}x guard "
+            f"({observed * 1e3:.1f}ms vs {baseline * 1e3:.1f}ms "
+            f"for {OPS} ops)"
+        )

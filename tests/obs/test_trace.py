@@ -1,0 +1,138 @@
+"""Unit tests for the passive causal tracer."""
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, NullTracer, TraceContext, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now_us = 0
+
+    def advance(self, us):
+        self.now_us += us
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock)
+
+
+class TestSpans:
+    def test_nesting_builds_one_trace(self, tracer, clock):
+        with tracer.span("outer") as outer:
+            clock.advance(10)
+            with tracer.span("inner") as inner:
+                clock.advance(5)
+        assert outer.trace_id == inner.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.duration_us == 15
+        assert inner.duration_us == 5
+        assert tracer.finished_spans() == [outer, inner]
+
+    def test_sibling_roots_get_fresh_traces(self, tracer):
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_explicit_parent_beats_stack(self, tracer):
+        with tracer.span("op") as op:
+            pass
+        carried = op.context
+        with tracer.span("unrelated"):
+            with tracer.span("merge", parent=carried) as merge:
+                pass
+        assert merge.trace_id == op.trace_id
+        assert merge.parent_id == op.span_id
+
+    def test_current_returns_innermost_context(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                assert tracer.current() == TraceContext(
+                    inner.trace_id, inner.span_id
+                )
+        assert tracer.current() is None
+
+    def test_exception_tags_error_and_pops(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom") as span:
+                raise RuntimeError("x")
+        assert span.tags["error"] == "RuntimeError"
+        assert span.end_us is not None
+        assert tracer.current() is None
+
+    def test_event_is_instant(self, tracer, clock):
+        clock.advance(7)
+        tracer.event("retry", tags={"attempt": 2})
+        (span,) = tracer.finished_spans()
+        assert span.name == "retry"
+        assert span.duration_us == 0
+        assert span.tags["attempt"] == 2
+
+    def test_tags_are_copied(self, tracer):
+        tags = {"k": 1}
+        with tracer.span("s", tags=tags) as span:
+            span.tag("extra", True)
+        assert tags == {"k": 1}
+        assert span.tags == {"k": 1, "extra": True}
+
+
+class TestCapacity:
+    def test_drops_past_cap_without_failing(self, clock):
+        tracer = Tracer(clock, max_spans=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_clear_resets(self, tracer):
+        with tracer.span("s"):
+            pass
+        tracer.clear()
+        assert tracer.spans == []
+        assert tracer.dropped == 0
+
+    def test_cap_validation(self, clock):
+        with pytest.raises(ValueError):
+            Tracer(clock, max_spans=0)
+
+
+class TestGrouping:
+    def test_traces_groups_by_trace_id(self, tracer):
+        with tracer.span("a") as a:
+            with tracer.span("a.child") as child:
+                pass
+        with tracer.span("b") as b:
+            pass
+        grouped = tracer.traces()
+        assert grouped[a.trace_id] == [a, child]
+        assert grouped[b.trace_id] == [b]
+
+
+class TestNullTracer:
+    def test_everything_is_inert(self):
+        null = NullTracer()
+        with null.span("s", tags={"k": 1}) as span:
+            span.tag("x", 1)
+        null.event("e")
+        assert null.current() is None
+        assert null.spans == ()
+        assert null.finished_spans() == []
+        assert null.traces() == {}
+        assert null.dropped == 0
+        null.clear()
+
+    def test_singleton_flags(self):
+        assert NULL_TRACER.noop is True
+        assert Tracer(FakeClock()).noop is False

@@ -1,0 +1,115 @@
+"""Acceptance: one client session yields one stitched span tree.
+
+The ISSUE's end-to-end criterion: a single MKDIR + PUT + MOVE session
+on a traced two-middleware deployment must produce an exportable trace
+showing the lookup hops, the submitted patches, the merge at the
+owning node, and the gossip delivery applying the update on a *peer*
+middleware -- all causally linked under the originating operation.
+"""
+
+from repro.core import H2CloudFS
+from repro.core.middleware import H2Config
+from repro.simcloud import SwiftCluster
+
+
+def by_name(tracer):
+    grouped = {}
+    for span in tracer.finished_spans():
+        grouped.setdefault(span.name, []).append(span)
+    return grouped
+
+
+def traced_session(**kwargs):
+    fs = H2CloudFS(
+        SwiftCluster.rack_scale(), account="acc", middlewares=2,
+        tracing=True, **kwargs,
+    )
+    fs.mkdir("/photos")
+    fs.write("/photos/cat.jpg", b"meow" * 64)
+    fs.move("/photos/cat.jpg", "/photos/kitten.jpg")
+    fs.pump()
+    return fs
+
+
+class TestSessionTrace:
+    def test_mkdir_patch_merges_under_the_op(self):
+        fs = traced_session()
+        spans = by_name(fs.tracer)
+        (mkdir,) = spans["op.mkdir"]
+        submits = [s for s in spans["patch.submit"] if s.parent_id == mkdir.span_id]
+        assert len(submits) == 1 and submits[0].trace_id == mkdir.trace_id
+        merges = [
+            s for s in spans["merge.apply"] if s.parent_id == submits[0].span_id
+        ]
+        assert len(merges) == 1
+        assert merges[0].tags["node"] == mkdir.tags["node"]
+
+    def test_write_records_lookup_hops(self):
+        fs = traced_session()
+        spans = by_name(fs.tracer)
+        (write,) = spans["op.write"]
+        hops = [s for s in spans["lookup.hop"] if s.trace_id == write.trace_id]
+        assert hops, "resolving /photos/cat.jpg must record a hop span"
+        assert hops[0].parent_id == write.span_id
+        assert hops[0].tags["name"] == "photos"
+        assert hops[0].tags["depth"] == 0
+
+    def test_move_trace_crosses_to_the_peer_via_gossip(self):
+        fs = traced_session()
+        spans = by_name(fs.tracer)
+        (move,) = spans["op.move"]
+        same_trace = [
+            s for s in fs.tracer.finished_spans() if s.trace_id == move.trace_id
+        ]
+        names = {s.name for s in same_trace}
+        assert {"op.move", "lookup.hop", "patch.submit", "merge.apply"} <= names
+        applies = [s for s in same_trace if s.name == "gossip.apply"]
+        assert applies, "the move's update must reach the peer inside the trace"
+        assert any(s.tags["node"] != move.tags["node"] for s in applies)
+
+    def test_anti_entropy_rounds_are_traced(self):
+        fs = traced_session()
+        spans = by_name(fs.tracer)
+        assert spans["gossip.anti_entropy"], "pump() runs anti-entropy rounds"
+
+    def test_trace_survives_chrome_export(self):
+        from repro.obs.export import chrome_trace
+
+        fs = traced_session()
+        doc = chrome_trace(fs.tracer)
+        names = {e["name"] for e in doc["traceEvents"]}
+        for required in ("op.mkdir", "op.write", "op.move",
+                        "lookup.hop", "patch.submit", "merge.apply"):
+            assert required in names
+
+
+class TestBackgroundMergeLinkage:
+    def test_deferred_merge_links_to_originating_op(self):
+        """With auto-merge off the merge runs later, from an empty span
+        stack -- it must still join the trace of the patch's op via the
+        context carried on the patch itself."""
+        fs = H2CloudFS(
+            SwiftCluster.rack_scale(), account="acc",
+            config=H2Config(auto_merge=False), tracing=True,
+        )
+        fs.mkdir("/d")
+        spans = by_name(fs.tracer)
+        (mkdir,) = spans["op.mkdir"]
+        assert "merge.apply" not in spans
+        fs.middlewares[0].merger.run_once()
+        spans = by_name(fs.tracer)
+        merges = [
+            s for s in spans["merge.apply"] if s.trace_id == mkdir.trace_id
+        ]
+        assert merges, "background merge must continue the op's trace"
+        assert merges[0].parent_id is not None
+
+
+class TestUntracedBaseline:
+    def test_tracing_off_records_nothing(self):
+        fs = H2CloudFS(SwiftCluster.rack_scale(), account="acc", middlewares=2)
+        fs.mkdir("/d")
+        fs.write("/d/f", b"x")
+        fs.pump()
+        assert fs.tracer.noop
+        assert fs.tracer.spans == ()
