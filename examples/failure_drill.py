@@ -12,7 +12,11 @@ incidents).  This drill shows the reproduction's failure machinery:
 4. the full fault-tolerance stack (docs/PROTOCOL.md section 9): a
    transient-fault storm masked by retries and circuit breakers, a
    degraded stale LIST during a total replica outage, and a repair
-   sweep that leaves the cluster fsck-CLEAN again.
+   sweep that leaves the cluster fsck-CLEAN again;
+5. silent data corruption (docs/PROTOCOL.md section 10): bit-rot lands
+   on two replicas of a hot directory's NameRing, verified reads fail
+   over and heal it in passing, and the background scrubber catches
+   the rot nobody read.
 
 Run:  python examples/failure_drill.py
 """
@@ -131,6 +135,50 @@ def drill_fault_tolerance() -> None:
     print(f"  {fsck.summary()}")
     assert fsck.clean and not fsck.degraded_replicas
     print()
+
+
+def drill_integrity() -> None:
+    print("== 5. silent bit-rot, verified reads, and the scrubber ==")
+    from repro.core.namespace import namering_key
+
+    cluster = SwiftCluster.rack_scale()
+    fs = H2CloudFS(cluster, account="ops")
+    fs.makedirs("/hot")
+    for i in range(8):
+        fs.write(f"/hot/item-{i}", bytes([i + 1]) * 1024)
+    fs.pump()
+
+    mw = fs.middlewares[0]
+    ring_key = namering_key(mw.stat("ops", "/hot").dir_ns)
+    victims = cluster.ring.nodes_for(ring_key)
+    # Bit-rot lands on two of the NameRing's three replicas; checksums
+    # go stale silently -- nothing notices until somebody reads.
+    cluster.failures.corrupt_at(10, victims[0], name=ring_key)
+    cluster.failures.corrupt_at(10, victims[1], name=ring_key)
+    cluster.clock.advance(20)
+    cluster.failures.pump()
+    print(f"  bit-rot injected on nodes {victims[:2]} "
+          f"(NameRing of /hot, checksums now stale)")
+
+    mw.fd_cache.drop_clean()  # force the LIST back to the store
+    entries = fs.listdir("/hot")
+    res = fs.store.resilience
+    print(f"  verified LIST: {len(entries)} entries served correctly -- "
+          f"{res.corrupt_replicas} corrupt replicas detected, "
+          f"{res.read_repairs} read-repairs, "
+          f"{fs.store.quarantined_replica_count} still quarantined")
+    assert len(entries) == 8
+
+    # Cold rot: nobody reads item-3, so only the scrubber can find it.
+    cold_key = "f:" + fs.relative_path_of("/hot/item-3")
+    cluster.failures.corrupt_at(30, cluster.ring.nodes_for(cold_key)[0],
+                                name=cold_key, mode="truncate")
+    cluster.clock.advance(20)
+    cluster.failures.pump()
+    report = fs.scrub()
+    print(f"  {report.summary()}")
+    assert fs.scrub().clean
+    print()
     print(deployment_report(fs))
     print("done.")
 
@@ -140,3 +188,4 @@ if __name__ == "__main__":
     drill_gossip()
     drill_cap()
     drill_fault_tolerance()
+    drill_integrity()

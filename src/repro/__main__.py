@@ -3,6 +3,7 @@
     python -m repro              # package overview + smoke demo
     python -m repro demo         # the quickstart scenario
     python -m repro repair       # fault drill: outage -> sweep -> healed
+    python -m repro scrub        # integrity drill: bit-rot -> scrub -> healed
     python -m repro bench [...]  # forwards to repro.bench's CLI
     python -m repro dst [...]    # deterministic simulation testing
     python -m repro metrics      # Prometheus/JSON metrics for a canned run
@@ -20,8 +21,8 @@ def overview() -> None:
     print(f"repro {__version__} -- reproduction of H2Cloud (ICPP 2018)")
     print(__import__("repro").__doc__)
     print(
-        "subcommands: demo | repair | bench [experiment ...] | dst [...] "
-        "| metrics | trace"
+        "subcommands: demo | repair | scrub | bench [experiment ...] "
+        "| dst [...] | metrics | trace"
     )
 
 
@@ -72,6 +73,44 @@ def repair() -> None:
     print(f"repaired objects back to full replication: {report.replicas_written}")
 
 
+def scrub() -> None:
+    """Rot replicas behind the cluster's back, then scrub it clean."""
+    from .core import H2CloudFS
+    from .simcloud import FaultPlan, SwiftCluster
+
+    cluster = SwiftCluster.rack_scale()
+    cluster.install_fault_plan(FaultPlan(seed=11))  # corruption streams only
+    fs = H2CloudFS(cluster, account="ops")
+    fs.makedirs("/srv/app")
+    for i in range(20):
+        fs.write(f"/srv/app/shard-{i:02d}", bytes([i]) * 2048)
+    store = fs.store
+    # Silent damage on three nodes: two scheduled bit-rot events and one
+    # truncation.  Checksums go stale; nothing notices yet.
+    schedule = cluster.failures
+    now = cluster.clock.now_us
+    victims = sorted(cluster.nodes)[:3]
+    schedule.corrupt_at(now + 1, victims[0], mode="bitflip")
+    schedule.corrupt_at(now + 1, victims[1], mode="bitflip")
+    schedule.corrupt_at(now + 1, victims[2], mode="truncate")
+    cluster.clock.advance(10)
+    schedule.pump()
+    rotted = [f"node {n}: {name} ({mode})" for n, name, mode in schedule.corrupted]
+    print("silently corrupted:", *rotted, sep="\n  ")
+    print()
+    report = fs.scrub()
+    print(report.summary())
+    res = store.resilience
+    print(
+        f"replicas healed from verified copies: {res.scrub_repairs}; "
+        f"quarantined now: {store.quarantined_replica_count}; "
+        f"unrecoverable: {len(store.unrecoverable)}"
+    )
+    check = fs.scrub()
+    assert check.clean, check.summary()
+    print("second pass:", check.summary())
+
+
 def main(argv: list[str]) -> int:
     if not argv:
         overview()
@@ -82,6 +121,9 @@ def main(argv: list[str]) -> int:
         return 0
     if command == "repair":
         repair()
+        return 0
+    if command == "scrub":
+        scrub()
         return 0
     if command == "bench":
         from .bench.__main__ import main as bench_main
@@ -101,7 +143,7 @@ def main(argv: list[str]) -> int:
         return trace_main(rest)
     print(
         f"unknown subcommand {command!r}; "
-        "use demo | repair | bench | dst | metrics | trace"
+        "use demo | repair | scrub | bench | dst | metrics | trace"
     )
     return 2
 

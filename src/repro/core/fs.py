@@ -265,6 +265,16 @@ class H2CloudFS:
 
         return RepairSweeper(self.store).sweep()
 
+    def scrub(self):
+        """Run a checksum scrub over every replica on the cluster.
+
+        Returns the :class:`~repro.simcloud.scrub.ScrubReport`.  Run it
+        periodically (and after corruption storms): silent bit-rot on
+        cold objects is only ever found by scrubbing, and an unscrubbed
+        rotten replica is a candidate repair source.
+        """
+        return self.store.scrub()
+
     def gc(self) -> GCReport:
         """One mark-and-sweep pass over every account on the cluster.
 

@@ -120,6 +120,20 @@ class Monitor:
         self.registry: MetricsRegistry = (
             registry if registry is not None else MetricsRegistry()
         )
+        # Pull gauges: integrity state lives on the store, not in event
+        # counters, so exporters read the current level at scrape time.
+        # ``gauge`` is get-or-create -- re-binding an ad-hoc Monitor to
+        # the shared registry reuses the instruments already wired to
+        # the (same) store.
+        store = middleware.store
+        self.registry.gauge(
+            "integrity.quarantined_replicas",
+            lambda: store.quarantined_replica_count,
+        )
+        self.registry.gauge(
+            "integrity.unrecoverable_objects",
+            lambda: len(store.unrecoverable),
+        )
 
     def timed(self, op_name: str, thunk):
         """Run an operation under observation; returns its result.
@@ -189,6 +203,13 @@ class Monitor:
                 "resilience.breakers_open": sum(
                     1 for b in breakers if b.is_quarantined(now_us)
                 ),
+                "integrity.corrupt_replicas": resilience.corrupt_replicas,
+                "integrity.read_repairs": resilience.read_repairs,
+                "integrity.scrub_repairs": resilience.scrub_repairs,
+                "integrity.quarantined_replicas": (
+                    mw.store.quarantined_replica_count
+                ),
+                "integrity.unrecoverable_objects": len(mw.store.unrecoverable),
                 "degraded.serves": mw.degraded_serves,
                 "degraded.stale_rings": sum(
                     1 for fd in mw.fd_cache.descriptors() if fd.stale
@@ -261,6 +282,13 @@ def deployment_report(fs) -> str:
         f"{store.resilience.timeouts} timeouts masked), "
         f"{trips} breaker trips, {degraded} degraded serves, "
         f"{store.resilience.repaired_replicas} replicas repaired"
+    )
+    lines.append(
+        f"integrity: {store.resilience.corrupt_replicas} corrupt replicas "
+        f"detected, {store.resilience.read_repairs} read-repairs, "
+        f"{store.resilience.scrub_repairs} scrub repairs, "
+        f"{store.quarantined_replica_count} quarantined, "
+        f"{len(store.unrecoverable)} unrecoverable"
     )
     for node_id, (replicas, used) in fs.cluster.storage_stats().items():
         lines.append(f"node {node_id}: {replicas} replicas, {used:,} B")

@@ -1,15 +1,17 @@
 """``python -m repro dst`` -- drive the deterministic simulator.
 
-    dst run     --seed 7 [--faulty] [--sessions 3] [--ops 25]
-    dst sweep   --seeds 200 [--start 0] [--save-failures DIR]
+    dst run     --seed 7 [--faulty | --corruption] [--sessions 3] [--ops 25]
+    dst sweep   --seeds 200 [--start 0] [--corruption] [--save-failures DIR]
     dst replay  CASE.json
-    dst shrink  CASE.json | --seed 7 [--faulty]
+    dst shrink  CASE.json | --seed 7 [--faulty | --corruption]
 
 ``run`` executes one seed and prints the verdict; ``sweep`` runs a
 range of seeds alternating fault-free and fault-storm configs (the CI
-nightly job); ``replay`` re-executes a persisted corpus case and
-checks it reproduces the recorded digest/verdict; ``shrink`` minimises
-a failing case with ddmin and saves the result to the corpus.
+nightly job) -- with ``--corruption`` every seed instead runs the
+corruption-storm mix (bit-rot, torn writes, scheduled corrupt events)
+against the V1-V6 oracle; ``replay`` re-executes a persisted corpus
+case and checks it reproduces the recorded digest/verdict; ``shrink``
+minimises a failing case with ddmin and saves the result to the corpus.
 
 Exit codes: 0 clean / reproduced, 1 invariant violations found,
 2 usage or non-reproduction.
@@ -20,7 +22,12 @@ from __future__ import annotations
 import argparse
 
 from . import corpus as corpus_mod
-from .explorer import DstConfig, ScheduleExplorer, faulty_config
+from .explorer import (
+    DstConfig,
+    ScheduleExplorer,
+    corruption_config,
+    faulty_config,
+)
 from .runner import RunResult, run_schedule, run_seed
 from .shrink import shrink
 
@@ -30,14 +37,22 @@ def _config_from(args: argparse.Namespace) -> DstConfig:
         "sessions": args.sessions,
         "ops_per_session": args.ops,
     }
+    if getattr(args, "corruption", False):
+        return corruption_config(**overrides)
     if args.faulty:
         return faulty_config(**overrides)
     return DstConfig(**overrides)
 
 
-def sweep_config(seed: int, sessions: int = 3, ops: int = 25) -> DstConfig:
+def sweep_config(
+    seed: int, sessions: int = 3, ops: int = 25, corruption: bool = False
+) -> DstConfig:
     """The nightly mix: even seeds run fault-free (full model check),
-    odd seeds run under crash cycles, fault storms and message loss."""
+    odd seeds run under crash cycles, fault storms and message loss.
+    ``corruption=True`` runs *every* seed under the corruption-storm
+    mix instead (the nightly integrity sweep)."""
+    if corruption:
+        return corruption_config(sessions=sessions, ops_per_session=ops)
     if seed % 2 == 0:
         return DstConfig(sessions=sessions, ops_per_session=ops)
     return faulty_config(sessions=sessions, ops_per_session=ops)
@@ -78,7 +93,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     failures = 0
     for seed in range(args.start, args.start + args.seeds):
-        result = run_seed(seed, sweep_config(seed, args.sessions, args.ops))
+        result = run_seed(
+            seed,
+            sweep_config(seed, args.sessions, args.ops, args.corruption),
+        )
         if result.ok:
             if args.verbose:
                 _report(result, verbose=False)
@@ -149,6 +167,11 @@ def main(argv: list[str]) -> int:
             action="store_true",
             help="crash cycles, fault storms and message loss",
         )
+        p.add_argument(
+            "--corruption",
+            action="store_true",
+            help="corruption storms: bit-rot, torn writes, scrubs (V6)",
+        )
 
     p_run = sub.add_parser("run", help="execute one seed")
     p_run.add_argument("--seed", type=int, default=0)
@@ -163,6 +186,11 @@ def main(argv: list[str]) -> int:
     p_sweep.add_argument("--verbose", action="store_true")
     p_sweep.add_argument("--sessions", type=int, default=3)
     p_sweep.add_argument("--ops", type=int, default=25)
+    p_sweep.add_argument(
+        "--corruption",
+        action="store_true",
+        help="run every seed under the corruption-storm mix (V6 oracle)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_replay = sub.add_parser("replay", help="re-execute a corpus case")

@@ -43,6 +43,12 @@ class DstConfig:
     max_down: int = 1
     crash_rate: float = 0.0  # per-step probability of starting a crash cycle
     storm_rate: float = 0.0  # per-step probability of opening a fault window
+    # Silent-corruption regime (all default off so pre-integrity corpus
+    # schedules replay bit-identically):
+    bitrot_rate: float = 0.0  # per-read replica rot inside storm windows
+    torn_write_rate: float = 0.0  # p(crash event tears the last write)
+    corrupt_rate: float = 0.0  # per-step probability of a corrupt event
+    scrub_rate: float = 0.0  # per-step probability of a scrub pass
     hostile_name_rate: float = 0.15
     check_model: bool = True
 
@@ -64,6 +70,28 @@ def faulty_config(**overrides) -> DstConfig:
         slow_rate=0.08,
         crash_rate=0.03,
         storm_rate=0.04,
+    )
+    base.update(overrides)
+    return DstConfig(**base)
+
+
+#: The corruption-storm mix -- silent corruption (scheduled bit-rot,
+#: per-read rot inside storm windows, torn writes on crash) layered on a
+#: moderated transient-fault diet, with scrub passes woven in so healing
+#: races the damage.  ``dst run --corruption`` / the nightly
+#: corruption-storm sweep use this.
+def corruption_config(**overrides) -> DstConfig:
+    base = dict(
+        message_loss=0.02,
+        io_error_rate=0.04,
+        timeout_rate=0.02,
+        slow_rate=0.04,
+        crash_rate=0.03,
+        storm_rate=0.04,
+        bitrot_rate=0.002,
+        torn_write_rate=0.3,
+        corrupt_rate=0.06,
+        scrub_rate=0.04,
     )
     base.update(overrides)
     return DstConfig(**base)
@@ -127,6 +155,21 @@ class ScheduleExplorer:
                         args={"duration_us": rng.randint(20_000, 200_000)},
                     )
                 )
+            # Silent corruption (rate guards keep the rng stream
+            # untouched for configs predating the integrity regime, so
+            # old corpus schedules re-explore bit-identically).
+            if cfg.corrupt_rate and rng.random() < cfg.corrupt_rate:
+                steps.append(
+                    Step(
+                        "corrupt",
+                        args={
+                            "node": rng.randrange(cfg.storage_nodes) + 1,
+                            "mode": rng.choice(["bitflip", "truncate"]),
+                        },
+                    )
+                )
+            if cfg.scrub_rate and rng.random() < cfg.scrub_rate:
+                steps.append(Step("scrub"))
             # Background protocol steps.
             for kind, p in _BG_WEIGHTS:
                 if rng.random() >= p:

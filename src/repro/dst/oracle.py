@@ -20,6 +20,19 @@ converged, GC run), these checks must all hold:
   ``dir:``/``nr:``/``f:``/``patch:`` garbage.
 * **V5 replica agreement** -- no object's surviving replicas diverge
   (fsck I7): recoveries plus repair restored bit-identical copies.
+* **V6 no undetected corruption** -- after the quiesce-time scrub,
+  every present replica of every object verifies against its
+  write-time checksum, except objects the store *loudly* reported
+  unrecoverable (``store.unrecoverable``).  Together with V1/V5 this
+  closes the integrity loop: corruption injected during the run was
+  either healed (read-repair, repair sweep, scrub) or reported --
+  never silently retained, and (by the verified read path) never
+  served.
+
+Unrecoverable objects -- every replica rotted, nothing to heal from --
+are a *legal* outcome of a corruption storm provided they are reported:
+the tree snapshots mark them with a sentinel and V1 compares around
+them (the model still remembers bytes no replica can produce).
 """
 
 from __future__ import annotations
@@ -27,8 +40,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.namering import KIND_DIR
+from ..simcloud.errors import CorruptObjectError
+from ..simcloud.integrity import verify_record
 from ..testing.model import ModelFS, snapshot_of, tree_hash
 from ..tools.fsck import H2Fsck
+
+#: Snapshot value for paths whose object has no verified replica left:
+#: deterministic (same store -> same verdict on every middleware) so
+#: view convergence still hashes equal, and excluded from V1.
+UNREADABLE = b"\x00<unrecoverable>\x00"
 
 
 @dataclass(frozen=True)
@@ -57,7 +77,13 @@ def _diff_trees(expected: dict, actual: dict, limit: int = 5) -> str:
 
 
 def snapshot_via(middleware, account: str) -> dict[str, bytes | None]:
-    """One middleware's view of the whole account tree."""
+    """One middleware's view of the whole account tree.
+
+    Unrecoverable objects (the verified read path refuses every
+    replica) appear as :data:`UNREADABLE` -- for a directory, its
+    subtree is simply absent -- so a loudly-reported corruption cannot
+    crash the oracle's walk.
+    """
     tree: dict[str, bytes | None] = {}
 
     def walk(top: str) -> None:
@@ -65,12 +91,40 @@ def snapshot_via(middleware, account: str) -> dict[str, bytes | None]:
             full = (top.rstrip("/") or "") + "/" + entry.name
             if entry.kind == KIND_DIR:
                 tree[full] = None
-                walk(full)
+                try:
+                    walk(full)
+                except CorruptObjectError:
+                    tree[full] = UNREADABLE
             else:
-                tree[full] = middleware.read_file(account, full)
+                try:
+                    tree[full] = middleware.read_file(account, full)
+                except CorruptObjectError:
+                    tree[full] = UNREADABLE
 
     walk("/")
     return tree
+
+
+def _prune_unreadable(
+    trees: list[dict[str, bytes | None]],
+) -> list[dict[str, bytes | None]]:
+    """Drop every path any tree marked UNREADABLE (and its subtree)."""
+    pruned = {
+        path
+        for tree in trees
+        for path, value in tree.items()
+        if value == UNREADABLE
+    }
+    if not pruned:
+        return trees
+    return [
+        {
+            path: value
+            for path, value in tree.items()
+            if not any(path == p or path.startswith(p + "/") for p in pruned)
+        }
+        for tree in trees
+    ]
 
 
 def check_invariants(fs, model: ModelFS | None = None) -> list[InvariantViolation]:
@@ -80,8 +134,7 @@ def check_invariants(fs, model: ModelFS | None = None) -> list[InvariantViolatio
     per_mw = [snapshot_via(mw, fs.account) for mw in fs.middlewares]
 
     if model is not None:
-        expected = model.snapshot()
-        actual = per_mw[0]
+        expected, actual = _prune_unreadable([model.snapshot(), per_mw[0]])
         if tree_hash(expected) != tree_hash(actual):
             violations.append(
                 InvariantViolation(
@@ -114,9 +167,38 @@ def check_invariants(fs, model: ModelFS | None = None) -> list[InvariantViolatio
         )
     for divergent in report.divergent_replicas:
         violations.append(InvariantViolation("V5", divergent))
+
+    # V6: a direct store-wide scan, independent of tree reachability --
+    # garbage and patch objects rot too.  Any present replica failing
+    # verification must belong to an object the store has loudly
+    # reported unrecoverable; anything else is *silent* corruption that
+    # survived read-repair, the repair sweep and the quiesce scrub.
+    store = fs.store
+    reported = getattr(store, "unrecoverable", set())
+    for name in sorted(store.names()):
+        if name in reported:
+            continue
+        for node_id in store.ring.nodes_for(name):
+            record = store.nodes[node_id].peek(name)
+            if record is not None and not verify_record(record):
+                violations.append(
+                    InvariantViolation(
+                        "V6",
+                        f"undetected corruption: replica of {name} on node "
+                        f"{node_id} fails checksum verification and the "
+                        f"object is not reported unrecoverable",
+                    )
+                )
     return violations
 
 
 def final_tree_hash(fs) -> str:
-    """Canonical digest of the quiesced tree (run-digest component)."""
-    return tree_hash(snapshot_of(fs))
+    """Canonical digest of the quiesced tree (run-digest component).
+
+    A tree holding an unrecoverable object digests to a deterministic
+    marker naming the first refusal -- still replayable, never a crash.
+    """
+    try:
+        return tree_hash(snapshot_of(fs))
+    except CorruptObjectError as exc:
+        return f"<unrecoverable:{exc.name}>"

@@ -37,7 +37,7 @@ from ..core.fs import H2CloudFS
 from ..core.gc import collect_once
 from ..core.middleware import H2Config
 from ..simcloud.cluster import ClusterConfig, SwiftCluster
-from ..simcloud.errors import FilesystemError, SimCloudError
+from ..simcloud.errors import CorruptObjectError, FilesystemError, SimCloudError
 from ..simcloud.failures import FaultPlan, MessageLoss
 from ..simcloud.latency import LatencyModel
 from ..testing.model import ModelFS
@@ -126,6 +126,8 @@ class _Run:
             io_error_rate=cfg.io_error_rate,
             timeout_rate=cfg.timeout_rate,
             slow_rate=cfg.slow_rate,
+            bitrot_rate=cfg.bitrot_rate,
+            torn_write_rate=cfg.torn_write_rate,
             window_us=(0, 0),
         )
         self.cluster.install_fault_plan(self.plan)
@@ -245,6 +247,27 @@ class _Run:
             )
             cluster.failures.pump()
             return f"recover:{node}"
+        if kind == "corrupt":
+            node = step.args["node"]
+            if node not in cluster.nodes:
+                return "no_such_node"
+            cluster.failures.corrupt_at(
+                fs.clock.now_us, node, mode=step.args.get("mode", "bitflip")
+            )
+            before = len(cluster.failures.corrupted)
+            cluster.failures.pump()
+            landed = len(cluster.failures.corrupted) - before
+            return f"corrupt:{node}:{landed}"
+        if kind == "scrub":
+            try:
+                report = fs.scrub()
+            except SimCloudError as exc:
+                return f"unavailable:{type(exc).__name__}"
+            return (
+                f"scrub:{report.repaired_replicas}"
+                f"/{report.corrupt_replicas}"
+                f"/{len(report.unrecoverable)}"
+            )
         if kind == "storm_on":
             start = fs.clock.now_us
             self.plan.window_us = (start, start + step.args["duration_us"])
@@ -373,12 +396,23 @@ class _Run:
         fs.repair()
         fs.pump()
         self._revalidate_caches()
-        fs.gc()
+        try:
+            fs.gc()
+        except CorruptObjectError:
+            # An unrecoverable ring leaves the mark phase without full
+            # reachability knowledge; sweeping blind could delete live
+            # data, so GC (rightly) sits this quiesce out.
+            pass
         fs.pump()
         # Writes since the first sweep (merges, compactions) may have
         # landed while a replica was still unreachable mid-run; one last
         # sweep leaves every object fully and identically replicated.
         fs.repair()
+        # Final integrity pass: heal what rot remains now that every
+        # holder is back, and settle the unrecoverable-object report the
+        # V6 oracle checks against.  Background-accounted -- the clock
+        # (and so the digest of corruption-free runs) does not move.
+        fs.scrub()
 
     def _revalidate_caches(self) -> None:
         """Bring every cached ring view up to date with the store.
@@ -396,7 +430,10 @@ class _Run:
                     continue
                 try:
                     mw.load_ring(fd.ns, use_cache=False)
-                except FilesystemError:
+                except (FilesystemError, CorruptObjectError):
+                    # A ring object with no verified replica left is
+                    # loudly unreadable; the cache must not keep serving
+                    # its pre-rot view as if nothing happened.
                     mw.fd_cache.invalidate(fd.ns)
 
     # ------------------------------------------------------------------

@@ -36,6 +36,8 @@ from .ops import ClientOp
 #   drop_caches mw           -- drop clean descriptors on ``mw``
 #   crash       node, delay_us -- schedule node crash after delay
 #   recover     node, delay_us -- schedule node recovery after delay
+#   corrupt     node, mode   -- silently rot one replica on ``node``
+#   scrub                    -- one checksum scrub pass over the store
 #   storm_on    duration_us  -- open the fault-plan window
 #   storm_off                -- close the fault-plan window
 #   advance     delta_us     -- advance the simulated clock
@@ -50,6 +52,8 @@ STEP_KINDS = frozenset(
         "drop_caches",
         "crash",
         "recover",
+        "corrupt",
+        "scrub",
         "storm_on",
         "storm_off",
         "advance",

@@ -16,6 +16,7 @@ from .errors import (
     AlreadyExists,
     CapacityError,
     CircuitOpenError,
+    CorruptObjectError,
     CrossDeviceMove,
     DirectoryNotEmpty,
     FilesystemError,
@@ -42,10 +43,12 @@ from .failures import (
     MessageLoss,
 )
 from .hashring import HashRing, hash_key
+from .integrity import checksum_of, corrupt_record, crc32c, verify_record
 from .latency import CostLedger, Jitter, LatencyModel
 from .node import NodeStats, ObjectRecord, StorageNode
 from .object_store import ObjectInfo, ObjectStore
 from .repair import RepairReport, RepairSweeper
+from .scrub import ScrubReport, Scrubber
 from .resilience import (
     BreakerConfig,
     CircuitBreaker,
@@ -63,6 +66,7 @@ __all__ = [
     "CircuitOpenError",
     "ClusterConfig",
     "ContainerDB",
+    "CorruptObjectError",
     "CostLedger",
     "CrossDeviceMove",
     "DirEntry",
@@ -96,6 +100,8 @@ __all__ = [
     "RetryPolicy",
     "RingError",
     "Row",
+    "ScrubReport",
+    "Scrubber",
     "ServiceUnavailable",
     "SimClock",
     "SimCloudError",
@@ -105,7 +111,11 @@ __all__ = [
     "Timestamp",
     "TimestampFactory",
     "TransientIOError",
+    "checksum_of",
+    "corrupt_record",
+    "crc32c",
     "hash_key",
     "makespan_us",
     "payload_of",
+    "verify_record",
 ]

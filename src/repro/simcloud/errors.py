@@ -94,6 +94,26 @@ class CircuitOpenError(SimCloudError):
         self.node_id = node_id
 
 
+class CorruptObjectError(SimCloudError):
+    """Every located replica of an object failed checksum verification.
+
+    Raised by the verified read path only after quarantining the bad
+    replicas and exhausting failover: the store *never* serves bytes
+    that do not match their write-time checksum, so when no verified
+    copy survives the client gets this instead of silent garbage.  A
+    later repair/scrub may still heal the object (e.g. once a crashed
+    node holding a clean replica recovers).
+    """
+
+    def __init__(self, name: str, bad_nodes: tuple[int, ...] = ()):
+        detail = f"no verified replica of {name!r}"
+        if bad_nodes:
+            detail += f" (corrupt on nodes {sorted(bad_nodes)})"
+        super().__init__(detail)
+        self.name = name
+        self.bad_nodes = tuple(bad_nodes)
+
+
 class QuorumError(SimCloudError):
     """Not enough replicas were reachable to satisfy a quorum read/write."""
 

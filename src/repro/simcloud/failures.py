@@ -7,11 +7,12 @@ deterministic schedule so integration tests can show (a) the object
 cloud's replication riding through storage-node failures and (b) the
 NameRing gossip protocol converging despite message loss.
 
-Two failure regimes live here:
+Three failure regimes live here:
 
 * **Scheduled state changes** (:class:`FailureSchedule`): crash /
   recover / wipe events applied as simulated time passes -- binary node
-  death and resurrection.
+  death and resurrection -- plus scheduled **corrupt** events that
+  silently damage one stored replica (bit-rot with a timestamp).
 * **Per-request transient faults** (:class:`FaultPlan`): a seeded
   Bernoulli mix of retryable I/O errors, request timeouts and
   slow-replica latency spikes, drawn independently per storage node and
@@ -19,6 +20,14 @@ Two failure regimes live here:
   retries and circuit breakers (see :mod:`repro.simcloud.resilience`);
   every draw comes from a per-node deterministic stream so runs are
   bit-reproducible.
+* **Silent corruption** (also :class:`FaultPlan`, separate per-node
+  streams so arming it never perturbs the transient-fault pattern):
+  ``bitrot_rate`` rots a stored replica just before a read serves it
+  (bit-flip or truncation, checksum left stale), and
+  ``torn_write_rate`` fires on crash events -- the node goes down with
+  its most recent write only partially on disk.  Detection and healing
+  live in the verified read path (:mod:`repro.simcloud.object_store`),
+  the repair sweeper and the scrubber (:mod:`repro.simcloud.scrub`).
 """
 
 from __future__ import annotations
@@ -34,13 +43,20 @@ from .node import StorageNode
 
 @dataclass(frozen=True, order=True)
 class FailureEvent:
-    """A scheduled state change for one node."""
+    """A scheduled state change for one node.
+
+    ``corrupt`` events additionally carry the victim object's ``name``
+    (None picks a deterministic victim among the node's replicas) and
+    the corruption ``mode`` (``bitflip`` | ``truncate``).
+    """
 
     at_us: int
     node_id: int
-    action: str  # "crash" | "recover" | "wipe"
+    action: str  # "crash" | "recover" | "wipe" | "corrupt"
+    name: str | None = None
+    mode: str = "bitflip"
 
-    _ACTIONS = ("crash", "recover", "wipe")
+    _ACTIONS = ("crash", "recover", "wipe", "corrupt")
 
     def __post_init__(self) -> None:
         if self.action not in self._ACTIONS:
@@ -69,6 +85,9 @@ class FailureSchedule:
         self._heap: list[tuple[int, int, FailureEvent]] = []
         self._seq = 0
         self.applied: list[FailureEvent] = []
+        # (node_id, object name, mode) for every corruption actually
+        # landed -- scheduled corrupt events plus torn writes on crash.
+        self.corrupted: list[tuple[int, str, str]] = []
         self.on_recover = None  # callable(node_id) | None
 
     def schedule(self, event: FailureEvent) -> None:
@@ -86,6 +105,23 @@ class FailureSchedule:
     def wipe_at(self, at_us: int, node_id: int) -> None:
         self.schedule(FailureEvent(at_us, node_id, "wipe"))
 
+    def corrupt_at(
+        self,
+        at_us: int,
+        node_id: int,
+        name: str | None = None,
+        mode: str = "bitflip",
+    ) -> None:
+        """Schedule silent bit-rot on one of ``node_id``'s replicas.
+
+        ``name=None`` lets the event pick a deterministic victim (seeded
+        by the event's own coordinates) among whatever the node holds
+        when the event fires.  The damaged replica keeps its stale
+        checksum -- only a verified read, repair sweep, scrub or fsck
+        integrity pass can tell.
+        """
+        self.schedule(FailureEvent(at_us, node_id, "corrupt", name=name, mode=mode))
+
     def pump(self) -> list[FailureEvent]:
         """Apply all events due at or before the current simulated time."""
         fired: list[FailureEvent] = []
@@ -93,9 +129,25 @@ class FailureSchedule:
             _, _, event = heapq.heappop(self._heap)
             node = self._nodes[event.node_id]
             if event.action == "crash":
+                # Torn write: power dies mid-write, leaving the node's
+                # most recent write only partially on disk (decided by
+                # the fault plan's seeded per-node corruption stream).
+                plan = node.fault_plan
+                if plan is not None and plan.draw_torn(event.node_id):
+                    victim = node.tear_last_write(plan.corrupt_rng(event.node_id))
+                    if victim is not None:
+                        self.corrupted.append((event.node_id, victim, "torn_write"))
                 node.crash()
             elif event.action == "recover":
                 node.recover()
+            elif event.action == "corrupt":
+                victim = node.corrupt_object(
+                    name=event.name,
+                    mode=event.mode,
+                    seed=event.at_us * 31 + self._seq,
+                )
+                if victim is not None:
+                    self.corrupted.append((event.node_id, victim, event.mode))
             else:  # wipe: disk replaced, node returns empty
                 node.wipe()
                 node.recover()
@@ -131,6 +183,8 @@ FAULT_NONE = "none"
 FAULT_IO_ERROR = "io_error"
 FAULT_TIMEOUT = "timeout"
 FAULT_SLOW = "slow"
+FAULT_BITROT = "bitrot"
+FAULT_TORN_WRITE = "torn_write"
 
 
 @dataclass(frozen=True)
@@ -168,8 +222,11 @@ class FaultPlan:
         slow_extra_us: int = 40_000,
         window_us: tuple[int, int | None] = (0, None),
         clock: SimClock | None = None,
+        bitrot_rate: float = 0.0,
+        torn_write_rate: float = 0.0,
     ):
-        for rate in (io_error_rate, timeout_rate, slow_rate):
+        for rate in (io_error_rate, timeout_rate, slow_rate,
+                     bitrot_rate, torn_write_rate):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError("fault rates must be within [0, 1]")
         if timeout_us < 0 or slow_extra_us < 0:
@@ -178,19 +235,41 @@ class FaultPlan:
         self.io_error_rate = io_error_rate
         self.timeout_rate = timeout_rate
         self.slow_rate = slow_rate
+        self.bitrot_rate = bitrot_rate
+        self.torn_write_rate = torn_write_rate
         self.timeout_us = timeout_us
         self.slow_extra_us = slow_extra_us
         self.window_us = window_us
         self.clock = clock  # set when installed on a cluster
         self._rngs: dict[int, random.Random] = {}
+        # Corruption draws come from their own per-node streams so that
+        # arming bit-rot never shifts the transient-fault pattern (pinned
+        # fault sequences in tests and DST digests stay stable).
+        self._corrupt_rngs: dict[int, random.Random] = {}
         self._suspended = 0
-        self.injected = {FAULT_IO_ERROR: 0, FAULT_TIMEOUT: 0, FAULT_SLOW: 0}
+        self.injected = {
+            FAULT_IO_ERROR: 0,
+            FAULT_TIMEOUT: 0,
+            FAULT_SLOW: 0,
+            FAULT_BITROT: 0,
+            FAULT_TORN_WRITE: 0,
+        }
 
     def _rng(self, node_id: int) -> random.Random:
         rng = self._rngs.get(node_id)
         if rng is None:
             rng = self._rngs[node_id] = random.Random(
                 self.seed * 1_000_003 + node_id
+            )
+        return rng
+
+    def corrupt_rng(self, node_id: int) -> random.Random:
+        """The node's dedicated corruption stream (never shared with
+        the transient-fault stream -- see ``__init__``)."""
+        rng = self._corrupt_rngs.get(node_id)
+        if rng is None:
+            rng = self._corrupt_rngs[node_id] = random.Random(
+                self.seed * 9_999_991 + node_id
             )
         return rng
 
@@ -234,6 +313,36 @@ class FaultPlan:
             self.injected[FAULT_SLOW] += 1
             return FaultDecision(FAULT_SLOW, extra_us=self.slow_extra_us)
         return FaultDecision(FAULT_NONE)
+
+    def draw_bitrot(self, node_id: int) -> str | None:
+        """Should the replica about to be served rot first?
+
+        Returns the corruption mode (``bitflip`` | ``truncate``) or
+        None.  Obeys :meth:`suspended` and the fault-storm window like
+        transient faults, but draws from the separate corruption stream.
+        """
+        if self.bitrot_rate <= 0.0 or self._suspended or not self._in_window():
+            return None
+        rng = self.corrupt_rng(node_id)
+        roll = rng.random()
+        mode_roll = rng.random()
+        if roll < self.bitrot_rate:
+            self.injected[FAULT_BITROT] += 1
+            return "bitflip" if mode_roll < 0.5 else "truncate"
+        return None
+
+    def draw_torn(self, node_id: int) -> bool:
+        """Does the crash landing on ``node_id`` tear its last write?
+
+        Not window-gated: the crash event itself decides *when*; the
+        rate only decides whether power loss caught a write in flight.
+        """
+        if self.torn_write_rate <= 0.0 or self._suspended:
+            return False
+        if self.corrupt_rng(node_id).random() < self.torn_write_rate:
+            self.injected[FAULT_TORN_WRITE] += 1
+            return True
+        return False
 
 
 class MessageLoss:

@@ -1,0 +1,144 @@
+"""Object integrity: checksums, verification, and corruption models.
+
+Real object stores treat *silent* data corruption -- bit-rot on a
+quiet disk, a write torn by a power loss, a truncated object -- as a
+first-class failure mode alongside crashes and timeouts: S3 verifies
+checksums on every read, Swift runs a background object auditor, ZFS
+scrubs.  The failure regimes in :mod:`repro.simcloud.failures` were
+purely fail-stop until this module; it supplies the primitives the
+whole verify-quarantine-repair pipeline is built from:
+
+* :func:`crc32c` -- the Castagnoli CRC (the checksum S3/iSCSI/ext4
+  use), table-driven and chainable so payloads can be checksummed in
+  chunks;
+* :func:`checksum_of` -- one content checksum for any storable payload
+  (``bytes`` or :class:`~repro.simcloud.sparse.SparseData`, whose
+  declared identity stands in for bytes the simulation never keeps);
+* :func:`verify_record` -- does a stored replica's payload still match
+  the checksum computed when it was written?
+* :func:`corrupt_record` -- the adversary: produce a bit-flipped or
+  truncated copy of a replica *without* touching its checksum, which
+  is exactly what makes the damage silent until a verified read.
+
+The checksum is computed once, client-side, at PUT time
+(:meth:`~repro.simcloud.object_store.ObjectStore.put`) and travels
+with the record through replication, repair and scrubbing; any layer
+can re-verify at any time without coordination.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from .sparse import SparseData
+
+#: incremental API chunk size -- checksums are identical whether a
+#: payload is hashed whole or fed through in CHUNK_SIZE pieces.
+CHUNK_SIZE = 64 * 1024
+
+_POLY = 0x82F63B78  # reflected Castagnoli polynomial (CRC-32C)
+
+
+def _build_table() -> tuple[int, ...]:
+    table = []
+    for i in range(256):
+        crc = i
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        table.append(crc)
+    return tuple(table)
+
+
+_TABLE = _build_table()
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """CRC-32C of ``data``, chainable like :func:`zlib.crc32`.
+
+    ``crc32c(b + c) == crc32c(c, crc32c(b))`` -- the pre/post
+    inversion makes partial checksums compose, so large payloads can
+    stream through in chunks.
+    """
+    crc ^= 0xFFFFFFFF
+    table = _TABLE
+    for byte in data:
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def checksum_of(data) -> str:
+    """The stored checksum of one payload: 8 hex chars of CRC-32C.
+
+    ``bytes`` payloads are hashed in :data:`CHUNK_SIZE` pieces through
+    the chainable CRC; sparse payloads hash their deterministic
+    identity (the simulation never holds their bytes, and the identity
+    changes whenever the modelled content would).
+    """
+    if isinstance(data, SparseData):
+        return f"{crc32c(data.identity().encode()):08x}"
+    crc = 0
+    for start in range(0, len(data), CHUNK_SIZE):
+        crc = crc32c(data[start : start + CHUNK_SIZE], crc)
+    return f"{crc:08x}"
+
+
+def verify_record(record) -> bool:
+    """Does a replica's payload still match its write-time checksum?
+
+    Records without a checksum (hand-built fixtures, pre-checksum
+    objects) cannot be verified and are taken at their word -- the
+    store stamps every PUT, so in a live deployment this is the
+    corruption detector.
+    """
+    if not record.checksum:
+        return True
+    return checksum_of(record.data) == record.checksum
+
+
+# ----------------------------------------------------------------------
+# the adversary
+# ----------------------------------------------------------------------
+
+CORRUPT_BITFLIP = "bitflip"
+CORRUPT_TRUNCATE = "truncate"
+
+CORRUPTION_MODES = (CORRUPT_BITFLIP, CORRUPT_TRUNCATE)
+
+
+def corrupt_record(record, mode: str, rng: random.Random):
+    """A silently corrupted copy of ``record`` (checksum left stale).
+
+    The returned record is a *new* object: replicas share record
+    instances when healthy, so mutating in place would rot every copy
+    at once instead of the one disk the fault hit.
+
+    * ``bitflip`` -- one random bit inverted (empty payloads grow one
+      garbage byte: rot on a zero-length object still changes bytes);
+    * ``truncate`` -- the payload cut short at a random point (a torn
+      or interrupted write).
+
+    Sparse payloads corrupt by identity: the tag (bitflip) or declared
+    size (truncate) changes, which is what their checksum covers.
+    """
+    if mode not in CORRUPTION_MODES:
+        raise ValueError(f"unknown corruption mode: {mode!r}")
+    data = record.data
+    if isinstance(data, SparseData):
+        if mode == CORRUPT_BITFLIP:
+            mutated = SparseData(size=data.size, tag=data.tag + "☠rot")
+        else:
+            mutated = SparseData(
+                size=rng.randrange(data.size) if data.size else 0,
+                tag=data.tag,
+            )
+        return replace(record, data=mutated)
+    if mode == CORRUPT_BITFLIP:
+        if not data:
+            return replace(record, data=b"\xff")
+        buf = bytearray(data)
+        bit = rng.randrange(len(buf) * 8)
+        buf[bit // 8] ^= 1 << (bit % 8)
+        return replace(record, data=bytes(buf))
+    # truncate: strictly shorter when possible
+    return replace(record, data=data[: rng.randrange(len(data))] if data else b"")

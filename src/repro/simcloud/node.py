@@ -10,6 +10,7 @@ can charge the simulated clock.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -21,18 +22,27 @@ from .errors import (
     RequestTimeout,
     TransientIOError,
 )
+from .integrity import corrupt_record
 from .latency import LatencyModel
 
 
 @dataclass
 class ObjectRecord:
-    """One replica of one object as stored on a node's disk."""
+    """One replica of one object as stored on a node's disk.
+
+    ``checksum`` is the CRC-32C the client computed at PUT time
+    (:mod:`repro.simcloud.integrity`); it rides with the record through
+    replication and repair so any layer can re-verify the payload.
+    Corruption faults mutate ``data`` *without* touching it -- that gap
+    is what the verified read path detects.
+    """
 
     name: str
     data: bytes
     meta: dict[str, str]
     timestamp: Timestamp
     etag: str
+    checksum: str = ""
 
     @property
     def size(self) -> int:
@@ -48,6 +58,7 @@ class NodeStats:
     deletes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    corruptions: int = 0  # replicas silently damaged on this node's disk
 
 
 class StorageNode:
@@ -69,6 +80,9 @@ class StorageNode:
         # Per-request transient faults (see simcloud.failures.FaultPlan);
         # installed cluster-wide via SwiftCluster.install_fault_plan.
         self.fault_plan = None
+        # The write that would be "in flight" if power died right now --
+        # the victim of a torn-write-on-crash corruption fault.
+        self._last_written: str | None = None
 
     # ------------------------------------------------------------------
     # failure injection
@@ -125,6 +139,7 @@ class StorageNode:
             )
         self._objects[record.name] = record
         self._used += delta
+        self._last_written = record.name
         self.stats.writes += 1
         self.stats.bytes_written += record.size
         return self._latency.disk_write_us(record.size) + extra_us
@@ -135,6 +150,18 @@ class StorageNode:
         record = self._objects.get(name)
         if record is None:
             raise ObjectNotFound(name)
+        # Bit-rot discovered at read time: the fault plan's seeded
+        # corruption stream may silently damage the stored replica just
+        # before it is served.  The damage is durable -- later reads see
+        # the same rotten bytes until repair or scrub rewrites them.
+        if self.fault_plan is not None:
+            mode = self.fault_plan.draw_bitrot(self.node_id)
+            if mode is not None:
+                record = self._replace_record(
+                    corrupt_record(
+                        record, mode, self.fault_plan.corrupt_rng(self.node_id)
+                    )
+                )
         self.stats.reads += 1
         self.stats.bytes_read += record.size
         return record, self._latency.disk_read_us(record.size) + extra_us
@@ -162,6 +189,59 @@ class StorageNode:
     def contains(self, name: str) -> bool:
         self._check_up()
         return name in self._objects
+
+    # ------------------------------------------------------------------
+    # corruption faults (no failure check: disks rot whether or not the
+    # node is serving -- a crashed node can come back with damaged data)
+    # ------------------------------------------------------------------
+    def _replace_record(self, record: ObjectRecord) -> ObjectRecord:
+        """Swap in a damaged copy of one replica, keeping accounting true."""
+        old = self._objects[record.name]
+        self._used += record.size - old.size
+        self._objects[record.name] = record
+        self.stats.corruptions += 1
+        return record
+
+    def corrupt_object(
+        self,
+        name: str | None = None,
+        mode: str = "bitflip",
+        seed: int = 0,
+    ) -> str | None:
+        """Silently damage one stored replica; returns the victim's name.
+
+        ``name=None`` picks a deterministic victim seeded by ``seed``
+        (scheduled ``corrupt`` events use the event's coordinates, so a
+        replayed schedule always rots the same object).  Returns None
+        when the node stores nothing to damage.
+        """
+        rng = random.Random(f"corrupt:{seed}:{self.node_id}:{name or ''}")
+        if name is None:
+            candidates = sorted(self._objects)
+            if not candidates:
+                return None
+            name = rng.choice(candidates)
+        record = self._objects.get(name)
+        if record is None:
+            return None
+        self._replace_record(corrupt_record(record, mode, rng))
+        return name
+
+    def tear_last_write(self, rng: random.Random) -> str | None:
+        """Truncate the most recently written replica (torn write).
+
+        Models power loss mid-write: the write the client believed
+        durable on this replica is only partially on disk.  Called by
+        the failure schedule when a crash event lands and the fault
+        plan's torn-write stream fires.  Returns the torn object's
+        name, or None when the node never wrote anything.
+        """
+        name = self._last_written
+        record = self._objects.get(name) if name else None
+        if record is None:
+            return None
+        self._replace_record(corrupt_record(record, "truncate", rng))
+        return name
 
     # ------------------------------------------------------------------
     # introspection (no failure check: used by tests/audits)

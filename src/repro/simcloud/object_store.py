@@ -31,15 +31,18 @@ from ..obs.trace import NULL_TRACER
 from .clock import SimClock, Timestamp, TimestampFactory
 from .errors import (
     CircuitOpenError,
+    CorruptObjectError,
     NodeDown,
     ObjectAlreadyExists,
     ObjectNotFound,
     QuorumError,
     RequestTimeout,
     RingError,
+    SimCloudError,
     TransientIOError,
 )
 from .hashring import HashRing
+from .integrity import checksum_of, verify_record
 from .latency import CostLedger, Jitter, LatencyModel
 from .node import ObjectRecord, StorageNode
 from .resilience import (
@@ -115,6 +118,14 @@ class ObjectStore:
         self.tracer = NULL_TRACER
         self._retry_rng = self.retry_policy.rng()
         self._names: set[str] = set()  # authoritative key registry
+        # Integrity state (see repro.simcloud.integrity).  verify_reads
+        # gates checksum verification on payload-serving reads; the
+        # quarantine maps object name -> node ids whose replica failed
+        # verification (demoted, pending repair); unrecoverable holds
+        # names a scrub found with *no* verified replica anywhere.
+        self.verify_reads = True
+        self.quarantine: dict[str, set[int]] = {}
+        self.unrecoverable: set[str] = set()
         # Accounts hosted on this deployment (filesystem frontends
         # register here so maintenance like GC can scope itself safely).
         self.accounts: set[str] = set()
@@ -231,6 +242,7 @@ class ObjectStore:
             meta=dict(meta or {}),
             timestamp=self.timestamps.next(),
             etag=_etag(data),
+            checksum=checksum_of(data),
         )
         previous: dict[int, ObjectRecord | None] = {}
         disk_costs: list[int] = []
@@ -268,6 +280,10 @@ class ObjectStore:
                         pass
             raise QuorumError(name, self.write_quorum, written)
         self._names.add(name)
+        # The acknowledged write put verified bytes on every replica it
+        # reached; old integrity verdicts about this name are void.
+        self.quarantine.pop(name, None)
+        self.unrecoverable.discard(name)
         self.ledger.puts += 1
         self.ledger.bytes_in += len(data)
         self._charge(self._base_cost(len(data)) + max(disk_costs))
@@ -280,8 +296,10 @@ class ObjectStore:
         )
 
     def get(self, name: str) -> ObjectRecord:
-        """Fetch an object from the first healthy replica."""
-        record, disk_cost, retries = self._read_replica(name, want_data=True)
+        """Fetch an object from the first healthy *verified* replica."""
+        record, disk_cost, retries = self._read_replica(
+            name, want_data=True, verify=True
+        )
         self.ledger.gets += 1
         self.ledger.bytes_out += record.size
         self._charge(
@@ -300,7 +318,11 @@ class ObjectStore:
         """
         if offset < 0 or length < 0:
             raise ValueError("offset/length must be >= 0")
-        record, _seek_cost, retries = self._read_replica(name, want_data=False)
+        # want_data=False prices the seek, but the whole record is
+        # verified before any window of it is served.
+        record, _seek_cost, retries = self._read_replica(
+            name, want_data=False, verify=True
+        )
         window = max(0, min(length, record.size - offset))
         from .sparse import SparseData
 
@@ -352,6 +374,8 @@ class ObjectStore:
                 # (never resurrected: repair walks the key registry).
                 continue
         self._names.discard(name)
+        self.quarantine.pop(name, None)
+        self.unrecoverable.discard(name)
         self.ledger.deletes += 1
         self._charge(self._base_cost(0) + max(disk_costs))
 
@@ -378,39 +402,114 @@ class ObjectStore:
             return False
 
     def _read_replica(
-        self, name: str, want_data: bool
+        self, name: str, want_data: bool, verify: bool = False
     ) -> tuple[ObjectRecord, int, int]:
         """Try replicas healthiest-first; return (record, disk_us, failovers).
 
-        Placement order is the baseline, but replicas whose circuit
-        breaker is in quarantine are demoted to last resort: reads
-        prefer nodes believed healthy and only fall back to quarantined
-        ones when every healthy replica failed.  Each per-node attempt
-        runs under the retry policy, so transient faults are masked
-        before a failover to the next replica happens at all.
+        Placement order is the baseline, but replicas demoted to last
+        resort come after: nodes whose circuit breaker is in quarantine,
+        and replicas of *this object* quarantined for failing checksum
+        verification.  Each per-node attempt runs under the retry
+        policy, so transient faults are masked before a failover to the
+        next replica happens at all.
+
+        With ``verify`` (payload-serving reads), every returned record
+        is checked against its write-time checksum: a mismatch
+        quarantines that replica, feeds the node's breaker, and fails
+        over -- corrupt bytes are never returned.  A verified read that
+        follows corruption finishes with an inline read-repair rewriting
+        the bad copies; if *no* located replica verifies, the caller
+        gets :class:`CorruptObjectError` rather than garbage.
         """
         now_us = self.clock.now_us
         placement = self.ring.nodes_for(name)
+        bad = self.quarantine.get(name, set())
         preferred = [
-            nid for nid in placement if not self._breaker(nid).is_quarantined(now_us)
+            nid
+            for nid in placement
+            if not self._breaker(nid).is_quarantined(now_us) and nid not in bad
         ]
-        quarantined = [nid for nid in placement if nid not in preferred]
+        demoted = [nid for nid in placement if nid not in preferred]
         failovers = 0
+        corrupt_nodes: list[int] = []
         last_error: Exception = ObjectNotFound(name)
-        for node_id in preferred + quarantined:
+        for node_id in preferred + demoted:
             node = self.nodes[node_id]
             try:
                 if want_data:
                     result = self._attempt(node, lambda node=node: node.read(name))
                 else:
                     result = self._attempt(node, lambda node=node: node.head(name))
-                return (*result, failovers)
             except (*_UNREACHABLE, ObjectNotFound) as exc:
                 last_error = exc
                 failovers += 1
+                continue
+            record, disk_cost = result
+            if verify and self.verify_reads and not verify_record(record):
+                corrupt_nodes.append(node_id)
+                self.quarantine.setdefault(name, set()).add(node_id)
+                self.resilience.corrupt_replicas += 1
+                self._breaker(node_id).record_failure(self.clock.now_us)
+                self.tracer.event(
+                    "store.corrupt_replica",
+                    tags={"store_node": node_id, "object": name},
+                )
+                failovers += 1
+                continue
+            if corrupt_nodes:
+                self._read_repair(name, record, corrupt_nodes)
+            elif verify and node_id in bad:
+                # A formerly quarantined replica verified clean again
+                # (healed by repair/scrub/overwrite behind our back).
+                self._unquarantine(name, node_id)
+            return record, disk_cost, failovers
+        if corrupt_nodes:
+            raise CorruptObjectError(name, tuple(corrupt_nodes))
         if isinstance(last_error, ObjectNotFound):
             raise ObjectNotFound(name)
         raise QuorumError(name, self.read_quorum, 0)
+
+    def _unquarantine(self, name: str, node_id: int) -> None:
+        nodes = self.quarantine.get(name)
+        if nodes is not None:
+            nodes.discard(node_id)
+            if not nodes:
+                del self.quarantine[name]
+
+    def _read_repair(
+        self, name: str, source: ObjectRecord, bad_nodes: list[int]
+    ) -> int:
+        """Rewrite corrupt replicas from a verified copy.
+
+        Runs off the client's critical path (background-accounted, fault
+        injection suspended): the read that detected the rot already
+        paid its failovers; healing is the replicator's time.  Returns
+        how many replicas were rewritten.
+        """
+        healed = 0
+        with self._suspended_faults():
+            for node_id in bad_nodes:
+                node = self.nodes[node_id]
+                if node.is_down:
+                    continue
+                try:
+                    self.ledger.background_us += node.write(source)
+                except SimCloudError:
+                    continue
+                healed += 1
+                self.resilience.read_repairs += 1
+                self._unquarantine(name, node_id)
+        if healed:
+            self.unrecoverable.discard(name)
+            self.tracer.event(
+                "store.read_repair", tags={"object": name, "healed": healed}
+            )
+        return healed
+
+    @property
+    def quarantined_replica_count(self) -> int:
+        """Replicas currently quarantined for checksum failure."""
+        return sum(len(nodes) for nodes in self.quarantine.values())
 
     # ------------------------------------------------------------------
     # enumeration (the expensive path flat stores are stuck with)
@@ -460,6 +559,19 @@ class ObjectStore:
         from .repair import RepairSweeper
 
         return RepairSweeper(self).sweep().replicas_written
+
+    def scrub(self):
+        """Verify every replica's checksum; heal from verified copies.
+
+        Models Swift's background object auditor / ZFS scrub: corrupt
+        replicas are rewritten from the newest verified copy, objects
+        with no verified reachable copy are recorded in
+        :attr:`unrecoverable`.  Background-accounted.  Returns the
+        :class:`~repro.simcloud.scrub.ScrubReport`.
+        """
+        from .scrub import Scrubber
+
+        return Scrubber(self).scrub()
 
     def rebalance(self) -> tuple[int, int]:
         """Migrate replicas to match the current ring (after node churn).

@@ -21,6 +21,8 @@ from __future__ import annotations
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from .integrity import verify_record
+
 
 @dataclass
 class RepairReport:
@@ -29,8 +31,9 @@ class RepairReport:
     objects_scanned: int = 0
     under_replicated: int = 0  # objects missing >=1 reachable replica
     stale_replicas: int = 0  # replicas older than the newest copy
-    replicas_written: int = 0  # holes filled + stale copies refreshed
-    unrecoverable: list[str] = field(default_factory=list)  # no live source
+    corrupt_replicas: int = 0  # replicas failing checksum verification
+    replicas_written: int = 0  # holes filled + stale/corrupt copies refreshed
+    unrecoverable: list[str] = field(default_factory=list)  # no verified source
 
     @property
     def clean(self) -> bool:
@@ -42,6 +45,7 @@ class RepairReport:
             f"repair: {status} -- {self.objects_scanned} objects scanned, "
             f"{self.under_replicated} under-replicated, "
             f"{self.stale_replicas} stale replicas, "
+            f"{self.corrupt_replicas} corrupt replicas, "
             f"{len(self.unrecoverable)} unrecoverable"
         )
 
@@ -55,11 +59,14 @@ class RepairSweeper:
     def sweep(self, prefix: str = "") -> RepairReport:
         """One full pass; returns the :class:`RepairReport`.
 
-        For every registered object name the newest reachable replica is
-        pushed to reachable peers that miss it or hold an older
-        timestamp.  Objects whose every reachable replica is gone (all
-        holders wiped or still down) are reported as unrecoverable --
-        they may heal on a later sweep once a holder comes back.
+        For every registered object name the newest reachable *verified*
+        replica is pushed to reachable peers that miss it, hold an older
+        timestamp, or fail checksum verification.  A replica that does
+        not verify is never used as a source -- repair must not fan
+        corruption out -- and objects with no verified reachable replica
+        at all (holders wiped, down, or rotten) are reported as
+        unrecoverable; they may heal on a later sweep once a clean
+        holder comes back.
         """
         store = self._store
         report = RepairReport()
@@ -72,11 +79,16 @@ class RepairSweeper:
                 report.objects_scanned += 1
                 source = None
                 reachable = []
+                corrupt = []
                 for node_id in store.ring.nodes_for(name):
                     node = store.nodes[node_id]
                     if node.is_down:
                         continue
                     record = node.peek(name)
+                    if record is not None and not verify_record(record):
+                        corrupt.append(node)
+                        report.corrupt_replicas += 1
+                        continue
                     reachable.append((node, record))
                     if record is not None and (
                         source is None or record.timestamp > source.timestamp
@@ -94,9 +106,14 @@ class RepairSweeper:
                 if missing:
                     report.under_replicated += 1
                 report.stale_replicas += len(stale)
-                for node in missing + stale:
+                for node in missing + stale + corrupt:
                     cost = node.write(source)
                     store.ledger.background_us += cost
                     report.replicas_written += 1
+                    quarantine = getattr(store, "quarantine", None)
+                    if quarantine is not None:
+                        store._unquarantine(name, node.node_id)
+                if corrupt and hasattr(store, "unrecoverable"):
+                    store.unrecoverable.discard(name)
         store.resilience.repaired_replicas += report.replicas_written
         return report

@@ -176,6 +176,9 @@ class ResilienceStats:
     io_errors: int = 0  # TransientIOError faults observed
     fast_failures: int = 0  # requests refused by an open breaker
     repaired_replicas: int = 0  # replicas rewritten by repair sweeps
+    corrupt_replicas: int = 0  # checksum mismatches caught before serving
+    read_repairs: int = 0  # bad replicas rewritten inline by verified reads
+    scrub_repairs: int = 0  # bad replicas rewritten by the scrubber
 
     def snapshot(self) -> dict[str, int]:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}

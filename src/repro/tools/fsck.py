@@ -22,6 +22,10 @@ account:
   object hold the same bytes (etag + timestamp); a crash/recover cycle
   without a repair sweep leaves stale copies, reported here so the
   deterministic-simulation oracle can insist on agreement after quiesce.
+* **I8 payload integrity** — every present replica's bytes still match
+  the checksum computed when they were written
+  (:mod:`repro.simcloud.integrity`); silent bit-rot keeps the etag and
+  timestamp intact, so only the checksum can expose it.
 
 The checker is read-only and runs in background-accounted time.
 """
@@ -33,7 +37,8 @@ from dataclasses import dataclass, field
 from ..core import formatter
 from ..core.namering import KIND_DIR
 from ..core.namespace import Namespace, directory_key, file_key, namering_key
-from ..simcloud.errors import ObjectNotFound
+from ..simcloud.errors import CorruptObjectError, ObjectNotFound
+from ..simcloud.integrity import verify_record
 
 
 @dataclass
@@ -47,6 +52,7 @@ class FsckReport:
     garbage: list[str] = field(default_factory=list)
     degraded_replicas: list[str] = field(default_factory=list)
     divergent_replicas: list[str] = field(default_factory=list)
+    corrupt_replicas: list[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -59,7 +65,8 @@ class FsckReport:
             f"{self.directories_checked} dirs, {self.files_checked} files; "
             f"{len(self.garbage)} garbage objects, "
             f"{len(self.degraded_replicas)} degraded replicas, "
-            f"{len(self.divergent_replicas)} divergent replicas"
+            f"{len(self.divergent_replicas)} divergent replicas, "
+            f"{len(self.corrupt_replicas)} corrupt replicas"
         )
 
 
@@ -127,6 +134,10 @@ class H2Fsck:
             return formatter.loads_directory(data)
         except ObjectNotFound:
             report.errors.append(f"I2 {ns}: directory record missing")
+        except CorruptObjectError:
+            report.corrupt_replicas.append(
+                f"I8 {ns}: directory record unrecoverable (no verified replica)"
+            )
         except formatter.FormatError as exc:
             report.errors.append(f"I2 {ns}: unparseable record ({exc})")
         return None
@@ -136,6 +147,10 @@ class H2Fsck:
             return formatter.loads_ring(self._store.get(namering_key(ns)).data)
         except ObjectNotFound:
             report.errors.append(f"I2 {ns}: NameRing missing")
+        except CorruptObjectError:
+            report.corrupt_replicas.append(
+                f"I8 {ns}: NameRing unrecoverable (no verified replica)"
+            )
         except formatter.FormatError as exc:
             report.errors.append(f"I2 {ns}: unparseable NameRing ({exc})")
         return None
@@ -164,6 +179,9 @@ class H2Fsck:
         if present < expected:
             report.degraded_replicas.append(f"I5 {key}: {present}/{expected}")
         # I7: all present replicas must agree byte-for-byte.
+        # I8: each one must also still match its write-time checksum --
+        # bit-rot leaves etag and timestamp intact, so agreement alone
+        # cannot catch it.
         etags = set()
         for node_id in self._store.ring.nodes_for(key):
             node = self._store.nodes[node_id]
@@ -172,6 +190,10 @@ class H2Fsck:
             record = node.peek(key)
             if record is not None:
                 etags.add(record.etag)
+                if not verify_record(record):
+                    report.corrupt_replicas.append(
+                        f"I8 {key}: checksum mismatch on node {node_id}"
+                    )
         if len(etags) > 1:
             report.divergent_replicas.append(
                 f"I7 {key}: {len(etags)} distinct replica versions"

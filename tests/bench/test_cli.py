@@ -30,7 +30,7 @@ class TestReproCLI:
         assert repro_main([]) == 0
         out = capsys.readouterr().out
         assert "H2Cloud" in out
-        assert "demo | repair | bench" in out
+        assert "demo | repair | scrub | bench" in out
 
     def test_demo(self, capsys):
         assert repro_main(["demo"]) == 0
@@ -44,6 +44,13 @@ class TestReproCLI:
         assert "REPAIRED" in out
         assert "fsck: CLEAN" in out
         assert "repaired objects back to full replication" in out
+
+    def test_scrub(self, capsys):
+        assert repro_main(["scrub"]) == 0
+        out = capsys.readouterr().out
+        assert "silently corrupted:" in out
+        assert "REPAIRED" in out
+        assert "second pass:" in out and "CLEAN" in out
 
     def test_bench_forwarding(self, capsys):
         assert repro_main(["bench", "headline"]) == 0

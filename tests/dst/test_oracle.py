@@ -66,7 +66,12 @@ class TestDetection:
         fs = small_fs(middlewares=1)
         populated(fs)
         # Corrupt one replica of one object behind the store's back.
+        # Verification off: with it on, the very reads the oracle's
+        # snapshot makes would detect the rot and read-repair it away
+        # (covered in tests/simcloud/test_corruption.py) -- V5 must
+        # catch divergence even when the serving path is blind.
         store = fs.store
+        store.verify_reads = False
         name = next(n for n in sorted(store.names()) if n.startswith("f:"))
         node_id = store.ring.nodes_for(name)[0]
         record = store.nodes[node_id].peek(name)
@@ -83,3 +88,50 @@ class TestDetection:
         model = populated(fs)
         model.write("/only-in-model", b"x")
         assert check_invariants(fs, None) == []
+
+
+def rot_one_replica(fs, prefix: str = "f:") -> str:
+    """Silently corrupt one replica of one object; returns its name."""
+    store = fs.store
+    name = next(n for n in sorted(store.names()) if n.startswith(prefix))
+    node_id = store.ring.nodes_for(name)[0]
+    store.nodes[node_id].corrupt_object(name)
+    return name
+
+
+class TestV6UndetectedCorruption:
+    def test_silent_rot_is_a_v6_violation(self):
+        fs = small_fs(middlewares=1)
+        model = populated(fs)
+        # Blind the serving path so nothing detects/heals the rot: V6's
+        # store-wide scan must still find it.
+        fs.store.verify_reads = False
+        name = rot_one_replica(fs)
+        violations = check_invariants(fs, model)
+        v6 = [v for v in violations if v.check == "V6"]
+        assert v6 and any(name in v.detail for v in v6)
+
+    def test_verified_reads_heal_before_v6_fires(self):
+        # With the read path live, the oracle's own snapshot reads
+        # detect the rot and read-repair it -- no violation survives.
+        fs = small_fs(middlewares=1)
+        model = populated(fs)
+        rot_one_replica(fs)
+        assert check_invariants(fs, model) == []
+        assert fs.store.resilience.read_repairs >= 1
+
+    def test_reported_unrecoverable_is_legal(self):
+        fs = small_fs(middlewares=1)
+        populated(fs)
+        store = fs.store
+        # Rot a *garbage-exempt* object on every replica: a patch/file
+        # object would V1-diverge, so use one the tree never reads.
+        store.put("spare:cold", b"never read")
+        for node_id in store.ring.nodes_for("spare:cold"):
+            store.nodes[node_id].corrupt_object("spare:cold")
+        violations = {v.check for v in check_invariants(fs)}
+        assert "V6" in violations  # silent: nothing reported it yet
+        store.scrub()  # the scrub reports it unrecoverable...
+        assert "spare:cold" in store.unrecoverable
+        violations = {v.check for v in check_invariants(fs)}
+        assert "V6" not in violations  # ...which makes the rot *loud*

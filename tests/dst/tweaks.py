@@ -33,6 +33,18 @@ def drop_tombstones_on_store(fs) -> None:
         mw.store_ring = buggy_store_ring
 
 
+def serve_unverified_reads(fs) -> None:
+    """Disable checksum verification on the read path.
+
+    Reintroduces the pre-integrity behaviour: the store serves whatever
+    bytes the first reachable replica returns, so injected corruption
+    flows straight to clients (and, via repair sources, to other
+    replicas).  The model-differential read check and the V6 oracle
+    catch it.
+    """
+    fs.store.verify_reads = False
+
+
 def lose_merge_updates(fs) -> None:
     """Make every second merger write-back silently drop one child.
 

@@ -42,6 +42,11 @@ GOLDEN_KEYS = frozenset(
         "resilience.repaired_replicas",
         "resilience.breaker_trips",
         "resilience.breakers_open",
+        "integrity.corrupt_replicas",
+        "integrity.read_repairs",
+        "integrity.scrub_repairs",
+        "integrity.quarantined_replicas",
+        "integrity.unrecoverable_objects",
         "degraded.serves",
         "degraded.stale_rings",
         "gc.passes",

@@ -1,0 +1,265 @@
+"""Tests for the verify-quarantine-repair read path and corruption faults."""
+
+import pytest
+
+from repro.simcloud import (
+    CorruptObjectError,
+    FaultPlan,
+    RepairSweeper,
+    SwiftCluster,
+)
+from repro.simcloud.failures import FAULT_NONE
+
+
+def populated_cluster(n: int = 6) -> SwiftCluster:
+    cluster = SwiftCluster.fast()
+    for i in range(n):
+        cluster.store.put(f"obj-{i:02d}", bytes([i + 1]) * 256)
+    return cluster
+
+
+def replica_nodes(cluster, name):
+    return [cluster.nodes[nid] for nid in cluster.ring.nodes_for(name)]
+
+
+class TestVerifiedReads:
+    def test_corrupt_replica_fails_over_and_serves_good_bytes(self):
+        cluster = populated_cluster()
+        store = cluster.store
+        first = cluster.ring.nodes_for("obj-00")[0]
+        cluster.nodes[first].corrupt_object("obj-00")
+        assert store.get("obj-00").data == b"\x01" * 256
+        assert store.resilience.corrupt_replicas == 1
+
+    def test_detection_quarantines_and_read_repairs(self):
+        cluster = populated_cluster()
+        store = cluster.store
+        first = cluster.ring.nodes_for("obj-00")[0]
+        cluster.nodes[first].corrupt_object("obj-00")
+        store.get("obj-00")
+        # The read that detected the rot finished with a read-repair:
+        # the bad copy is rewritten and no longer quarantined.
+        assert store.resilience.read_repairs == 1
+        assert store.quarantine.get("obj-00") is None
+        assert cluster.nodes[first].peek("obj-00").data == b"\x01" * 256
+
+    def test_quarantined_replica_is_demoted_not_excluded(self):
+        cluster = populated_cluster()
+        store = cluster.store
+        placement = cluster.ring.nodes_for("obj-00")
+        # Quarantine the primary by hand (no read-repair has run).
+        store.quarantine["obj-00"] = {placement[0]}
+        assert store.quarantined_replica_count == 1
+        record = store.get("obj-00")
+        assert record.data == b"\x01" * 256
+        # The primary's (actually fine) replica verified clean when the
+        # other replicas were gone -- simulate by crashing the others.
+        for nid in placement[1:]:
+            cluster.nodes[nid].crash()
+        store.quarantine["obj-00"] = {placement[0]}
+        assert store.get("obj-00").data == b"\x01" * 256
+        assert store.quarantine.get("obj-00") is None  # clean read unquarantined
+
+    def test_all_replicas_corrupt_raises_instead_of_serving_garbage(self):
+        cluster = populated_cluster()
+        store = cluster.store
+        for node in replica_nodes(cluster, "obj-00"):
+            node.corrupt_object("obj-00", mode="truncate")
+        with pytest.raises(CorruptObjectError) as excinfo:
+            store.get("obj-00")
+        assert excinfo.value.name == "obj-00"
+        assert set(excinfo.value.bad_nodes) == set(cluster.ring.nodes_for("obj-00"))
+        # Every bad replica is quarantined, pending scrub/repair.
+        assert store.quarantine["obj-00"] == set(cluster.ring.nodes_for("obj-00"))
+
+    def test_get_range_verifies_the_whole_record(self):
+        cluster = populated_cluster()
+        store = cluster.store
+        first = cluster.ring.nodes_for("obj-01")[0]
+        cluster.nodes[first].corrupt_object("obj-01")
+        assert store.get_range("obj-01", 0, 16) == b"\x02" * 16
+        assert store.resilience.corrupt_replicas == 1
+
+    def test_overwrite_clears_integrity_verdicts(self):
+        cluster = populated_cluster()
+        store = cluster.store
+        for node in replica_nodes(cluster, "obj-00"):
+            node.corrupt_object("obj-00")
+        with pytest.raises(CorruptObjectError):
+            store.get("obj-00")
+        store.unrecoverable.add("obj-00")
+        store.put("obj-00", b"fresh")
+        assert store.quarantine.get("obj-00") is None
+        assert "obj-00" not in store.unrecoverable
+        assert store.get("obj-00").data == b"fresh"
+
+    def test_verification_can_be_disabled(self):
+        # The pre-integrity behaviour, kept reachable for the DST tweak:
+        # whatever the first replica holds is served as-is.
+        cluster = populated_cluster()
+        store = cluster.store
+        store.verify_reads = False
+        for node in replica_nodes(cluster, "obj-00"):
+            node.corrupt_object("obj-00", mode="truncate")
+        assert store.get("obj-00").data != b"\x01" * 256
+        assert store.resilience.corrupt_replicas == 0
+
+
+class TestTornWriteOnCrash:
+    def test_crash_tears_the_last_write(self):
+        cluster = SwiftCluster.fast()
+        cluster.install_fault_plan(FaultPlan(seed=3, torn_write_rate=1.0))
+        cluster.store.put("hot", b"x" * 512)
+        victim = cluster.ring.nodes_for("hot")[0]
+        cluster.failures.crash_at(1, victim)
+        cluster.clock.advance(2)
+        cluster.failures.pump()
+        assert (victim, "hot", "torn_write") in cluster.failures.corrupted
+        torn = cluster.nodes[victim].peek("hot")
+        assert torn.size < 512  # partial object on disk
+        assert cluster.nodes[victim].stats.corruptions == 1
+
+    def test_torn_replica_is_detected_and_never_served(self):
+        cluster = SwiftCluster.fast()
+        cluster.install_fault_plan(FaultPlan(seed=3, torn_write_rate=1.0))
+        store = cluster.store
+        store.put("hot", b"x" * 512)
+        victim = cluster.ring.nodes_for("hot")[0]
+        cluster.failures.crash_at(1, victim)
+        cluster.clock.advance(2)
+        cluster.failures.pump()
+        cluster.nodes[victim].recover()
+        # Reads fail over past the torn copy and heal it in passing.
+        assert store.get("hot").data == b"x" * 512
+        assert store.resilience.corrupt_replicas == 1
+        assert store.resilience.read_repairs == 1
+        assert cluster.nodes[victim].peek("hot").data == b"x" * 512
+
+    def test_rate_zero_never_tears(self):
+        cluster = SwiftCluster.fast()
+        cluster.install_fault_plan(FaultPlan(seed=3))
+        cluster.store.put("hot", b"x" * 512)
+        victim = cluster.ring.nodes_for("hot")[0]
+        cluster.failures.crash_at(1, victim)
+        cluster.clock.advance(2)
+        cluster.failures.pump()
+        assert cluster.failures.corrupted == []
+        assert cluster.nodes[victim].peek("hot").size == 512
+
+
+class TestBitRot:
+    def test_bitrot_on_every_read_exhausts_the_replica_set(self):
+        cluster = SwiftCluster.fast()
+        cluster.install_fault_plan(FaultPlan(seed=7, bitrot_rate=1.0))
+        store = cluster.store
+        store.put("cold", b"c" * 128)  # writes are unaffected by bit-rot
+        with pytest.raises(CorruptObjectError):
+            store.get("cold")
+
+    def test_arming_corruption_keeps_transient_fault_streams_aligned(self):
+        # Pinned fault sequences (and DST digests) must not shift when
+        # bit-rot is armed: corruption draws use separate streams.
+        quiet = FaultPlan(seed=5, io_error_rate=0.3)
+        armed = FaultPlan(
+            seed=5, io_error_rate=0.3, bitrot_rate=0.5, torn_write_rate=0.5
+        )
+        armed.draw_bitrot(1)
+        armed.draw_torn(1)
+        a = [quiet.draw(1, "read").kind for _ in range(100)]
+        b = [armed.draw(1, "read").kind for _ in range(100)]
+        assert a == b
+
+    def test_suspension_silences_corruption_draws(self):
+        plan = FaultPlan(seed=2, bitrot_rate=1.0, torn_write_rate=1.0)
+        with plan.suspended():
+            assert plan.draw_bitrot(1) is None
+            assert plan.draw_torn(1) is False
+        assert plan.draw_bitrot(1) is not None
+        assert plan.draw_torn(1) is True
+
+    def test_zero_rates_draw_nothing(self):
+        plan = FaultPlan(seed=2)
+        assert all(plan.draw_bitrot(1) is None for _ in range(50))
+        assert all(plan.draw_torn(1) is False for _ in range(50))
+        assert plan.draw(1, "read").kind == FAULT_NONE
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(bitrot_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(torn_write_rate=-0.1)
+
+
+class TestScheduledCorruption:
+    def test_corrupt_at_damages_the_named_object(self):
+        cluster = populated_cluster()
+        victim = cluster.ring.nodes_for("obj-03")[0]
+        cluster.failures.corrupt_at(5, victim, name="obj-03", mode="truncate")
+        cluster.clock.advance(10)
+        cluster.failures.pump()
+        assert cluster.failures.corrupted == [(victim, "obj-03", "truncate")]
+        assert cluster.nodes[victim].peek("obj-03").size < 256
+
+    def test_unnamed_victim_is_deterministic(self):
+        def landed():
+            cluster = populated_cluster()
+            node_id = sorted(cluster.nodes)[0]
+            cluster.failures.corrupt_at(5, node_id)
+            cluster.clock.advance(10)
+            cluster.failures.pump()
+            return cluster.failures.corrupted
+
+        assert landed() == landed()
+
+    def test_corrupting_an_empty_node_is_a_no_op(self):
+        cluster = SwiftCluster.fast()
+        node_id = sorted(cluster.nodes)[0]
+        cluster.failures.corrupt_at(1, node_id)
+        cluster.clock.advance(2)
+        assert cluster.failures.pump()  # the event fired...
+        assert cluster.failures.corrupted == []  # ...but found nothing to rot
+
+
+class TestRepairSweeperIntegrity:
+    def test_sweep_rewrites_corrupt_replicas_from_verified_copies(self):
+        cluster = populated_cluster()
+        store = cluster.store
+        first = cluster.ring.nodes_for("obj-00")[0]
+        cluster.nodes[first].corrupt_object("obj-00")
+        report = RepairSweeper(store).sweep()
+        assert report.corrupt_replicas == 1
+        assert report.replicas_written == 1
+        assert cluster.nodes[first].peek("obj-00").data == b"\x01" * 256
+
+    def test_blind_copy_regression_corrupt_source_is_never_fanned_out(self):
+        # The only *surviving* replica is corrupt: the sweep must report
+        # the object unrecoverable, not rebuild the dead replicas from
+        # rotten bytes (which a timestamp-only sweep would happily do).
+        cluster = populated_cluster()
+        store = cluster.store
+        placement = cluster.ring.nodes_for("obj-00")
+        for nid in placement[1:]:
+            cluster.nodes[nid].wipe()
+            cluster.nodes[nid].crash()
+        cluster.nodes[placement[0]].corrupt_object("obj-00")
+        report = RepairSweeper(store).sweep()
+        assert "obj-00" in report.unrecoverable
+        # Nothing was written from the corrupt copy; the wiped nodes
+        # stay empty rather than inheriting garbage.
+        for nid in placement[1:]:
+            assert cluster.nodes[nid].peek("obj-00") is None
+
+    def test_sweep_heals_once_a_clean_holder_returns(self):
+        cluster = populated_cluster()
+        store = cluster.store
+        placement = cluster.ring.nodes_for("obj-00")
+        cluster.nodes[placement[1]].crash()  # clean copy, offline
+        cluster.nodes[placement[0]].corrupt_object("obj-00")
+        cluster.nodes[placement[2]].corrupt_object("obj-00")
+        first = RepairSweeper(store).sweep()
+        assert "obj-00" in first.unrecoverable
+        cluster.nodes[placement[1]].recover()
+        second = RepairSweeper(store).sweep()
+        assert second.unrecoverable == []
+        for nid in placement:
+            assert cluster.nodes[nid].peek("obj-00").data == b"\x01" * 256

@@ -1,0 +1,131 @@
+"""Property tests for the checksum primitives (repro.simcloud.integrity)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simcloud.clock import Timestamp
+from repro.simcloud.integrity import (
+    CHUNK_SIZE,
+    CORRUPT_BITFLIP,
+    CORRUPT_TRUNCATE,
+    CORRUPTION_MODES,
+    checksum_of,
+    corrupt_record,
+    crc32c,
+    verify_record,
+)
+from repro.simcloud.node import ObjectRecord
+from repro.simcloud.sparse import SparseData
+
+
+def record_of(data, checksum=None) -> ObjectRecord:
+    return ObjectRecord(
+        name="obj",
+        data=data,
+        meta={},
+        timestamp=Timestamp(1, 0, 0),
+        etag="etag",
+        checksum=checksum_of(data) if checksum is None else checksum,
+    )
+
+
+class TestCrc32c:
+    def test_known_vectors(self):
+        # The CRC-32C check value (RFC 3720 appendix, zlib-crc32c docs).
+        assert crc32c(b"123456789") == 0xE3069283
+        assert crc32c(b"") == 0
+        assert crc32c(b"\x00" * 32) == 0x8A9136AA
+
+    @given(st.binary(), st.binary())
+    def test_chainable(self, head, tail):
+        assert crc32c(head + tail) == crc32c(tail, crc32c(head))
+
+    @given(st.binary(min_size=1))
+    def test_single_bit_flip_always_changes_the_crc(self, data):
+        # CRC is linear over GF(2): flipping any one bit flips a fixed
+        # nonzero pattern in the checksum, so detection is guaranteed.
+        bit = len(data) * 8 - 1
+        buf = bytearray(data)
+        buf[bit // 8] ^= 1 << (bit % 8)
+        assert crc32c(bytes(buf)) != crc32c(data)
+
+
+class TestChecksumOf:
+    @given(st.binary())
+    def test_round_trip_verifies(self, data):
+        assert verify_record(record_of(data))
+
+    @given(st.binary())
+    def test_matches_unchunked_crc(self, data):
+        assert checksum_of(data) == f"{crc32c(data):08x}"
+
+    def test_empty_payload(self):
+        assert checksum_of(b"") == "00000000"
+        assert verify_record(record_of(b""))
+
+    def test_multi_chunk_payload_round_trips(self):
+        # > 1 CHUNK_SIZE so the chained incremental path is exercised.
+        data = bytes(range(256)) * (CHUNK_SIZE // 256 + 7)
+        assert len(data) > CHUNK_SIZE
+        assert checksum_of(data) == f"{crc32c(data):08x}"
+        assert verify_record(record_of(data))
+
+    @given(
+        st.binary(min_size=1, max_size=4 * 1024),
+        st.integers(min_value=1, max_value=4 * 1024),
+    )
+    def test_chunk_size_is_irrelevant(self, data, step):
+        crc = 0
+        for start in range(0, len(data), step):
+            crc = crc32c(data[start : start + step], crc)
+        assert f"{crc:08x}" == checksum_of(data)
+
+    def test_sparse_payloads_checksum_by_identity(self):
+        a = SparseData(size=10_000_000, tag="big")
+        assert checksum_of(a) == checksum_of(SparseData(size=10_000_000, tag="big"))
+        assert checksum_of(a) != checksum_of(SparseData(size=10_000_001, tag="big"))
+        assert checksum_of(a) != checksum_of(SparseData(size=10_000_000, tag="other"))
+        assert verify_record(record_of(a))
+
+    def test_unchecksummed_records_are_taken_at_their_word(self):
+        assert verify_record(record_of(b"whatever", checksum=""))
+
+
+class TestCorruptRecord:
+    @given(st.binary(), st.integers(min_value=0, max_value=2**32))
+    def test_bitflip_is_always_detected(self, data, seed):
+        record = record_of(data)
+        rotten = corrupt_record(record, CORRUPT_BITFLIP, random.Random(seed))
+        assert not verify_record(rotten)
+
+    @given(st.binary(min_size=1), st.integers(min_value=0, max_value=2**32))
+    def test_truncate_shortens_and_is_detected(self, data, seed):
+        record = record_of(data)
+        rotten = corrupt_record(record, CORRUPT_TRUNCATE, random.Random(seed))
+        assert len(rotten.data) < len(data)
+        assert not verify_record(rotten)
+
+    @given(st.sampled_from(CORRUPTION_MODES), st.integers(0, 2**32))
+    def test_sparse_corruption_is_detected(self, mode, seed):
+        record = record_of(SparseData(size=1_000_000, tag="cold"))
+        rotten = corrupt_record(record, mode, random.Random(seed))
+        assert not verify_record(rotten)
+
+    def test_original_record_is_never_mutated(self):
+        record = record_of(b"pristine bytes")
+        for mode in CORRUPTION_MODES:
+            corrupt_record(record, mode, random.Random(0))
+        assert record.data == b"pristine bytes"
+        assert verify_record(record)
+
+    def test_checksum_rides_along_stale(self):
+        record = record_of(b"payload")
+        rotten = corrupt_record(record, CORRUPT_BITFLIP, random.Random(1))
+        assert rotten.checksum == record.checksum  # silent: checksum untouched
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            corrupt_record(record_of(b"x"), "melt", random.Random(0))

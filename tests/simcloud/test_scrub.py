@@ -1,0 +1,127 @@
+"""Tests for the background scrubber (repro.simcloud.scrub)."""
+
+from repro.core import H2CloudFS
+from repro.simcloud import FaultPlan, Scrubber, SwiftCluster
+
+
+def populated_cluster(n: int = 6) -> SwiftCluster:
+    cluster = SwiftCluster.fast()
+    for i in range(n):
+        cluster.store.put(f"obj-{i:02d}", bytes([i + 1]) * 256)
+    return cluster
+
+
+class TestScrubber:
+    def test_clean_cluster_reports_clean(self):
+        cluster = populated_cluster()
+        report = Scrubber(cluster.store).scrub()
+        assert report.clean
+        assert report.objects_scanned == 6
+        assert report.replicas_checked == 6 * cluster.ring.replicas
+        assert "CLEAN" in report.summary()
+
+    def test_scrub_heals_corrupt_replicas(self):
+        cluster = populated_cluster()
+        store = cluster.store
+        placement = cluster.ring.nodes_for("obj-00")
+        cluster.nodes[placement[0]].corrupt_object("obj-00")
+        cluster.nodes[placement[1]].corrupt_object("obj-00", mode="truncate")
+        report = store.scrub()
+        assert report.corrupt_replicas == 2
+        assert report.repaired_replicas == 2
+        assert report.unrecoverable == []
+        assert store.resilience.scrub_repairs == 2
+        for nid in placement:
+            assert cluster.nodes[nid].peek("obj-00").data == b"\x01" * 256
+        assert store.scrub().clean  # second pass finds nothing
+
+    def test_scrub_clears_quarantine_entries_it_heals(self):
+        cluster = populated_cluster()
+        store = cluster.store
+        victim = cluster.ring.nodes_for("obj-00")[0]
+        cluster.nodes[victim].corrupt_object("obj-00")
+        store.quarantine["obj-00"] = {victim}
+        store.scrub()
+        assert store.quarantine.get("obj-00") is None
+
+    def test_no_verified_source_reports_unrecoverable(self):
+        cluster = populated_cluster()
+        store = cluster.store
+        placement = cluster.ring.nodes_for("obj-00")
+        for nid in placement:
+            cluster.nodes[nid].corrupt_object("obj-00")
+        report = store.scrub()
+        assert report.unrecoverable == ["obj-00"]
+        assert not report.clean
+        assert "obj-00" in store.unrecoverable
+        # All bad copies quarantined; nothing rewritten from garbage.
+        assert store.quarantine["obj-00"] == set(placement)
+        assert report.repaired_replicas == 0
+
+    def test_unrecoverable_verdict_is_revisited(self):
+        cluster = populated_cluster()
+        store = cluster.store
+        placement = cluster.ring.nodes_for("obj-00")
+        cluster.nodes[placement[0]].crash()  # the one clean copy, offline
+        for nid in placement[1:]:
+            cluster.nodes[nid].corrupt_object("obj-00")
+        assert store.scrub().unrecoverable == ["obj-00"]
+        cluster.nodes[placement[0]].recover()
+        second = store.scrub()
+        assert second.unrecoverable == []
+        assert second.repaired_replicas == 2
+        assert "obj-00" not in store.unrecoverable
+        assert store.scrub().clean
+
+    def test_scrub_is_background_accounted(self):
+        cluster = populated_cluster()
+        store = cluster.store
+        before_clock = cluster.clock.now_us
+        before_background = store.ledger.background_us
+        store.scrub()
+        assert cluster.clock.now_us == before_clock  # no client time
+        assert store.ledger.background_us > before_background
+
+    def test_scrub_runs_with_faults_suspended(self):
+        cluster = populated_cluster()
+        cluster.install_fault_plan(
+            FaultPlan(seed=9, io_error_rate=1.0, bitrot_rate=1.0)
+        )
+        report = cluster.store.scrub()
+        assert report.clean  # neither starved nor rotting its own reads
+
+    def test_prefix_scopes_the_walk(self):
+        cluster = populated_cluster()
+        cluster.store.put("other:thing", b"z")
+        report = Scrubber(cluster.store).scrub(prefix="obj-")
+        assert report.objects_scanned == 6
+
+    def test_scrub_spans_and_events_are_traced(self):
+        from repro.obs.trace import Tracer
+
+        cluster = populated_cluster()
+        store = cluster.store
+        store.tracer = Tracer(cluster.clock)
+        cluster.nodes[cluster.ring.nodes_for("obj-00")[0]].corrupt_object(
+            "obj-00"
+        )
+        store.scrub()
+        spans = [s for s in store.tracer.spans if s.name == "scrub"]
+        assert len(spans) == 1
+        assert spans[0].tags["repaired"] == 1
+
+
+class TestFilesystemScrub:
+    def test_fs_scrub_heals_namering_rot(self):
+        fs = H2CloudFS(SwiftCluster.fast(), account="alice")
+        fs.makedirs("/a/b")
+        fs.write("/a/f", b"payload")
+        fs.pump()
+        store = fs.store
+        name = next(n for n in sorted(store.names()) if n.startswith("nr:"))
+        victim = store.ring.nodes_for(name)[0]
+        store.nodes[victim].corrupt_object(name)
+        report = fs.scrub()
+        assert report.repaired_replicas == 1
+        assert fs.scrub().clean
+        assert fs.read("/a/f") == b"payload"

@@ -157,3 +157,36 @@ class TestCorruptionDetection:
         fs.write("/f", b"x")  # patch chained, unmerged
         report = fsck(fs)
         assert not any(name.startswith("patch:") for name in report.garbage)
+
+
+class TestIntegrityPass:
+    def test_corrupt_replica_reported_as_i8(self, fs):
+        key = "f:" + fs.relative_path_of("/a/f1")
+        victim = fs.cluster.ring.nodes_for(key)[0]
+        fs.cluster.nodes[victim].corrupt_object(key)
+        report = fsck(fs)
+        assert report.clean  # a finding, not an error: repair can heal it
+        assert any(
+            "I8" in c and key in c and f"node {victim}" in c
+            for c in report.corrupt_replicas
+        )
+        assert "1 corrupt replicas" in report.summary()
+
+    def test_scrub_clears_i8_findings(self, fs):
+        key = "f:" + fs.relative_path_of("/a/f1")
+        victim = fs.cluster.ring.nodes_for(key)[0]
+        fs.cluster.nodes[victim].corrupt_object(key)
+        fs.scrub()
+        assert fsck(fs).corrupt_replicas == []
+
+    def test_unrecoverable_namering_reported_not_crashed(self, fs):
+        mw = fs.middlewares[0]
+        ns = mw.lookup.resolve_dir("alice", "/a/b")
+        key = namering_key(ns)
+        for node_id in fs.store.ring.nodes_for(key):
+            fs.store.nodes[node_id].corrupt_object(key)
+        mw.fd_cache.drop_clean()
+        report = fsck(fs)
+        assert any(
+            "I8" in c and "unrecoverable" in c for c in report.corrupt_replicas
+        )
