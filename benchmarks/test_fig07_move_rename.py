@@ -1,5 +1,7 @@
 """Figure 7: MOVE/RENAME vs n -- Swift O(n), H2Cloud & Dropbox O(1)."""
 
+import pytest
+
 from conftest import run_once, slope
 
 from repro.bench import fig7_move_rename
@@ -21,3 +23,12 @@ def test_fig07_move_rename(benchmark):
     swift_ms = result.series_for("swift").ms_at(n_max)
     h2_ms = result.series_for("h2cloud").ms_at(n_max)
     assert swift_ms > 50 * h2_ms
+
+
+@pytest.mark.smoke
+def test_fig07_smoke(benchmark):
+    """Two-point quick slice for PR CI: the O(n)-vs-O(1) gap exists."""
+    result = run_once(benchmark, fig7_move_rename, [10, 100])
+    swift = result.series_for("swift")
+    assert swift.ms_at(100) > swift.ms_at(10)  # Swift really is O(n)
+    assert 0 < result.series_for("h2cloud").ms_at(100)

@@ -1,5 +1,7 @@
 """Figure 8: RMDIR vs n -- the same shape as Figure 7."""
 
+import pytest
+
 from conftest import run_once, slope
 
 from repro.bench import fig8_rmdir
@@ -22,3 +24,12 @@ def test_fig08_rmdir(benchmark):
 
     # H2's RMDIR is a single fake-deletion patch: tens of ms, flat.
     assert all(ms < 500 for _, ms in h2)
+
+
+@pytest.mark.smoke
+def test_fig08_smoke(benchmark):
+    """Two-point quick slice for PR CI: O(1) fake delete vs O(n)."""
+    result = run_once(benchmark, fig8_rmdir, [10, 100])
+    swift = result.series_for("swift")
+    assert swift.ms_at(100) > swift.ms_at(10)
+    assert 0 < result.series_for("h2cloud").ms_at(100)

@@ -1,5 +1,7 @@
 """Figure 9: LIST vs n with m fixed -- LIST depends on m, not n."""
 
+import pytest
+
 from conftest import run_once, slope
 
 from repro.bench import fig9_list_vs_n
@@ -17,3 +19,11 @@ def test_fig09_list_vs_n(benchmark):
         swift_ms = result.series_for("swift").ms_at(x)
         h2_ms = result.series_for("h2cloud").ms_at(x)
         assert swift_ms > h2_ms
+
+
+@pytest.mark.smoke
+def test_fig09_smoke(benchmark):
+    """Two-point quick slice for PR CI: LIST cost is m-bound, not n."""
+    result = run_once(benchmark, fig9_list_vs_n, [10, 100], m=20)
+    for system in ("h2cloud", "swift", "dropbox"):
+        assert 0 < result.series_for(system).ms_at(100)

@@ -1,5 +1,7 @@
 """Figure 10: LIST vs m -- everyone O(m); Swift slowest; H2 headline."""
 
+import pytest
+
 from conftest import run_once, slope
 
 from repro.bench import fig10_list_vs_m
@@ -22,3 +24,11 @@ def test_fig10_list_vs_m(benchmark):
 
     # §1 headline: LISTing 1000 files costs just ~0.35 s.
     assert 150 < h2_ms < 700
+
+
+@pytest.mark.smoke
+def test_fig10_smoke(benchmark):
+    """Two-point quick slice for PR CI: LIST grows with m for everyone."""
+    result = run_once(benchmark, fig10_list_vs_m, [10, 100])
+    h2 = result.series_for("h2cloud")
+    assert h2.ms_at(100) > h2.ms_at(10)

@@ -1,5 +1,7 @@
 """Figure 11: COPY vs n -- O(n) for all three, curves close together."""
 
+import pytest
+
 from conftest import adjusted_slope, run_once
 
 from repro.bench import fig11_copy
@@ -22,3 +24,11 @@ def test_fig11_copy(benchmark):
     # §1 headline: COPYing 1000 files costs ~10 seconds.
     h2_seconds = result.series_for("h2cloud").ms_at(1000) / 1000
     assert 3 < h2_seconds < 30
+
+
+@pytest.mark.smoke
+def test_fig11_smoke(benchmark):
+    """Two-point quick slice for PR CI: COPY is O(n) for everyone."""
+    result = run_once(benchmark, fig11_copy, [10, 50])
+    h2 = result.series_for("h2cloud")
+    assert h2.ms_at(50) > h2.ms_at(10)

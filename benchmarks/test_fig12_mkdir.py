@@ -1,5 +1,7 @@
 """Figure 12: MKDIR -- constant; Swift fastest; H2/Dropbox acceptable."""
 
+import pytest
+
 from conftest import run_once, slope
 
 from repro.bench import fig12_mkdir
@@ -22,3 +24,11 @@ def test_fig12_mkdir(benchmark):
     # acceptable".  Allow a generous band around it.
     assert 40 < h2_ms < 300
     assert 120 < dropbox_ms < 320
+
+
+@pytest.mark.smoke
+def test_fig12_smoke(benchmark):
+    """Two-point quick slice for PR CI: MKDIR stays in the paper band."""
+    result = run_once(benchmark, fig12_mkdir, [10, 100])
+    h2 = result.series_for("h2cloud")
+    assert 40 < h2.ms_at(100) < 300

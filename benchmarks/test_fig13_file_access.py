@@ -1,5 +1,7 @@
 """Figure 13: file access vs depth -- Swift flat ~10ms, H2 ∝ d, Dropbox ~flat."""
 
+import pytest
+
 from conftest import run_once, slope
 
 from repro.bench import fig13_file_access
@@ -27,3 +29,13 @@ def test_fig13_file_access(benchmark):
 
     # Dropbox: constant with fluctuations (hops add noise, not slope).
     assert slope(dropbox) < 0.2
+
+
+@pytest.mark.smoke
+def test_fig13_smoke(benchmark):
+    """Two-point quick slice for PR CI: H2 lookup grows with depth."""
+    result = run_once(benchmark, fig13_file_access, [1, 8])
+    h2 = result.series_for("h2cloud")
+    assert h2.ms_at(8) > h2.ms_at(1)
+    swift = result.series_for("swift")
+    assert 4 < swift.ms_at(8) < 25  # flat full-path hash

@@ -1,5 +1,7 @@
 """Figure 14: number of objects -- H2Cloud stores more than Swift."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.bench import fig14_15_storage
@@ -14,3 +16,12 @@ def test_fig14_object_count(benchmark):
         assert h2_count > swift_count * 1.05
         # ...but not absurdly many: bounded by ~2 extra per directory.
         assert h2_count < swift_count * 4
+
+
+@pytest.mark.smoke
+def test_fig14_smoke(benchmark):
+    """Two-point quick slice for PR CI: H2 stores more objects."""
+    fig14, _ = run_once(benchmark, fig14_15_storage, [1, 2])
+    assert fig14.series_for("h2cloud").ms_at(2) > fig14.series_for(
+        "swift"
+    ).ms_at(2)

@@ -1,5 +1,7 @@
 """Figure 15: size of objects -- H2Cloud's byte overhead is negligible."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.bench import fig14_15_storage
@@ -14,3 +16,12 @@ def test_fig15_object_size(benchmark):
         # extra bytes must stay within a few percent.
         assert h2_mb < swift_mb * 1.05
         assert h2_mb > swift_mb * 0.95
+
+
+@pytest.mark.smoke
+def test_fig15_smoke(benchmark):
+    """Two-point quick slice for PR CI: byte overhead stays negligible."""
+    _, fig15 = run_once(benchmark, fig14_15_storage, [1, 2])
+    swift_mb = fig15.series_for("swift").ms_at(2)
+    h2_mb = fig15.series_for("h2cloud").ms_at(2)
+    assert h2_mb < swift_mb * 1.05

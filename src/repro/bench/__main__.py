@@ -4,6 +4,7 @@
     python -m repro.bench fig7 fig13          # a subset
     python -m repro.bench --out results/ fig7 # also write CSV + JSON
     REPRO_BENCH_SCALE=full python -m repro.bench fig7   # paper scale
+    python -m repro.bench guard --baseline-dir . --candidate-dir results/
 """
 
 from __future__ import annotations
@@ -16,7 +17,29 @@ from .harness import bench_scale
 from .report import format_result
 
 
+def _take_flag(argv: list[str], flag: str, default: str) -> tuple[str, list[str]]:
+    if flag not in argv:
+        return default, argv
+    at = argv.index(flag)
+    try:
+        value = argv[at + 1]
+    except IndexError:
+        raise SystemExit(f"{flag} needs a directory") from None
+    return value, argv[:at] + argv[at + 2 :]
+
+
 def main(argv: list[str]) -> int:
+    # "guard" is not a figure either: it diffs a candidate artifact
+    # pair against the committed baseline (the nightly regression gate).
+    if argv and argv[0] == "guard":
+        from .guard import run_guard
+
+        baseline, rest = _take_flag(argv[1:], "--baseline-dir", ".")
+        candidate, rest = _take_flag(rest, "--candidate-dir", "results")
+        if rest:
+            print(f"guard: unexpected arguments {rest}")
+            return 2
+        return run_guard(baseline, candidate)
     out_dir = None
     if "--out" in argv:
         flag = argv.index("--out")

@@ -1,0 +1,108 @@
+"""Bench-trajectory regression guard: fail CI on a >20% slowdown.
+
+Compares a freshly generated pair of trajectory artifacts (the
+*candidate*) against the committed pair (the *baseline*) and fails
+when any guarded metric regresses by more than the tolerance:
+
+* every per-operation ``mean_ms`` in ``BENCH_headline.json``,
+* ``sim_makespan_ms`` of both artifacts,
+* ``background_ms`` of the maintenance artifact,
+* the traffic sections' ``store_gets`` / ``store_puts`` with the
+  flags on (the tentpole win must not silently erode).
+
+Both artifacts are deterministic for a given scale (the simulated
+clock is the only time source), so any drift is a real behavioural
+change, not noise -- the 20% tolerance exists to let intentional
+cost-model tweaks land without ceremony while catching order-of-
+magnitude mistakes.
+
+    python -m repro.bench guard --baseline-dir . --candidate-dir results/
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+ARTIFACTS = ("BENCH_headline.json", "BENCH_maintenance.json")
+
+#: a candidate may cost up to this factor of the baseline before failing
+TOLERANCE = 1.20
+
+
+class GuardError(Exception):
+    """A guarded artifact is missing or unreadable."""
+
+
+def _load(directory: str | Path, name: str) -> dict:
+    path = Path(directory) / name
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise GuardError(f"missing artifact: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise GuardError(f"unreadable artifact {path}: {exc}") from None
+
+
+def _check(label: str, base: float, cand: float) -> str | None:
+    """A violation line if ``cand`` regressed past tolerance, else None."""
+    if base <= 0 or cand <= base * TOLERANCE:
+        return None
+    return (
+        f"{label}: {cand:.3f} vs baseline {base:.3f} "
+        f"(+{(cand / base - 1) * 100:.0f}%, tolerance +{(TOLERANCE - 1) * 100:.0f}%)"
+    )
+
+
+def _guarded_metrics(doc: dict) -> dict[str, float]:
+    """The flat (label -> value) map of guarded metrics in one artifact."""
+    metrics: dict[str, float] = {"sim_makespan_ms": doc["sim_makespan_ms"]}
+    for op, stats in doc.get("ops", {}).items():
+        metrics[f"ops.{op}.mean_ms"] = stats["mean_ms"]
+    if "background_ms" in doc:
+        metrics["background_ms"] = doc["background_ms"]
+    optimized = doc.get("traffic", {}).get("optimized", {})
+    for key in ("store_gets", "store_puts"):
+        if key in optimized:
+            metrics[f"traffic.optimized.{key}"] = optimized[key]
+    return metrics
+
+
+def compare(baseline_dir: str | Path, candidate_dir: str | Path) -> list[str]:
+    """All tolerance violations between the two artifact pairs."""
+    violations: list[str] = []
+    for name in ARTIFACTS:
+        base_doc = _load(baseline_dir, name)
+        cand_doc = _load(candidate_dir, name)
+        if base_doc.get("scale") != cand_doc.get("scale"):
+            violations.append(
+                f"{name}: scale mismatch ({base_doc.get('scale')} vs "
+                f"{cand_doc.get('scale')}) -- regenerate at the same scale"
+            )
+            continue
+        base_metrics = _guarded_metrics(base_doc)
+        cand_metrics = _guarded_metrics(cand_doc)
+        for label, base_value in sorted(base_metrics.items()):
+            if label not in cand_metrics:
+                violations.append(f"{name}: {label} vanished from candidate")
+                continue
+            line = _check(label, base_value, cand_metrics[label])
+            if line:
+                violations.append(f"{name}: {line}")
+    return violations
+
+
+def run_guard(baseline_dir: str | Path, candidate_dir: str | Path) -> int:
+    """CLI body: print the verdict, return the exit code."""
+    try:
+        violations = compare(baseline_dir, candidate_dir)
+    except GuardError as exc:
+        print(f"guard: {exc}")
+        return 2
+    if violations:
+        print(f"guard: {len(violations)} regression(s) past tolerance")
+        for line in violations:
+            print(f"  {line}")
+        return 1
+    print("guard: candidate within tolerance of baseline")
+    return 0

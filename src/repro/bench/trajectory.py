@@ -21,6 +21,7 @@ only time source, so CI can diff them run over run.
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 from pathlib import Path
 
 from ..core.fs import H2CloudFS
@@ -79,6 +80,102 @@ def _drive_workload(fs: H2CloudFS) -> None:
     fs.rmdir(f"/d{dirs - 1:03d}")
 
 
+def _lookup_workload_traffic(config: H2Config) -> dict:
+    """Fig 13's worst case, measured in store round trips.
+
+    A depth-4 walk done cold (``drop_caches`` every round) plus a burst
+    of ``exists()`` probes for names that are *not* there -- the access
+    pattern where §3.2's "revalidate cached rings on a miss" rule costs
+    a double GET per probe.  Returns the GET/PUT deltas the rounds cost,
+    so the caller can diff a baseline config against the
+    traffic-reduction flags.
+    """
+    fs = H2CloudFS(SwiftCluster.rack_scale(), account="bench", config=config)
+    depth = 4
+    path = ""
+    for level in range(depth):
+        path += f"/w{level}"
+        fs.mkdir(path)
+    fs.write(f"{path}/present", b"z" * 64)
+    fs.pump()
+    ledger = fs.store.ledger
+    gets0, puts0 = ledger.gets, ledger.puts
+    rounds = 30 if bench_scale() == "full" else 12
+    missing, probes = 4, 5
+    for _ in range(rounds):
+        fs.drop_caches()  # cold walk: every level re-read from the store
+        fs.stat(f"{path}/present")
+        for name in range(missing):
+            for _ in range(probes):
+                fs.exists(f"{path}/missing{name:02d}")
+    snapshot = fs.middlewares[0].monitor.snapshot()
+    return {
+        "rounds": rounds,
+        "probes": rounds * missing * probes,
+        "store_gets": ledger.gets - gets0,
+        "store_puts": ledger.puts - puts0,
+        "negative_hits": int(snapshot["traffic.negative_hits"]),
+        "revalidations": int(snapshot["traffic.revalidations"]),
+    }
+
+
+def _mkdir_storm_traffic(config: H2Config) -> dict:
+    """Fig 12's worst case, measured in store round trips.
+
+    A single-parent mkdir storm on a three-middleware gossiping
+    deployment with gossip delivered continuously (a live deployment
+    drains the rumor queue while the storm runs, so every baseline
+    merge announcement costs its peers an absorb round trip).  The
+    closing ``pump()`` is part of the measurement -- group commit only
+    wins if the deferred flush plus convergence still costs fewer PUTs
+    overall.
+    """
+    fs = H2CloudFS(
+        SwiftCluster.rack_scale(),
+        account="bench",
+        middlewares=3,
+        config=config,
+    )
+    fs.mkdir("/storm")
+    fs.pump()
+    ledger = fs.store.ledger
+    gets0, puts0 = ledger.gets, ledger.puts
+    count = 48 if bench_scale() == "full" else 16
+    for d in range(count):
+        fs.mkdir(f"/storm/d{d:03d}")
+        fs.network.pump()  # live gossip: rumors drain while the storm runs
+    fs.pump()
+    group_commits = patches_coalesced = 0
+    for mw in fs.middlewares:
+        snapshot = mw.monitor.snapshot()
+        group_commits += int(snapshot["traffic.group_commits"])
+        patches_coalesced += int(snapshot["traffic.patches_coalesced"])
+    return {
+        "mkdirs": count,
+        "store_puts": ledger.puts - puts0,
+        "store_gets": ledger.gets - gets0,
+        "puts_per_mkdir": round((ledger.puts - puts0) / count, 2),
+        "group_commits": group_commits,
+        "patches_coalesced": patches_coalesced,
+        "rumors_sent": fs.network.rumors_sent,
+        "rumors_coalesced": fs.network.rumors_coalesced,
+    }
+
+
+def _traffic_comparison(baseline: dict, optimized: dict) -> dict:
+    """Before/after store-traffic section shared by both artifacts."""
+    section = {"baseline": baseline, "optimized": optimized}
+    if baseline["store_gets"]:
+        section["get_reduction"] = round(
+            1.0 - optimized["store_gets"] / baseline["store_gets"], 4
+        )
+    if baseline["store_puts"]:
+        section["put_ratio"] = round(
+            baseline["store_puts"] / max(optimized["store_puts"], 1), 2
+        )
+    return section
+
+
 def headline_trajectory() -> dict:
     """Per-op latency distributions on the write-through configuration."""
     fs = H2CloudFS(SwiftCluster.rack_scale(), account="bench")
@@ -98,6 +195,13 @@ def headline_trajectory() -> dict:
             if key.startswith("store.")
         },
         "fd_cache_hit_rate": snapshot["fd_cache.hit_rate"],
+        "traffic": dict(
+            workload="cold deep walk + exists()-heavy probes (fig 13)",
+            **_traffic_comparison(
+                _lookup_workload_traffic(H2Config()),
+                _lookup_workload_traffic(H2Config().with_traffic_flags()),
+            ),
+        ),
     }
 
 
@@ -163,6 +267,20 @@ def maintenance_trajectory() -> dict:
             "reclaimed_bytes": gc_report.reclaimed_bytes,
             "compacted_rings": gc_report.compacted_rings,
         },
+        "traffic": dict(
+            workload="single-parent mkdir storm, 3 middlewares (fig 12)",
+            **_traffic_comparison(
+                _mkdir_storm_traffic(H2Config()),
+                _mkdir_storm_traffic(
+                    replace(
+                        H2Config().with_traffic_flags(),
+                        # a storm-length window: the whole burst lands in
+                        # one group and flushes once at the pump
+                        group_commit_window_us=2_000_000,
+                    )
+                ),
+            ),
+        ),
     }
 
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from ..simcloud.clock import Timestamp
 from .namering import NameRing
 from .namespace import Namespace
-from .patch import PatchChain
+from .patch import PatchChain, PatchGroup
 
 
 @dataclass
@@ -33,6 +33,11 @@ class FileDescriptor:
     loaded: bool = False  # ring reflects a store read at least once
     merged_version: Timestamp = Timestamp.ZERO  # last version written back
     stale: bool = False  # served degraded: store unreachable on last load
+    group: PatchGroup | None = None  # open group-commit window, if any
+    #: names confirmed absent by a store revalidation (negative cache).
+    #: Advisory only -- any write or absorbed remote state discards the
+    #: affected entries, and degraded (stale) loads never populate it.
+    negative: set[str] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         if self.chain is None:
@@ -40,8 +45,14 @@ class FileDescriptor:
 
     @property
     def dirty(self) -> bool:
-        """True while patches are submitted but not yet merged+written."""
-        return bool(self.chain)
+        """True while patches are submitted but not yet merged+written.
+
+        An open group-commit window counts: its payload has been acked
+        to the client but is not yet even a patch object, so the
+        descriptor must stay pinned in the cache and visible to the
+        merger until the group is flushed.
+        """
+        return bool(self.chain) or self.group is not None
 
     @property
     def local_version(self) -> Timestamp:
@@ -54,9 +65,12 @@ class FileDescriptor:
         consistent) version"; a node must see its own submitted-but-
         unmerged patches, so reads overlay the chain on the ring.
         """
-        if not self.chain:
-            return self.ring
-        return self.ring.merge(self.chain.fold())
+        effective = self.ring
+        if self.chain:
+            effective = effective.merge(self.chain.fold())
+        if self.group is not None:
+            effective = effective.merge(self.group.payload)
+        return effective
 
 
 @dataclass
@@ -96,6 +110,16 @@ class FileDescriptorCache:
         self._entries.move_to_end(ns.uuid)
         self.stats.hits += 1
         return fd
+
+    def peek(self, ns: Namespace) -> FileDescriptor | None:
+        """Side-effect-free probe: no stats, no LRU promotion.
+
+        For interrogations that are not client traffic -- the gossip
+        digest comparison asks "do I already have this exact ring?"
+        without that question counting as a cache hit or keeping the
+        entry warm.
+        """
+        return self._entries.get(ns.uuid)
 
     def get_or_create(self, ns: Namespace) -> FileDescriptor:
         """The descriptor for ``ns``, creating an unloaded one on miss."""

@@ -31,6 +31,7 @@ from urllib.parse import quote as _quote
 from urllib.parse import unquote as _unquote
 
 from ..simcloud.clock import Timestamp
+from ..simcloud.integrity import crc32c
 from .namering import Child, NameRing
 
 NAMERING_MAGIC = "H2NR"
@@ -64,7 +65,29 @@ def unescape(text: str) -> str:
 # ----------------------------------------------------------------------
 # NameRing / patch payloads
 # ----------------------------------------------------------------------
+def _memo_of(ring: NameRing) -> dict:
+    """Per-instance serialization memo (traffic mechanism 4).
+
+    NameRing is a frozen dataclass without ``__slots__``, so each
+    instance still owns a ``__dict__``; writing to it directly bypasses
+    the frozen ``__setattr__`` without weakening immutability of the
+    *logical* value -- rings are never mutated, so a dump computed once
+    is valid for the instance's whole lifetime.  Merge returns ``self``
+    on no-op merges, which is what makes the memo pay off: hot rings
+    keep their identity (and memo) across gossip/merge churn.
+    """
+    memo = ring.__dict__.get("_wire_memo")
+    if memo is None:
+        memo = {}
+        ring.__dict__["_wire_memo"] = memo
+    return memo
+
+
 def dumps_ring(ring: NameRing, magic: str = NAMERING_MAGIC) -> bytes:
+    memo = _memo_of(ring)
+    cached = memo.get(magic)
+    if cached is not None:
+        return cached
     lines = [f"{magic} {FORMAT_VERSION}"]
     for child in sorted(ring.children.values(), key=lambda c: c.name):
         lines.append(
@@ -80,7 +103,24 @@ def dumps_ring(ring: NameRing, magic: str = NAMERING_MAGIC) -> bytes:
                 ]
             )
         )
-    return ("\n".join(lines) + "\n").encode("ascii", errors="strict")
+    data = ("\n".join(lines) + "\n").encode("ascii", errors="strict")
+    memo[magic] = data
+    return data
+
+
+def ring_crc(ring: NameRing) -> int:
+    """CRC-32C of the ring's canonical NameRing wire form, memoized.
+
+    This is the ``crc`` member of the gossip anti-entropy digest
+    ``(ns, version, crc)``: two rings with equal versions *and* equal
+    CRCs serialize identically, so shipping one over is pure waste.
+    """
+    memo = _memo_of(ring)
+    cached = memo.get("crc")
+    if cached is None:
+        cached = crc32c(dumps_ring(ring))
+        memo["crc"] = cached
+    return cached
 
 
 def loads_ring(data: bytes, magic: str = NAMERING_MAGIC) -> NameRing:

@@ -63,7 +63,13 @@ class H2CloudFS:
         if not tracer.noop:
             cluster.store.tracer = tracer
         self.network = (
-            GossipNetwork(fanout=gossip_fanout, loss=message_loss)
+            GossipNetwork(
+                fanout=gossip_fanout,
+                loss=message_loss,
+                # Rumor coalescing is part of the gossip-digest traffic
+                # mechanism (docs/PERFORMANCE.md): same flag, same wire.
+                coalesce=bool(config is not None and config.gossip_digests),
+            )
             if middlewares > 1
             else None
         )

@@ -53,15 +53,22 @@ class Rumor:
 class GossipNetwork:
     """The rumor fabric connecting every H2Middleware in a deployment."""
 
-    def __init__(self, fanout: int = 2, loss: MessageLoss | None = None):
+    def __init__(
+        self,
+        fanout: int = 2,
+        loss: MessageLoss | None = None,
+        coalesce: bool = False,
+    ):
         if fanout < 1:
             raise ValueError("gossip fanout must be >= 1")
         self.fanout = fanout
         self.loss = loss or MessageLoss(0.0)
+        self.coalesce = coalesce
         self._members: dict[int, object] = {}  # node_id -> middleware
         self._queue: deque[tuple[int, Rumor]] = deque()  # (dst, rumor)
         self.rumors_sent = 0
         self.rumors_delivered = 0
+        self.rumors_coalesced = 0
         self.rounds = 0
         self.single_deliveries = 0
         self.anti_entropy_rounds = 0
@@ -100,10 +107,40 @@ class GossipNetwork:
         start = sender_id % len(peers)
         targets = [peers[(start + k) % len(peers)] for k in range(min(self.fanout, len(peers)))]
         for dst in targets:
+            if self.coalesce and self._coalesce_into_queue(dst, rumor):
+                continue
             self.rumors_sent += 1
             if self.loss.should_drop():
                 continue
             self._queue.append((dst, rumor))
+
+    def _coalesce_into_queue(self, dst: int, rumor: Rumor) -> bool:
+        """Fold ``rumor`` into an undelivered same-ring message, if any.
+
+        Two rumors about the same ring from the same origin queued for
+        the same destination are redundant: the receiver fetches the
+        origin's *current* version either way, so only the newest
+        timestamp matters.  Supersede (or drop) instead of queueing a
+        duplicate -- the coalesced message was never sent, so it is not
+        counted in ``rumors_sent`` and never offered to message loss
+        (coalescing happens at the sender, before the wire).
+        Invalidation broadcasts are never coalesced: they carry a
+        side effect per delivery, not a version to fetch.
+        """
+        if rumor.invalidate:
+            return False
+        for i, (queued_dst, queued) in enumerate(self._queue):
+            if (
+                queued_dst == dst
+                and not queued.invalidate
+                and queued.ns == rumor.ns
+                and queued.origin == rumor.origin
+            ):
+                if rumor.ts > queued.ts:
+                    self._queue[i] = (dst, rumor)
+                self.rumors_coalesced += 1
+                return True
+        return False
 
     def pump(self) -> int:
         """Deliver one round: everything queued right now, not reflooding.

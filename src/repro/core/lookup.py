@@ -95,16 +95,35 @@ class H2Lookup:
         use_cache: bool,
     ) -> tuple[Child, Namespace]:
         """One NameRing hop of the O(d) walk; appends to ``chain``."""
-        fd = self._mw.load_ring(ns, use_cache=use_cache)
+        mw = self._mw
+        fd = mw.load_ring(ns, use_cache=use_cache)
         child = fd.view().get(name)
         if child is None and use_cache and fd.loaded:
-            # Revalidate on miss: the cached ring may predate an
-            # update another middleware merged into the store.
-            # Only failed lookups pay this extra GET; positive
-            # cache hits stay free (eventual consistency with
-            # read-repair on the miss path).
-            fd = self._mw.load_ring(ns, use_cache=False)
-            child = fd.view().get(name)
+            if mw.config.negative_cache and name in fd.negative:
+                # A store revalidation already confirmed this miss and
+                # nothing has invalidated it since (no local write, no
+                # absorbed remote state): skip the double-GET.
+                mw._negative_hits.inc()
+            else:
+                # Revalidate on miss: the cached ring may predate an
+                # update another middleware merged into the store.
+                # Only failed lookups pay this extra GET; positive
+                # cache hits stay free (eventual consistency with
+                # read-repair on the miss path).  ``load_ring`` merges
+                # the reload back into the cached descriptor, so the
+                # GET is paid once per staleness, not once per miss.
+                mw._revalidations.inc()
+                fd = mw.load_ring(ns, use_cache=False)
+                child = fd.view().get(name)
+                if (
+                    child is None
+                    and mw.config.negative_cache
+                    and not fd.stale
+                ):
+                    # The store itself just said "absent": remember it.
+                    # (Never on a degraded serve -- stale rings carry no
+                    # authority about absence.)
+                    fd.negative.add(name)
         if child is None:
             raise PathNotFound("/" + "/".join(components[: i + 1]))
         if i != len(components) - 1:

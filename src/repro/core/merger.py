@@ -17,10 +17,8 @@ client-visible path only, with merging asynchronous behind it.  The
 
 from __future__ import annotations
 
-from ..simcloud.errors import ObjectNotFound
-from . import formatter
 from .descriptor import FileDescriptor
-from .namespace import Namespace, namering_key
+from .namespace import Namespace
 
 
 class BackgroundMerger:
@@ -58,12 +56,24 @@ class BackgroundMerger:
         if self._mw.merge_blocked:
             return False
         fd = self._mw.fd_cache.get_or_create(ns)
-        if not fd.chain:
+        if not fd.chain and fd.group is None:
             return False
         if foreground:
+            if fd.group is not None:
+                # An open group-commit window is pending dirty state:
+                # close it (merge=False -- we fold the chain ourselves)
+                # so the merge covers everything the client was acked.
+                self._mw.flush_patch_group(fd, merge=False)
             self._apply(fd)
         else:
-            self._mw.background(lambda: self._apply(fd))
+
+            def run() -> None:
+                if fd.group is not None:
+                    self._mw.flush_patch_group(fd, merge=False)
+                if fd.chain:
+                    self._apply(fd)
+
+            self._mw.background(run)
         return True
 
     def _apply(self, fd: FileDescriptor) -> None:
@@ -85,25 +95,18 @@ class BackgroundMerger:
             parent=parent,
         ):
             big_patch = fd.chain.fold()
-            stored = self._load_stored(fd.ns)
-            merged = stored.merge(fd.ring).merge(big_patch)
-            fd.ring = merged
+            # Read-merge-write via the same monotone path gossip uses
+            # (the PR 2 clobber fix): entries the stored ring gained
+            # from peers since our last load can no longer be erased by
+            # a blind store_ring.  ``strict`` keeps the old outage
+            # contract -- a failed GET aborts with the chain intact.
+            self._mw.store_ring_merged(fd, extra=big_patch, strict=True)
             fd.loaded = True
-            self._mw.store_ring(fd)
             drained = fd.chain.clear()
             self._retire_patches(drained)
             self._merges.inc()
             self._patches_applied.inc(len(drained))
             self._mw.after_merge(fd)
-
-    def _load_stored(self, ns: Namespace):
-        from .namering import NameRing
-
-        try:
-            record = self._mw.store.get(namering_key(ns))
-        except ObjectNotFound:
-            return NameRing.empty()
-        return formatter.loads_ring(record.data)
 
     def _retire_patches(self, patches) -> None:
         """Delete applied patch objects from the store."""
@@ -200,10 +203,8 @@ class BackgroundMerger:
                         else payload.merge(patch.payload)
                     )
                     recovered += 1
-                stored = self._load_stored(ns)
-                fd.ring = stored.merge(fd.ring).merge(payload)
+                self._mw.store_ring_merged(fd, extra=payload, strict=True)
                 fd.loaded = True
-                self._mw.store_ring(fd)
                 for _, _, name in found:
                     self._mw.store.delete(name, missing_ok=True)
                 self._mw.after_merge(fd)

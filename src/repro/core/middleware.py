@@ -54,7 +54,7 @@ from .namespace import (
     parse_decorated,
     split_path,
 )
-from .patch import Patch, PatchCounter
+from .patch import Patch, PatchCounter, PatchGroup
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,26 @@ class H2Config:
     fd_cache_capacity: int = 4096
     degraded_reads: bool = True  # serve stale rings when the store is out
     observe: bool = True  # collect metrics (False => no-op registry)
+    # --- traffic-reduction flags (docs/PERFORMANCE.md), all off by
+    # default so ablation benchmarks can compare both sides and the
+    # committed DST corpus digests stay byte-identical flags-off ---
+    negative_cache: bool = False  # remember store-confirmed misses
+    group_commit: bool = False  # coalesce same-ring patches per window
+    group_commit_window_us: int = 500_000  # sim-clock group window
+    gossip_digests: bool = False  # rumor coalescing + digest anti-entropy
+    memoize_serialization: bool = False  # elide PUTs of byte-identical rings
+
+    def with_traffic_flags(self) -> "H2Config":
+        """This config with every traffic-reduction mechanism enabled."""
+        from dataclasses import replace
+
+        return replace(
+            self,
+            negative_cache=True,
+            group_commit=True,
+            gossip_digests=True,
+            memoize_serialization=True,
+        )
 
 
 @dataclass(frozen=True)
@@ -141,6 +161,19 @@ class H2Middleware:
             "maintenance.patches_submitted"
         )
         self._degraded_serves = self.metrics.counter("degraded.serves")
+        # Traffic-reduction telemetry (docs/PERFORMANCE.md).  Counters
+        # never touch the sim clock, so incrementing them is always
+        # digest-safe; ``traffic.revalidations`` in particular counts
+        # even with every flag off (it measures the §3.2 double-GET the
+        # negative cache exists to elide).
+        self._negative_hits = self.metrics.counter("traffic.negative_hits")
+        self._revalidations = self.metrics.counter("traffic.revalidations")
+        self._group_commits = self.metrics.counter("traffic.group_commits")
+        self._patches_coalesced = self.metrics.counter(
+            "traffic.patches_coalesced"
+        )
+        self._put_elisions = self.metrics.counter("traffic.put_elisions")
+        self._digest_skips = self.metrics.counter("traffic.digest_skips")
         self.monitor = Monitor(self)
         self._merge_block = 0  # §3.3.3b: >0 while a file stream is open
 
@@ -190,7 +223,14 @@ class H2Middleware:
                 return fd
             raise
         # Merge, don't replace: local unmerged updates must survive.
-        fd.ring = fd.ring.merge(stored)
+        merged = fd.ring.merge(stored)
+        if merged is not fd.ring:
+            fd.ring = merged
+            # Fresh store state arrived: drop cached misses wholesale.
+            # (A no-op flag-off -- the set only fills when the negative
+            # cache is enabled.)
+            if fd.negative:
+                fd.negative.clear()
         fd.loaded = True
         fd.stale = False
         return fd
@@ -199,7 +239,12 @@ class H2Middleware:
         self.store.put(namering_key(fd.ns), formatter.dumps_ring(fd.ring))
         fd.merged_version = fd.ring.version
 
-    def store_ring_merged(self, fd: FileDescriptor) -> None:
+    def store_ring_merged(
+        self,
+        fd: FileDescriptor,
+        extra: NameRing | None = None,
+        strict: bool = False,
+    ) -> None:
         """Read-merge-write a ring whose cached view may lag the store.
 
         The gossip paths (rumor absorption, anti-entropy pulls) merge a
@@ -208,19 +253,48 @@ class H2Middleware:
         knows about -- e.g. after a cache drop, an absorbed rumor would
         overwrite the stored ring with just the rumor's content, losing
         every other child durably.  Merging the stored version first
-        makes the write-back monotone.  During an outage the merge stays
-        cache-only (a later merge or sweep persists it).
+        makes the write-back monotone.
+
+        ``extra`` is merged in *after* the stored version -- the
+        merger's folded patch chain rides through here so its write
+        lands on the same monotone path.  ``strict`` controls the
+        outage contract: the gossip callers swallow a :class:`QuorumError`
+        (the merge stays cache-only and a later sweep persists it), the
+        merger must *not* drain its chain on a failed read, so it
+        propagates.  Nothing is mutated before the GET settles either
+        way.
+
+        With ``memoize_serialization`` on, a write-back whose serialized
+        form is byte-identical to what the store already holds is elided
+        entirely (the CRC-memoized dump makes the comparison cheap).
         """
         try:
-            stored = formatter.loads_ring(
-                self.store.get(namering_key(fd.ns)).data
-            )
+            record = self.store.get(namering_key(fd.ns))
+            stored = formatter.loads_ring(record.data)
         except ObjectNotFound:
+            record = None
             stored = None
         except QuorumError:
+            if strict:
+                raise
             return
         if stored is not None:
-            fd.ring = fd.ring.merge(stored)
+            merged = fd.ring.merge(stored)
+            if merged is not fd.ring:
+                fd.ring = merged
+                if fd.negative:
+                    fd.negative.clear()
+        if extra is not None:
+            fd.ring = fd.ring.merge(extra)
+        if (
+            self.config.memoize_serialization
+            and record is not None
+            and formatter.dumps_ring(fd.ring) == record.data
+        ):
+            # The store already holds these exact bytes: skip the PUT.
+            self._put_elisions.inc()
+            fd.merged_version = fd.ring.version
+            return
         self.store_ring(fd)
 
     def submit_patch(self, ns: Namespace, entries: list[Child]) -> Patch:
@@ -231,6 +305,8 @@ class H2Middleware:
         way the gossip announcement happens in :meth:`after_merge`.
         """
         payload = NameRing(children={c.name: c for c in entries})
+        if self.config.group_commit:
+            return self._submit_grouped(ns, payload)
         with self.tracer.span(
             "patch.submit", tags={"node": self.node_id, "ns": str(ns)}
         ) as span:
@@ -245,10 +321,111 @@ class H2Middleware:
             self.store.put(patch.object_name, patch.to_bytes())
             fd = self.fd_cache.get_or_create(ns)
             fd.chain.append(patch)
+            if fd.negative:
+                fd.negative.difference_update(payload.children)
             self._patches_submitted.inc()
             if self.config.auto_merge:
                 self.merger.merge_ring(ns, foreground=True)
         return patch
+
+    def _submit_grouped(self, ns: Namespace, payload: NameRing) -> Patch:
+        """Group-commit submission: coalesce same-ring patches per window.
+
+        The first submission in a window *opens* a group (claiming the
+        patch sequence number the eventual object will carry); later
+        same-ring submissions inside ``group_commit_window_us`` merge
+        their payloads into it -- per-entry timestamps ride along
+        unchanged, so the single flushed patch is merge-equivalent to
+        the individual patches it replaced.  A submission arriving after
+        the window closes flushes the old group first (client-visible:
+        the patch PUT amortizes over the whole window).  The group
+        counts as dirty state, so the descriptor stays pinned and the
+        Background Merger flushes stragglers.
+        """
+        fd = self.fd_cache.get_or_create(ns)
+        if fd.negative:
+            fd.negative.difference_update(payload.children)
+        now_us = self.clock.now_us
+        if (
+            fd.group is not None
+            and now_us - fd.group.opened_us > self.config.group_commit_window_us
+        ):
+            self.flush_patch_group(fd)
+        with self.tracer.span(
+            "patch.submit", tags={"node": self.node_id, "ns": str(ns)}
+        ) as span:
+            if fd.group is None:
+                fd.group = PatchGroup(
+                    opened_us=now_us,
+                    seq=self.patch_counter.next_seq(ns),
+                    payload=payload,
+                    trace=self.tracer.current(),
+                )
+                span.tag("group", "opened")
+            else:
+                fd.group.payload = fd.group.payload.merge(payload)
+                fd.group.absorbed += 1
+                self._patches_coalesced.inc()
+                span.tag("group", "coalesced")
+            self._patches_submitted.inc()
+            patch = Patch(
+                target_ns=ns,
+                node_id=self.node_id,
+                patch_seq=fd.group.seq,
+                payload=payload,
+                trace=self.tracer.current(),
+            )
+            span.tag("patch", patch.object_name)
+        return patch
+
+    def flush_patch_group(
+        self, fd: FileDescriptor, merge: bool = True
+    ) -> Patch | None:
+        """Close an open group: one patch object PUT for the whole window.
+
+        ``merge=False`` is the Background Merger's spelling -- it is
+        about to fold the chain itself, so the inline ``auto_merge``
+        follow-up would recurse.
+        """
+        group = fd.group
+        if group is None:
+            return None
+        patch = Patch(
+            target_ns=fd.ns,
+            node_id=self.node_id,
+            patch_seq=group.seq,
+            payload=group.payload,
+            trace=group.trace,
+        )
+        with self.tracer.span(
+            "patch.group_flush",
+            tags={
+                "node": self.node_id,
+                "ns": str(fd.ns),
+                "absorbed": group.absorbed,
+            },
+            parent=group.trace,
+        ) as span:
+            span.tag("patch", patch.object_name)
+            # PUT before popping the group: on a transient store error
+            # the window stays open (and dirty), so the acked updates
+            # are retried by the next flush instead of vanishing.
+            self.store.put(patch.object_name, patch.to_bytes())
+            fd.group = None
+            fd.chain.append(patch)
+            self._group_commits.inc()
+        if merge and self.config.auto_merge:
+            self.merger.merge_ring(fd.ns, foreground=True)
+        return patch
+
+    def flush_patch_groups(self) -> int:
+        """Flush every open group (quiesce / explicit-sync entry point)."""
+        flushed = 0
+        for fd in self.fd_cache.descriptors():
+            if fd.group is not None:
+                self.flush_patch_group(fd)
+                flushed += 1
+        return flushed
 
     def after_merge(self, fd: FileDescriptor) -> None:
         """Called by the merger once a ring version is written back."""
@@ -331,6 +508,9 @@ class H2Middleware:
             changed = merged.children != fd.ring.children
             fd.ring = merged
             fd.loaded = True
+            if changed and fd.negative:
+                # Remote state arrived: cached misses may now be stale.
+                fd.negative.clear()
             if changed and not from_store:
                 self.store_ring_merged(fd)
             return changed
@@ -362,7 +542,16 @@ class H2Middleware:
         return fd.ring
 
     def pull_state_from(self, source: "H2Middleware") -> int:
-        """Anti-entropy: merge every loaded ring of ``source``; count changes."""
+        """Anti-entropy: merge every loaded ring of ``source``; count changes.
+
+        With ``gossip_digests`` on, the pull is digest-first: for each
+        of the source's rings the local ``(version, crc)`` pair is
+        compared (CRC-32C of the canonical wire form, memoized per ring
+        instance) and only *differing* rings are actually shipped and
+        merged -- the full-state transfer degenerates to a digest
+        exchange when the peers already agree, which after convergence
+        is almost always.
+        """
         changed = 0
         with self.tracer.span(
             "gossip.anti_entropy",
@@ -371,11 +560,24 @@ class H2Middleware:
             for src_fd in source.fd_cache.descriptors():
                 if not src_fd.loaded:
                     continue
+                if self.config.gossip_digests:
+                    local = self.fd_cache.peek(src_fd.ns)
+                    if (
+                        local is not None
+                        and local.loaded
+                        and local.ring.version == src_fd.ring.version
+                        and formatter.ring_crc(local.ring)
+                        == formatter.ring_crc(src_fd.ring)
+                    ):
+                        self._digest_skips.inc()
+                        continue
                 fd = self.fd_cache.get_or_create(src_fd.ns)
                 merged = fd.ring.merge(src_fd.ring)
                 if merged.children != fd.ring.children:
                     fd.ring = merged
                     fd.loaded = True
+                    if fd.negative:
+                        fd.negative.clear()
                     self.background(lambda fd=fd: self.store_ring_merged(fd))
                     changed += 1
             span.tag("refreshed", changed)
@@ -746,7 +948,34 @@ class H2Middleware:
         if fd.dirty:
             return
         fd.ring = fd.ring.compacted()
-        self.background(lambda: self.store_ring(fd))
+        self.background(lambda: self._write_back_compacted(fd))
+
+    def _write_back_compacted(self, fd: FileDescriptor) -> None:
+        """Persist a compaction without clobbering unseen stored entries.
+
+        The guards in :meth:`_compact_in_use` prove no rumor or dirty
+        chain is *in flight*, but they cannot prove the cached ring ever
+        *saw* everything the store holds: after message loss, a peer's
+        merge may have landed children in the stored ring that this
+        node's cache never absorbed.  Blindly PUTting the cached
+        compacted ring would durably erase them (the DST corpus case
+        pinned by ``tests.dst.tweaks:blind_compaction_write``).  So the
+        write-back is read-merge-write like every other background
+        write: merge the stored version in, compact *that*, and PUT.
+        The cached ring stays as the guards left it -- the served view
+        is unchanged either way.
+        """
+        try:
+            stored = formatter.loads_ring(
+                self.store.get(namering_key(fd.ns)).data
+            )
+        except ObjectNotFound:
+            # The ring object vanished (account teardown / GC); writing
+            # our cached copy back would resurrect it.
+            return
+        merged = stored.merge(fd.ring).compacted()
+        self.store.put(namering_key(fd.ns), formatter.dumps_ring(merged))
+        fd.merged_version = fd.ring.version
 
     # ==================================================================
     # Inbound API: file content operations

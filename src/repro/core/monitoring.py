@@ -214,6 +214,24 @@ class Monitor:
                 "degraded.stale_rings": sum(
                     1 for fd in mw.fd_cache.descriptors() if fd.stale
                 ),
+                "traffic.negative_hits": mw.metrics.counter(
+                    "traffic.negative_hits"
+                ).value,
+                "traffic.revalidations": mw.metrics.counter(
+                    "traffic.revalidations"
+                ).value,
+                "traffic.group_commits": mw.metrics.counter(
+                    "traffic.group_commits"
+                ).value,
+                "traffic.patches_coalesced": mw.metrics.counter(
+                    "traffic.patches_coalesced"
+                ).value,
+                "traffic.put_elisions": mw.metrics.counter(
+                    "traffic.put_elisions"
+                ).value,
+                "traffic.digest_skips": mw.metrics.counter(
+                    "traffic.digest_skips"
+                ).value,
                 "gc.passes": mw.metrics.counter("gc.passes").value,
                 "gc.swept": mw.metrics.counter("gc.swept").value,
                 "gc.reclaimed_bytes": mw.metrics.counter("gc.reclaimed_bytes").value,
@@ -228,6 +246,7 @@ class Monitor:
             metrics["gossip.single_deliveries"] = mw.network.single_deliveries
             metrics["gossip.anti_entropy_rounds"] = mw.network.anti_entropy_rounds
             metrics["gossip.in_flight"] = mw.network.in_flight
+            metrics["traffic.rumors_coalesced"] = mw.network.rumors_coalesced
         for op_name, histogram in sorted(self.ops.items()):
             metrics[f"op.{op_name}.count"] = histogram.samples
             metrics[f"op.{op_name}.mean_ms"] = histogram.mean / 1000.0

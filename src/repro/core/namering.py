@@ -20,6 +20,14 @@ wins element map, i.e. a state-based CRDT:
 Commutativity/associativity/idempotence of :func:`merge` -- hence
 convergence of the gossip protocol regardless of delivery order -- are
 pinned down by property-based tests.
+
+Equal timestamps cannot arise in a live deployment (one shared
+:class:`~repro.simcloud.clock.TimestampFactory` per cluster makes every
+timestamp globally unique), but merged histories from *different*
+deployments, hand-built fixtures and property tests can produce them.
+Arbitration must still be deterministic and order-independent, so ties
+break by: deleted wins (fake deletion is sticky), then a stable
+attribute key -- never "whichever operand was on the left".
 """
 
 from __future__ import annotations
@@ -58,6 +66,29 @@ class Child:
     def tombstone(self, timestamp: Timestamp) -> "Child":
         """The fake-deletion marker that will override this tuple."""
         return replace(self, deleted=True, timestamp=timestamp)
+
+
+def _tie_key(child: Child) -> tuple:
+    """Stable attribute key for timestamp-tied LWW arbitration."""
+    return (child.kind, child.ns or "", child.size, child.etag)
+
+
+def _wins(theirs: Child, ours: Child) -> bool:
+    """Deterministic LWW arbitration: does ``theirs`` override ``ours``?
+
+    Larger timestamp wins outright.  On a timestamp tie (impossible
+    with the shared per-cluster timestamp factory, but reachable in
+    synthetic histories) the tombstone wins -- a concurrent deletion
+    must not lose to a same-instant insert depending on merge order --
+    and a final stable attribute key breaks deleted-vs-deleted and
+    live-vs-live ties.  The result is a total order per name, so merge
+    stays commutative and associative even with ties present.
+    """
+    if theirs.timestamp != ours.timestamp:
+        return theirs.timestamp > ours.timestamp
+    if theirs.deleted != ours.deleted:
+        return theirs.deleted
+    return _tie_key(theirs) > _tie_key(ours)
 
 
 @dataclass(frozen=True)
@@ -143,18 +174,27 @@ class NameRing:
     def merge(self, other: "NameRing") -> "NameRing":
         """Merge ``other`` (a patch viewed as a virtual NameRing) into self.
 
-        Per child: both sides present -> larger timestamp overrides;
-        one side only -> inserted.  Never removes anything.
+        Per child: both sides present -> :func:`_wins` arbitrates (larger
+        timestamp, deterministic tie-break); one side only -> inserted.
+        Never removes anything.  Returns ``self`` unchanged (same
+        instance) when ``other`` contributes nothing -- stable identity
+        keeps the serialization memo valid across no-op merges.
         """
-        merged = dict(self.children)
+        updates: dict[str, Child] = {}
         for name, theirs in other.children.items():
-            ours = merged.get(name)
-            if ours is None or theirs.timestamp > ours.timestamp:
-                merged[name] = theirs
+            ours = self.children.get(name)
+            if ours is None or (theirs != ours and _wins(theirs, ours)):
+                updates[name] = theirs
+        if not updates:
+            return self
+        merged = dict(self.children)
+        merged.update(updates)
         return NameRing(children=merged)
 
     def compacted(self) -> "NameRing":
         """Physically drop tombstones -- the deferred "real" removal."""
+        if not self.needs_compaction:
+            return self
         return NameRing(
             children={
                 name: c for name, c in self.children.items() if not c.deleted

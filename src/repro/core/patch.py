@@ -63,6 +63,26 @@ class Patch:
 
 
 @dataclass
+class PatchGroup:
+    """An open group-commit window: patches coalesced before their PUT.
+
+    With ``H2Config.group_commit`` on, ``submit_patch`` does not PUT
+    every patch individually; same-ring submissions landing within one
+    sim-clock window merge their payloads here first.  Per-entry
+    timestamps ride along untouched inside the merged payload, so the
+    eventual single patch object is merge-equivalent to the individual
+    patches it replaced -- only the PUT count changes.  ``seq`` is
+    claimed when the group opens so chain ordering is preserved.
+    """
+
+    opened_us: int
+    seq: int
+    payload: NameRing
+    absorbed: int = 0
+    trace: TraceContext | None = field(default=None, repr=False)
+
+
+@dataclass
 class PatchChain:
     """The linked list of unmerged patches for one ring on one node.
 

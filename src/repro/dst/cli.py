@@ -1,9 +1,9 @@
 """``python -m repro dst`` -- drive the deterministic simulator.
 
-    dst run     --seed 7 [--faulty | --corruption] [--sessions 3] [--ops 25]
-    dst sweep   --seeds 200 [--start 0] [--corruption] [--save-failures DIR]
+    dst run     --seed 7 [--faulty | --corruption] [--traffic] [--sessions 3] [--ops 25]
+    dst sweep   --seeds 200 [--start 0] [--corruption] [--traffic] [--save-failures DIR]
     dst replay  CASE.json
-    dst shrink  CASE.json | --seed 7 [--faulty | --corruption]
+    dst shrink  CASE.json | --seed 7 [--faulty | --corruption] [--traffic]
 
 ``run`` executes one seed and prints the verdict; ``sweep`` runs a
 range of seeds alternating fault-free and fault-storm configs (the CI
@@ -27,6 +27,7 @@ from .explorer import (
     ScheduleExplorer,
     corruption_config,
     faulty_config,
+    with_traffic_flags,
 )
 from .runner import RunResult, run_schedule, run_seed
 from .shrink import shrink
@@ -38,24 +39,38 @@ def _config_from(args: argparse.Namespace) -> DstConfig:
         "ops_per_session": args.ops,
     }
     if getattr(args, "corruption", False):
-        return corruption_config(**overrides)
-    if args.faulty:
-        return faulty_config(**overrides)
-    return DstConfig(**overrides)
+        config = corruption_config(**overrides)
+    elif args.faulty:
+        config = faulty_config(**overrides)
+    else:
+        config = DstConfig(**overrides)
+    if getattr(args, "traffic", False):
+        config = with_traffic_flags(config)
+    return config
 
 
 def sweep_config(
-    seed: int, sessions: int = 3, ops: int = 25, corruption: bool = False
+    seed: int,
+    sessions: int = 3,
+    ops: int = 25,
+    corruption: bool = False,
+    traffic: bool = False,
 ) -> DstConfig:
     """The nightly mix: even seeds run fault-free (full model check),
     odd seeds run under crash cycles, fault storms and message loss.
     ``corruption=True`` runs *every* seed under the corruption-storm
-    mix instead (the nightly integrity sweep)."""
+    mix instead (the nightly integrity sweep).  ``traffic=True`` layers
+    the traffic-reduction flags (negative cache, group commit, gossip
+    digests, PUT elision) over whichever base config the seed gets."""
     if corruption:
-        return corruption_config(sessions=sessions, ops_per_session=ops)
-    if seed % 2 == 0:
-        return DstConfig(sessions=sessions, ops_per_session=ops)
-    return faulty_config(sessions=sessions, ops_per_session=ops)
+        config = corruption_config(sessions=sessions, ops_per_session=ops)
+    elif seed % 2 == 0:
+        config = DstConfig(sessions=sessions, ops_per_session=ops)
+    else:
+        config = faulty_config(sessions=sessions, ops_per_session=ops)
+    if traffic:
+        config = with_traffic_flags(config)
+    return config
 
 
 def _report(result: RunResult, verbose: bool = True) -> None:
@@ -95,7 +110,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for seed in range(args.start, args.start + args.seeds):
         result = run_seed(
             seed,
-            sweep_config(seed, args.sessions, args.ops, args.corruption),
+            sweep_config(
+                seed,
+                args.sessions,
+                args.ops,
+                args.corruption,
+                traffic=getattr(args, "traffic", False),
+            ),
         )
         if result.ok:
             if args.verbose:
@@ -172,6 +193,12 @@ def main(argv: list[str]) -> int:
             action="store_true",
             help="corruption storms: bit-rot, torn writes, scrubs (V6)",
         )
+        p.add_argument(
+            "--traffic",
+            action="store_true",
+            help="traffic-reduction flags on: negative cache, group "
+            "commit, gossip digests, PUT elision",
+        )
 
     p_run = sub.add_parser("run", help="execute one seed")
     p_run.add_argument("--seed", type=int, default=0)
@@ -190,6 +217,11 @@ def main(argv: list[str]) -> int:
         "--corruption",
         action="store_true",
         help="run every seed under the corruption-storm mix (V6 oracle)",
+    )
+    p_sweep.add_argument(
+        "--traffic",
+        action="store_true",
+        help="layer the traffic-reduction flags over every seed's config",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 

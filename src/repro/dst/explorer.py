@@ -51,6 +51,15 @@ class DstConfig:
     scrub_rate: float = 0.0  # per-step probability of a scrub pass
     hostile_name_rate: float = 0.15
     check_model: bool = True
+    # Traffic-reduction flags (all default off so pre-traffic corpus
+    # schedules replay bit-identically; ``from_json`` drops unknown
+    # keys, so old schedule files stay loadable either way):
+    negative_cache: bool = False
+    group_commit: bool = False
+    group_commit_window_us: int = 200_000
+    gossip_digests: bool = False
+    memoize_serialization: bool = False
+    flush_rate: float = 0.0  # per-step probability of a group flush
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -95,6 +104,27 @@ def corruption_config(**overrides) -> DstConfig:
     )
     base.update(overrides)
     return DstConfig(**base)
+
+
+def with_traffic_flags(config: DstConfig) -> DstConfig:
+    """``config`` with every traffic-reduction mechanism switched on.
+
+    Used by ``dst run|sweep|shrink --traffic``: the same schedules run
+    with negative caching, group commit, gossip digests and PUT elision
+    active, plus explicit ``flush_groups`` steps woven in so open
+    group-commit windows are closed at adversarial moments, not only at
+    merge time.
+    """
+    from dataclasses import replace
+
+    return replace(
+        config,
+        negative_cache=True,
+        group_commit=True,
+        gossip_digests=True,
+        memoize_serialization=True,
+        flush_rate=0.10,
+    )
 
 
 # Background / environment steps the explorer can weave between ops.
@@ -170,6 +200,16 @@ class ScheduleExplorer:
                 )
             if cfg.scrub_rate and rng.random() < cfg.scrub_rate:
                 steps.append(Step("scrub"))
+            # Group-commit flush points (rate guard: the rng stream is
+            # untouched when the traffic flags are off, so pre-traffic
+            # schedules re-explore bit-identically).
+            if cfg.flush_rate and rng.random() < cfg.flush_rate:
+                steps.append(
+                    Step(
+                        "flush_groups",
+                        args={"mw": rng.randrange(cfg.middlewares)},
+                    )
+                )
             # Background protocol steps.
             for kind, p in _BG_WEIGHTS:
                 if rng.random() >= p:

@@ -136,7 +136,14 @@ class _Run:
             self.cluster,
             account=ACCOUNT,
             middlewares=cfg.middlewares,
-            config=H2Config(auto_merge=False),
+            config=H2Config(
+                auto_merge=False,
+                negative_cache=cfg.negative_cache,
+                group_commit=cfg.group_commit,
+                group_commit_window_us=cfg.group_commit_window_us,
+                gossip_digests=cfg.gossip_digests,
+                memoize_serialization=cfg.memoize_serialization,
+            ),
             message_loss=MessageLoss(
                 cfg.message_loss, seed=schedule.seed * 2_000_003 + 2
             ),
@@ -229,6 +236,12 @@ class _Run:
         if kind == "drop_caches":
             mw = fs.middlewares[step.args["mw"] % len(fs.middlewares)]
             return f"dropped:{mw.fd_cache.drop_clean()}"
+        if kind == "flush_groups":
+            mw = fs.middlewares[step.args["mw"] % len(fs.middlewares)]
+            try:
+                return f"flushed:{mw.flush_patch_groups()}"
+            except SimCloudError as exc:
+                return f"unavailable:{type(exc).__name__}"
         if kind == "crash":
             node = step.args["node"]
             if node not in cluster.nodes:

@@ -34,6 +34,7 @@ from .ops import ClientOp
 #   merge       mw           -- one merger step on middleware ``mw``
 #   gc          mw           -- one mark-and-sweep attempt via ``mw``
 #   drop_caches mw           -- drop clean descriptors on ``mw``
+#   flush_groups mw          -- close open group-commit windows on ``mw``
 #   crash       node, delay_us -- schedule node crash after delay
 #   recover     node, delay_us -- schedule node recovery after delay
 #   corrupt     node, mode   -- silently rot one replica on ``node``
@@ -50,6 +51,7 @@ STEP_KINDS = frozenset(
         "merge",
         "gc",
         "drop_caches",
+        "flush_groups",
         "crash",
         "recover",
         "corrupt",

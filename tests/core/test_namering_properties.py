@@ -76,6 +76,14 @@ class TestMergeLaws:
         b = _ring_from(pool[cut % (len(pool) + 1):])
         assert a.merge(b) == b.merge(a)
 
+    @given(a=arbitrary_ring(), b=arbitrary_ring())
+    @settings(max_examples=200, deadline=None)
+    def test_commutative_even_with_timestamp_ties(self, a, b):
+        """The PR 5 tie-break fix: before it, equal timestamps let the
+        *left* operand win, so ``a.merge(b) != b.merge(a)`` whenever a
+        synthetic history minted a collision."""
+        assert a.merge(b) == b.merge(a)
+
     @given(a=arbitrary_ring(), b=arbitrary_ring(), c=arbitrary_ring())
     @settings(max_examples=200, deadline=None)
     def test_associative_even_with_timestamp_ties(self, a, b, c):
@@ -129,6 +137,56 @@ class TestFakeDeletionWins:
         merged = merge_all(rings)
         assert merged.get(name) is None  # hidden from every listing
         assert merged.get_any(name) == tombstone  # but the marker rides on
+
+    @given(
+        ts=st.builds(
+            Timestamp,
+            wall_us=st.integers(0, 50),
+            seq=st.integers(0, 5),
+            node_id=st.integers(1, 3),
+        ),
+        name=st.sampled_from(NAMES),
+        live_etag=st.text(max_size=4),
+        dead_etag=st.text(max_size=4),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_tombstone_wins_timestamp_ties_both_ways(
+        self, ts, name, live_etag, dead_etag
+    ):
+        """A same-instant delete must beat a same-instant insert no
+        matter which side of the merge it arrives on."""
+        live = NameRing(children={name: Child(name, ts, etag=live_etag)})
+        dead = NameRing(
+            children={name: Child(name, ts, deleted=True, etag=dead_etag)}
+        )
+        for merged in (live.merge(dead), dead.merge(live)):
+            assert merged.get(name) is None
+            assert merged.get_any(name).deleted
+
+    @given(
+        ts=st.builds(
+            Timestamp,
+            wall_us=st.integers(0, 50),
+            seq=st.integers(0, 5),
+            node_id=st.integers(1, 3),
+        ),
+        name=st.sampled_from(NAMES),
+        etags=st.tuples(st.text(max_size=4), st.text(max_size=4)),
+        sizes=st.tuples(st.integers(0, 99), st.integers(0, 99)),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_equal_status_ties_break_on_stable_key(
+        self, ts, name, etags, sizes
+    ):
+        """Live-vs-live (and deleted-vs-deleted) ties settle on the
+        attribute key, so both merge orders pick the same winner."""
+        a = NameRing(
+            children={name: Child(name, ts, size=sizes[0], etag=etags[0])}
+        )
+        b = NameRing(
+            children={name: Child(name, ts, size=sizes[1], etag=etags[1])}
+        )
+        assert a.merge(b) == b.merge(a)
 
     @given(pool=children_with_unique_timestamps())
     @settings(max_examples=100, deadline=None)

@@ -1,0 +1,425 @@
+"""Unit tests for the four traffic-reduction mechanisms (PR 5).
+
+Each mechanism is flag-gated in :class:`H2Config`; these tests pin the
+flag-on semantics (fewer round trips, same answers) and the flag-off
+default (byte-identical to the pre-PR behaviour, which the DST corpus
+digests also enforce).
+"""
+
+import pytest
+
+from repro.core import (
+    Child,
+    GossipNetwork,
+    H2CloudFS,
+    H2Config,
+    H2Middleware,
+    KIND_FILE,
+    NameRing,
+    Namespace,
+    Rumor,
+)
+from repro.core import formatter
+from repro.simcloud import MessageLoss, SwiftCluster
+from repro.simcloud.errors import QuorumError
+
+
+def make_mw(cluster=None, **flags) -> H2Middleware:
+    mw = H2Middleware(
+        node_id=1,
+        store=(cluster or SwiftCluster.fast()).store,
+        config=H2Config(**flags),
+    )
+    mw.create_account("alice")
+    return mw
+
+
+def entry(mw, name, deleted=False) -> Child:
+    return Child(
+        name=name,
+        timestamp=mw.next_timestamp(),
+        kind=KIND_FILE,
+        deleted=deleted,
+    )
+
+
+def counter(mw, name: str) -> int:
+    return int(mw.metrics.counter(f"traffic.{name}").value)
+
+
+class TestNegativeCache:
+    def fs(self, **flags) -> H2CloudFS:
+        return H2CloudFS(
+            SwiftCluster.fast(),
+            account="alice",
+            config=H2Config(**flags),
+        )
+
+    def test_repeat_probe_skips_the_double_get(self):
+        fs = self.fs(negative_cache=True)
+        fs.mkdir("/d")
+        ledger = fs.store.ledger
+        assert not fs.exists("/d/missing")  # revalidates, caches the miss
+        gets_after_first = ledger.gets
+        for _ in range(5):
+            assert not fs.exists("/d/missing")
+        assert ledger.gets == gets_after_first  # all 5 were free
+        mw = fs.middlewares[0]
+        assert counter(mw, "negative_hits") == 5
+        assert counter(mw, "revalidations") == 1
+
+    def test_flag_off_pays_a_revalidation_per_probe(self):
+        fs = self.fs()  # defaults: negative_cache off
+        fs.mkdir("/d")
+        ledger = fs.store.ledger
+        assert not fs.exists("/d/missing")
+        gets_after_first = ledger.gets
+        assert not fs.exists("/d/missing")
+        assert ledger.gets == gets_after_first + 1  # the §3.2 double-GET
+        assert counter(fs.middlewares[0], "negative_hits") == 0
+
+    def test_local_write_invalidates_the_cached_miss(self):
+        fs = self.fs(negative_cache=True)
+        fs.mkdir("/d")
+        assert not fs.exists("/d/f")
+        fs.write("/d/f", b"now it exists")
+        assert fs.exists("/d/f")
+
+    def test_gossip_absorb_invalidates_cached_misses(self):
+        fs = H2CloudFS(
+            SwiftCluster.fast(),
+            account="alice",
+            middlewares=2,
+            config=H2Config(negative_cache=True),
+        )
+        mw0, mw1 = fs.middlewares
+        mw0.mkdir("alice", "/d")
+        fs.pump()
+        assert mw0.exists("alice", "/d/f") is False  # cached miss on mw0
+        mw1.write_file("alice", "/d/f", b"written elsewhere")
+        fs.pump()  # rumor absorbed on mw0 clears its negative entries
+        assert mw0.exists("alice", "/d/f") is True
+
+    def test_degraded_serve_never_caches_absence(self):
+        """A stale ring carries no authority about what is missing."""
+        fs = self.fs(negative_cache=True)
+        fs.mkdir("/d")
+        assert not fs.exists("/d/other")  # warm every level's descriptor
+        mw = fs.middlewares[0]
+        ns = mw.lookup.resolve_dir("alice", "/d")
+        fd = mw.fd_cache.get_or_create(ns)
+        fd.negative.clear()
+        real_get = mw.store.get
+        mw.store.get = lambda name, *a, **kw: (_ for _ in ()).throw(
+            QuorumError(name, wanted=2, got=0)
+        )
+        try:
+            # The store is unreachable: every load degrades to the
+            # stale cached ring, so the miss must not be cached.
+            assert not fs.exists("/d/missing")
+            assert "missing" not in fd.negative
+        finally:
+            mw.store.get = real_get
+
+
+class TestRevalidationWriteBack:
+    """Satellite 2: the ``use_cache=False`` reload must land back in
+    the descriptor cache, so the GET is paid once per staleness, not
+    once per miss."""
+
+    def deployment(self) -> H2CloudFS:
+        # Full message loss keeps gossip out of the picture: mw0 only
+        # learns about mw1's write through the revalidation reload.
+        return H2CloudFS(
+            SwiftCluster.fast(),
+            account="alice",
+            middlewares=2,
+            message_loss=MessageLoss(1.0, seed=7),
+        )
+
+    def test_reload_is_written_back(self):
+        fs = self.deployment()
+        mw0, mw1 = fs.middlewares
+        mw0.mkdir("alice", "/d")
+        assert mw0.exists("alice", "/d/f") is False  # /d cached on mw0
+        mw1.write_file("alice", "/d/f", b"x")  # mw0's cache is now stale
+        ledger = fs.store.ledger
+        gets_before = ledger.gets
+        assert mw0.exists("alice", "/d/f") is True  # miss -> revalidate
+        assert ledger.gets == gets_before + 1  # exactly the one reload
+        # The reload refreshed the cached descriptor: subsequent
+        # positive lookups on mw0 are store-free.
+        gets_before = ledger.gets
+        assert mw0.exists("alice", "/d/f") is True
+        assert ledger.gets == gets_before
+        assert counter(mw0, "revalidations") == 2  # first+second probe
+
+    def test_cache_holds_the_reloaded_ring(self):
+        fs = self.deployment()
+        mw0, mw1 = fs.middlewares
+        mw0.mkdir("alice", "/d")
+        ns = mw0.lookup.resolve_dir("alice", "/d")
+        mw1.write_file("alice", "/d/f", b"x")
+        assert mw0.exists("alice", "/d/f") is True
+        fd = mw0.fd_cache.peek(ns)
+        assert fd is not None and fd.loaded
+        assert fd.ring.get("f") is not None
+
+
+class TestGroupCommit:
+    def mw(self, **overrides) -> H2Middleware:
+        flags = {"group_commit": True, "auto_merge": False}
+        flags.update(overrides)
+        return make_mw(**flags)
+
+    def test_window_coalesces_into_one_put(self):
+        mw = self.mw()
+        root = Namespace.root("alice")
+        ledger = mw.store.ledger
+        puts_before = ledger.puts
+        for name in ("a", "b", "c"):
+            mw.submit_patch(root, [entry(mw, name)])
+        assert ledger.puts == puts_before  # nothing flushed yet
+        fd = mw.fd_cache.get_or_create(root)
+        assert fd.dirty  # the open group pins the descriptor
+        assert fd.group.absorbed == 2
+        assert counter(mw, "patches_coalesced") == 2
+        assert mw.flush_patch_groups() == 1
+        assert ledger.puts == puts_before + 1  # one patch object
+        assert len(fd.chain) == 1
+        assert set(fd.chain.fold().children) == {"a", "b", "c"}
+        assert counter(mw, "group_commits") == 1
+
+    def test_view_includes_pending_group_entries(self):
+        """Read-your-writes holds while the window is open."""
+        mw = self.mw()
+        root = Namespace.root("alice")
+        mw.submit_patch(root, [entry(mw, "pending")])
+        fd = mw.fd_cache.get_or_create(root)
+        assert fd.view().get("pending") is not None
+
+    def test_expired_window_flushes_before_the_next_submit(self):
+        mw = self.mw(group_commit_window_us=1_000)
+        root = Namespace.root("alice")
+        mw.submit_patch(root, [entry(mw, "first")])
+        mw.clock.advance(2_000)
+        mw.submit_patch(root, [entry(mw, "second")])
+        fd = mw.fd_cache.get_or_create(root)
+        assert counter(mw, "group_commits") == 1  # first window flushed
+        assert fd.group.payload.get("second") is not None
+        assert fd.group.payload.get("first") is None
+
+    def test_grouped_result_is_merge_equivalent(self):
+        """One flushed group == the same patches submitted one by one:
+        the per-entry timestamps ride along unchanged."""
+        grouped, plain = self.mw(), make_mw(auto_merge=False)
+        root = Namespace.root("alice")
+        entries = [entry(grouped, n) for n in ("a", "b", "c")]
+        for e in entries:
+            grouped.submit_patch(root, [e])
+            plain.submit_patch(root, [e])
+        grouped.merger.merge_ring(root, foreground=True)
+        plain.merger.merge_ring(root, foreground=True)
+        g = grouped.fd_cache.get_or_create(root).ring
+        p = plain.fd_cache.get_or_create(root).ring
+        assert g.children == p.children
+
+    def test_flush_put_failure_keeps_the_group(self):
+        mw = self.mw()
+        root = Namespace.root("alice")
+        mw.submit_patch(root, [entry(mw, "acked")])
+        fd = mw.fd_cache.get_or_create(root)
+        real_put = mw.store.put
+        mw.store.put = lambda *a, **kw: (_ for _ in ()).throw(
+            QuorumError("injected", wanted=2, got=0)
+        )
+        with pytest.raises(QuorumError):
+            mw.flush_patch_group(fd)
+        assert fd.group is not None  # the acked update is still pending
+        assert fd.dirty
+        mw.store.put = real_put
+        assert mw.flush_patch_group(fd) is not None
+        assert fd.group is None
+
+    def test_merger_drains_open_groups(self):
+        mw = self.mw()
+        root = Namespace.root("alice")
+        mw.submit_patch(root, [entry(mw, "straggler")])
+        assert mw.merger.run_until_clean()
+        fd = mw.fd_cache.get_or_create(root)
+        assert fd.group is None and not fd.chain
+        assert fd.ring.get("straggler") is not None
+
+
+class TestGossipCoalescing:
+    def rumor(self, net, ns="1.1.1", origin=1, invalidate=False) -> Rumor:
+        ts = self.ts_factory.next()
+        return Rumor(
+            ns=Namespace(ns), origin=origin, ts=ts, invalidate=invalidate
+        )
+
+    def setup_method(self):
+        self.ts_factory = SwiftCluster.fast().store.timestamps
+
+    def net(self, coalesce=True) -> GossipNetwork:
+        net = GossipNetwork(fanout=2, coalesce=coalesce)
+
+        class FakeMw:
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+        for node in (1, 2, 3):
+            net.join(FakeMw(node))
+        return net
+
+    def test_same_ring_rumors_collapse_to_the_newest(self):
+        net = self.net()
+        old, new = self.rumor(net), self.rumor(net)
+        net.announce(1, old)
+        net.announce(1, new)
+        assert net.in_flight == 2  # one per peer, not two
+        assert net.rumors_coalesced == 2
+        assert all(r.ts == new.ts for _, r in net._queue)
+
+    def test_older_rumor_does_not_replace_newer(self):
+        net = self.net()
+        old, new = self.rumor(net), self.rumor(net)
+        net.announce(1, new)
+        net.announce(1, old)
+        assert net.in_flight == 2
+        assert all(r.ts == new.ts for _, r in net._queue)
+
+    def test_different_rings_do_not_coalesce(self):
+        net = self.net()
+        net.announce(1, self.rumor(net, ns="1.1.1"))
+        net.announce(1, self.rumor(net, ns="2.2.2"))
+        assert net.in_flight == 4
+        assert net.rumors_coalesced == 0
+
+    def test_invalidations_never_coalesce(self):
+        """Cache-invalidation broadcasts must each be delivered."""
+        net = self.net()
+        net.announce(1, self.rumor(net, invalidate=True))
+        net.announce(1, self.rumor(net, invalidate=True))
+        assert net.in_flight == 4
+        assert net.rumors_coalesced == 0
+
+    def test_flag_off_queues_every_rumor(self):
+        net = self.net(coalesce=False)
+        net.announce(1, self.rumor(net))
+        net.announce(1, self.rumor(net))
+        assert net.in_flight == 4
+
+
+class TestDigestAntiEntropy:
+    def pair(self, **flags) -> tuple[H2Middleware, H2Middleware]:
+        cluster = SwiftCluster.fast()
+        config = H2Config(**flags)
+        a = H2Middleware(node_id=1, store=cluster.store, config=config)
+        a.create_account("alice")
+        b = H2Middleware(node_id=2, store=cluster.store, config=config)
+        return a, b
+
+    def test_agreeing_rings_are_skipped(self):
+        a, b = self.pair(gossip_digests=True)
+        root = Namespace.root("alice")
+        a.mkdir("alice", "/d")
+        b.load_ring(root)  # same stored version on both sides
+        assert b.pull_state_from(a) == 0
+        assert counter(b, "digest_skips") >= 1
+
+    def test_differing_rings_still_ship(self):
+        a, b = self.pair(gossip_digests=True, auto_merge=False)
+        root = Namespace.root("alice")
+        b.load_ring(root)
+        a.submit_patch(root, [entry(a, "only-on-a")])
+        a.merger.merge_ring(root, foreground=True)
+        assert b.pull_state_from(a) == 1
+        fd = b.fd_cache.get_or_create(root)
+        assert fd.ring.get("only-on-a") is not None
+
+    def test_flag_off_never_counts_skips(self):
+        a, b = self.pair()
+        root = Namespace.root("alice")
+        a.mkdir("alice", "/d")
+        b.load_ring(root)
+        b.pull_state_from(a)
+        assert counter(b, "digest_skips") == 0
+
+
+class TestSerializationMemo:
+    def test_dumps_ring_is_memoized_per_instance(self):
+        ring = NameRing.empty()
+        assert formatter.dumps_ring(ring) is formatter.dumps_ring(ring)
+
+    def test_ring_crc_is_stable_and_content_keyed(self):
+        mw = make_mw()
+        a = NameRing(children={"f": entry(mw, "f")})
+        b = NameRing(children=dict(a.children))
+        assert formatter.ring_crc(a) == formatter.ring_crc(b)
+        assert formatter.ring_crc(a) == formatter.ring_crc(a)
+
+    def test_unchanged_ring_elides_the_put(self):
+        mw = make_mw(memoize_serialization=True)
+        root = Namespace.root("alice")
+        fd = mw.load_ring(root)
+        ledger = mw.store.ledger
+        puts_before = ledger.puts
+        mw.store_ring_merged(fd)  # cache == store: nothing to write
+        assert ledger.puts == puts_before
+        assert counter(mw, "put_elisions") == 1
+
+    def test_changed_ring_still_puts(self):
+        mw = make_mw(memoize_serialization=True, auto_merge=False)
+        root = Namespace.root("alice")
+        fd = mw.load_ring(root)
+        ledger = mw.store.ledger
+        puts_before = ledger.puts
+        mw.store_ring_merged(
+            fd, extra=NameRing(children={"f": entry(mw, "f")})
+        )
+        assert ledger.puts == puts_before + 1
+        assert counter(mw, "put_elisions") == 0
+
+    def test_flag_off_always_puts(self):
+        mw = make_mw()
+        root = Namespace.root("alice")
+        fd = mw.load_ring(root)
+        ledger = mw.store.ledger
+        puts_before = ledger.puts
+        mw.store_ring_merged(fd)
+        assert ledger.puts == puts_before + 1
+
+
+class TestAllFlagsTogether:
+    def test_workload_answers_match_flags_off(self):
+        """The same deterministic workload gives identical answers with
+        the whole traffic layer on -- only the round-trip count drops."""
+
+        def drive(config):
+            # One middleware: group commit defers cross-node visibility
+            # by up to a window (the DST oracle models that), but
+            # read-your-writes must hold unconditionally per node.
+            fs = H2CloudFS(
+                SwiftCluster.fast(),
+                account="alice",
+                config=config,
+            )
+            for d in range(3):
+                fs.mkdir(f"/d{d}")
+                for f in range(3):
+                    fs.write(f"/d{d}/f{f}", b"z" * 32)
+            fs.delete("/d0/f1")
+            fs.pump()
+            answers = []
+            for d in range(3):
+                answers.append(sorted(fs.listdir(f"/d{d}")))
+                answers.append(fs.exists(f"/d{d}/f0"))
+                answers.append(fs.exists(f"/d{d}/nope"))
+            answers.append(fs.read("/d1/f2"))
+            return answers, fs.store.ledger.total_requests
+
+        base_answers, base_requests = drive(H2Config())
+        opt_answers, opt_requests = drive(H2Config().with_traffic_flags())
+        assert opt_answers == base_answers
+        assert opt_requests < base_requests

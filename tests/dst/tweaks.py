@@ -45,6 +45,25 @@ def serve_unverified_reads(fs) -> None:
     fs.store.verify_reads = False
 
 
+def blind_compaction_write(fs) -> None:
+    """Persist in-use compactions blindly instead of read-merge-write.
+
+    Reintroduces the pre-PR 5 ``_compact_in_use`` write-back: the
+    cached compacted ring is PUT as-is.  The compaction guards prove no
+    rumor or dirty chain is in flight, but not that the cache ever
+    *absorbed* everything the store holds -- after total message loss a
+    peer's merged children live only in the stored ring, and the blind
+    PUT durably erases them.  The model-differential oracle (V1) and
+    the store/cache convergence checks catch the vanished entry.
+    """
+    for mw in fs.middlewares:
+
+        def blind_write_back(fd, _mw=mw):
+            _mw.store_ring(fd)
+
+        mw._write_back_compacted = blind_write_back
+
+
 def lose_merge_updates(fs) -> None:
     """Make every second merger write-back silently drop one child.
 

@@ -49,6 +49,12 @@ GOLDEN_KEYS = frozenset(
         "integrity.unrecoverable_objects",
         "degraded.serves",
         "degraded.stale_rings",
+        "traffic.negative_hits",
+        "traffic.revalidations",
+        "traffic.group_commits",
+        "traffic.patches_coalesced",
+        "traffic.put_elisions",
+        "traffic.digest_skips",
         "gc.passes",
         "gc.swept",
         "gc.reclaimed_bytes",
@@ -65,6 +71,7 @@ GOSSIP_KEYS = frozenset(
         "gossip.single_deliveries",
         "gossip.anti_entropy_rounds",
         "gossip.in_flight",
+        "traffic.rumors_coalesced",
     }
 )
 
