@@ -4,6 +4,7 @@
     python -m repro demo         # the quickstart scenario
     python -m repro repair       # fault drill: outage -> sweep -> healed
     python -m repro scrub        # integrity drill: bit-rot -> scrub -> healed
+    python -m repro rebalance    # membership drill: join/drain -> live migration
     python -m repro bench [...]  # forwards to repro.bench's CLI
     python -m repro dst [...]    # deterministic simulation testing
     python -m repro metrics      # Prometheus/JSON metrics for a canned run
@@ -21,8 +22,8 @@ def overview() -> None:
     print(f"repro {__version__} -- reproduction of H2Cloud (ICPP 2018)")
     print(__import__("repro").__doc__)
     print(
-        "subcommands: demo | repair | scrub | bench [experiment ...] "
-        "| dst [...] | metrics | trace"
+        "subcommands: demo | repair | scrub | rebalance "
+        "| bench [experiment ...] | dst [...] | metrics | trace"
     )
 
 
@@ -111,6 +112,71 @@ def scrub() -> None:
     print("second pass:", check.summary())
 
 
+def rebalance() -> int:
+    """Membership drill: join a node, drain another, migrate live.
+
+    The cluster keeps serving (and even failing: a transient-fault plan
+    stays armed throughout) while the sweeper moves partitions in
+    bounded batches; the drill prints the dual-ownership traffic the
+    window generated and asserts the ring converged -- every object on
+    exactly its owners, the drained node empty and retired.
+    """
+    from .core import H2CloudFS
+    from .simcloud import FaultPlan, SwiftCluster
+
+    cluster = SwiftCluster.rack_scale()
+    cluster.install_fault_plan(
+        FaultPlan(seed=13, io_error_rate=0.03, timeout_rate=0.02)
+    )
+    fs = H2CloudFS(cluster, account="ops")
+    membership = cluster.membership
+    fs.makedirs("/srv/app")
+    for i in range(30):
+        fs.write(f"/srv/app/shard-{i:02d}", bytes([i]) * 4096)
+    fs.pump()
+
+    node = membership.add_node()
+    print(
+        f"node {node.node_id} joined -> epoch {membership.epoch}, "
+        f"{membership.pending_moves} partitions to migrate"
+    )
+    moved = 0
+    while membership.in_transition:
+        moved += membership.sweeper.step(max_objects=8)
+        # The window stays open for live traffic between batches.
+        fs.write(f"/srv/app/live-{moved:03d}", b"during-migration")
+        fs.read(f"/srv/app/shard-{moved % 30:02d}")
+    print(
+        f"join complete: {moved} partitions moved, "
+        f"{membership.dual_reads} dual-epoch reads, "
+        f"{membership.write_throughs} write-throughs"
+    )
+
+    victim = max(n for n in cluster.nodes if n != node.node_id)
+    membership.drain_node(victim)
+    print(
+        f"draining node {victim} -> epoch {membership.epoch}, "
+        f"{membership.pending_moves} partitions to hand off"
+    )
+    membership.quiesce()
+    from .tools import repair_and_verify
+
+    report, check = repair_and_verify(fs, verbose=False)
+    assert victim not in cluster.nodes, "drained node must retire"
+    assert check.clean and not check.degraded_replicas, check.summary()
+    handoff_ms = membership.handoff_us[-1] / 1000
+    print(
+        f"drain complete in {handoff_ms:.1f} sim-ms; node {victim} retired; "
+        f"repair wrote {report.replicas_written} replicas; fsck clean"
+    )
+    print(
+        f"totals: {membership.transitions} transitions, "
+        f"{membership.partitions_moved} partitions, "
+        f"{membership.bytes_migrated} bytes migrated"
+    )
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if not argv:
         overview()
@@ -125,6 +191,8 @@ def main(argv: list[str]) -> int:
     if command == "scrub":
         scrub()
         return 0
+    if command == "rebalance":
+        return rebalance()
     if command == "bench":
         from .bench.__main__ import main as bench_main
 
@@ -143,7 +211,7 @@ def main(argv: list[str]) -> int:
         return trace_main(rest)
     print(
         f"unknown subcommand {command!r}; "
-        "use demo | repair | scrub | bench | dst | metrics | trace"
+        "use demo | repair | scrub | rebalance | bench | dst | metrics | trace"
     )
     return 2
 

@@ -8,7 +8,9 @@ when any guarded metric regresses by more than the tolerance:
 * ``sim_makespan_ms`` of both artifacts,
 * ``background_ms`` of the maintenance artifact,
 * the traffic sections' ``store_gets`` / ``store_puts`` with the
-  flags on (the tentpole win must not silently erode).
+  flags on (the tentpole win must not silently erode),
+* the rebalance artifact's steady-state and mid-migration p99
+  latencies (a node join must stay cheap for live clients).
 
 Both artifacts are deterministic for a given scale (the simulated
 clock is the only time source), so any drift is a real behavioural
@@ -24,7 +26,11 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-ARTIFACTS = ("BENCH_headline.json", "BENCH_maintenance.json")
+ARTIFACTS = (
+    "BENCH_headline.json",
+    "BENCH_maintenance.json",
+    "BENCH_rebalance.json",
+)
 
 #: a candidate may cost up to this factor of the baseline before failing
 TOLERANCE = 1.20
@@ -65,6 +71,11 @@ def _guarded_metrics(doc: dict) -> dict[str, float]:
     for key in ("store_gets", "store_puts"):
         if key in optimized:
             metrics[f"traffic.optimized.{key}"] = optimized[key]
+    for phase in ("steady", "migration"):
+        stats = doc.get(phase, {})
+        for key in ("read_p99_ms", "write_p99_ms"):
+            if key in stats:
+                metrics[f"{phase}.{key}"] = stats[key]
     return metrics
 
 

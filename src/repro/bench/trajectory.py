@@ -10,9 +10,13 @@ costs, fed by the unified metrics registry (the same numbers
   API operation;
 * ``BENCH_maintenance.json`` -- the asynchronous maintenance
   pipeline's throughput on a three-middleware deployment (patches,
-  merges, gossip traffic, anti-entropy, GC, background time).
+  merges, gossip traffic, anti-entropy, GC, background time);
+* ``BENCH_rebalance.json`` -- client-visible cost of an elastic
+  membership transition: steady-state vs mid-migration ops/sec and
+  p99 latency while the sweeper migrates partitions live, plus the
+  handoff totals (partitions, bytes, dual-epoch traffic).
 
-Both are deterministic for a given scale: the simulated clock is the
+All are deterministic for a given scale: the simulated clock is the
 only time source, so CI can diff them run over run.
 
     python -m repro.bench trajectory --out results/
@@ -284,6 +288,108 @@ def maintenance_trajectory() -> dict:
     }
 
 
+def _p99_ms(samples_us: list[int]) -> float:
+    if not samples_us:
+        return 0.0
+    ordered = sorted(samples_us)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))] / 1000.0
+
+
+def _timed_mix(fs: H2CloudFS, rounds: int, dirs: int, files: int,
+               migrate_batch: int = 0) -> dict:
+    """One read+write client phase, each op timed on the sim clock.
+
+    With ``migrate_batch`` set the phase interleaves one bounded
+    rebalance batch per round while the migration window is open --
+    the client traffic runs *through* the dual-ownership window, which
+    is exactly the overhead the artifact exists to pin down.
+    """
+    clock = fs.clock
+    membership = fs.store.membership
+    reads: list[int] = []
+    writes: list[int] = []
+    batches = 0
+    started = clock.now_us
+    for r in range(rounds):
+        if migrate_batch and membership.in_transition:
+            membership.sweeper.step(max_objects=migrate_batch)
+            batches += 1
+        t0 = clock.now_us
+        fs.read(f"/r{r % dirs:03d}/f{r % files:03d}")
+        reads.append(clock.now_us - t0)
+        t0 = clock.now_us
+        fs.write(f"/r{r % dirs:03d}/hot{r % files:03d}", b"h" * 256)
+        writes.append(clock.now_us - t0)
+    elapsed_us = max(clock.now_us - started, 1)
+    return {
+        "ops": len(reads) + len(writes),
+        "elapsed_ms": round(elapsed_us / 1000.0, 3),
+        "ops_per_sec": round((len(reads) + len(writes)) / (elapsed_us / 1e6), 1),
+        "read_p99_ms": round(_p99_ms(reads), 3),
+        "write_p99_ms": round(_p99_ms(writes), 3),
+        "rebalance_batches": batches,
+    }
+
+
+def rebalance_trajectory() -> dict:
+    """Steady-state vs mid-migration client cost of a node join.
+
+    A reference tree is written, a steady-state phase is measured, a
+    node joins (opening the dual-ownership window), and the *same*
+    phase re-runs with the sweeper draining the migration plan in
+    small batches between client ops.  The quiesce tail hands off the
+    remainder so the artifact also records the full transition totals.
+    """
+    fs = H2CloudFS(SwiftCluster.rack_scale(), account="bench")
+    membership = fs.store.membership
+    dirs, files = _workload_shape()
+    for d in range(dirs):
+        fs.mkdir(f"/r{d:03d}")
+        for f in range(files):
+            fs.write(f"/r{d:03d}/f{f:03d}", b"x" * (128 + 16 * f))
+    fs.pump()
+    rounds = dirs * files
+    steady = _timed_mix(fs, rounds, dirs, files)
+
+    node = membership.add_node()
+    pending_at_open = membership.pending_moves
+    migration = _timed_mix(fs, rounds, dirs, files, migrate_batch=1)
+    membership.quiesce()
+    fs.pump()
+
+    comparison = {}
+    if steady["ops_per_sec"]:
+        comparison["ops_per_sec_ratio"] = round(
+            migration["ops_per_sec"] / steady["ops_per_sec"], 3
+        )
+    if steady["read_p99_ms"]:
+        comparison["read_p99_ratio"] = round(
+            migration["read_p99_ms"] / steady["read_p99_ms"], 3
+        )
+    return {
+        "format": FORMAT,
+        "artifact": "rebalance",
+        "scale": bench_scale(),
+        "sim_makespan_ms": fs.clock.now_ms,
+        "steady": steady,
+        "migration": migration,
+        "comparison": comparison,
+        "handoff": {
+            "joined_node": node.node_id,
+            "epoch": membership.epoch,
+            "transitions": membership.transitions,
+            "pending_at_open": pending_at_open,
+            "partitions_moved": membership.partitions_moved,
+            "bytes_migrated": membership.bytes_migrated,
+            "dual_reads": membership.dual_reads,
+            "write_throughs": membership.write_throughs,
+            "handoff_ms": round(membership.handoff_us[-1] / 1000.0, 3)
+            if membership.handoff_us
+            else 0.0,
+        },
+    }
+
+
 def write_bench_artifacts(out_dir: str | Path = ".") -> list[Path]:
     """Write both artifacts; returns the paths written."""
     out = Path(out_dir)
@@ -292,6 +398,7 @@ def write_bench_artifacts(out_dir: str | Path = ".") -> list[Path]:
     for name, doc in (
         ("BENCH_headline.json", headline_trajectory()),
         ("BENCH_maintenance.json", maintenance_trajectory()),
+        ("BENCH_rebalance.json", rebalance_trajectory()),
     ):
         path = out / name
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -41,6 +41,13 @@ class Rumor:
     ``trace`` (in-memory only, excluded from equality) carries the
     announcing span's context so gossip deliveries on *peer* nodes can
     join the originating operation's span tree.
+
+    ``epoch`` is the storage cluster's membership epoch as seen by the
+    announcer (0 when the deployment has no membership controller).
+    Receivers compare it against their own observed epoch, so a ring
+    change travels with normal gossip traffic and every middleware
+    drops placement-derived hints promptly (see
+    ``H2Middleware.observe_epoch``).
     """
 
     ns: Namespace
@@ -48,6 +55,7 @@ class Rumor:
     ts: Timestamp
     invalidate: bool = False
     trace: TraceContext | None = field(default=None, compare=False, repr=False)
+    epoch: int = 0
 
 
 class GossipNetwork:

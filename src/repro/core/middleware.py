@@ -176,6 +176,11 @@ class H2Middleware:
         self._digest_skips = self.metrics.counter("traffic.digest_skips")
         self.monitor = Monitor(self)
         self._merge_block = 0  # §3.3.3b: >0 while a file stream is open
+        # Elastic membership: the cluster epoch this middleware has
+        # acted on.  Epoch changes invalidate placement-derived hints
+        # (the negative cache); see observe_epoch.
+        self._membership = getattr(store, "membership", None)
+        self._seen_epoch = self._membership.epoch if self._membership else 0
 
     @property
     def patches_submitted(self) -> int:
@@ -205,6 +210,8 @@ class H2Middleware:
         Stale descriptors re-probe the store on every use, so freshness
         returns the moment the outage ends.
         """
+        if self._membership is not None:
+            self.observe_epoch(self._membership.epoch)
         fd = self.fd_cache.get_or_create(ns)
         if fd.loaded and use_cache and not fd.stale:
             return fd
@@ -430,6 +437,8 @@ class H2Middleware:
     def after_merge(self, fd: FileDescriptor) -> None:
         """Called by the merger once a ring version is written back."""
         if self.network is not None:
+            if self._membership is not None:
+                self.observe_epoch(self._membership.epoch)
             self.network.announce(
                 self.node_id,
                 Rumor(
@@ -437,7 +446,34 @@ class H2Middleware:
                     origin=self.node_id,
                     ts=fd.local_version,
                     trace=self.tracer.current(),
+                    epoch=self._seen_epoch,
                 ),
+            )
+
+    # ------------------------------------------------------------------
+    # elastic membership (epoch-aware placement hints)
+    # ------------------------------------------------------------------
+    def observe_epoch(self, epoch: int) -> None:
+        """Act on a cluster-membership epoch change.
+
+        Negative-cache entries are conservative placement-era hints: an
+        absence confirmed under the old epoch's replica set may be
+        served from different nodes now, so every cached miss is
+        dropped the first time a newer epoch is observed -- whether it
+        arrived via a store access or rode in on a gossip rumor.  A
+        same-or-older epoch returns immediately (one integer compare,
+        so the hot path stays flat).
+        """
+        if epoch <= self._seen_epoch:
+            return
+        self._seen_epoch = epoch
+        for fd in self.fd_cache.descriptors():
+            if fd.negative:
+                fd.negative.clear()
+        if not self.tracer.noop:
+            self.tracer.event(
+                "membership.epoch_observed",
+                tags={"node": self.node_id, "epoch": epoch},
             )
 
     # ------------------------------------------------------------------
@@ -479,6 +515,11 @@ class H2Middleware:
         instead; forwarding continues only while there was something to
         drop, so the broadcast dies out once every cache is clean.
         """
+        if rumor.epoch > self._seen_epoch:
+            # The announcer saw a newer cluster epoch than we have:
+            # learn it from the rumor rather than waiting for our next
+            # store access.
+            self.observe_epoch(rumor.epoch)
         if rumor.invalidate:
             with self.tracer.span(
                 "gossip.invalidate",

@@ -240,6 +240,29 @@ class Monitor:
                 "trace.dropped": mw.tracer.dropped,
             }
         )
+        membership = getattr(mw.store, "membership", None)
+        if membership is not None:
+            handoff = LatencyHistogram()
+            for us in membership.handoff_us:
+                handoff.observe(us)
+            metrics.update(
+                {
+                    "membership.epoch": membership.epoch,
+                    "membership.transitions": membership.transitions,
+                    "membership.pending_moves": membership.pending_moves,
+                    "membership.partitions_moved": membership.partitions_moved,
+                    "membership.bytes_migrated": membership.bytes_migrated,
+                    "membership.dual_reads": membership.dual_reads,
+                    "membership.write_throughs": membership.write_throughs,
+                    "membership.handoffs": handoff.samples,
+                    "membership.handoff_p50_ms": (
+                        handoff.percentile(0.50) / 1000.0
+                    ),
+                    "membership.handoff_p99_ms": (
+                        handoff.percentile(0.99) / 1000.0
+                    ),
+                }
+            )
         if mw.network is not None:
             metrics["gossip.rumors_sent"] = mw.network.rumors_sent
             metrics["gossip.rumors_delivered"] = mw.network.rumors_delivered

@@ -1,9 +1,9 @@
 """``python -m repro dst`` -- drive the deterministic simulator.
 
-    dst run     --seed 7 [--faulty | --corruption] [--traffic] [--sessions 3] [--ops 25]
-    dst sweep   --seeds 200 [--start 0] [--corruption] [--traffic] [--save-failures DIR]
+    dst run     --seed 7 [--faulty | --corruption] [--traffic] [--membership]
+    dst sweep   --seeds 200 [--start 0] [--corruption] [--traffic] [--membership]
     dst replay  CASE.json
-    dst shrink  CASE.json | --seed 7 [--faulty | --corruption] [--traffic]
+    dst shrink  CASE.json | --seed 7 [--faulty | --corruption] [--traffic] [--membership]
 
 ``run`` executes one seed and prints the verdict; ``sweep`` runs a
 range of seeds alternating fault-free and fault-storm configs (the CI
@@ -12,6 +12,9 @@ corruption-storm mix (bit-rot, torn writes, scheduled corrupt events)
 against the V1-V6 oracle; ``replay`` re-executes a persisted corpus
 case and checks it reproduces the recorded digest/verdict; ``shrink``
 minimises a failing case with ddmin and saves the result to the corpus.
+``--membership`` weaves elastic-membership churn (node joins, drains,
+crash-style removals and bounded rebalance batches) into whichever mix
+the seed gets, and arms the V7 membership-convergence oracle.
 
 Exit codes: 0 clean / reproduced, 1 invariant violations found,
 2 usage or non-reproduction.
@@ -27,6 +30,7 @@ from .explorer import (
     ScheduleExplorer,
     corruption_config,
     faulty_config,
+    with_membership_steps,
     with_traffic_flags,
 )
 from .runner import RunResult, run_schedule, run_seed
@@ -46,6 +50,8 @@ def _config_from(args: argparse.Namespace) -> DstConfig:
         config = DstConfig(**overrides)
     if getattr(args, "traffic", False):
         config = with_traffic_flags(config)
+    if getattr(args, "membership", False):
+        config = with_membership_steps(config)
     return config
 
 
@@ -55,13 +61,16 @@ def sweep_config(
     ops: int = 25,
     corruption: bool = False,
     traffic: bool = False,
+    membership: bool = False,
 ) -> DstConfig:
     """The nightly mix: even seeds run fault-free (full model check),
     odd seeds run under crash cycles, fault storms and message loss.
     ``corruption=True`` runs *every* seed under the corruption-storm
     mix instead (the nightly integrity sweep).  ``traffic=True`` layers
     the traffic-reduction flags (negative cache, group commit, gossip
-    digests, PUT elision) over whichever base config the seed gets."""
+    digests, PUT elision) over whichever base config the seed gets.
+    ``membership=True`` weaves elastic-membership churn on top -- the
+    nightly rebalance-storm sweep."""
     if corruption:
         config = corruption_config(sessions=sessions, ops_per_session=ops)
     elif seed % 2 == 0:
@@ -70,6 +79,8 @@ def sweep_config(
         config = faulty_config(sessions=sessions, ops_per_session=ops)
     if traffic:
         config = with_traffic_flags(config)
+    if membership:
+        config = with_membership_steps(config)
     return config
 
 
@@ -116,6 +127,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 args.ops,
                 args.corruption,
                 traffic=getattr(args, "traffic", False),
+                membership=getattr(args, "membership", False),
             ),
         )
         if result.ok:
@@ -199,6 +211,12 @@ def main(argv: list[str]) -> int:
             help="traffic-reduction flags on: negative cache, group "
             "commit, gossip digests, PUT elision",
         )
+        p.add_argument(
+            "--membership",
+            action="store_true",
+            help="weave elastic-membership churn: joins, drains, "
+            "removals and live rebalance batches (V7 oracle)",
+        )
 
     p_run = sub.add_parser("run", help="execute one seed")
     p_run.add_argument("--seed", type=int, default=0)
@@ -222,6 +240,11 @@ def main(argv: list[str]) -> int:
         "--traffic",
         action="store_true",
         help="layer the traffic-reduction flags over every seed's config",
+    )
+    p_sweep.add_argument(
+        "--membership",
+        action="store_true",
+        help="weave elastic-membership churn over every seed's config",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 

@@ -60,6 +60,12 @@ class DstConfig:
     gossip_digests: bool = False
     memoize_serialization: bool = False
     flush_rate: float = 0.0  # per-step probability of a group flush
+    # Elastic membership (all default off so pre-membership corpus
+    # schedules replay bit-identically -- same rate-guard idiom as the
+    # corruption and traffic knobs above):
+    membership_rate: float = 0.0  # per-step p(open an epoch transition)
+    rebalance_rate: float = 0.0  # per-step p(one bounded migration batch)
+    max_membership: int = 3  # cap on transitions per schedule
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -104,6 +110,22 @@ def corruption_config(**overrides) -> DstConfig:
     )
     base.update(overrides)
     return DstConfig(**base)
+
+
+def with_membership_steps(config: DstConfig) -> DstConfig:
+    """``config`` with elastic-membership churn woven into the run.
+
+    Used by ``dst run|sweep|shrink --membership``: node joins, graceful
+    drains and crash-style removals open epoch transitions mid-run, and
+    explicit ``rebalance`` steps drain the migration plan in bounded
+    batches *between* client ops, faults and corruption events -- the
+    dual-ownership window stays open across whatever the rest of the
+    schedule throws at it.  The V7 oracle then insists that after
+    quiesce no object is lost, unreadable, or double-owned.
+    """
+    from dataclasses import replace
+
+    return replace(config, membership_rate=0.02, rebalance_rate=0.20)
 
 
 def with_traffic_flags(config: DstConfig) -> DstConfig:
@@ -157,6 +179,13 @@ class ScheduleExplorer:
         cursors = [0] * cfg.sessions
         down: list[int] = []  # nodes currently crashed, with a recovery due
         recover_after = 0  # steps until the pending recovery is emitted
+        # Elastic membership bookkeeping: which node ids the explorer
+        # believes exist (the runner re-validates -- a drain aimed at an
+        # already-departed node deterministically reports ``busy`` or
+        # ``no_such_node`` rather than failing).
+        population = list(range(1, cfg.storage_nodes + 1))
+        next_node = cfg.storage_nodes + 1
+        transitions = 0
         while True:
             live = [
                 k for k in range(cfg.sessions) if cursors[k] < len(streams[k])
@@ -209,6 +238,26 @@ class ScheduleExplorer:
                         "flush_groups",
                         args={"mw": rng.randrange(cfg.middlewares)},
                     )
+                )
+            # Elastic membership churn (rate guards again: with the
+            # knobs at 0 the rng stream is untouched, so pre-membership
+            # schedules re-explore bit-identically).
+            if cfg.membership_rate and rng.random() < cfg.membership_rate:
+                if transitions < cfg.max_membership:
+                    roll = rng.random()
+                    if roll < 0.45 or len(population) <= cfg.replicas:
+                        steps.append(Step("add_node"))
+                        population.append(next_node)
+                        next_node += 1
+                    else:
+                        victim = population[rng.randrange(len(population))]
+                        kind = "drain_node" if roll < 0.80 else "remove_node"
+                        steps.append(Step(kind, args={"node": victim}))
+                        population.remove(victim)
+                    transitions += 1
+            if cfg.rebalance_rate and rng.random() < cfg.rebalance_rate:
+                steps.append(
+                    Step("rebalance", args={"max": rng.choice((4, 8, 16))})
                 )
             # Background protocol steps.
             for kind, p in _BG_WEIGHTS:

@@ -28,6 +28,14 @@ converged, GC run), these checks must all hold:
   either healed (read-repair, repair sweep, scrub) or reported --
   never silently retained, and (by the verified read path) never
   served.
+* **V7 membership convergence** -- after quiesce no epoch transition
+  is still open (every migration window drained and finalized), and
+  every registered object is held by *exactly* its current replica
+  set: no partition lost (a replica missing from an owner), none
+  double-owned (a stray replica on a node outside the owner set --
+  e.g. an old-epoch owner that was never released, or a departed
+  epoch's copy resurrected by repair).  Holds vacuously for schedules
+  without membership steps, so it runs unconditionally.
 
 Unrecoverable objects -- every replica rotted, nothing to heal from --
 are a *legal* outcome of a corruption storm provided they are reported:
@@ -189,6 +197,45 @@ def check_invariants(fs, model: ModelFS | None = None) -> list[InvariantViolatio
                         f"object is not reported unrecoverable",
                     )
                 )
+
+    # V7: membership convergence.  The quiesced cluster must be out of
+    # any migration window, and holders must equal owners exactly --
+    # no object lost from its replica set, none double-owned by a node
+    # outside it.  Unrecoverable objects are exempt from the "owners
+    # hold it" half (a wiped-out partition cannot be re-replicated) but
+    # not from the stray-copy half.
+    membership = getattr(store, "membership", None)
+    if membership is not None and membership.in_transition:
+        violations.append(
+            InvariantViolation(
+                "V7",
+                "migration window still open after quiesce: "
+                f"{membership.plan.describe()}",
+            )
+        )
+    for name in sorted(store.names()):
+        owners = set(store.ring.nodes_for(name))
+        holders = {
+            node_id
+            for node_id, node in store.nodes.items()
+            if node.peek(name) is not None
+        }
+        if name not in reported and not owners <= holders:
+            violations.append(
+                InvariantViolation(
+                    "V7",
+                    f"partition lost: {name} missing from owner(s) "
+                    f"{sorted(owners - holders)}",
+                )
+            )
+        if holders - owners:
+            violations.append(
+                InvariantViolation(
+                    "V7",
+                    f"double-owned: {name} also held by non-owner(s) "
+                    f"{sorted(holders - owners)}",
+                )
+            )
     return violations
 
 

@@ -37,7 +37,12 @@ from ..core.fs import H2CloudFS
 from ..core.gc import collect_once
 from ..core.middleware import H2Config
 from ..simcloud.cluster import ClusterConfig, SwiftCluster
-from ..simcloud.errors import CorruptObjectError, FilesystemError, SimCloudError
+from ..simcloud.errors import (
+    CorruptObjectError,
+    FilesystemError,
+    MembershipError,
+    SimCloudError,
+)
 from ..simcloud.failures import FaultPlan, MessageLoss
 from ..simcloud.latency import LatencyModel
 from ..testing.model import ModelFS
@@ -291,6 +296,39 @@ class _Run:
         if kind == "advance":
             cluster.step(step.args["delta_us"])
             return "advanced"
+        if kind == "add_node":
+            try:
+                node = cluster.membership.add_node(
+                    weight=step.args.get("weight", 1.0)
+                )
+            except MembershipError:
+                return "busy"
+            return f"add:{node.node_id}"
+        if kind == "drain_node":
+            node = step.args["node"]
+            if node not in cluster.nodes:
+                return "no_such_node"
+            try:
+                cluster.membership.drain_node(node)
+            except MembershipError:
+                return "busy"
+            return f"drain:{node}"
+        if kind == "remove_node":
+            node = step.args["node"]
+            if node not in cluster.nodes:
+                return "no_such_node"
+            try:
+                cluster.membership.remove_node(node)
+            except MembershipError:
+                return "busy"
+            return f"remove:{node}"
+        if kind == "rebalance":
+            moved = cluster.membership.sweeper.step(
+                max_objects=step.args.get("max", 16)
+            )
+            if not cluster.membership.in_transition and not moved:
+                return "idle"
+            return f"moved:{moved}:{cluster.membership.pending_moves}"
         raise AssertionError(f"unhandled step kind {kind!r}")
 
     # ------------------------------------------------------------------
@@ -406,6 +444,11 @@ class _Run:
         # oracle would blame the resulting divergence on the protocols.
         for breaker in fs.store.breakers.values():
             breaker.record_success(fs.clock.now_us)
+        # Close any open migration window first: repair and the oracle
+        # both reason about the *current* epoch's placement, so the
+        # dual-ownership view must drain before they run.  Every node
+        # is back up by now, so the sweeper is guaranteed to finish.
+        cluster.membership.quiesce()
         fs.repair()
         fs.pump()
         self._revalidate_caches()

@@ -42,6 +42,10 @@ from .ops import ClientOp
 #   storm_on    duration_us  -- open the fault-plan window
 #   storm_off                -- close the fault-plan window
 #   advance     delta_us     -- advance the simulated clock
+#   add_node    [weight]     -- elastic membership: join one node
+#   drain_node  node         -- graceful decommission of ``node``
+#   remove_node node         -- crash-style departure of ``node``
+#   rebalance   [max]        -- one bounded migration batch
 STEP_KINDS = frozenset(
     {
         "op",
@@ -59,6 +63,10 @@ STEP_KINDS = frozenset(
         "storm_on",
         "storm_off",
         "advance",
+        "add_node",
+        "drain_node",
+        "remove_node",
+        "rebalance",
     }
 )
 

@@ -22,6 +22,7 @@ from .errors import (
     FilesystemError,
     InvalidPath,
     IsADirectory,
+    MembershipError,
     NodeDown,
     NotADirectory,
     ObjectAlreadyExists,
@@ -45,6 +46,7 @@ from .failures import (
 from .hashring import HashRing, hash_key
 from .integrity import checksum_of, corrupt_record, crc32c, verify_record
 from .latency import CostLedger, Jitter, LatencyModel
+from .membership import ClusterMembership, RebalanceSweeper, TransitionPlan
 from .node import NodeStats, ObjectRecord, StorageNode
 from .object_store import ObjectInfo, ObjectStore
 from .repair import RepairReport, RepairSweeper
@@ -65,6 +67,7 @@ __all__ = [
     "CircuitBreaker",
     "CircuitOpenError",
     "ClusterConfig",
+    "ClusterMembership",
     "ContainerDB",
     "CorruptObjectError",
     "CostLedger",
@@ -81,6 +84,7 @@ __all__ = [
     "IsADirectory",
     "Jitter",
     "LatencyModel",
+    "MembershipError",
     "MessageLoss",
     "NodeDown",
     "NodeStats",
@@ -93,6 +97,7 @@ __all__ = [
     "PathNotFound",
     "PreconditionFailed",
     "QuorumError",
+    "RebalanceSweeper",
     "RepairReport",
     "RepairSweeper",
     "RequestTimeout",
@@ -111,6 +116,7 @@ __all__ = [
     "Timestamp",
     "TimestampFactory",
     "TransientIOError",
+    "TransitionPlan",
     "checksum_of",
     "corrupt_record",
     "crc32c",

@@ -16,6 +16,7 @@ from .clock import SimClock
 from .failures import FailureSchedule, FaultPlan
 from .hashring import HashRing
 from .latency import LatencyModel
+from .membership import ClusterMembership
 from .node import StorageNode
 from .object_store import ObjectStore
 from .repair import RepairReport, RepairSweeper
@@ -37,6 +38,15 @@ class ClusterConfig:
             raise ValueError("need at least one storage node")
         if self.replicas < 1:
             raise ValueError("need at least one replica")
+        # An out-of-range quorum used to be accepted here and only blow
+        # up (or silently never be met) deep inside the first PUT.
+        if self.write_quorum is not None and not (
+            1 <= self.write_quorum <= self.replicas
+        ):
+            raise ValueError(
+                f"write_quorum must satisfy 1 <= q <= replicas "
+                f"({self.write_quorum} vs {self.replicas} replicas)"
+            )
 
 
 class SwiftCluster:
@@ -78,6 +88,11 @@ class SwiftCluster:
         self.fault_plan: FaultPlan | None = None
         if fault_plan is not None:
             self.install_fault_plan(fault_plan)
+        # Elastic membership: epoch-versioned join/drain/remove with
+        # live rebalancing.  The store holds a back-reference so its
+        # read/write paths can honour an open migration window.
+        self.membership = ClusterMembership(self)
+        self.store.membership = self.membership
 
     # ------------------------------------------------------------------
     # convenience constructors

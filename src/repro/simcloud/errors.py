@@ -21,6 +21,16 @@ class RingError(SimCloudError):
     """
 
 
+class MembershipError(SimCloudError):
+    """An elastic-membership transition was refused.
+
+    Raised when a join/drain/remove would be unsafe right now: a
+    previous transition's migration window is still open (one epoch
+    change at a time), the node id is unknown, or the departure would
+    leave the ring empty.
+    """
+
+
 class ObjectNotFound(SimCloudError, KeyError):
     """GET/HEAD/DELETE addressed an object name that does not exist."""
 

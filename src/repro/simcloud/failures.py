@@ -161,6 +161,21 @@ class FailureSchedule:
     def pending(self) -> tuple[FailureEvent, ...]:
         return tuple(event for _, _, event in sorted(self._heap))
 
+    def discard_node(self, node_id: int) -> int:
+        """Drop pending events addressed to a departed node.
+
+        Called when elastic membership retires a node: an event firing
+        for a node that no longer exists would be meaningless (and
+        :meth:`pump` would fail looking it up).  Returns how many
+        events were dropped.
+        """
+        keep = [entry for entry in self._heap if entry[2].node_id != node_id]
+        dropped = len(self._heap) - len(keep)
+        if dropped:
+            self._heap = keep
+            heapq.heapify(self._heap)
+        return dropped
+
     def clear_pending(self) -> int:
         """Drop every not-yet-applied event; returns how many were dropped.
 

@@ -57,15 +57,26 @@ class HashRing:
         self._points: list[int] = []
         self._tokens: list[_Token] = []
         self._node_ids: set[int] = set()
+        self._weights: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # membership
     # ------------------------------------------------------------------
-    def add_node(self, node_id: int) -> None:
+    def add_node(self, node_id: int, weight: float = 1.0) -> None:
+        """Project ``node_id`` onto the ring with ``weight`` × vnodes tokens.
+
+        Weight scales the node's token count (and therefore its expected
+        key share): 0.5 claims roughly half a fair share, 2.0 roughly
+        double.  Weight 1.0 places exactly the classic ``vnodes`` tokens,
+        byte-identical to the unweighted construction.
+        """
         if node_id in self._node_ids:
             raise RingError(f"node {node_id} already on the ring")
+        if weight <= 0:
+            raise RingError("node weight must be > 0")
         self._node_ids.add(node_id)
-        for i in range(self.vnodes):
+        self._weights[node_id] = weight
+        for i in range(max(1, round(self.vnodes * weight))):
             point = hash_key(f"node-{node_id}-vnode-{i}")
             idx = bisect.bisect_left(self._points, point)
             # md5 collisions between distinct vnode labels are not a
@@ -80,9 +91,27 @@ class HashRing:
         if node_id not in self._node_ids:
             raise RingError(f"node {node_id} not on the ring")
         self._node_ids.discard(node_id)
+        self._weights.pop(node_id, None)
         keep = [(t.point, t) for t in self._tokens if t.node_id != node_id]
         self._points = [p for p, _ in keep]
         self._tokens = [t for _, t in keep]
+
+    def copy(self) -> "HashRing":
+        """An independent snapshot with identical token placement.
+
+        Used by the membership controller to freeze the *old* epoch's
+        placement while the live ring mutates underneath a transition.
+        """
+        clone = HashRing(replicas=self.replicas, vnodes=self.vnodes)
+        clone._points = list(self._points)
+        clone._tokens = list(self._tokens)
+        clone._node_ids = set(self._node_ids)
+        clone._weights = dict(self._weights)
+        return clone
+
+    def weight_of(self, node_id: int) -> float:
+        """The weight ``node_id`` was added with (1.0 if unrecorded)."""
+        return self._weights.get(node_id, 1.0)
 
     @property
     def node_ids(self) -> frozenset[int]:

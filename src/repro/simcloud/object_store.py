@@ -113,6 +113,10 @@ class ObjectStore:
         }
         self.resilience = ResilienceStats()
         self.fault_plan = None  # installed via SwiftCluster.install_fault_plan
+        # Elastic membership (set by SwiftCluster): while a migration
+        # window is open, reads and writes consult the dual-ownership
+        # view (current epoch union the previous epoch's owners).
+        self.membership = None
         # Observability: a deployment with tracing enabled swaps in its
         # shared Tracer so retry/breaker events join the span trees.
         self.tracer = NULL_TRACER
@@ -224,6 +228,34 @@ class ObjectStore:
         return self.fault_plan.suspended()
 
     # ------------------------------------------------------------------
+    # dual-ownership placement (open migration windows only)
+    # ------------------------------------------------------------------
+    def _migration_extras(self, name: str, owners: Sequence[int]) -> tuple[int, ...]:
+        """Old-epoch owners of ``name`` not in the current replica set.
+
+        Empty in steady state (no membership controller, or no open
+        window), so every placement-sensitive path below degenerates to
+        the classic single-ring behaviour at zero cost.
+        """
+        m = self.membership
+        if m is None or m.plan is None:
+            return ()
+        return tuple(
+            nid for nid in m.old_owners_for(name) if nid not in owners
+        )
+
+    def maintenance_nodes_for(self, name: str) -> list[int]:
+        """Replica set for maintenance sweeps: both epochs during a window.
+
+        Repair and scrub walk this union so that mid-rebalance healing
+        reaches the old owners still serving dual reads; the stray
+        copies it writes there are dropped at handoff finalize.
+        """
+        owners = list(self.ring.nodes_for(name))
+        owners.extend(self._migration_extras(name, owners))
+        return owners
+
+    # ------------------------------------------------------------------
     # primitives
     # ------------------------------------------------------------------
     def put(
@@ -247,7 +279,8 @@ class ObjectStore:
         previous: dict[int, ObjectRecord | None] = {}
         disk_costs: list[int] = []
         written = 0
-        for node_id in self.ring.nodes_for(name):
+        owners = self.ring.nodes_for(name)
+        for node_id in owners:
             node = self.nodes[node_id]
             if node.is_down:
                 continue
@@ -262,6 +295,22 @@ class ObjectStore:
             previous[node_id] = old
             disk_costs.append(cost)
             written += 1
+        # Migration window: write through to the old epoch's owners so
+        # a dual read served by either epoch observes this write.
+        # Best-effort -- the quorum is judged against the new owners
+        # only -- but an undone quorum failure rolls these back too.
+        for node_id in self._migration_extras(name, owners):
+            node = self.nodes[node_id]
+            if node.is_down:
+                continue
+            old = node.peek(name)
+            try:
+                cost = self._attempt(node, lambda node=node: node.write(record))
+            except _UNREACHABLE:
+                continue
+            previous[node_id] = old
+            disk_costs.append(cost)
+            self.membership.write_throughs += 1
         if written < min(self.write_quorum, len(self.ring.node_ids)):
             # Failed write: undo the partial replicas so a quorum
             # failure is atomic from the client's point of view
@@ -361,7 +410,9 @@ class ObjectStore:
                 return
             raise ObjectNotFound(name)
         disk_costs = [0]
-        for node_id in self.ring.nodes_for(name):
+        # During a migration window the tombstone must reach both
+        # epochs' owners, or a dual read could resurrect the object.
+        for node_id in self.maintenance_nodes_for(name):
             node = self.nodes[node_id]
             if node.is_down or not node.peek(name):
                 continue
@@ -422,7 +473,14 @@ class ObjectStore:
         gets :class:`CorruptObjectError` rather than garbage.
         """
         now_us = self.clock.now_us
-        placement = self.ring.nodes_for(name)
+        placement = list(self.ring.nodes_for(name))
+        extras = self._migration_extras(name, placement)
+        if extras:
+            # Dual-ownership read: the new owners may not hold the
+            # object yet, so the old epoch's owners back them up until
+            # the partition's handoff completes.
+            placement.extend(extras)
+            self.membership.dual_reads += 1
         bad = self.quarantine.get(name, set())
         preferred = [
             nid

@@ -80,7 +80,10 @@ class RepairSweeper:
                 source = None
                 reachable = []
                 corrupt = []
-                for node_id in store.ring.nodes_for(name):
+                # Both epochs' owners during a migration window, so
+                # mid-rebalance healing also refreshes the old owners
+                # still serving dual reads.
+                for node_id in store.maintenance_nodes_for(name):
                     node = store.nodes[node_id]
                     if node.is_down:
                         continue

@@ -97,7 +97,8 @@ class Scrubber:
         store = self._store
         source = None
         corrupt: list[tuple[int, object]] = []
-        for node_id in store.ring.nodes_for(name):
+        # Union of both epochs' owners while a migration window is open.
+        for node_id in store.maintenance_nodes_for(name):
             node = store.nodes[node_id]
             if node.is_down:
                 continue

@@ -74,6 +74,15 @@ class TestGuard:
 
         (directory / "BENCH_headline.json").write_text(json.dumps(headline))
         (directory / "BENCH_maintenance.json").write_text(json.dumps(maintenance))
+        # A guard run needs the full artifact set; the rebalance doc is
+        # constant across these scenarios.
+        rebalance = {
+            "scale": headline["scale"],
+            "sim_makespan_ms": 300.0,
+            "steady": {"read_p99_ms": 5.0, "write_p99_ms": 20.0},
+            "migration": {"read_p99_ms": 6.0, "write_p99_ms": 22.0},
+        }
+        (directory / "BENCH_rebalance.json").write_text(json.dumps(rebalance))
 
     def _docs(self):
         headline = {

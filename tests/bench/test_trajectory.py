@@ -43,11 +43,12 @@ class TestMaintenance:
 
 
 class TestArtifacts:
-    def test_write_both_files(self, tmp_path):
+    def test_write_all_files(self, tmp_path):
         written = write_bench_artifacts(tmp_path)
         assert [p.name for p in written] == [
             "BENCH_headline.json",
             "BENCH_maintenance.json",
+            "BENCH_rebalance.json",
         ]
         for path in written:
             doc = json.loads(path.read_text())
@@ -58,3 +59,4 @@ class TestArtifacts:
         out = capsys.readouterr().out
         assert "BENCH_headline.json" in out
         assert (tmp_path / "BENCH_maintenance.json").exists()
+        assert (tmp_path / "BENCH_rebalance.json").exists()

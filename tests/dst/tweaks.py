@@ -64,6 +64,20 @@ def blind_compaction_write(fs) -> None:
         mw._write_back_compacted = blind_write_back
 
 
+def leak_handoff_releases(fs) -> None:
+    """Handoffs never release the old epoch's replicas.
+
+    Reintroduces the membership bug the V7 oracle exists to catch: the
+    migration window copies every partition to its new owners but the
+    finalize/quiesce release pass is a no-op, so the previous epoch's
+    owners keep serving copies they no longer own.  Repair and GC never
+    *remove* replicas, so nothing else notices -- only the post-quiesce
+    holders-equal-owners check (V7 "double-owned") exposes the leak.
+    """
+    membership = fs.store.membership
+    membership.release_stray_replicas = lambda: 0
+
+
 def lose_merge_updates(fs) -> None:
     """Make every second merger write-back silently drop one child.
 

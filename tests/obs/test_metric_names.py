@@ -55,6 +55,16 @@ GOLDEN_KEYS = frozenset(
         "traffic.patches_coalesced",
         "traffic.put_elisions",
         "traffic.digest_skips",
+        "membership.epoch",
+        "membership.transitions",
+        "membership.pending_moves",
+        "membership.partitions_moved",
+        "membership.bytes_migrated",
+        "membership.dual_reads",
+        "membership.write_throughs",
+        "membership.handoffs",
+        "membership.handoff_p50_ms",
+        "membership.handoff_p99_ms",
         "gc.passes",
         "gc.swept",
         "gc.reclaimed_bytes",

@@ -52,6 +52,30 @@ class TestOverheadGuard:
         assert fs.tracer.noop
         assert mw.monitor.snapshot().get("op.read_relative.count", 0) == 0
 
+    def test_fast_path_skips_membership_instrumentation(self):
+        """A transition on an unobserved deployment emits no trace
+        events: every membership tracer call sits behind the noop
+        guard, so the fast path pays only plain-int counters."""
+        fs, _ = build(observe=False)
+        membership = fs.store.membership
+        membership.add_node()
+        membership.quiesce()
+        assert fs.tracer.noop
+        assert not fs.tracer.spans
+        assert membership.transitions == 1  # counters still work
+
+    def test_instrumented_path_records_membership_events(self):
+        fs, _ = build(observe=True)
+        membership = fs.store.membership
+        membership.add_node()
+        membership.quiesce()
+        names = {event.name for event in fs.tracer.spans}
+        assert "membership.transition" in names
+        assert "membership.handoff" in names
+        snapshot = fs.middlewares[0].monitor.snapshot()
+        assert snapshot["membership.transitions"] == 1
+        assert snapshot["membership.handoffs"] == 1
+
     def test_instrumented_path_records(self):
         fs, rel = build(observe=True)
         fs.read_relative(rel)

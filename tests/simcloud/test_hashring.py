@@ -138,3 +138,105 @@ class TestChurn:
         for key in KEYS[:100]:
             if before.primary_for(key) != victim:
                 assert after.primary_for(key) == before.primary_for(key)
+
+
+class TestChurnProperties:
+    """Property suite for the move-minimality the rebalancer relies on.
+
+    The membership controller's transition plan is exactly the set of
+    keys :meth:`moved_fraction` counts, so these bounds are what keep
+    a node join from turning into a full reshuffle.
+    """
+
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_add_then_remove_is_a_placement_noop(self, n_nodes, extra):
+        ring = make_ring(n_nodes, vnodes=32)
+        reference = make_ring(n_nodes, vnodes=32)
+        joined = n_nodes + 1 + extra
+        ring.add_node(joined)
+        ring.remove_node(joined)
+        assert ring.moved_fraction(reference, KEYS[:400]) == 0.0
+        for key in KEYS[:200]:
+            assert ring.nodes_for(key) == reference.nodes_for(key)
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=12, deadline=None)
+    def test_single_join_moves_at_most_its_token_share(self, n_nodes):
+        """Adding one node moves ~its token fraction of primaries.
+
+        The joining node owns ``vnodes`` of the ring's
+        ``(n+1) * vnodes`` tokens; its expected primary share is that
+        fraction.  Allow 2x for token-placement variance plus an
+        additive epsilon for key-sampling noise -- still far below the
+        full reshuffle a modulo-placement scheme would cost.
+        """
+        vnodes = 64
+        before = make_ring(n_nodes, vnodes=vnodes)
+        after = make_ring(n_nodes, vnodes=vnodes)
+        after.add_node(n_nodes + 1)
+        total_tokens = (n_nodes + 1) * vnodes
+        share = vnodes / total_tokens
+        moved = before.moved_fraction(after, KEYS)
+        assert 0.0 < moved <= 2.0 * share + 0.05
+
+    @given(st.integers(min_value=3, max_value=12))
+    @settings(max_examples=12, deadline=None)
+    def test_single_departure_moves_at_most_its_token_share(self, n_nodes):
+        vnodes = 64
+        before = make_ring(n_nodes, vnodes=vnodes)
+        after = make_ring(n_nodes, vnodes=vnodes)
+        after.remove_node(n_nodes)
+        share = vnodes / (n_nodes * vnodes)
+        moved = before.moved_fraction(after, KEYS)
+        assert 0.0 < moved <= 2.0 * share + 0.05
+
+
+class TestWeightsAndCopy:
+    def test_rejects_nonpositive_weight(self):
+        ring = make_ring(2)
+        with pytest.raises(RingError):
+            ring.add_node(3, weight=0.0)
+        with pytest.raises(RingError):
+            ring.add_node(3, weight=-1.0)
+
+    def test_weight_one_is_placement_identical_to_unweighted(self):
+        plain, weighted = make_ring(0), make_ring(0)
+        for node_id in range(1, 7):
+            plain.add_node(node_id)
+            weighted.add_node(node_id, weight=1.0)
+        assert plain.moved_fraction(weighted, KEYS[:500]) == 0.0
+
+    def test_heavier_node_takes_a_larger_share(self):
+        ring = HashRing(replicas=3, vnodes=64)
+        for node_id in (1, 2, 3, 4):
+            ring.add_node(node_id)
+        ring.add_node(5, weight=3.0)
+        counts = ring.load_distribution(KEYS)
+        fair = len(KEYS) / 5
+        assert counts[5] > 1.5 * fair  # triple-weight beats a fair share
+
+    def test_weight_of_reports_and_survives_copy(self):
+        ring = make_ring(2)
+        ring.add_node(3, weight=2.5)
+        assert ring.weight_of(3) == 2.5
+        assert ring.weight_of(1) == 1.0
+        assert ring.copy().weight_of(3) == 2.5
+
+    def test_copy_is_independent_of_the_original(self):
+        ring = make_ring(6)
+        frozen = ring.copy()
+        ring.add_node(7)
+        ring.remove_node(1)
+        reference = make_ring(6)
+        assert frozen.moved_fraction(reference, KEYS[:300]) == 0.0
+        assert frozen.node_ids == frozenset(range(1, 7))
+
+    def test_copy_places_identically(self):
+        ring = make_ring(5)
+        clone = ring.copy()
+        for key in KEYS[:300]:
+            assert clone.nodes_for(key) == ring.nodes_for(key)

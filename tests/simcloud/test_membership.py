@@ -1,0 +1,298 @@
+"""Tests for elastic cluster membership: epochs, windows, live rebalance."""
+
+import pytest
+
+from repro.simcloud import (
+    ClusterConfig,
+    FaultPlan,
+    MembershipError,
+    SwiftCluster,
+)
+
+
+def loaded(n_objects: int = 80) -> SwiftCluster:
+    cluster = SwiftCluster.fast()
+    for i in range(n_objects):
+        cluster.store.put(f"obj/{i:03d}", bytes([i % 251]) * 32)
+    return cluster
+
+
+def holders_of(cluster: SwiftCluster, name: str) -> set[int]:
+    return {
+        nid
+        for nid, node in cluster.nodes.items()
+        if node.peek(name) is not None
+    }
+
+
+def assert_converged(cluster: SwiftCluster) -> None:
+    for name in cluster.store.names():
+        assert holders_of(cluster, name) == set(cluster.ring.nodes_for(name))
+
+
+class TestWriteQuorumValidation:
+    """Regression: an out-of-range quorum must fail at construction."""
+
+    def test_zero_quorum_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(write_quorum=0)
+
+    def test_quorum_above_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(replicas=3, write_quorum=4)
+
+    def test_negative_quorum_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(write_quorum=-1)
+
+    def test_boundary_quorums_accepted(self):
+        assert ClusterConfig(replicas=3, write_quorum=1).write_quorum == 1
+        assert ClusterConfig(replicas=3, write_quorum=3).write_quorum == 3
+        assert ClusterConfig().write_quorum is None
+
+
+class TestAddNode:
+    def test_join_opens_a_window_and_bumps_the_epoch(self):
+        cluster = loaded()
+        m = cluster.membership
+        assert m.epoch == 1 and not m.in_transition
+        node = m.add_node()
+        assert node.node_id in cluster.nodes
+        assert node.node_id in cluster.ring.node_ids
+        assert m.epoch == 2 and m.in_transition
+        assert m.pending_moves > 0
+
+    def test_plan_is_move_minimal(self):
+        cluster = loaded()
+        m = cluster.membership
+        before = {
+            name: set(cluster.ring.nodes_for(name))
+            for name in cluster.store.names()
+        }
+        m.add_node()
+        changed = {
+            name
+            for name in before
+            if set(cluster.ring.nodes_for(name)) != before[name]
+        }
+        assert set(m.plan.pending) == changed
+
+    def test_sweeper_drains_and_finalizes(self):
+        cluster = loaded()
+        m = cluster.membership
+        m.add_node()
+        while m.in_transition:
+            assert m.sweeper.step(max_objects=16) >= 0
+        assert m.pending_moves == 0
+        assert len(m.handoff_us) == 1
+        assert_converged(cluster)
+
+    def test_second_transition_while_open_is_refused(self):
+        cluster = loaded()
+        m = cluster.membership
+        m.add_node()
+        with pytest.raises(MembershipError):
+            m.add_node()
+        with pytest.raises(MembershipError):
+            m.drain_node(1)
+        with pytest.raises(MembershipError):
+            m.remove_node(1)
+
+    def test_weighted_join_takes_a_larger_share(self):
+        cluster = loaded(160)
+        m = cluster.membership
+        node = m.add_node(weight=3.0)
+        m.quiesce()
+        fair = sum(n.object_count for n in cluster.nodes.values()) / len(
+            cluster.nodes
+        )
+        assert node.object_count > fair
+
+    def test_reads_work_mid_window(self):
+        cluster = loaded()
+        m = cluster.membership
+        m.add_node()
+        for i in range(0, 80, 7):
+            assert cluster.store.get(f"obj/{i:03d}").data
+        assert m.dual_reads > 0
+
+    def test_writes_mid_window_reach_both_epochs(self):
+        cluster = loaded()
+        m = cluster.membership
+        m.add_node()
+        # New writes to migrating names must land on the new owners and
+        # write through to the old owners still serving reads.
+        for name in list(m.plan.pending)[:5]:
+            cluster.store.put(name, b"mid-window")
+        assert m.write_throughs > 0
+        m.quiesce()
+        assert_converged(cluster)
+        for name in cluster.store.names():
+            if cluster.store.get(name).data == b"mid-window":
+                break
+        else:  # pragma: no cover - would mean the writes vanished
+            pytest.fail("mid-window writes not readable after handoff")
+
+
+class TestDrainNode:
+    def test_drain_retires_the_node_after_handoff(self):
+        cluster = loaded()
+        m = cluster.membership
+        victim = max(cluster.nodes)
+        m.drain_node(victim)
+        assert victim not in cluster.ring.node_ids
+        assert victim in cluster.nodes  # still serving its replicas
+        m.quiesce()
+        assert victim not in cluster.nodes
+        assert_converged(cluster)
+
+    def test_drained_node_serves_reads_until_handoff(self):
+        cluster = loaded()
+        m = cluster.membership
+        victim = max(cluster.nodes)
+        held = [
+            name
+            for name in cluster.store.names()
+            if cluster.nodes[victim].peek(name) is not None
+        ]
+        m.drain_node(victim)
+        for name in held[:10]:
+            assert cluster.store.get(name).data
+
+    def test_unknown_node_refused(self):
+        cluster = loaded()
+        with pytest.raises(MembershipError):
+            cluster.membership.drain_node(999)
+
+    def test_cannot_drain_the_last_node(self):
+        cluster = SwiftCluster(ClusterConfig(storage_nodes=1, replicas=1))
+        cluster.store.put("solo", b"x")
+        with pytest.raises(MembershipError):
+            cluster.membership.drain_node(1)
+
+
+class TestRemoveNode:
+    def test_remove_vanishes_the_node_and_rereplicates(self):
+        cluster = loaded()
+        m = cluster.membership
+        victim = max(cluster.nodes)
+        m.remove_node(victim)
+        assert victim not in cluster.nodes
+        assert victim not in cluster.store.breakers
+        m.quiesce()
+        assert_converged(cluster)
+
+    def test_all_data_survives_a_removal(self):
+        cluster = loaded()
+        m = cluster.membership
+        m.remove_node(max(cluster.nodes))
+        m.quiesce()
+        for i in range(80):
+            record = cluster.store.get(f"obj/{i:03d}")
+            assert record.data == bytes([i % 251]) * 32
+
+    def test_pending_failure_events_for_the_node_are_discarded(self):
+        cluster = loaded()
+        victim = max(cluster.nodes)
+        cluster.failures.crash_at(cluster.clock.now_us + 1_000, victim)
+        cluster.membership.remove_node(victim)
+        cluster.clock.advance(10_000)
+        cluster.failures.pump()  # must not resurrect or crash a ghost
+        assert victim not in cluster.nodes
+
+
+class TestFaultTolerantSweeper:
+    def test_down_target_leaves_partition_pending(self):
+        cluster = loaded()
+        m = cluster.membership
+        node = m.add_node()
+        node.crash()
+        moved_while_down = 0
+        for _ in range(10):
+            moved_while_down += m.sweeper.step(max_objects=16)
+        assert m.in_transition  # its partitions cannot complete yet
+        node.recover()
+        m.quiesce()
+        assert_converged(cluster)
+
+    def test_injected_faults_only_delay_the_handoff(self):
+        cluster = SwiftCluster.fast()
+        for i in range(60):
+            cluster.store.put(f"obj/{i:03d}", bytes([i % 251]) * 32)
+        cluster.install_fault_plan(FaultPlan(seed=3, io_error_rate=0.3))
+        m = cluster.membership
+        m.add_node()
+        for _ in range(200):
+            if not m.in_transition:
+                break
+            m.sweeper.step(max_objects=8)
+        m.quiesce()  # fault-suspended: drains whatever remains
+        assert_converged(cluster)
+
+    def test_never_migrates_from_an_unverified_replica(self):
+        cluster = loaded(20)
+        m = cluster.membership
+        # Rot every replica of one object: no verified source exists.
+        victim = next(iter(cluster.store.names()))
+        for nid in cluster.ring.nodes_for(victim):
+            cluster.nodes[nid].corrupt_object(victim, mode="bitflip")
+        m.add_node()
+        for _ in range(50):
+            if not m.in_transition:
+                break
+            m.sweeper.step(max_objects=16)
+        if m.in_transition:  # only the rotten partition may remain
+            assert set(m.plan.pending) <= {victim}
+
+    def test_deleted_mid_window_objects_drop_out_of_the_plan(self):
+        cluster = loaded()
+        m = cluster.membership
+        m.add_node()
+        doomed = list(m.plan.pending)[:3]
+        for name in doomed:
+            cluster.store.delete(name)
+        m.quiesce()
+        assert_converged(cluster)
+
+
+class TestFinalize:
+    def test_finalize_with_pending_work_is_refused(self):
+        cluster = loaded()
+        m = cluster.membership
+        m.add_node()
+        with pytest.raises(MembershipError):
+            m.finalize()
+
+    def test_handoff_latency_recorded_per_transition(self):
+        cluster = loaded()
+        m = cluster.membership
+        m.add_node()
+        m.quiesce()
+        m.drain_node(max(cluster.nodes))
+        m.quiesce()
+        assert len(m.handoff_us) == 2
+        assert all(us >= 0 for us in m.handoff_us)
+
+    def test_quiesce_without_a_window_still_drops_strays(self):
+        cluster = loaded()
+        # Plant a stray copy on a node outside the replica set.
+        name = next(iter(cluster.store.names()))
+        owners = set(cluster.ring.nodes_for(name))
+        outsider = next(
+            nid for nid in cluster.nodes if nid not in owners
+        )
+        record = cluster.nodes[next(iter(owners))].peek(name)
+        cluster.nodes[outsider].write(record)
+        cluster.membership.quiesce()
+        assert cluster.nodes[outsider].peek(name) is None
+
+    def test_counters_accumulate_across_transitions(self):
+        cluster = loaded()
+        m = cluster.membership
+        m.add_node()
+        m.quiesce()
+        m.remove_node(max(n for n in cluster.nodes))
+        m.quiesce()
+        assert m.transitions == 2
+        assert m.partitions_moved > 0
+        assert m.bytes_migrated > 0
