@@ -1,0 +1,40 @@
+"""Smoke slice of the million-user scenario suite.
+
+One smoke-tier replay (~1k declared accounts, ~10k ops) of the
+reference ``sync-storm`` scenario, graded into per-tenant SLO report
+cards.  The nightly ``scale-replay`` job runs the whole catalog across
+seeds and fault mixes; this slice keeps the PR CI honest about the
+suite still executing cleanly end to end.
+"""
+
+from conftest import run_once
+
+import pytest
+
+from repro.bench.scale import run_scenario
+from repro.workloads.scenarios import build_scenario
+
+
+@pytest.mark.smoke
+def test_sync_storm_smoke_slice(benchmark):
+    spec = build_scenario("sync-storm", tier="smoke", seed=7)
+    report = run_once(benchmark, run_scenario, spec)
+    result = report.result
+    assert result.ok, result.violations
+    assert result.counters["denied"] == 0  # clean run: every op valid
+
+    doc = report.document
+    population = doc["population"]
+    assert population["declared"] == 1_000
+    assert population["activated"] > 300  # the arrival process spreads out
+    assert population["heavy_activated"] >= 1  # anchor + hotspot seeded
+
+    fleet = doc["fleet"]
+    assert fleet["ops"] >= 10_000
+    assert fleet["ops_per_sec"] > 0
+    assert 0 < fleet["latency"]["p50_ms"] <= fleet["latency"]["p99_ms"]
+    assert doc["worst_tenant"]["ops"] >= 16  # graded above the noise floor
+
+    # Every activated tenant got a card, and the cards are well-formed.
+    assert len(report.cards) == population["activated"]
+    assert all(card["ops"] or card["errors"] for card in report.cards)

@@ -7,6 +7,7 @@
     python -m repro rebalance    # membership drill: join/drain -> live migration
     python -m repro bench [...]  # forwards to repro.bench's CLI
     python -m repro dst [...]    # deterministic simulation testing
+    python -m repro scenario [...]  # multi-tenant scenario suite + SLO cards
     python -m repro metrics      # Prometheus/JSON metrics for a canned run
     python -m repro trace        # Chrome trace of a canned traced run
 """
@@ -23,7 +24,8 @@ def overview() -> None:
     print(__import__("repro").__doc__)
     print(
         "subcommands: demo | repair | scrub | rebalance "
-        "| bench [experiment ...] | dst [...] | metrics | trace"
+        "| bench [experiment ...] | dst [...] | scenario [...] "
+        "| metrics | trace"
     )
 
 
@@ -201,6 +203,10 @@ def main(argv: list[str]) -> int:
         from .dst.cli import main as dst_main
 
         return dst_main(rest)
+    if command == "scenario":
+        from .bench.scale import scenario_main
+
+        return scenario_main(rest)
     if command == "metrics":
         from .obs.cli import metrics_main
 
@@ -211,7 +217,8 @@ def main(argv: list[str]) -> int:
         return trace_main(rest)
     print(
         f"unknown subcommand {command!r}; "
-        "use demo | repair | scrub | rebalance | bench | dst | metrics | trace"
+        "use demo | repair | scrub | rebalance | bench | dst | scenario "
+        "| metrics | trace"
     )
     return 2
 

@@ -10,7 +10,10 @@ when any guarded metric regresses by more than the tolerance:
 * the traffic sections' ``store_gets`` / ``store_puts`` with the
   flags on (the tentpole win must not silently erode),
 * the rebalance artifact's steady-state and mid-migration p99
-  latencies (a node join must stay cheap for live clients).
+  latencies (a node join must stay cheap for live clients),
+* the scale artifact's fleet throughput (guarded as its inverse,
+  ms-per-kop), fleet p99 overall and per op class, and the
+  worst-tenant p99 from the scenario suite's SLO report cards.
 
 Both artifacts are deterministic for a given scale (the simulated
 clock is the only time source), so any drift is a real behavioural
@@ -30,6 +33,7 @@ ARTIFACTS = (
     "BENCH_headline.json",
     "BENCH_maintenance.json",
     "BENCH_rebalance.json",
+    "BENCH_scale.json",
 )
 
 #: a candidate may cost up to this factor of the baseline before failing
@@ -76,6 +80,19 @@ def _guarded_metrics(doc: dict) -> dict[str, float]:
         for key in ("read_p99_ms", "write_p99_ms"):
             if key in stats:
                 metrics[f"{phase}.{key}"] = stats[key]
+    fleet = doc.get("fleet", {})
+    if fleet.get("ops_per_sec"):
+        # Throughput is higher-is-better; guard on its inverse so the
+        # shared "candidate must not exceed baseline * tolerance" check
+        # catches a throughput *drop*.
+        metrics["fleet.ms_per_kop"] = 1e6 / fleet["ops_per_sec"]
+    if "latency" in fleet:
+        metrics["fleet.p99_ms"] = fleet["latency"]["p99_ms"]
+    for cls, stats in fleet.get("classes", {}).items():
+        metrics[f"fleet.{cls}.p99_ms"] = stats["p99_ms"]
+    worst = doc.get("worst_tenant", {})
+    if "p99_ms" in worst:
+        metrics["worst_tenant.p99_ms"] = worst["p99_ms"]
     return metrics
 
 

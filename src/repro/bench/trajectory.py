@@ -14,7 +14,10 @@ costs, fed by the unified metrics registry (the same numbers
 * ``BENCH_rebalance.json`` -- client-visible cost of an elastic
   membership transition: steady-state vs mid-migration ops/sec and
   p99 latency while the sweeper migrates partitions live, plus the
-  handoff totals (partitions, bytes, dual-epoch traffic).
+  handoff totals (partitions, bytes, dual-epoch traffic);
+* ``BENCH_scale.json`` (written by :mod:`repro.bench.scale`) -- the
+  multi-tenant scenario suite's fleet throughput, per-class p99 and
+  worst-tenant SLO numbers for the reference ``sync-storm`` replay.
 
 All are deterministic for a given scale: the simulated clock is the
 only time source, so CI can diff them run over run.
@@ -391,7 +394,7 @@ def rebalance_trajectory() -> dict:
 
 
 def write_bench_artifacts(out_dir: str | Path = ".") -> list[Path]:
-    """Write both artifacts; returns the paths written."""
+    """Write every guarded artifact; returns the paths written."""
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     written = []
@@ -403,4 +406,7 @@ def write_bench_artifacts(out_dir: str | Path = ".") -> list[Path]:
         path = out / name
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         written.append(path)
+    from .scale import write_scale_artifact
+
+    written.append(write_scale_artifact(out))
     return written

@@ -83,12 +83,19 @@ _OP_KINDS = (
 
 @dataclass(frozen=True)
 class ClientOp:
-    """One client call: kind + path (+ destination for move/copy)."""
+    """One client call: kind + path (+ destination for move/copy).
+
+    ``account`` is ``None`` for classic DST runs (every session shares
+    the one ``dst`` account); the multi-tenant scenario suite sets it so
+    one schedule can interleave ops across thousands of tenants.  Old
+    corpus JSON has no ``account`` field and round-trips unchanged.
+    """
 
     kind: str
     path: str
     dest: str | None = None
     tag: int = 0  # drives the deterministic payload for writes
+    account: str | None = None  # multi-tenant scenarios; None = shared "dst"
 
     def __post_init__(self) -> None:
         if self.kind not in _OP_KINDS:
@@ -100,6 +107,8 @@ class ClientOp:
             doc["dest"] = self.dest
         if self.tag:
             doc["tag"] = self.tag
+        if self.account is not None:
+            doc["account"] = self.account
         return doc
 
     @classmethod
@@ -109,12 +118,14 @@ class ClientOp:
             path=doc["path"],
             dest=doc.get("dest"),
             tag=doc.get("tag", 0),
+            account=doc.get("account"),
         )
 
     def describe(self) -> str:
+        prefix = f"{self.account}:" if self.account is not None else ""
         if self.dest is not None:
-            return f"{self.kind} {self.path} -> {self.dest}"
-        return f"{self.kind} {self.path}"
+            return f"{prefix}{self.kind} {self.path} -> {self.dest}"
+        return f"{prefix}{self.kind} {self.path}"
 
 
 def payload_for(op: ClientOp) -> bytes:

@@ -350,32 +350,33 @@ class _Run:
 
     def _dispatch(self, mw, op: ClientOp) -> str:
         kind, path = op.kind, op.path
+        account = op.account or ACCOUNT
         if kind == "mkdir":
-            mw.mkdir(ACCOUNT, path)
+            mw.mkdir(account, path)
             return "ok"
         if kind == "rmdir":
-            mw.rmdir(ACCOUNT, path, recursive=True)
+            mw.rmdir(account, path, recursive=True)
             return "ok"
         if kind == "write":
-            mw.write_file(ACCOUNT, path, payload_for(op))
+            mw.write_file(account, path, payload_for(op))
             return "ok"
         if kind == "delete":
-            mw.delete_file(ACCOUNT, path)
+            mw.delete_file(account, path)
             return "ok"
         if kind == "read":
-            data = mw.read_file(ACCOUNT, path)
+            data = mw.read_file(account, path)
             return f"ok:{hashlib.sha256(data).hexdigest()[:12]}"
         if kind == "list":
-            entries = mw.list_dir(ACCOUNT, path, detailed=False)
+            entries = mw.list_dir(account, path, detailed=False)
             return f"ok:{len(entries)}"
         if kind == "stat":
-            resolution = mw.stat(ACCOUNT, path)
+            resolution = mw.stat(account, path)
             return "ok:dir" if resolution.is_dir else "ok:file"
         if kind in ("move", "rename"):
-            getattr(mw, kind)(ACCOUNT, path, op.dest)
+            getattr(mw, kind)(account, path, op.dest)
             return "ok"
         if kind == "copy":
-            mw.copy(ACCOUNT, path, op.dest)
+            mw.copy(account, path, op.dest)
             return "ok"
         raise AssertionError(f"unhandled op kind {kind!r}")
 

@@ -32,13 +32,17 @@ def shrink(
     schedule: Schedule,
     predicate: Predicate = default_predicate,
     max_runs: int = 400,
+    run=run_schedule,
 ) -> tuple[Schedule, RunResult, int]:
     """Minimise ``schedule`` while ``predicate`` holds on its run result.
 
     Returns ``(minimal_schedule, its_run_result, runs_used)``.  Raises
     ``ValueError`` if the full schedule does not fail to begin with.
+    ``run`` executes one candidate schedule; the default is the classic
+    DST runner, and the scenario suite passes its multi-tenant runner so
+    scenario schedules shrink with the same ddmin loop.
     """
-    result = run_schedule(schedule)
+    result = run(schedule)
     if not predicate(result):
         raise ValueError("schedule does not fail; nothing to shrink")
     runs = 1
@@ -54,7 +58,7 @@ def shrink(
             if not candidate:
                 start += chunk
                 continue
-            attempt = run_schedule(schedule.subset(candidate))
+            attempt = run(schedule.subset(candidate))
             runs += 1
             if predicate(attempt):
                 keep = candidate

@@ -34,6 +34,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    percentile_of,
 )
 from .trace import NULL_TRACER, NullTracer, Span, TraceContext, Tracer
 
@@ -53,6 +54,7 @@ __all__ = [
     "chrome_trace_events",
     "deployment_metrics",
     "metrics_json",
+    "percentile_of",
     "prometheus_text",
     "span_tree",
     "write_chrome_trace",

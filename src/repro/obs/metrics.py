@@ -27,7 +27,30 @@ from __future__ import annotations
 import random
 import zlib
 from bisect import insort
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
+
+
+def percentile_of(sorted_values: Sequence, q: float) -> float:
+    """Linear-interpolated quantile ``q`` in (0, 1] over sorted values.
+
+    The one quantile definition used everywhere latency percentiles are
+    reported -- :class:`Histogram`, the workload replayer's
+    :class:`~repro.workloads.traces.TraceStats` and the scenario SLO
+    report cards all call this, so "p99" means the same number no
+    matter which layer printed it.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError("q must be in (0, 1]")
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = q * (len(sorted_values) - 1)
+    lo = int(rank)
+    frac = rank - lo
+    if lo + 1 >= len(sorted_values):
+        return float(sorted_values[-1])
+    return sorted_values[lo] + (sorted_values[lo + 1] - sorted_values[lo]) * frac
 
 
 class Counter:
@@ -129,19 +152,7 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """Linear-interpolated quantile ``q`` in (0, 1] over the reservoir."""
-        if not 0.0 < q <= 1.0:
-            raise ValueError("q must be in (0, 1]")
-        values = self._sorted
-        if not values:
-            return 0.0
-        if len(values) == 1:
-            return float(values[0])
-        rank = q * (len(values) - 1)
-        lo = int(rank)
-        frac = rank - lo
-        if lo + 1 >= len(values):
-            return float(values[-1])
-        return values[lo] + (values[lo + 1] - values[lo]) * frac
+        return percentile_of(self._sorted, q)
 
     def values(self) -> list:
         """The retained observations, sorted (tests and exporters)."""

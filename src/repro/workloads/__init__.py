@@ -2,8 +2,10 @@
 
 Seeded generators for user filesystem trees (light/heavy, §5.1), the
 file-size mixture (KB configs to GB videos, ~1 MB mean), operation
-traces covering the POSIX-like op mix, and the ~150-user corpus used
-for the storage-overhead census of Figures 14-15.
+traces covering the POSIX-like op mix, the ~150-user corpus used for
+the storage-overhead census of Figures 14-15, and the multi-tenant
+scenario suite (diurnal/burst arrivals, Zipf tenant mix, sync storms)
+that scales the op mix to hundreds of thousands of accounts.
 """
 
 from .corpus import UserProfile, build_corpus, corpus_stats, populate_corpus
@@ -19,11 +21,45 @@ from .fstree import (
     populate,
 )
 from .hotspots import ZipfSampler, hot_lookup_trace, skew_of
+from .scenarios import (
+    SCENARIOS,
+    TIERS,
+    ArrivalProcess,
+    BurstModel,
+    DiurnalCurve,
+    ScaleTier,
+    ScenarioExplorer,
+    ScenarioSpec,
+    TenantMix,
+    build_scenario,
+    scenario_env,
+)
 from .sizes import GB, KB, MB, SizeComponent, SizeModel
-from .traces import DEFAULT_MIX, Op, TraceGenerator, TraceStats, replay
+from .traces import (
+    DEFAULT_MIX,
+    KNOWN_OPS,
+    Op,
+    TraceGenerator,
+    TraceStats,
+    replay,
+    validate_mix,
+)
 
 __all__ = [
+    "ArrivalProcess",
+    "BurstModel",
     "DEFAULT_MIX",
+    "DiurnalCurve",
+    "KNOWN_OPS",
+    "SCENARIOS",
+    "ScaleTier",
+    "ScenarioExplorer",
+    "ScenarioSpec",
+    "TIERS",
+    "TenantMix",
+    "build_scenario",
+    "scenario_env",
+    "validate_mix",
     "FileSpec",
     "GB",
     "KB",

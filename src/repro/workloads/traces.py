@@ -14,6 +14,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..obs.metrics import percentile_of
 from ..simcloud.sparse import payload_of
 from ..testing.model import ModelFS
 from .fstree import SyntheticTree
@@ -31,6 +32,45 @@ DEFAULT_MIX = {
     "rename": 0.007,
     "rmdir": 0.003,
 }
+
+#: The operation vocabulary a mix may weight -- exactly the kinds the
+#: replayer dispatches.  Anything else is a typo, not a workload.
+KNOWN_OPS = frozenset(DEFAULT_MIX)
+
+#: How far a mix's weights may drift from summing to 1.0 before the
+#: generator refuses it (fp noise is fine; garbage is not).
+MIX_SUM_TOLERANCE = 0.01
+
+
+def validate_mix(mix: dict[str, float]) -> dict[str, float]:
+    """Check an op-mix dict and return it exactly normalised.
+
+    Rejects (``ValueError``) empty mixes, unknown op names,
+    non-positive weights, and weight sums that are not ≈ 1.0 --
+    silently renormalising a garbage mix would hide the typo that
+    produced it.  The returned copy sums to exactly 1.0.
+    """
+    if not mix:
+        raise ValueError("op mix must not be empty")
+    unknown = sorted(set(mix) - KNOWN_OPS)
+    if unknown:
+        raise ValueError(
+            f"unknown op name(s) in mix: {unknown}; "
+            f"known ops: {sorted(KNOWN_OPS)}"
+        )
+    for kind, weight in mix.items():
+        if not isinstance(weight, (int, float)) or weight <= 0:
+            raise ValueError(
+                f"mix weight for {kind!r} must be a positive number, "
+                f"got {weight!r}"
+            )
+    total = sum(mix.values())
+    if abs(total - 1.0) > MIX_SUM_TOLERANCE:
+        raise ValueError(
+            f"mix weights must sum to ~1.0 (+/-{MIX_SUM_TOLERANCE}), "
+            f"got {total:.4f}"
+        )
+    return {k: v / total for k, v in mix.items()}
 
 
 @dataclass(frozen=True)
@@ -59,6 +99,21 @@ class TraceStats:
     def count(self, kind: str) -> int:
         return len(self.timings_us.get(kind, []))
 
+    def percentile_us(self, kind: str, q: float) -> float:
+        """Interpolated quantile of one op class's timings.
+
+        Shares :func:`repro.obs.metrics.percentile_of` with the metrics
+        registry's histograms, so a trace replay and an SLO report card
+        quote the same p50/p99 for the same observations.
+        """
+        return percentile_of(sorted(self.timings_us.get(kind, [])), q)
+
+    def p50_us(self, kind: str) -> float:
+        return self.percentile_us(kind, 0.50)
+
+    def p99_us(self, kind: str) -> float:
+        return self.percentile_us(kind, 0.99)
+
     @property
     def total_ops(self) -> int:
         return sum(len(v) for v in self.timings_us.values())
@@ -74,9 +129,7 @@ class TraceGenerator:
         size_model: SizeModel | None = None,
     ):
         self._rng = random.Random(seed)
-        self._mix = dict(mix or DEFAULT_MIX)
-        total = sum(self._mix.values())
-        self._mix = {k: v / total for k, v in self._mix.items()}
+        self._mix = validate_mix(dict(mix or DEFAULT_MIX))
         self._sizes = size_model or SizeModel.paper_mixture(scale=0.001)
 
     def generate(self, tree: SyntheticTree, n_ops: int) -> list[Op]:

@@ -83,6 +83,17 @@ class TestGuard:
             "migration": {"read_p99_ms": 6.0, "write_p99_ms": 22.0},
         }
         (directory / "BENCH_rebalance.json").write_text(json.dumps(rebalance))
+        scale = {
+            "scale": headline["scale"],
+            "sim_makespan_ms": 400.0,
+            "fleet": {
+                "ops_per_sec": 1000.0,
+                "latency": {"p99_ms": 8.0},
+                "classes": {"data_read": {"p99_ms": 4.0}},
+            },
+            "worst_tenant": {"p99_ms": 12.0},
+        }
+        (directory / "BENCH_scale.json").write_text(json.dumps(scale))
 
     def _docs(self):
         headline = {

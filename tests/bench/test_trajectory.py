@@ -49,10 +49,14 @@ class TestArtifacts:
             "BENCH_headline.json",
             "BENCH_maintenance.json",
             "BENCH_rebalance.json",
+            "BENCH_scale.json",
         ]
-        for path in written:
+        for path in written[:3]:
             doc = json.loads(path.read_text())
             assert doc["format"] == FORMAT
+        scale_doc = json.loads(written[3].read_text())
+        assert scale_doc["format"] == "h2cloud-bench-scale-v1"
+        assert scale_doc["scale"] == "smoke"
 
     def test_bench_cli_trajectory(self, tmp_path, capsys):
         assert bench_main(["trajectory", "--out", str(tmp_path)]) == 0

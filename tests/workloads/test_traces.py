@@ -1,17 +1,23 @@
 """Tests for trace generation and replay."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.baselines import make_system
 from repro.core import H2CloudFS
 from repro.simcloud import SwiftCluster
+from repro.obs.metrics import Histogram
 from repro.workloads import (
     DEFAULT_MIX,
+    KNOWN_OPS,
     TraceGenerator,
+    TraceStats,
     TreeSpec,
     generate,
     populate,
     replay,
+    validate_mix,
 )
 
 
@@ -86,3 +92,84 @@ class TestReplay:
             return fs.clock.now_us
 
         assert run() == run()
+
+
+class TestMixValidation:
+    """The op-mix contract: typos and garbage fail loudly at construction."""
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op name"):
+            TraceGenerator(seed=1, mix={"raed": 0.5, "write": 0.5})
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            TraceGenerator(seed=1, mix={"read": 0.0, "write": 1.0})
+        with pytest.raises(ValueError, match="positive"):
+            validate_mix({"read": -0.2, "write": 1.2})
+
+    def test_non_numeric_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            validate_mix({"read": "lots"})
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_mix({})
+
+    def test_sum_drift_rejected(self):
+        with pytest.raises(ValueError, match="sum"):
+            TraceGenerator(seed=1, mix={"read": 0.5, "write": 0.6})
+        with pytest.raises(ValueError, match="sum"):
+            validate_mix({"read": 0.4, "write": 0.4})
+
+    def test_fp_noise_tolerated_and_normalised(self):
+        mix = validate_mix({"read": 0.3339, "write": 0.333, "list": 0.333})
+        assert sum(mix.values()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_default_mix_passes(self):
+        assert set(validate_mix(dict(DEFAULT_MIX))) == KNOWN_OPS
+
+    def test_valid_custom_mix_still_works(self):
+        ops = TraceGenerator(seed=4, mix={"mkdir": 1.0}).generate(
+            small_tree(), 30
+        )
+        assert all(op.kind == "mkdir" for op in ops)
+
+
+class TestTraceStatsPercentiles:
+    """TraceStats p50/p99 share the registry's quantile definition."""
+
+    def test_known_values(self):
+        stats = TraceStats()
+        for us in (10, 20, 30, 40, 50):
+            stats.record("read", us)
+        assert stats.p50_us("read") == 30.0
+        assert stats.percentile_us("read", 1.0) == 50.0
+        assert stats.p99_us("read") == pytest.approx(49.6)
+
+    def test_empty_kind_is_zero(self):
+        stats = TraceStats()
+        assert stats.p50_us("read") == 0.0
+        assert stats.p99_us("write") == 0.0
+
+    @given(
+        values=st.lists(st.integers(0, 10_000_000), min_size=1, max_size=200),
+        q=st.sampled_from([0.5, 0.9, 0.95, 0.99, 1.0]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_agrees_with_metrics_histogram(self, values, q):
+        """Property: same observations => the same quantile, both layers."""
+        hist = Histogram("trace.agreement", reservoir_size=len(values))
+        stats = TraceStats()
+        for value in values:
+            hist.observe(value)
+            stats.record("write", value)
+        assert stats.percentile_us("write", q) == hist.percentile(q)
+
+    @given(values=st.lists(st.integers(0, 1_000_000), min_size=1, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_percentiles_ordered_and_bounded(self, values):
+        stats = TraceStats()
+        for value in values:
+            stats.record("read", value)
+        p50, p99 = stats.p50_us("read"), stats.p99_us("read")
+        assert min(values) <= p50 <= p99 <= max(values)
