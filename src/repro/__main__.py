@@ -10,6 +10,7 @@
     python -m repro scenario [...]  # multi-tenant scenario suite + SLO cards
     python -m repro metrics      # Prometheus/JSON metrics for a canned run
     python -m repro trace        # Chrome trace of a canned traced run
+    python -m repro obs [...]    # timeline | critpath | alerts over a scenario
 """
 
 from __future__ import annotations
@@ -25,7 +26,7 @@ def overview() -> None:
     print(
         "subcommands: demo | repair | scrub | rebalance "
         "| bench [experiment ...] | dst [...] | scenario [...] "
-        "| metrics | trace"
+        "| metrics | trace | obs [...]"
     )
 
 
@@ -215,10 +216,14 @@ def main(argv: list[str]) -> int:
         from .obs.cli import trace_main
 
         return trace_main(rest)
+    if command == "obs":
+        from .obs.cli import obs_main
+
+        return obs_main(rest)
     print(
         f"unknown subcommand {command!r}; "
         "use demo | repair | scrub | rebalance | bench | dst | scenario "
-        "| metrics | trace"
+        "| metrics | trace | obs"
     )
     return 2
 

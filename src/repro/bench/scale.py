@@ -36,7 +36,9 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..obs.metrics import Histogram, MetricsRegistry
+from ..obs.critpath import OpAttribution, analyze, tail_report
+from ..obs.metrics import Histogram, MetricsRegistry, percentile_of
+from ..obs.timeseries import TelemetrySampler, condense_timeline
 from ..simcloud.errors import FilesystemError, SimCloudError
 from ..simcloud.sparse import payload_of
 from ..workloads.scenarios import (
@@ -57,6 +59,14 @@ from ..dst.runner import _MUTATORS, ACCOUNT, RunResult, _Run, _result
 from ..dst.schedule import Schedule
 
 SCALE_FORMAT = "h2cloud-bench-scale-v1"
+
+#: telemetry cadence for scale runs: 60s of simulated time per window
+#: keeps a smoke-tier storm (~9 sim-hours) around 500 windows.
+SCALE_SAMPLE_INTERVAL_US = 60_000_000
+
+#: per-tenant tail attribution is reported for the worst N tenants
+#: only -- the full fleet would dwarf the artifact.
+TAIL_TENANTS = 8
 
 #: op kind -> SLO class.  Cards and the fleet artifact report per
 #: *class*, not per kind: an SLO cares whether metadata reads are slow,
@@ -83,7 +93,7 @@ def _hist_ms(hist: Histogram) -> dict[str, float]:
         "mean_ms": round(hist.mean / 1000.0, 3),
         "p50_ms": round(hist.percentile(0.50) / 1000.0, 3),
         "p99_ms": round(hist.percentile(0.99) / 1000.0, 3),
-        "max_ms": round(hist.max / 1000.0, 3),
+        "max_ms": round((hist.max or 0) / 1000.0, 3),
     }
 
 
@@ -149,8 +159,13 @@ class _ScenarioRun(_Run):
     repair/scrub only when the scenario armed faults or corruption.
     """
 
-    def __init__(self, schedule: Schedule):
-        super().__init__(schedule)
+    def __init__(
+        self,
+        schedule: Schedule,
+        capture_trace: bool = False,
+        sample_interval_us: int | None = None,
+    ):
+        super().__init__(schedule, capture_trace=capture_trace)
         self.spec: ScenarioSpec = scenario_spec_of(schedule)
         self.mixer = self.spec_mixer()
         self.cards: dict[int, TenantCard] = {}
@@ -160,6 +175,15 @@ class _ScenarioRun(_Run):
         self.busy_us = 0
         self.seeded_files = 0
         self._materialized: set[int] = set()
+        self.sampler: TelemetrySampler | None = None
+        if sample_interval_us:
+            self.sampler = TelemetrySampler(
+                self.fs, interval_us=sample_interval_us, max_windows=1024
+            )
+        # With tracing on, one log entry per dispatched client op (in
+        # execution order, which is also span recording order) maps
+        # ``op.*`` roots back to the tenant that issued them.
+        self.op_log: list[tuple[str, str]] = []  # (account, kind)
 
     def spec_mixer(self):
         from ..workloads.scenarios import TenantMix
@@ -180,6 +204,8 @@ class _ScenarioRun(_Run):
         self._listener = self.fs.clock.subscribe(
             lambda now_us: self.cluster.failures.pump()
         )
+        if self.sampler is not None:
+            self.sampler.attach()
 
     # ------------------------------------------------------------------
     def _card(self, index: int) -> TenantCard:
@@ -237,13 +263,19 @@ class _ScenarioRun(_Run):
             # honest outcome -- retrying the bulk load would double-seed.
             self._materialized.add(session)
             try:
-                self._materialize(session, mw)
+                # Provisioning is real (clock-advancing) work but not a
+                # client op: mute span retention so the trace budget is
+                # spent on the ops the tail report attributes.
+                with self.fs.tracer.mute():
+                    self._materialize(session, mw)
             except SimCloudError as exc:
                 self.counters["unavailable"] += 1
                 card.unavailable.inc()
                 return f"seed_unavailable:{type(exc).__name__}"
         degraded_before = mw.degraded_serves
         started = self.fs.clock.now_us
+        if self.capture_trace:
+            self.op_log.append((card.account, op.kind))
         try:
             result = self._dispatch(mw, op)
         except FilesystemError as exc:
@@ -338,6 +370,12 @@ class ScaleReport:
     result: RunResult
     cards: list[dict]
     document: dict = field(default_factory=dict)
+    # Telemetry extras (None unless the run captured them).  They live
+    # outside ``cards`` on purpose: the run digest commits to the cards,
+    # and observability must never change a digest.
+    timeline: dict | None = None
+    critpath: dict | None = None
+    tenant_attribution: dict | None = None
 
     @property
     def digest(self) -> str:
@@ -369,9 +407,65 @@ def _worst_tenant(cards: list[TenantCard]) -> dict:
     }
 
 
-def run_scale_schedule(schedule: Schedule, keep_fs: bool = False) -> ScaleReport:
-    """Execute one scenario schedule and grade it."""
-    run = _ScenarioRun(schedule)
+def _tenant_attribution(
+    attributions: list[OpAttribution],
+    op_log: list[tuple[str, str]],
+    quantile: float = 0.99,
+) -> dict:
+    """Per-tenant tail blame for the worst :data:`TAIL_TENANTS` tenants.
+
+    ``op.*`` roots are recorded in dispatch order, so zipping them with
+    the op log recovers each root's tenant (a span-budget overflow only
+    truncates the zip -- the retained prefix stays aligned).
+    """
+    from ..obs.critpath import blame_summary
+
+    by_account: dict[str, list[OpAttribution]] = {}
+    for attribution, (account, _kind) in zip(attributions, op_log):
+        if attribution.error is None:
+            by_account.setdefault(account, []).append(attribution)
+    graded = {
+        account: group
+        for account, group in by_account.items()
+        if len(group) >= WORST_TENANT_MIN_OPS
+    } or by_account
+    p99 = {
+        account: percentile_of(
+            sorted(a.duration_us for a in group), quantile
+        )
+        for account, group in graded.items()
+    }
+    worst = sorted(graded, key=lambda acct: (-p99[acct], acct))[:TAIL_TENANTS]
+    out = {}
+    for account in worst:
+        group = graded[account]
+        tail = [a for a in group if a.duration_us >= p99[account]]
+        out[account] = {
+            "ops": len(group),
+            "p99_ms": round(p99[account] / 1000.0, 3),
+            "tail": blame_summary(tail),
+        }
+    return out
+
+
+def run_scale_schedule(
+    schedule: Schedule,
+    keep_fs: bool = False,
+    capture_trace: bool = False,
+    sample_interval_us: int | None = None,
+) -> ScaleReport:
+    """Execute one scenario schedule and grade it.
+
+    ``capture_trace`` enables span capture and the critical-path tail
+    attribution; ``sample_interval_us`` attaches a telemetry sampler on
+    that sim-clock cadence.  Both are passive: the run digest is byte
+    identical with them on or off.
+    """
+    run = _ScenarioRun(
+        schedule,
+        capture_trace=capture_trace,
+        sample_interval_us=sample_interval_us,
+    )
     run.setup()
     run.execute()
     try:
@@ -380,6 +474,8 @@ def run_scale_schedule(schedule: Schedule, keep_fs: bool = False) -> ScaleReport
         run.violations.append(
             InvariantViolation("quiesce", f"{type(exc).__name__}: {exc}")
         )
+    if run.sampler is not None:
+        run.sampler.detach()
     cards = [
         run.cards[index].to_json() for index in sorted(run.cards)
     ]
@@ -391,16 +487,28 @@ def run_scale_schedule(schedule: Schedule, keep_fs: bool = False) -> ScaleReport
     # the fleet changes the digest even though no model oracle ran.
     result = _result(run, tree=f"cards:{cards_sha}", keep_fs=keep_fs)
     report = ScaleReport(spec=run.spec, result=result, cards=cards)
-    report.document = _scale_document(run, result)
+    if run.sampler is not None:
+        report.timeline = run.sampler.timeline()
+    if capture_trace:
+        attributions = analyze(run.fs.tracer)
+        report.critpath = tail_report(attributions, classes=OP_CLASSES)
+        report.tenant_attribution = _tenant_attribution(
+            attributions, run.op_log
+        )
+    report.document = _scale_document(run, result, report)
     return report
 
 
-def run_scenario(spec: ScenarioSpec, keep_fs: bool = False) -> ScaleReport:
+def run_scenario(spec: ScenarioSpec, keep_fs: bool = False, **kwargs) -> ScaleReport:
     """Explore a spec into its schedule and execute it."""
-    return run_scale_schedule(ScenarioExplorer(spec).explore(), keep_fs=keep_fs)
+    return run_scale_schedule(
+        ScenarioExplorer(spec).explore(), keep_fs=keep_fs, **kwargs
+    )
 
 
-def _scale_document(run: _ScenarioRun, result: RunResult) -> dict:
+def _scale_document(
+    run: _ScenarioRun, result: RunResult, report: ScaleReport | None = None
+) -> dict:
     """The ``BENCH_scale.json`` body for one graded scenario run."""
     spec = run.spec
     cards = list(run.cards.values())
@@ -410,7 +518,7 @@ def _scale_document(run: _ScenarioRun, result: RunResult) -> dict:
         cls: _hist_ms(hist)
         for cls, hist in sorted(run._fleet_classes.items())
     }
-    return {
+    document = {
         "format": SCALE_FORMAT,
         "artifact": "scale",
         "scenario": spec.name,
@@ -438,6 +546,16 @@ def _scale_document(run: _ScenarioRun, result: RunResult) -> dict:
         "worst_tenant": _worst_tenant(cards),
         "digest": result.digest,
     }
+    # Telemetry sections are additive: the bench guard reads only its
+    # guarded paths, and the digest never covers the document.
+    if report is not None and report.timeline is not None:
+        document["timeline"] = condense_timeline(report.timeline, keep=48)
+    if report is not None and report.critpath is not None:
+        document["tail_attribution"] = {
+            "fleet": report.critpath,
+            "tenants": report.tenant_attribution or {},
+        }
+    return document
 
 
 def write_scale_artifact(
@@ -455,7 +573,11 @@ def write_scale_artifact(
 
     if tier is None:
         tier = "full" if bench_scale() == "full" else "smoke"
-    report = run_scenario(build_scenario(scenario, tier=tier, seed=seed))
+    report = run_scenario(
+        build_scenario(scenario, tier=tier, seed=seed),
+        capture_trace=True,
+        sample_interval_us=SCALE_SAMPLE_INTERVAL_US,
+    )
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     path = out / "BENCH_scale.json"
@@ -531,6 +653,9 @@ def scenario_main(argv: list[str]) -> int:
                         help="weave join/drain/remove + live rebalancing")
     parser.add_argument("--traffic", action="store_true",
                         help="enable the traffic-reduction middleware flags")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="capture traces + timeline; adds the "
+                        "tail_attribution and timeline artifact sections")
     parser.add_argument("--out", metavar="DIR",
                         help="write BENCH_scale.json + SLO_cards.json here")
     parser.add_argument("--cards", action="store_true",
@@ -571,8 +696,16 @@ def scenario_main(argv: list[str]) -> int:
         Path(args.save).write_text(schedule.dumps())
         print(f"saved schedule: {args.save}")
 
-    report = run_scale_schedule(schedule)
+    report = run_scale_schedule(
+        schedule,
+        capture_trace=args.telemetry,
+        sample_interval_us=SCALE_SAMPLE_INTERVAL_US if args.telemetry else None,
+    )
     _print_report(report)
+    if report.critpath is not None:
+        from ..obs.critpath import format_report
+
+        print(format_report(report.critpath))
     if args.cards:
         print(report.cards_text(), end="")
     if args.out:

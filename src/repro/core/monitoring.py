@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from ..obs.metrics import MetricsRegistry
 
 #: histogram suffixes emitted per instrumented operation
-_OP_STATS = ("count", "mean_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms")
+_OP_STATS = ("count", "mean_ms", "min_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms")
 
 
 @dataclass
@@ -273,7 +273,10 @@ class Monitor:
         for op_name, histogram in sorted(self.ops.items()):
             metrics[f"op.{op_name}.count"] = histogram.samples
             metrics[f"op.{op_name}.mean_ms"] = histogram.mean / 1000.0
-            metrics[f"op.{op_name}.max_ms"] = histogram.max / 1000.0
+            # Extrema are None until the first observation (snapshot
+            # values must stay numeric, so empty reports 0.0).
+            metrics[f"op.{op_name}.min_ms"] = (histogram.min or 0) / 1000.0
+            metrics[f"op.{op_name}.max_ms"] = (histogram.max or 0) / 1000.0
             metrics[f"op.{op_name}.p50_ms"] = histogram.percentile(0.50) / 1000.0
             metrics[f"op.{op_name}.p95_ms"] = histogram.percentile(0.95) / 1000.0
             metrics[f"op.{op_name}.p99_ms"] = histogram.percentile(0.99) / 1000.0

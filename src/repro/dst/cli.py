@@ -106,6 +106,9 @@ def _save_failure(result: RunResult, directory: str) -> None:
     trace_path = corpus_mod.save_trace(traced, directory)
     if trace_path:
         print("trace:", trace_path)
+    critpath_path = corpus_mod.save_critpath(traced, directory)
+    if critpath_path:
+        print("critpath:", critpath_path)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:

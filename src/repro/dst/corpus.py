@@ -74,6 +74,29 @@ def save_trace(result: RunResult, directory: str = DEFAULT_DIR) -> str | None:
     return path
 
 
+def save_critpath(result: RunResult, directory: str = DEFAULT_DIR) -> str | None:
+    """Persist a traced run's critical-path report next to its case.
+
+    Written as ``<case>.critpath.json``: the tail-attribution report
+    over the captured span trees, so a saved failure answers "where did
+    the time go" without replaying anything.  Returns the path, or None
+    when the run carried no tracer or no ``op.*`` roots finished.
+    """
+    tracer = result.tracer
+    if tracer is None or not tracer.spans:
+        return None
+    from ..obs.critpath import analyze, tail_report, write_critpath
+
+    attributions = analyze(tracer)
+    if not attributions:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    stem = case_name(result)[: -len(".json")]
+    path = os.path.join(directory, f"{stem}.critpath.json")
+    write_critpath(tail_report(attributions), path)
+    return path
+
+
 def load_case(path: str) -> tuple[Schedule, dict]:
     """(schedule, metadata) from a corpus case or bare schedule file."""
     with open(path, encoding="utf-8") as fh:
@@ -88,13 +111,15 @@ def load_case(path: str) -> tuple[Schedule, dict]:
 def corpus_cases(directory: str = DEFAULT_DIR) -> list[str]:
     """All corpus case paths, sorted for deterministic iteration.
 
-    ``*.trace.json`` companions (captured failure traces) are not
-    cases and are excluded.
+    ``*.trace.json`` / ``*.critpath.json`` companions (captured failure
+    traces and their tail-attribution reports) are not cases and are
+    excluded.
     """
     if not os.path.isdir(directory):
         return []
     return sorted(
         os.path.join(directory, name)
         for name in os.listdir(directory)
-        if name.endswith(".json") and not name.endswith(".trace.json")
+        if name.endswith(".json")
+        and not name.endswith((".trace.json", ".critpath.json"))
     )

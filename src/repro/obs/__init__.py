@@ -15,9 +15,36 @@ shape:
 * :mod:`~repro.obs.export` -- Prometheus-text and JSON metric
   exporters plus a Chrome-trace-event (``chrome://tracing`` /
   Perfetto) trace exporter;
-* :mod:`~repro.obs.cli` -- ``python -m repro metrics|trace``.
+* :mod:`~repro.obs.timeseries` -- temporal telemetry: a
+  :class:`TelemetrySampler` snapshotting every registry on a fixed
+  sim-clock cadence into ring-buffered windows (counter deltas,
+  gauge levels, per-window histogram percentiles);
+* :mod:`~repro.obs.critpath` -- critical-path analysis partitioning
+  each ``op.*`` root span's wall time into named cause buckets, and
+  the tail-attribution report built on it;
+* :mod:`~repro.obs.alerts` -- declarative SLO rules (latency
+  thresholds, multi-window burn rates) evaluated over timelines;
+* :mod:`~repro.obs.cli` -- ``python -m repro metrics|trace|obs``.
 """
 
+from .alerts import (
+    DEFAULT_RULES,
+    SloRule,
+    alerts_json,
+    burn_rate,
+    evaluate_rules,
+    format_alerts,
+    write_alerts,
+)
+from .critpath import (
+    OpAttribution,
+    analyze,
+    classify_span,
+    critpath_json,
+    format_report,
+    tail_report,
+    write_critpath,
+)
 from .export import (
     chrome_trace,
     chrome_trace_events,
@@ -36,9 +63,17 @@ from .metrics import (
     NullRegistry,
     percentile_of,
 )
+from .timeseries import (
+    TelemetrySampler,
+    condense_timeline,
+    format_timeline,
+    timeline_json,
+    write_timeline,
+)
 from .trace import NULL_TRACER, NullTracer, Span, TraceContext, Tracer
 
 __all__ = [
+    "DEFAULT_RULES",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "Counter",
@@ -47,15 +82,33 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NullTracer",
+    "OpAttribution",
+    "SloRule",
     "Span",
+    "TelemetrySampler",
     "TraceContext",
     "Tracer",
+    "alerts_json",
+    "analyze",
+    "burn_rate",
     "chrome_trace",
     "chrome_trace_events",
+    "classify_span",
+    "condense_timeline",
+    "critpath_json",
     "deployment_metrics",
+    "evaluate_rules",
+    "format_alerts",
+    "format_report",
+    "format_timeline",
     "metrics_json",
     "percentile_of",
     "prometheus_text",
     "span_tree",
+    "tail_report",
+    "timeline_json",
+    "write_alerts",
     "write_chrome_trace",
+    "write_critpath",
+    "write_timeline",
 ]

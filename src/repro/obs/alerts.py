@@ -1,0 +1,239 @@
+"""Declarative SLO rules evaluated over telemetry timelines.
+
+Two rule kinds, both evaluated deterministically against the windows a
+:class:`~repro.obs.timeseries.TelemetrySampler` produced (sim-clock
+time only -- same seed, same alerts, byte for byte):
+
+* **latency**: a per-window fleet histogram stat (say ``op.read``'s
+  ``p99_ms``) stays at/over a threshold for N *consecutive* windows.
+  One window over is noise; N windows over is an incident.
+* **burn_rate**: the classic multi-window budget burn.  Each window's
+  bad ratio is ``bad / (bad + good)`` over the window's counter deltas
+  (keys selected by glob patterns); the rule fires when both the short
+  and the long trailing average burn the budget at >= ``factor`` --
+  the short window makes the alert fast, the long window keeps a
+  single spike from paging.
+
+Each contiguous episode fires exactly one alert record (at the first
+window satisfying the rule); the episode must fully clear before the
+rule can fire again.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+ALERTS_FORMAT = "h2cloud-alerts-v1"
+
+
+def burn_rate(bad: float, good: float, budget: float) -> float:
+    """How many times faster than ``budget`` the error budget burns.
+
+    ``(bad / (bad + good)) / budget``; 0 when the window saw no
+    traffic.  Monotone: more bad (good, budget fixed) never lowers it.
+    """
+    if budget <= 0:
+        raise ValueError("budget must be > 0")
+    total = bad + good
+    if total <= 0:
+        return 0.0
+    return (bad / total) / budget
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative SLO rule (see module docstring for semantics)."""
+
+    name: str
+    kind: str  # "latency" | "burn_rate"
+    # latency rules
+    hist: str = ""  # fleet histogram name ("" = worst across all)
+    stat: str = "p99_ms"
+    threshold_ms: float = 0.0
+    windows: int = 2
+    # burn-rate rules
+    bad: tuple[str, ...] = ()  # glob patterns over fleet rate keys
+    good: tuple[str, ...] = ()
+    budget: float = 0.001
+    factor: float = 2.0
+    short_windows: int = 1
+    long_windows: int = 6
+
+    def __post_init__(self):
+        if self.kind not in ("latency", "burn_rate"):
+            raise ValueError(f"unknown rule kind {self.kind!r}")
+        if self.kind == "latency" and self.windows < 1:
+            raise ValueError("windows must be >= 1")
+        if self.kind == "burn_rate":
+            if not (1 <= self.short_windows <= self.long_windows):
+                raise ValueError("need 1 <= short_windows <= long_windows")
+            burn_rate(0, 0, self.budget)  # validates budget > 0
+
+
+def _matched_sum(rates: dict, patterns: tuple[str, ...]) -> float:
+    return sum(
+        value
+        for key, value in rates.items()
+        if any(fnmatchcase(key, pattern) for pattern in patterns)
+    )
+
+
+def _latency_value(window: dict, rule: SloRule) -> float:
+    hist = window.get("hist", {})
+    if rule.hist:
+        stats = hist.get(rule.hist)
+        return stats[rule.stat] if stats else 0.0
+    return max((s[rule.stat] for s in hist.values()), default=0.0)
+
+
+def _eval_latency(windows: list[dict], rule: SloRule) -> list[dict]:
+    alerts = []
+    run = 0
+    fired = False
+    for window in windows:
+        value = _latency_value(window, rule)
+        if value >= rule.threshold_ms and rule.threshold_ms > 0:
+            run += 1
+            if run >= rule.windows and not fired:
+                fired = True
+                alerts.append(
+                    {
+                        "rule": rule.name,
+                        "kind": "latency",
+                        "t_us": window["t_us"],
+                        "value_ms": value,
+                        "threshold_ms": rule.threshold_ms,
+                        "consecutive_windows": run,
+                    }
+                )
+        else:
+            run = 0
+            fired = False
+    return alerts
+
+
+def _eval_burn_rate(windows: list[dict], rule: SloRule) -> list[dict]:
+    ratios = []
+    for window in windows:
+        rates = window.get("fleet", {}).get("rates", {})
+        bad = _matched_sum(rates, rule.bad)
+        good = _matched_sum(rates, rule.good)
+        ratios.append(burn_rate(bad, good, rule.budget))
+    alerts = []
+    fired = False
+    for i, window in enumerate(windows):
+        if i + 1 < rule.short_windows:
+            continue
+        short = ratios[max(0, i + 1 - rule.short_windows): i + 1]
+        long = ratios[max(0, i + 1 - rule.long_windows): i + 1]
+        short_burn = sum(short) / len(short)
+        long_burn = sum(long) / len(long)
+        if short_burn >= rule.factor and long_burn >= rule.factor:
+            if not fired:
+                fired = True
+                alerts.append(
+                    {
+                        "rule": rule.name,
+                        "kind": "burn_rate",
+                        "t_us": window["t_us"],
+                        "short_burn": round(short_burn, 4),
+                        "long_burn": round(long_burn, 4),
+                        "factor": rule.factor,
+                        "budget": rule.budget,
+                    }
+                )
+        else:
+            fired = False
+    return alerts
+
+
+def evaluate_rules(timeline: dict, rules: list[SloRule]) -> dict:
+    """Evaluate ``rules`` against a timeline document; returns the doc."""
+    windows = timeline.get("windows", [])
+    alerts: list[dict] = []
+    for rule in rules:
+        if rule.kind == "latency":
+            alerts.extend(_eval_latency(windows, rule))
+        else:
+            alerts.extend(_eval_burn_rate(windows, rule))
+    alerts.sort(key=lambda a: (a["t_us"], a["rule"]))
+    return {
+        "format": ALERTS_FORMAT,
+        "rules": [rule.name for rule in rules],
+        "windows_evaluated": len(windows),
+        "alerts": alerts,
+    }
+
+
+#: The stock ruleset the nightly scenario catalog is evaluated against.
+#: Thresholds are calibrated so the committed scenarios pass clean --
+#: a firing means a regression (or a deliberately nastier scenario).
+DEFAULT_RULES = [
+    SloRule(
+        name="client-op-p99",
+        kind="latency",
+        hist="",  # worst op class in the window
+        stat="p99_ms",
+        threshold_ms=30_000.0,
+        windows=3,
+    ),
+    SloRule(
+        name="error-budget-burn",
+        kind="burn_rate",
+        bad=("op.*.errors",),
+        good=("op.*.count",),
+        budget=0.02,
+        factor=4.0,
+        short_windows=2,
+        long_windows=8,
+    ),
+    SloRule(
+        name="degraded-serve-burn",
+        kind="burn_rate",
+        bad=("degraded.serves",),
+        good=("op.*.count",),
+        budget=0.01,
+        factor=4.0,
+        short_windows=2,
+        long_windows=8,
+    ),
+]
+
+
+def alerts_json(doc: dict) -> str:
+    """The canonical byte-stable serialization of an alerts document."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_alerts(doc: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(alerts_json(doc))
+    return path
+
+
+def format_alerts(doc: dict) -> str:
+    """An aligned text rendering of an alerts document."""
+    head = (
+        f"alerts: {len(doc['alerts'])} firing "
+        f"({doc['windows_evaluated']} windows, "
+        f"rules: {', '.join(doc['rules'])})"
+    )
+    lines = [head]
+    for alert in doc["alerts"]:
+        t_ms = alert["t_us"] / 1000.0
+        if alert["kind"] == "latency":
+            detail = (
+                f"value {alert['value_ms']}ms >= {alert['threshold_ms']}ms "
+                f"for {alert['consecutive_windows']} windows"
+            )
+        else:
+            detail = (
+                f"burn short={alert['short_burn']}x long={alert['long_burn']}x "
+                f">= {alert['factor']}x of budget {alert['budget']}"
+            )
+        lines.append(f"  [{t_ms:.1f}ms] {alert['rule']}: {detail}")
+    return "\n".join(lines)

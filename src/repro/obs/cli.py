@@ -1,4 +1,4 @@
-"""``python -m repro metrics|trace`` -- observability from the shell.
+"""``python -m repro metrics|trace|obs`` -- observability from the shell.
 
     repro metrics [--format prom|json]
         Run a small canned session on a fresh deployment and print its
@@ -10,15 +10,25 @@
         in chrome://tracing or https://ui.perfetto.dev).  ``--tree``
         prints an indented span-tree rendering instead.
 
-Both commands are deterministic: the session runs on the simulated
-clock, so two invocations print identical output.
+    repro obs timeline|critpath|alerts [--scenario N] [--tier T] [--seed S]
+        Replay a scenario with telemetry enabled and render, in turn:
+        the fleet telemetry timeline, the critical-path tail-latency
+        attribution report, or the default SLO ruleset's alert
+        evaluation.  ``--json`` prints the raw document, ``--out FILE``
+        writes it.
+
+All commands are deterministic: sessions run on the simulated clock,
+so two invocations print identical output.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+from pathlib import Path
 
+from .alerts import DEFAULT_RULES, alerts_json, evaluate_rules, format_alerts
+from .critpath import critpath_json, format_report
 from .export import (
     chrome_trace,
     deployment_metrics,
@@ -27,6 +37,7 @@ from .export import (
     prometheus_text,
     write_chrome_trace,
 )
+from .timeseries import format_timeline
 
 
 def _canned_session(middlewares: int, tracing: bool):
@@ -92,3 +103,72 @@ def trace_main(argv: list[str]) -> int:
     )
     parser.add_argument("--middlewares", type=int, default=2)
     return _cmd_trace(parser.parse_args(argv))
+
+
+# ----------------------------------------------------------------------
+# python -m repro obs timeline|critpath|alerts
+# ----------------------------------------------------------------------
+def _telemetry_report(args: argparse.Namespace):
+    """Replay the requested scenario with telemetry captured."""
+    from ..bench.scale import (
+        SCALE_SAMPLE_INTERVAL_US,
+        run_scenario,
+    )
+    from ..workloads.scenarios import build_scenario
+
+    spec = build_scenario(args.scenario, tier=args.tier, seed=args.seed)
+    return run_scenario(
+        spec,
+        capture_trace=True,
+        sample_interval_us=SCALE_SAMPLE_INTERVAL_US,
+    )
+
+
+def _emit(doc: dict, text: str, serialized: str, args) -> int:
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(serialized)
+        print(f"wrote {args.out}")
+    elif args.json:
+        print(serialized, end="")
+    else:
+        print(text)
+    return 0
+
+
+def obs_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="temporal telemetry, tail attribution and SLO alerts "
+        "over a deterministic scenario replay",
+    )
+    parser.add_argument(
+        "command", choices=("timeline", "critpath", "alerts")
+    )
+    parser.add_argument("--scenario", default="sync-storm")
+    parser.add_argument("--tier", default="smoke")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--json", action="store_true", help="print the raw JSON document"
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="write the JSON document here"
+    )
+    args = parser.parse_args(argv)
+
+    report = _telemetry_report(args)
+    if args.command == "timeline":
+        doc = report.timeline or {}
+        return _emit(
+            doc,
+            format_timeline(doc),
+            json.dumps(doc, indent=2, sort_keys=True) + "\n",
+            args,
+        )
+    if args.command == "critpath":
+        doc = report.critpath or {}
+        return _emit(doc, format_report(doc), critpath_json(doc), args)
+    doc = evaluate_rules(report.timeline or {}, DEFAULT_RULES)
+    status = _emit(doc, format_alerts(doc), alerts_json(doc), args)
+    return 1 if doc["alerts"] else status

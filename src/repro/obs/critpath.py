@@ -1,0 +1,351 @@
+"""Critical-path analysis: *where did each operation's time go?*
+
+The tracer (PR 3) collects span trees nobody reads.  This module walks
+every finished ``op.*`` root and partitions its wall time into named
+cause buckets by interval sweep: at every instant of the root's window
+the *deepest* active classified descendant span owns that instant, so
+the buckets are an exact partition -- they sum to the root's duration
+by construction, never merely "approximately".
+
+Two wait causes have no span of their own, only instant events carrying
+how long the clock was just advanced (``store.retry`` tags ``wait_us``,
+``store.timeout`` tags ``waited_us``).  Those waits become pseudo
+intervals ending at the event, deeper than any real span: backoff time
+is carved *out of* the store call that paid it and blamed on
+``retry_backoff``/``timeout_wait``, still without breaking the
+partition.
+
+Zero-duration causes (breaker fast-fails, dual-epoch reads,
+write-throughs, degraded serves, breaker trips) cannot own time; they
+are tallied as per-bucket event *counts* instead.
+
+The tail-attribution report then takes every op at or beyond its class
+p99 and aggregates blame: "p99 writes are 78% retry backoff" becomes
+``python -m repro obs critpath``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .metrics import percentile_of
+
+CRITPATH_FORMAT = "h2cloud-critpath-v1"
+
+#: depth assigned to retry/timeout wait pseudo-intervals: deeper than
+#: any real span, so carved waits always win the sweep.
+_WAIT_DEPTH = 1 << 30
+
+#: span name (or prefix, for entries ending in ".") -> time bucket
+_TIME_BUCKETS = (
+    ("store.get_range", "store_get"),
+    ("store.get", "store_get"),
+    ("store.put", "store_put"),
+    ("store.head", "store_other"),
+    ("store.delete", "store_other"),
+    ("lookup.hop", "lookup"),
+    ("patch.submit", "patch_submit"),
+    ("patch.group_flush", "merge_flush"),
+    ("merge.", "merge_flush"),
+    ("gossip.", "gossip"),
+    ("gc.", "gc"),
+    ("scrub", "scrub"),
+)
+
+#: instant-event span name -> count bucket
+_EVENT_BUCKETS = {
+    "store.retry": "retry_backoff",
+    "store.timeout": "timeout_wait",
+    "breaker.fast_fail": "breaker_wait",
+    "breaker.trip": "breaker_wait",
+    "membership.dual_read": "membership",
+    "membership.write_through": "membership",
+    "degraded.read": "degraded",
+    "store.corrupt_replica": "integrity",
+    "store.read_repair": "integrity",
+}
+
+#: bucket an event's carved wait time lands in (else it only counts)
+_WAIT_TAGS = {
+    "store.retry": ("wait_us", "retry_backoff"),
+    "store.timeout": ("waited_us", "timeout_wait"),
+}
+
+
+def classify_span(name: str) -> str | None:
+    """The time bucket a span's self-time belongs to (None: unclassified)."""
+    for prefix, bucket in _TIME_BUCKETS:
+        if name.startswith(prefix):
+            return bucket
+    return None
+
+
+@dataclass
+class OpAttribution:
+    """One ``op.*`` root's wall time, partitioned into cause buckets."""
+
+    name: str  # op name without the "op." prefix
+    trace_id: int
+    start_us: int
+    duration_us: int
+    node: object = None
+    path: object = None
+    error: str | None = None
+    buckets: dict[str, int] = field(default_factory=dict)  # bucket -> us
+    events: dict[str, int] = field(default_factory=dict)  # bucket -> count
+
+    @property
+    def attributed_us(self) -> int:
+        return sum(self.buckets.values())
+
+    def to_json(self) -> dict:
+        return {
+            "op": self.name,
+            "trace_id": self.trace_id,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "node": self.node,
+            "path": self.path,
+            "error": self.error,
+            "buckets": dict(sorted(self.buckets.items())),
+            "events": dict(sorted(self.events.items())),
+        }
+
+
+def _descendants(root, children):
+    """(span, depth) for every descendant of ``root``, recording order."""
+    out = []
+    frontier = [(root, 0)]
+    while frontier:
+        span, depth = frontier.pop()
+        for child in children.get(span.span_id, ()):
+            out.append((child, depth + 1))
+            frontier.append((child, depth + 1))
+    return out
+
+
+def _attribute(root, children) -> OpAttribution:
+    """Partition one root's window by interval sweep (see module doc)."""
+    attribution = OpAttribution(
+        name=root.name[len("op."):],
+        trace_id=root.trace_id,
+        start_us=root.start_us,
+        duration_us=root.duration_us,
+        node=root.tags.get("node"),
+        path=root.tags.get("path"),
+        error=root.tags.get("error"),
+    )
+    lo, hi = root.start_us, root.end_us
+    # (start, end, depth, order, bucket) intervals competing for instants.
+    intervals: list[tuple[int, int, int, int, str]] = []
+    order = 0
+    for span, depth in _descendants(root, children):
+        if span.end_us is None:
+            continue
+        event_bucket = _EVENT_BUCKETS.get(span.name)
+        if event_bucket is not None:
+            attribution.events[event_bucket] = (
+                attribution.events.get(event_bucket, 0) + 1
+            )
+        wait = _WAIT_TAGS.get(span.name)
+        if wait is not None:
+            tag, bucket = wait
+            wait_us = int(span.tags.get(tag, 0))
+            start = max(lo, span.end_us - wait_us)
+            if span.end_us > start:
+                order += 1
+                intervals.append(
+                    (start, min(hi, span.end_us), _WAIT_DEPTH, order, bucket)
+                )
+            continue
+        bucket = classify_span(span.name)
+        if bucket is None:
+            continue
+        start, end = max(lo, span.start_us), min(hi, span.end_us)
+        if end > start:
+            order += 1
+            intervals.append((start, end, depth, order, bucket))
+    if hi > lo:
+        bounds = {lo, hi}
+        for start, end, _, _, _ in intervals:
+            bounds.add(start)
+            bounds.add(end)
+        points = sorted(bounds)
+        buckets = attribution.buckets
+        for t0, t1 in zip(points, points[1:]):
+            best = None
+            for start, end, depth, order, bucket in intervals:
+                if start <= t0 and end >= t1:
+                    key = (depth, order)
+                    if best is None or key > best[0]:
+                        best = (key, bucket)
+            bucket = best[1] if best is not None else "op_self"
+            buckets[bucket] = buckets.get(bucket, 0) + (t1 - t0)
+    return attribution
+
+
+def analyze(tracer) -> list[OpAttribution]:
+    """One :class:`OpAttribution` per finished ``op.*`` root span.
+
+    ``tracer`` is a :class:`~repro.obs.trace.Tracer` (its per-trace
+    index makes this linear in the span count).  Nested ``op.*`` spans
+    (an op re-entering the inbound API) are folded into their outermost
+    ancestor rather than analyzed twice.
+    """
+    out: list[OpAttribution] = []
+    for spans in tracer.traces().values():
+        by_id = {s.span_id: s for s in spans}
+        children: dict[int, list] = {}
+        for span in spans:
+            if span.parent_id is not None:
+                children.setdefault(span.parent_id, []).append(span)
+        for span in spans:
+            if not span.name.startswith("op.") or span.end_us is None:
+                continue
+            parent, nested = span.parent_id, False
+            while parent is not None:
+                ancestor = by_id.get(parent)
+                if ancestor is None:
+                    break
+                if ancestor.name.startswith("op."):
+                    nested = True
+                    break
+                parent = ancestor.parent_id
+            if not nested:
+                out.append(_attribute(span, children))
+    return out
+
+
+# ----------------------------------------------------------------------
+# tail attribution
+# ----------------------------------------------------------------------
+def blame_summary(group: list[OpAttribution]) -> dict:
+    """Aggregate bucket blame (time shares + event counts) over a group."""
+    time_us: dict[str, int] = {}
+    events: dict[str, int] = {}
+    for attribution in group:
+        for bucket, us in attribution.buckets.items():
+            time_us[bucket] = time_us.get(bucket, 0) + us
+        for bucket, count in attribution.events.items():
+            events[bucket] = events.get(bucket, 0) + count
+    total = sum(time_us.values())
+    blame = {
+        bucket: {
+            "ms": round(us / 1000.0, 3),
+            "share": round(us / total, 4) if total else 0.0,
+        }
+        for bucket, us in sorted(time_us.items())
+    }
+    dominant = None
+    if time_us:
+        dominant = max(sorted(time_us), key=lambda b: time_us[b])
+    elif group:
+        # Zero-duration ops (cache hits, existence probes) have no time
+        # to blame; the op itself is trivially the whole critical path.
+        dominant = "op_self"
+    return {
+        "count": len(group),
+        "dominant": dominant,
+        "blame": blame,
+        "events": dict(sorted(events.items())),
+    }
+
+
+def tail_report(
+    attributions: list[OpAttribution],
+    quantile: float = 0.99,
+    classes: dict[str, str] | None = None,
+) -> dict:
+    """Blame aggregation for every op at or beyond its class ``quantile``.
+
+    ``classes`` maps op name -> SLO class (e.g. the scale runner's
+    ``OP_CLASSES``); unmapped ops form their own class.  Failed ops are
+    excluded from the latency distribution (they are refusals, not slow
+    successes) but reported separately as ``errors``.
+    """
+    grouped: dict[str, list[OpAttribution]] = {}
+    errors: dict[str, int] = {}
+    for attribution in attributions:
+        cls = (classes or {}).get(attribution.name, attribution.name)
+        if attribution.error is not None:
+            errors[cls] = errors.get(cls, 0) + 1
+            continue
+        grouped.setdefault(cls, []).append(attribution)
+    out_classes: dict[str, dict] = {}
+    for cls in sorted(grouped):
+        group = grouped[cls]
+        durations = sorted(a.duration_us for a in group)
+        threshold = percentile_of(durations, quantile)
+        tail = [a for a in group if a.duration_us >= threshold]
+        worst = max(group, key=lambda a: (a.duration_us, a.start_us))
+        out_classes[cls] = {
+            "count": len(group),
+            "errors": errors.pop(cls, 0),
+            "p_ms": round(threshold / 1000.0, 3),
+            "all": blame_summary(group),
+            "tail": blame_summary(tail),
+            "worst": worst.to_json(),
+        }
+    for cls, count in sorted(errors.items()):  # classes with only failures
+        out_classes[cls] = {
+            "count": 0,
+            "errors": count,
+            "p_ms": 0.0,
+            "all": blame_summary([]),
+            "tail": blame_summary([]),
+            "worst": None,
+        }
+    return {
+        "format": CRITPATH_FORMAT,
+        "quantile": quantile,
+        "ops_analyzed": len(attributions),
+        "classes": out_classes,
+    }
+
+
+def critpath_json(report: dict) -> str:
+    """The canonical byte-stable serialization of a tail report."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def write_critpath(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(critpath_json(report))
+    return path
+
+
+def format_report(report: dict) -> str:
+    """An aligned text rendering of a tail-attribution report."""
+    lines = [
+        f"critical-path tail attribution "
+        f"(q={report['quantile']}, {report['ops_analyzed']} ops)"
+    ]
+    for cls, doc in report["classes"].items():
+        tail = doc["tail"]
+        head = (
+            f"{cls}: {doc['count']} ops, p{int(report['quantile'] * 100)}"
+            f"={doc['p_ms']}ms, {tail['count']} in tail"
+        )
+        if doc["errors"]:
+            head += f", {doc['errors']} failed"
+        lines.append(head)
+        for bucket, share in sorted(
+            tail["blame"].items(), key=lambda kv: -kv[1]["ms"]
+        ):
+            marker = " <- dominant" if bucket == tail["dominant"] else ""
+            lines.append(
+                f"  {bucket:<14} {share['ms']:>10.3f}ms "
+                f"{share['share']:>7.1%}{marker}"
+            )
+        if tail["events"]:
+            lines.append(
+                "  events: "
+                + ", ".join(
+                    f"{bucket}={count}"
+                    for bucket, count in tail["events"].items()
+                )
+            )
+    return "\n".join(lines)

@@ -117,6 +117,7 @@ class Histogram:
         "min",
         "_sorted",
         "_rng",
+        "_window",
     )
 
     def __init__(self, name: str, reservoir_size: int = 4096):
@@ -126,18 +127,43 @@ class Histogram:
         self.reservoir_size = reservoir_size
         self.samples = 0
         self.total = 0
-        self.max = 0
+        # Both extrema are None until the first observation: a zero max
+        # on an all-negative (or empty) stream is a lie.
+        self.max: int | float | None = None
         self.min: int | float | None = None
         self._sorted: list = []
         self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+        self._window: list | None = None
+
+    def enable_window(self) -> None:
+        """Start buffering raw observations for per-window statistics.
+
+        Used by the telemetry sampler: between two ``drain_window``
+        calls every observation is also kept verbatim, so a time-series
+        window can report *its own* p50/p99 rather than the cumulative
+        reservoir's.  Off by default -- the unsampled hot path pays one
+        ``is None`` check per observation.
+        """
+        if self._window is None:
+            self._window = []
+
+    def drain_window(self) -> list:
+        """Return (sorted) and reset the current window buffer."""
+        if not self._window:
+            return []
+        window = sorted(self._window)
+        self._window.clear()
+        return window
 
     def observe(self, value) -> None:
         self.samples += 1
         self.total += value
-        if value > self.max:
+        if self.max is None or value > self.max:
             self.max = value
         if self.min is None or value < self.min:
             self.min = value
+        if self._window is not None:
+            self._window.append(value)
         if len(self._sorted) < self.reservoir_size:
             insort(self._sorted, value)
             return
@@ -175,6 +201,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._windowed = False
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -198,7 +225,20 @@ class MetricsRegistry:
             instrument = self._histograms[name] = Histogram(
                 name, self._reservoir_size
             )
+            if self._windowed:
+                instrument.enable_window()
         return instrument
+
+    def enable_windows(self) -> None:
+        """Window-buffer every histogram, including ones created later.
+
+        Called by the telemetry sampler when it attaches; instruments
+        are created lazily on first use, so the registry remembers the
+        windowing choice for late arrivals.
+        """
+        self._windowed = True
+        for hist in self._histograms.values():
+            hist.enable_window()
 
     def _check_free(self, name: str) -> None:
         if name in self._counters or name in self._gauges or name in self._histograms:
@@ -207,6 +247,9 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def counters(self) -> Iterable[Counter]:
         return self._counters.values()
+
+    def gauges(self) -> Iterable[Gauge]:
+        return self._gauges.values()
 
     def histograms(self) -> Iterable[Histogram]:
         return self._histograms.values()
@@ -221,7 +264,10 @@ class MetricsRegistry:
         for name, hist in self._histograms.items():
             out[f"{name}.count"] = hist.samples
             out[f"{name}.mean"] = hist.mean
-            out[f"{name}.max"] = hist.max
+            # Extrema are None until the first observation; the snapshot
+            # contract is numbers only, so empty reports 0.0 for both.
+            out[f"{name}.min"] = hist.min if hist.min is not None else 0.0
+            out[f"{name}.max"] = hist.max if hist.max is not None else 0.0
             out[f"{name}.p50"] = hist.percentile(0.50)
             out[f"{name}.p95"] = hist.percentile(0.95)
             out[f"{name}.p99"] = hist.percentile(0.99)

@@ -1,0 +1,289 @@
+"""Temporal telemetry: registry snapshots on a fixed sim-clock cadence.
+
+``Monitor.snapshot()`` answers "what happened in total"; this module
+answers *when*.  A :class:`TelemetrySampler` subscribes to the
+simulated clock and, each time an advance crosses an interval
+boundary, snapshots every middleware's metrics into one *window*:
+
+* cumulative counters become per-window **deltas** (and rates -- the
+  window records its own span, so gaps are honest);
+* gauges become **levels** (the value at sample time);
+* histograms get **per-window** p50/p95/p99 from a window buffer the
+  sampler drains each sample (the cumulative reservoir cannot answer
+  "p99 *during this second*"), pooled across middlewares into a fleet
+  view.
+
+Everything reads the sim clock and never writes it: sampling is
+passive, so enabling it cannot change a deterministic-simulation
+digest.  Windows live in a bounded ring buffer; the timeline document
+(:func:`timeline_json`) is byte-stable for a given run.
+
+    sampler = TelemetrySampler(fs, interval_us=1_000_000)
+    sampler.attach()
+    ...  # drive the workload
+    sampler.detach()
+    doc = sampler.timeline()
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+from .metrics import percentile_of
+
+TIMELINE_FORMAT = "h2cloud-timeline-v1"
+
+#: snapshot keys that are levels (sampled as-is), not cumulative counters
+LEVEL_KEYS = frozenset(
+    {
+        "fd_cache.size",
+        "fd_cache.hit_rate",
+        "maintenance.merge_blocked",
+        "gossip.in_flight",
+        "membership.epoch",
+        "membership.pending_moves",
+        "membership.handoff_p50_ms",
+        "membership.handoff_p99_ms",
+        "resilience.breakers_open",
+        "degraded.stale_rings",
+        "integrity.quarantined_replicas",
+        "integrity.unrecoverable_objects",
+        "trace.spans",
+    }
+)
+
+#: snapshot keys the timeline drops outright: the window carries its own
+#: time, and cumulative distribution stats are replaced by the per-window
+#: histogram section.
+_DROP_KEYS = frozenset({"clock.now_ms"})
+
+_CUMULATIVE_OP_SUFFIXES = (".count", ".errors")
+
+
+def _classify(key: str) -> str:
+    """'level' | 'counter' | 'drop' for one Monitor.snapshot key."""
+    if key in _DROP_KEYS:
+        return "drop"
+    if key in LEVEL_KEYS:
+        return "level"
+    if key.startswith("op.") and not key.endswith(_CUMULATIVE_OP_SUFFIXES):
+        # op.<name>.{mean,min,max,p50,p95,p99}_ms -- cumulative
+        # distribution stats; the per-window histogram section owns these.
+        return "drop"
+    return "counter"
+
+
+def _window_stats(samples_us: list) -> dict[str, float]:
+    """count/p50/p95/p99/max (ms) over one window's latency samples."""
+    return {
+        "count": len(samples_us),
+        "p50_ms": round(percentile_of(samples_us, 0.50) / 1000.0, 3),
+        "p95_ms": round(percentile_of(samples_us, 0.95) / 1000.0, 3),
+        "p99_ms": round(percentile_of(samples_us, 0.99) / 1000.0, 3),
+        "max_ms": round(samples_us[-1] / 1000.0, 3),
+    }
+
+
+class TelemetrySampler:
+    """Snapshots a deployment's registries into ring-buffered windows.
+
+    ``interval_us`` is the cadence on the *simulated* clock.  Windows
+    are emitted lazily: the first real advance at or past a boundary
+    emits one window covering everything since the previous sample (a
+    quiet deployment produces no empty filler windows -- the window
+    records its own ``span_us``).  ``max_windows`` bounds memory; older
+    windows are evicted and counted.
+    """
+
+    def __init__(self, fs, interval_us: int = 1_000_000, max_windows: int = 512):
+        if interval_us < 1:
+            raise ValueError("interval_us must be >= 1")
+        if max_windows < 1:
+            raise ValueError("max_windows must be >= 1")
+        self.fs = fs
+        self.interval_us = interval_us
+        self.max_windows = max_windows
+        self.windows: deque = deque()
+        self.evicted = 0
+        self.samples = 0
+        self._listener = None
+        self._prev: dict[int, dict[str, float]] = {}
+        self._prev_t_us = fs.clock.now_us
+        # Monotone guard: ``run_isolated`` rewinds the clock without
+        # notifying listeners, so later advances re-cross times we have
+        # already sampled.  Sampling strictly at/after _next_due keeps
+        # every window emitted exactly once.
+        self._next_due = self._boundary(fs.clock.now_us) + interval_us
+
+    # ------------------------------------------------------------------
+    def _boundary(self, now_us: int) -> int:
+        return now_us - (now_us % self.interval_us)
+
+    def attach(self) -> "TelemetrySampler":
+        """Subscribe to the clock and window-buffer every histogram."""
+        if self._listener is None:
+            for mw in self.fs.middlewares:
+                mw.metrics.enable_windows()
+            self._prev = {
+                mw.node_id: mw.monitor.snapshot() for mw in self.fs.middlewares
+            }
+            self._prev_t_us = self.fs.clock.now_us
+            self._listener = self.fs.clock.subscribe(self._on_advance)
+        return self
+
+    def detach(self, flush: bool = True) -> None:
+        """Unsubscribe; optionally emit one final partial window.
+
+        A no-op when already detached -- time that passed while not
+        attached is never flushed into a window.
+        """
+        if self._listener is None:
+            return
+        self.fs.clock.unsubscribe(self._listener)
+        self._listener = None
+        if flush and self.fs.clock.now_us > self._prev_t_us:
+            self._sample(self.fs.clock.now_us, self.fs.clock.now_us)
+
+    def _on_advance(self, now_us: int) -> None:
+        if now_us < self._next_due:
+            return
+        due = self._boundary(now_us)
+        self._sample(due, now_us)
+        self._next_due = due + self.interval_us
+
+    # ------------------------------------------------------------------
+    def _sample(self, due_us: int, now_us: int) -> None:
+        """Emit one window covering (prev sample, now]."""
+        span_us = now_us - self._prev_t_us
+        nodes: dict[str, dict] = {}
+        fleet_rates: dict[str, float] = {}
+        fleet_samples: dict[str, list] = {}
+        for mw in self.fs.middlewares:
+            snapshot = mw.monitor.snapshot()
+            prev = self._prev.get(mw.node_id, {})
+            rates: dict[str, float] = {}
+            levels: dict[str, float] = {}
+            for key, value in snapshot.items():
+                kind = _classify(key)
+                if kind == "drop":
+                    continue
+                if kind == "level":
+                    levels[key] = round(float(value), 6)
+                    continue
+                delta = value - prev.get(key, 0.0)
+                if delta:
+                    rates[key] = round(float(delta), 6)
+                    fleet_rates[key] = round(
+                        fleet_rates.get(key, 0.0) + float(delta), 6
+                    )
+            nodes[str(mw.node_id)] = {"rates": rates, "levels": levels}
+            self._prev[mw.node_id] = snapshot
+            for hist in mw.metrics.histograms():
+                drained = hist.drain_window()
+                if drained:
+                    merged = fleet_samples.setdefault(hist.name, [])
+                    merged.extend(drained)
+        hist_stats = {
+            name: _window_stats(sorted(samples))
+            for name, samples in sorted(fleet_samples.items())
+        }
+        self.windows.append(
+            {
+                "due_us": due_us,
+                "t_us": now_us,
+                "span_us": span_us,
+                "nodes": nodes,
+                "fleet": {"rates": dict(sorted(fleet_rates.items()))},
+                "hist": hist_stats,
+            }
+        )
+        self.samples += 1
+        self._prev_t_us = now_us
+        while len(self.windows) > self.max_windows:
+            self.windows.popleft()
+            self.evicted += 1
+
+    # ------------------------------------------------------------------
+    def timeline(self) -> dict:
+        """The JSON timeline document (byte-stable under sort_keys)."""
+        return {
+            "format": TIMELINE_FORMAT,
+            "interval_us": self.interval_us,
+            "samples": self.samples,
+            "evicted": self.evicted,
+            "windows": list(self.windows),
+        }
+
+
+def timeline_json(sampler: TelemetrySampler) -> str:
+    """The canonical byte-stable serialization of a sampler's timeline."""
+    return json.dumps(sampler.timeline(), indent=2, sort_keys=True) + "\n"
+
+
+def write_timeline(sampler: TelemetrySampler, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(timeline_json(sampler))
+    return path
+
+
+# ----------------------------------------------------------------------
+# text rendering (CLI)
+# ----------------------------------------------------------------------
+def condense_timeline(doc: dict, keep: int = 32) -> dict:
+    """A bench-artifact-sized digest of a timeline document.
+
+    Keeps the fleet view of (at most) the last ``keep`` windows --
+    enough for "when did the storm hit" archaeology in BENCH_scale.json
+    without shipping per-node detail.
+    """
+    windows = doc.get("windows", [])
+    condensed = [
+        {
+            "t_ms": round(w["t_us"] / 1000.0, 3),
+            "span_ms": round(w["span_us"] / 1000.0, 3),
+            "rates": w["fleet"]["rates"],
+            "hist": w["hist"],
+        }
+        for w in windows[-keep:]
+    ]
+    return {
+        "interval_us": doc.get("interval_us"),
+        "samples": doc.get("samples", len(windows)),
+        "evicted": doc.get("evicted", 0),
+        "windows": condensed,
+    }
+
+
+def format_timeline(doc: dict, columns: tuple[str, ...] | None = None) -> str:
+    """An aligned text rendering of a timeline's fleet view."""
+    windows = doc.get("windows", [])
+    if not windows:
+        return "timeline: no windows sampled"
+    if columns is None:
+        # The busiest fleet counters, by total volume across the run.
+        totals: dict[str, float] = {}
+        for w in windows:
+            for key, value in w["fleet"]["rates"].items():
+                totals[key] = totals.get(key, 0.0) + value
+        columns = tuple(
+            sorted(totals, key=lambda k: (-totals[k], k))[:6]
+        )
+    header = f"{'t_ms':>10} {'span_ms':>8}" + "".join(
+        f" {c.split('.', 1)[-1]:>14}" for c in columns
+    ) + f" {'p99_ms':>8}"
+    lines = [header]
+    for w in windows:
+        p99 = max(
+            (s["p99_ms"] for s in w["hist"].values()), default=0.0
+        )
+        lines.append(
+            f"{w['t_us'] / 1000.0:>10.1f} {w['span_us'] / 1000.0:>8.1f}"
+            + "".join(
+                f" {w['fleet']['rates'].get(c, 0):>14g}" for c in columns
+            )
+            + f" {p99:>8.3f}"
+        )
+    return "\n".join(lines)

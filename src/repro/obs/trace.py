@@ -59,11 +59,12 @@ class Span:
 class _ActiveSpan:
     """Context manager binding one :class:`Span` to the tracer stack."""
 
-    __slots__ = ("_tracer", "span")
+    __slots__ = ("_tracer", "span", "retained")
 
-    def __init__(self, tracer: "Tracer", span: Span):
+    def __init__(self, tracer: "Tracer", span: Span, retained: bool):
         self._tracer = tracer
         self.span = span
+        self.retained = retained
 
     def __enter__(self) -> Span:
         self._tracer._stack.append(self.span)
@@ -74,6 +75,8 @@ class _ActiveSpan:
         span.end_us = self._tracer._clock.now_us
         if exc_type is not None:
             span.tags.setdefault("error", exc_type.__name__)
+        if self.retained:
+            self._tracer._finished_count += 1
         stack = self._tracer._stack
         if stack and stack[-1] is span:
             stack.pop()
@@ -121,6 +124,14 @@ class Tracer:
         self._stack: list[Span] = []
         self._next_trace = 0
         self._next_span = 0
+        self._muted = 0
+        # Incremental trace-id index + finished-span memo: the critpath
+        # analyzer asks for both repeatedly, and a 250k-span rescan per
+        # call would make it quadratic.
+        self._by_trace: dict[int, list[Span]] = {}
+        self._finished_count = 0
+        self._finished_key: tuple[int, int] = (-1, -1)
+        self._finished: list[Span] = []
 
     # ------------------------------------------------------------------
     def span(
@@ -150,11 +161,16 @@ class Tracer:
             start_us=self._clock.now_us,
             tags=dict(tags) if tags else {},
         )
-        if len(self.spans) < self.max_spans:
+        retained = False
+        if self._muted:
+            pass  # suppressed, not counted as dropped (see mute())
+        elif len(self.spans) < self.max_spans:
             self.spans.append(span)
+            self._by_trace.setdefault(trace_id, []).append(span)
+            retained = True
         else:
             self.dropped += 1
-        return _ActiveSpan(self, span)
+        return _ActiveSpan(self, span, retained)
 
     def event(
         self,
@@ -171,19 +187,56 @@ class Tracer:
         """The context to stamp onto outbound metadata (patches, rumors)."""
         return self._stack[-1].context if self._stack else None
 
+    def mute(self) -> "_Muted":
+        """Context manager: suppress span *retention* inside the block.
+
+        Spans still open, stack, parent and close normally -- contexts
+        carried by patches/rumors born inside stay coherent -- but
+        nothing is appended to ``spans`` (and nothing counts as
+        dropped).  Scale runs mute bulk provisioning so the span budget
+        is spent on client ops, not tenant seeding.
+        """
+        return _Muted(self)
+
     def finished_spans(self) -> list[Span]:
-        return [s for s in self.spans if s.end_us is not None]
+        """Spans with an end time, in recording order (memoized)."""
+        key = (len(self.spans), self._finished_count)
+        if key != self._finished_key:
+            self._finished = [s for s in self.spans if s.end_us is not None]
+            self._finished_key = key
+        return self._finished
 
     def traces(self) -> dict[int, list[Span]]:
-        """Spans grouped by trace id, in recording order."""
-        grouped: dict[int, list[Span]] = {}
-        for span in self.spans:
-            grouped.setdefault(span.trace_id, []).append(span)
-        return grouped
+        """Spans grouped by trace id, in recording order.
+
+        The returned mapping is the tracer's live index -- treat it as
+        read-only (it is rebuilt only by :meth:`clear`).
+        """
+        return self._by_trace
 
     def clear(self) -> None:
         self.spans.clear()
         self.dropped = 0
+        self._by_trace = {}
+        self._finished_count = 0
+        self._finished_key = (-1, -1)
+        self._finished = []
+
+
+class _Muted:
+    """Reentrant guard for :meth:`Tracer.mute`."""
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+
+    def __enter__(self) -> "Tracer":
+        self._tracer._muted += 1
+        return self._tracer
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._muted -= 1
 
 
 class NullTracer:
@@ -201,6 +254,9 @@ class NullTracer:
 
     def current(self) -> None:
         return None
+
+    def mute(self) -> _NullSpan:
+        return _NULL_SPAN
 
     def finished_spans(self) -> list:
         return []

@@ -22,6 +22,7 @@ avoid.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -57,6 +58,30 @@ from .resilience import (
 _UNREACHABLE = (NodeDown, CircuitOpenError, TransientIOError, RequestTimeout)
 
 T = TypeVar("T")
+
+
+def _store_span(op: str):
+    """Wrap a store primitive in a ``store.<op>`` span when tracing.
+
+    The span brackets everything the primitive charges to the clock --
+    replica fan-out, retries, backoff waits -- so the critical-path
+    analyzer can attribute an operation's time to individual store
+    round trips.  With the null tracer the wrapper is one extra call
+    frame and a truthiness check.
+    """
+
+    def decorate(method):
+        @functools.wraps(method)
+        def wrapper(self, name, *args, **kwargs):
+            tracer = self.tracer
+            if tracer.noop:
+                return method(self, name, *args, **kwargs)
+            with tracer.span(f"store.{op}", tags={"object": name}):
+                return method(self, name, *args, **kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 @dataclass(frozen=True)
@@ -188,6 +213,13 @@ class ObjectStore:
                     # The client waited the timeout out before failing.
                     self.clock.advance(exc.waited_us)
                     self.resilience.timeouts += 1
+                    self.tracer.event(
+                        "store.timeout",
+                        tags={
+                            "store_node": node.node_id,
+                            "waited_us": exc.waited_us,
+                        },
+                    )
                 if isinstance(exc, TransientIOError):
                     self.resilience.io_errors += 1
                 trips_before = breaker.trips
@@ -210,6 +242,7 @@ class ObjectStore:
                         "store_node": node.node_id,
                         "attempt": attempt,
                         "error": type(exc).__name__,
+                        "wait_us": wait_us,
                     },
                 )
                 continue
@@ -258,6 +291,7 @@ class ObjectStore:
     # ------------------------------------------------------------------
     # primitives
     # ------------------------------------------------------------------
+    @_store_span("put")
     def put(
         self,
         name: str,
@@ -311,6 +345,11 @@ class ObjectStore:
             previous[node_id] = old
             disk_costs.append(cost)
             self.membership.write_throughs += 1
+            if not self.tracer.noop:
+                self.tracer.event(
+                    "membership.write_through",
+                    tags={"object": name, "store_node": node_id},
+                )
         if written < min(self.write_quorum, len(self.ring.node_ids)):
             # Failed write: undo the partial replicas so a quorum
             # failure is atomic from the client's point of view
@@ -344,6 +383,7 @@ class ObjectStore:
             timestamp=record.timestamp,
         )
 
+    @_store_span("get")
     def get(self, name: str) -> ObjectRecord:
         """Fetch an object from the first healthy *verified* replica."""
         record, disk_cost, retries = self._read_replica(
@@ -357,6 +397,7 @@ class ObjectStore:
         )
         return record
 
+    @_store_span("get_range")
     def get_range(self, name: str, offset: int, length: int):
         """Ranged GET: fetch ``length`` bytes starting at ``offset``.
 
@@ -388,6 +429,7 @@ class ObjectStore:
         )
         return payload
 
+    @_store_span("head")
     def head(self, name: str) -> ObjectInfo:
         """Metadata-only fetch (no payload transfer)."""
         record, disk_cost, retries = self._read_replica(name, want_data=False)
@@ -403,6 +445,7 @@ class ObjectStore:
             timestamp=record.timestamp,
         )
 
+    @_store_span("delete")
     def delete(self, name: str, missing_ok: bool = False) -> None:
         """Remove an object from every healthy replica."""
         if name not in self._names:
@@ -481,6 +524,10 @@ class ObjectStore:
             # the partition's handoff completes.
             placement.extend(extras)
             self.membership.dual_reads += 1
+            if not self.tracer.noop:
+                self.tracer.event(
+                    "membership.dual_read", tags={"object": name}
+                )
         bad = self.quarantine.get(name, set())
         preferred = [
             nid

@@ -1,0 +1,148 @@
+"""Scale bench telemetry: passivity, determinism, attribution quality.
+
+This file carries the PR's acceptance gates: turning telemetry on must
+not move a scenario digest, two same-seed runs must produce
+byte-identical timeline/attribution/alert artifacts (sha256 asserted),
+and every graded op class must get a non-null dominant blame bucket
+whose per-op sums match root wall time exactly.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.bench.scale import (
+    OP_CLASSES,
+    SCALE_SAMPLE_INTERVAL_US,
+    run_scenario,
+)
+from repro.obs.alerts import DEFAULT_RULES, alerts_json, evaluate_rules
+from repro.obs.critpath import critpath_json
+from repro.workloads.scenarios import build_scenario
+
+
+def _spec():
+    return build_scenario("sync-storm", tier="micro", seed=7)
+
+
+def _telemetry_run():
+    return run_scenario(
+        _spec(),
+        capture_trace=True,
+        sample_interval_us=SCALE_SAMPLE_INTERVAL_US // 100,
+    )
+
+
+@pytest.fixture(scope="module")
+def telemetry_report():
+    return _telemetry_run()
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class TestPassivity:
+    def test_telemetry_never_moves_the_digest(self, telemetry_report):
+        """Acceptance: sampling + tracing are passive observers."""
+        plain = run_scenario(_spec())
+        assert plain.digest == telemetry_report.digest
+        assert plain.cards_text() == telemetry_report.cards_text()
+
+    def test_plain_run_carries_no_telemetry_sections(self):
+        plain = run_scenario(_spec())
+        assert plain.timeline is None
+        assert plain.critpath is None
+        assert "timeline" not in plain.document
+        assert "tail_attribution" not in plain.document
+
+
+class TestDeterminism:
+    def test_artifacts_byte_identical_across_runs(self, telemetry_report):
+        """Acceptance: same seed -> identical timeline, attribution,
+        and alert bytes (digest-for-digest)."""
+        again = _telemetry_run()
+
+        def artifact_digests(report):
+            timeline = json.dumps(report.timeline, sort_keys=True)
+            alerts = alerts_json(evaluate_rules(report.timeline, DEFAULT_RULES))
+            return (
+                _sha(timeline),
+                _sha(critpath_json(report.critpath)),
+                _sha(json.dumps(report.tenant_attribution, sort_keys=True)),
+                _sha(alerts),
+                _sha(json.dumps(report.document, sort_keys=True)),
+            )
+
+        assert artifact_digests(again) == artifact_digests(telemetry_report)
+
+
+class TestTimelineSection:
+    def test_document_gains_timeline(self, telemetry_report):
+        doc = telemetry_report.document
+        assert doc["timeline"]["samples"] > 0
+        for window in doc["timeline"]["windows"]:
+            assert window["span_ms"] > 0
+        # graded sections untouched (the digest commits to the cards)
+        assert doc["format"] and doc["worst_tenant"] and doc["digest"]
+
+    def test_windows_saw_client_traffic(self, telemetry_report):
+        rates = {}
+        for window in telemetry_report.timeline["windows"]:
+            for key, value in window["fleet"]["rates"].items():
+                rates[key] = rates.get(key, 0.0) + value
+        assert any(k.startswith("op.") and k.endswith(".count") for k in rates)
+        assert any(k.startswith("store.") for k in rates)
+
+
+class TestTailAttribution:
+    def test_every_class_names_a_dominant_bucket(self, telemetry_report):
+        """Acceptance: each op class beyond its p99 gets a blame name."""
+        classes = telemetry_report.critpath["classes"]
+        # SLO classes plus any unmapped op kinds (classed by op name)
+        assert set(classes) & set(OP_CLASSES.values())
+        assert classes, "no op classes attributed"
+        for name, doc in classes.items():
+            if doc["count"] == 0:  # all ops failed -> zeroed entry
+                continue
+            assert doc["tail"]["count"] >= 1, name
+            assert doc["tail"]["dominant"] is not None, name
+            blame = doc["tail"]["blame"]
+            # zero-duration classes blame op_self with no time table
+            assert doc["tail"]["dominant"] in blame or not blame, name
+
+    def test_blame_shares_cover_the_tail_exactly(self, telemetry_report):
+        """Acceptance: bucket time sums to root wall time (shares sum
+        to 1 within rounding -- the partition itself is exact)."""
+        for name, doc in telemetry_report.critpath["classes"].items():
+            for section in ("all", "tail"):
+                blame = doc[section]["blame"]
+                if not blame:
+                    continue
+                total = sum(b["share"] for b in blame.values())
+                assert total == pytest.approx(1.0, abs=0.01), (name, section)
+
+    def test_tenant_attribution_targets_worst_tenants(self, telemetry_report):
+        tenants = telemetry_report.tenant_attribution
+        assert tenants, "no tenants attributed"
+        p99s = [doc["p99_ms"] for doc in tenants.values()]
+        assert p99s == sorted(p99s, reverse=True)
+        for account, doc in tenants.items():
+            assert account.startswith("t")
+            assert doc["ops"] >= 1
+            assert doc["tail"]["dominant"] is not None
+
+    def test_document_tail_attribution_section(self, telemetry_report):
+        section = telemetry_report.document["tail_attribution"]
+        assert section["fleet"]["format"] == "h2cloud-critpath-v1"
+        assert section["tenants"] == telemetry_report.tenant_attribution
+
+
+class TestAlertGate:
+    def test_default_rules_quiet_on_committed_scenario(self, telemetry_report):
+        """The nightly catalog gate: stock rules stay silent on a clean
+        committed scenario run."""
+        doc = evaluate_rules(telemetry_report.timeline, DEFAULT_RULES)
+        assert doc["alerts"] == [], doc["alerts"]
+        assert doc["windows_evaluated"] == telemetry_report.timeline["samples"]

@@ -59,9 +59,25 @@ class TestSaveTrace:
         traced = run_schedule(schedule, capture_trace=True)
         case_path = corpus_mod.save_case(traced, str(tmp_path))
         corpus_mod.save_trace(traced, str(tmp_path))
+        corpus_mod.save_critpath(traced, str(tmp_path))
         assert corpus_mod.corpus_cases(str(tmp_path)) == [case_path]
 
     def test_none_without_a_tracer(self, tmp_path):
         schedule, _ = load_known_failing()
         result = run_schedule(schedule)
         assert corpus_mod.save_trace(result, str(tmp_path)) is None
+        assert corpus_mod.save_critpath(result, str(tmp_path)) is None
+
+
+class TestSaveCritpath:
+    def test_writes_tail_attribution_companion(self, tmp_path):
+        schedule, _ = load_known_failing()
+        traced = run_schedule(schedule, capture_trace=True)
+        path = corpus_mod.save_critpath(traced, str(tmp_path))
+        assert path is not None and path.endswith(".critpath.json")
+        doc = json.loads(open(path, encoding="utf-8").read())
+        assert doc["format"] == "h2cloud-critpath-v1"
+        assert doc["classes"], "failing run attributed no op classes"
+        for entry in doc["classes"].values():
+            if entry["count"]:
+                assert entry["tail"]["dominant"] is not None

@@ -1,0 +1,210 @@
+"""SLO rules: burn-rate math, episode semantics, stock ruleset."""
+
+import pytest
+
+from repro.obs.alerts import (
+    DEFAULT_RULES,
+    SloRule,
+    alerts_json,
+    burn_rate,
+    evaluate_rules,
+    format_alerts,
+)
+
+
+def window(t_us, rates=None, hist=None):
+    return {
+        "t_us": t_us,
+        "span_us": 1_000,
+        "fleet": {"rates": rates or {}},
+        "hist": hist or {},
+    }
+
+
+def timeline(windows):
+    return {"format": "h2cloud-timeline-v1", "windows": windows}
+
+
+def latency_rule(**kw):
+    defaults = dict(
+        name="lat", kind="latency", hist="op.read", threshold_ms=100.0, windows=2
+    )
+    defaults.update(kw)
+    return SloRule(**defaults)
+
+
+def burn_rule(**kw):
+    defaults = dict(
+        name="burn",
+        kind="burn_rate",
+        bad=("op.*.errors",),
+        good=("op.*.count",),
+        budget=0.01,
+        factor=2.0,
+        short_windows=1,
+        long_windows=3,
+    )
+    defaults.update(kw)
+    return SloRule(**defaults)
+
+
+class TestBurnRateMath:
+    def test_basic(self):
+        # 5% errors against a 1% budget burns 5x
+        assert burn_rate(5, 95, 0.01) == pytest.approx(5.0)
+
+    def test_no_traffic_is_zero(self):
+        assert burn_rate(0, 0, 0.01) == 0.0
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            burn_rate(1, 1, 0)
+
+    def test_monotone_in_bad(self):
+        previous = -1.0
+        for bad in range(0, 50, 5):
+            current = burn_rate(bad, 100, 0.01)
+            assert current >= previous
+            previous = current
+
+
+class TestRuleValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SloRule(name="x", kind="spectral")
+
+    def test_latency_windows_floor(self):
+        with pytest.raises(ValueError):
+            latency_rule(windows=0)
+
+    def test_burn_window_ordering(self):
+        with pytest.raises(ValueError):
+            burn_rule(short_windows=4, long_windows=2)
+
+
+class TestLatencyRule:
+    def _hist(self, p99):
+        return {"op.read": {"p99_ms": p99}}
+
+    def test_needs_consecutive_windows(self):
+        windows = [
+            window(1_000, hist=self._hist(500)),  # over
+            window(2_000, hist=self._hist(50)),  # recovers -> run resets
+            window(3_000, hist=self._hist(500)),  # over again, run=1
+        ]
+        doc = evaluate_rules(timeline(windows), [latency_rule(windows=2)])
+        assert doc["alerts"] == []
+
+    def test_fires_once_per_episode(self):
+        windows = [window(t, hist=self._hist(500)) for t in (1, 2, 3, 4, 5)]
+        doc = evaluate_rules(timeline(windows), [latency_rule(windows=2)])
+        assert len(doc["alerts"]) == 1
+        alert = doc["alerts"][0]
+        assert alert["t_us"] == 2  # first window completing the run
+        assert alert["consecutive_windows"] == 2
+        assert alert["value_ms"] == 500
+
+    def test_refires_after_recovery(self):
+        over, under = self._hist(500), self._hist(50)
+        windows = [
+            window(1, hist=over),
+            window(2, hist=over),  # episode 1 fires
+            window(3, hist=under),  # clears
+            window(4, hist=over),
+            window(5, hist=over),  # episode 2 fires
+        ]
+        doc = evaluate_rules(timeline(windows), [latency_rule(windows=2)])
+        assert [a["t_us"] for a in doc["alerts"]] == [2, 5]
+
+    def test_empty_hist_selector_takes_worst(self):
+        hist = {"op.read": {"p99_ms": 10.0}, "op.write": {"p99_ms": 900.0}}
+        windows = [window(1, hist=hist), window(2, hist=hist)]
+        doc = evaluate_rules(timeline(windows), [latency_rule(hist="")])
+        assert doc["alerts"][0]["value_ms"] == 900.0
+
+    def test_missing_histogram_never_fires(self):
+        windows = [window(t, hist={"op.write": {"p99_ms": 999.0}}) for t in (1, 2)]
+        doc = evaluate_rules(timeline(windows), [latency_rule(hist="op.read")])
+        assert doc["alerts"] == []
+
+
+class TestBurnRateRule:
+    def test_short_spike_gated_by_long_window(self):
+        """One hot window: short avg burns, long avg does not -> quiet."""
+        quiet = {"op.read.count": 100.0}
+        windows = [
+            window(1, rates=quiet),
+            window(2, rates=quiet),
+            window(3, rates={"op.read.count": 50.0, "op.read.errors": 50.0}),
+        ]
+        rule = burn_rule(budget=0.01, factor=10.0, long_windows=3)
+        doc = evaluate_rules(timeline(windows), [rule])
+        # window 3 alone: short burn 50x, long burn ~16.7x >= 10 would fire;
+        # tighten the factor so the long window gates it out.
+        rule = burn_rule(budget=0.01, factor=20.0, long_windows=3)
+        doc = evaluate_rules(timeline(windows), [rule])
+        assert doc["alerts"] == []
+
+    def test_sustained_burn_fires_once(self):
+        hot = {"op.read.count": 90.0, "op.read.errors": 10.0}  # 10x of 1%
+        windows = [window(t, rates=hot) for t in (1, 2, 3, 4)]
+        doc = evaluate_rules(timeline(windows), [burn_rule(factor=5.0)])
+        assert len(doc["alerts"]) == 1
+        alert = doc["alerts"][0]
+        assert alert["t_us"] == 1
+        assert alert["short_burn"] == pytest.approx(10.0)
+
+    def test_glob_patterns_select_counters(self):
+        rates = {
+            "op.read.errors": 5.0,
+            "op.write.errors": 5.0,
+            "op.read.count": 90.0,
+            "gossip.sends": 1_000.0,  # must not count as traffic
+        }
+        windows = [window(1, rates=rates)]
+        doc = evaluate_rules(timeline(windows), [burn_rule(factor=2.0)])
+        # bad=10, good=90 -> ratio 0.1 -> 10x of 1% budget
+        assert doc["alerts"][0]["short_burn"] == pytest.approx(10.0)
+
+    def test_no_traffic_is_silent(self):
+        windows = [window(t) for t in (1, 2, 3)]
+        doc = evaluate_rules(timeline(windows), [burn_rule()])
+        assert doc["alerts"] == []
+
+
+class TestEvaluateRules:
+    def test_document_shape_and_ordering(self):
+        hot = {"op.read.count": 50.0, "op.read.errors": 50.0}
+        hist = {"op.read": {"p99_ms": 500.0}}
+        windows = [window(t, rates=hot, hist=hist) for t in (1, 2, 3)]
+        doc = evaluate_rules(
+            timeline(windows),
+            [latency_rule(windows=1), burn_rule(factor=2.0)],
+        )
+        assert doc["format"] == "h2cloud-alerts-v1"
+        assert doc["rules"] == ["lat", "burn"]
+        assert doc["windows_evaluated"] == 3
+        times = [(a["t_us"], a["rule"]) for a in doc["alerts"]]
+        assert times == sorted(times)
+
+    def test_serialize_and_render(self):
+        hist = {"op.read": {"p99_ms": 500.0}}
+        windows = [window(t, hist=hist) for t in (1, 2)]
+        doc = evaluate_rules(timeline(windows), [latency_rule()])
+        assert alerts_json(doc).endswith("\n")
+        text = format_alerts(doc)
+        assert "1 firing" in text and "lat" in text
+
+    def test_default_rules_quiet_on_healthy_traffic(self):
+        """The stock ruleset stays silent over clean windows -- the
+        nightly catalog gate depends on this."""
+        healthy = {"op.read.count": 1_000.0}
+        hist = {"op.read": {"p99_ms": 120.0}}
+        windows = [window(t * 1_000, rates=healthy, hist=hist) for t in range(20)]
+        doc = evaluate_rules(timeline(windows), DEFAULT_RULES)
+        assert doc["alerts"] == []
+        assert doc["rules"] == [
+            "client-op-p99",
+            "error-budget-burn",
+            "degraded-serve-burn",
+        ]

@@ -1,0 +1,200 @@
+"""Critical-path analyzer: exact partitions, carves, tail blame."""
+
+from repro.obs.critpath import (
+    analyze,
+    blame_summary,
+    classify_span,
+    critpath_json,
+    format_report,
+    tail_report,
+)
+from repro.obs.trace import Tracer
+from repro.simcloud.clock import SimClock
+
+
+def build() -> tuple[SimClock, Tracer]:
+    clock = SimClock()
+    return clock, Tracer(clock)
+
+
+def one_root(tracer):
+    [attribution] = analyze(tracer)
+    return attribution
+
+
+class TestClassify:
+    def test_store_ops(self):
+        assert classify_span("store.get") == "store_get"
+        assert classify_span("store.get_range") == "store_get"
+        assert classify_span("store.put") == "store_put"
+        assert classify_span("store.head") == "store_other"
+
+    def test_maintenance(self):
+        assert classify_span("lookup.hop") == "lookup"
+        assert classify_span("patch.group_flush") == "merge_flush"
+        assert classify_span("merge.apply") == "merge_flush"
+        assert classify_span("gossip.apply") == "gossip"
+
+    def test_unclassified(self):
+        assert classify_span("http") is None
+        assert classify_span("op.read") is None
+
+
+class TestAttribution:
+    def test_buckets_partition_the_root_exactly(self):
+        clock, tracer = build()
+        with tracer.span("op.read"):
+            clock.advance(10)  # op self time
+            with tracer.span("lookup.hop"):
+                clock.advance(5)  # lookup self time
+                with tracer.span("store.get"):
+                    clock.advance(40)
+            with tracer.span("store.get"):
+                clock.advance(30)
+            clock.advance(15)  # more self time
+        attribution = one_root(tracer)
+        assert attribution.duration_us == 100
+        assert attribution.buckets == {
+            "op_self": 25,
+            "lookup": 5,
+            "store_get": 70,
+        }
+        assert attribution.attributed_us == attribution.duration_us
+
+    def test_deepest_active_span_wins(self):
+        """A store GET inside a lookup hop is store service time, not
+        lookup time -- depth breaks the tie."""
+        clock, tracer = build()
+        with tracer.span("op.stat"):
+            with tracer.span("lookup.hop"):
+                with tracer.span("store.get"):
+                    clock.advance(50)
+        attribution = one_root(tracer)
+        assert attribution.buckets == {"store_get": 50}
+
+    def test_retry_wait_is_carved_out_of_the_store_call(self):
+        clock, tracer = build()
+        with tracer.span("op.write"):
+            with tracer.span("store.put"):
+                clock.advance(20)  # first attempt
+                clock.advance(30)  # backoff sleep
+                tracer.event("store.retry", tags={"wait_us": 30})
+                clock.advance(25)  # winning attempt
+        attribution = one_root(tracer)
+        assert attribution.buckets == {"store_put": 45, "retry_backoff": 30}
+        assert attribution.events == {"retry_backoff": 1}
+        assert attribution.attributed_us == 75
+
+    def test_timeout_wait_is_carved(self):
+        clock, tracer = build()
+        with tracer.span("op.read"):
+            with tracer.span("store.get"):
+                clock.advance(100)
+                tracer.event("store.timeout", tags={"waited_us": 100})
+                clock.advance(10)
+        attribution = one_root(tracer)
+        assert attribution.buckets == {"timeout_wait": 100, "store_get": 10}
+
+    def test_zero_duration_events_only_count(self):
+        clock, tracer = build()
+        with tracer.span("op.read"):
+            tracer.event("breaker.fast_fail", tags={"store_node": 1})
+            tracer.event("membership.dual_read", tags={"object": "o"})
+            clock.advance(5)
+        attribution = one_root(tracer)
+        assert attribution.events == {"breaker_wait": 1, "membership": 1}
+        assert attribution.buckets == {"op_self": 5}
+
+    def test_error_tag_is_surfaced(self):
+        clock, tracer = build()
+        try:
+            with tracer.span("op.mkdir"):
+                clock.advance(3)
+                raise ValueError("denied")
+        except ValueError:
+            pass
+        attribution = one_root(tracer)
+        assert attribution.error == "ValueError"
+
+    def test_nested_op_roots_fold_into_outermost(self):
+        clock, tracer = build()
+        with tracer.span("op.write"):
+            with tracer.span("op.mkdir"):  # re-entered inbound API
+                clock.advance(10)
+        attributions = analyze(tracer)
+        assert [a.name for a in attributions] == ["write"]
+
+    def test_background_traces_have_no_roots(self):
+        clock, tracer = build()
+        with tracer.span("merge.apply"):
+            clock.advance(10)
+        assert analyze(tracer) == []
+
+    def test_zero_duration_op(self):
+        _, tracer = build()
+        with tracer.span("op.exists"):
+            pass
+        attribution = one_root(tracer)
+        assert attribution.duration_us == 0
+        assert attribution.buckets == {}
+
+
+class TestTailReport:
+    def _populate(self, clock, tracer, durations, op="op.read"):
+        for us in durations:
+            with tracer.span(op):
+                with tracer.span("store.get"):
+                    clock.advance(us)
+
+    def test_dominant_bucket_named_per_class(self):
+        clock, tracer = build()
+        self._populate(clock, tracer, [10] * 99 + [500])
+        report = tail_report(analyze(tracer))
+        doc = report["classes"]["read"]
+        assert doc["count"] == 100
+        assert doc["tail"]["dominant"] == "store_get"
+        assert doc["tail"]["count"] >= 1
+        assert doc["worst"]["duration_us"] == 500
+
+    def test_classes_mapping_groups_ops(self):
+        clock, tracer = build()
+        self._populate(clock, tracer, [10, 20], op="op.stat")
+        self._populate(clock, tracer, [10, 20], op="op.list")
+        report = tail_report(
+            analyze(tracer), classes={"stat": "meta", "list": "meta"}
+        )
+        assert set(report["classes"]) == {"meta"}
+        assert report["classes"]["meta"]["count"] == 4
+
+    def test_errors_excluded_from_distribution(self):
+        clock, tracer = build()
+        self._populate(clock, tracer, [10, 20])
+        try:
+            with tracer.span("op.read"):
+                clock.advance(9_999)
+                raise RuntimeError("unavailable")
+        except RuntimeError:
+            pass
+        report = tail_report(analyze(tracer))
+        doc = report["classes"]["read"]
+        assert doc["count"] == 2
+        assert doc["errors"] == 1
+        assert doc["worst"]["duration_us"] == 20  # not the failed op
+
+    def test_blame_shares_sum_to_one(self):
+        clock, tracer = build()
+        with tracer.span("op.read"):
+            clock.advance(10)
+            with tracer.span("store.get"):
+                clock.advance(30)
+        summary = blame_summary(analyze(tracer))
+        assert sum(b["share"] for b in summary["blame"].values()) == 1.0
+
+    def test_report_serializes_and_renders(self):
+        clock, tracer = build()
+        self._populate(clock, tracer, [10, 20, 30])
+        report = tail_report(analyze(tracer))
+        assert report["format"] == "h2cloud-critpath-v1"
+        assert critpath_json(report).endswith("\n")
+        text = format_report(report)
+        assert "dominant" in text and "read" in text

@@ -87,7 +87,7 @@ GOSSIP_KEYS = frozenset(
 
 #: per-op keys follow exactly these two shapes
 _OP_KEY = re.compile(
-    r"^op\.[a-z_]+\.(count|mean_ms|max_ms|p50_ms|p95_ms|p99_ms|errors)$"
+    r"^op\.[a-z_]+\.(count|mean_ms|min_ms|max_ms|p50_ms|p95_ms|p99_ms|errors)$"
 )
 
 
@@ -120,9 +120,12 @@ class TestGoldenKeys:
         assert op_keys, "instrumented ops must appear in the snapshot"
         for key in op_keys:
             assert _OP_KEY.match(key), key
-        # the canned session exercised these ops; all six stats exist
+        # the canned session exercised these ops; all seven stats exist
         for op in ("mkdir", "write", "list"):
-            for stat in ("count", "mean_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms"):
+            for stat in (
+                "count", "mean_ms", "min_ms", "max_ms",
+                "p50_ms", "p95_ms", "p99_ms",
+            ):
                 assert f"op.{op}.{stat}" in snapshot
 
     def test_values_are_numbers(self):

@@ -70,6 +70,35 @@ class TestHistogram:
     def test_empty_percentile_is_zero(self):
         assert Histogram("h").percentile(0.99) == 0.0
 
+    def test_empty_extrema_are_none(self):
+        """No observations: both extrema are None (a zero ``max`` on an
+        empty stream would claim a sample that never happened)."""
+        hist = Histogram("h")
+        assert hist.max is None
+        assert hist.min is None
+
+    def test_all_negative_stream_extrema(self):
+        hist = Histogram("h")
+        for v in (-30, -10, -20):
+            hist.observe(v)
+        assert hist.max == -10
+        assert hist.min == -30
+
+    def test_window_buffer_off_by_default(self):
+        hist = Histogram("h")
+        hist.observe(5)
+        assert hist.drain_window() == []
+
+    def test_window_buffer_drains_sorted_and_resets(self):
+        hist = Histogram("h")
+        hist.enable_window()
+        for v in (30, 10, 20):
+            hist.observe(v)
+        assert hist.drain_window() == [10, 20, 30]
+        assert hist.drain_window() == []
+        hist.observe(7)
+        assert hist.drain_window() == [7]
+
     def test_percentile_validation(self):
         hist = Histogram("h")
         with pytest.raises(ValueError):
@@ -137,9 +166,28 @@ class TestMetricsRegistry:
         assert snap["live"] == 9
         assert snap["lat.count"] == 2
         assert snap["lat.mean"] == 200
+        assert snap["lat.min"] == 100
         assert snap["lat.max"] == 300
         assert snap["lat.p50"] == pytest.approx(200.0)
         assert snap["lat.p99"] == pytest.approx(298.0)
+
+    def test_snapshot_empty_histogram_reports_zero_extrema(self):
+        """Snapshot values are numbers: None extrema flatten to 0.0."""
+        registry = MetricsRegistry()
+        registry.histogram("lat")
+        snap = registry.snapshot()
+        assert snap["lat.min"] == 0.0
+        assert snap["lat.max"] == 0.0
+
+    def test_enable_windows_covers_late_instruments(self):
+        registry = MetricsRegistry()
+        early = registry.histogram("early")
+        registry.enable_windows()
+        late = registry.histogram("late")
+        early.observe(1)
+        late.observe(2)
+        assert early.drain_window() == [1]
+        assert late.drain_window() == [2]
 
 
 class TestNullRegistry:

@@ -95,3 +95,55 @@ class TestOverheadGuard:
             f"({observed * 1e3:.1f}ms vs {baseline * 1e3:.1f}ms "
             f"for {OPS} ops)"
         )
+
+    def test_sampler_off_pays_no_window_buffering(self):
+        """Without a TelemetrySampler attached, histograms keep no
+        window buffers and the hot path pays one ``is None`` check."""
+        fs, rel = build(observe=True)
+        for _ in range(10):
+            fs.read_relative(rel)
+        mw = fs.middlewares[0]
+        for hist in mw.metrics.histograms():
+            assert hist._window is None
+            assert hist.drain_window() == []
+
+    def test_sampler_overhead_within_bound(self):
+        """An attached sampler must not blow the instrumentation
+        budget: same workload, sampler pumping every sim second."""
+        from repro.obs.timeseries import TelemetrySampler
+
+        baseline_fs, baseline_rel = build(observe=False)
+        sampled_fs, sampled_rel = build(observe=True)
+        sampler = TelemetrySampler(sampled_fs, interval_us=10_000)
+        sampler.attach()
+        baseline = best_of(baseline_fs, baseline_rel)
+        sampled = best_of(sampled_fs, sampled_rel)
+        sampler.detach()
+        assert sampler.samples > 0  # the cadence actually fired
+        assert sampled <= baseline * (2 * MAX_FACTOR) + 0.020, (
+            f"sampler overhead {sampled / baseline:.1f}x exceeds "
+            f"{2 * MAX_FACTOR}x guard"
+        )
+
+    def test_null_tracer_fast_paths_are_constant(self):
+        """NULL_TRACER's whole surface (incl. the new mute/index APIs)
+        stays allocation-free no-ops."""
+        from repro.obs.trace import NULL_TRACER, _NULL_SPAN
+
+        assert NULL_TRACER.span("op.x") is _NULL_SPAN
+        assert NULL_TRACER.mute() is _NULL_SPAN
+        with NULL_TRACER.mute():
+            assert NULL_TRACER.current() is None
+        assert NULL_TRACER.finished_spans() == []
+        assert NULL_TRACER.traces() == {}
+
+    def test_memoized_finished_spans_reuse(self):
+        """finished_spans() is memoized between mutations: the critpath
+        analyzer can call it repeatedly without a full rescan."""
+        fs, rel = build(observe=True)
+        fs.read_relative(rel)
+        first = fs.tracer.finished_spans()
+        assert fs.tracer.finished_spans() is first  # cached
+        fs.read_relative(rel)
+        second = fs.tracer.finished_spans()
+        assert second is not first and len(second) > len(first)

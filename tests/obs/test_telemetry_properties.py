@@ -1,0 +1,182 @@
+"""Property tests for the temporal-observability layer.
+
+Hypothesis drives three invariants the hand-written cases can only
+spot-check: timelines are a pure function of the op sequence, critical-
+path buckets always partition the root span exactly (any tree shape,
+any wait carve), and burn-rate is monotone in badness.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.alerts import burn_rate
+from repro.obs.critpath import analyze
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TelemetrySampler, timeline_json
+from repro.obs.trace import Tracer
+from repro.simcloud.clock import SimClock
+
+
+# ----------------------------------------------------------------------
+# critical path: generated span trees
+# ----------------------------------------------------------------------
+_SPAN_NAMES = (
+    "store.get",
+    "store.put",
+    "lookup.hop",
+    "gossip.apply",
+    "merge.apply",
+    "membership.handoff",  # unclassified -> parent absorbs
+)
+
+# A segment is one step inside a span: idle time, a retry sleep that
+# announces itself via an instant event, or a recursive child span.
+_leaf_segment = st.one_of(
+    st.tuples(st.just("advance"), st.integers(min_value=0, max_value=200)),
+    st.tuples(st.just("retry"), st.integers(min_value=1, max_value=100)),
+)
+_segments = st.recursive(
+    _leaf_segment,
+    lambda inner: st.tuples(
+        st.just("child"),
+        st.sampled_from(_SPAN_NAMES),
+        st.lists(inner, max_size=4),
+    ),
+    max_leaves=25,
+)
+_span_tree = st.lists(_segments, max_size=6)
+
+
+def _replay(tracer, clock, segments):
+    for segment in segments:
+        if segment[0] == "advance":
+            clock.advance(segment[1])
+        elif segment[0] == "retry":
+            clock.advance(segment[1])
+            tracer.event("store.retry", tags={"wait_us": segment[1]})
+        else:
+            _, name, inner = segment
+            with tracer.span(name):
+                _replay(tracer, clock, inner)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_span_tree)
+def test_buckets_always_partition_the_root(segments):
+    clock = SimClock()
+    tracer = Tracer(clock)
+    with tracer.span("op.read"):
+        _replay(tracer, clock, segments)
+    [attribution] = analyze(tracer)
+    assert attribution.attributed_us == attribution.duration_us
+    assert all(us >= 0 for us in attribution.buckets.values())
+    assert all(n >= 1 for n in attribution.events.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(_span_tree)
+def test_attribution_is_deterministic(segments):
+    def run():
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("op.write"):
+            _replay(tracer, clock, segments)
+        [attribution] = analyze(tracer)
+        return attribution.to_json()
+
+    assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# time series: generated metric programs on a stub deployment
+# ----------------------------------------------------------------------
+class _StubMonitor:
+    def __init__(self, registry):
+        self._registry = registry
+
+    def snapshot(self):
+        return self._registry.snapshot()
+
+
+class _StubMiddleware:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.metrics = MetricsRegistry()
+        self.monitor = _StubMonitor(self.metrics)
+
+
+class _StubFS:
+    def __init__(self, nodes=2):
+        self.clock = SimClock()
+        self.middlewares = [_StubMiddleware(i) for i in range(nodes)]
+
+
+_program = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50_000),  # advance_us
+        st.integers(min_value=0, max_value=1),  # node
+        st.integers(min_value=0, max_value=9),  # counter increment
+        st.integers(min_value=0, max_value=5_000),  # latency sample (us)
+    ),
+    max_size=40,
+)
+
+
+def _run_program(program, interval_us):
+    fs = _StubFS()
+    sampler = TelemetrySampler(fs, interval_us=interval_us).attach()
+    for advance_us, node, inc, latency_us in program:
+        mw = fs.middlewares[node]
+        if inc:
+            mw.metrics.counter("store.gets").inc(inc)
+        mw.metrics.histogram("op.read").observe(latency_us)
+        if advance_us:
+            fs.clock.advance(advance_us)
+    sampler.detach()
+    return sampler
+
+
+@settings(max_examples=50, deadline=None)
+@given(_program, st.sampled_from([1_000, 10_000, 25_000]))
+def test_counter_deltas_never_negative(program, interval_us):
+    sampler = _run_program(program, interval_us)
+    for window in sampler.windows:
+        assert window["span_us"] > 0
+        for node in window["nodes"].values():
+            assert all(delta >= 0 for delta in node["rates"].values())
+        assert all(v >= 0 for v in window["fleet"]["rates"].values())
+
+
+@settings(max_examples=50, deadline=None)
+@given(_program, st.sampled_from([1_000, 10_000, 25_000]))
+def test_windows_partition_elapsed_time(program, interval_us):
+    sampler = _run_program(program, interval_us)
+    elapsed = sum(advance for advance, _, _, _ in program)
+    assert sum(w["span_us"] for w in sampler.windows) == elapsed
+
+
+@settings(max_examples=30, deadline=None)
+@given(_program, st.sampled_from([1_000, 10_000]))
+def test_timeline_is_a_pure_function_of_the_program(program, interval_us):
+    first = timeline_json(_run_program(program, interval_us))
+    second = timeline_json(_run_program(program, interval_us))
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# burn rate: monotone, bounded
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(min_value=0, max_value=1e6),
+    st.floats(min_value=0, max_value=1e6),
+    st.floats(min_value=0, max_value=1e6),
+    st.floats(min_value=1e-6, max_value=1.0),
+)
+def test_burn_rate_monotone_in_bad(bad, extra_bad, good, budget):
+    base = burn_rate(bad, good, budget)
+    worse = burn_rate(bad + extra_bad, good, budget)
+    assert worse >= base
+    assert base >= 0.0
+    # ratio is capped at 1, so the burn is capped at 1/budget
+    assert worse <= 1.0 / budget + 1e-9

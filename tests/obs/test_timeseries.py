@@ -1,0 +1,167 @@
+"""TelemetrySampler: cadence, classification, ring buffer, rewinds."""
+
+import json
+
+from repro.core import H2CloudFS
+from repro.obs.timeseries import (
+    LEVEL_KEYS,
+    TelemetrySampler,
+    _classify,
+    condense_timeline,
+    format_timeline,
+    timeline_json,
+)
+from repro.simcloud import SwiftCluster
+
+
+def build(middlewares: int = 1) -> H2CloudFS:
+    return H2CloudFS(
+        SwiftCluster.rack_scale(), account="ts", middlewares=middlewares
+    )
+
+
+def drive(fs: H2CloudFS, rounds: int = 5, root: str = "/d") -> None:
+    fs.mkdir(root)
+    for i in range(rounds):
+        fs.write(f"{root}/f{i}", b"x" * 64)
+        fs.read(f"{root}/f{i}")
+        fs.listdir(root)
+    fs.pump()
+
+
+class TestClassification:
+    def test_levels_are_levels(self):
+        for key in LEVEL_KEYS:
+            assert _classify(key) == "level"
+
+    def test_cumulative_op_stats_dropped(self):
+        assert _classify("op.read.p99_ms") == "drop"
+        assert _classify("op.read.mean_ms") == "drop"
+        assert _classify("clock.now_ms") == "drop"
+
+    def test_op_counters_kept(self):
+        assert _classify("op.read.count") == "counter"
+        assert _classify("op.read.errors") == "counter"
+        assert _classify("store.gets") == "counter"
+
+
+class TestSampler:
+    def test_windows_on_cadence(self):
+        fs = build()
+        sampler = TelemetrySampler(fs, interval_us=50_000).attach()
+        drive(fs)
+        sampler.detach(flush=False)
+        assert sampler.samples > 1
+        for window in sampler.windows:
+            assert window["due_us"] % 50_000 == 0
+            assert window["t_us"] >= window["due_us"]
+            assert window["span_us"] > 0
+
+    def test_windows_cover_elapsed_time_exactly(self):
+        fs = build()
+        start = fs.clock.now_us
+        sampler = TelemetrySampler(fs, interval_us=50_000).attach()
+        drive(fs)
+        sampler.detach()  # flush=True: final partial window
+        covered = sum(w["span_us"] for w in sampler.windows)
+        assert covered == fs.clock.now_us - start
+
+    def test_counter_deltas_non_negative_and_levels_split(self):
+        fs = build(middlewares=2)
+        sampler = TelemetrySampler(fs, interval_us=50_000).attach()
+        drive(fs)
+        sampler.detach()
+        saw_rate = saw_level = False
+        for window in sampler.windows:
+            for node in window["nodes"].values():
+                for key, delta in node["rates"].items():
+                    assert delta >= 0, key
+                    assert _classify(key) == "counter"
+                    saw_rate = True
+                for key in node["levels"]:
+                    assert _classify(key) == "level"
+                    saw_level = True
+            for key, total in window["fleet"]["rates"].items():
+                assert total >= 0, key
+        assert saw_rate and saw_level
+
+    def test_per_window_histogram_stats(self):
+        fs = build()
+        sampler = TelemetrySampler(fs, interval_us=50_000).attach()
+        drive(fs)
+        sampler.detach()
+        names = set()
+        for window in sampler.windows:
+            for name, stats in window["hist"].items():
+                names.add(name)
+                assert stats["count"] >= 1
+                assert 0 <= stats["p50_ms"] <= stats["p99_ms"] <= stats["max_ms"]
+        assert any(name.startswith("op.") for name in names)
+
+    def test_ring_buffer_evicts_oldest(self):
+        fs = build()
+        sampler = TelemetrySampler(fs, interval_us=10_000, max_windows=3)
+        sampler.attach()
+        drive(fs, rounds=8)
+        sampler.detach(flush=False)
+        assert len(sampler.windows) == 3
+        assert sampler.evicted == sampler.samples - 3 > 0
+        doc = sampler.timeline()
+        assert doc["evicted"] == sampler.evicted
+
+    def test_isolated_rewind_never_resamples(self):
+        """``run_isolated`` rewinds the clock without notifying; the
+        monotone guard must keep windows unique and time-ordered."""
+        fs = build(middlewares=2)  # gossip -> background() -> run_isolated
+        sampler = TelemetrySampler(fs, interval_us=20_000).attach()
+        drive(fs)
+        fs.pump()
+        sampler.detach(flush=False)
+        dues = [w["due_us"] for w in sampler.windows]
+        assert dues == sorted(dues)
+        assert len(set(dues)) == len(dues)
+
+    def test_detach_is_idempotent_and_stops_sampling(self):
+        fs = build()
+        sampler = TelemetrySampler(fs, interval_us=10_000).attach()
+        drive(fs, rounds=2)
+        sampler.detach()
+        count = sampler.samples
+        drive(fs, rounds=2, root="/e")
+        sampler.detach()
+        assert sampler.samples == count
+
+    def test_timeline_document_shape(self):
+        fs = build()
+        sampler = TelemetrySampler(fs, interval_us=50_000).attach()
+        drive(fs)
+        sampler.detach()
+        doc = sampler.timeline()
+        assert doc["format"] == "h2cloud-timeline-v1"
+        assert doc["interval_us"] == 50_000
+        assert len(doc["windows"]) == doc["samples"]
+        json.loads(timeline_json(sampler))  # round-trips
+
+    def test_condense_and_render(self):
+        fs = build()
+        sampler = TelemetrySampler(fs, interval_us=50_000).attach()
+        drive(fs)
+        sampler.detach()
+        doc = sampler.timeline()
+        condensed = condense_timeline(doc, keep=2)
+        assert len(condensed["windows"]) <= 2
+        assert condensed["samples"] == doc["samples"]
+        text = format_timeline(doc)
+        assert "t_ms" in text and len(text.splitlines()) == 1 + len(
+            doc["windows"]
+        )
+
+    def test_two_identical_sessions_identical_timelines(self):
+        def timeline() -> str:
+            fs = build(middlewares=2)
+            sampler = TelemetrySampler(fs, interval_us=50_000).attach()
+            drive(fs)
+            sampler.detach()
+            return timeline_json(sampler)
+
+        assert timeline() == timeline()
