@@ -5,6 +5,7 @@
     python -m repro repair       # fault drill: outage -> sweep -> healed
     python -m repro scrub        # integrity drill: bit-rot -> scrub -> healed
     python -m repro rebalance    # membership drill: join/drain -> live migration
+    python -m repro partition    # partition drill: cut -> hinted writes -> heal
     python -m repro bench [...]  # forwards to repro.bench's CLI
     python -m repro dst [...]    # deterministic simulation testing
     python -m repro scenario [...]  # multi-tenant scenario suite + SLO cards
@@ -24,7 +25,7 @@ def overview() -> None:
     print(f"repro {__version__} -- reproduction of H2Cloud (ICPP 2018)")
     print(__import__("repro").__doc__)
     print(
-        "subcommands: demo | repair | scrub | rebalance "
+        "subcommands: demo | repair | scrub | rebalance | partition "
         "| bench [experiment ...] | dst [...] | scenario [...] "
         "| metrics | trace | obs [...]"
     )
@@ -180,6 +181,86 @@ def rebalance() -> int:
     return 0
 
 
+def partition() -> int:
+    """Partition drill: sever a middleware, write through the cut, heal.
+
+    A link-level cut severs one middleware from half the storage fleet
+    -- *its* view only; the other middlewares still reach every node
+    and gossip keeps flowing.  With hinted handoff armed, writes routed
+    through the cut middleware stay available on a sloppy quorum:
+    payloads land on reachable fallback nodes alongside durable hints
+    naming the unreachable homes.  On heal the sweeper drains every
+    hint to its home, and the drill asserts the promise the V8 oracle
+    enforces nightly: the hint store is empty and every acknowledged
+    write is durable on its true owners (docs/PARTITIONS.md).
+    """
+    from .core import H2CloudFS
+    from .simcloud import SwiftCluster, mw_endpoint, node_endpoint
+    from .simcloud.errors import SimCloudError
+
+    cluster = SwiftCluster.rack_scale()
+    cluster.enable_hinted_handoff()
+    fs = H2CloudFS(cluster, account="ops", middlewares=3)
+    fs.makedirs("/srv/app")
+    fs.pump()
+
+    minority = sorted(cluster.nodes)[: len(cluster.nodes) // 2]
+    links = cluster.partitions.isolate(
+        [mw_endpoint(1)],
+        [node_endpoint(n) for n in minority],
+        "drill-cut",
+    )
+    print(
+        f"cut open: middleware 1 lost nodes {minority} "
+        f"({links} directed links severed; other middlewares unaffected)"
+    )
+
+    acked: list[str] = []
+    failed = 0
+    for i in range(24):
+        path = f"/srv/app/obj-{i:02d}"
+        try:
+            fs.write(path, bytes([i]) * 1024)  # round-robins through the cut mw
+        except SimCloudError:
+            failed += 1
+            continue
+        acked.append(path)
+    hints = cluster.store.hints
+    print(
+        f"storm through the cut: {len(acked)} acked, {failed} failed; "
+        f"{hints.sloppy_writes} sloppy-quorum writes parked "
+        f"{hints.outstanding} hints on fallbacks"
+    )
+    assert hints.sloppy_writes > 0, "cut never forced a sloppy write?"
+    blocked = cluster.partitions.blocked_requests
+    assert blocked > 0, "cut never blocked a request?"
+
+    delivered_before = hints.delivered
+    healed = cluster.partitions.heal("drill-cut")  # on_heal fires a drain
+    cluster.hint_sweeper.drain_to_empty()
+    fs.pump()
+    print(
+        f"healed {healed} links; sweeper delivered "
+        f"{hints.delivered - delivered_before} hints to their homes, "
+        f"{hints.outstanding} outstanding"
+    )
+    assert not hints.outstanding, "hints stranded after heal"
+    assert not cluster.partitions.active, "cut still active after heal"
+
+    durable = 0
+    for path in acked:
+        expected = bytes([int(path[-2:])]) * 1024
+        assert fs.middlewares[1].read_file("ops", path) == expected, path
+        assert fs.middlewares[0].read_file("ops", path) == expected, path
+        durable += 1
+    print(
+        f"every acked write survived: {durable}/{len(acked)} durable on "
+        f"their home replicas, readable through both the cut and healthy "
+        f"middlewares ({blocked} requests were blocked at the link layer)"
+    )
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if not argv:
         overview()
@@ -196,6 +277,8 @@ def main(argv: list[str]) -> int:
         return 0
     if command == "rebalance":
         return rebalance()
+    if command == "partition":
+        return partition()
     if command == "bench":
         from .bench.__main__ import main as bench_main
 
@@ -222,8 +305,8 @@ def main(argv: list[str]) -> int:
         return obs_main(rest)
     print(
         f"unknown subcommand {command!r}; "
-        "use demo | repair | scrub | rebalance | bench | dst | scenario "
-        "| metrics | trace | obs"
+        "use demo | repair | scrub | rebalance | partition | bench | dst "
+        "| scenario | metrics | trace | obs"
     )
     return 2
 

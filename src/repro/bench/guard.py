@@ -13,7 +13,10 @@ when any guarded metric regresses by more than the tolerance:
   latencies (a node join must stay cheap for live clients),
 * the scale artifact's fleet throughput (guarded as its inverse,
   ms-per-kop), fleet p99 overall and per op class, and the
-  worst-tenant p99 from the scenario suite's SLO report cards.
+  worst-tenant p99 from the scenario suite's SLO report cards,
+* the partition artifact's per-phase write p99 and unavailable rate
+  (1 - ack_rate) -- the hinted-handoff availability win under a live
+  cut must not silently erode.
 
 Both artifacts are deterministic for a given scale (the simulated
 clock is the only time source), so any drift is a real behavioural
@@ -34,6 +37,7 @@ ARTIFACTS = (
     "BENCH_maintenance.json",
     "BENCH_rebalance.json",
     "BENCH_scale.json",
+    "BENCH_partition.json",
 )
 
 #: a candidate may cost up to this factor of the baseline before failing
@@ -93,6 +97,20 @@ def _guarded_metrics(doc: dict) -> dict[str, float]:
     worst = doc.get("worst_tenant", {})
     if "p99_ms" in worst:
         metrics["worst_tenant.p99_ms"] = worst["p99_ms"]
+    if "hints_on" in doc:
+        for phase in ("hints_off", "hints_on"):
+            stats = doc.get(phase, {})
+            if "write_p99_ms" in stats:
+                metrics[f"{phase}.write_p99_ms"] = stats["write_p99_ms"]
+            if "ack_rate" in stats:
+                # Availability is higher-is-better; guard its complement
+                # so a drop in ack rate reads as a cost increase.  A 1.0
+                # baseline yields 0 and is skipped by _check, but the
+                # hints_off phase always fails some writes, so the pair
+                # still pins the comparison.
+                metrics[f"{phase}.unavailable_rate"] = round(
+                    1.0 - stats["ack_rate"], 4
+                )
     return metrics
 
 

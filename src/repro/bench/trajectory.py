@@ -15,6 +15,12 @@ costs, fed by the unified metrics registry (the same numbers
   membership transition: steady-state vs mid-migration ops/sec and
   p99 latency while the sweeper migrates partitions live, plus the
   handoff totals (partitions, bytes, dual-epoch traffic);
+* ``BENCH_partition.json`` -- availability under a minority network
+  partition: the fig-12-shaped write storm runs with one middleware
+  severed from half the storage nodes, once with hinted handoff off
+  (writes that lose their quorum fail) and once with it on (sloppy
+  quorum parks durable hints on fallbacks), recording acked-write
+  success rate, write p99 and post-heal durability for both;
 * ``BENCH_scale.json`` (written by :mod:`repro.bench.scale`) -- the
   multi-tenant scenario suite's fleet throughput, per-class p99 and
   worst-tenant SLO numbers for the reference ``sync-storm`` replay.
@@ -393,6 +399,93 @@ def rebalance_trajectory() -> dict:
     }
 
 
+def _partition_storm_phase(hinted: bool) -> dict:
+    """The fig-12 write storm under a minority cut, hints on or off.
+
+    Three middlewares; middleware 1 is severed from half the storage
+    nodes, so roughly a third of the storm's writes route through a
+    degraded link.  Without hints any write whose replica set loses
+    its majority behind the cut fails; with hints it completes against
+    a sloppy quorum.  After the storm the cut heals, hints drain, and
+    the phase re-reads every acknowledged file through a healthy
+    middleware -- acked writes must all survive the partition.
+    """
+    from ..simcloud.errors import SimCloudError
+    from ..simcloud.failures import mw_endpoint, node_endpoint
+
+    cluster = SwiftCluster.rack_scale()
+    if hinted:
+        cluster.enable_hinted_handoff()
+    fs = H2CloudFS(cluster, account="bench", middlewares=3)
+    fs.mkdir("/storm")
+    fs.pump()
+    minority = list(range(1, len(cluster.nodes) // 2 + 1))
+    cluster.partitions.isolate(
+        [mw_endpoint(1)],
+        [node_endpoint(n) for n in minority],
+        "storm-cut",
+    )
+    count = 48 if bench_scale() == "full" else 16
+    clock = fs.clock
+    acked: list[str] = []
+    failed = 0
+    writes_us: list[int] = []
+    for d in range(count):
+        path = f"/storm/f{d:03d}"
+        t0 = clock.now_us
+        try:
+            fs.write(path, b"s" * 256)
+        except SimCloudError:
+            failed += 1
+            continue
+        acked.append(path)
+        writes_us.append(clock.now_us - t0)
+    cluster.partitions.heal_all()
+    if hinted:
+        cluster.hint_sweeper.drain_to_empty()
+    hint_counters = dict(cluster.store.hints.snapshot()) if hinted else {}
+    fs.pump()
+    fs.repair()
+    durable = 0
+    reader = fs.middlewares[1]  # never behind the cut
+    for path in acked:
+        if reader.read_file("bench", path) == b"s" * 256:
+            durable += 1
+    return {
+        "writes_attempted": count,
+        "writes_acked": len(acked),
+        "writes_failed": failed,
+        "ack_rate": round(len(acked) / count, 4),
+        "write_p99_ms": round(_p99_ms(writes_us), 3),
+        "acked_durable_after_heal": durable,
+        "severed_nodes": minority,
+        "sim_makespan_ms": fs.clock.now_ms,
+        "hints": hint_counters,
+    }
+
+
+def partition_trajectory() -> dict:
+    """Availability under a minority partition, hints off vs on."""
+    baseline = _partition_storm_phase(hinted=False)
+    hinted = _partition_storm_phase(hinted=True)
+    comparison = {
+        "ack_rate_gain": round(hinted["ack_rate"] - baseline["ack_rate"], 4),
+    }
+    if baseline["write_p99_ms"]:
+        comparison["write_p99_ratio"] = round(
+            hinted["write_p99_ms"] / baseline["write_p99_ms"], 3
+        )
+    return {
+        "format": FORMAT,
+        "artifact": "partition",
+        "scale": bench_scale(),
+        "sim_makespan_ms": hinted["sim_makespan_ms"],
+        "hints_off": baseline,
+        "hints_on": hinted,
+        "comparison": comparison,
+    }
+
+
 def write_bench_artifacts(out_dir: str | Path = ".") -> list[Path]:
     """Write every guarded artifact; returns the paths written."""
     out = Path(out_dir)
@@ -402,6 +495,7 @@ def write_bench_artifacts(out_dir: str | Path = ".") -> list[Path]:
         ("BENCH_headline.json", headline_trajectory()),
         ("BENCH_maintenance.json", maintenance_trajectory()),
         ("BENCH_rebalance.json", rebalance_trajectory()),
+        ("BENCH_partition.json", partition_trajectory()),
     ):
         path = out / name
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -73,6 +73,10 @@ class H2CloudFS:
             if middlewares > 1
             else None
         )
+        if self.network is not None:
+            # Gossip links share the cluster's partition matrix, so one
+            # scheduled cut can sever request and rumor paths together.
+            self.network.partitions = getattr(cluster, "partitions", None)
         self.middlewares = [
             H2Middleware(
                 node_id=i + 1,

@@ -72,6 +72,10 @@ class GossipNetwork:
         self.fanout = fanout
         self.loss = loss or MessageLoss(0.0)
         self.coalesce = coalesce
+        # Link-level partitions (set by the deployment from the
+        # cluster's PartitionPlan): rumors and anti-entropy pulls are
+        # suppressed on severed middleware<->middleware links.
+        self.partitions = None
         self._members: dict[int, object] = {}  # node_id -> middleware
         self._queue: deque[tuple[int, Rumor]] = deque()  # (dst, rumor)
         self.rumors_sent = 0
@@ -106,6 +110,14 @@ class GossipNetwork:
         """Seed a rumor from its origin to ``fanout`` peers."""
         self._send_from(origin_id, rumor)
 
+    def _link_ok(self, src: int, dst: int) -> bool:
+        """Is the directed gossip link ``src -> dst`` unsevered?"""
+        if self.partitions is None:
+            return True
+        from ..simcloud.failures import mw_endpoint
+
+        return self.partitions.reachable(mw_endpoint(src), mw_endpoint(dst))
+
     def _send_from(self, sender_id: int, rumor: Rumor) -> None:
         peers = self.peers_of(sender_id)
         # Deterministic fanout selection: rotate by sender so load spreads
@@ -115,10 +127,17 @@ class GossipNetwork:
         start = sender_id % len(peers)
         targets = [peers[(start + k) % len(peers)] for k in range(min(self.fanout, len(peers)))]
         for dst in targets:
+            # The partition check runs before coalescing and before the
+            # loss draw, so an armed-but-idle partition plan consumes
+            # nothing from the message-loss RNG stream (digest safety).
+            if not self._link_ok(sender_id, dst):
+                if self.partitions is not None:
+                    self.partitions.blocked_rumors += 1
+                continue
             if self.coalesce and self._coalesce_into_queue(dst, rumor):
                 continue
             self.rumors_sent += 1
-            if self.loss.should_drop():
+            if self.loss.should_drop(sender_id, dst):
                 continue
             self._queue.append((dst, rumor))
 
@@ -220,8 +239,16 @@ class GossipNetwork:
         refreshed = 0
         for i, nid in enumerate(node_ids):
             puller = self._members[nid]
-            source = self._members[node_ids[(i + 1) % len(node_ids)]]
+            source_id = node_ids[(i + 1) % len(node_ids)]
+            source = self._members[source_id]
             if source is puller:
+                continue
+            # A pull needs both directions: the request out and the
+            # state back.  Either severed, the pair stays diverged
+            # until the partition heals.
+            if not (
+                self._link_ok(nid, source_id) and self._link_ok(source_id, nid)
+            ):
                 continue
             refreshed += puller.pull_state_from(source)
         return refreshed

@@ -112,16 +112,27 @@ def observed(op_name: str, path_arg: int | None = None):
     def decorate(method):
         @functools.wraps(method)
         def wrapper(self, *args, **kwargs):
-            tracer = self.tracer
-            if tracer.noop and not self.config.observe:
-                return method(self, *args, **kwargs)
-            tags: dict[str, object] = {"node": self.node_id}
-            if path_arg is not None and len(args) > path_arg:
-                tags["path"] = args[path_arg]
-            with tracer.span(f"op.{op_name}", tags=tags):
-                return self.monitor.timed(
-                    op_name, lambda: method(self, *args, **kwargs)
-                )
+            # Scope the store's request origin to this middleware for
+            # the whole operation, so the partition matrix can judge
+            # every node round-trip against *this* node's links.  Saved
+            # and restored (not cleared) because operations nest --
+            # e.g. COPY calling read+write through the same facade.
+            store = self.store
+            prev_origin = store.origin
+            store.origin = self.node_id
+            try:
+                tracer = self.tracer
+                if tracer.noop and not self.config.observe:
+                    return method(self, *args, **kwargs)
+                tags: dict[str, object] = {"node": self.node_id}
+                if path_arg is not None and len(args) > path_arg:
+                    tags["path"] = args[path_arg]
+                with tracer.span(f"op.{op_name}", tags=tags):
+                    return self.monitor.timed(
+                        op_name, lambda: method(self, *args, **kwargs)
+                    )
+            finally:
+                store.origin = prev_origin
 
         return wrapper
 
@@ -515,6 +526,18 @@ class H2Middleware:
         instead; forwarding continues only while there was something to
         drop, so the broadcast dies out once every cache is clean.
         """
+        # The fetch-and-merge below hits the object store on *this*
+        # node's behalf; scope the request origin so a middleware
+        # partitioned from the cloud cannot absorb rumors through it.
+        store = self.store
+        prev_origin = store.origin
+        store.origin = self.node_id
+        try:
+            return self._on_gossip(rumor)
+        finally:
+            store.origin = prev_origin
+
+    def _on_gossip(self, rumor: Rumor) -> bool:
         if rumor.epoch > self._seen_epoch:
             # The announcer saw a newer cluster epoch than we have:
             # learn it from the rumor rather than waiting for our next
@@ -593,6 +616,16 @@ class H2Middleware:
         exchange when the peers already agree, which after convergence
         is almost always.
         """
+        changed = 0
+        store = self.store
+        prev_origin = store.origin
+        store.origin = self.node_id  # write-backs ride this node's links
+        try:
+            return self._pull_state_from(source)
+        finally:
+            store.origin = prev_origin
+
+    def _pull_state_from(self, source: "H2Middleware") -> int:
         changed = 0
         with self.tracer.span(
             "gossip.anti_entropy",

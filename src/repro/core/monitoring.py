@@ -263,6 +263,21 @@ class Monitor:
                     ),
                 }
             )
+        partitions = getattr(mw.store, "partitions", None)
+        if partitions is not None:
+            metrics.update(
+                {
+                    "partition.active_cuts": len(partitions.active),
+                    "partition.cuts_applied": partitions.cuts_applied,
+                    "partition.heals": partitions.heals,
+                    "partition.blocked_requests": partitions.blocked_requests,
+                    "partition.blocked_rumors": partitions.blocked_rumors,
+                }
+            )
+        hints = getattr(mw.store, "hints", None)
+        if hints is not None:
+            for key, value in hints.snapshot().items():
+                metrics[f"traffic.hints_{key}"] = value
         if mw.network is not None:
             metrics["gossip.rumors_sent"] = mw.network.rumors_sent
             metrics["gossip.rumors_delivered"] = mw.network.rumors_delivered

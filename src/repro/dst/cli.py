@@ -1,9 +1,9 @@
 """``python -m repro dst`` -- drive the deterministic simulator.
 
-    dst run     --seed 7 [--faulty | --corruption] [--traffic] [--membership]
-    dst sweep   --seeds 200 [--start 0] [--corruption] [--traffic] [--membership]
+    dst run     --seed 7 [--faulty | --corruption] [--traffic] [--membership] [--partitions]
+    dst sweep   --seeds 200 [--start 0] [--corruption] [--traffic] [--membership] [--partitions]
     dst replay  CASE.json
-    dst shrink  CASE.json | --seed 7 [--faulty | --corruption] [--traffic] [--membership]
+    dst shrink  CASE.json | --seed 7 [--faulty | --corruption] [--traffic] [--membership] [--partitions]
 
 ``run`` executes one seed and prints the verdict; ``sweep`` runs a
 range of seeds alternating fault-free and fault-storm configs (the CI
@@ -15,6 +15,10 @@ minimises a failing case with ddmin and saves the result to the corpus.
 ``--membership`` weaves elastic-membership churn (node joins, drains,
 crash-style removals and bounded rebalance batches) into whichever mix
 the seed gets, and arms the V7 membership-convergence oracle.
+``--partitions`` weaves scheduled link-level network cuts (one
+middleware severed from a minority of storage nodes, sometimes from
+its gossip peers too) into the run, arms sloppy-quorum hinted handoff,
+and turns on the V8 heal-convergence oracle.
 
 Exit codes: 0 clean / reproduced, 1 invariant violations found,
 2 usage or non-reproduction.
@@ -31,6 +35,7 @@ from .explorer import (
     corruption_config,
     faulty_config,
     with_membership_steps,
+    with_partition_steps,
     with_traffic_flags,
 )
 from .runner import RunResult, run_schedule, run_seed
@@ -52,6 +57,8 @@ def _config_from(args: argparse.Namespace) -> DstConfig:
         config = with_traffic_flags(config)
     if getattr(args, "membership", False):
         config = with_membership_steps(config)
+    if getattr(args, "partitions", False):
+        config = with_partition_steps(config)
     return config
 
 
@@ -62,6 +69,7 @@ def sweep_config(
     corruption: bool = False,
     traffic: bool = False,
     membership: bool = False,
+    partitions: bool = False,
 ) -> DstConfig:
     """The nightly mix: even seeds run fault-free (full model check),
     odd seeds run under crash cycles, fault storms and message loss.
@@ -70,7 +78,9 @@ def sweep_config(
     the traffic-reduction flags (negative cache, group commit, gossip
     digests, PUT elision) over whichever base config the seed gets.
     ``membership=True`` weaves elastic-membership churn on top -- the
-    nightly rebalance-storm sweep."""
+    nightly rebalance-storm sweep.  ``partitions=True`` layers
+    scheduled link-level cuts plus hinted handoff (V8) on top -- the
+    nightly partition-storm sweep."""
     if corruption:
         config = corruption_config(sessions=sessions, ops_per_session=ops)
     elif seed % 2 == 0:
@@ -81,6 +91,8 @@ def sweep_config(
         config = with_traffic_flags(config)
     if membership:
         config = with_membership_steps(config)
+    if partitions:
+        config = with_partition_steps(config)
     return config
 
 
@@ -131,6 +143,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 args.corruption,
                 traffic=getattr(args, "traffic", False),
                 membership=getattr(args, "membership", False),
+                partitions=getattr(args, "partitions", False),
             ),
         )
         if result.ok:
@@ -220,6 +233,12 @@ def main(argv: list[str]) -> int:
             help="weave elastic-membership churn: joins, drains, "
             "removals and live rebalance batches (V7 oracle)",
         )
+        p.add_argument(
+            "--partitions",
+            action="store_true",
+            help="weave link-level network cuts and arm sloppy-quorum "
+            "hinted handoff (V8 heal-convergence oracle)",
+        )
 
     p_run = sub.add_parser("run", help="execute one seed")
     p_run.add_argument("--seed", type=int, default=0)
@@ -248,6 +267,11 @@ def main(argv: list[str]) -> int:
         "--membership",
         action="store_true",
         help="weave elastic-membership churn over every seed's config",
+    )
+    p_sweep.add_argument(
+        "--partitions",
+        action="store_true",
+        help="weave link-level cuts + hinted handoff over every seed",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 

@@ -66,6 +66,11 @@ class DstConfig:
     membership_rate: float = 0.0  # per-step p(open an epoch transition)
     rebalance_rate: float = 0.0  # per-step p(one bounded migration batch)
     max_membership: int = 3  # cap on transitions per schedule
+    # Network partitions (all default off so pre-partition corpus
+    # schedules replay bit-identically -- rate-guard idiom again):
+    partition_rate: float = 0.0  # per-step p(opening a partition cut)
+    max_partitions: int = 2  # cap on concurrently open cuts
+    hinted_handoff: bool = False  # arm the sloppy-quorum hint store
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -128,6 +133,22 @@ def with_membership_steps(config: DstConfig) -> DstConfig:
     return replace(config, membership_rate=0.02, rebalance_rate=0.20)
 
 
+def with_partition_steps(config: DstConfig) -> DstConfig:
+    """``config`` with link-level network partitions woven into the run.
+
+    Used by ``dst run|sweep|shrink --partitions``: scheduled cuts sever
+    one middleware from a minority of storage nodes (and sometimes from
+    its gossip peers), then heal a bounded number of steps later.
+    Hinted handoff is armed so sloppy-quorum writes park durable hints
+    on fallback nodes while the cut is open; the V8 oracle then insists
+    that after every cut heals and the hint store drains, no
+    acknowledged write is lost and no hint is stranded.
+    """
+    from dataclasses import replace
+
+    return replace(config, partition_rate=0.04, hinted_handoff=True)
+
+
 def with_traffic_flags(config: DstConfig) -> DstConfig:
     """``config`` with every traffic-reduction mechanism switched on.
 
@@ -186,6 +207,11 @@ class ScheduleExplorer:
         population = list(range(1, cfg.storage_nodes + 1))
         next_node = cfg.storage_nodes + 1
         transitions = 0
+        # Partition bookkeeping: open cuts as [cut_id, steps_until_heal]
+        # (same shape as the crash/recover cycle above -- the tail heals
+        # anything still open so hand-read schedules stay honest).
+        open_cuts: list[list] = []
+        next_cut = 0
         while True:
             live = [
                 k for k in range(cfg.sessions) if cursors[k] < len(streams[k])
@@ -259,6 +285,40 @@ class ScheduleExplorer:
                 steps.append(
                     Step("rebalance", args={"max": rng.choice((4, 8, 16))})
                 )
+            # Network partition cuts (rate guard: with partition_rate at
+            # 0 the rng stream is untouched, so pre-partition schedules
+            # re-explore bit-identically).
+            if cfg.partition_rate:
+                for entry in open_cuts:
+                    entry[1] -= 1
+                while open_cuts and open_cuts[0][1] <= 0:
+                    cut_id, _ = open_cuts.pop(0)
+                    steps.append(Step("heal", args={"cut": cut_id}))
+                if rng.random() < cfg.partition_rate:
+                    if len(open_cuts) < cfg.max_partitions:
+                        mw = rng.randrange(cfg.middlewares)
+                        pool = sorted(population)
+                        # Minority cuts only: the majority side keeps
+                        # quorum, so sloppy writes can park hints.
+                        count = rng.randint(1, max(1, len(pool) // 2))
+                        nodes = sorted(rng.sample(pool, min(count, len(pool))))
+                        cut = f"c{next_cut}"
+                        next_cut += 1
+                        steps.append(
+                            Step(
+                                "partition",
+                                args={
+                                    "cut": cut,
+                                    "mw": mw,
+                                    "nodes": nodes,
+                                    "gossip": rng.random() < 0.35,
+                                    "mode": rng.choice(
+                                        ("both", "both", "in", "out")
+                                    ),
+                                },
+                            )
+                        )
+                        open_cuts.append([cut, rng.randint(4, 15)])
             # Background protocol steps.
             for kind, p in _BG_WEIGHTS:
                 if rng.random() >= p:
@@ -282,6 +342,8 @@ class ScheduleExplorer:
         # keeps hand-read schedules honest.
         for node in down:
             steps.append(Step("recover", args={"node": node, "delay_us": 0}))
+        for cut_id, _ in open_cuts:
+            steps.append(Step("heal", args={"cut": cut_id}))
         steps.append(Step("storm_off"))
         return Schedule(seed=self.seed, config=cfg.to_json(), steps=steps)
 

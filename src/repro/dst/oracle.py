@@ -36,6 +36,15 @@ converged, GC run), these checks must all hold:
   e.g. an old-epoch owner that was never released, or a departed
   epoch's copy resurrected by repair).  Holds vacuously for schedules
   without membership steps, so it runs unconditionally.
+* **V8 heal convergence** -- only when hinted handoff was armed
+  (``--partitions`` runs): after every partition cut healed and the
+  hint-delivery sweeper drained, (a) no cut is still open, (b) the
+  hint store is empty (no hint stranded on a fallback), and (c) every
+  *acknowledged* write survives -- its name is deleted, loudly
+  unrecoverable, or some current ring owner holds a verified replica
+  at least as new as the acknowledged timestamp.  This is the whole
+  point of sloppy quorum: availability during the partition must not
+  cost durability after it.
 
 Unrecoverable objects -- every replica rotted, nothing to heal from --
 are a *legal* outcome of a corruption storm provided they are reported:
@@ -236,6 +245,66 @@ def check_invariants(fs, model: ModelFS | None = None) -> list[InvariantViolatio
                     f"{sorted(holders - owners)}",
                 )
             )
+
+    # V8: heal convergence.  Gated on the hint store -- deployments
+    # that never armed hinted handoff (everything predating the
+    # partition regime) skip it entirely.
+    hints = getattr(store, "hints", None)
+    if hints is not None:
+        partitions = getattr(store, "partitions", None)
+        if partitions is not None and partitions.active:
+            violations.append(
+                InvariantViolation(
+                    "V8",
+                    "partition cut(s) still open after quiesce: "
+                    f"{sorted(partitions.active)}",
+                )
+            )
+        if hints.outstanding:
+            stranded = [
+                (h.name, h.home_node, h.fallback_node) for h in hints.hints()
+            ][:5]
+            violations.append(
+                InvariantViolation(
+                    "V8",
+                    f"{hints.outstanding} hint(s) stranded after heal "
+                    f"and drain: {stranded}",
+                )
+            )
+        # Acked-write durability: for every acknowledged PUT, the name
+        # is since deleted, loudly unrecoverable, or some *current*
+        # owner holds a verified replica at least as new as the ack.
+        # "The ack" is the *last* acknowledgement in schedule order,
+        # not the max-timestamp one: node writes overwrite in schedule
+        # order, and a later physical write can legitimately carry a
+        # smaller timestamp (ring-CRDT merges stamp the merged version,
+        # not the wall clock of the rewrite).
+        live = set(store.names())
+        acked_newest: dict = {}
+        for name, ts in hints.acked:
+            acked_newest[name] = ts
+        for name in sorted(acked_newest):
+            if name not in live or name in reported:
+                continue
+            ts = acked_newest[name]
+            if not any(
+                record is not None
+                and record.timestamp >= ts
+                and verify_record(record)
+                for record in (
+                    store.nodes[node_id].peek(name)
+                    for node_id in store.ring.nodes_for(name)
+                    if node_id in store.nodes
+                )
+            ):
+                violations.append(
+                    InvariantViolation(
+                        "V8",
+                        f"acked write lost: {name} was acknowledged at "
+                        f"{ts} but no current owner holds a verified "
+                        f"replica that new",
+                    )
+                )
     return violations
 
 

@@ -43,7 +43,12 @@ from ..simcloud.errors import (
     MembershipError,
     SimCloudError,
 )
-from ..simcloud.failures import FaultPlan, MessageLoss
+from ..simcloud.failures import (
+    FaultPlan,
+    MessageLoss,
+    mw_endpoint,
+    node_endpoint,
+)
 from ..simcloud.latency import LatencyModel
 from ..testing.model import ModelFS
 from .explorer import DstConfig, ScheduleExplorer
@@ -137,6 +142,10 @@ class _Run:
         )
         self.cluster.install_fault_plan(self.plan)
         self.cluster.enable_auto_repair()
+        if cfg.hinted_handoff:
+            # Sloppy quorum: quorum-short writes park durable hints on
+            # fallback nodes; healing a cut triggers a delivery sweep.
+            self.cluster.enable_hinted_handoff()
         self.fs = H2CloudFS(
             self.cluster,
             account=ACCOUNT,
@@ -150,7 +159,12 @@ class _Run:
                 memoize_serialization=cfg.memoize_serialization,
             ),
             message_loss=MessageLoss(
-                cfg.message_loss, seed=schedule.seed * 2_000_003 + 2
+                cfg.message_loss,
+                seed=schedule.seed * 2_000_003 + 2,
+                # Per-link loss streams only arm alongside partitions:
+                # the legacy shared stream keeps pre-partition corpus
+                # digests bit-identical.
+                per_link=cfg.partition_rate > 0,
             ),
             tracing=capture_trace,
         )
@@ -180,7 +194,10 @@ class _Run:
                 self.model.mkdir(path)
         self.fs.pump()  # every middleware starts from the same base tree
         self._listener = self.fs.clock.subscribe(
-            lambda now_us: self.cluster.failures.pump()
+            lambda now_us: (
+                self.cluster.failures.pump(),
+                self.cluster.partitions.pump(),
+            )
         )
 
     # ------------------------------------------------------------------
@@ -322,6 +339,28 @@ class _Run:
             except MembershipError:
                 return "busy"
             return f"remove:{node}"
+        if kind == "partition":
+            cut = step.args["cut"]
+            mw = fs.middlewares[step.args["mw"] % len(fs.middlewares)]
+            island = [mw_endpoint(mw.node_id)]
+            peers = [
+                node_endpoint(n) for n in step.args.get("nodes", [])
+            ]
+            if step.args.get("gossip"):
+                peers.extend(
+                    mw_endpoint(other.node_id)
+                    for other in fs.middlewares
+                    if other.node_id != mw.node_id
+                )
+            links = cluster.partitions.isolate(
+                island, peers, cut, mode=step.args.get("mode", "both")
+            )
+            return f"partition:{cut}:{links}"
+        if kind == "heal":
+            cut = step.args["cut"]
+            # Unknown cut ids heal zero links -- shrunk schedules may
+            # keep a heal whose partition step was deleted.
+            return f"heal:{cut}:{cluster.partitions.heal(cut)}"
         if kind == "rebalance":
             moved = cluster.membership.sweeper.step(
                 max_objects=step.args.get("max", 16)
@@ -445,6 +484,15 @@ class _Run:
         # oracle would blame the resulting divergence on the protocols.
         for breaker in fs.store.breakers.values():
             breaker.record_success(fs.clock.now_us)
+        # Heal every partition cut and drain parked hints home *before*
+        # the migration window closes: hint delivery re-routes by the
+        # live ring, and the V8 oracle insists the hint store is empty
+        # once the network is whole again.
+        cluster.partitions.clear_pending()
+        cluster.partitions.heal_all()
+        sweeper = getattr(cluster, "hint_sweeper", None)
+        if sweeper is not None:
+            sweeper.drain_to_empty()
         # Close any open migration window first: repair and the oracle
         # both reason about the *current* epoch's placement, so the
         # dual-ownership view must drain before they run.  Every node

@@ -46,6 +46,11 @@ from .ops import ClientOp
 #   drain_node  node         -- graceful decommission of ``node``
 #   remove_node node         -- crash-style departure of ``node``
 #   rebalance   [max]        -- one bounded migration batch
+#   partition   cut, mw, nodes, [gossip], [mode]
+#                            -- sever middleware ``mw`` from storage
+#                               ``nodes`` (and, with gossip, from its
+#                               peer middlewares) under cut id ``cut``
+#   heal        cut          -- heal one named partition cut
 STEP_KINDS = frozenset(
     {
         "op",
@@ -67,6 +72,8 @@ STEP_KINDS = frozenset(
         "drain_node",
         "remove_node",
         "rebalance",
+        "partition",
+        "heal",
     }
 )
 

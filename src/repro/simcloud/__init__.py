@@ -22,6 +22,7 @@ from .errors import (
     FilesystemError,
     InvalidPath,
     IsADirectory,
+    LinkDown,
     MembershipError,
     NodeDown,
     NotADirectory,
@@ -42,8 +43,12 @@ from .failures import (
     FaultDecision,
     FaultPlan,
     MessageLoss,
+    PartitionPlan,
+    mw_endpoint,
+    node_endpoint,
 )
 from .hashring import HashRing, hash_key
+from .hints import Hint, HintDeliverySweeper, HintStore
 from .integrity import checksum_of, corrupt_record, crc32c, verify_record
 from .latency import CostLedger, Jitter, LatencyModel
 from .membership import ClusterMembership, RebalanceSweeper, TransitionPlan
@@ -80,10 +85,14 @@ __all__ = [
     "FaultPlan",
     "FilesystemError",
     "HashRing",
+    "Hint",
+    "HintDeliverySweeper",
+    "HintStore",
     "InvalidPath",
     "IsADirectory",
     "Jitter",
     "LatencyModel",
+    "LinkDown",
     "MembershipError",
     "MessageLoss",
     "NodeDown",
@@ -94,6 +103,7 @@ __all__ = [
     "ObjectNotFound",
     "ObjectRecord",
     "ObjectStore",
+    "PartitionPlan",
     "PathNotFound",
     "PreconditionFailed",
     "QuorumError",
@@ -122,6 +132,8 @@ __all__ = [
     "crc32c",
     "hash_key",
     "makespan_us",
+    "mw_endpoint",
+    "node_endpoint",
     "payload_of",
     "verify_record",
 ]

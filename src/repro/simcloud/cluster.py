@@ -13,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .clock import SimClock
-from .failures import FailureSchedule, FaultPlan
+from .failures import FailureSchedule, FaultPlan, PartitionPlan
 from .hashring import HashRing
+from .hints import HintDeliverySweeper, HintStore
 from .latency import LatencyModel
 from .membership import ClusterMembership
 from .node import StorageNode
@@ -93,6 +94,11 @@ class SwiftCluster:
         # read/write paths can honour an open migration window.
         self.membership = ClusterMembership(self)
         self.store.membership = self.membership
+        # Link-level network partitions: the matrix is always present
+        # (the store's reachability check is one dict lookup when no
+        # cut is active) but cuts only exist when a test schedules them.
+        self.partitions = PartitionPlan(clock=self.clock)
+        self.store.partitions = self.partitions
 
     # ------------------------------------------------------------------
     # convenience constructors
@@ -139,6 +145,24 @@ class SwiftCluster:
         )
         return sweeper
 
+    def enable_hinted_handoff(self) -> HintDeliverySweeper:
+        """Arm sloppy-quorum writes with durable hints on fallbacks.
+
+        While a replica owner is unreachable (crashed, breaker-open or
+        partitioned away from the writing middleware), PUTs complete
+        against a *sloppy* quorum: the payload lands on a reachable
+        fallback node together with a hint naming the home replica.  The
+        returned sweeper drains hints to their homes; it is also hooked
+        to the partition plan so every heal triggers a drain immediately
+        (mirrors :meth:`enable_auto_repair`).
+        """
+        if self.store.hints is None:
+            self.store.hints = HintStore()
+        sweeper = HintDeliverySweeper(self.store)
+        self.hint_sweeper = sweeper
+        self.partitions.on_heal = lambda cut: sweeper.drain()
+        return sweeper
+
     # ------------------------------------------------------------------
     # simulation stepping
     # ------------------------------------------------------------------
@@ -152,6 +176,7 @@ class SwiftCluster:
         """
         if delta_us:
             self.clock.advance(delta_us)
+        self.partitions.pump()
         return self.failures.pump()
 
     # ------------------------------------------------------------------

@@ -58,6 +58,24 @@ class NodeDown(SimCloudError):
         self.node_id = node_id
 
 
+class LinkDown(SimCloudError):
+    """A request could not traverse a severed network link.
+
+    Unlike :class:`NodeDown` the storage node itself is healthy -- only
+    the link between *this* middleware and the node is partitioned, so
+    the failure is scoped to the (origin, node) pair and must not feed
+    the node's fleet-wide circuit breaker: other middlewares may still
+    reach the node just fine.
+    """
+
+    def __init__(self, origin: str, node_id: int):
+        super().__init__(
+            f"network link {origin} -> node {node_id} is partitioned"
+        )
+        self.origin = origin
+        self.node_id = node_id
+
+
 class TransientIOError(SimCloudError):
     """A storage node failed one request with a retryable I/O error.
 

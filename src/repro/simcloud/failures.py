@@ -4,10 +4,11 @@ The motivation for H2Cloud is that index clouds fail (the paper cites
 Dropbox's data-loss incidents); the reproduction therefore needs a way
 to crash nodes, partition the network, and drop gossip messages on a
 deterministic schedule so integration tests can show (a) the object
-cloud's replication riding through storage-node failures and (b) the
-NameRing gossip protocol converging despite message loss.
+cloud's replication riding through storage-node failures, (b) the
+NameRing gossip protocol converging despite message loss, and (c) the
+fleet healing -- acked writes intact -- after link-level partitions.
 
-Three failure regimes live here:
+Four failure regimes live here:
 
 * **Scheduled state changes** (:class:`FailureSchedule`): crash /
   recover / wipe events applied as simulated time passes -- binary node
@@ -28,6 +29,23 @@ Three failure regimes live here:
   its most recent write only partially on disk.  Detection and healing
   live in the verified read path (:mod:`repro.simcloud.object_store`),
   the repair sweeper and the scrubber (:mod:`repro.simcloud.scrub`).
+* **Network partitions** (:class:`PartitionPlan`): an asymmetric
+  reachability matrix over *endpoints* -- middleware <-> storage-node
+  request links and middleware <-> middleware gossip links -- severed
+  and healed by named cuts, either immediately or on a sim-clock
+  schedule (``partition_at`` / ``heal_at``).  Purely scheduled, no
+  RNG: arming the plan with zero cuts cannot move any existing
+  deterministic-simulation digest.  Enforcement lives in the request
+  path (:mod:`repro.simcloud.object_store` raises
+  :class:`~repro.simcloud.errors.LinkDown` per severed middleware ->
+  node link) and in rumor delivery (:mod:`repro.core.gossip`);
+  availability under partitions is restored by hinted handoff
+  (:mod:`repro.simcloud.hints`).
+
+Gossip message loss (:class:`MessageLoss`) also lives here: Bernoulli
+drops from a single seeded stream by default, or -- when partitions are
+armed -- from isolated per-link streams so one link's traffic never
+perturbs another link's drop pattern.
 """
 
 from __future__ import annotations
@@ -361,23 +379,241 @@ class FaultPlan:
 
 
 class MessageLoss:
-    """Deterministic Bernoulli message-drop model for gossip links."""
+    """Deterministic Bernoulli message-drop model for gossip links.
 
-    def __init__(self, drop_probability: float = 0.0, seed: int = 7):
+    By default every drop verdict comes from one shared seeded stream,
+    in call order -- the historical behaviour that existing DST corpus
+    digests pin.  With ``per_link=True`` each directed ``(src, dst)``
+    link draws from its own stream (seeded from the link's coordinates,
+    like :class:`FaultPlan`'s per-node streams), so traffic on one link
+    never perturbs another link's drop pattern.  The partition layer
+    arms per-link mode because a severed link suppresses its sends
+    entirely -- with a shared stream that suppression would shift every
+    other link's draws.
+    """
+
+    def __init__(
+        self,
+        drop_probability: float = 0.0,
+        seed: int = 7,
+        per_link: bool = False,
+    ):
         if not 0.0 <= drop_probability <= 1.0:
             raise ValueError("drop_probability must be within [0, 1]")
         self.drop_probability = drop_probability
+        self.seed = seed
+        self.per_link = per_link
         self._rng = random.Random(seed)
+        self._link_rngs: dict[tuple[object, object], random.Random] = {}
         self.dropped = 0
         self.delivered = 0
 
-    def should_drop(self) -> bool:
+    def _link_rng(self, src, dst) -> random.Random:
+        rng = self._link_rngs.get((src, dst))
+        if rng is None:
+            # String seeding hashes with sha512 -- stable across runs
+            # and platforms, like the corruption streams' integer seeds.
+            rng = self._link_rngs[(src, dst)] = random.Random(
+                f"{self.seed}:{src}->{dst}"
+            )
+        return rng
+
+    def should_drop(self, src=None, dst=None) -> bool:
         if self.drop_probability <= 0.0:
             self.delivered += 1
             return False
-        drop = self._rng.random() < self.drop_probability
+        if self.per_link and src is not None and dst is not None:
+            rng = self._link_rng(src, dst)
+        else:
+            rng = self._rng
+        drop = rng.random() < self.drop_probability
         if drop:
             self.dropped += 1
         else:
             self.delivered += 1
         return drop
+
+
+# ----------------------------------------------------------------------
+# link-level network partitions
+# ----------------------------------------------------------------------
+
+
+def mw_endpoint(middleware_id: int) -> str:
+    """The partition-matrix endpoint name for a middleware."""
+    return f"mw:{middleware_id}"
+
+
+def node_endpoint(node_id: int) -> str:
+    """The partition-matrix endpoint name for a storage node."""
+    return f"node:{node_id}"
+
+
+class PartitionPlan:
+    """An asymmetric link-level reachability matrix with scheduled cuts.
+
+    Endpoints are opaque strings (see :func:`mw_endpoint` /
+    :func:`node_endpoint`); a *cut* is a named set of directed
+    ``(src, dst)`` links severed together, so a whole partition heals
+    atomically by name.  Directions are independent -- severing
+    ``a -> b`` leaves ``b -> a`` reachable unless also cut -- which is
+    what lets tests model asymmetric partitions (a middleware that can
+    send but not hear, and vice versa).
+
+    The plan is purely scheduled: no randomness, no hidden state.  The
+    fast path (:meth:`reachable` with no active cuts) is one dict
+    check, so arming the plan on a cluster costs nothing until a cut
+    actually lands.
+
+    ``on_heal`` (settable) is invoked with the cut id after every heal
+    -- the hook hinted handoff uses to drain hints the moment a
+    partition ends (mirrors ``FailureSchedule.on_recover``).
+    """
+
+    def __init__(self, clock: SimClock | None = None):
+        self.clock = clock
+        # directed link -> the set of cut ids currently severing it
+        self._severed: dict[tuple[str, str], set[str]] = {}
+        # cut id -> the directed links it severed
+        self._cuts: dict[str, set[tuple[str, str]]] = {}
+        # (at_us, seq, kind, payload): scheduled partition/heal events
+        self._heap: list[tuple[int, int, str, object]] = []
+        self._seq = 0
+        self.cuts_applied = 0
+        self.heals = 0
+        self.blocked_requests = 0
+        self.blocked_rumors = 0
+        self.on_heal = None  # callable(cut_id) | None
+
+    # ------------------------------------------------------------------
+    # the matrix
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> frozenset[str]:
+        """Ids of cuts currently severing at least one link."""
+        return frozenset(self._cuts)
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Can a message travel the directed link ``src -> dst``?"""
+        if not self._severed:
+            return True
+        return (src, dst) not in self._severed
+
+    def sever(self, src: str, dst: str, cut: str) -> None:
+        """Sever the single directed link ``src -> dst`` under ``cut``."""
+        link = (src, dst)
+        self._severed.setdefault(link, set()).add(cut)
+        self._cuts.setdefault(cut, set()).add(link)
+
+    def isolate(
+        self,
+        island: list[str] | tuple[str, ...],
+        peers: list[str] | tuple[str, ...],
+        cut: str,
+        mode: str = "both",
+    ) -> int:
+        """Partition ``island`` away from ``peers`` under one named cut.
+
+        ``mode`` picks the direction(s) severed: ``"both"`` (a true
+        split), ``"out"`` (island can hear but not send) or ``"in"``
+        (island can send but not hear) -- the asymmetric cases.  Links
+        *within* the island and *within* the peer set stay intact.
+        Returns how many directed links were severed.
+        """
+        if mode not in ("both", "in", "out"):
+            raise ValueError(f"unknown partition mode: {mode!r}")
+        before = len(self._cuts.get(cut, ()))
+        for a in island:
+            for b in peers:
+                if a == b:
+                    continue
+                if mode in ("both", "out"):
+                    self.sever(a, b, cut)
+                if mode in ("both", "in"):
+                    self.sever(b, a, cut)
+        severed = len(self._cuts.get(cut, ())) - before
+        if severed:
+            self.cuts_applied += 1
+        return severed
+
+    def heal(self, cut: str) -> int:
+        """Undo one named cut; returns how many links it released.
+
+        Idempotent: healing an unknown or already-healed cut releases
+        zero links and does not fire ``on_heal``.
+        """
+        links = self._cuts.pop(cut, None)
+        if not links:
+            return 0
+        for link in links:
+            owners = self._severed.get(link)
+            if owners is not None:
+                owners.discard(cut)
+                if not owners:
+                    del self._severed[link]
+        self.heals += 1
+        if self.on_heal:
+            self.on_heal(cut)
+        return len(links)
+
+    def heal_all(self) -> int:
+        """Heal every active cut; returns how many cuts were released."""
+        healed = 0
+        for cut in sorted(self._cuts):
+            healed += 1 if self.heal(cut) else 0
+        return healed
+
+    # ------------------------------------------------------------------
+    # the schedule
+    # ------------------------------------------------------------------
+    def partition_at(
+        self,
+        at_us: int,
+        island: list[str] | tuple[str, ...],
+        peers: list[str] | tuple[str, ...],
+        cut: str,
+        mode: str = "both",
+    ) -> None:
+        """Schedule :meth:`isolate` for simulated time ``at_us``."""
+        payload = (tuple(island), tuple(peers), cut, mode)
+        heapq.heappush(self._heap, (at_us, self._seq, "partition", payload))
+        self._seq += 1
+
+    def heal_at(self, at_us: int, cut: str) -> None:
+        """Schedule :meth:`heal` of one cut for simulated time ``at_us``."""
+        heapq.heappush(self._heap, (at_us, self._seq, "heal", cut))
+        self._seq += 1
+
+    def heal_all_at(self, at_us: int) -> None:
+        """Schedule :meth:`heal_all` for simulated time ``at_us``."""
+        heapq.heappush(self._heap, (at_us, self._seq, "heal_all", None))
+        self._seq += 1
+
+    def pump(self) -> int:
+        """Apply all scheduled events due at or before the current time."""
+        if self.clock is None or not self._heap:
+            return 0
+        fired = 0
+        while self._heap and self._heap[0][0] <= self.clock.now_us:
+            _, _, kind, payload = heapq.heappop(self._heap)
+            if kind == "partition":
+                island, peers, cut, mode = payload
+                self.isolate(island, peers, cut, mode=mode)
+            elif kind == "heal":
+                self.heal(payload)
+            else:  # heal_all
+                self.heal_all()
+            fired += 1
+        return fired
+
+    @property
+    def pending(self) -> int:
+        """How many scheduled events have not fired yet."""
+        return len(self._heap)
+
+    def clear_pending(self) -> int:
+        """Drop every not-yet-applied event (DST quiesce, like
+        ``FailureSchedule.clear_pending``)."""
+        dropped = len(self._heap)
+        self._heap.clear()
+        return dropped

@@ -152,6 +152,33 @@ class HashRing:
                     break
         return chosen
 
+    def fallbacks_for(self, key: str, exclude: set[int]) -> list[int]:
+        """Fallback nodes for ``key``, preference-ordered, minus ``exclude``.
+
+        Continues the :meth:`nodes_for` clockwise walk past the replica
+        owners: the first distinct nodes after the owner set, in ring
+        order, skipping anything in ``exclude``.  This is the Dynamo
+        sloppy-quorum neighbour list -- the nodes a hinted write lands
+        on when an owner is unreachable -- and it is a pure function of
+        the ring, so every middleware computes the same preference list.
+        """
+        if not self._tokens:
+            raise RingError("ring has no nodes")
+        point = hash_key(key)
+        start = bisect.bisect_right(self._points, point)
+        chosen: list[int] = []
+        seen: set[int] = set()
+        n = len(self._tokens)
+        for step in range(n):
+            token = self._tokens[(start + step) % n]
+            if token.node_id in seen:
+                continue
+            seen.add(token.node_id)
+            if token.node_id in exclude:
+                continue
+            chosen.append(token.node_id)
+        return chosen
+
     # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------

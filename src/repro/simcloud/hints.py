@@ -1,0 +1,290 @@
+"""Hinted handoff: sloppy-quorum durability while replicas are unreachable.
+
+When a PUT finds a replica owner unreachable -- crashed, breaker-open,
+or partitioned away from the writing middleware -- the store can still
+acknowledge the write without giving up on durability: the payload
+lands on a reachable *fallback* node (the next distinct node clockwise
+on the ring past the owner set, Dynamo's sloppy-quorum preference
+list) together with a durable **hint** naming the home replica that
+missed it.  The fallback stores the object under its real name, so
+mid-partition reads can be served from it and every existing integrity
+mechanism (verified reads, scrub, repair) applies unchanged.
+
+:class:`HintDeliverySweeper` drains hints home -- on partition heal
+(hooked via ``PartitionPlan.on_heal``), at DST quiesce, or whenever an
+operator asks.  Delivery is integrity-verified: a fallback payload
+that fails checksum verification is **never** delivered (the home is
+healed by the ordinary repair path from other replicas instead).
+Hints are epoch-tagged so a membership transition that retires or
+demotes the home between write and drain re-routes delivery to the
+object's *current* owners rather than resurrecting data onto a node
+that no longer owns it.
+
+This module is the availability half of partition tolerance; injection
+lives in :class:`~repro.simcloud.failures.PartitionPlan` and the
+heal-convergence oracle (V8) in :mod:`repro.dst.oracle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .clock import Timestamp
+from .errors import SimCloudError
+from .integrity import verify_record
+
+
+@dataclass(frozen=True)
+class Hint:
+    """One missed replica write parked on a fallback node.
+
+    ``origin`` records which middleware's view of the network forced
+    the sloppy write (None when the owner was down rather than
+    partitioned); the sweeper uses it to avoid draining a hint whose
+    home is still partitioned from the path that created it.
+    """
+
+    name: str
+    home_node: int
+    fallback_node: int
+    timestamp: Timestamp
+    epoch: int
+    origin: int | None = None
+
+
+class HintStore:
+    """The durable hint index, keyed by (name, home, fallback).
+
+    Overwrites while the same link stays severed collapse onto one
+    hint carrying the newest timestamp -- the fallback node already
+    holds only the newest payload, so older hints would deliver
+    nothing.  Also keeps the acked-write log the V8 oracle audits:
+    every acknowledged PUT's (name, timestamp), so "no acked-write
+    loss after heal" is checkable without trusting the store.
+    """
+
+    def __init__(self):
+        self._hints: dict[tuple[str, int, int], Hint] = {}
+        self.acked: list[tuple[str, Timestamp]] = []
+        self.sloppy_writes = 0  # PUTs that needed at least one fallback
+        self.stored = 0
+        self.delivered = 0
+        self.superseded = 0  # home already held >= the hint's timestamp
+        self.dropped = 0  # name deleted / payload gone before drain
+        self.unverified = 0  # fallback payload failed verification
+
+    def add(
+        self,
+        name: str,
+        home_node: int,
+        fallback_node: int,
+        timestamp: Timestamp,
+        epoch: int,
+        origin: int | None = None,
+    ) -> Hint:
+        key = (name, home_node, fallback_node)
+        existing = self._hints.get(key)
+        if existing is not None and existing.timestamp >= timestamp:
+            return existing
+        hint = Hint(name, home_node, fallback_node, timestamp, epoch, origin)
+        self._hints[key] = hint
+        self.stored += 1
+        return hint
+
+    def record_ack(self, name: str, timestamp: Timestamp) -> None:
+        """Log one acknowledged PUT for the V8 heal-convergence audit."""
+        self.acked.append((name, timestamp))
+
+    def remove(self, hint: Hint) -> None:
+        self._hints.pop((hint.name, hint.home_node, hint.fallback_node), None)
+
+    def drop_name(self, name: str) -> int:
+        """Discard every hint for a deleted object; returns the count."""
+        stale = [k for k in self._hints if k[0] == name]
+        for key in stale:
+            del self._hints[key]
+        self.dropped += len(stale)
+        return len(stale)
+
+    def holders_for(self, name: str) -> list[int]:
+        """Fallback nodes currently holding hinted copies of ``name``."""
+        return sorted(
+            {h.fallback_node for h in self._hints.values() if h.name == name}
+        )
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._hints)
+
+    def hints(self) -> list[Hint]:
+        """All outstanding hints in deterministic (key) order."""
+        return [self._hints[key] for key in sorted(self._hints)]
+
+    def snapshot(self) -> dict[str, int]:
+        """Flat counters for the metrics registry."""
+        return {
+            "sloppy_writes": self.sloppy_writes,
+            "stored": self.stored,
+            "delivered": self.delivered,
+            "superseded": self.superseded,
+            "dropped": self.dropped,
+            "unverified": self.unverified,
+            "outstanding": self.outstanding,
+        }
+
+
+class HintDeliverySweeper:
+    """Drains parked hints to their home replicas (cf. ``RepairSweeper``).
+
+    Runs on the cluster-internal maintenance plane: fault injection is
+    suspended and disk time is background-accounted, like repair and
+    scrub.  A drain pass visits every outstanding hint in deterministic
+    order and, for each one whose payload is readable and verified,
+    writes it to the home replica -- or, when membership moved the name
+    since the hint was parked (the hint's epoch is stale and its home
+    is retired or no longer an owner), to the name's *current* owners.
+    Hints whose home is still down or still partitioned from the
+    originating middleware stay parked for a later pass.
+    """
+
+    def __init__(self, store):
+        self.store = store
+
+    def _deliverable(self, hint: Hint) -> bool:
+        """Is the hint's home link usable from the view that parked it?"""
+        partitions = self.store.partitions
+        if partitions is None or hint.origin is None:
+            return True
+        from .failures import mw_endpoint, node_endpoint
+
+        return partitions.reachable(
+            mw_endpoint(hint.origin), node_endpoint(hint.home_node)
+        )
+
+    def drain(self) -> int:
+        """One full drain pass; returns how many deliveries were made."""
+        store = self.store
+        hints = store.hints
+        if hints is None or not hints.outstanding:
+            return 0
+        delivered = 0
+        membership = store.membership
+        with store._suspended_faults():
+            for hint in hints.hints():
+                delivered += self._drain_one(hint, membership)
+        if delivered and not store.tracer.noop:
+            store.tracer.event("hints.drain", tags={"delivered": delivered})
+        return delivered
+
+    def _drain_one(self, hint: Hint, membership) -> int:
+        store = self.store
+        hints = store.hints
+        name = hint.name
+        if name not in store._names:
+            # The object was deleted while the hint was parked: the
+            # hinted copy is unregistered garbage now.
+            hints.remove(hint)
+            hints.dropped += 1
+            self._discard_fallback_copy(hint, set())
+            return 0
+        fallback = store.nodes.get(hint.fallback_node)
+        if fallback is None:
+            # Fallback retired with its disk: nothing left to deliver.
+            hints.remove(hint)
+            hints.dropped += 1
+            return 0
+        if fallback.is_down:
+            return 0  # payload unreadable right now; keep the hint
+        record = fallback.peek(name)
+        if record is None:
+            hints.remove(hint)
+            hints.dropped += 1
+            return 0
+        if not verify_record(record):
+            # Never deliver an unverified payload.  The home replica is
+            # healed from other verified copies by repair/scrub.
+            hints.remove(hint)
+            hints.unverified += 1
+            return 0
+        owners = set(store.ring.nodes_for(name))
+        epoch = membership.epoch if membership is not None else 0
+        home_current = hint.home_node in store.nodes and hint.home_node in owners
+        if home_current:
+            targets = [hint.home_node]
+        else:
+            # Membership moved on (epoch advanced, home retired or
+            # demoted): never deliver to a node that no longer owns the
+            # name -- re-route to the current owners instead.
+            targets = sorted(owners - {hint.fallback_node})
+        if home_current and hint.epoch == epoch and not self._deliverable(hint):
+            return 0  # home still partitioned from the parking view
+        delivered = 0
+        satisfied = True
+        for node_id in targets:
+            node = store.nodes[node_id]
+            if node.is_down:
+                satisfied = False
+                continue
+            held = node.peek(name)
+            if (
+                held is not None
+                and held.timestamp >= hint.timestamp
+                and verify_record(held)
+            ):
+                self.store.hints.superseded += 1
+                continue
+            try:
+                store.ledger.background_us += node.write(record)
+            except SimCloudError:
+                satisfied = False
+                continue
+            store.hints.delivered += 1
+            delivered += 1
+            if not store.tracer.noop:
+                store.tracer.event(
+                    "hints.delivered",
+                    tags={"object": name, "store_node": node_id},
+                )
+        if satisfied:
+            hints.remove(hint)
+            self._discard_fallback_copy(hint, owners)
+        return delivered
+
+    def _discard_fallback_copy(self, hint: Hint, owners: set[int]) -> None:
+        """Drop the parked payload once the hint is resolved.
+
+        The fallback keeps the copy only if the ring meanwhile made it
+        a legitimate owner (or another hint for the same name is still
+        parked there).
+        """
+        store = self.store
+        if hint.fallback_node in owners:
+            return
+        if hint.fallback_node in store.hints.holders_for(hint.name):
+            return
+        node = store.nodes.get(hint.fallback_node)
+        if node is None or node.is_down:
+            return
+        if node.peek(hint.name) is not None:
+            try:
+                store.ledger.background_us += node.delete(hint.name)
+            except SimCloudError:
+                pass
+
+    def drain_to_empty(self, max_rounds: int = 1_000) -> int:
+        """Drain repeatedly until no hints remain or no progress is made.
+
+        The DST quiesce path: after every link is healed and every node
+        recovered, a bounded number of passes must leave zero stranded
+        hints (the V8 oracle checks exactly that).
+        """
+        total = 0
+        for _ in range(max_rounds):
+            hints = self.store.hints
+            if hints is None or not hints.outstanding:
+                break
+            before = hints.outstanding
+            total += self.drain()
+            if hints.outstanding >= before:
+                break  # no progress: every survivor is blocked on a link
+        return total

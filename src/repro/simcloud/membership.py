@@ -277,13 +277,18 @@ class ClusterMembership:
         Covers both the just-migrated old owners and any node that a
         crash/recover cycle left holding data it no longer owns.  Skips
         down nodes (their strays are caught on a later pass or at
-        quiesce, once they recover).  Returns how many were dropped.
+        quiesce, once they recover) and nodes holding hinted copies --
+        a parked sloppy-quorum payload may be the only replica of an
+        acked write until its hint drains home, so it is never a stray.
+        Returns how many were dropped.
         """
         store = self.store
         dropped = 0
         with store._suspended_faults():
             for name in sorted(store.names()):
                 responsible = set(store.ring.nodes_for(name))
+                if store.hints is not None:
+                    responsible.update(store.hints.holders_for(name))
                 for node_id, node in store.nodes.items():
                     if node_id in responsible or node.is_down:
                         continue

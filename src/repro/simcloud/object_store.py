@@ -33,6 +33,7 @@ from .clock import SimClock, Timestamp, TimestampFactory
 from .errors import (
     CircuitOpenError,
     CorruptObjectError,
+    LinkDown,
     NodeDown,
     ObjectAlreadyExists,
     ObjectNotFound,
@@ -42,6 +43,7 @@ from .errors import (
     SimCloudError,
     TransientIOError,
 )
+from .failures import mw_endpoint, node_endpoint
 from .hashring import HashRing
 from .integrity import checksum_of, verify_record
 from .latency import CostLedger, Jitter, LatencyModel
@@ -54,8 +56,15 @@ from .resilience import (
 )
 
 # Everything that makes one node unusable for one request without
-# proving anything about the object itself.
-_UNREACHABLE = (NodeDown, CircuitOpenError, TransientIOError, RequestTimeout)
+# proving anything about the object itself.  LinkDown is scoped to one
+# middleware's view: the node may be perfectly healthy for everyone else.
+_UNREACHABLE = (
+    NodeDown,
+    CircuitOpenError,
+    TransientIOError,
+    RequestTimeout,
+    LinkDown,
+)
 
 T = TypeVar("T")
 
@@ -142,6 +151,17 @@ class ObjectStore:
         # window is open, reads and writes consult the dual-ownership
         # view (current epoch union the previous epoch's owners).
         self.membership = None
+        # Network partitions (set by SwiftCluster): the link-level
+        # reachability matrix the request path consults.  ``origin``
+        # names the middleware whose request is currently in flight
+        # (None = cluster-internal maintenance plane, which repairs
+        # over the rack's internal network and ignores the matrix).
+        self.partitions = None
+        self.origin: int | None = None
+        # Hinted handoff (set by SwiftCluster.enable_hinted_handoff):
+        # while armed, PUTs facing unreachable owners complete against
+        # a sloppy quorum with durable hints on fallback nodes.
+        self.hints = None
         # Observability: a deployment with tracing enabled swaps in its
         # shared Tracer so retry/breaker events join the span trees.
         self.tracer = NULL_TRACER
@@ -183,10 +203,30 @@ class ObjectStore:
             )
         return breaker
 
+    def _link_ok(self, node_id: int) -> bool:
+        """Can the middleware behind the current request reach ``node_id``?
+
+        Always True on the maintenance plane (``origin`` is None: repair,
+        scrub and rebalance traffic rides the rack's internal network)
+        and whenever no partition cut is active -- the steady-state cost
+        is one attribute check plus one dict lookup.
+        """
+        if self.origin is None or self.partitions is None:
+            return True
+        return self.partitions.reachable(
+            mw_endpoint(self.origin), node_endpoint(node_id)
+        )
+
     def _attempt(self, node: StorageNode, thunk: Callable[[], T]) -> T:
         """Run one node primitive, masking transient faults.
 
-        The breaker is consulted first (an open breaker fails fast with
+        A severed middleware->node link fails first with
+        :class:`LinkDown` -- before the breaker is consulted and without
+        feeding it, because partition-induced unreachability is scoped
+        to *this* middleware's link: the node stays eligible (and its
+        breaker stays closed) for every other middleware.
+
+        The breaker is consulted next (an open breaker fails fast with
         :class:`CircuitOpenError` at zero latency cost -- that is its
         point).  Retryable faults are retried up to the policy's
         ``max_attempts`` with exponential backoff; every backoff wait
@@ -195,6 +235,14 @@ class ObjectStore:
         outcomes feed the breaker: any failure counts against the
         consecutive-failure threshold, a success resets it.
         """
+        if not self._link_ok(node.node_id):
+            self.partitions.blocked_requests += 1
+            if not self.tracer.noop:
+                self.tracer.event(
+                    "partition.blocked",
+                    tags={"store_node": node.node_id, "origin": self.origin},
+                )
+            raise LinkDown(mw_endpoint(self.origin), node.node_id)
         breaker = self._breaker(node.node_id)
         policy = self.retry_policy
         if not breaker.allow(self.clock.now_us):
@@ -282,10 +330,21 @@ class ObjectStore:
 
         Repair and scrub walk this union so that mid-rebalance healing
         reaches the old owners still serving dual reads; the stray
-        copies it writes there are dropped at handoff finalize.
+        copies it writes there are dropped at handoff finalize.  Nodes
+        holding hinted copies are included too, so sweeps see (and can
+        heal from) payloads parked by sloppy-quorum writes.
         """
         owners = list(self.ring.nodes_for(name))
         owners.extend(self._migration_extras(name, owners))
+        if self.hints is not None:
+            # A holder that has since departed the cluster is skipped:
+            # its hint is dropped at the next drain, and sweeps must
+            # only ever index live nodes.
+            owners.extend(
+                nid
+                for nid in self.hints.holders_for(name)
+                if nid not in owners and nid in self.nodes
+            )
         return owners
 
     # ------------------------------------------------------------------
@@ -313,27 +372,37 @@ class ObjectStore:
         previous: dict[int, ObjectRecord | None] = {}
         disk_costs: list[int] = []
         written = 0
+        touched: set[int] = set()  # nodes this PUT already wrote once
+        failed_owners: list[int] = []
         owners = self.ring.nodes_for(name)
         for node_id in owners:
             node = self.nodes[node_id]
             if node.is_down:
+                failed_owners.append(node_id)
                 continue
             old = node.peek(name)
             try:
                 cost = self._attempt(node, lambda node=node: node.write(record))
             except _UNREACHABLE:
                 # Replica skipped: retries exhausted, node died mid-PUT,
-                # or its breaker is open.  The quorum decides below; a
-                # later repair sweep restores full replication.
+                # its breaker is open, or the link to it is partitioned.
+                # The quorum decides below; a later repair sweep (or a
+                # hint drain) restores full replication.
+                failed_owners.append(node_id)
                 continue
             previous[node_id] = old
             disk_costs.append(cost)
             written += 1
+            touched.add(node_id)
         # Migration window: write through to the old epoch's owners so
         # a dual read served by either epoch observes this write.
         # Best-effort -- the quorum is judged against the new owners
         # only -- but an undone quorum failure rolls these back too.
         for node_id in self._migration_extras(name, owners):
+            if node_id in touched:
+                # Already written by this PUT (an overlapping placement
+                # must not write twice nor double-count the traffic).
+                continue
             node = self.nodes[node_id]
             if node.is_down:
                 continue
@@ -344,12 +413,43 @@ class ObjectStore:
                 continue
             previous[node_id] = old
             disk_costs.append(cost)
+            touched.add(node_id)
             self.membership.write_throughs += 1
             if not self.tracer.noop:
                 self.tracer.event(
                     "membership.write_through",
                     tags={"object": name, "store_node": node_id},
                 )
+        # Sloppy quorum: with hinted handoff armed, each missed owner's
+        # payload is parked on a reachable fallback node (the next
+        # distinct nodes clockwise past the owner set) and the fallback
+        # write counts toward the quorum.  Hints are only registered
+        # after the quorum verdict -- an undone PUT parks nothing.
+        pending_hints: list[tuple[int, int]] = []  # (home, fallback)
+        if self.hints is not None and failed_owners:
+            exclude = set(owners) | touched | set(previous)
+            candidates = self.ring.fallbacks_for(name, exclude)
+            idx = 0
+            for home in failed_owners:
+                while idx < len(candidates):
+                    fb_id = candidates[idx]
+                    idx += 1
+                    node = self.nodes[fb_id]
+                    if node.is_down or not self._link_ok(fb_id):
+                        continue
+                    old = node.peek(name)
+                    try:
+                        cost = self._attempt(
+                            node, lambda node=node: node.write(record)
+                        )
+                    except _UNREACHABLE:
+                        continue
+                    previous[fb_id] = old
+                    disk_costs.append(cost)
+                    written += 1
+                    touched.add(fb_id)
+                    pending_hints.append((home, fb_id))
+                    break
         if written < min(self.write_quorum, len(self.ring.node_ids)):
             # Failed write: undo the partial replicas so a quorum
             # failure is atomic from the client's point of view
@@ -368,6 +468,31 @@ class ObjectStore:
                         pass
             raise QuorumError(name, self.write_quorum, written)
         self._names.add(name)
+        if self.hints is not None:
+            if pending_hints:
+                epoch = self.membership.epoch if self.membership else 0
+                self.hints.sloppy_writes += 1
+                for home, fb_id in pending_hints:
+                    self.hints.add(
+                        name,
+                        home,
+                        fb_id,
+                        record.timestamp,
+                        epoch,
+                        origin=self.origin,
+                    )
+                    if not self.tracer.noop:
+                        self.tracer.event(
+                            "hints.parked",
+                            tags={
+                                "object": name,
+                                "home": home,
+                                "store_node": fb_id,
+                            },
+                        )
+            # Every acknowledgement joins the V8 audit log: after heal
+            # + quiesce some owner must hold this write (or newer).
+            self.hints.record_ack(name, record.timestamp)
         # The acknowledged write put verified bytes on every replica it
         # reached; old integrity verdicts about this name are void.
         self.quarantine.pop(name, None)
@@ -468,6 +593,11 @@ class ObjectStore:
                 # (never resurrected: repair walks the key registry).
                 continue
         self._names.discard(name)
+        if self.hints is not None:
+            # The walk above already covered hint holders (they are in
+            # the maintenance set); whatever it could not reach is
+            # unregistered garbage, not a deliverable hint.
+            self.hints.drop_name(name)
         self.quarantine.pop(name, None)
         self.unrecoverable.discard(name)
         self.ledger.deletes += 1
@@ -522,17 +652,29 @@ class ObjectStore:
             # Dual-ownership read: the new owners may not hold the
             # object yet, so the old epoch's owners back them up until
             # the partition's handoff completes.
-            placement.extend(extras)
+            placement.extend(nid for nid in extras if nid not in placement)
             self.membership.dual_reads += 1
             if not self.tracer.noop:
                 self.tracer.event(
                     "membership.dual_read", tags={"object": name}
                 )
+        if self.hints is not None:
+            # Hinted copies are real, verified replicas under the real
+            # name: mid-partition reads can be served from them.  The
+            # dedup matters when a hint holder is also a dual-ownership
+            # extra -- one node must not be attempted (or counted) twice.
+            placement.extend(
+                nid
+                for nid in self.hints.holders_for(name)
+                if nid in self.nodes and nid not in placement
+            )
         bad = self.quarantine.get(name, set())
         preferred = [
             nid
             for nid in placement
-            if not self._breaker(nid).is_quarantined(now_us) and nid not in bad
+            if not self._breaker(nid).is_quarantined(now_us)
+            and nid not in bad
+            and self._link_ok(nid)
         ]
         demoted = [nid for nid in placement if nid not in preferred]
         failovers = 0
@@ -692,6 +834,11 @@ class ObjectStore:
         with self._suspended_faults():
             for name in sorted(self._names):
                 responsible = set(self.ring.nodes_for(name))
+                if self.hints is not None:
+                    # A hinted copy parked on a non-owner is not a stray:
+                    # it may be the only replica holding an acked write
+                    # until the hint drains home.
+                    responsible.update(self.hints.holders_for(name))
                 for node_id, node in self.nodes.items():
                     if node_id in responsible or node.is_down:
                         continue

@@ -423,6 +423,7 @@ def scenario_env(
     corruption: bool = False,
     membership: bool = False,
     traffic: bool = False,
+    partitions: bool = False,
     middlewares: int = 3,
 ) -> DstConfig:
     """The environment knobs a scenario weaves between arrivals.
@@ -457,6 +458,8 @@ def scenario_env(
         )
     if traffic:
         cfg = with_traffic_flags(cfg)
+    if partitions:
+        cfg = replace(cfg, partition_rate=0.0012, hinted_handoff=True)
     return cfg
 
 
@@ -552,12 +555,39 @@ def backup_scan(tier="smoke", seed=0, env=None) -> ScenarioSpec:
     )
 
 
+def split_brain_storm(tier="smoke", seed=0, env=None) -> ScenarioSpec:
+    """Sync traffic through recurring link-level partitions.
+
+    The sync-storm write fan-out keeps landing while asymmetric cuts
+    sever a middleware from slices of the storage fleet (and sometimes
+    its gossip peers); hinted handoff keeps the writes available and
+    the V8 oracle holds the heal-time promise -- every cut heals, the
+    hint store drains to empty, and no acknowledged write is lost
+    (docs/PARTITIONS.md).
+    """
+    env = env or scenario_env(faulty=True)
+    if not env.partition_rate:
+        env = replace(env, partition_rate=0.0012, hinted_handoff=True)
+    return _spec(
+        "split-brain-storm", tier, seed, env,
+        mix={
+            "write": 0.32, "read": 0.22, "rename": 0.08, "list": 0.12,
+            "stat": 0.08, "mkdir": 0.06, "delete": 0.06, "move": 0.04,
+            "copy": 0.015, "rmdir": 0.005,
+        },
+        storm_rate=0.03,
+        burst=BurstModel(rate=0.005, min_ops=10, max_ops=50),
+        span_days=1.0,
+    )
+
+
 SCENARIOS = {
     "steady-mix": steady_mix,
     "sync-storm": sync_storm,
     "hotspot-read": hotspot_read,
     "burst-rush": burst_rush,
     "backup-scan": backup_scan,
+    "split-brain-storm": split_brain_storm,
 }
 
 
@@ -797,6 +827,8 @@ class ScenarioExplorer:
         population = list(range(1, env.storage_nodes + 1))
         next_node = env.storage_nodes + 1
         transitions = 0
+        open_cuts: list[list] = []  # [cut_id, gaps_until_heal]
+        next_cut = 0
         while emitted < tier.ops:
             # -- environment weaving (rate-guarded like the DST explorer)
             if down:
@@ -849,6 +881,33 @@ class ScenarioExplorer:
                     transitions += 1
             if env.rebalance_rate and rng.random() < env.rebalance_rate:
                 steps.append(Step("rebalance", args={"max": rng.choice((8, 16, 32))}))
+            if env.partition_rate:
+                for entry in open_cuts:
+                    entry[1] -= 1
+                while open_cuts and open_cuts[0][1] <= 0:
+                    cut_id, _ = open_cuts.pop(0)
+                    steps.append(Step("heal", args={"cut": cut_id}))
+                if rng.random() < env.partition_rate:
+                    if len(open_cuts) < env.max_partitions:
+                        mw = rng.randrange(env.middlewares)
+                        pool = sorted(population)
+                        count = rng.randint(1, max(1, len(pool) // 2))
+                        nodes = sorted(rng.sample(pool, min(count, len(pool))))
+                        cut = f"c{next_cut}"
+                        next_cut += 1
+                        steps.append(
+                            Step(
+                                "partition",
+                                args={
+                                    "cut": cut,
+                                    "mw": mw,
+                                    "nodes": nodes,
+                                    "gossip": rng.random() < 0.35,
+                                    "mode": rng.choice(("both", "both", "in", "out")),
+                                },
+                            )
+                        )
+                        open_cuts.append([cut, rng.randint(6, 30)])
             # -- background protocol steps
             for kind, p in _SCENARIO_BG:
                 if rng.random() >= p:
@@ -890,9 +949,11 @@ class ScenarioExplorer:
             else:
                 steps.append(Step("op", session=state.index, op=state.next_op(rng, spec, hotspot)))
                 emitted += 1
-        # Tail hygiene: nothing down, no storm window open.
+        # Tail hygiene: nothing down, no cut open, no storm window open.
         for node in down:
             steps.append(Step("recover", args={"node": node, "delay_us": 0}))
+        for cut_id, _ in open_cuts:
+            steps.append(Step("heal", args={"cut": cut_id}))
         steps.append(Step("storm_off"))
         return Schedule(
             seed=spec.seed,

@@ -30,7 +30,7 @@ class TestReproCLI:
         assert repro_main([]) == 0
         out = capsys.readouterr().out
         assert "H2Cloud" in out
-        assert "demo | repair | scrub | rebalance | bench" in out
+        assert "demo | repair | scrub | rebalance | partition | bench" in out
 
     def test_demo(self, capsys):
         assert repro_main(["demo"]) == 0

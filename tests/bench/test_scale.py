@@ -140,6 +140,7 @@ class TestGuardEndToEnd:
             "BENCH_headline.json",
             "BENCH_maintenance.json",
             "BENCH_rebalance.json",
+            "BENCH_partition.json",
         ):
             shutil.copy(REPO_ROOT / artifact, out / artifact)
         (out / "BENCH_scale.json").write_text(

@@ -94,6 +94,13 @@ class TestGuard:
             "worst_tenant": {"p99_ms": 12.0},
         }
         (directory / "BENCH_scale.json").write_text(json.dumps(scale))
+        partition = {
+            "scale": headline["scale"],
+            "sim_makespan_ms": 500.0,
+            "hints_off": {"ack_rate": 0.8, "write_p99_ms": 50.0},
+            "hints_on": {"ack_rate": 1.0, "write_p99_ms": 52.0},
+        }
+        (directory / "BENCH_partition.json").write_text(json.dumps(partition))
 
     def _docs(self):
         headline = {

@@ -49,12 +49,13 @@ class TestArtifacts:
             "BENCH_headline.json",
             "BENCH_maintenance.json",
             "BENCH_rebalance.json",
+            "BENCH_partition.json",
             "BENCH_scale.json",
         ]
-        for path in written[:3]:
+        for path in written[:4]:
             doc = json.loads(path.read_text())
             assert doc["format"] == FORMAT
-        scale_doc = json.loads(written[3].read_text())
+        scale_doc = json.loads(written[4].read_text())
         assert scale_doc["format"] == "h2cloud-bench-scale-v1"
         assert scale_doc["scale"] == "smoke"
 

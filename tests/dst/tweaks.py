@@ -78,6 +78,34 @@ def leak_handoff_releases(fs) -> None:
     membership.release_stray_replicas = lambda: 0
 
 
+def strand_hinted_copies_on_release(fs) -> None:
+    """Membership release treats hinted fallback copies as strays.
+
+    Reintroduces the partition x membership edge the hint-aware
+    release fix closed: when an epoch transition finalizes mid-run,
+    ``release_stray_replicas`` computes the responsible set from ring
+    ownership alone -- blind to the hint store -- and deletes fallback
+    copies parked by sloppy-quorum writes.  If the cut that forced the
+    sloppy write also severed enough owners, the hinted copy was the
+    only durable replica of an acknowledged write; after heal the
+    drain finds nothing to deliver and the V8 oracle reports the acked
+    write lost (or V1 the vanished bytes).
+    """
+    store = fs.store
+    membership = store.membership
+    original = membership.release_stray_replicas
+
+    def blind_release():
+        hints = store.hints
+        store.hints = None
+        try:
+            return original()
+        finally:
+            store.hints = hints
+
+    membership.release_stray_replicas = blind_release
+
+
 def lose_merge_updates(fs) -> None:
     """Make every second merger write-back silently drop one child.
 

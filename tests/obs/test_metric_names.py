@@ -65,6 +65,11 @@ GOLDEN_KEYS = frozenset(
         "membership.handoffs",
         "membership.handoff_p50_ms",
         "membership.handoff_p99_ms",
+        "partition.active_cuts",
+        "partition.cuts_applied",
+        "partition.heals",
+        "partition.blocked_requests",
+        "partition.blocked_rumors",
         "gc.passes",
         "gc.swept",
         "gc.reclaimed_bytes",
@@ -82,6 +87,19 @@ GOSSIP_KEYS = frozenset(
         "gossip.anti_entropy_rounds",
         "gossip.in_flight",
         "traffic.rumors_coalesced",
+    }
+)
+
+#: present only when hinted handoff is armed (enable_hinted_handoff)
+HINT_KEYS = frozenset(
+    {
+        "traffic.hints_sloppy_writes",
+        "traffic.hints_stored",
+        "traffic.hints_delivered",
+        "traffic.hints_superseded",
+        "traffic.hints_dropped",
+        "traffic.hints_unverified",
+        "traffic.hints_outstanding",
     }
 )
 
@@ -113,6 +131,16 @@ class TestGoldenKeys:
         snapshot = snapshot_for(middlewares=2)
         fixed = {k for k in snapshot if not k.startswith("op.")}
         assert fixed == GOLDEN_KEYS | GOSSIP_KEYS
+
+    def test_hinted_handoff_adds_exactly_hint_keys(self):
+        cluster = SwiftCluster.rack_scale()
+        cluster.enable_hinted_handoff()
+        fs = H2CloudFS(cluster, account="gold", middlewares=1)
+        fs.mkdir("/d")
+        fs.pump()
+        snapshot = fs.middlewares[0].monitor.snapshot()
+        fixed = {k for k in snapshot if not k.startswith("op.")}
+        assert fixed == GOLDEN_KEYS | HINT_KEYS
 
     def test_op_keys_follow_the_contract(self):
         snapshot = snapshot_for(middlewares=1)

@@ -1,0 +1,353 @@
+"""Link-level partitions, sloppy-quorum hinted handoff, and both
+property suites (partition-matrix algebra, hint-store invariants).
+
+The partition matrix is pure data -- Hypothesis can hammer its algebra
+directly.  The hint-store invariants run against a real (fast) cluster
+so delivery exercises the actual verified write path.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcloud import (
+    LinkDown,
+    PartitionPlan,
+    SwiftCluster,
+    mw_endpoint,
+    node_endpoint,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+_ENDPOINTS = [mw_endpoint(i) for i in range(1, 4)] + [
+    node_endpoint(i) for i in range(1, 5)
+]
+_ENDPOINT = st.sampled_from(_ENDPOINTS)
+_CUT = st.sampled_from(["c0", "c1", "c2"])
+_MODE = st.sampled_from(["both", "in", "out"])
+_ISOLATES = st.lists(
+    st.tuples(
+        st.lists(_ENDPOINT, min_size=1, max_size=2, unique=True),
+        st.lists(_ENDPOINT, min_size=1, max_size=3, unique=True),
+        _CUT,
+        _MODE,
+    ),
+    max_size=6,
+)
+
+
+class TestPartitionMatrixAlgebra:
+    @given(_ISOLATES)
+    @settings(max_examples=80, deadline=None)
+    def test_heal_all_restores_full_connectivity(self, isolates):
+        plan = PartitionPlan()
+        for island, peers, cut, mode in isolates:
+            plan.isolate(island, peers, cut, mode=mode)
+        plan.heal_all()
+        assert not plan.active
+        for src in _ENDPOINTS:
+            for dst in _ENDPOINTS:
+                assert plan.reachable(src, dst)
+
+    @given(_ISOLATES, _CUT)
+    @settings(max_examples=80, deadline=None)
+    def test_heal_is_idempotent(self, isolates, cut):
+        plan = PartitionPlan()
+        for island, peers, c, mode in isolates:
+            plan.isolate(island, peers, c, mode=mode)
+        plan.heal(cut)
+        matrix = {
+            (s, d): plan.reachable(s, d)
+            for s in _ENDPOINTS
+            for d in _ENDPOINTS
+        }
+        assert plan.heal(cut) == 0  # second heal releases nothing
+        assert matrix == {
+            (s, d): plan.reachable(s, d)
+            for s in _ENDPOINTS
+            for d in _ENDPOINTS
+        }
+        assert cut not in plan.active
+
+    @given(_ISOLATES)
+    @settings(max_examples=80, deadline=None)
+    def test_overlapping_cuts_keep_links_severed_until_all_heal(
+        self, isolates
+    ):
+        """A link cut by two ids stays down until *both* heal."""
+        plan = PartitionPlan()
+        for island, peers, cut, mode in isolates:
+            plan.isolate(island, peers, cut, mode=mode)
+        plan.heal_all()
+        plan.isolate(["mw:1"], ["node:1"], "x0")
+        plan.isolate(["mw:1"], ["node:1"], "x1")
+        plan.heal("x0")
+        assert not plan.reachable("mw:1", "node:1")
+        plan.heal("x1")
+        assert plan.reachable("mw:1", "node:1")
+
+    def test_mode_in_and_out_are_asymmetric(self):
+        plan = PartitionPlan()
+        plan.isolate(["mw:1"], ["node:2"], "out-cut", mode="out")
+        assert not plan.reachable("mw:1", "node:2")
+        assert plan.reachable("node:2", "mw:1")
+        plan.isolate(["mw:2"], ["node:3"], "in-cut", mode="in")
+        assert plan.reachable("mw:2", "node:3")
+        assert not plan.reachable("node:3", "mw:2")
+
+    def test_both_severs_both_directions(self):
+        plan = PartitionPlan()
+        plan.isolate(["mw:1"], ["node:1", "node:2"], "c0", mode="both")
+        for node in ("node:1", "node:2"):
+            assert not plan.reachable("mw:1", node)
+            assert not plan.reachable(node, "mw:1")
+        # Uninvolved endpoints are untouched.
+        assert plan.reachable("mw:2", "node:1")
+
+    def test_unknown_mode_rejected(self):
+        plan = PartitionPlan()
+        with pytest.raises(ValueError):
+            plan.isolate(["mw:1"], ["node:1"], "c0", mode="sideways")
+
+    def test_scheduled_cuts_fire_on_pump(self):
+        cluster = SwiftCluster.fast()
+        plan = cluster.partitions
+        at = cluster.clock.now_us
+        plan.partition_at(at + 10, ["mw:1"], ["node:1"], "c0")
+        plan.heal_at(at + 20, "c0")
+        assert plan.reachable("mw:1", "node:1")
+        cluster.step(15)
+        assert not plan.reachable("mw:1", "node:1")
+        cluster.step(15)
+        assert plan.reachable("mw:1", "node:1")
+        assert plan.pending == 0
+
+
+# ---------------------------------------------------------------------------
+# link-scoped enforcement (satellite: breakers must not quarantine the
+# node fleet-wide when only one middleware's link is cut)
+# ---------------------------------------------------------------------------
+
+
+def _owner_of(store, name):
+    return store.ring.nodes_for(name)[0]
+
+
+class TestLinkScopedEnforcement:
+    def test_severed_link_raises_linkdown_for_that_origin_only(self):
+        cluster = SwiftCluster.fast()
+        store = cluster.store
+        store.put("shared", b"v1")
+        owner = _owner_of(store, "shared")
+        cluster.partitions.isolate(
+            [mw_endpoint(1)], [node_endpoint(owner)], "c0"
+        )
+        # Reads through mw:1 route around the severed replica...
+        store.origin = 1
+        assert store.get("shared").data == b"v1"
+        # ...while mw:2's link to the same node still works.
+        store.origin = 2
+        assert store.get("shared").data == b"v1"
+        store.origin = None
+
+    def test_linkdown_never_feeds_the_fleet_breaker(self):
+        cluster = SwiftCluster.fast()
+        store = cluster.store
+        store.put("shared", b"v1")
+        owner = _owner_of(store, "shared")
+        cluster.partitions.isolate(
+            [mw_endpoint(1)], [node_endpoint(owner)], "c0"
+        )
+        store.origin = 1
+        for _ in range(10):
+            store.get("shared")
+            store.put("shared", store.get("shared").data)
+        store.origin = None
+        # The partition blocked requests, but the breaker saw none of
+        # them: unreachability is a property of the *link*, not the
+        # node, so other middlewares keep their replica.
+        assert cluster.partitions.blocked_requests > 0
+        breaker = store.breakers[owner]
+        assert breaker.consecutive_failures == 0
+        assert breaker.allow(cluster.clock.now_us)
+
+    def test_maintenance_plane_ignores_partitions(self):
+        """Repair rides the rack's internal network: origin=None paths
+        are never blocked by the client-facing partition matrix."""
+        cluster = SwiftCluster.fast()
+        store = cluster.store
+        store.put("m", b"v")
+        owner = _owner_of(store, "m")
+        cluster.partitions.isolate(
+            [mw_endpoint(1)], [node_endpoint(owner)], "c0"
+        )
+        store.origin = None
+        assert store.get("m").data == b"v"
+
+
+# ---------------------------------------------------------------------------
+# sloppy quorum + hinted handoff
+# ---------------------------------------------------------------------------
+
+
+class TestSloppyQuorum:
+    def _partitioned_cluster(self, name="obj"):
+        cluster = SwiftCluster.fast()
+        cluster.enable_hinted_handoff()
+        store = cluster.store
+        owner = _owner_of(store, name)
+        cluster.partitions.isolate(
+            [mw_endpoint(1)], [node_endpoint(owner)], "c0"
+        )
+        store.origin = 1
+        return cluster, store, owner
+
+    def test_write_during_partition_parks_a_hint(self):
+        cluster, store, owner = self._partitioned_cluster()
+        store.put("obj", b"payload")
+        hints = store.hints
+        assert hints.sloppy_writes == 1
+        assert hints.outstanding == 1
+        (hint,) = hints.hints()
+        assert hint.home_node == owner
+        assert hint.fallback_node not in store.ring.nodes_for("obj")
+        # The fallback stores the object under its real name, so the
+        # verified read path serves it unchanged.
+        fallback = store.nodes[hint.fallback_node].peek("obj")
+        assert fallback is not None and fallback.data == b"payload"
+
+    def test_heal_drains_hint_to_home_and_discards_fallback(self):
+        cluster, store, owner = self._partitioned_cluster()
+        store.put("obj", b"payload")
+        (hint,) = store.hints.hints()
+        assert store.nodes[owner].peek("obj") is None
+        cluster.partitions.heal("c0")  # on_heal fires the sweeper
+        assert store.hints.outstanding == 0
+        assert store.hints.delivered == 1
+        assert store.nodes[owner].peek("obj").data == b"payload"
+        assert store.nodes[hint.fallback_node].peek("obj") is None
+
+    def test_second_drain_delivers_nothing(self):
+        """No duplicate delivery: a delivered hint is gone for good."""
+        cluster, store, owner = self._partitioned_cluster()
+        store.put("obj", b"payload")
+        cluster.partitions.heal("c0")
+        assert store.hints.delivered == 1
+        assert cluster.hint_sweeper.drain() == 0
+        assert cluster.hint_sweeper.drain_to_empty() == 0
+        assert store.hints.delivered == 1
+
+    def test_superseded_hint_is_not_delivered(self):
+        cluster, store, owner = self._partitioned_cluster()
+        store.put("obj", b"old")
+        cluster.partitions.heal("c0")
+        # Overwrite after heal: every owner now holds the newer bytes.
+        store.put("obj", b"new")
+        # A stale straggler hint for the old write must not clobber it.
+        stale_ts = store.nodes[owner].peek("obj").timestamp
+        store.hints.add("obj", owner, _other_node(store, "obj"), stale_ts, 0)
+        cluster.hint_sweeper.drain_to_empty()
+        assert store.hints.outstanding == 0
+        assert store.nodes[owner].peek("obj").data == b"new"
+
+    def test_hint_for_retired_owner_reroutes_to_current_owners(self):
+        """Epoch-tagged hints never deliver to a node outside the
+        current owner set -- delivery re-routes by the live ring."""
+        cluster = SwiftCluster.fast()
+        cluster.enable_hinted_handoff()
+        store = cluster.store
+        store.put("obj", b"payload")
+        owners = set(store.ring.nodes_for("obj"))
+        outsider = next(
+            nid for nid in sorted(store.nodes) if nid not in owners
+        )
+        # Pretend "obj"'s home moved away in an old epoch: the hint
+        # names a node the current ring does not own the name on.
+        ts = store.nodes[sorted(owners)[0]].peek("obj").timestamp
+        fallback = next(
+            nid
+            for nid in sorted(store.nodes)
+            if nid not in owners and nid != outsider
+        )
+        store.nodes[fallback].write(store.nodes[sorted(owners)[0]].peek("obj"))
+        store.hints.add("obj", outsider, fallback, ts, epoch=0)
+        cluster.hint_sweeper.drain_to_empty()
+        assert store.hints.outstanding == 0
+        assert store.nodes[outsider].peek("obj") is None
+
+    def test_hint_for_deleted_name_is_dropped(self):
+        cluster, store, owner = self._partitioned_cluster()
+        store.put("obj", b"payload")
+        cluster.partitions.heal_all()
+        store.origin = None
+        store.delete("obj")
+        assert store.hints.outstanding == 0
+        cluster.hint_sweeper.drain_to_empty()
+        assert store.hints.dropped >= 0  # drop already happened at delete
+
+    def test_acked_writes_are_logged_even_without_failures(self):
+        cluster = SwiftCluster.fast()
+        cluster.enable_hinted_handoff()
+        store = cluster.store
+        store.put("a", b"1")
+        store.put("a", b"2")
+        names = [n for n, _ in store.hints.acked]
+        assert names == ["a", "a"]
+
+
+def _other_node(store, name):
+    owners = set(store.ring.nodes_for(name))
+    return next(nid for nid in sorted(store.nodes) if nid not in owners)
+
+
+# ---------------------------------------------------------------------------
+# hint-store invariants under random cut/write/heal scripts
+# ---------------------------------------------------------------------------
+
+_SCRIPT = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from([f"k{i}" for i in range(4)])),
+        st.tuples(st.just("cut"), st.integers(1, 8)),
+        st.tuples(st.just("heal"),),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestHintStoreInvariants:
+    @given(_SCRIPT)
+    @settings(max_examples=40, deadline=None)
+    def test_drain_to_empty_after_heal(self, script):
+        cluster = SwiftCluster.fast()
+        cluster.enable_hinted_handoff()
+        store = cluster.store
+        store.origin = 1
+        cuts = 0
+        payloads: dict[str, bytes] = {}
+        for step in script:
+            if step[0] == "put":
+                name = step[1]
+                data = f"{name}:{cuts}".encode()
+                store.put(name, data)
+                payloads[name] = data
+            elif step[0] == "cut":
+                cluster.partitions.isolate(
+                    [mw_endpoint(1)], [node_endpoint(step[1])], f"c{cuts}"
+                )
+                cuts += 1
+            else:
+                cluster.partitions.heal_all()
+        cluster.partitions.heal_all()
+        cluster.hint_sweeper.drain_to_empty()
+        store.origin = None
+        # Every hint drained, every acked write readable at full value.
+        assert store.hints.outstanding == 0
+        for name, data in payloads.items():
+            assert store.get(name).data == data
+            for owner in store.ring.nodes_for(name):
+                record = store.nodes[owner].peek(name)
+                assert record is not None and record.data == data
