@@ -51,19 +51,28 @@ def main(argv: list[str]) -> int:
         argv = argv[:flag] + argv[flag + 2 :]
     wanted = argv or list(ALL_EXPERIMENTS)
     # "trajectory" is not a figure: it writes machine-readable
-    # BENCH_*.json artifacts instead of printing a chart.
+    # BENCH_*.json artifacts instead of printing a chart.  "hugedir"
+    # regenerates just the giant-directory artifact (the nightly
+    # huge-directory job's fast path).
     run_trajectory = "trajectory" in wanted
-    wanted = [name for name in wanted if name != "trajectory"]
+    run_hugedir = "hugedir" in wanted
+    wanted = [name for name in wanted if name not in ("trajectory", "hugedir")]
     unknown = [name for name in wanted if name not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}")
-        print(f"available: {', '.join(ALL_EXPERIMENTS)}, trajectory")
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}, trajectory, hugedir")
         return 2
     if run_trajectory:
         from .trajectory import write_bench_artifacts
 
         for path in write_bench_artifacts(out_dir or "."):
             print(f"wrote {path}")
+        if not wanted and not run_hugedir:
+            return 0
+    if run_hugedir:
+        from .hugedir import write_hugedir_artifact
+
+        print(f"wrote {write_hugedir_artifact(out_dir or '.')}")
         if not wanted:
             return 0
     print(f"# H2Cloud reproduction benchmarks (scale={bench_scale()})\n")

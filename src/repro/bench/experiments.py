@@ -170,6 +170,11 @@ def fig10_list_vs_m(ms: list[int] | None = None) -> ExperimentResult:
         result.note(
             f"H2Cloud LIST of 1000 files: {h2_1000 / 1000:.2f} s (paper: ~0.35 s)."
         )
+    result.note(
+        "Beyond this sweep: `python -m repro.bench hugedir` pushes the "
+        "same shape to m=500k (full scale) and compares monolithic vs "
+        "sharded NameRings on per-op store bytes."
+    )
     return result
 
 

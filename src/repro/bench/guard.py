@@ -16,7 +16,11 @@ when any guarded metric regresses by more than the tolerance:
   worst-tenant p99 from the scenario suite's SLO report cards,
 * the partition artifact's per-phase write p99 and unavailable rate
   (1 - ack_rate) -- the hinted-handoff availability win under a live
-  cut must not silently erode.
+  cut must not silently erode,
+* the hugedir artifact's sharded-side per-op insert bytes and the
+  hotspot phase's per-class p99 for both layouts -- the sub-linear
+  per-op cost that justifies sharded NameRings must not regress back
+  toward O(m).
 
 Both artifacts are deterministic for a given scale (the simulated
 clock is the only time source), so any drift is a real behavioural
@@ -38,6 +42,7 @@ ARTIFACTS = (
     "BENCH_rebalance.json",
     "BENCH_scale.json",
     "BENCH_partition.json",
+    "BENCH_hugedir.json",
 )
 
 #: a candidate may cost up to this factor of the baseline before failing
@@ -97,6 +102,22 @@ def _guarded_metrics(doc: dict) -> dict[str, float]:
     worst = doc.get("worst_tenant", {})
     if "p99_ms" in worst:
         metrics["worst_tenant.p99_ms"] = worst["p99_ms"]
+    for point in doc.get("sweep", []):
+        m = point.get("m")
+        for side in ("mono", "sharded"):
+            costs = point.get(side, {})
+            for op in ("insert", "list_page"):
+                if op in costs:
+                    metrics[f"sweep.m{m}.{side}.{op}.bytes_in"] = costs[op][
+                        "bytes_in"
+                    ]
+                    metrics[f"sweep.m{m}.{side}.{op}.bytes_out"] = costs[op][
+                        "bytes_out"
+                    ]
+    for side in ("mono", "sharded"):
+        classes = doc.get("hotspot", {}).get(side, {}).get("classes", {})
+        for cls, stats in classes.items():
+            metrics[f"hotspot.{side}.{cls}.p99_ms"] = stats["p99_ms"]
     if "hints_on" in doc:
         for phase in ("hints_off", "hints_on"):
             stats = doc.get(phase, {})

@@ -1,0 +1,202 @@
+"""Giant-directory benchmark: sharded vs monolithic NameRings.
+
+The fig-10 sweep shape (one directory, m direct children, m pushed to
+500k at full scale) applied to the costs sharding is meant to bend:
+
+* **per-op store bytes** -- a single-child insert against a monolithic
+  ring rewrites all m tuples (O(m) bytes per op); against a sharded
+  ring it rewrites one shard (~``target_entries`` tuples, O(m/k));
+* **paged LIST** -- first page of a cold listing needs the manifest
+  plus every shard once, whole-ring bytes either way, so the sweep
+  records it to show sharding does *not* regress it asymptotically;
+* **hotspot phase** -- the :class:`~repro.workloads.HugeDirSpec` op
+  mix (Zipf-hot lookups, insert/delete churn, paged listings) replayed
+  against both layouts on a rack-scale cluster, reporting per-class
+  p99 latency deltas.
+
+Everything runs on the simulated clock, so the emitted
+``BENCH_hugedir.json`` is deterministic for a given scale and is
+guarded by ``python -m repro.bench guard`` like the other artifacts.
+
+    python -m repro.bench hugedir [--out results/]
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.fs import H2CloudFS
+from ..core.middleware import H2Config
+from ..simcloud.cluster import SwiftCluster
+from ..workloads import HugeDirSpec, huge_directory_ops
+from .harness import bench_scale, sweep_points
+from .trajectory import FORMAT
+
+DIR = "/huge"
+
+#: the sharded side of every comparison (production-shaped thresholds)
+SHARDED = H2Config().with_sharded_rings()
+
+
+def _ledger_snapshot(fs) -> dict[str, int]:
+    ledger = fs.store.ledger
+    return {
+        "gets": ledger.gets,
+        "puts": ledger.puts,
+        "bytes_in": ledger.bytes_in,
+        "bytes_out": ledger.bytes_out,
+    }
+
+
+def _delta(fs, before: dict[str, int]) -> dict[str, int]:
+    now = _ledger_snapshot(fs)
+    return {key: now[key] - before[key] for key in before}
+
+
+def _build(sharded: bool, rack: bool = False) -> H2CloudFS:
+    cluster = SwiftCluster.rack_scale() if rack else SwiftCluster.fast()
+    config = SHARDED if sharded else H2Config()
+    return H2CloudFS(cluster, account="bench", config=config)
+
+
+def _populate(fs, m: int) -> None:
+    fs.mkdir(DIR)
+    fs.write_many(DIR, [(f"c{i:07d}", b"x") for i in range(m)])
+    fs.pump()
+
+
+def _measure_side(m: int, sharded: bool) -> dict:
+    fs = _build(sharded)
+    before = _ledger_snapshot(fs)
+    _populate(fs, m)
+    populate = _delta(fs, before)
+
+    before = _ledger_snapshot(fs)
+    fs.write(f"{DIR}/zz-probe", b"x")
+    fs.pump()  # drain the merge: the per-op cost includes write-back
+    insert = _delta(fs, before)
+
+    fs.drop_caches()
+    before = _ledger_snapshot(fs)
+    fs.listdir(DIR, limit=1_000)
+    list_page = _delta(fs, before)
+
+    fs.drop_caches()
+    before = _ledger_snapshot(fs)
+    fs.read(f"{DIR}/c{m // 2:07d}")
+    lookup = _delta(fs, before)
+
+    return {
+        "populate": populate,
+        "insert": insert,
+        "list_page": list_page,
+        "lookup_cold": lookup,
+    }
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    k = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[k]
+
+
+def _hotspot_side(spec: HugeDirSpec, sharded: bool) -> dict:
+    fs = _build(sharded, rack=True)
+    _populate(fs, spec.children)
+    live = {spec.child_name(i) for i in range(spec.children)}
+    samples: dict[str, list[float]] = {}
+    for op, operand in huge_directory_ops(spec):
+        if op in ("delete", "lookup") and operand not in live:
+            continue  # the Zipf stream can re-draw an already-deleted name
+        start = fs.clock.now_ms
+        if op == "insert":
+            fs.write(f"{DIR}/{operand}", b"x")
+            live.add(operand)
+        elif op == "delete":
+            fs.delete(f"{DIR}/{operand}")
+            live.discard(operand)
+        elif op == "list_page":
+            fs.listdir(DIR, marker=operand, limit=spec.page_size)
+        else:
+            fs.read(f"{DIR}/{operand}")
+        samples.setdefault(op, []).append(fs.clock.now_ms - start)
+    fs.pump()
+    return {
+        "classes": {
+            op: {
+                "count": len(vals),
+                "p50_ms": round(_percentile(vals, 0.50), 3),
+                "p99_ms": round(_percentile(vals, 0.99), 3),
+            }
+            for op, vals in sorted(samples.items())
+        },
+        "sim_makespan_ms": fs.clock.now_ms,
+    }
+
+
+def hugedir_trajectory() -> dict:
+    """The ``BENCH_hugedir.json`` document (deterministic per scale)."""
+    # Points sit below shard-capacity boundaries (count * target_entries)
+    # so the +1-child probe measures the steady-state path, not a
+    # reshard: 5000 < 8*512*2, 10k < 32*512, 100k < 256*512, 500k < 1024*512.
+    ms = sweep_points(quick=[512, 5_000], full=[10_000, 100_000, 500_000])
+    sweep = []
+    for m in ms:
+        mono = _measure_side(m, sharded=False)
+        shard = _measure_side(m, sharded=True)
+        point = {"m": m, "mono": mono, "sharded": shard}
+        if mono["insert"]["bytes_in"]:
+            point["insert_bytes_ratio"] = round(
+                shard["insert"]["bytes_in"] / mono["insert"]["bytes_in"], 4
+            )
+        sweep.append(point)
+
+    # Off shard-capacity boundaries too: the insert churn must not
+    # cross a reshard point mid-phase.
+    spec = HugeDirSpec(
+        children=3_000 if bench_scale() == "quick" else 20_000,
+        ops=300,
+        seed=42,
+    )
+    hotspot = {
+        "spec": {
+            "children": spec.children,
+            "ops": spec.ops,
+            "alpha": spec.alpha,
+            "seed": spec.seed,
+        },
+        "mono": _hotspot_side(spec, sharded=False),
+        "sharded": _hotspot_side(spec, sharded=True),
+    }
+    return {
+        "format": FORMAT,
+        "artifact": "hugedir",
+        "scale": bench_scale(),
+        # The guard treats this as the artifact's headline cost: the
+        # hotspot phase's combined simulated makespan across layouts.
+        "sim_makespan_ms": round(
+            hotspot["mono"]["sim_makespan_ms"]
+            + hotspot["sharded"]["sim_makespan_ms"],
+            3,
+        ),
+        "policy": {
+            "split_threshold": SHARDED.shard_split_threshold,
+            "merge_threshold": SHARDED.shard_merge_threshold,
+            "target_entries": SHARDED.shard_target_entries,
+        },
+        "sweep": sweep,
+        "hotspot": hotspot,
+    }
+
+
+def write_hugedir_artifact(out_dir: str | Path = ".") -> Path:
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "BENCH_hugedir.json"
+    path.write_text(
+        json.dumps(hugedir_trajectory(), indent=2, sort_keys=True) + "\n"
+    )
+    return path

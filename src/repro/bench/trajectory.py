@@ -23,7 +23,11 @@ costs, fed by the unified metrics registry (the same numbers
   success rate, write p99 and post-heal durability for both;
 * ``BENCH_scale.json`` (written by :mod:`repro.bench.scale`) -- the
   multi-tenant scenario suite's fleet throughput, per-class p99 and
-  worst-tenant SLO numbers for the reference ``sync-storm`` replay.
+  worst-tenant SLO numbers for the reference ``sync-storm`` replay;
+* ``BENCH_hugedir.json`` (written by :mod:`repro.bench.hugedir`) --
+  the giant-directory sweep: per-op store bytes for insert/LIST/lookup
+  against monolithic vs sharded NameRings at growing m, plus the
+  huge-directory hotspot workload's per-class p99 for both layouts.
 
 All are deterministic for a given scale: the simulated clock is the
 only time source, so CI can diff them run over run.
@@ -503,4 +507,7 @@ def write_bench_artifacts(out_dir: str | Path = ".") -> list[Path]:
     from .scale import write_scale_artifact
 
     written.append(write_scale_artifact(out))
+    from .hugedir import write_hugedir_artifact
+
+    written.append(write_hugedir_artifact(out))
     return written

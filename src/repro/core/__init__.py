@@ -9,10 +9,14 @@ from .descriptor import CacheStats, FileDescriptor, FileDescriptorCache
 from .formatter import (
     DirectoryRecord,
     FormatError,
+    ShardDigest,
+    ShardManifest,
     dumps_directory,
+    dumps_manifest,
     dumps_patch,
     dumps_ring,
     loads_directory,
+    loads_manifest,
     loads_patch,
     loads_ring,
 )
@@ -36,10 +40,12 @@ from .namespace import (
     parent_and_base,
     parse_decorated,
     patch_key,
+    ring_shard_key,
     split_path,
     validate_name,
 )
 from .monitoring import LatencyHistogram, Monitor, deployment_report
+from .shards import ShardPolicy, StoredRing
 from .patch import Patch, PatchChain, PatchCounter
 from .streams import FileWriter
 from .webapi import H2WebAPI, Request, Response
@@ -76,21 +82,28 @@ __all__ = [
     "Resolution",
     "Response",
     "Rumor",
+    "ShardDigest",
+    "ShardManifest",
+    "ShardPolicy",
+    "StoredRing",
     "decorate",
     "deployment_report",
     "depth_of",
     "directory_key",
     "dumps_directory",
+    "dumps_manifest",
     "dumps_patch",
     "dumps_ring",
     "file_key",
     "join",
     "loads_directory",
+    "loads_manifest",
     "loads_patch",
     "loads_ring",
     "merge",
     "merge_all",
     "namering_key",
+    "ring_shard_key",
     "normalize_path",
     "parent_and_base",
     "parse_decorated",

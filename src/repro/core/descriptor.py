@@ -18,6 +18,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..simcloud.clock import Timestamp
+from .formatter import ShardManifest
 from .namering import NameRing
 from .namespace import Namespace
 from .patch import PatchChain, PatchGroup
@@ -38,6 +39,14 @@ class FileDescriptor:
     #: Advisory only -- any write or absorbed remote state discards the
     #: affected entries, and degraded (stale) loads never populate it.
     negative: set[str] = field(default_factory=set)
+    #: the shard manifest last read from (or written to) the store, or
+    #: None while the stored layout is monolithic/unknown.
+    layout: ShardManifest | None = None
+    #: names whose cached ring entry may be ahead of the store -- the
+    #: sharded write-back's dirty-shard set.  Populated by gossip
+    #: absorbs and anti-entropy pulls (patch contents arrive as
+    #: ``extra`` instead); cleared per-name once written back.
+    dirty_names: set[str] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         if self.chain is None:

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..simcloud.errors import ObjectNotFound
-from . import formatter
+from . import formatter, shards
 from .namering import KIND_DIR
 from .namespace import Namespace, directory_key, file_key, namering_key
 
@@ -86,9 +86,9 @@ class GarbageCollector:
     def _collect(self) -> GCReport:
         if not self._safe_to_collect():
             return GCReport(marked=0, swept=0, reclaimed_bytes=0, compacted_rings=0)
-        reachable, ring_keys = self._mark()
+        reachable, ring_nss = self._mark()
         swept, reclaimed = self._sweep(reachable)
-        compacted = self._compact(ring_keys)
+        compacted = self._compact(ring_nss)
         return GCReport(
             marked=len(reachable),
             swept=swept,
@@ -124,9 +124,7 @@ class GarbageCollector:
                 if not fd.loaded:
                     continue  # never read: next use loads fresh state
                 try:
-                    stored = formatter.loads_ring(
-                        store.get(namering_key(fd.ns)).data
-                    )
+                    stored = shards.read_stored(store, fd.ns).ring
                 except (ObjectNotFound, formatter.FormatError):
                     continue
                 for name, child in stored.children.items():
@@ -136,27 +134,31 @@ class GarbageCollector:
         return True
 
     # ------------------------------------------------------------------
-    def _mark(self) -> tuple[set[str], list[str]]:
+    def _mark(self) -> tuple[set[str], list[Namespace]]:
         store = self._mw.store
         reachable: set[str] = set()
-        ring_keys: list[str] = []
+        ring_nss: list[Namespace] = []
         for account in self._accounts:
             stack = [Namespace.root(account)]
             while stack:
                 ns = stack.pop()
                 dkey, rkey = directory_key(ns), namering_key(ns)
                 reachable.update((dkey, rkey))
-                ring_keys.append(rkey)
+                ring_nss.append(ns)
                 try:
-                    ring = formatter.loads_ring(store.get(rkey).data)
+                    loaded = shards.read_stored(store, ns)
                 except ObjectNotFound:
                     continue
-                for child in ring.live_children():
+                if loaded.manifest is not None:
+                    # The current epoch's shard payloads are live; any
+                    # older epoch left by a torn reshard is garbage.
+                    reachable.update(shards.shard_keys(ns, loaded.manifest))
+                for child in loaded.ring.live_children():
                     if child.kind == KIND_DIR:
                         stack.append(Namespace(child.ns))
                     else:
                         reachable.add(file_key(ns, child.name))
-        return reachable, ring_keys
+        return reachable, ring_nss
 
     def _sweep(self, reachable: set[str]) -> tuple[int, int]:
         store = self._mw.store
@@ -188,19 +190,40 @@ class GarbageCollector:
         return protected
 
     # ------------------------------------------------------------------
-    def _compact(self, ring_keys: list[str]) -> int:
-        """Rewrite stored rings without tombstones (safe: system quiet)."""
+    def _compact(self, ring_nss: list[Namespace]) -> int:
+        """Rewrite stored rings without tombstones (safe: system quiet).
+
+        For sharded rings this is also the manifest-heal point: a
+        write-back that raced an outage can leave the manifest's
+        digests behind the shard payloads, so whenever the recomputed
+        digests disagree with the stored manifest the manifest is
+        rewritten -- even if no tombstone needed stripping.
+        """
         store = self._mw.store
+        policy = self._mw.shard_policy
         compacted = 0
-        for rkey in ring_keys:
+        for ns in ring_nss:
             try:
-                ring = formatter.loads_ring(store.get(rkey).data)
+                loaded = shards.read_stored(store, ns)
             except ObjectNotFound:
                 continue
-            if not ring.needs_compaction:
-                continue
-            store.put(rkey, formatter.dumps_ring(ring.compacted()))
-            compacted += 1
+            if loaded.ring.needs_compaction:
+                shards.write_stored(
+                    store,
+                    ns,
+                    loaded.ring.compacted(),
+                    policy,
+                    loaded.manifest,
+                )
+                compacted += 1
+            elif loaded.manifest is not None:
+                healed = shards.manifest_of(
+                    loaded.shards, epoch=loaded.manifest.epoch
+                )
+                if healed != loaded.manifest:
+                    store.put(
+                        namering_key(ns), formatter.dumps_manifest(healed)
+                    )
         # Caches may still hold tombstoned versions; refresh loaded rings.
         network = self._mw.network
         peers = network.members if network is not None else [self._mw]

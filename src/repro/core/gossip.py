@@ -17,6 +17,13 @@ message fabric: rumors are queued, :meth:`pump` delivers one round,
 is injectable; anti-entropy (periodic full-state sync between random
 pairs) backstops convergence under loss, mirroring how epidemic
 protocols [Demers et al. 1987] pair rumor mongering with anti-entropy.
+
+Sharded rings ride through unchanged rumors: a receiver absorbs the
+announcer's in-memory ring, records which names changed
+(``NameRing.merge_changes``), and its write-back touches only the
+shards those names hash into -- the rumor itself never grows with
+directory size, and anti-entropy digests compare per-shard ``(version,
+crc)`` pairs via the stored manifest instead of whole-ring bytes.
 """
 
 from __future__ import annotations

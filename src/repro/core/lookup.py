@@ -10,6 +10,10 @@ H2 offers two file-access methods:
 The walk goes through the middleware's File Descriptor Cache, so hot
 directories resolve without touching the store; the Fig 13 benchmark
 drops caches between measurements to expose the cold O(d) behaviour.
+A cold walk through a *sharded* directory (``nr:`` holds a manifest,
+see :mod:`repro.core.shards`) fans the shard GETs out in parallel
+lanes, so resolution latency stays one round-trip deep per level even
+at 500k children.
 """
 
 from __future__ import annotations

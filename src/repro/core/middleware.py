@@ -22,6 +22,7 @@ this is what lands H2Cloud's MKDIR in the paper's 150-200 ms band.
 from __future__ import annotations
 
 import functools
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
@@ -39,7 +40,7 @@ from ..simcloud.errors import (
     QuorumError,
 )
 from ..simcloud.object_store import ObjectStore
-from . import formatter
+from . import formatter, shards
 from .descriptor import FileDescriptor, FileDescriptorCache
 from .formatter import DirectoryRecord
 from .gossip import GossipNetwork, Rumor
@@ -74,6 +75,12 @@ class H2Config:
     group_commit_window_us: int = 500_000  # sim-clock group window
     gossip_digests: bool = False  # rumor coalescing + digest anti-entropy
     memoize_serialization: bool = False  # elide PUTs of byte-identical rings
+    # --- sharded NameRings (docs/PROTOCOL.md §11), default-off so the
+    # committed DST corpus digests stay byte-identical flags-off ---
+    sharded_rings: bool = False  # split giant rings into hashed shards
+    shard_split_threshold: int = 1024  # tuples before a ring splits
+    shard_merge_threshold: int = 256  # tuples before shards collapse
+    shard_target_entries: int = 512  # aimed-for tuples per shard
 
     def with_traffic_flags(self) -> "H2Config":
         """This config with every traffic-reduction mechanism enabled."""
@@ -85,6 +92,23 @@ class H2Config:
             group_commit=True,
             gossip_digests=True,
             memoize_serialization=True,
+        )
+
+    def with_sharded_rings(self) -> "H2Config":
+        """This config with sharded NameRings enabled."""
+        from dataclasses import replace
+
+        return replace(self, sharded_rings=True)
+
+    def shard_policy(self):
+        """The :class:`~repro.core.shards.ShardPolicy` these knobs spell."""
+        from .shards import ShardPolicy
+
+        return ShardPolicy(
+            enabled=self.sharded_rings,
+            split_threshold=self.shard_split_threshold,
+            merge_threshold=self.shard_merge_threshold,
+            target_entries=self.shard_target_entries,
         )
 
 
@@ -185,6 +209,17 @@ class H2Middleware:
         )
         self._put_elisions = self.metrics.counter("traffic.put_elisions")
         self._digest_skips = self.metrics.counter("traffic.digest_skips")
+        # Sharded-ring telemetry: layout transitions plus the per-shard
+        # write-back's touched/skipped split (docs/PROTOCOL.md §11).
+        self.shard_policy = self.config.shard_policy()
+        self._shard_counters = {
+            "split": self.metrics.counter("shard.splits"),
+            "collapse": self.metrics.counter("shard.collapses"),
+            "reshard": self.metrics.counter("shard.reshards"),
+            "put": self.metrics.counter("shard.shard_puts"),
+            "skip": self.metrics.counter("shard.shard_skips"),
+        }
+        self._shard_gets = self.metrics.counter("shard.shard_gets")
         self.monitor = Monitor(self)
         self._merge_block = 0  # §3.3.3b: >0 while a file stream is open
         # Elastic membership: the cluster epoch this middleware has
@@ -227,8 +262,8 @@ class H2Middleware:
         if fd.loaded and use_cache and not fd.stale:
             return fd
         try:
-            record = self.store.get(namering_key(ns))
-            stored = formatter.loads_ring(record.data)
+            loaded = shards.read_stored(self.store, ns, fan_out=True)
+            stored = loaded.ring
         except ObjectNotFound:
             raise PathNotFound(f"<namespace {ns}>") from None
         except QuorumError:
@@ -240,6 +275,9 @@ class H2Middleware:
                 )
                 return fd
             raise
+        fd.layout = loaded.manifest
+        if loaded.manifest is not None:
+            self._shard_gets.inc(loaded.manifest.shard_count)
         # Merge, don't replace: local unmerged updates must survive.
         merged = fd.ring.merge(stored)
         if merged is not fd.ring:
@@ -254,8 +292,23 @@ class H2Middleware:
         return fd
 
     def store_ring(self, fd: FileDescriptor) -> None:
-        self.store.put(namering_key(fd.ns), formatter.dumps_ring(fd.ring))
+        """Full-state write of the cached ring, layout-aware.
+
+        With sharding off and a monolithic layout this is the classic
+        single PUT; otherwise :func:`repro.core.shards.write_stored`
+        splits/collapses/reshards per policy and rewrites only the
+        shards whose digest changed.
+        """
+        fd.layout = shards.write_stored(
+            self.store,
+            fd.ns,
+            fd.ring,
+            self.shard_policy,
+            fd.layout,
+            self._shard_counters,
+        )
         fd.merged_version = fd.ring.version
+        fd.dirty_names.clear()
 
     def store_ring_merged(
         self,
@@ -285,17 +338,29 @@ class H2Middleware:
         With ``memoize_serialization`` on, a write-back whose serialized
         form is byte-identical to what the store already holds is elided
         entirely (the CRC-memoized dump makes the comparison cheap).
+
+        When the stored layout is sharded, the read-merge-write runs
+        *per shard*: only the shards holding locally-changed names
+        (``extra``'s children plus ``fd.dirty_names``) are fetched,
+        merged and rewritten, and even those are skipped outright when
+        the local shard's digest matches the stored manifest's -- a
+        one-child merge into an m-entry directory touches one shard,
+        not m tuples (docs/PROTOCOL.md §11).
         """
         try:
             record = self.store.get(namering_key(fd.ns))
-            stored = formatter.loads_ring(record.data)
         except ObjectNotFound:
             record = None
-            stored = None
         except QuorumError:
             if strict:
                 raise
             return
+        if record is not None and formatter.is_manifest(record.data):
+            manifest = formatter.loads_manifest(record.data)
+            self._merge_write_sharded(fd, manifest, extra, strict)
+            return
+        stored = formatter.loads_ring(record.data) if record is not None else None
+        fd.layout = None
         if stored is not None:
             merged = fd.ring.merge(stored)
             if merged is not fd.ring:
@@ -312,8 +377,104 @@ class H2Middleware:
             # The store already holds these exact bytes: skip the PUT.
             self._put_elisions.inc()
             fd.merged_version = fd.ring.version
+            fd.dirty_names.clear()
             return
         self.store_ring(fd)
+
+    def _merge_write_sharded(
+        self,
+        fd: FileDescriptor,
+        manifest,
+        extra: NameRing | None,
+        strict: bool,
+    ) -> None:
+        """The sharded read-merge-write behind :meth:`store_ring_merged`.
+
+        Dirty shards are those holding a name from ``extra`` or
+        ``fd.dirty_names``.  Per dirty shard: if the local shard's
+        digest equals the stored one there is nothing to exchange
+        (skip, no GET); otherwise GET, merge both ways (stored tuples
+        are absorbed into the cache), and PUT only when the merged
+        bytes differ.  Untouched shards keep their stored digests.
+        Layout transitions (collapse/reshard) are detected from the
+        updated manifest's totals and delegated to a full-state
+        :meth:`store_ring`.
+        """
+        count, epoch = manifest.shard_count, manifest.epoch
+        pending = set(fd.dirty_names)
+        if extra is not None:
+            pending.update(extra.children)
+            fd.ring = fd.ring.merge(extra)
+        dirty = {shards.shard_of(name, count) for name in pending}
+        local = shards.extract_shards(fd.ring, count, dirty)
+        digests = list(manifest.digests)
+        absorbed: dict[str, Child] = {}
+        for k in sorted(dirty):
+            local_shard = local[k]
+            local_digest = shards.digest_of(local_shard)
+            if local_digest == digests[k]:
+                # Cache and store agree on this shard: nothing to do.
+                self._shard_counters["skip"].inc()
+                continue
+            key = shards.ring_shard_key(fd.ns, epoch, k)
+            try:
+                shard_record = self.store.get(key)
+                stored_shard = formatter.loads_shard(shard_record.data)
+            except ObjectNotFound:
+                shard_record, stored_shard = None, NameRing.empty()
+            except QuorumError:
+                if strict:
+                    raise
+                return  # partial progress is safe: writes are monotone
+            self._shard_gets.inc()
+            merged_shard = local_shard.merge(stored_shard)
+            absorbed.update(stored_shard.children)
+            data = formatter.dumps_shard(merged_shard)
+            if shard_record is not None and data == shard_record.data:
+                self._shard_counters["skip"].inc()
+            else:
+                self.store.put(key, data)
+                self._shard_counters["put"].inc()
+            digests[k] = shards.digest_of(merged_shard)
+        if absorbed:
+            merged, _ = fd.ring.merge_changes(NameRing(children=absorbed))
+            if merged is not fd.ring:
+                fd.ring = merged
+                if fd.negative:
+                    fd.negative.clear()
+        new_manifest = formatter.ShardManifest(
+            shard_count=count, epoch=epoch, digests=tuple(digests)
+        )
+        total = new_manifest.total_entries
+        policy = self.shard_policy
+        if not policy.enabled or policy.should_collapse(total) or (
+            policy.desired_count(total) > count
+        ):
+            # Layout boundary crossed: take the full-state path.  The
+            # whole ring must be known first -- the cache may never
+            # have seen shards it had no dirty names in.
+            try:
+                loaded = shards.read_stored(self.store, fd.ns, fan_out=True)
+            except ObjectNotFound:
+                loaded = None
+            except QuorumError:
+                if strict:
+                    raise
+                return  # shards already written are monotone-safe
+            if loaded is not None:
+                fd.ring = fd.ring.merge(loaded.ring)
+                fd.layout = loaded.manifest
+            self.store_ring(fd)
+        else:
+            if new_manifest != manifest:
+                self.store.put(
+                    namering_key(fd.ns),
+                    formatter.dumps_manifest(new_manifest),
+                )
+            fd.layout = new_manifest
+            fd.merged_version = fd.ring.version
+            fd.dirty_names.difference_update(pending)
+        fd.loaded = True
 
     def submit_patch(self, ns: Namespace, entries: list[Child]) -> Patch:
         """Phase 1: PUT the patch object and chain it locally.
@@ -563,19 +724,24 @@ class H2Middleware:
                 # stored version is at least as new (the merger writes
                 # back before announcing), so absorb from the store.
                 try:
-                    remote = formatter.loads_ring(
-                        self.store.get(namering_key(rumor.ns)).data
+                    loaded = shards.read_stored(
+                        self.store, rumor.ns, fan_out=True
                     )
                 except (ObjectNotFound, QuorumError):
                     return False  # ring gone or unreachable: rumor dies
-            merged = fd.ring.merge(remote)
-            changed = merged.children != fd.ring.children
+                remote = loaded.ring
+                fd.layout = loaded.manifest
+            merged, changed_names = fd.ring.merge_changes(remote)
+            changed = bool(changed_names)
             fd.ring = merged
             fd.loaded = True
             if changed and fd.negative:
                 # Remote state arrived: cached misses may now be stale.
                 fd.negative.clear()
             if changed and not from_store:
+                # Track which names the peer advanced so a sharded
+                # write-back touches only their shards.
+                fd.dirty_names.update(changed_names)
                 self.store_ring_merged(fd)
             return changed
 
@@ -646,10 +812,11 @@ class H2Middleware:
                         self._digest_skips.inc()
                         continue
                 fd = self.fd_cache.get_or_create(src_fd.ns)
-                merged = fd.ring.merge(src_fd.ring)
-                if merged.children != fd.ring.children:
+                merged, changed_names = fd.ring.merge_changes(src_fd.ring)
+                if changed_names:
                     fd.ring = merged
                     fd.loaded = True
+                    fd.dirty_names.update(changed_names)
                     if fd.negative:
                         fd.negative.clear()
                     self.background(lambda fd=fd: self.store_ring_merged(fd))
@@ -692,7 +859,13 @@ class H2Middleware:
             fd = self.load_ring(root, use_cache=False)
             if len(fd.view()) > 0:
                 raise DirectoryNotEmpty(f"<account {account}>")
-        self.store.delete(namering_key(root), missing_ok=True)
+        if self.shard_policy.enabled:
+            # The root ring may be a manifest: drop its shard payloads
+            # too, not just the nr: object.  (Gated so flag-off runs
+            # keep the exact historical request sequence.)
+            shards.delete_stored(self.store, root)
+        else:
+            self.store.delete(namering_key(root), missing_ok=True)
         self.store.delete(directory_key(root), missing_ok=True)
         self.store.accounts.discard(account)
         self.fd_cache.purge(root)
@@ -837,19 +1010,26 @@ class H2Middleware:
 
         ``marker``/``limit`` paginate like Swift's container listings:
         entries strictly after ``marker``, at most ``limit`` of them.
-        The NameRing is fetched whole either way (it is one object);
-        pagination bounds the detailed HEAD fan-out and the response.
+        The ring is fetched whole (one object, or the manifest plus its
+        shard payloads when the directory is sharded); the sorted live
+        view is memoized per ring instance, so paging through a giant
+        directory re-sorts nothing -- each page is a binary search plus
+        a slice, and pagination bounds the detailed HEAD fan-out.
         """
         dir_ns = self.lookup.resolve_dir(account, path)
         fd = self.load_ring(dir_ns)
         self._compact_in_use(fd)
-        children = fd.view().live_children()
+        view = fd.view()
+        children = view.live_children()
+        start = 0
         if marker is not None:
-            children = [c for c in children if c.name > marker]
+            start = bisect_right(view.live_names(), marker)
         if limit is not None:
             if limit < 0:
                 raise InvalidPath(path, "limit must be >= 0")
-            children = children[:limit]
+            children = children[start : start + limit]
+        elif start:
+            children = children[start:]
         if not detailed:
             return [
                 Entry(
@@ -1040,15 +1220,20 @@ class H2Middleware:
         is unchanged either way.
         """
         try:
-            stored = formatter.loads_ring(
-                self.store.get(namering_key(fd.ns)).data
-            )
+            loaded = shards.read_stored(self.store, fd.ns)
         except ObjectNotFound:
             # The ring object vanished (account teardown / GC); writing
             # our cached copy back would resurrect it.
             return
-        merged = stored.merge(fd.ring).compacted()
-        self.store.put(namering_key(fd.ns), formatter.dumps_ring(merged))
+        merged = loaded.ring.merge(fd.ring).compacted()
+        fd.layout = shards.write_stored(
+            self.store,
+            fd.ns,
+            merged,
+            self.shard_policy,
+            loaded.manifest,
+            self._shard_counters,
+        )
         fd.merged_version = fd.ring.version
 
     # ==================================================================

@@ -32,6 +32,7 @@ attribute key -- never "whichever operand was on the left".
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field, replace
 
 from ..simcloud.clock import Timestamp
@@ -66,6 +67,30 @@ class Child:
     def tombstone(self, timestamp: Timestamp) -> "Child":
         """The fake-deletion marker that will override this tuple."""
         return replace(self, deleted=True, timestamp=timestamp)
+
+    @property
+    def name_hash(self) -> int:
+        """CRC-32 of the UTF-8 name -- the sharded-ring placement hash.
+
+        Memoized through ``__dict__`` (frozen dataclass, no
+        ``__slots__``) because shard extraction hashes every child of a
+        giant directory on each write-back.
+        """
+        cached = self.__dict__.get("_name_hash")
+        if cached is None:
+            cached = name_hash(self.name)
+            self.__dict__["_name_hash"] = cached
+        return cached
+
+
+def name_hash(name: str) -> int:
+    """The shard placement hash for a child name (zlib CRC-32).
+
+    Deliberately *not* the store's CRC-32C: this one is a stdlib
+    C-speed call, and the two uses (placement vs integrity) must be
+    free to evolve separately.
+    """
+    return zlib.crc32(name.encode("utf-8"))
 
 
 def _tie_key(child: Child) -> tuple:
@@ -136,20 +161,61 @@ class NameRing:
         return self.children.get(name)
 
     def live_children(self) -> list[Child]:
-        """All non-deleted tuples, alphabetically (the LIST payload)."""
-        return sorted(
-            (c for c in self.children.values() if not c.deleted),
-            key=lambda c: c.name,
-        )
+        """All non-deleted tuples, alphabetically (the LIST payload).
+
+        The sorted list is memoized on the instance (same ``__dict__``
+        trick as the stats memo below) so paging through a giant
+        directory doesn't re-sort m entries per LIST page.  Callers
+        must treat the result as immutable.
+        """
+        cached = self.__dict__.get("_live_memo")
+        if cached is None:
+            cached = sorted(
+                (c for c in self.children.values() if not c.deleted),
+                key=lambda c: c.name,
+            )
+            self.__dict__["_live_memo"] = cached
+        return cached
 
     def live_names(self) -> list[str]:
-        return [c.name for c in self.live_children()]
+        """Sorted live names, memoized alongside :meth:`live_children`."""
+        cached = self.__dict__.get("_live_names_memo")
+        if cached is None:
+            cached = [c.name for c in self.live_children()]
+            self.__dict__["_live_names_memo"] = cached
+        return cached
 
     def tombstones(self) -> list[Child]:
         return sorted(
             (c for c in self.children.values() if c.deleted),
             key=lambda c: c.name,
         )
+
+    def _stats(self) -> tuple[Timestamp, int, int]:
+        """``(version, live_count, tombstone_count)`` in one O(m) pass.
+
+        Memoized on the frozen instance exactly like the serialization
+        memo (see :func:`repro.core.formatter._memo_of`): rings are
+        never mutated and no-op merges return ``self``, so the tuple is
+        valid for the instance's whole lifetime.  Gossip digest
+        comparison and the monotone-version guards call ``version`` /
+        ``len`` in hot loops; without the memo every such touch rescans
+        all m children.
+        """
+        cached = self.__dict__.get("_stats_memo")
+        if cached is None:
+            version = Timestamp.ZERO
+            live = tombstones = 0
+            for child in self.children.values():
+                if child.deleted:
+                    tombstones += 1
+                else:
+                    live += 1
+                if child.timestamp > version:
+                    version = child.timestamp
+            cached = (version, live, tombstones)
+            self.__dict__["_stats_memo"] = cached
+        return cached
 
     @property
     def version(self) -> Timestamp:
@@ -158,12 +224,10 @@ class NameRing:
         This is the ``t_k`` the gossip protocol compares to abort
         forwarding ("if the local timestamp is equal or bigger...").
         """
-        if not self.children:
-            return Timestamp.ZERO
-        return max(c.timestamp for c in self.children.values())
+        return self._stats()[0]
 
     def __len__(self) -> int:
-        return sum(1 for c in self.children.values() if not c.deleted)
+        return self._stats()[1]
 
     def __contains__(self, name: str) -> bool:
         return self.get(name) is not None
@@ -180,16 +244,27 @@ class NameRing:
         instance) when ``other`` contributes nothing -- stable identity
         keeps the serialization memo valid across no-op merges.
         """
+        return self.merge_changes(other)[0]
+
+    def merge_changes(
+        self, other: "NameRing"
+    ) -> tuple["NameRing", tuple[str, ...]]:
+        """:meth:`merge`, also reporting which names ``other`` changed.
+
+        The change set is what sharded write-back needs for dirty-shard
+        tracking: a gossip absorb that advanced three names must later
+        touch only the shards those three names hash to.
+        """
         updates: dict[str, Child] = {}
         for name, theirs in other.children.items():
             ours = self.children.get(name)
             if ours is None or (theirs != ours and _wins(theirs, ours)):
                 updates[name] = theirs
         if not updates:
-            return self
+            return self, ()
         merged = dict(self.children)
         merged.update(updates)
-        return NameRing(children=merged)
+        return NameRing(children=merged), tuple(updates)
 
     def compacted(self) -> "NameRing":
         """Physically drop tombstones -- the deferred "real" removal."""
@@ -203,7 +278,7 @@ class NameRing:
 
     @property
     def needs_compaction(self) -> bool:
-        return any(c.deleted for c in self.children.values())
+        return self._stats()[2] > 0
 
 
 def merge(a: NameRing, b: NameRing) -> NameRing:

@@ -151,8 +151,25 @@ def depth_of(path: str) -> int:
 # object-naming scheme (how H2 entities land on the flat store)
 # ----------------------------------------------------------------------
 def namering_key(ns: Namespace) -> str:
-    """The object holding a directory's NameRing."""
+    """The object holding a directory's NameRing.
+
+    For a directory sharded past the split threshold this object holds
+    the small ``H2NRM`` manifest instead of the ring itself; the child
+    tuples then live under :func:`ring_shard_key` payloads.
+    """
     return f"nr:{ns.uuid}"
+
+
+def ring_shard_key(ns: Namespace, epoch: int, shard: int) -> str:
+    """One shard payload of a sharded NameRing (docs/PROTOCOL.md §11).
+
+    The key keeps the ``nr:`` prefix so GC/fsck prefix walks cover
+    shard payloads without a second scan, and carries the manifest
+    epoch so resharding is crash-atomic: a new shard set is written
+    under a fresh epoch, the manifest flip is the commit point, and
+    orphaned old-epoch payloads are swept by GC.
+    """
+    return f"nr:{ns.uuid}/s{epoch}-{shard:04d}"
 
 
 def directory_key(ns: Namespace) -> str:

@@ -1,0 +1,319 @@
+"""Sharded NameRings: chunk-per-object storage for giant directories.
+
+The paper's heavy users put ~0.5M files in one directory (fig 10
+sweeps to m=500k), but a monolithic ring object makes every patch
+merge, gossip write-back and LIST serialize all m entries.  Past a
+split threshold the directory's ``nr:`` object becomes a small
+*manifest* (shard count, epoch, per-shard ``(version, crc, entries)``
+digests -- :class:`~repro.core.formatter.ShardManifest`) and the child
+tuples move into per-shard payload objects keyed by a hash of the
+child name (:func:`~repro.core.namespace.ring_shard_key`).  A merge or
+gossip exchange then touches only the shards whose digests differ.
+
+Layout transitions (docs/PROTOCOL.md §11):
+
+* **split** (mono -> sharded): write every shard payload first, then
+  flip the ``nr:`` object from ring bytes to the manifest.  The
+  manifest PUT is the commit point -- a torn split leaves the
+  monolithic ring fully intact and the orphan payloads to GC.
+* **collapse** (sharded -> mono): write the ring bytes over ``nr:``
+  first (the commit point), then delete the payloads.
+* **reshard** (grow the shard count): write the new shard set under
+  ``epoch + 1`` keys, flip the manifest, delete the old epoch's
+  payloads.  A torn reshard leaves the old epoch complete.
+
+Hysteresis: ``split_threshold`` strictly above ``merge_threshold`` so
+churn at the boundary cannot thrash between layouts; counts only grow
+(shrink happens via collapse), so a shard's name set is stable until
+the whole layout changes.
+
+Everything here is store-level and middleware-free so the merger, GC,
+fsck and the benches share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simcloud.errors import ObjectNotFound, QuorumError
+from ..simcloud.object_store import ObjectStore
+from . import formatter
+from .formatter import ShardDigest, ShardManifest
+from .namering import NameRing, name_hash
+from .namespace import Namespace, namering_key, ring_shard_key
+
+#: shard counts are powers of two in [2, MAX_SHARDS]; growth-only
+MAX_SHARDS = 1024
+
+
+@dataclass(frozen=True)
+class ShardPolicy:
+    """When to split, when to collapse, how many shards to aim for.
+
+    Default-off: with ``enabled=False`` no ring is ever split and the
+    write path is byte-identical to the monolithic layout, which is
+    what keeps the committed DST corpus digests stable.
+    """
+
+    enabled: bool = False
+    split_threshold: int = 1024
+    merge_threshold: int = 256
+    target_entries: int = 512
+
+    def __post_init__(self) -> None:
+        if self.merge_threshold >= self.split_threshold:
+            raise ValueError(
+                "hysteresis requires merge_threshold < split_threshold"
+            )
+        if self.target_entries < 1:
+            raise ValueError("target_entries must be positive")
+
+    def should_split(self, entries: int) -> bool:
+        """Mono -> sharded once the tuple count reaches the threshold."""
+        return self.enabled and entries >= self.split_threshold
+
+    def should_collapse(self, entries: int) -> bool:
+        """Sharded -> mono once well below the split point (hysteresis)."""
+        return entries <= self.merge_threshold
+
+    def desired_count(self, entries: int) -> int:
+        """Power-of-two shard count aiming at ``target_entries`` each."""
+        count = 2
+        while count < MAX_SHARDS and entries > count * self.target_entries:
+            count *= 2
+        return count
+
+
+def shard_of(name: str, count: int) -> int:
+    """Which shard a child name lives in, for a given shard count."""
+    return name_hash(name) % count
+
+
+def split_ring(ring: NameRing, count: int) -> list[NameRing]:
+    """Partition a ring's tuples into ``count`` per-shard rings.
+
+    Every slot is materialized (possibly empty) because every shard
+    payload is written at split time -- a manifest never lists a shard
+    whose object does not exist.
+    """
+    buckets: list[dict] = [{} for _ in range(count)]
+    for name, child in ring.children.items():
+        buckets[child.name_hash % count][name] = child
+    return [NameRing(children=bucket) for bucket in buckets]
+
+
+def extract_shards(
+    ring: NameRing, count: int, wanted: set[int]
+) -> dict[int, NameRing]:
+    """Per-shard rings for just the ``wanted`` slots, one O(m) pass."""
+    buckets: dict[int, dict] = {k: {} for k in wanted}
+    for name, child in ring.children.items():
+        k = child.name_hash % count
+        if k in wanted:
+            buckets[k][name] = child
+    return {k: NameRing(children=bucket) for k, bucket in buckets.items()}
+
+
+def digest_of(shard: NameRing) -> ShardDigest:
+    """The anti-entropy digest of one shard payload."""
+    return ShardDigest(
+        version=shard.version,
+        crc=formatter.shard_crc(shard),
+        entries=len(shard.children),
+    )
+
+
+def manifest_of(shards: list[NameRing], epoch: int) -> ShardManifest:
+    return ShardManifest(
+        shard_count=len(shards),
+        epoch=epoch,
+        digests=tuple(digest_of(s) for s in shards),
+    )
+
+
+# ----------------------------------------------------------------------
+# stored-ring IO: the one reader/writer GC, fsck, the merger and the
+# middleware all share
+# ----------------------------------------------------------------------
+@dataclass
+class StoredRing:
+    """What the store holds for one directory right now.
+
+    ``ring`` is the union view (shards are name-disjoint, so a plain
+    dict union -- no arbitration needed).  ``shards`` keeps the
+    per-shard rings when the layout is sharded so callers like GC's
+    manifest-heal can recompute digests without a second read.
+    """
+
+    ring: NameRing
+    manifest: ShardManifest | None
+    shards: list[NameRing] | None = None
+
+
+def read_stored(
+    store: ObjectStore, ns: Namespace, fan_out: bool = False
+) -> StoredRing:
+    """Read a directory's ring, seeing through the manifest if sharded.
+
+    Raises :class:`ObjectNotFound` when the ``nr:`` object is missing,
+    and lets :class:`QuorumError` / ``CorruptObjectError`` /
+    :class:`~repro.core.formatter.FormatError` propagate -- callers
+    keep their existing taxonomy.  A shard payload missing despite
+    being listed in the manifest reads as empty (a torn split repaired
+    by the next write-back; fsck reports it loudly).
+
+    ``fan_out=True`` issues the shard GETs through the store's
+    connection pool so a cold load of a giant directory costs the
+    makespan, not ``k`` serial RTTs; maintenance walkers keep the
+    sequential path.
+    """
+    record = store.get(namering_key(ns))
+    if not formatter.is_manifest(record.data):
+        return StoredRing(ring=formatter.loads_ring(record.data), manifest=None)
+    manifest = formatter.loads_manifest(record.data)
+
+    def fetch(key: str):
+        try:
+            return ("ok", store.get(key).data)
+        except ObjectNotFound:
+            return ("missing", None)
+        except QuorumError as exc:
+            return ("error", exc)
+
+    keys = [
+        ring_shard_key(ns, manifest.epoch, k)
+        for k in range(manifest.shard_count)
+    ]
+    if fan_out:
+        outcomes = store.parallel([lambda key=key: fetch(key) for key in keys])
+    else:
+        outcomes = [fetch(key) for key in keys]
+    shards: list[NameRing] = []
+    merged: dict = {}
+    for status, payload in outcomes:
+        if status == "error":
+            raise payload
+        if status == "missing":
+            shards.append(NameRing.empty())
+            continue
+        shard = formatter.loads_shard(payload)
+        shards.append(shard)
+        merged.update(shard.children)
+    return StoredRing(
+        ring=NameRing(children=merged), manifest=manifest, shards=shards
+    )
+
+
+def write_stored(
+    store: ObjectStore,
+    ns: Namespace,
+    ring: NameRing,
+    policy: ShardPolicy,
+    stored: ShardManifest | None,
+    counters=None,
+) -> ShardManifest | None:
+    """Full-state write of ``ring``, choosing/keeping the right layout.
+
+    ``stored`` is the manifest the caller last read for this directory
+    (None = monolithic or absent).  When the layout is already sharded
+    and stays sharded at the same count, shards whose digest matches
+    the stored manifest are not rewritten -- a full-state write after
+    compaction of a giant directory touches only the shards that
+    actually changed.  Returns the manifest now stored (None = mono).
+    """
+    entries = len(ring.children)
+    if stored is None:
+        if not policy.should_split(entries):
+            store.put(namering_key(ns), formatter.dumps_ring(ring))
+            return None
+        # split: payloads first, manifest flip commits
+        count = policy.desired_count(entries)
+        shards = split_ring(ring, count)
+        for k, shard in enumerate(shards):
+            store.put(ring_shard_key(ns, 1, k), formatter.dumps_shard(shard))
+            _bump(counters, "put")
+        manifest = manifest_of(shards, epoch=1)
+        store.put(namering_key(ns), formatter.dumps_manifest(manifest))
+        _bump(counters, "split")
+        return manifest
+
+    if not policy.enabled or policy.should_collapse(entries):
+        # collapse: ring bytes over nr: commit, then drop the payloads
+        store.put(namering_key(ns), formatter.dumps_ring(ring))
+        _delete_shards(store, ns, stored)
+        _bump(counters, "collapse")
+        return None
+
+    count = policy.desired_count(entries)
+    if count > stored.shard_count:
+        # reshard (grow): new epoch's payloads, manifest flip, cleanup
+        epoch = stored.epoch + 1
+        shards = split_ring(ring, count)
+        for k, shard in enumerate(shards):
+            store.put(
+                ring_shard_key(ns, epoch, k), formatter.dumps_shard(shard)
+            )
+            _bump(counters, "put")
+        manifest = manifest_of(shards, epoch=epoch)
+        store.put(namering_key(ns), formatter.dumps_manifest(manifest))
+        _delete_shards(store, ns, stored)
+        _bump(counters, "reshard")
+        return manifest
+
+    # steady state: same count/epoch, rewrite only what changed
+    shards = split_ring(ring, stored.shard_count)
+    digests: list[ShardDigest] = []
+    for k, shard in enumerate(shards):
+        digest = digest_of(shard)
+        digests.append(digest)
+        if digest == stored.digests[k]:
+            _bump(counters, "skip")
+            continue
+        store.put(
+            ring_shard_key(ns, stored.epoch, k), formatter.dumps_shard(shard)
+        )
+        _bump(counters, "put")
+    manifest = ShardManifest(
+        shard_count=stored.shard_count,
+        epoch=stored.epoch,
+        digests=tuple(digests),
+    )
+    if manifest != stored:
+        store.put(namering_key(ns), formatter.dumps_manifest(manifest))
+    return manifest
+
+
+def delete_stored(store: ObjectStore, ns: Namespace) -> None:
+    """Delete a directory's ring object and any shard payloads."""
+    try:
+        record = store.get(namering_key(ns))
+    except ObjectNotFound:
+        record = None
+    if record is not None and formatter.is_manifest(record.data):
+        try:
+            _delete_shards(store, ns, formatter.loads_manifest(record.data))
+        except formatter.FormatError:
+            pass  # unparseable manifest: orphan payloads go to GC
+    store.delete(namering_key(ns), missing_ok=True)
+
+
+def shard_keys(ns: Namespace, manifest: ShardManifest) -> list[str]:
+    """Every payload key the manifest's current epoch points at."""
+    return [
+        ring_shard_key(ns, manifest.epoch, k)
+        for k in range(manifest.shard_count)
+    ]
+
+
+def _delete_shards(
+    store: ObjectStore, ns: Namespace, manifest: ShardManifest
+) -> None:
+    for key in shard_keys(ns, manifest):
+        store.delete(key, missing_ok=True)
+
+
+def _bump(counters, event: str) -> None:
+    if counters is not None:
+        counter = counters.get(event)
+        if counter is not None:
+            counter.inc()

@@ -1,9 +1,9 @@
 """``python -m repro dst`` -- drive the deterministic simulator.
 
-    dst run     --seed 7 [--faulty | --corruption] [--traffic] [--membership] [--partitions]
-    dst sweep   --seeds 200 [--start 0] [--corruption] [--traffic] [--membership] [--partitions]
+    dst run     --seed 7 [--faulty | --corruption] [--traffic] [--membership] [--partitions] [--sharded]
+    dst sweep   --seeds 200 [--start 0] [--corruption] [--traffic] [--membership] [--partitions] [--sharded]
     dst replay  CASE.json
-    dst shrink  CASE.json | --seed 7 [--faulty | --corruption] [--traffic] [--membership] [--partitions]
+    dst shrink  CASE.json | --seed 7 [--faulty | --corruption] [--traffic] [--membership] [--partitions] [--sharded]
 
 ``run`` executes one seed and prints the verdict; ``sweep`` runs a
 range of seeds alternating fault-free and fault-storm configs (the CI
@@ -18,7 +18,10 @@ the seed gets, and arms the V7 membership-convergence oracle.
 ``--partitions`` weaves scheduled link-level network cuts (one
 middleware severed from a minority of storage nodes, sometimes from
 its gossip peers too) into the run, arms sloppy-quorum hinted handoff,
-and turns on the V8 heal-convergence oracle.
+and turns on the V8 heal-convergence oracle.  ``--sharded`` arms
+sharded NameRings at DST-sized split/merge thresholds, so the same
+schedules exercise manifest flips, per-shard write-backs, reshard and
+collapse transitions under whatever fault mix the seed gets.
 
 Exit codes: 0 clean / reproduced, 1 invariant violations found,
 2 usage or non-reproduction.
@@ -36,6 +39,7 @@ from .explorer import (
     faulty_config,
     with_membership_steps,
     with_partition_steps,
+    with_sharded_rings,
     with_traffic_flags,
 )
 from .runner import RunResult, run_schedule, run_seed
@@ -59,6 +63,8 @@ def _config_from(args: argparse.Namespace) -> DstConfig:
         config = with_membership_steps(config)
     if getattr(args, "partitions", False):
         config = with_partition_steps(config)
+    if getattr(args, "sharded", False):
+        config = with_sharded_rings(config)
     return config
 
 
@@ -70,6 +76,7 @@ def sweep_config(
     traffic: bool = False,
     membership: bool = False,
     partitions: bool = False,
+    sharded: bool = False,
 ) -> DstConfig:
     """The nightly mix: even seeds run fault-free (full model check),
     odd seeds run under crash cycles, fault storms and message loss.
@@ -80,7 +87,9 @@ def sweep_config(
     ``membership=True`` weaves elastic-membership churn on top -- the
     nightly rebalance-storm sweep.  ``partitions=True`` layers
     scheduled link-level cuts plus hinted handoff (V8) on top -- the
-    nightly partition-storm sweep."""
+    nightly partition-storm sweep.  ``sharded=True`` arms sharded
+    NameRings at DST-sized thresholds -- the nightly huge-directory
+    sweep."""
     if corruption:
         config = corruption_config(sessions=sessions, ops_per_session=ops)
     elif seed % 2 == 0:
@@ -93,6 +102,8 @@ def sweep_config(
         config = with_membership_steps(config)
     if partitions:
         config = with_partition_steps(config)
+    if sharded:
+        config = with_sharded_rings(config)
     return config
 
 
@@ -144,6 +155,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 traffic=getattr(args, "traffic", False),
                 membership=getattr(args, "membership", False),
                 partitions=getattr(args, "partitions", False),
+                sharded=getattr(args, "sharded", False),
             ),
         )
         if result.ok:
@@ -239,6 +251,11 @@ def main(argv: list[str]) -> int:
             help="weave link-level network cuts and arm sloppy-quorum "
             "hinted handoff (V8 heal-convergence oracle)",
         )
+        p.add_argument(
+            "--sharded",
+            action="store_true",
+            help="arm sharded NameRings at DST-sized split thresholds",
+        )
 
     p_run = sub.add_parser("run", help="execute one seed")
     p_run.add_argument("--seed", type=int, default=0)
@@ -272,6 +289,11 @@ def main(argv: list[str]) -> int:
         "--partitions",
         action="store_true",
         help="weave link-level cuts + hinted handoff over every seed",
+    )
+    p_sweep.add_argument(
+        "--sharded",
+        action="store_true",
+        help="arm sharded NameRings at DST-sized split thresholds",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 

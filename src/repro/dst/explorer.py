@@ -71,6 +71,13 @@ class DstConfig:
     partition_rate: float = 0.0  # per-step p(opening a partition cut)
     max_partitions: int = 2  # cap on concurrently open cuts
     hinted_handoff: bool = False  # arm the sloppy-quorum hint store
+    # Sharded NameRings (default off so pre-shard corpus schedules
+    # replay bit-identically -- rate-guard idiom again).  The DST
+    # thresholds are tiny so ordinary op counts cross the split point.
+    sharded_rings: bool = False
+    shard_split_threshold: int = 1024
+    shard_merge_threshold: int = 256
+    shard_target_entries: int = 512
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -147,6 +154,29 @@ def with_partition_steps(config: DstConfig) -> DstConfig:
     from dataclasses import replace
 
     return replace(config, partition_rate=0.04, hinted_handoff=True)
+
+
+def with_sharded_rings(config: DstConfig) -> DstConfig:
+    """``config`` with sharded NameRings armed at DST-sized thresholds.
+
+    Used by ``dst run|sweep|shrink --sharded``: real deployments split
+    at ~1k children, but DST directories hold tens of names, so the
+    split point drops to 8 (merge back at 3, ~5 entries per shard) --
+    ordinary schedules then cross the split, steady-state, reshard and
+    collapse transitions, and every crash/corruption/partition event
+    can land between a shard PUT and its manifest flip.  V1-V8 run
+    unchanged: the oracles read through ``load_ring``/fsck, which
+    reassemble sharded directories transparently.
+    """
+    from dataclasses import replace
+
+    return replace(
+        config,
+        sharded_rings=True,
+        shard_split_threshold=8,
+        shard_merge_threshold=3,
+        shard_target_entries=5,
+    )
 
 
 def with_traffic_flags(config: DstConfig) -> DstConfig:

@@ -157,6 +157,10 @@ class _Run:
                 group_commit_window_us=cfg.group_commit_window_us,
                 gossip_digests=cfg.gossip_digests,
                 memoize_serialization=cfg.memoize_serialization,
+                sharded_rings=cfg.sharded_rings,
+                shard_split_threshold=cfg.shard_split_threshold,
+                shard_merge_threshold=cfg.shard_merge_threshold,
+                shard_target_entries=cfg.shard_target_entries,
             ),
             message_loss=MessageLoss(
                 cfg.message_loss,

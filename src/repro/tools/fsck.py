@@ -26,6 +26,12 @@ account:
   the checksum computed when they were written
   (:mod:`repro.simcloud.integrity`); silent bit-rot keeps the etag and
   timestamp intact, so only the checksum can expose it.
+* **I9 shard structure** — a sharded ring's manifest parses, every
+  listed shard payload exists and parses, each child tuple lives in
+  the shard its name hashes to, and no name appears in two shards.
+  Manifest digests lagging the payloads are reported separately
+  (``stale_manifests``): they are self-healing (GC's compact pass
+  rewrites them), not structural damage.
 
 The checker is read-only and runs in background-accounted time.
 """
@@ -34,9 +40,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core import formatter
-from ..core.namering import KIND_DIR
-from ..core.namespace import Namespace, directory_key, file_key, namering_key
+from ..core import formatter, shards
+from ..core.namering import KIND_DIR, NameRing
+from ..core.namespace import (
+    Namespace,
+    directory_key,
+    file_key,
+    namering_key,
+    ring_shard_key,
+)
 from ..simcloud.errors import CorruptObjectError, ObjectNotFound
 from ..simcloud.integrity import verify_record
 
@@ -53,6 +65,9 @@ class FsckReport:
     degraded_replicas: list[str] = field(default_factory=list)
     divergent_replicas: list[str] = field(default_factory=list)
     corrupt_replicas: list[str] = field(default_factory=list)
+    #: manifests whose stored digests lag the shard payloads -- GC's
+    #: compact pass heals these, so they are advisory, not errors.
+    stale_manifests: list[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -66,7 +81,8 @@ class FsckReport:
             f"{len(self.garbage)} garbage objects, "
             f"{len(self.degraded_replicas)} degraded replicas, "
             f"{len(self.divergent_replicas)} divergent replicas, "
-            f"{len(self.corrupt_replicas)} corrupt replicas"
+            f"{len(self.corrupt_replicas)} corrupt replicas, "
+            f"{len(self.stale_manifests)} stale manifests"
         )
 
 
@@ -109,7 +125,7 @@ class H2Fsck:
                         f"I2 {ns}: record parent {record.parent_ns} != tree "
                         f"parent {parent_uuid}"
                     )
-            ring = self._load_ring(ns, report)
+            ring = self._load_ring(ns, report, reachable)
             if ring is None:
                 continue
             for child in ring.live_children():
@@ -142,18 +158,75 @@ class H2Fsck:
             report.errors.append(f"I2 {ns}: unparseable record ({exc})")
         return None
 
-    def _load_ring(self, ns, report):
+    def _load_ring(self, ns, report, reachable):
         try:
-            return formatter.loads_ring(self._store.get(namering_key(ns)).data)
+            data = self._store.get(namering_key(ns)).data
         except ObjectNotFound:
             report.errors.append(f"I2 {ns}: NameRing missing")
+            return None
         except CorruptObjectError:
             report.corrupt_replicas.append(
                 f"I8 {ns}: NameRing unrecoverable (no verified replica)"
             )
+            return None
+        if formatter.is_manifest(data):
+            return self._load_sharded_ring(ns, data, report, reachable)
+        try:
+            return formatter.loads_ring(data)
         except formatter.FormatError as exc:
             report.errors.append(f"I2 {ns}: unparseable NameRing ({exc})")
         return None
+
+    def _load_sharded_ring(self, ns, data, report, reachable):
+        """I9: verify shard structure and reassemble the full ring."""
+        try:
+            manifest = formatter.loads_manifest(data)
+        except formatter.FormatError as exc:
+            report.errors.append(f"I2 {ns}: unparseable manifest ({exc})")
+            return None
+        count = manifest.shard_count
+        merged: dict = {}
+        seen: dict[str, int] = {}
+        for k in range(count):
+            key = ring_shard_key(ns, manifest.epoch, k)
+            reachable.add(key)
+            try:
+                payload = self._store.get(key).data
+            except ObjectNotFound:
+                report.errors.append(f"I9 {ns}: shard {k}/{count} missing")
+                continue
+            except CorruptObjectError:
+                report.corrupt_replicas.append(
+                    f"I8 {key}: shard unrecoverable (no verified replica)"
+                )
+                continue
+            try:
+                shard = formatter.loads_shard(payload)
+            except formatter.FormatError as exc:
+                report.errors.append(
+                    f"I9 {ns}: unparseable shard {k} ({exc})"
+                )
+                continue
+            if shards.digest_of(shard) != manifest.digests[k]:
+                report.stale_manifests.append(
+                    f"{ns}: manifest digest lags shard {k}"
+                )
+            for name, child in shard.children.items():
+                if shards.shard_of(name, count) != k:
+                    report.errors.append(
+                        f"I9 {ns}: {name!r} misplaced in shard {k} "
+                        f"(hashes to {shards.shard_of(name, count)})"
+                    )
+                if name in seen:
+                    report.errors.append(
+                        f"I9 {ns}: {name!r} present in shards "
+                        f"{seen[name]} and {k}"
+                    )
+                    continue
+                seen[name] = k
+                merged[name] = child
+            self._check_replicas(key, report)
+        return NameRing(children=merged)
 
     def _check_file(self, ns, child, report, reachable) -> None:
         key = file_key(ns, child.name)

@@ -20,7 +20,13 @@ from .fstree import (
     light_user,
     populate,
 )
-from .hotspots import ZipfSampler, hot_lookup_trace, skew_of
+from .hotspots import (
+    HugeDirSpec,
+    ZipfSampler,
+    hot_lookup_trace,
+    huge_directory_ops,
+    skew_of,
+)
 from .scenarios import (
     SCENARIOS,
     TIERS,
@@ -62,6 +68,7 @@ __all__ = [
     "validate_mix",
     "FileSpec",
     "GB",
+    "HugeDirSpec",
     "KB",
     "MB",
     "Op",
@@ -80,6 +87,7 @@ __all__ = [
     "generate",
     "heavy_user",
     "hot_lookup_trace",
+    "huge_directory_ops",
     "light_user",
     "populate",
     "populate_corpus",

@@ -75,3 +75,72 @@ def skew_of(trace: list[str]) -> float:
     ranked = sorted(counts.values(), reverse=True)
     top = max(1, len(ranked) // 10)
     return sum(ranked[:top]) / len(trace)
+
+
+# ----------------------------------------------------------------------
+# Huge-directory workload (the sharded-NameRing stress shape)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HugeDirSpec:
+    """One giant flat directory plus a skewed op mix over it.
+
+    The shape Fig 10 sweeps (LIST against directories of growing m) and
+    the shape that motivates sharded NameRings: millions of siblings
+    under a single parent, accessed Zipf-hot, with a trickle of churn.
+    Fractions must sum to <= 1; the remainder becomes lookups.
+    """
+
+    children: int = 10_000
+    ops: int = 1_000
+    insert_fraction: float = 0.10
+    delete_fraction: float = 0.05
+    list_fraction: float = 0.05
+    page_size: int = 1_000
+    alpha: float = 1.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.children < 1 or self.ops < 0:
+            raise ValueError("children must be >= 1 and ops >= 0")
+        if self.page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        mutating = self.insert_fraction + self.delete_fraction
+        if mutating + self.list_fraction > 1.0:
+            raise ValueError("op fractions must sum to <= 1")
+
+    def child_name(self, i: int) -> str:
+        return f"c{i:07d}"
+
+
+def huge_directory_ops(spec: HugeDirSpec) -> list[tuple[str, str]]:
+    """The seeded op stream over one giant directory.
+
+    Returns ``(op, operand)`` pairs: ``("lookup", name)`` /
+    ``("insert", name)`` / ``("delete", name)`` /
+    ``("list_page", marker)``.  Lookups and deletes are Zipf-hot over a
+    seeded shuffle of the initial population (hotness uncorrelated with
+    name order, same trick as :func:`hot_lookup_trace`); inserts mint
+    fresh names; list pages start at a random existing child so paging
+    pressure spreads across shards.
+    """
+    rng = random.Random(spec.seed)
+    names = [spec.child_name(i) for i in range(spec.children)]
+    ranked = list(names)
+    rng.shuffle(ranked)
+    sampler = ZipfSampler(n=len(ranked), alpha=spec.alpha)
+    ops: list[tuple[str, str]] = []
+    minted = 0
+    for _ in range(spec.ops):
+        roll = rng.random()
+        if roll < spec.insert_fraction:
+            ops.append(("insert", f"new{minted:07d}"))
+            minted += 1
+        elif roll < spec.insert_fraction + spec.delete_fraction:
+            ops.append(("delete", ranked[sampler.sample(rng)]))
+        elif roll < (
+            spec.insert_fraction + spec.delete_fraction + spec.list_fraction
+        ):
+            ops.append(("list_page", ranked[sampler.sample(rng)]))
+        else:
+            ops.append(("lookup", ranked[sampler.sample(rng)]))
+    return ops

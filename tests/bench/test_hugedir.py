@@ -1,0 +1,56 @@
+"""Giant-directory bench: the sharding win and its artifact shape."""
+
+from repro.bench.hugedir import (
+    SHARDED,
+    _hotspot_side,
+    _measure_side,
+    write_hugedir_artifact,
+)
+from repro.workloads import HugeDirSpec
+
+
+class TestSweepSides:
+    def test_sharded_insert_bytes_sublinear(self):
+        """Past the split threshold a one-child insert must move a
+        shard's worth of bytes, not the whole ring -- the tentpole."""
+        m = 5_000
+        mono = _measure_side(m, sharded=False)
+        shard = _measure_side(m, sharded=True)
+        assert shard["insert"]["bytes_in"] < mono["insert"]["bytes_in"] / 4
+        # Correctness floor: both sides listed the same page volume.
+        assert shard["list_page"]["bytes_out"] > 0
+
+    def test_below_threshold_sides_identical(self):
+        """Under the split threshold the sharded config must take the
+        monolithic path byte for byte (the default-off guarantee)."""
+        m = SHARDED.shard_split_threshold // 2
+        assert _measure_side(m, sharded=False) == _measure_side(m, sharded=True)
+
+    def test_measure_deterministic(self):
+        m = 2_000
+        assert _measure_side(m, sharded=True) == _measure_side(m, sharded=True)
+
+
+class TestHotspotPhase:
+    def test_shape_and_determinism(self):
+        spec = HugeDirSpec(children=1_500, ops=60, seed=9)
+        side = _hotspot_side(spec, sharded=True)
+        assert side["sim_makespan_ms"] > 0
+        assert side["classes"]["lookup"]["count"] > 0
+        assert side == _hotspot_side(spec, sharded=True)
+
+
+class TestArtifact:
+    def test_writer(self, tmp_path):
+        path = write_hugedir_artifact(tmp_path)
+        assert path.name == "BENCH_hugedir.json"
+        import json
+
+        doc = json.loads(path.read_text())
+        assert doc["artifact"] == "hugedir"
+        assert doc["policy"]["split_threshold"] == SHARDED.shard_split_threshold
+        sweep = doc["sweep"]
+        assert [p["m"] for p in sweep] == [512, 5_000]
+        # The headline claim the guard pins: sub-linear per-op bytes at
+        # the largest swept m.
+        assert sweep[-1]["insert_bytes_ratio"] < 0.25

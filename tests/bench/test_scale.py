@@ -141,6 +141,7 @@ class TestGuardEndToEnd:
             "BENCH_maintenance.json",
             "BENCH_rebalance.json",
             "BENCH_partition.json",
+            "BENCH_hugedir.json",
         ):
             shutil.copy(REPO_ROOT / artifact, out / artifact)
         (out / "BENCH_scale.json").write_text(

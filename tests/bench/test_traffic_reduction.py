@@ -101,6 +101,13 @@ class TestGuard:
             "hints_on": {"ack_rate": 1.0, "write_p99_ms": 52.0},
         }
         (directory / "BENCH_partition.json").write_text(json.dumps(partition))
+        hugedir = {
+            "scale": headline["scale"],
+            "sim_makespan_ms": 600.0,
+            "sweep": [],
+            "hotspot": {},
+        }
+        (directory / "BENCH_hugedir.json").write_text(json.dumps(hugedir))
 
     def _docs(self):
         headline = {

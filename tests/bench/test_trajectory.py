@@ -51,6 +51,7 @@ class TestArtifacts:
             "BENCH_rebalance.json",
             "BENCH_partition.json",
             "BENCH_scale.json",
+            "BENCH_hugedir.json",
         ]
         for path in written[:4]:
             doc = json.loads(path.read_text())
@@ -58,6 +59,8 @@ class TestArtifacts:
         scale_doc = json.loads(written[4].read_text())
         assert scale_doc["format"] == "h2cloud-bench-scale-v1"
         assert scale_doc["scale"] == "smoke"
+        hugedir_doc = json.loads(written[5].read_text())
+        assert hugedir_doc["artifact"] == "hugedir"
 
     def test_bench_cli_trajectory(self, tmp_path, capsys):
         assert bench_main(["trajectory", "--out", str(tmp_path)]) == 0

@@ -161,3 +161,114 @@ class TestDirectoryFormat:
     def test_missing_field(self):
         with pytest.raises(FormatError):
             loads_directory(b"H2DIR 1\nname x\nns 1.1.1\n")
+
+
+class TestParserErrorTaxonomy:
+    """Corrupt-but-readable bytes must surface as FormatError, never as
+    an uncaught ValueError (the bugfix sweep's parser-taxonomy half)."""
+
+    def test_non_numeric_ring_version_is_format_error(self):
+        with pytest.raises(FormatError):
+            loads_ring(b"H2NR one\n")
+
+    def test_non_numeric_patch_version_is_format_error(self):
+        with pytest.raises(FormatError):
+            loads_patch(b"H2PATCH x1\n")
+
+    def test_malformed_timestamp_is_format_error(self):
+        with pytest.raises(FormatError):
+            loads_ring(b"H2NR 1\nf|not-a-ts|file|-|-|0|-\n")
+
+    def test_malformed_size_is_format_error(self):
+        with pytest.raises(FormatError):
+            loads_ring(b"H2NR 1\nf|1.1.1|file|-|-|big|-\n")
+
+    def test_duplicate_tuple_name_is_format_error(self):
+        data = b"H2NR 1\nf|1.1.1|file|-|-|0|-\nf|2.1.1|file|-|-|0|-\n"
+        with pytest.raises(FormatError):
+            loads_ring(data)
+
+    def test_directory_version_enforced(self):
+        with pytest.raises(FormatError):
+            loads_directory(b"H2DIR 99\nname x\nns 1.1.1\nparent -\ncreated 1.1.1\n")
+        with pytest.raises(FormatError):
+            loads_directory(b"H2DIR abc\nname x\nns 1.1.1\nparent -\ncreated 1.1.1\n")
+
+    def test_directory_missing_version_token(self):
+        with pytest.raises(FormatError):
+            loads_directory(b"H2DIR\nname x\nns 1.1.1\nparent -\ncreated 1.1.1\n")
+
+    def test_directory_duplicate_field_is_format_error(self):
+        data = (
+            b"H2DIR 1\nname x\nname y\nns 1.1.1\nparent -\ncreated 1.1.1\n"
+        )
+        with pytest.raises(FormatError):
+            loads_directory(data)
+
+    def test_directory_malformed_created_is_format_error(self):
+        data = b"H2DIR 1\nname x\nns 1.1.1\nparent -\ncreated nope\n"
+        with pytest.raises(FormatError):
+            loads_directory(data)
+
+
+class TestManifestFormat:
+    def _manifest(self):
+        from repro.core import ShardDigest, ShardManifest
+
+        return ShardManifest(
+            shard_count=2,
+            epoch=3,
+            digests=(
+                ShardDigest(version=Timestamp(5, 1, 0), crc=123, entries=7),
+                ShardDigest(version=Timestamp(9, 2, 1), crc=0, entries=0),
+            ),
+        )
+
+    def test_round_trip(self):
+        from repro.core import dumps_manifest, loads_manifest
+
+        manifest = self._manifest()
+        assert loads_manifest(dumps_manifest(manifest)) == manifest
+
+    def test_is_manifest_dispatch(self):
+        from repro.core import dumps_manifest
+        from repro.core.formatter import is_manifest
+
+        assert is_manifest(dumps_manifest(self._manifest()))
+        assert not is_manifest(dumps_ring(SAMPLE))
+        assert not is_manifest(b"")
+
+    def test_ring_parser_rejects_manifest(self):
+        from repro.core import dumps_manifest
+
+        with pytest.raises(FormatError):
+            loads_ring(dumps_manifest(self._manifest()))
+
+    def test_manifest_parser_rejects_ring(self):
+        from repro.core import loads_manifest
+
+        with pytest.raises(FormatError):
+            loads_manifest(dumps_ring(SAMPLE))
+
+    def test_shard_count_mismatch_rejected(self):
+        from repro.core import dumps_manifest, loads_manifest
+
+        data = dumps_manifest(self._manifest())
+        truncated = b"\n".join(data.splitlines()[:-1]) + b"\n"
+        with pytest.raises(FormatError):
+            loads_manifest(truncated)
+
+    def test_non_numeric_manifest_version_is_format_error(self):
+        from repro.core import loads_manifest
+
+        with pytest.raises(FormatError):
+            loads_manifest(b"H2NRM vv\nshards 1\nepoch 1\n")
+
+    def test_shard_payload_round_trip(self):
+        from repro.core.formatter import dumps_shard, loads_shard
+
+        data = dumps_shard(SAMPLE)
+        assert data.startswith(b"H2NRS ")
+        assert loads_shard(data).children == SAMPLE.children
+        with pytest.raises(FormatError):
+            loads_ring(data)  # shard payloads are not mono rings

@@ -266,3 +266,78 @@ TestGossipConvergence = GossipConvergence.TestCase
 TestGossipConvergence.settings = settings(
     max_examples=60, stateful_step_count=30, deadline=None
 )
+
+
+class TestStatsMemoConsistency:
+    """The O(1) stats memos must never drift from a fresh recompute.
+
+    ``version``/``__len__``/``needs_compaction`` are memoized on the
+    frozen instance (the hot-path O(m)->O(1) bugfix); because rings are
+    immutable the memo can only go wrong if a merge hands back an
+    instance whose cache predates its children -- exactly what these
+    properties hunt for across arbitrary merge chains.
+    """
+
+    @staticmethod
+    def _brute(ring: NameRing):
+        version = Timestamp.ZERO
+        live = tombstones = 0
+        for child in ring.children.values():
+            if child.deleted:
+                tombstones += 1
+            else:
+                live += 1
+            if child.timestamp > version:
+                version = child.timestamp
+        return version, live, tombstones > 0
+
+    def _assert_memos_fresh(self, ring: NameRing) -> None:
+        version, live, needs = self._brute(ring)
+        # Interrogate twice: first touch populates the memo, the second
+        # must serve the identical answer from cache.
+        for _ in range(2):
+            assert ring.version == version
+            assert len(ring) == live
+            assert ring.needs_compaction == needs
+        fresh = NameRing(children=dict(ring.children))
+        assert ring.version == fresh.version
+        assert len(ring) == len(fresh)
+
+    @given(rings=st.lists(arbitrary_ring(), min_size=1, max_size=6))
+    @settings(max_examples=150, deadline=None)
+    def test_memo_matches_recompute_across_merges(self, rings):
+        merged = NameRing.empty()
+        for ring in rings:
+            # Touch the memos *before* merging so a buggy merge that
+            # reused a stale instance would be caught red-handed.
+            self._assert_memos_fresh(merged)
+            self._assert_memos_fresh(ring)
+            merged = merged.merge(ring)
+        self._assert_memos_fresh(merged)
+
+    @given(a=arbitrary_ring(), b=arbitrary_ring())
+    @settings(max_examples=150, deadline=None)
+    def test_merge_changes_names_exactly_the_updates(self, a, b):
+        merged, changed = a.merge_changes(b)
+        for name in changed:
+            assert merged.children[name] != a.children.get(name)
+        for name, child in merged.children.items():
+            if name not in changed:
+                assert a.children.get(name) == child
+
+    @given(a=arbitrary_ring(), b=arbitrary_ring())
+    @settings(max_examples=100, deadline=None)
+    def test_noop_merge_preserves_instance(self, b, a):
+        merged = a.merge(b)
+        again, changed = merged.merge_changes(b)
+        assert again is merged
+        assert changed == ()
+
+    @given(pool=children_with_unique_timestamps())
+    @settings(max_examples=100, deadline=None)
+    def test_live_view_memos_stay_sorted_and_consistent(self, pool):
+        ring = _ring_from(pool)
+        names = ring.live_names()
+        assert list(names) == sorted(c.name for c in ring.live_children())
+        # Served from cache on the second call -- same object, same data.
+        assert ring.live_names() is names

@@ -1,0 +1,203 @@
+"""Unit tests for :mod:`repro.core.shards` -- policy math, the shard
+hash, and the crash-ordered write/read round-trip on a real store."""
+
+import pytest
+
+from repro.core import Child, KIND_FILE, NameRing, ShardPolicy
+from repro.core import formatter, shards
+from repro.core.namespace import Namespace, namering_key, ring_shard_key
+from repro.simcloud import SwiftCluster, Timestamp
+from repro.simcloud.errors import ObjectNotFound
+
+
+def ring_of(n: int, deleted: int = 0) -> NameRing:
+    children = {}
+    for i in range(n + deleted):
+        name = f"f{i:05d}"
+        children[name] = Child(
+            name=name,
+            timestamp=Timestamp(i + 1, 1, 0),
+            kind=KIND_FILE,
+            deleted=i >= n,
+        )
+    return NameRing(children=children)
+
+
+POLICY = ShardPolicy(
+    enabled=True, split_threshold=8, merge_threshold=3, target_entries=5
+)
+
+
+class TestShardPolicy:
+    def test_defaults_disabled(self):
+        assert not ShardPolicy().enabled
+        assert not ShardPolicy().should_split(10**6)
+
+    def test_hysteresis_band(self):
+        assert POLICY.should_split(8)
+        assert not POLICY.should_split(7)
+        assert POLICY.should_collapse(3)
+        assert not POLICY.should_collapse(4)
+        # The band between merge and split thresholds is sticky in both
+        # directions: a directory at 5 entries neither splits nor merges.
+        assert not POLICY.should_split(5)
+        assert not POLICY.should_collapse(5)
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            ShardPolicy(split_threshold=4, merge_threshold=4)
+        with pytest.raises(ValueError):
+            ShardPolicy(target_entries=0)
+
+    def test_desired_count_power_of_two(self):
+        for entries in (0, 1, 9, 10, 11, 40, 41, 1000):
+            count = POLICY.desired_count(entries)
+            assert count & (count - 1) == 0 and count >= 2
+            assert count * POLICY.target_entries >= entries or (
+                count == shards.MAX_SHARDS
+            )
+        assert POLICY.desired_count(11) == 4  # 2 shards * 5 < 11
+
+    def test_desired_count_capped(self):
+        assert POLICY.desired_count(10**9) == shards.MAX_SHARDS
+
+
+class TestSplitMath:
+    def test_split_partitions_exactly(self):
+        ring = ring_of(40, deleted=5)
+        pieces = shards.split_ring(ring, 4)
+        assert len(pieces) == 4
+        rebuilt = {}
+        for k, piece in enumerate(pieces):
+            for name in piece.children:
+                assert shards.shard_of(name, 4) == k
+            rebuilt.update(piece.children)
+        assert rebuilt == dict(ring.children)  # tombstones ride along
+
+    def test_empty_slots_materialized(self):
+        pieces = shards.split_ring(ring_of(1), 8)
+        assert len(pieces) == 8
+        assert sum(len(p.children) for p in pieces) == 1
+
+    def test_manifest_of_digests(self):
+        ring = ring_of(20)
+        pieces = shards.split_ring(ring, 4)
+        manifest = shards.manifest_of(pieces, epoch=1)
+        assert manifest.total_entries == 20
+        assert manifest.version == ring.version
+        for k, piece in enumerate(pieces):
+            assert manifest.digests[k] == shards.digest_of(piece)
+
+
+class TestStoredRoundTrip:
+    def _store(self):
+        return SwiftCluster.fast().store
+
+    def _ns(self):
+        return Namespace("7.1.42")
+
+    def test_mono_when_small(self):
+        store, ns = self._store(), self._ns()
+        ring = ring_of(4)
+        manifest = shards.write_stored(store, ns, ring, POLICY, None)
+        assert manifest is None
+        loaded = shards.read_stored(store, ns)
+        assert loaded.manifest is None
+        assert loaded.ring.children == ring.children
+
+    def test_split_and_read_back(self):
+        store, ns = self._store(), self._ns()
+        ring = ring_of(40)
+        manifest = shards.write_stored(store, ns, ring, POLICY, None)
+        assert manifest is not None and manifest.epoch == 1
+        assert formatter.is_manifest(store.get(namering_key(ns)).data)
+        loaded = shards.read_stored(store, ns)
+        assert loaded.ring.children == ring.children
+        assert loaded.manifest == manifest
+
+    def test_reshard_bumps_epoch_and_drops_old_payloads(self):
+        store, ns = self._store(), self._ns()
+        m1 = shards.write_stored(store, ns, ring_of(10), POLICY, None)
+        m2 = shards.write_stored(store, ns, ring_of(200), POLICY, m1)
+        assert m2.epoch == m1.epoch + 1
+        assert m2.shard_count > m1.shard_count
+        for key in shards.shard_keys(ns, m1):
+            assert not store.exists(key)
+        assert shards.read_stored(store, ns).ring.children == ring_of(200).children
+
+    def test_collapse_back_to_mono(self):
+        store, ns = self._store(), self._ns()
+        m1 = shards.write_stored(store, ns, ring_of(40), POLICY, None)
+        small = ring_of(2)
+        m2 = shards.write_stored(store, ns, small, POLICY, m1)
+        assert m2 is None
+        assert not formatter.is_manifest(store.get(namering_key(ns)).data)
+        for key in shards.shard_keys(ns, m1):
+            assert not store.exists(key)
+        assert shards.read_stored(store, ns).ring.children == small.children
+
+    def test_steady_state_touches_only_dirty_shards(self):
+        store, ns = self._store(), self._ns()
+        # 30 entries across 8 shards leaves headroom: +1 entry stays
+        # below the reshard point (8 shards * 5 target = 40).
+        ring = ring_of(30)
+        m1 = shards.write_stored(store, ns, ring, POLICY, None)
+        # One new child lands in exactly one shard.
+        extra = Child(name="zzz-new", timestamp=Timestamp(999, 1, 0), kind=KIND_FILE)
+        updated = ring.merge(NameRing(children={extra.name: extra}))
+        before = {
+            key: store.get(key).etag for key in shards.shard_keys(ns, m1)
+        }
+        m2 = shards.write_stored(store, ns, updated, POLICY, m1)
+        assert m2.epoch == m1.epoch
+        touched = [
+            key
+            for key in shards.shard_keys(ns, m2)
+            if store.get(key).etag != before[key]
+        ]
+        assert len(touched) == 1
+        assert touched[0] == ring_shard_key(
+            ns, m1.epoch, shards.shard_of(extra.name, m1.shard_count)
+        )
+
+    def test_unchanged_write_elides_everything(self):
+        store, ns = self._store(), self._ns()
+        ring = ring_of(40)
+        m1 = shards.write_stored(store, ns, ring, POLICY, None)
+        nr_etag = store.get(namering_key(ns)).etag
+        m2 = shards.write_stored(store, ns, ring, POLICY, m1)
+        assert m2 == m1
+        assert store.get(namering_key(ns)).etag == nr_etag
+
+    def test_delete_stored_removes_payloads(self):
+        store, ns = self._store(), self._ns()
+        m1 = shards.write_stored(store, ns, ring_of(40), POLICY, None)
+        shards.delete_stored(store, ns)
+        assert not store.exists(namering_key(ns))
+        for key in shards.shard_keys(ns, m1):
+            assert not store.exists(key)
+
+    def test_read_missing_raises(self):
+        with pytest.raises(ObjectNotFound):
+            shards.read_stored(self._store(), self._ns())
+
+    def test_missing_listed_shard_reads_empty(self):
+        """A torn write that lost one payload degrades to partial data,
+        not a crash -- fsck reports it, repair/gossip refill it."""
+        store, ns = self._store(), self._ns()
+        m1 = shards.write_stored(store, ns, ring_of(40), POLICY, None)
+        victim = shards.shard_keys(ns, m1)[0]
+        dropped = len(formatter.loads_shard(store.get(victim).data).children)
+        store.delete(victim)
+        loaded = shards.read_stored(store, ns)
+        assert len(loaded.ring.children) == 40 - dropped
+
+    def test_disabled_policy_always_collapses(self):
+        """Turning the flag off after a split heals back to mono on the
+        next write -- no stranded manifests."""
+        store, ns = self._store(), self._ns()
+        m1 = shards.write_stored(store, ns, ring_of(40), POLICY, None)
+        off = ShardPolicy()
+        m2 = shards.write_stored(store, ns, ring_of(40), off, m1)
+        assert m2 is None
+        assert not formatter.is_manifest(store.get(namering_key(ns)).data)

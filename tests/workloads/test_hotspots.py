@@ -70,3 +70,67 @@ class TestHotLookupTrace:
             counts[path] = counts.get(path, 0) + 1
         hottest = max(counts, key=counts.get)
         assert hottest != sorted(f.path for f in tree.files)[0]
+
+
+class TestHugeDirectoryWorkload:
+    def _ops(self, **kw):
+        from repro.workloads import HugeDirSpec, huge_directory_ops
+
+        return huge_directory_ops(HugeDirSpec(**kw))
+
+    def test_deterministic(self):
+        assert self._ops(children=50, ops=200, seed=7) == self._ops(
+            children=50, ops=200, seed=7
+        )
+        assert self._ops(children=50, ops=200, seed=7) != self._ops(
+            children=50, ops=200, seed=8
+        )
+
+    def test_mix_roughly_matches_fractions(self):
+        ops = self._ops(
+            children=100,
+            ops=2_000,
+            insert_fraction=0.2,
+            delete_fraction=0.1,
+            list_fraction=0.1,
+            seed=3,
+        )
+        counts = {}
+        for op, _ in ops:
+            counts[op] = counts.get(op, 0) + 1
+        assert abs(counts["insert"] / 2_000 - 0.2) < 0.05
+        assert abs(counts["delete"] / 2_000 - 0.1) < 0.05
+        assert abs(counts["list_page"] / 2_000 - 0.1) < 0.05
+        assert counts["lookup"] > 1_000
+
+    def test_operands_valid(self):
+        from repro.workloads import HugeDirSpec
+
+        spec = HugeDirSpec(children=40, ops=500, seed=1)
+        existing = {spec.child_name(i) for i in range(40)}
+        fresh = set()
+        for op, operand in self._ops(children=40, ops=500, seed=1):
+            if op == "insert":
+                assert operand not in existing
+                assert operand not in fresh  # minted names never repeat
+                fresh.add(operand)
+            else:
+                assert operand in existing
+
+    def test_lookups_are_skewed(self):
+        looked_up = [
+            operand
+            for op, operand in self._ops(children=200, ops=3_000, seed=5)
+            if op == "lookup"
+        ]
+        assert skew_of(looked_up) > 0.3
+
+    def test_fraction_validation(self):
+        from repro.workloads import HugeDirSpec
+
+        with pytest.raises(ValueError):
+            HugeDirSpec(insert_fraction=0.7, delete_fraction=0.4)
+        with pytest.raises(ValueError):
+            HugeDirSpec(children=0)
+        with pytest.raises(ValueError):
+            HugeDirSpec(page_size=0)
